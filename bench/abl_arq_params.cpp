@@ -1,0 +1,65 @@
+// Ablation A4 — local-recovery ARQ design choices.
+// (a) RTmax: how many link-level retransmissions before giving up.  Too
+//     few and long fades leak losses to TCP; the paper/CDPD value of 13
+//     sits on the flat part of the curve.
+// (b) ARQ window: stop-and-wait (1) starves the link; a modest window
+//     keeps the pipe full.
+// Both sweeps run the wide-area EBSN configuration.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace wtcp;
+  namespace wb = wtcp::bench;
+
+  wb::banner("Ablation: ARQ parameters (RTmax, window) under EBSN (wide-area)",
+             "100 KB transfer, good 10 s / bad 4 s; mean over " +
+                 std::to_string(wb::kSeeds) + " seeds");
+
+  std::cout << "--- RTmax sweep (window = 8) ---\n";
+  {
+    stats::TextTable table({"RTmax", "throughput kbps", "goodput",
+                            "ARQ discards", "timeouts"});
+    for (int rt_max : {1, 3, 5, 8, 13, 20}) {
+      topo::ScenarioConfig cfg = wb::with_scheme(topo::wan_scenario(), "ebsn");
+      cfg.channel.mean_bad_s = 4;
+      cfg.arq.rt_max = rt_max;
+
+      core::MetricsSummary s;
+      double discards = 0;
+      for (int seed = 1; seed <= wb::kSeeds; ++seed) {
+        cfg.seed = static_cast<std::uint64_t>(seed);
+        topo::Scenario sc(cfg);
+        const stats::RunMetrics m = sc.run();
+        s.add(m);
+        discards += static_cast<double>(m.arq_discards);
+      }
+      table.add_row({std::to_string(rt_max),
+                     stats::fmt_double(s.throughput_bps.mean() / 1000.0, 2),
+                     stats::fmt_double(s.goodput.mean(), 3),
+                     stats::fmt_double(discards / wb::kSeeds, 1),
+                     stats::fmt_double(s.timeouts.mean(), 2)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\n--- ARQ window sweep (RTmax = 13) ---\n";
+  {
+    stats::TextTable table({"window", "throughput kbps", "goodput", "timeouts"});
+    for (int window : {1, 2, 4, 8, 16}) {
+      topo::ScenarioConfig cfg = wb::with_scheme(topo::wan_scenario(), "ebsn");
+      cfg.channel.mean_bad_s = 4;
+      cfg.arq.window = window;
+      const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds);
+      table.add_row({std::to_string(window),
+                     stats::fmt_double(s.throughput_bps.mean() / 1000.0, 2),
+                     stats::fmt_double(s.goodput.mean(), 3),
+                     stats::fmt_double(s.timeouts.mean(), 2)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nexpectation: throughput saturates by RTmax ~ 8-13 (fewer\n"
+               "discards) and by window ~ 4-8 (pipe stays full; stop-and-wait\n"
+               "pays one ACK round trip per fragment).\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation A7 — multi-user base-station scheduling (the CSDP study of
+// Bhagwat et al. [9] that the paper's Section 2 summarizes).
+//
+// Four TCP connections, one per mobile host, share a 2 Mbps base-station
+// radio; each user's channel fades independently.  Compare FIFO,
+// round-robin and channel-state-dependent round-robin service at the
+// base station, crossed with the number of datagrams the scheduler keeps
+// outstanding on the radio.
+#include "bench_util.hpp"
+
+#include "src/topo/multi_scenario.hpp"
+
+int main() {
+  using namespace wtcp;
+  namespace wb = wtcp::bench;
+  constexpr int kSeeds = 12;
+
+  wb::banner("Ablation: multi-user BS scheduling (FIFO / RR / CSD-RR)",
+             "4 users x 1 MB, shared 2 Mbps radio, per-user channels good "
+             "4 s / bad 0.8 s;\nmean over " + std::to_string(kSeeds) + " seeds");
+
+  stats::TextTable table({"policy", "outstanding", "aggregate kbps",
+                          "fairness", "timeouts/user", "CSD skips"});
+
+  for (link::SchedPolicy policy :
+       {link::SchedPolicy::kFifo, link::SchedPolicy::kRoundRobin,
+        link::SchedPolicy::kCsdRoundRobin}) {
+    for (int outstanding : {1, 4}) {
+      stats::Summary agg, fair, timeouts, skips;
+      for (int seed = 1; seed <= kSeeds; ++seed) {
+        topo::MultiUserConfig cfg = topo::multi_user_lan_scenario();
+        cfg.sched.policy = policy;
+        cfg.sched.max_outstanding = outstanding;
+        cfg.seed = static_cast<std::uint64_t>(seed);
+        topo::MultiUserLanScenario s(cfg);
+        const topo::MultiUserMetrics m = s.run();
+        agg.add(m.aggregate_throughput_bps);
+        fair.add(m.fairness);
+        double to = 0;
+        for (const auto& u : m.per_user) to += static_cast<double>(u.timeouts);
+        timeouts.add(to / static_cast<double>(cfg.users));
+        skips.add(static_cast<double>(m.csd_skips));
+      }
+      table.add_row({to_string(policy), std::to_string(outstanding),
+                     stats::fmt_double(agg.mean() / 1000.0, 0),
+                     stats::fmt_double(fair.mean(), 3),
+                     stats::fmt_double(timeouts.mean(), 1),
+                     stats::fmt_double(skips.mean(), 0)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\n--- CSD-RR + per-connection EBSN (best of both worlds) ---\n";
+  {
+    stats::Summary agg, timeouts;
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      topo::MultiUserConfig cfg = topo::multi_user_lan_scenario();
+      cfg.sched.policy = link::SchedPolicy::kCsdRoundRobin;
+      cfg.feedback = topo::FeedbackMode::kEbsn;
+      cfg.seed = static_cast<std::uint64_t>(seed);
+      topo::MultiUserLanScenario s(cfg);
+      const topo::MultiUserMetrics m = s.run();
+      agg.add(m.aggregate_throughput_bps);
+      double to = 0;
+      for (const auto& u : m.per_user) to += static_cast<double>(u.timeouts);
+      timeouts.add(to / static_cast<double>(cfg.users));
+    }
+    std::printf("aggregate %.0f kbps, %.2f timeouts/user\n", agg.mean() / 1000.0,
+                timeouts.mean());
+  }
+
+  std::cout << "\nexpectation ([9]): channel-state-dependent scheduling far\n"
+               "outperforms FIFO (head-of-line fades waste shared airtime);\n"
+               "its gain depends on probe accuracy.  EBSN composes with it.\n";
+  return 0;
+}

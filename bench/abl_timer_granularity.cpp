@@ -1,0 +1,38 @@
+// Ablation A3 — TCP clock granularity (paper Section 4.2.1 discussion).
+// Coarse timers (300-500 ms, as in era BSD stacks) hide the redundant-
+// retransmission problem during local recovery; the finer 100 ms timer
+// the paper adopts (following the ECN trend [23]) exposes it — and EBSN
+// removes the sensitivity entirely ("the effect of clock granularity on
+// performance is now greatly reduced").
+#include "bench_util.hpp"
+
+int main() {
+  using namespace wtcp;
+  namespace wb = wtcp::bench;
+
+  wb::banner("Ablation: TCP timer granularity x recovery scheme (wide-area)",
+             "100 KB transfer, good 10 s / bad 4 s; mean over " +
+                 std::to_string(wb::kSeeds) + " seeds");
+
+  stats::TextTable table({"granularity_ms", "scheme", "throughput kbps",
+                          "timeouts", "rtx KB"});
+
+  for (int gran_ms : {50, 100, 300, 500}) {
+    for (const std::string scheme : {"local", "ebsn"}) {
+      topo::ScenarioConfig cfg = wb::with_scheme(topo::wan_scenario(), scheme);
+      cfg.channel.mean_bad_s = 4;
+      cfg.tcp.rto.granularity = sim::Time::milliseconds(gran_ms);
+      cfg.tcp.rto.min_rto = sim::Time::milliseconds(2 * gran_ms);
+      const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds);
+      table.add_row({std::to_string(gran_ms),
+                     scheme == "local" ? "local recovery" : "EBSN",
+                     stats::fmt_double(s.throughput_bps.mean() / 1000.0, 2),
+                     stats::fmt_double(s.timeouts.mean(), 2),
+                     stats::fmt_double(s.retransmitted_kbytes.mean(), 1)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nexpectation: local-recovery timeouts grow as the timer gets\n"
+               "finer; EBSN stays at ~zero timeouts at every granularity.\n";
+  return 0;
+}

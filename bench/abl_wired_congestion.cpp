@@ -1,0 +1,63 @@
+// Ablation A9 — wired congestion x EBSN (the paper's follow-up study
+// [18]: "We are separately studying the impact of congestion in the wired
+// network on the effectiveness of EBSN").
+//
+// Background on/off traffic shares the 56 kbps wired link (10-packet
+// router queue) with the connection under test.  Two questions:
+//   1. Do EBSN's gains survive a congested wired segment?
+//   2. Does EBSN harm congestion control?  (It re-arms the timer during
+//      wireless fades, which could delay a NEEDED congestion timeout if
+//      both impairments coincide.)
+#include "bench_util.hpp"
+
+int main() {
+  using namespace wtcp;
+  namespace wb = wtcp::bench;
+
+  wb::banner("Ablation: wired congestion x recovery scheme (wide-area)",
+             "100 KB transfer, burst errors good 10 s / bad 4 s, background\n"
+             "on/off traffic on the 56 kbps wired link (queue 10 pkts); mean "
+             "over " + std::to_string(wb::kSeeds) + " seeds");
+
+  stats::TextTable table({"bg load", "scheme", "throughput kbps", "goodput",
+                          "timeouts", "wired drops"});
+
+  for (double load : {0.0, 0.3, 0.6, 0.8}) {
+    for (const std::string scheme : {"basic", "local", "ebsn"}) {
+      topo::ScenarioConfig cfg = wb::with_scheme(topo::wan_scenario(), scheme);
+      cfg.channel.mean_bad_s = 4;
+      cfg.wired.queue_packets = 10;
+      if (load > 0) {
+        cfg.cross_traffic = true;
+        cfg.cross.rate_bps = static_cast<std::int64_t>(2 * 56'000 * load);
+        cfg.cross.mean_on_s = 1.0;   // bursty: ~half on, at 2x the average
+        cfg.cross.mean_off_s = 1.0;
+      }
+
+      core::MetricsSummary s;
+      double drops = 0;
+      for (int seed = 1; seed <= wb::kSeeds; ++seed) {
+        cfg.seed = static_cast<std::uint64_t>(seed);
+        topo::Scenario sc(cfg);
+        const stats::RunMetrics m = sc.run();
+        s.add(m);
+        drops += static_cast<double>(sc.wired_link().queue_stats(0).dropped);
+      }
+      table.add_row({stats::fmt_double(load, 1) + "x",
+                     scheme == "basic"   ? "basic"
+                     : scheme == "local" ? "local recovery"
+                                         : "EBSN",
+                     stats::fmt_double(s.throughput_bps.mean() / 1000.0, 2),
+                     stats::fmt_double(s.goodput.mean(), 3),
+                     stats::fmt_double(s.timeouts.mean(), 1),
+                     stats::fmt_double(drops / wb::kSeeds, 1)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nexpectation: EBSN's advantage persists while the wired\n"
+               "bottleneck still exceeds the 12.8 kbps wireless rate; under\n"
+               "heavy load, congestion losses dominate every scheme and the\n"
+               "schemes converge (EBSN does not defeat congestion control --\n"
+               "dupacks and post-fade timeouts still fire).\n";
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 3 — Basic TCP packet trace on the deterministic burst-error
+// channel.  Every bad period kills the in-flight window; the source times
+// out, collapses its window, and retransmits (the 'X' bursts after each
+// fade in the strip chart).
+#include "bench_util.hpp"
+
+int main() {
+  return wtcp::bench::run_trace_bench(
+      "basic", "Figure 3: Basic TCP (packet trace)",
+      "timeouts + retransmission bursts after every bad period");
+}

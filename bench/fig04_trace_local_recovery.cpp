@@ -1,0 +1,11 @@
+// Figure 4 — Local recovery (base-station link-level ARQ) packet trace.
+// The ARQ shields most fades (no source retransmissions needed), but the
+// source can still time out while the base station is busy recovering —
+// the paper's "redundant retransmission" problem that motivates EBSN.
+#include "bench_util.hpp"
+
+int main() {
+  return wtcp::bench::run_trace_bench(
+      "local", "Figure 4: Local recovery (packet trace)",
+      "far fewer retransmissions than Fig. 3, but source timeouts remain");
+}

@@ -1,0 +1,11 @@
+// Figure 5 — Explicit Bad State Notification (EBSN) packet trace.  The
+// base station notifies the source on every failed local-recovery
+// attempt; the source re-arms its retransmission timer and never times
+// out: zero source retransmissions, goodput 1.0.
+#include "bench_util.hpp"
+
+int main() {
+  return wtcp::bench::run_trace_bench(
+      "ebsn", "Figure 5: Local recovery + EBSN (packet trace)",
+      "no timeouts, no source retransmissions, goodput 1.0");
+}

@@ -1,0 +1,36 @@
+// Figure 11 — Local-area wireless: data retransmitted by the source vs
+// mean bad-period length for a 4 MB transfer.  Basic TCP loses its whole
+// in-flight window to every fade (~100+ KB of retransmissions); EBSN with
+// local recovery retransmits almost nothing (goodput ~ 100%).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace wtcp;
+  namespace wb = wtcp::bench;
+
+  wb::banner("Figure 11: Basic TCP vs EBSN (local-area) - data retransmitted",
+             "4 MB transfer, 2 Mbps wireless, good period 4 s; mean over " +
+                 std::to_string(wb::kLanSeeds) + " seeds");
+
+  stats::TextTable table({"bad_period_s", "basic KB", "EBSN KB",
+                          "basic goodput", "EBSN goodput"});
+
+  for (double bad : {0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6}) {
+    topo::ScenarioConfig basic = topo::lan_scenario();
+    basic.channel.mean_bad_s = bad;
+    const topo::ScenarioConfig ebsn = wb::with_scheme(basic, "ebsn");
+
+    const core::MetricsSummary mb = core::run_seeds(basic, wb::kLanSeeds);
+    const core::MetricsSummary me = core::run_seeds(ebsn, wb::kLanSeeds);
+    table.add_row({stats::fmt_double(bad, 1),
+                   stats::fmt_double(mb.retransmitted_kbytes.mean(), 1),
+                   stats::fmt_double(me.retransmitted_kbytes.mean(), 1),
+                   stats::fmt_double(mb.goodput.mean(), 3),
+                   stats::fmt_double(me.goodput.mean(), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper expectation: basic TCP retransmits a large, roughly "
+               "flat-to-growing volume (~100-200 KB);\nEBSN stays near zero "
+               "with goodput ~ 1.0.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Engine microbenchmarks (google-benchmark): scheduler throughput,
+// Gilbert-Elliott sampling cost, and a full end-to-end scenario run.
+// These guard the simulator's performance envelope — the figure benches
+// run hundreds of simulations per data point.
+#include <benchmark/benchmark.h>
+
+#include "src/core/api.hpp"
+
+namespace {
+
+using namespace wtcp;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    long long sum = 0;
+    for (int i = 0; i < n; ++i) {
+      sched.schedule_at(sim::Time::nanoseconds((i * 7919) % 1'000'000),
+                        [&sum, i] { sum += i; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1'000)->Arg(100'000);
+
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::vector<sim::EventId> ids;
+    ids.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(sched.schedule_at(sim::Time::nanoseconds(i), [] {}));
+    }
+    for (int i = 0; i < n; i += 2) sched.cancel(ids[static_cast<std::size_t>(i)]);
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerCancelHeavy)->Arg(100'000);
+
+void BM_RngExponential(benchmark::State& state) {
+  sim::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.exponential(4.0));
+  }
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_GilbertElliottQuery(benchmark::State& state) {
+  phy::GilbertElliottConfig cfg;
+  cfg.mean_bad_s = 1;
+  phy::GilbertElliottModel model(cfg, sim::Rng(1));
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const sim::Time start = sim::Time::milliseconds(80) * i++;
+    benchmark::DoNotOptimize(
+        model.corrupts(start, start + sim::Time::milliseconds(80), 1536));
+  }
+}
+BENCHMARK(BM_GilbertElliottQuery);
+
+void BM_WanScenarioEndToEnd(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    topo::ScenarioConfig cfg = topo::wan_scenario();
+    cfg.tcp.file_bytes = 50 * 1024;
+    cfg.channel.mean_bad_s = 4;
+    cfg.local_recovery = true;
+    cfg.feedback = topo::FeedbackMode::kEbsn;
+    cfg.seed = seed++;
+    topo::Scenario s(cfg);
+    benchmark::DoNotOptimize(s.run());
+  }
+}
+BENCHMARK(BM_WanScenarioEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_LanScenarioEndToEnd(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    topo::ScenarioConfig cfg = topo::lan_scenario();
+    cfg.channel.mean_bad_s = 0.8;
+    cfg.local_recovery = true;
+    cfg.feedback = topo::FeedbackMode::kEbsn;
+    cfg.seed = seed++;
+    topo::Scenario s(cfg);
+    benchmark::DoNotOptimize(s.run());
+  }
+}
+BENCHMARK(BM_LanScenarioEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Handoff demo: a mobile host re-registers with a new base station every
+// ~15 s (500 ms blackout) while downloading over a clean wireless link,
+// then over a fading one.  Compares the recovery strategies from the
+// literature the paper builds on:
+//   * plain TCP-Tahoe (times out across each handoff),
+//   * Caceres & Iftode [4]: forced duplicate ACKs on resumption,
+//   * base-station local recovery + EBSN (this paper's machinery).
+//
+//   $ ./handoff_demo
+#include <iostream>
+
+#include "src/core/api.hpp"
+
+int main() {
+  using namespace wtcp;
+
+  topo::ScenarioConfig base = topo::wan_scenario();
+  base.handoff.enabled = true;
+  base.handoff.mean_interval = sim::Time::seconds(15);
+  base.handoff.latency = sim::Time::milliseconds(500);
+
+  stats::TextTable table({"channel", "strategy", "throughput kbps", "timeouts",
+                          "delay p95 s", "handoffs"});
+
+  auto run_case = [&](const char* channel, bool fading, const char* name,
+                      bool fast_rtx, bool ebsn) {
+    stats::Summary tput, timeouts, p95, handoffs;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      topo::ScenarioConfig cfg = base;
+      cfg.channel_errors = fading;
+      cfg.channel.mean_bad_s = 2;
+      cfg.handoff.fast_retransmit_on_resume = fast_rtx;
+      if (ebsn) {
+        cfg.local_recovery = true;
+        cfg.feedback = topo::FeedbackMode::kEbsn;
+      }
+      cfg.seed = seed;
+      const stats::RunMetrics m = topo::run_scenario(cfg);
+      tput.add(m.throughput_bps);
+      timeouts.add(static_cast<double>(m.timeouts));
+      p95.add(m.delay_p95_s);
+      handoffs.add(static_cast<double>(m.handoffs));
+    }
+    table.add_row({channel, name, stats::fmt_double(tput.mean() / 1000.0, 2),
+                   stats::fmt_double(timeouts.mean(), 1),
+                   stats::fmt_double(p95.mean(), 2),
+                   stats::fmt_double(handoffs.mean(), 1)});
+  };
+
+  for (bool fading : {false, true}) {
+    const char* ch = fading ? "fading" : "clean";
+    run_case(ch, fading, "plain Tahoe", false, false);
+    run_case(ch, fading, "fast-rtx on resume [4]", true, false);
+    run_case(ch, fading, "local recovery + EBSN", false, true);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nhandoffs cost plain TCP a timeout each; forced dupacks [4]\n"
+               "recover in one RTT; EBSN + ARQ make handoffs invisible to\n"
+               "the transport (the base station replays the blackout).\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Local-area wireless demo (paper Section 4.2.4): 10 Mbps wired link,
+// 2 Mbps wireless LAN, 64 KB window, 4 MB transfer.  Small LAN round-trip
+// times make the TCP source especially prone to timeouts during local
+// recovery — the ideal habitat for EBSN.  Sweeps the bad-period length
+// and prints basic-vs-EBSN throughput against the theoretical maximum.
+//
+//   $ ./lan_ebsn_demo
+#include <iostream>
+
+#include "src/core/api.hpp"
+
+int main() {
+  using namespace wtcp;
+
+  topo::ScenarioConfig base = topo::lan_scenario();
+
+  stats::TextTable table({"bad period s", "basic Mbps", "EBSN Mbps",
+                          "theory Mbps", "basic timeouts", "EBSN timeouts"});
+
+  for (double bad : {0.4, 0.8, 1.2, 1.6}) {
+    topo::ScenarioConfig basic = base;
+    basic.channel.mean_bad_s = bad;
+
+    topo::ScenarioConfig ebsn = basic;
+    ebsn.local_recovery = true;
+    ebsn.feedback = topo::FeedbackMode::kEbsn;
+
+    const core::MetricsSummary mb = core::run_seeds(basic, 3);
+    const core::MetricsSummary me = core::run_seeds(ebsn, 3);
+    const double th =
+        core::theoretical_max_throughput_bps(basic.wireless, basic.channel);
+
+    table.add_row({stats::fmt_double(bad, 1),
+                   stats::fmt_double(mb.throughput_bps.mean() / 1e6, 3),
+                   stats::fmt_double(me.throughput_bps.mean() / 1e6, 3),
+                   stats::fmt_double(th / 1e6, 3),
+                   stats::fmt_double(mb.timeouts.mean(), 1),
+                   stats::fmt_double(me.timeouts.mean(), 1)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nEBSN tracks the theoretical bound; basic TCP falls away as\n"
+               "bad periods lengthen (paper Figure 10).\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Multi-user demo: four mobile hosts share one base-station radio, each
+// with an independently fading channel.  Shows how the base station's
+// scheduling policy changes aggregate throughput and fairness, and how
+// per-connection EBSN stacks on top.
+//
+//   $ ./multi_user_scheduling [users] [file_kb]
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/api.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wtcp;
+
+  topo::MultiUserConfig base = topo::multi_user_lan_scenario();
+  if (argc > 1) base.users = static_cast<std::size_t>(std::atoi(argv[1]));
+  if (argc > 2) base.tcp.file_bytes = std::atol(argv[2]) * 1024;
+
+  std::cout << base.users << " users, " << base.tcp.file_bytes / 1024
+            << " KB each, shared 2 Mbps radio, per-user fades (good "
+            << base.channel.mean_good_s << " s / bad " << base.channel.mean_bad_s
+            << " s)\n\n";
+
+  stats::TextTable table(
+      {"policy", "EBSN", "aggregate kbps", "fairness", "slowest user kbps"});
+
+  auto run_case = [&](link::SchedPolicy policy, bool ebsn) {
+    stats::Summary agg, fair, slowest;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      topo::MultiUserConfig cfg = base;
+      cfg.sched.policy = policy;
+      if (ebsn) cfg.feedback = topo::FeedbackMode::kEbsn;
+      cfg.seed = seed;
+      topo::MultiUserLanScenario s(cfg);
+      const topo::MultiUserMetrics m = s.run();
+      agg.add(m.aggregate_throughput_bps);
+      fair.add(m.fairness);
+      double slow = m.per_user.front().throughput_bps;
+      for (const auto& u : m.per_user) slow = std::min(slow, u.throughput_bps);
+      slowest.add(slow);
+    }
+    table.add_row({to_string(policy), ebsn ? "yes" : "no",
+                   stats::fmt_double(agg.mean() / 1000.0, 0),
+                   stats::fmt_double(fair.mean(), 3),
+                   stats::fmt_double(slowest.mean() / 1000.0, 0)});
+  };
+
+  run_case(link::SchedPolicy::kFifo, false);
+  run_case(link::SchedPolicy::kRoundRobin, false);
+  run_case(link::SchedPolicy::kCsdRoundRobin, false);
+  run_case(link::SchedPolicy::kCsdRoundRobin, true);
+
+  table.print(std::cout);
+  std::cout << "\nchannel-state-dependent service avoids burning shared\n"
+               "airtime on faded users; EBSN then keeps each connection's\n"
+               "TCP timer calm during its own fades.\n";
+  return 0;
+}

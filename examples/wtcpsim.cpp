@@ -1,0 +1,262 @@
+// wtcpsim — command-line scenario driver (the role ns-1's Tcl front end
+// played for the paper's authors).  Every knob the paper varies is a
+// flag; output is a human-readable summary or a single TSV row for
+// scripting sweeps.
+//
+//   $ ./wtcpsim --setup wan --scheme ebsn --bad 4 --packet-size 1536
+//   $ ./wtcpsim --setup lan --scheme basic --bad 0.8 --seeds 10 --tsv
+//   $ ./wtcpsim --scheme ebsn --handoff-interval 15 --trace
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/core/api.hpp"
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::cout << R"(usage: wtcpsim [options]
+
+topology
+  --setup wan|lan          paper Section 3 WAN (default) or Section 4.2.4 LAN
+  --half-duplex            both wireless directions share one channel
+  --uplink                 bulk data MH -> FH (default: FH -> MH)
+  --hops N                 wired hops between FH and BS (default 1)
+  --handshake              model SYN/FIN connection setup and teardown
+
+scheme
+  --scheme S               basic|local|ebsn|quench|snoop   (default basic)
+  --flavor F               tahoe|reno|newreno              (default tahoe)
+  --sack                   RFC 2018 selective acknowledgments
+
+workload / TCP
+  --file-kb N              transfer size in KB
+  --packet-size N          wired packet size incl. 40 B header
+  --window N               receiver window in bytes
+  --granularity-ms N       TCP clock granularity (default 100)
+  --delayed-ack            receiver coalesces ACKs (RFC 1122)
+
+channel
+  --good S --bad S         mean good/bad period lengths, seconds
+  --ber-good X --ber-bad X bit error rates per state
+  --deterministic          fixed-cycle channel (Figures 3-5 style)
+  --fade-trace FILE        replay a recorded fade trace (begin end per line)
+  --no-errors              disable channel errors entirely
+
+local recovery
+  --rtmax N                ARQ retransmission limit (default 13)
+  --arq-window N           ARQ frames concurrently outstanding (default 8)
+
+handoffs
+  --handoff-interval S     enable handoffs, mean interval S seconds
+  --handoff-latency MS     blackout per handoff (default 500 ms)
+  --handoff-fast-rtx       MH forces dupacks on resumption ([4])
+
+run control
+  --seeds N                average over N seeds (default 5)
+  --seed N                 base seed (default 1)
+  --trace                  print the (time, seq mod 90) send plot (1 seed)
+  --tsv                    one machine-readable output row
+  --help
+)";
+  std::exit(code);
+}
+
+double arg_double(int argc, char** argv, int& i) {
+  if (++i >= argc) usage(2);
+  return std::atof(argv[i]);
+}
+
+long arg_long(int argc, char** argv, int& i) {
+  if (++i >= argc) usage(2);
+  return std::atol(argv[i]);
+}
+
+std::string arg_str(int argc, char** argv, int& i) {
+  if (++i >= argc) usage(2);
+  return argv[i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wtcp;
+
+  std::string setup = "wan";
+  std::string scheme = "basic";
+  std::string flavor = "tahoe";
+  int seeds = 5;
+  std::uint64_t base_seed = 1;
+  bool trace = false, tsv = false;
+
+  // Two-pass parse: --setup decides the config template first.
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--setup")) setup = arg_str(argc, argv, i);
+    if (!std::strcmp(argv[i], "--help")) usage(0);
+  }
+  topo::ScenarioConfig cfg =
+      setup == "lan" ? topo::lan_scenario() : topo::wan_scenario();
+  if (setup != "lan" && setup != "wan") usage(2);
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--setup") {
+      ++i;  // already handled
+    } else if (a == "--scheme") {
+      scheme = arg_str(argc, argv, i);
+    } else if (a == "--flavor") {
+      flavor = arg_str(argc, argv, i);
+    } else if (a == "--file-kb") {
+      cfg.tcp.file_bytes = arg_long(argc, argv, i) * 1024;
+    } else if (a == "--packet-size") {
+      cfg.set_packet_size(static_cast<std::int32_t>(arg_long(argc, argv, i)));
+    } else if (a == "--window") {
+      cfg.tcp.window_bytes = arg_long(argc, argv, i);
+    } else if (a == "--granularity-ms") {
+      cfg.tcp.rto.granularity = sim::Time::milliseconds(arg_long(argc, argv, i));
+      cfg.tcp.rto.min_rto = cfg.tcp.rto.granularity * 2;
+    } else if (a == "--delayed-ack") {
+      cfg.tcp.delayed_ack = true;
+    } else if (a == "--good") {
+      cfg.channel.mean_good_s = arg_double(argc, argv, i);
+    } else if (a == "--bad") {
+      cfg.channel.mean_bad_s = arg_double(argc, argv, i);
+    } else if (a == "--ber-good") {
+      cfg.channel.ber_good = arg_double(argc, argv, i);
+    } else if (a == "--ber-bad") {
+      cfg.channel.ber_bad = arg_double(argc, argv, i);
+    } else if (a == "--deterministic") {
+      cfg.deterministic_channel = true;
+    } else if (a == "--fade-trace") {
+      cfg.fade_trace_file = arg_str(argc, argv, i);
+    } else if (a == "--no-errors") {
+      cfg.channel_errors = false;
+    } else if (a == "--half-duplex") {
+      cfg.wireless.half_duplex = true;
+    } else if (a == "--uplink") {
+      cfg.direction = topo::TransferDirection::kUplink;
+    } else if (a == "--handshake") {
+      cfg.tcp.connect_handshake = true;
+    } else if (a == "--sack") {
+      cfg.tcp.sack_enabled = true;
+    } else if (a == "--hops") {
+      cfg.wired_hops = static_cast<std::int32_t>(arg_long(argc, argv, i));
+    } else if (a == "--rtmax") {
+      cfg.arq.rt_max = static_cast<std::int32_t>(arg_long(argc, argv, i));
+    } else if (a == "--arq-window") {
+      cfg.arq.window = static_cast<std::int32_t>(arg_long(argc, argv, i));
+    } else if (a == "--handoff-interval") {
+      cfg.handoff.enabled = true;
+      cfg.handoff.mean_interval = sim::Time::from_seconds(arg_double(argc, argv, i));
+    } else if (a == "--handoff-latency") {
+      cfg.handoff.latency = sim::Time::milliseconds(arg_long(argc, argv, i));
+    } else if (a == "--handoff-fast-rtx") {
+      cfg.handoff.fast_retransmit_on_resume = true;
+    } else if (a == "--seeds") {
+      seeds = static_cast<int>(arg_long(argc, argv, i));
+    } else if (a == "--seed") {
+      base_seed = static_cast<std::uint64_t>(arg_long(argc, argv, i));
+    } else if (a == "--trace") {
+      trace = true;
+    } else if (a == "--tsv") {
+      tsv = true;
+    } else if (a == "--help") {
+      usage(0);
+    } else {
+      std::cerr << "unknown flag: " << a << "\n";
+      usage(2);
+    }
+  }
+
+  if (flavor == "reno") {
+    cfg.tcp.flavor = tcp::TcpFlavor::kReno;
+  } else if (flavor == "newreno") {
+    cfg.tcp.flavor = tcp::TcpFlavor::kNewReno;
+  } else if (flavor != "tahoe") {
+    usage(2);
+  }
+  if (scheme == "snoop") {
+    cfg.snoop = true;
+  } else if (scheme == "local" || scheme == "ebsn" || scheme == "quench") {
+    cfg.local_recovery = true;
+    if (scheme == "ebsn") cfg.feedback = topo::FeedbackMode::kEbsn;
+    if (scheme == "quench") cfg.feedback = topo::FeedbackMode::kSourceQuench;
+  } else if (scheme != "basic") {
+    usage(2);
+  }
+
+  const double theory = cfg.channel_errors
+                            ? core::theoretical_max_throughput_bps(cfg.wireless,
+                                                                   cfg.channel)
+                            : core::effective_bandwidth_bps(cfg.wireless);
+
+  if (trace) {
+    cfg.seed = base_seed;
+    stats::ConnectionTrace tr;
+    topo::Scenario s(cfg);
+    s.set_sender_trace(&tr);
+    const stats::RunMetrics m = s.run();
+    std::cout << m << "\n\n# time_s\tseq_mod90\trtx\n";
+    tr.write_send_plot(std::cout);
+    return m.completed ? 0 : 1;
+  }
+
+  const core::MetricsSummary s = core::run_seeds(cfg, seeds, base_seed);
+
+  if (tsv) {
+    std::printf(
+        "setup\tscheme\tflavor\tpacket\tbad_s\tseeds\tthroughput_bps\t"
+        "throughput_cv\tgoodput\ttimeouts\trtx_kb\tebsn\ttheory_bps\n");
+    std::printf("%s\t%s\t%s\t%d\t%.2f\t%d\t%.1f\t%.4f\t%.5f\t%.2f\t%.2f\t%.1f\t%.1f\n",
+                setup.c_str(), scheme.c_str(), flavor.c_str(), cfg.packet_size(),
+                cfg.channel.mean_bad_s, seeds, s.throughput_bps.mean(),
+                s.throughput_bps.cv(), s.goodput.mean(), s.timeouts.mean(),
+                s.retransmitted_kbytes.mean(), s.ebsn_received.mean(), theory);
+    return 0;
+  }
+
+  std::printf("setup:      %s, scheme %s, TCP %s\n", setup.c_str(), scheme.c_str(),
+              flavor.c_str());
+  std::printf("workload:   %lld KB transfer, %d B packets, %lld B window\n",
+              static_cast<long long>(cfg.tcp.file_bytes / 1024), cfg.packet_size(),
+              static_cast<long long>(cfg.tcp.window_bytes));
+  if (cfg.channel_errors) {
+    std::printf("channel:    good %.1f s / bad %.1f s (BER %.0e / %.0e)%s\n",
+                cfg.channel.mean_good_s, cfg.channel.mean_bad_s,
+                cfg.channel.ber_good, cfg.channel.ber_bad,
+                cfg.deterministic_channel ? ", deterministic" : "");
+  } else {
+    std::printf("channel:    error-free\n");
+  }
+  if (cfg.handoff.enabled) {
+    std::printf("handoffs:   every ~%.1f s, %.0f ms blackout%s\n",
+                cfg.handoff.mean_interval.to_seconds(),
+                cfg.handoff.latency.to_milliseconds(),
+                cfg.handoff.fast_retransmit_on_resume ? ", fast-rtx on resume" : "");
+  }
+  std::printf("\nover %d seeds:\n", seeds);
+  std::printf("  throughput  %10.2f kbps  (cv %.2f; theory bound %.2f kbps)\n",
+              s.throughput_bps.mean() / 1000.0, s.throughput_bps.cv(),
+              theory / 1000.0);
+  std::printf("  goodput     %10.3f\n", s.goodput.mean());
+  std::printf("  duration    %10.2f s\n", s.duration_s.mean());
+  std::printf("  timeouts    %10.2f per run\n", s.timeouts.mean());
+  std::printf("  rtx data    %10.2f KB per run\n", s.retransmitted_kbytes.mean());
+  std::printf("  EBSNs       %10.1f per run\n", s.ebsn_received.mean());
+  {
+    // Delay distribution from one representative run.
+    topo::ScenarioConfig one = cfg;
+    one.seed = base_seed;
+    topo::Scenario sc(one);
+    const stats::RunMetrics m1 = sc.run();
+    std::printf("  delay       p50 %.3f s, p95 %.3f s, max %.3f s (seed %llu)\n",
+                m1.delay_p50_s, m1.delay_p95_s, m1.delay_max_s,
+                static_cast<unsigned long long>(base_seed));
+  }
+  std::printf("  completed   %llu/%llu runs\n",
+              static_cast<unsigned long long>(s.runs_completed),
+              static_cast<unsigned long long>(s.runs_total));
+  return s.runs_completed == s.runs_total ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// Umbrella header: the public API of wtcp.
+//
+//   #include "src/core/api.hpp"
+//
+//   wtcp::topo::ScenarioConfig cfg = wtcp::topo::wan_scenario();
+//   cfg.local_recovery = true;
+//   cfg.feedback = wtcp::topo::FeedbackMode::kEbsn;
+//   wtcp::stats::RunMetrics m = wtcp::topo::run_scenario(cfg);
+//
+// See examples/quickstart.cpp for a guided tour.
+#pragma once
+
+#include "src/core/ebsn.hpp"
+#include "src/core/experiment.hpp"
+#include "src/core/packet_size_advisor.hpp"
+#include "src/core/theoretical.hpp"
+#include "src/feedback/snoop_agent.hpp"
+#include "src/feedback/source_quench.hpp"
+#include "src/link/bs_scheduler.hpp"
+#include "src/link/fragmentation.hpp"
+#include "src/link/link_arq.hpp"
+#include "src/link/wireless_link.hpp"
+#include "src/mobility/handoff.hpp"
+#include "src/net/link.hpp"
+#include "src/net/medium.hpp"
+#include "src/net/node.hpp"
+#include "src/net/packet.hpp"
+#include "src/net/queue.hpp"
+#include "src/phy/error_model.hpp"
+#include "src/phy/gilbert_elliott.hpp"
+#include "src/phy/trace_driven.hpp"
+#include "src/sim/logging.hpp"
+#include "src/sim/random.hpp"
+#include "src/sim/scheduler.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/sim/time.hpp"
+#include "src/stats/metrics.hpp"
+#include "src/stats/net_trace.hpp"
+#include "src/stats/quantiles.hpp"
+#include "src/stats/summary.hpp"
+#include "src/stats/table.hpp"
+#include "src/stats/trace.hpp"
+#include "src/tcp/rto_estimator.hpp"
+#include "src/tcp/tahoe_sender.hpp"
+#include "src/tcp/tcp_sink.hpp"
+#include "src/topo/multi_scenario.hpp"
+#include "src/topo/scenario.hpp"
+#include "src/traffic/background.hpp"

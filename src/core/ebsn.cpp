@@ -1,0 +1,52 @@
+#include "src/core/ebsn.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "src/sim/logging.hpp"
+
+namespace wtcp::core {
+
+EbsnAgent::EbsnAgent(sim::Simulator& sim, EbsnConfig cfg, net::NodeId bs,
+                     net::NodeId source, tcp::PacketForwarder to_source)
+    : sim_(sim), cfg_(cfg), bs_(bs), source_(source), to_source_(std::move(to_source)) {
+  assert(to_source_);
+}
+
+void EbsnAgent::attach(link::ArqSender& arq) {
+  arq.on_attempt_failed = [this](const net::Packet& frame, std::int32_t) {
+    notify(frame);
+  };
+}
+
+void EbsnAgent::notify(const net::Packet& failed_frame) {
+  if (cfg_.data_only) {
+    const bool is_data =
+        failed_frame.encapsulated
+            ? failed_frame.encapsulated->type == net::PacketType::kTcpData
+            : failed_frame.type == net::PacketType::kTcpData;
+    if (!is_data) {
+      ++stats_.suppressed;
+      return;
+    }
+  }
+  if (!cfg_.min_interval.is_zero() && last_sent_ >= sim::Time::zero() &&
+      sim_.now() - last_sent_ < cfg_.min_interval) {
+    ++stats_.suppressed;
+    return;
+  }
+  last_sent_ = sim_.now();
+  ++stats_.notifications_sent;
+  WTCP_LOG(kDebug, sim_.now(), "ebsn", "notify source (failed frame: %s)",
+           failed_frame.describe().c_str());
+  net::Packet ebsn = net::make_control(net::PacketType::kEbsn, cfg_.message_bytes,
+                                       bs_, source_, sim_.now());
+  // Like real ICMP, the notification identifies the triggering packet's
+  // connection so a multi-connection fixed host can demux it.
+  if (failed_frame.encapsulated && failed_frame.encapsulated->tcp) {
+    ebsn.tcp = net::TcpHeader{.conn = failed_frame.encapsulated->tcp->conn};
+  }
+  to_source_(std::move(ebsn));
+}
+
+}  // namespace wtcp::core

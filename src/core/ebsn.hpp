@@ -1,0 +1,66 @@
+// Explicit Bad State Notification (EBSN) — the paper's contribution
+// (Section 4.2.3).
+//
+// While the wireless link is in a bad state, the base station's local
+// recovery keeps failing; after EVERY unsuccessful transmission attempt
+// the base station sends an EBSN (a new ICMP-like message) to the TCP
+// source.  The source reacts by re-arming its retransmission timer with
+// the current timeout value — see TahoeSender::on_ebsn().  This prevents
+// source timeouts (and the congestion-control collapse they trigger)
+// during local recovery, without maintaining any per-connection state at
+// the base station.
+#pragma once
+
+#include <cstdint>
+
+#include "src/link/link_arq.hpp"
+#include "src/net/packet.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/tcp/tahoe_sender.hpp"  // PacketForwarder
+
+namespace wtcp::core {
+
+struct EbsnConfig {
+  std::int64_t message_bytes = 40;  ///< EBSN is an ICMP-sized control packet
+  /// Optional rate limit between EBSNs (0 = the paper's behaviour: one per
+  /// failed attempt).  Exposed for the ablation bench.
+  sim::Time min_interval = sim::Time::zero();
+  /// Only notify for data-bearing fragments (TCP data headed to the mobile
+  /// host), not for link ACK/reverse traffic.
+  bool data_only = true;
+};
+
+struct EbsnAgentStats {
+  std::uint64_t notifications_sent = 0;
+  std::uint64_t suppressed = 0;  ///< dropped by the rate limiter / filter
+};
+
+/// Base-station side of EBSN.  Subscribes to the local-recovery ARQ
+/// sender's failure hook and emits EBSN messages toward the TCP source
+/// over the wired path.  Stateless per connection, as the paper stresses.
+class EbsnAgent {
+ public:
+  EbsnAgent(sim::Simulator& sim, EbsnConfig cfg, net::NodeId bs, net::NodeId source,
+            tcp::PacketForwarder to_source);
+
+  /// Hook into the ARQ sender that performs local recovery toward the
+  /// mobile host.  Overwrites the sender's on_attempt_failed slot.
+  void attach(link::ArqSender& arq);
+
+  /// Manual trigger (used by tests and by custom wiring).
+  void notify(const net::Packet& failed_frame);
+
+  const EbsnAgentStats& stats() const { return stats_; }
+  const EbsnConfig& config() const { return cfg_; }
+
+ private:
+  sim::Simulator& sim_;
+  EbsnConfig cfg_;
+  net::NodeId bs_;
+  net::NodeId source_;
+  tcp::PacketForwarder to_source_;
+  sim::Time last_sent_ = sim::Time::nanoseconds(-1);
+  EbsnAgentStats stats_;
+};
+
+}  // namespace wtcp::core

@@ -1,0 +1,35 @@
+#include "src/core/experiment.hpp"
+
+namespace wtcp::core {
+
+void MetricsSummary::add(const stats::RunMetrics& m) {
+  ++runs_total;
+  if (m.completed) ++runs_completed;
+  throughput_bps.add(m.throughput_bps);
+  goodput.add(m.goodput);
+  timeouts.add(static_cast<double>(m.timeouts));
+  retransmitted_kbytes.add(m.retransmitted_kbytes());
+  duration_s.add(m.duration.to_seconds());
+  ebsn_received.add(static_cast<double>(m.ebsn_received));
+  quench_received.add(static_cast<double>(m.quench_received));
+}
+
+MetricsSummary run_seeds(topo::ScenarioConfig cfg, int n_seeds,
+                         std::uint64_t base_seed) {
+  MetricsSummary summary;
+  for (int i = 0; i < n_seeds; ++i) {
+    cfg.seed = base_seed + static_cast<std::uint64_t>(i);
+    summary.add(topo::run_scenario(cfg));
+  }
+  return summary;
+}
+
+double measure_error_free_throughput_bps(topo::ScenarioConfig cfg) {
+  cfg.channel_errors = false;
+  cfg.local_recovery = false;
+  cfg.feedback = topo::FeedbackMode::kNone;
+  const stats::RunMetrics m = topo::run_scenario(cfg);
+  return m.throughput_bps;
+}
+
+}  // namespace wtcp::core

@@ -1,0 +1,38 @@
+// Experiment harness: multi-seed runs with summary statistics, matching
+// the paper's methodology ("the standard deviation for all results
+// presented is less than 4%").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/stats/metrics.hpp"
+#include "src/stats/summary.hpp"
+#include "src/topo/scenario.hpp"
+
+namespace wtcp::core {
+
+/// Aggregated results of one configuration run under several seeds.
+struct MetricsSummary {
+  stats::Summary throughput_bps;
+  stats::Summary goodput;
+  stats::Summary timeouts;
+  stats::Summary retransmitted_kbytes;
+  stats::Summary duration_s;
+  stats::Summary ebsn_received;
+  stats::Summary quench_received;
+  std::uint64_t runs_total = 0;
+  std::uint64_t runs_completed = 0;
+
+  void add(const stats::RunMetrics& m);
+};
+
+/// Run `cfg` under `n_seeds` different seeds (base_seed, base_seed+1, ...).
+MetricsSummary run_seeds(topo::ScenarioConfig cfg, int n_seeds,
+                         std::uint64_t base_seed = 1);
+
+/// Measured effective throughput of `cfg` with channel errors disabled —
+/// the empirical tput_max the theoretical bound scales from.
+double measure_error_free_throughput_bps(topo::ScenarioConfig cfg);
+
+}  // namespace wtcp::core

@@ -1,0 +1,67 @@
+#include "src/core/packet_size_advisor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/core/experiment.hpp"
+
+namespace wtcp::core {
+
+PacketSizeAdvisor PacketSizeAdvisor::build(const topo::ScenarioConfig& base,
+                                           const std::vector<std::int32_t>& sizes,
+                                           const std::vector<double>& bad_periods_s,
+                                           int seeds) {
+  assert(!sizes.empty() && !bad_periods_s.empty() && seeds > 0);
+  std::vector<PacketSizeEntry> table;
+  table.reserve(bad_periods_s.size());
+  for (double bad : bad_periods_s) {
+    PacketSizeEntry entry;
+    entry.mean_bad_s = bad;
+    entry.worst_throughput_bps = -1.0;
+    for (std::int32_t size : sizes) {
+      topo::ScenarioConfig cfg = base;
+      cfg.channel.mean_bad_s = bad;
+      cfg.set_packet_size(size);
+      const MetricsSummary s = run_seeds(cfg, seeds);
+      const double tput = s.throughput_bps.mean();
+      if (tput > entry.throughput_bps) {
+        entry.throughput_bps = tput;
+        entry.packet_size = size;
+      }
+      if (entry.worst_throughput_bps < 0 || tput < entry.worst_throughput_bps) {
+        entry.worst_throughput_bps = tput;
+      }
+    }
+    table.push_back(entry);
+  }
+  return PacketSizeAdvisor(std::move(table));
+}
+
+PacketSizeAdvisor::PacketSizeAdvisor(std::vector<PacketSizeEntry> table)
+    : table_(std::move(table)) {
+  assert(!table_.empty());
+  std::sort(table_.begin(), table_.end(),
+            [](const PacketSizeEntry& a, const PacketSizeEntry& b) {
+              return a.mean_bad_s < b.mean_bad_s;
+            });
+}
+
+const PacketSizeEntry& PacketSizeAdvisor::entry_for(double mean_bad_s) const {
+  const PacketSizeEntry* best = &table_.front();
+  double best_dist = std::abs(best->mean_bad_s - mean_bad_s);
+  for (const PacketSizeEntry& e : table_) {
+    const double d = std::abs(e.mean_bad_s - mean_bad_s);
+    if (d < best_dist) {
+      best = &e;
+      best_dist = d;
+    }
+  }
+  return *best;
+}
+
+std::int32_t PacketSizeAdvisor::recommend(double mean_bad_s) const {
+  return entry_for(mean_bad_s).packet_size;
+}
+
+}  // namespace wtcp::core

@@ -1,0 +1,49 @@
+// Packet-size variation (paper Section 4.1).
+//
+// The optimal wired packet size depends on the wireless error conditions;
+// the paper proposes "maintaining a fixed table at each base station which
+// maps a particular wireless link error characteristic to the good packet
+// size for that error characteristic".  PacketSizeAdvisor builds exactly
+// that table by sweeping candidate sizes against bad-period lengths, and
+// answers recommendations by nearest error characteristic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topo/scenario.hpp"
+
+namespace wtcp::core {
+
+struct PacketSizeEntry {
+  double mean_bad_s = 0.0;         ///< error characteristic (bad-period mean)
+  std::int32_t packet_size = 0;    ///< best total packet size found
+  double throughput_bps = 0.0;     ///< throughput at the best size
+  double worst_throughput_bps = 0.0;  ///< worst candidate (for the win ratio)
+};
+
+class PacketSizeAdvisor {
+ public:
+  /// Sweep `sizes` x `bad_periods` on top of `base` (each point averaged
+  /// over `seeds` runs) and record the best size per bad period.
+  static PacketSizeAdvisor build(const topo::ScenarioConfig& base,
+                                 const std::vector<std::int32_t>& sizes,
+                                 const std::vector<double>& bad_periods_s,
+                                 int seeds = 3);
+
+  /// Construct from a precomputed table (deployments would ship this).
+  explicit PacketSizeAdvisor(std::vector<PacketSizeEntry> table);
+
+  /// Best packet size for the nearest known error characteristic.
+  std::int32_t recommend(double mean_bad_s) const;
+
+  /// The entry backing a recommendation (nearest characteristic).
+  const PacketSizeEntry& entry_for(double mean_bad_s) const;
+
+  const std::vector<PacketSizeEntry>& table() const { return table_; }
+
+ private:
+  std::vector<PacketSizeEntry> table_;  ///< sorted by mean_bad_s
+};
+
+}  // namespace wtcp::core

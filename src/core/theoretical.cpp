@@ -1,0 +1,21 @@
+#include "src/core/theoretical.hpp"
+
+namespace wtcp::core {
+
+double effective_bandwidth_bps(const net::LinkConfig& link) {
+  return static_cast<double>(link.bandwidth_bps) *
+         static_cast<double>(link.overhead_den) /
+         static_cast<double>(link.overhead_num);
+}
+
+double theoretical_max_throughput_bps(const phy::GilbertElliottConfig& channel,
+                                      double tput_max_bps) {
+  return channel.good_fraction() * tput_max_bps;
+}
+
+double theoretical_max_throughput_bps(const net::LinkConfig& wireless,
+                                      const phy::GilbertElliottConfig& channel) {
+  return theoretical_max_throughput_bps(channel, effective_bandwidth_bps(wireless));
+}
+
+}  // namespace wtcp::core

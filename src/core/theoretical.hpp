@@ -1,0 +1,28 @@
+// Theoretical throughput bounds from the paper's Section 5:
+//
+//   tput_max : effective wireless throughput with no errors — the raw link
+//              rate divided by the framing/FEC overhead (19.2 kbps * 2/3 =
+//              12.8 kbps wide-area; 2 Mbps local-area).
+//   tput_th  : the maximum in the presence of burst errors,
+//              tput_th = lambda_bg / (lambda_bg + lambda_gb) * tput_max
+//                      = mean_good / (mean_good + mean_bad) * tput_max,
+//              i.e. the good-state time fraction times tput_max.
+#pragma once
+
+#include "src/net/link.hpp"
+#include "src/phy/gilbert_elliott.hpp"
+
+namespace wtcp::core {
+
+/// Effective (post-overhead) throughput of a link in bits/second.
+double effective_bandwidth_bps(const net::LinkConfig& link);
+
+/// tput_th for a given channel and effective error-free throughput.
+double theoretical_max_throughput_bps(const phy::GilbertElliottConfig& channel,
+                                      double tput_max_bps);
+
+/// Convenience: tput_th straight from link + channel configs.
+double theoretical_max_throughput_bps(const net::LinkConfig& wireless,
+                                      const phy::GilbertElliottConfig& channel);
+
+}  // namespace wtcp::core

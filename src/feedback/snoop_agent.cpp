@@ -1,0 +1,102 @@
+#include "src/feedback/snoop_agent.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/sim/logging.hpp"
+
+namespace wtcp::feedback {
+
+SnoopAgent::SnoopAgent(sim::Simulator& sim, SnoopConfig cfg, std::string name)
+    : sim_(sim), cfg_(cfg), name_(std::move(name)) {}
+
+void SnoopAgent::on_data_from_wired(const net::Packet& pkt) {
+  assert(pkt.type == net::PacketType::kTcpData && pkt.tcp.has_value());
+  const std::int64_t seq = pkt.tcp->seq;
+  if (seq < last_ack_) return;  // already acknowledged end-to-end
+
+  if (cache_.size() >= cfg_.cache_packets && !cache_.contains(seq)) {
+    // Evict the highest sequence (keep the oldest outstanding data, which
+    // is what local recovery needs most).
+    auto last = std::prev(cache_.end());
+    if (last->first > seq) {
+      cache_.erase(last);
+      ++stats_.cache_evictions;
+    } else {
+      ++stats_.cache_evictions;
+      return;  // no room for this one
+    }
+  }
+  cache_[seq] = CacheEntry{pkt, sim_.now(), 0};
+  ++stats_.data_cached;
+  arm_timer();
+}
+
+bool SnoopAgent::on_ack_from_wireless(const net::Packet& ack) {
+  assert(ack.type == net::PacketType::kTcpAck && ack.tcp.has_value());
+  const std::int64_t a = ack.tcp->ack;
+
+  if (a > last_ack_) {
+    // New ACK: crude RTT sample from the oldest covered cache entry.
+    auto it = cache_.begin();
+    if (it != cache_.end() && it->first < a && it->second.local_rtx == 0) {
+      const double sample = (sim_.now() - it->second.cached_at).to_seconds();
+      srtt_s_ = have_rtt_ ? 0.875 * srtt_s_ + 0.125 * sample : sample;
+      have_rtt_ = true;
+    }
+    // Free everything below the cumulative ACK.
+    cache_.erase(cache_.begin(), cache_.lower_bound(a));
+    last_ack_ = a;
+    dupacks_ = 0;
+    arm_timer();
+    ++stats_.acks_forwarded;
+    return true;
+  }
+
+  // Duplicate ACK.  If we hold the missing packet, recover locally and
+  // hide the dupack from the fixed host.
+  ++dupacks_;
+  auto it = cache_.find(a);
+  if (it != cache_.end()) {
+    if (dupacks_ == cfg_.dupack_threshold) {
+      local_retransmit(a);
+    }
+    ++stats_.dupacks_suppressed;
+    return false;
+  }
+  ++stats_.acks_forwarded;
+  return true;  // nothing cached: let TCP handle it end-to-end
+}
+
+void SnoopAgent::local_retransmit(std::int64_t seq) {
+  auto it = cache_.find(seq);
+  if (it == cache_.end() || !wireless_tx_) return;
+  CacheEntry& e = it->second;
+  if (e.local_rtx >= cfg_.max_local_retransmits) return;
+  ++e.local_rtx;
+  ++stats_.local_retransmits;
+  WTCP_LOG(kDebug, sim_.now(), name_.c_str(), "local rtx seq=%lld (n=%d)",
+           static_cast<long long>(seq), e.local_rtx);
+  wireless_tx_(e.pkt);
+  arm_timer();
+}
+
+sim::Time SnoopAgent::local_rto() const {
+  if (!have_rtt_) return cfg_.max_local_rto;
+  const sim::Time est = sim::Time::from_seconds(srtt_s_ * 2.0);
+  return std::clamp(est, cfg_.min_local_rto, cfg_.max_local_rto);
+}
+
+void SnoopAgent::arm_timer() {
+  sim_.cancel(timer_);
+  if (cache_.empty()) return;
+  timer_ = sim_.after(local_rto(), [this] { on_local_timeout(); });
+}
+
+void SnoopAgent::on_local_timeout() {
+  if (cache_.empty()) return;
+  ++stats_.local_timeouts;
+  local_retransmit(cache_.begin()->first);
+}
+
+}  // namespace wtcp::feedback

@@ -1,0 +1,87 @@
+// Snoop agent (Balakrishnan et al. [11]) — a TCP-aware caching agent at
+// the base station, implemented as an extra baseline for the ablation
+// benches.  It caches data packets heading to the mobile host, performs
+// local retransmissions triggered by duplicate ACKs or a local timer, and
+// suppresses the duplicate ACKs so the fixed host never sees them.
+//
+// As the paper notes, snoop keeps per-connection state at the base station
+// and the source can still time out while snoop is retransmitting —
+// exactly what EBSN avoids.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/net/packet.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/tcp/tahoe_sender.hpp"  // PacketForwarder
+
+namespace wtcp::feedback {
+
+struct SnoopConfig {
+  std::size_t cache_packets = 512;  ///< per-connection cache bound
+  /// Local retransmission fires on this many duplicate ACKs (snoop uses 1:
+  /// the first dupack signals a wireless loss).
+  std::int32_t dupack_threshold = 1;
+  sim::Time min_local_rto = sim::Time::milliseconds(50);
+  sim::Time max_local_rto = sim::Time::seconds(2);
+  std::int32_t max_local_retransmits = 10;
+};
+
+struct SnoopStats {
+  std::uint64_t data_cached = 0;
+  std::uint64_t local_retransmits = 0;
+  std::uint64_t dupacks_suppressed = 0;
+  std::uint64_t acks_forwarded = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t local_timeouts = 0;
+};
+
+class SnoopAgent {
+ public:
+  SnoopAgent(sim::Simulator& sim, SnoopConfig cfg, std::string name);
+
+  /// Transmit path toward the mobile host (the BS wireless interface).
+  void set_wireless_tx(tcp::PacketForwarder tx) { wireless_tx_ = std::move(tx); }
+
+  /// A data packet from the fixed host is passing through: cache it.
+  /// The caller still forwards the packet to the wireless interface.
+  void on_data_from_wired(const net::Packet& pkt);
+
+  /// An ACK from the mobile host is passing through.  Returns true if the
+  /// ACK should be forwarded to the fixed host, false if snoop suppressed
+  /// it (duplicate ACK for a packet snoop is locally retransmitting).
+  bool on_ack_from_wireless(const net::Packet& ack);
+
+  const SnoopStats& stats() const { return stats_; }
+  std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  void local_retransmit(std::int64_t seq);
+  void arm_timer();
+  void on_local_timeout();
+  sim::Time local_rto() const;
+
+  sim::Simulator& sim_;
+  SnoopConfig cfg_;
+  std::string name_;
+  tcp::PacketForwarder wireless_tx_;
+
+  struct CacheEntry {
+    net::Packet pkt;
+    sim::Time cached_at;
+    std::int32_t local_rtx = 0;
+  };
+  std::map<std::int64_t, CacheEntry> cache_;  ///< seq -> entry (ordered)
+  std::int64_t last_ack_ = -1;
+  std::int32_t dupacks_ = 0;
+  // Smoothed wireless RTT estimate for the local timer.
+  double srtt_s_ = 0.0;
+  bool have_rtt_ = false;
+  sim::EventId timer_;
+  SnoopStats stats_;
+};
+
+}  // namespace wtcp::feedback

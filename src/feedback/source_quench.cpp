@@ -1,0 +1,47 @@
+#include "src/feedback/source_quench.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace wtcp::feedback {
+
+SourceQuenchAgent::SourceQuenchAgent(sim::Simulator& sim, SourceQuenchConfig cfg,
+                                     net::NodeId bs, net::NodeId source,
+                                     tcp::PacketForwarder to_source)
+    : sim_(sim), cfg_(cfg), bs_(bs), source_(source), to_source_(std::move(to_source)) {
+  assert(to_source_);
+}
+
+void SourceQuenchAgent::attach(link::ArqSender& arq) {
+  arq.on_attempt_failed = [this](const net::Packet& frame, std::int32_t) {
+    notify(frame);
+  };
+}
+
+void SourceQuenchAgent::notify(const net::Packet& failed_frame) {
+  if (cfg_.data_only) {
+    const bool is_data =
+        failed_frame.encapsulated
+            ? failed_frame.encapsulated->type == net::PacketType::kTcpData
+            : failed_frame.type == net::PacketType::kTcpData;
+    if (!is_data) {
+      ++stats_.suppressed;
+      return;
+    }
+  }
+  if (!cfg_.min_interval.is_zero() && last_sent_ >= sim::Time::zero() &&
+      sim_.now() - last_sent_ < cfg_.min_interval) {
+    ++stats_.suppressed;
+    return;
+  }
+  last_sent_ = sim_.now();
+  ++stats_.quenches_sent;
+  net::Packet quench = net::make_control(net::PacketType::kSourceQuench,
+                                         cfg_.message_bytes, bs_, source_, sim_.now());
+  if (failed_frame.encapsulated && failed_frame.encapsulated->tcp) {
+    quench.tcp = net::TcpHeader{.conn = failed_frame.encapsulated->tcp->conn};
+  }
+  to_source_(std::move(quench));
+}
+
+}  // namespace wtcp::feedback

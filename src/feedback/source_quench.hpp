@@ -1,0 +1,55 @@
+// ICMP Source Quench feedback (paper Section 4.2.2, "Can ECN work for
+// us?").  The base station, acting as a gateway, sends a source quench
+// when the wireless link misbehaves (we trigger, like EBSN, on failed
+// local-recovery attempts — the "anticipatory" variant the paper
+// describes).  The TCP source collapses cwnd to one segment.
+//
+// The paper's negative result — reproduced by bench/abl_source_quench —
+// is that quenching stems NEW packets but cannot prevent timeouts of
+// packets already in flight, so performance barely improves.
+#pragma once
+
+#include <cstdint>
+
+#include "src/link/link_arq.hpp"
+#include "src/net/packet.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/tcp/tahoe_sender.hpp"  // PacketForwarder
+
+namespace wtcp::feedback {
+
+struct SourceQuenchConfig {
+  std::int64_t message_bytes = 40;
+  /// Minimum spacing between quenches; classic gateways rate-limit ICMP.
+  sim::Time min_interval = sim::Time::milliseconds(500);
+  bool data_only = true;
+};
+
+struct SourceQuenchStats {
+  std::uint64_t quenches_sent = 0;
+  std::uint64_t suppressed = 0;
+};
+
+class SourceQuenchAgent {
+ public:
+  SourceQuenchAgent(sim::Simulator& sim, SourceQuenchConfig cfg, net::NodeId bs,
+                    net::NodeId source, tcp::PacketForwarder to_source);
+
+  /// Hook into the local-recovery ARQ sender (same slot EBSN would use).
+  void attach(link::ArqSender& arq);
+
+  void notify(const net::Packet& failed_frame);
+
+  const SourceQuenchStats& stats() const { return stats_; }
+
+ private:
+  sim::Simulator& sim_;
+  SourceQuenchConfig cfg_;
+  net::NodeId bs_;
+  net::NodeId source_;
+  tcp::PacketForwarder to_source_;
+  sim::Time last_sent_ = sim::Time::nanoseconds(-1);
+  SourceQuenchStats stats_;
+};
+
+}  // namespace wtcp::feedback

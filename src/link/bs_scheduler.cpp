@@ -1,0 +1,115 @@
+#include "src/link/bs_scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "src/sim/logging.hpp"
+
+namespace wtcp::link {
+
+const char* to_string(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::kFifo: return "fifo";
+    case SchedPolicy::kRoundRobin: return "round-robin";
+    case SchedPolicy::kCsdRoundRobin: return "csd-round-robin";
+  }
+  return "?";
+}
+
+BsScheduler::BsScheduler(sim::Simulator& sim, BsSchedulerConfig cfg, std::size_t users)
+    : sim_(sim), cfg_(cfg), queues_(users) {
+  assert(users > 0);
+  assert(cfg_.max_outstanding >= 1);
+}
+
+void BsScheduler::enqueue(std::size_t user, net::Packet datagram) {
+  assert(user < queues_.size());
+  if (queues_[user].size() >= cfg_.queue_datagrams) {
+    ++stats_.dropped;
+    return;
+  }
+  ++stats_.enqueued;
+  queues_[user].push_back(std::move(datagram));
+  if (cfg_.policy == SchedPolicy::kFifo) fifo_order_.push_back(user);
+  pump();
+}
+
+void BsScheduler::on_resolved(std::size_t user) {
+  (void)user;
+  assert(outstanding_ > 0);
+  --outstanding_;
+  pump();
+}
+
+std::size_t BsScheduler::total_backlog() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+std::size_t BsScheduler::pick() {
+  const std::size_t users = queues_.size();
+  switch (cfg_.policy) {
+    case SchedPolicy::kFifo: {
+      while (!fifo_order_.empty() && queues_[fifo_order_.front()].empty()) {
+        fifo_order_.pop_front();  // stale entries from other policies
+      }
+      return fifo_order_.empty() ? npos : fifo_order_.front();
+    }
+    case SchedPolicy::kRoundRobin: {
+      for (std::size_t i = 0; i < users; ++i) {
+        const std::size_t u = (rr_cursor_ + i) % users;
+        if (!queues_[u].empty()) {
+          rr_cursor_ = (u + 1) % users;
+          return u;
+        }
+      }
+      return npos;
+    }
+    case SchedPolicy::kCsdRoundRobin: {
+      assert(probe_ && "CSD scheduling requires a channel probe");
+      bool any_backlogged = false;
+      for (std::size_t i = 0; i < users; ++i) {
+        const std::size_t u = (rr_cursor_ + i) % users;
+        if (queues_[u].empty()) continue;
+        any_backlogged = true;
+        if (probe_(u)) {
+          rr_cursor_ = (u + 1) % users;
+          return u;
+        }
+        ++stats_.csd_skips;
+      }
+      if (any_backlogged) {
+        // Every backlogged user is in a fade: defer and re-probe rather
+        // than burn shared airtime on doomed transmissions.
+        ++stats_.csd_deferrals;
+        if (!sim_.pending(probe_timer_)) {
+          probe_timer_ = sim_.after(cfg_.probe_interval, [this] { pump(); });
+        }
+      }
+      return npos;
+    }
+  }
+  return npos;
+}
+
+void BsScheduler::pump() {
+  assert(release_ && "BsScheduler::set_release() must be called first");
+  while (outstanding_ < cfg_.max_outstanding) {
+    const std::size_t user = pick();
+    if (user == npos) return;
+    net::Packet datagram = std::move(queues_[user].front());
+    queues_[user].pop_front();
+    if (cfg_.policy == SchedPolicy::kFifo && !fifo_order_.empty() &&
+        fifo_order_.front() == user) {
+      fifo_order_.pop_front();
+    }
+    ++outstanding_;
+    ++stats_.released;
+    WTCP_LOG(kTrace, sim_.now(), "bs-sched", "release user=%zu (%s)", user,
+             datagram.describe().c_str());
+    release_(user, std::move(datagram));
+  }
+}
+
+}  // namespace wtcp::link

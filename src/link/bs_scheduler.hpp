@@ -1,0 +1,99 @@
+// Base-station downlink scheduling across multiple mobile users (the CSDP
+// study of Bhagwat et al. [9], which the paper's Section 2 discusses).
+//
+// When several TCP connections share one base-station radio, the policy
+// that picks the next queued datagram matters: under FIFO, a head-of-line
+// datagram addressed to a user in a fade blocks airtime every other user
+// could have used; round-robin isolates users; channel-state-dependent
+// (CSD) round-robin additionally skips users whose channel is currently
+// bad, spending airtime only where it can succeed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/net/packet.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace wtcp::link {
+
+enum class SchedPolicy : std::uint8_t {
+  kFifo,          ///< one global queue, strict arrival order
+  kRoundRobin,    ///< per-user queues, cyclic service
+  kCsdRoundRobin, ///< round-robin over users whose channel probe says GOOD
+};
+
+const char* to_string(SchedPolicy p);
+
+struct BsSchedulerConfig {
+  SchedPolicy policy = SchedPolicy::kFifo;
+  /// Datagrams handed downstream (to the per-user ARQ / link) that have
+  /// not yet been resolved (delivered or discarded).  1 serializes the
+  /// radio datagram-by-datagram (policy then barely matters: even RR
+  /// blocks on an in-service faded user); a few slots let different
+  /// users' ARQs interleave on the medium.
+  std::int32_t max_outstanding = 4;
+  /// When CSD defers because every backlogged user's channel is bad,
+  /// re-probe after this long ("accuracy of the channel state predictor").
+  sim::Time probe_interval = sim::Time::milliseconds(50);
+  std::size_t queue_datagrams = 4096;  ///< per-user queue bound
+};
+
+struct BsSchedulerStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t released = 0;
+  std::uint64_t dropped = 0;        ///< per-user queue overflow
+  std::uint64_t csd_deferrals = 0;  ///< pump passes where CSD found no good user
+  std::uint64_t csd_skips = 0;      ///< users skipped for a bad channel
+};
+
+class BsScheduler {
+ public:
+  /// `release(user, datagram)` hands a datagram to user `user`'s wireless
+  /// path; the caller must later invoke on_resolved(user) exactly once
+  /// per released datagram.
+  using Release = std::function<void(std::size_t user, net::Packet datagram)>;
+  /// Channel oracle: true if `user`'s channel is currently good.  CSD
+  /// policies require it; others ignore it.
+  using ChannelProbe = std::function<bool(std::size_t user)>;
+
+  BsScheduler(sim::Simulator& sim, BsSchedulerConfig cfg, std::size_t users);
+
+  void set_release(Release release) { release_ = std::move(release); }
+  void set_channel_probe(ChannelProbe probe) { probe_ = std::move(probe); }
+
+  /// Queue a datagram for `user` and serve if the radio has room.
+  void enqueue(std::size_t user, net::Packet datagram);
+
+  /// Downstream resolved one released datagram (ARQ delivered or
+  /// discarded it); frees an outstanding slot and serves the next.
+  void on_resolved(std::size_t user);
+
+  std::size_t backlog(std::size_t user) const { return queues_[user].size(); }
+  std::size_t total_backlog() const;
+  std::int32_t outstanding() const { return outstanding_; }
+  const BsSchedulerStats& stats() const { return stats_; }
+  const BsSchedulerConfig& config() const { return cfg_; }
+
+ private:
+  void pump();
+  /// Pick the next user to serve, or npos if none is eligible.
+  std::size_t pick();
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  sim::Simulator& sim_;
+  BsSchedulerConfig cfg_;
+  Release release_;
+  ChannelProbe probe_;
+  std::vector<std::deque<net::Packet>> queues_;  ///< per-user
+  std::deque<std::size_t> fifo_order_;           ///< arrival order of users (kFifo)
+  std::size_t rr_cursor_ = 0;
+  std::int32_t outstanding_ = 0;
+  sim::EventId probe_timer_;
+  BsSchedulerStats stats_;
+};
+
+}  // namespace wtcp::link

@@ -1,0 +1,89 @@
+#include "src/link/fragmentation.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace wtcp::link {
+
+Fragmenter::Fragmenter(FragmenterConfig cfg) : cfg_(cfg) {
+  assert(cfg_.mtu_bytes > 0);
+}
+
+std::int32_t Fragmenter::fragment_count(std::int64_t size_bytes) const {
+  if (size_bytes <= 0) return 1;
+  return static_cast<std::int32_t>((size_bytes + cfg_.mtu_bytes - 1) / cfg_.mtu_bytes);
+}
+
+std::vector<net::Packet> Fragmenter::fragment(const net::Packet& datagram,
+                                              sim::Time now) {
+  const std::int32_t count = fragment_count(datagram.size_bytes);
+  const std::uint64_t id = next_datagram_id_++;
+  auto original = std::make_shared<const net::Packet>(datagram);
+
+  std::vector<net::Packet> frags;
+  frags.reserve(static_cast<std::size_t>(count));
+  std::int64_t remaining = datagram.size_bytes;
+  for (std::int32_t i = 0; i < count; ++i) {
+    net::Packet f;
+    f.type = net::PacketType::kLinkFragment;
+    f.size_bytes = std::min(cfg_.mtu_bytes, remaining);
+    remaining -= f.size_bytes;
+    f.src = datagram.src;
+    f.dst = datagram.dst;
+    f.frag = net::FragmentHeader{.datagram_id = id, .index = i, .count = count,
+                                 .link_seq = -1};
+    f.encapsulated = original;
+    f.created_at = now;
+    frags.push_back(std::move(f));
+  }
+  ++stats_.datagrams;
+  stats_.fragments += static_cast<std::uint64_t>(count);
+  return frags;
+}
+
+Reassembler::Reassembler(sim::Simulator& sim, ReassemblerConfig cfg,
+                         net::PacketSink* upper)
+    : sim_(sim), cfg_(cfg), upper_(upper) {}
+
+void Reassembler::handle_fragment(const net::Packet& frag) {
+  assert(frag.frag.has_value());
+  purge_expired();
+  ++stats_.fragments_received;
+
+  const net::FragmentHeader& h = *frag.frag;
+  auto [it, inserted] = partial_.try_emplace(h.datagram_id);
+  Partial& p = it->second;
+  if (inserted) {
+    p.have.assign(static_cast<std::size_t>(h.count), false);
+    p.remaining = h.count;
+    p.first_seen = sim_.now();
+  }
+  const auto idx = static_cast<std::size_t>(h.index);
+  assert(idx < p.have.size());
+  if (p.have[idx]) {
+    ++stats_.duplicate_fragments;
+    return;
+  }
+  p.have[idx] = true;
+  if (--p.remaining > 0) return;
+
+  // Complete: hand the encapsulated wired datagram upstairs.
+  ++stats_.datagrams_completed;
+  net::Packet datagram = frag.encapsulated ? *frag.encapsulated : frag;
+  partial_.erase(it);
+  if (upper_) upper_->handle_packet(std::move(datagram));
+}
+
+void Reassembler::purge_expired() {
+  const sim::Time cutoff = sim_.now() - cfg_.timeout;
+  for (auto it = partial_.begin(); it != partial_.end();) {
+    if (it->second.first_seen < cutoff) {
+      ++stats_.datagrams_expired;
+      it = partial_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace wtcp::link

@@ -1,0 +1,94 @@
+// IP-style fragmentation and reassembly over the wireless MTU.
+//
+// Every wired datagram entering the wireless link is split into MTU-sized
+// link fragments (the paper's CDPD-like 128-byte MTU).  The mobile host
+// reassembles; a single missing fragment means the whole datagram is lost
+// ("fragmentation considered harmful"), which is the effect behind the
+// paper's packet-size results (Figure 7/9).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/node.hpp"
+#include "src/net/packet.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace wtcp::link {
+
+struct FragmenterConfig {
+  std::int64_t mtu_bytes = 128;  ///< max link-frame payload (paper: 128 B)
+};
+
+struct FragmenterStats {
+  std::uint64_t datagrams = 0;
+  std::uint64_t fragments = 0;
+};
+
+/// Splits wired datagrams into kLinkFragment packets.  Datagrams no larger
+/// than the MTU still get wrapped (count = 1) so that the ARQ path is
+/// uniform; the wrapping adds no bytes.
+class Fragmenter {
+ public:
+  explicit Fragmenter(FragmenterConfig cfg);
+
+  /// Number of fragments a datagram of `size_bytes` will produce.
+  std::int32_t fragment_count(std::int64_t size_bytes) const;
+
+  std::vector<net::Packet> fragment(const net::Packet& datagram, sim::Time now);
+
+  const FragmenterStats& stats() const { return stats_; }
+
+ private:
+  FragmenterConfig cfg_;
+  FragmenterStats stats_;
+  std::uint64_t next_datagram_id_ = 1;
+};
+
+struct ReassemblerConfig {
+  /// Incomplete datagrams older than this are purged (holes never fill:
+  /// either ARQ recovers a fragment quickly or it was discarded).
+  sim::Time timeout = sim::Time::seconds(60);
+};
+
+struct ReassemblerStats {
+  std::uint64_t fragments_received = 0;
+  std::uint64_t duplicate_fragments = 0;
+  std::uint64_t datagrams_completed = 0;
+  std::uint64_t datagrams_expired = 0;  ///< purged with holes
+};
+
+/// Collects fragments and delivers the encapsulated wired datagram to the
+/// upper sink once all pieces arrived.  Duplicates (ARQ retransmissions
+/// whose link ACK was lost) are ignored.
+class Reassembler {
+ public:
+  Reassembler(sim::Simulator& sim, ReassemblerConfig cfg, net::PacketSink* upper);
+
+  void set_upper(net::PacketSink* upper) { upper_ = upper; }
+
+  /// Feed one arriving fragment.
+  void handle_fragment(const net::Packet& frag);
+
+  const ReassemblerStats& stats() const { return stats_; }
+  std::size_t pending() const { return partial_.size(); }
+
+ private:
+  struct Partial {
+    std::vector<bool> have;
+    std::int32_t remaining = 0;
+    sim::Time first_seen;
+  };
+
+  void purge_expired();
+
+  sim::Simulator& sim_;
+  ReassemblerConfig cfg_;
+  net::PacketSink* upper_;
+  std::unordered_map<std::uint64_t, Partial> partial_;
+  ReassemblerStats stats_;
+};
+
+}  // namespace wtcp::link

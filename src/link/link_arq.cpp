@@ -1,0 +1,230 @@
+#include "src/link/link_arq.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/sim/logging.hpp"
+
+namespace wtcp::link {
+
+// ---------------------------------------------------------------------------
+// ArqSender
+// ---------------------------------------------------------------------------
+
+ArqSender::ArqSender(sim::Simulator& sim, net::DuplexLink& link, int endpoint,
+                     ArqConfig cfg, std::string name)
+    : sim_(sim),
+      link_(link),
+      endpoint_(endpoint),
+      cfg_(cfg),
+      name_(std::move(name)),
+      rng_(sim.fork_rng(name_ + "/arq-backoff")) {
+  assert(cfg_.rt_max >= 0 && cfg_.window >= 1);
+  // Arm ACK timers from actual transmission completion: watch our own
+  // frames finish their airtime.
+  link_.add_frame_observer([this](int from, const net::Packet& pkt, bool) {
+    if (from != endpoint_ || pkt.type != net::PacketType::kLinkFragment) return;
+    on_frame_aired(pkt);
+  });
+}
+
+void ArqSender::submit(net::Packet frame) {
+  assert(frame.frag.has_value() && "ARQ transports link fragments");
+  if (queue_.size() >= cfg_.buffer_packets) {
+    // ARQ buffer overflow: drop-tail.  With the paper's window sizes this
+    // does not happen; the bound protects pathological configs.
+    ++stats_.buffer_drops;
+    return;
+  }
+  ++stats_.submitted;
+  frame.frag->link_seq = next_link_seq_++;
+  queue_.push_back(std::move(frame));
+  fill_window();
+}
+
+void ArqSender::fill_window() {
+  while (!queue_.empty() &&
+         outstanding_.size() < static_cast<std::size_t>(cfg_.window)) {
+    net::Packet frame = std::move(queue_.front());
+    queue_.pop_front();
+    const std::int64_t seq = frame.frag->link_seq;
+    auto [it, inserted] = outstanding_.try_emplace(seq);
+    assert(inserted);
+    it->second.frame = std::move(frame);
+    transmit_attempt(seq);
+  }
+}
+
+void ArqSender::transmit_attempt(std::int64_t seq) {
+  auto it = outstanding_.find(seq);
+  assert(it != outstanding_.end());
+  Outstanding& o = it->second;
+  ++o.attempts;
+  ++stats_.attempts;
+  if (o.attempts > 1) ++stats_.retransmissions;
+  o.in_flight = true;
+  link_.send(endpoint_, o.frame);
+}
+
+sim::Time ArqSender::ack_wait_after_airtime(const net::Packet& frame) const {
+  // After our frame leaves the air: propagation out, the ACK's airtime
+  // back (possibly queued behind one reverse-channel frame of up to MTU
+  // size — covered by the guard), propagation back.
+  sim::Time wait = link_.config().prop_delay * 2 +
+                   link_.frame_airtime(cfg_.link_ack_bytes) * 2 + cfg_.ack_guard;
+  if (link_.config().half_duplex) {
+    // On a shared medium the link ACK additionally waits for whatever data
+    // frame grabbed the channel first — up to one frame of our own size.
+    wait += link_.frame_airtime(frame.size_bytes);
+  }
+  return wait;
+}
+
+void ArqSender::on_frame_aired(const net::Packet& pkt) {
+  const std::int64_t seq = pkt.frag->link_seq;
+  auto it = outstanding_.find(seq);
+  if (it == outstanding_.end()) return;  // already acked or discarded
+  Outstanding& o = it->second;
+  if (!o.in_flight) return;  // stale duplicate airing after a late ACK
+  o.in_flight = false;
+  sim_.cancel(o.ack_timer);
+  o.ack_timer = sim_.after(ack_wait_after_airtime(o.frame), [this, seq] {
+    on_ack_timeout(seq);
+  });
+}
+
+sim::Time ArqSender::backoff_delay(std::int32_t attempt) {
+  // Randomized exponential backoff: base * 2^(attempt-1), capped, then
+  // jittered by +/-50% ("random retransmission backoff").
+  sim::Time nominal = cfg_.base_backoff;
+  for (std::int32_t i = 1; i < attempt && nominal < cfg_.max_backoff; ++i) {
+    nominal = nominal * 2;
+  }
+  nominal = std::min(nominal, cfg_.max_backoff);
+  return nominal.scaled(rng_.uniform(0.5, 1.5));
+}
+
+void ArqSender::on_ack_timeout(std::int64_t seq) {
+  auto it = outstanding_.find(seq);
+  if (it == outstanding_.end()) return;
+  Outstanding& o = it->second;
+  WTCP_LOG(kDebug, sim_.now(), name_.c_str(), "ack timeout attempt=%d %s",
+           o.attempts, o.frame.describe().c_str());
+  if (on_attempt_failed) on_attempt_failed(o.frame, o.attempts);
+
+  // `attempts` transmissions done => `attempts - 1` retransmissions so
+  // far; RTmax bounds successive retransmissions.
+  if (o.attempts - 1 >= cfg_.rt_max) {
+    ++stats_.discarded;
+    const net::Packet dropped = std::move(o.frame);
+    sim_.cancel(o.backoff_timer);
+    outstanding_.erase(it);
+    if (on_discard) on_discard(dropped);
+    fill_window();
+    return;
+  }
+  o.backoff_timer = sim_.after(backoff_delay(o.attempts), [this, seq] {
+    if (outstanding_.contains(seq)) transmit_attempt(seq);
+  });
+}
+
+void ArqSender::on_link_ack(const net::Packet& ack) {
+  assert(ack.type == net::PacketType::kLinkAck && ack.frag.has_value());
+  auto it = outstanding_.find(ack.frag->link_seq);
+  if (it == outstanding_.end()) {
+    ++stats_.stale_acks;
+    return;
+  }
+  ++stats_.delivered;
+  Outstanding& o = it->second;
+  sim_.cancel(o.ack_timer);
+  sim_.cancel(o.backoff_timer);
+  const net::Packet done = std::move(o.frame);
+  outstanding_.erase(it);
+  if (on_delivered) on_delivered(done);
+  fill_window();
+}
+
+// ---------------------------------------------------------------------------
+// ArqReceiver
+// ---------------------------------------------------------------------------
+
+ArqReceiver::ArqReceiver(sim::Simulator& sim, net::DuplexLink& link, int endpoint,
+                         ArqConfig cfg, std::string name)
+    : sim_(sim), link_(link), endpoint_(endpoint), cfg_(cfg), name_(std::move(name)) {}
+
+void ArqReceiver::on_frame(net::Packet frame) {
+  assert(frame.frag.has_value());
+  ++stats_.frames;
+  const std::int64_t seq = frame.frag->link_seq;
+  assert(seq >= 0 && "ARQ receiver fed a non-ARQ frame");
+
+  // Always (re-)acknowledge: the sender may be retransmitting because our
+  // previous ACK was lost.  Link ACKs jump the queue.
+  net::Packet ack = net::make_control(net::PacketType::kLinkAck, cfg_.link_ack_bytes,
+                                      frame.dst, frame.src, sim_.now());
+  ack.frag = net::FragmentHeader{.datagram_id = frame.frag->datagram_id,
+                                 .index = frame.frag->index,
+                                 .count = frame.frag->count,
+                                 .link_seq = seq};
+  link_.send(endpoint_, std::move(ack), /*priority=*/true);
+  ++stats_.acks_sent;
+
+  if (seq < next_expected_ || buffer_.contains(seq)) {
+    ++stats_.duplicates;
+    return;
+  }
+  if (seq > next_expected_) ++stats_.buffered;
+  buffer_.emplace(seq, std::move(frame));
+  release_in_order();
+  arm_hole_timer();
+}
+
+void ArqReceiver::release_in_order() {
+  auto it = buffer_.begin();
+  while (it != buffer_.end() && it->first == next_expected_) {
+    net::Packet out = std::move(it->second);
+    it = buffer_.erase(it);
+    ++next_expected_;
+    ++stats_.delivered;
+    if (deliver_) deliver_(std::move(out));
+  }
+}
+
+sim::Time ArqReceiver::flush_timeout_for(const net::Packet& head) const {
+  if (!cfg_.reorder_flush.is_zero()) return cfg_.reorder_flush;
+  // ~3 recovery cycles: while later frames are arriving, the hole frame is
+  // being retried once per cycle unless the sender discarded it.
+  const sim::Time cycle = link_.frame_airtime(head.size_bytes) * cfg_.window +
+                          cfg_.max_backoff + cfg_.ack_guard +
+                          link_.config().prop_delay * 2;
+  return cycle * 3;
+}
+
+void ArqReceiver::arm_hole_timer() {
+  if (buffer_.empty()) {
+    sim_.cancel(hole_timer_);
+    return;
+  }
+  if (sim_.pending(hole_timer_)) return;  // already timing this hole
+  const sim::Time flush = flush_timeout_for(buffer_.begin()->second);
+  hole_timer_ = sim_.after(flush, [this] { on_hole_timeout(); });
+}
+
+void ArqReceiver::on_hole_timeout() {
+  if (buffer_.empty()) return;
+  // Skip the head-of-line hole: the sender has evidently given up on
+  // those frames (RTmax discard).  Resume delivery at the first frame we
+  // actually hold.
+  const std::int64_t skip_to = buffer_.begin()->first;
+  WTCP_LOG(kDebug, sim_.now(), name_.c_str(), "hole flush: skipping %lld..%lld",
+           static_cast<long long>(next_expected_), static_cast<long long>(skip_to - 1));
+  stats_.holes_skipped += static_cast<std::uint64_t>(skip_to - next_expected_);
+  next_expected_ = skip_to;
+  release_in_order();
+  arm_hole_timer();
+}
+
+}  // namespace wtcp::link

@@ -1,0 +1,165 @@
+// Link-level local recovery (the paper's Section 4.2.1 base-station ARQ,
+// modelled on the aggressive-retransmission protocol of Bhagwat et al.
+// [9]): a sliding window of frames is kept on the air; each frame is
+// retransmitted after a randomized exponential backoff whenever its link
+// ACK times out, and discarded after RTmax successive retransmissions
+// (paper/CDPD: RTmax = 13).
+//
+// The sender side exposes an `on_attempt_failed` hook fired at every link
+// ACK timeout — this is exactly where the paper's base station emits an
+// EBSN ("EBSNs are sent to the source after every unsuccessful attempt by
+// the base station to transmit packets over the wireless link").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/net/link.hpp"
+#include "src/net/packet.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace wtcp::link {
+
+struct ArqConfig {
+  std::int32_t rt_max = 13;  ///< max successive retransmissions before discard
+  std::int32_t window = 8;   ///< frames concurrently awaiting a link ACK
+  sim::Time base_backoff = sim::Time::milliseconds(25);
+  sim::Time max_backoff = sim::Time::milliseconds(250);
+  /// Extra slack on top of the computed ACK round trip (absorbs link ACKs
+  /// queueing behind other reverse-channel traffic).
+  sim::Time ack_guard = sim::Time::milliseconds(20);
+  std::int64_t link_ack_bytes = 16;  ///< size of a link ACK control frame
+  std::size_t buffer_packets = 4096; ///< sender-side ARQ buffer
+  /// Receiver-side in-order release: how long a head-of-line hole may stall
+  /// buffered frames before being skipped (covers frames the sender
+  /// discarded after RTmax).  Zero = auto: ~3 recovery cycles, derived from
+  /// window, frame airtime and max_backoff.
+  sim::Time reorder_flush = sim::Time::zero();
+};
+
+struct ArqSenderStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t attempts = 0;        ///< transmissions incl. retransmissions
+  std::uint64_t retransmissions = 0;
+  std::uint64_t delivered = 0;       ///< frames positively acknowledged
+  std::uint64_t discarded = 0;       ///< frames dropped after RTmax
+  std::uint64_t stale_acks = 0;      ///< link ACKs for a non-outstanding frame
+  std::uint64_t buffer_drops = 0;
+};
+
+/// Reliable (best-effort up to RTmax) transmitter for one direction of the
+/// wireless link.  Selective-repeat: up to `window` frames are
+/// outstanding; each runs its own ACK timer, armed when the frame's
+/// airtime actually ends (the sender observes its own transmissions
+/// through the link's frame observer).
+class ArqSender {
+ public:
+  ArqSender(sim::Simulator& sim, net::DuplexLink& link, int endpoint, ArqConfig cfg,
+            std::string name);
+
+  /// Queue a frame for reliable transmission.  The frame's link_seq is
+  /// assigned here.
+  void submit(net::Packet frame);
+
+  /// Feed a received link ACK (called by the endpoint demux).
+  void on_link_ack(const net::Packet& ack);
+
+  /// Fired on every link-ACK timeout, BEFORE the backoff/retransmit or
+  /// discard decision.  `attempt` is the number of transmissions so far.
+  std::function<void(const net::Packet&, std::int32_t attempt)> on_attempt_failed;
+  /// Fired when a frame exceeds RTmax and is dropped.
+  std::function<void(const net::Packet&)> on_discard;
+  /// Fired when a frame is positively acknowledged.
+  std::function<void(const net::Packet&)> on_delivered;
+
+  const ArqSenderStats& stats() const { return stats_; }
+  std::size_t backlog() const { return queue_.size() + outstanding_.size(); }
+  std::size_t outstanding() const { return outstanding_.size(); }
+  bool idle() const { return outstanding_.empty() && queue_.empty(); }
+  const ArqConfig& config() const { return cfg_; }
+
+ private:
+  struct Outstanding {
+    net::Packet frame;
+    std::int32_t attempts = 0;  ///< transmissions so far
+    sim::EventId ack_timer;
+    sim::EventId backoff_timer;
+    bool in_flight = false;     ///< handed to the link, airtime not finished
+  };
+
+  void fill_window();
+  void transmit_attempt(std::int64_t seq);
+  void on_frame_aired(const net::Packet& frame);
+  void on_ack_timeout(std::int64_t seq);
+  sim::Time ack_wait_after_airtime(const net::Packet& frame) const;
+  sim::Time backoff_delay(std::int32_t attempt);
+
+  sim::Simulator& sim_;
+  net::DuplexLink& link_;
+  int endpoint_;
+  ArqConfig cfg_;
+  std::string name_;
+  sim::Rng rng_;
+
+  std::deque<net::Packet> queue_;                   ///< not yet in the window
+  std::map<std::int64_t, Outstanding> outstanding_; ///< link_seq -> state
+  std::int64_t next_link_seq_ = 0;
+  ArqSenderStats stats_;
+};
+
+struct ArqReceiverStats {
+  std::uint64_t frames = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t buffered = 0;       ///< arrived out of order
+  std::uint64_t holes_skipped = 0;  ///< head-of-line frames given up on
+};
+
+/// Receiver side: acknowledges every ARQ frame, suppresses duplicates, and
+/// releases frames to the upper layer IN link_seq ORDER.  In-order release
+/// is what keeps selective-repeat recovery from reordering TCP segments
+/// and triggering spurious duplicate ACKs at the sink.  A head-of-line
+/// hole that outlives the flush timeout (a frame the sender discarded
+/// after RTmax) is skipped so delivery can continue.
+class ArqReceiver {
+ public:
+  ArqReceiver(sim::Simulator& sim, net::DuplexLink& link, int endpoint, ArqConfig cfg,
+              std::string name);
+
+  /// Where in-order frames are released.
+  void set_deliver(std::function<void(net::Packet)> deliver) {
+    deliver_ = std::move(deliver);
+  }
+
+  /// Feed a received ARQ frame.  Sends a link ACK in all cases (the
+  /// earlier ACK may have been lost) and releases whatever is now in
+  /// order through the deliver callback.
+  void on_frame(net::Packet frame);
+
+  const ArqReceiverStats& stats() const { return stats_; }
+  std::int64_t next_expected() const { return next_expected_; }
+  std::size_t reorder_depth() const { return buffer_.size(); }
+
+ private:
+  void release_in_order();
+  void arm_hole_timer();
+  void on_hole_timeout();
+  sim::Time flush_timeout_for(const net::Packet& head) const;
+
+  sim::Simulator& sim_;
+  net::DuplexLink& link_;
+  int endpoint_;
+  ArqConfig cfg_;
+  std::string name_;
+  std::function<void(net::Packet)> deliver_;
+  std::int64_t next_expected_ = 0;
+  std::map<std::int64_t, net::Packet> buffer_;  ///< out-of-order frames
+  sim::EventId hole_timer_;
+  ArqReceiverStats stats_;
+};
+
+}  // namespace wtcp::link

@@ -1,0 +1,107 @@
+#include "src/link/wireless_link.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "src/sim/logging.hpp"
+
+namespace wtcp::link {
+
+WirelessInterface::WirelessInterface(sim::Simulator& sim, net::DuplexLink& link,
+                                     int endpoint, WirelessIfaceConfig cfg,
+                                     std::string name, net::PacketSink* upper)
+    : sim_(sim),
+      link_(link),
+      endpoint_(endpoint),
+      cfg_(cfg),
+      name_(std::move(name)),
+      fragmenter_(cfg.frag),
+      reassembler_(sim, cfg.reassembly, upper) {
+  if (cfg_.local_recovery) {
+    arq_sender_ = std::make_unique<ArqSender>(sim, link, endpoint, cfg_.arq,
+                                              name_ + "/arq-snd");
+    make_arq_receiver();
+  }
+  link.set_sink(endpoint, this);
+}
+
+void WirelessInterface::make_arq_receiver() {
+  arq_receiver_ = std::make_unique<ArqReceiver>(sim_, link_, endpoint_, cfg_.arq,
+                                                name_ + "/arq-rcv");
+  arq_receiver_->set_deliver(
+      [this](net::Packet frame) { reassembler_.handle_fragment(frame); });
+}
+
+ArqSender& WirelessInterface::arq_sender() {
+  assert(arq_sender_ && "local recovery is not enabled on this interface");
+  return *arq_sender_;
+}
+
+WirelessInterface::SendInfo WirelessInterface::send_datagram(
+    const net::Packet& datagram) {
+  std::vector<net::Packet> frags = fragmenter_.fragment(datagram, sim_.now());
+  SendInfo info{frags.front().frag->datagram_id,
+                static_cast<std::int32_t>(frags.size())};
+  for (net::Packet& frag : frags) {
+    if (arq_sender_) {
+      arq_sender_->submit(std::move(frag));
+    } else {
+      link_.send(endpoint_, std::move(frag));
+    }
+  }
+  return info;
+}
+
+void WirelessInterface::handle_packet(net::Packet pkt) {
+  switch (pkt.type) {
+    case net::PacketType::kLinkAck:
+      if (arq_sender_) {
+        arq_sender_->on_link_ack(pkt);
+      }
+      // Without ARQ a stray link ACK is dropped.
+      return;
+    case net::PacketType::kLinkFragment: {
+      if (pkt.frag->link_seq >= 0) {
+        // ARQ frame: acknowledge + in-order release even if our own ARQ is
+        // disabled (the peer decides whether to run local recovery).
+        if (!arq_receiver_) make_arq_receiver();
+        arq_receiver_->on_frame(std::move(pkt));
+      } else {
+        reassembler_.handle_fragment(pkt);
+      }
+      return;
+    }
+    default:
+      WTCP_LOG(kWarn, sim_.now(), name_.c_str(), "unexpected packet on wireless: %s",
+               pkt.describe().c_str());
+      return;
+  }
+}
+
+net::LinkConfig wan_wireless_link_config() {
+  return net::LinkConfig{
+      .name = "wireless-wan",
+      .bandwidth_bps = 19'200,
+      .prop_delay = sim::Time::milliseconds(5),
+      .queue_packets = 4096,
+      .overhead_num = 3,
+      .overhead_den = 2,
+      .half_duplex = false,
+      .medium = nullptr,
+  };
+}
+
+net::LinkConfig lan_wireless_link_config() {
+  return net::LinkConfig{
+      .name = "wireless-lan",
+      .bandwidth_bps = 2'000'000,
+      .prop_delay = sim::Time::microseconds(100),
+      .queue_packets = 4096,
+      .overhead_num = 1,
+      .overhead_den = 1,
+      .half_duplex = false,
+      .medium = nullptr,
+  };
+}
+
+}  // namespace wtcp::link

@@ -1,0 +1,88 @@
+// Wireless interface: the per-endpoint glue that turns a raw DuplexLink
+// into the paper's wireless hop.
+//
+// Outbound: wired datagrams are fragmented to the wireless MTU and either
+// sent raw (basic TCP) or handed to the local-recovery ARQ sender.
+// Inbound: link ACKs are demuxed to the ARQ sender; fragments go through
+// duplicate suppression (when ARQ is on) and reassembly, and complete
+// datagrams are delivered to the upper-layer sink (TCP agent or base
+// station forwarder).
+//
+// Also provides `make_wan_wireless_link` / `make_lan_wireless_link`
+// factories preconfigured with the paper's Section 3.1 / 4.2.4 parameters.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/link/fragmentation.hpp"
+#include "src/link/link_arq.hpp"
+#include "src/net/link.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace wtcp::link {
+
+struct WirelessIfaceConfig {
+  bool local_recovery = false;  ///< enable link-level ARQ on this endpoint
+  ArqConfig arq;
+  FragmenterConfig frag;        ///< wireless MTU (paper: 128 B wide-area)
+  ReassemblerConfig reassembly;
+};
+
+class WirelessInterface final : public net::PacketSink {
+ public:
+  /// Constructs the interface and registers it as the link's sink at
+  /// `endpoint`.  `upper` receives reassembled wired datagrams.
+  WirelessInterface(sim::Simulator& sim, net::DuplexLink& link, int endpoint,
+                    WirelessIfaceConfig cfg, std::string name,
+                    net::PacketSink* upper = nullptr);
+
+  void set_upper(net::PacketSink* upper) { reassembler_.set_upper(upper); }
+
+  /// Identity of one send_datagram() call: which link-layer datagram id
+  /// the fragmenter assigned and how many fragments it produced.  Callers
+  /// that track datagram resolution (the BS scheduler) key on these.
+  struct SendInfo {
+    std::uint64_t datagram_id = 0;
+    std::int32_t fragments = 0;
+  };
+
+  /// Send a wired datagram across the wireless hop.
+  SendInfo send_datagram(const net::Packet& datagram);
+
+  /// Link delivery entry point (fragments + link ACKs).
+  void handle_packet(net::Packet pkt) override;
+
+  /// ARQ sender of this endpoint (EBSN subscribes to its hooks).
+  /// Precondition: local_recovery is enabled.
+  ArqSender& arq_sender();
+  const ArqSender* arq_sender_or_null() const { return arq_sender_.get(); }
+
+  const Fragmenter& fragmenter() const { return fragmenter_; }
+  const Reassembler& reassembler() const { return reassembler_; }
+  const ArqReceiver* arq_receiver_or_null() const { return arq_receiver_.get(); }
+  bool local_recovery() const { return cfg_.local_recovery; }
+
+ private:
+  void make_arq_receiver();
+  sim::Simulator& sim_;
+  net::DuplexLink& link_;
+  int endpoint_;
+  WirelessIfaceConfig cfg_;
+  std::string name_;
+  Fragmenter fragmenter_;
+  Reassembler reassembler_;
+  std::unique_ptr<ArqSender> arq_sender_;
+  std::unique_ptr<ArqReceiver> arq_receiver_;
+};
+
+/// Paper Section 3.1: 19.2 kbps raw, 1.5x framing/FEC overhead (=> 12.8
+/// kbps effective), 128 B MTU handled by WirelessInterface, small prop
+/// delay.  Queue sized so that the paper's windows never congest it.
+net::LinkConfig wan_wireless_link_config();
+
+/// Paper Section 4.2.4: 2 Mbps wireless LAN, no framing overhead, no
+/// fragmentation (MTU >= packet size).
+net::LinkConfig lan_wireless_link_config();
+
+}  // namespace wtcp::link

@@ -1,0 +1,48 @@
+#include "src/mobility/handoff.hpp"
+
+#include <cassert>
+
+#include "src/sim/logging.hpp"
+
+namespace wtcp::mobility {
+
+HandoffManager::HandoffManager(sim::Simulator& sim, HandoffConfig cfg)
+    : sim_(sim),
+      cfg_(cfg),
+      rng_(sim.fork_rng("handoff")),
+      model_(std::make_shared<BlackoutModel>()) {
+  assert(cfg_.mean_interval > sim::Time::zero());
+  assert(cfg_.latency > sim::Time::zero());
+  if (cfg_.enabled) {
+    schedule_next(std::max(cfg_.first_after, sim_.now()));
+  }
+}
+
+void HandoffManager::schedule_next(sim::Time from) {
+  const sim::Time gap =
+      cfg_.deterministic
+          ? cfg_.mean_interval
+          : sim::Time::from_seconds(rng_.exponential(cfg_.mean_interval.to_seconds()));
+  sim_.at(from + gap, [this] { begin_handoff(); });
+}
+
+void HandoffManager::begin_handoff() {
+  assert(!in_handoff_);
+  in_handoff_ = true;
+  ++stats_.handoffs;
+  stats_.blackout_time += cfg_.latency;
+  model_->add_window(sim_.now(), sim_.now() + cfg_.latency);
+  WTCP_LOG(kInfo, sim_.now(), "handoff", "begin (blackout %.3fs)",
+           cfg_.latency.to_seconds());
+  if (on_handoff_start) on_handoff_start();
+  sim_.after(cfg_.latency, [this] { end_handoff(); });
+}
+
+void HandoffManager::end_handoff() {
+  in_handoff_ = false;
+  WTCP_LOG(kInfo, sim_.now(), "handoff", "complete");
+  if (on_handoff_complete) on_handoff_complete();
+  schedule_next(sim_.now());
+}
+
+}  // namespace wtcp::mobility

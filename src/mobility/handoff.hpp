@@ -1,0 +1,106 @@
+// Handoff modelling.
+//
+// The paper explicitly excludes handoffs ("In a separate study [17] we
+// have proposed schemes to improve the performance of TCP in the presence
+// of handoffs"); this module implements that companion setting so the
+// library covers it: while the mobile host re-registers with a new base
+// station, the wireless link is a total blackout for `latency`, and
+// everything on the air is lost.
+//
+// Mitigations implemented:
+//   * Caceres & Iftode [4]: on handoff completion the mobile host forces
+//     duplicate ACKs so the source fast-retransmits immediately instead
+//     of waiting out a (backed-off) retransmission timeout.
+//   * EBSN: the base station's local-recovery failures during the
+//     blackout keep notifying the source, so its timer never fires — the
+//     [17]-style behaviour, for free.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/phy/error_model.hpp"
+#include "src/sim/random.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace wtcp::mobility {
+
+struct HandoffConfig {
+  bool enabled = false;
+  /// Mean time between handoffs (start to start).
+  sim::Time mean_interval = sim::Time::seconds(20);
+  /// Blackout duration per handoff (registration with the new BS).
+  sim::Time latency = sim::Time::milliseconds(500);
+  /// Deterministic: handoffs exactly every mean_interval.  Stochastic:
+  /// exponential inter-handoff times.
+  bool deterministic = false;
+  /// Mobile host forces dupack_threshold duplicate ACKs when the handoff
+  /// completes (Caceres & Iftode fast-retransmit scheme [4]).
+  bool fast_retransmit_on_resume = false;
+  /// First handoff no earlier than this (lets slow start establish).
+  sim::Time first_after = sim::Time::seconds(5);
+};
+
+struct HandoffStats {
+  std::uint64_t handoffs = 0;
+  sim::Time blackout_time;
+};
+
+/// Drives the handoff schedule on the simulator and exposes the blackout
+/// as an ErrorModel to stack (via CompositeErrorModel) on the channel.
+class HandoffManager {
+ public:
+  HandoffManager(sim::Simulator& sim, HandoffConfig cfg);
+
+  /// The blackout channel impairment (share between both link directions).
+  std::shared_ptr<phy::ErrorModel> blackout_model() const { return model_; }
+
+  /// Fired when a handoff begins / completes.
+  std::function<void()> on_handoff_start;
+  std::function<void()> on_handoff_complete;
+
+  bool in_handoff() const { return in_handoff_; }
+  const HandoffStats& stats() const { return stats_; }
+  const HandoffConfig& config() const { return cfg_; }
+
+ private:
+  // Blackout windows are appended as the schedule unfolds; the model
+  // checks overlap against them.
+  class BlackoutModel final : public phy::ErrorModel {
+   public:
+    void add_window(sim::Time begin, sim::Time end) {
+      windows_.push_back({begin, end});
+    }
+
+   protected:
+    bool corrupts_impl(sim::Time start, sim::Time end, std::int64_t) override {
+      // Handoffs are rare (one per tens of seconds); a linear scan is fine.
+      for (const Window& w : windows_) {
+        if (start < w.end && end > w.begin) return true;
+        if (start == end && start >= w.begin && start < w.end) return true;
+      }
+      return false;
+    }
+
+   private:
+    struct Window {
+      sim::Time begin;
+      sim::Time end;
+    };
+    std::vector<Window> windows_;
+  };
+
+  void schedule_next(sim::Time from);
+  void begin_handoff();
+  void end_handoff();
+
+  sim::Simulator& sim_;
+  HandoffConfig cfg_;
+  sim::Rng rng_;
+  std::shared_ptr<BlackoutModel> model_;
+  bool in_handoff_ = false;
+  HandoffStats stats_;
+};
+
+}  // namespace wtcp::mobility

@@ -1,0 +1,140 @@
+#include "src/net/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "src/sim/logging.hpp"
+
+namespace wtcp::net {
+
+DuplexLink::DuplexLink(sim::Simulator& sim, LinkConfig cfg)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      dirs_{Direction(cfg_.queue_packets), Direction(cfg_.queue_packets)} {
+  assert(cfg_.bandwidth_bps > 0);
+  assert(cfg_.overhead_num >= cfg_.overhead_den && cfg_.overhead_den > 0);
+  if (cfg_.medium) {
+    for (int from : {0, 1}) {
+      waiter_ids_[from] = cfg_.medium->add_waiter([this, from] {
+        const bool was_busy = dir(from).busy;
+        kick(from);
+        return !was_busy && dir(from).busy;  // started a transmission
+      });
+    }
+  }
+}
+
+DuplexLink::Direction& DuplexLink::dir(int from) {
+  assert(from == 0 || from == 1);
+  return dirs_[from];
+}
+
+const DuplexLink::Direction& DuplexLink::dir(int from) const {
+  assert(from == 0 || from == 1);
+  return dirs_[from];
+}
+
+void DuplexLink::set_sink(int endpoint, PacketSink* sink) {
+  assert(endpoint == 0 || endpoint == 1);
+  sinks_[endpoint] = sink;
+}
+
+void DuplexLink::set_error_model(std::shared_ptr<phy::ErrorModel> model) {
+  error_model_ = std::move(model);
+}
+
+std::int64_t DuplexLink::airtime_bytes(std::int64_t size_bytes) const {
+  return (size_bytes * cfg_.overhead_num + cfg_.overhead_den - 1) / cfg_.overhead_den;
+}
+
+sim::Time DuplexLink::frame_airtime(std::int64_t size_bytes) const {
+  return sim::transmission_time(airtime_bytes(size_bytes), cfg_.bandwidth_bps);
+}
+
+void DuplexLink::trace(char event, int from, const Packet& pkt) const {
+  for (const TraceHook& hook : trace_hooks_) hook(event, from, pkt);
+}
+
+bool DuplexLink::send(int from, Packet pkt, bool priority) {
+  Direction& d = dir(from);
+  if (!trace_hooks_.empty()) {
+    // Keep the packet observable across the queue attempt so both the
+    // accept ('+') and the tail drop ('d') can be traced.
+    const Packet copy = pkt;
+    const bool ok = priority ? d.queue.enqueue_front(std::move(pkt))
+                             : d.queue.enqueue(std::move(pkt));
+    trace(ok ? '+' : 'd', from, copy);
+    if (ok) kick(from);
+    return ok;
+  }
+  const bool ok = priority ? d.queue.enqueue_front(std::move(pkt))
+                           : d.queue.enqueue(std::move(pkt));
+  if (ok) kick(from);
+  return ok;
+}
+
+void DuplexLink::kick(int from) {
+  Direction& d = dir(from);
+  if (d.busy) return;
+  if (cfg_.half_duplex && dir(1 - from).busy) return;  // channel occupied
+  if (cfg_.medium && cfg_.medium->busy()) return;      // shared radio occupied
+  if (d.queue.empty()) return;
+  auto next = d.queue.dequeue();
+  start_transmission(from, std::move(*next));
+}
+
+void DuplexLink::start_transmission(int from, Packet pkt) {
+  Direction& d = dir(from);
+  d.busy = true;
+  if (cfg_.medium) cfg_.medium->acquire(waiter_ids_[from]);
+
+  const sim::Time airtime = frame_airtime(pkt.size_bytes);
+  const std::int64_t on_air_bits = airtime_bytes(pkt.size_bytes) * 8;
+  const sim::Time start = sim_.now();
+  const sim::Time end = start + airtime;
+
+  ++d.stats.frames_sent;
+  d.stats.bytes_sent += pkt.size_bytes;
+  d.stats.busy_time += airtime;
+  trace('-', from, pkt);
+
+  const bool corrupted =
+      error_model_ && error_model_->corrupts(start, end, on_air_bits);
+
+  WTCP_LOG(kTrace, start, cfg_.name.c_str(), "tx from=%d %s airtime=%.6fs%s", from,
+           pkt.describe().c_str(), airtime.to_seconds(), corrupted ? " CORRUPT" : "");
+
+  const int to = 1 - from;
+  sim_.after(airtime, [this, from, to, corrupted, pkt = std::move(pkt)]() mutable {
+    Direction& d2 = dir(from);
+    d2.busy = false;
+    for (const FrameObserver& obs : observers_) obs(from, pkt, !corrupted);
+    if (corrupted) {
+      ++d2.stats.frames_corrupted;
+      trace('c', from, pkt);
+    } else {
+      ++d2.stats.frames_delivered;
+      d2.stats.bytes_delivered += pkt.size_bytes;
+      if (sinks_[to]) {
+        sim_.after(cfg_.prop_delay,
+                   [this, from, to, pkt = std::move(pkt)]() mutable {
+                     trace('r', from, pkt);
+                     if (sinks_[to]) sinks_[to]->handle_packet(std::move(pkt));
+                   });
+      }
+    }
+    if (cfg_.medium) {
+      // The medium offers the channel round-robin across every bound
+      // direction (including ours).
+      cfg_.medium->release();
+    } else if (cfg_.half_duplex) {
+      // Alternate service so neither direction starves the shared channel.
+      kick(1 - from);
+      kick(from);
+    } else {
+      kick(from);
+    }
+  });
+}
+
+}  // namespace wtcp::net

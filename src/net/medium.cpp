@@ -1,0 +1,35 @@
+#include "src/net/medium.hpp"
+
+#include <cassert>
+
+namespace wtcp::net {
+
+void Medium::acquire(std::size_t waiter_id) {
+  assert(!busy_ && "medium acquired while busy");
+  busy_ = true;
+  ++grants_;
+  if (waiter_id != kNoWaiter) next_ = waiter_id + 1;
+}
+
+void Medium::release() {
+  assert(busy_);
+  busy_ = false;
+  if (releasing_ || waiters_.empty()) return;
+  releasing_ = true;
+  // Offer the channel round-robin; stop at the first taker (it acquired
+  // the medium inside its waiter callback) or after one full sweep.
+  const std::size_t n = waiters_.size();
+  const std::size_t start = next_ % n;
+  for (std::size_t i = 0; i < n && !busy_; ++i) {
+    const std::size_t idx = (start + i) % n;
+    if (waiters_[idx]()) break;  // taker updated next_ via acquire()
+  }
+  releasing_ = false;
+}
+
+std::size_t Medium::add_waiter(Waiter waiter) {
+  waiters_.push_back(std::move(waiter));
+  return waiters_.size() - 1;
+}
+
+}  // namespace wtcp::net

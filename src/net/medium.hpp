@@ -1,0 +1,54 @@
+// Shared radio medium.
+//
+// Several DuplexLink directions (e.g. the downlinks and uplinks of K
+// mobile hosts served by one base-station radio) can be bound to one
+// Medium: at most one frame is on the air at a time across all of them.
+// When a transmission ends, waiting directions are served round-robin so
+// none starves.
+//
+// This models the single-channel wireless LAN of Bhagwat et al. [9] (the
+// CSDP scheduling study the paper cites), where a head-of-line packet to
+// a faded user blocks airtime that other users could have used.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace wtcp::net {
+
+class Medium {
+ public:
+  /// A waiter is "offered" the medium when it becomes free; it returns
+  /// true if it started a transmission (acquiring the medium).
+  using Waiter = std::function<bool()>;
+
+  static constexpr std::size_t kNoWaiter = static_cast<std::size_t>(-1);
+
+  bool busy() const { return busy_; }
+
+  /// Claim the medium (precondition: not busy).  `waiter_id` identifies
+  /// the claiming direction's waiter slot so that release() resumes
+  /// round-robin service right AFTER it (the direction that just
+  /// transmitted goes to the back of the service order).
+  void acquire(std::size_t waiter_id = kNoWaiter);
+
+  /// Release and offer the medium to waiters, round-robin from after the
+  /// last served one.
+  void release();
+
+  /// Register a direction that may want to transmit.  Returns the waiter
+  /// slot id (stable; used only for diagnostics).
+  std::size_t add_waiter(Waiter waiter);
+
+  std::uint64_t grants() const { return grants_; }
+
+ private:
+  bool busy_ = false;
+  bool releasing_ = false;
+  std::vector<Waiter> waiters_;
+  std::size_t next_ = 0;  ///< round-robin cursor
+  std::uint64_t grants_ = 0;
+};
+
+}  // namespace wtcp::net

@@ -1,0 +1,18 @@
+#include "src/net/node.hpp"
+
+#include <cassert>
+
+namespace wtcp::net {
+
+NodeId NodeRegistry::add(std::string name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.emplace_back(id, std::move(name));
+  return id;
+}
+
+const Node& NodeRegistry::at(NodeId id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace wtcp::net

@@ -1,0 +1,59 @@
+// Node identities and the packet-delivery interface that ties agents to
+// links.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/packet.hpp"
+
+namespace wtcp::net {
+
+/// Anything that can receive packets from a link endpoint: TCP agents, the
+/// base-station forwarder, the mobile host's reassembler, ...
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void handle_packet(Packet pkt) = 0;
+};
+
+/// A named node.  Nodes are pure identities in wtcp — behaviour lives in
+/// the agents attached to link endpoints — but keeping a registry gives
+/// stable ids for addressing and readable traces.
+class Node {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  NodeId id_;
+  std::string name_;
+};
+
+/// Adapter turning any callable into a PacketSink; used to wire forwarding
+/// logic (base station, mobile host) without dedicated classes.
+class CallbackSink final : public PacketSink {
+ public:
+  explicit CallbackSink(std::function<void(Packet)> fn) : fn_(std::move(fn)) {}
+  void handle_packet(Packet pkt) override { fn_(std::move(pkt)); }
+
+ private:
+  std::function<void(Packet)> fn_;
+};
+
+/// Registry assigning dense NodeIds.  Owned by a scenario.
+class NodeRegistry {
+ public:
+  NodeId add(std::string name);
+  const Node& at(NodeId id) const;
+  std::size_t size() const { return nodes_.size(); }
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace wtcp::net

@@ -1,0 +1,76 @@
+#include "src/net/packet.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace wtcp::net {
+
+const char* to_string(PacketType t) {
+  switch (t) {
+    case PacketType::kTcpData: return "DATA";
+    case PacketType::kTcpAck: return "ACK";
+    case PacketType::kLinkFragment: return "FRAG";
+    case PacketType::kLinkAck: return "LACK";
+    case PacketType::kEbsn: return "EBSN";
+    case PacketType::kSourceQuench: return "QUENCH";
+    case PacketType::kBackground: return "BG";
+  }
+  return "?";
+}
+
+std::string Packet::describe() const {
+  char buf[160];
+  if (tcp) {
+    std::snprintf(buf, sizeof(buf), "%s seq=%lld ack=%lld size=%lld%s",
+                  to_string(type), static_cast<long long>(tcp->seq),
+                  static_cast<long long>(tcp->ack), static_cast<long long>(size_bytes),
+                  tcp->retransmit ? " rtx" : "");
+  } else if (frag) {
+    std::snprintf(buf, sizeof(buf), "%s dgram=%llu %d/%d lseq=%lld size=%lld",
+                  to_string(type), static_cast<unsigned long long>(frag->datagram_id),
+                  frag->index, frag->count, static_cast<long long>(frag->link_seq),
+                  static_cast<long long>(size_bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s size=%lld", to_string(type),
+                  static_cast<long long>(size_bytes));
+  }
+  return buf;
+}
+
+Packet make_tcp_data(std::int64_t seq, std::int32_t payload, std::int32_t header_bytes,
+                     NodeId src, NodeId dst, sim::Time now) {
+  assert(payload > 0);
+  Packet p;
+  p.type = PacketType::kTcpData;
+  p.size_bytes = payload + header_bytes;
+  p.src = src;
+  p.dst = dst;
+  p.tcp = TcpHeader{.seq = seq, .ack = -1, .payload = payload};
+  p.created_at = now;
+  return p;
+}
+
+Packet make_tcp_ack(std::int64_t ack, std::int32_t header_bytes, NodeId src, NodeId dst,
+                    sim::Time now) {
+  Packet p;
+  p.type = PacketType::kTcpAck;
+  p.size_bytes = header_bytes;
+  p.src = src;
+  p.dst = dst;
+  p.tcp = TcpHeader{.seq = 0, .ack = ack, .payload = 0};
+  p.created_at = now;
+  return p;
+}
+
+Packet make_control(PacketType type, std::int64_t size_bytes, NodeId src, NodeId dst,
+                    sim::Time now) {
+  Packet p;
+  p.type = type;
+  p.size_bytes = size_bytes;
+  p.src = src;
+  p.dst = dst;
+  p.created_at = now;
+  return p;
+}
+
+}  // namespace wtcp::net

@@ -1,0 +1,107 @@
+// Packet model.
+//
+// wtcp packets are simulation-level records (like ns-1's): a type tag, an
+// on-wire size, and a small set of optional typed headers.  No byte-level
+// serialization is performed — the paper's results depend only on sizes,
+// timing and loss, not on wire encoding.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/sim/time.hpp"
+
+namespace wtcp::net {
+
+/// Node identifiers used for coarse addressing in the 3-node topology.
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+enum class PacketType : std::uint8_t {
+  kTcpData,       ///< TCP segment carrying payload (FH -> MH)
+  kTcpAck,        ///< TCP cumulative acknowledgment (MH -> FH)
+  kLinkFragment,  ///< link-layer fragment of a wired datagram (BS -> MH)
+  kLinkAck,       ///< link-layer ARQ acknowledgment (MH -> BS)
+  kEbsn,          ///< Explicit Bad State Notification (BS -> FH), ICMP-like
+  kSourceQuench,  ///< ICMP Source Quench (BS -> FH)
+  kBackground,    ///< cross-traffic (wired congestion experiments)
+};
+
+/// Human-readable name for traces.
+const char* to_string(PacketType t);
+
+/// A SACK block: segments [begin, end) received above the cumulative ACK
+/// (RFC 2018, with segment-granularity numbering).
+struct SackBlock {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;  ///< exclusive
+  bool empty() const { return end <= begin; }
+};
+
+/// TCP header carried by kTcpData / kTcpAck packets.
+///
+/// Sequence numbers are in *segments*, as in ns-1's TCP: each data packet
+/// carries exactly one segment, `seq` is its index, and an ACK's `ack`
+/// field is the next expected segment (cumulative).
+struct TcpHeader {
+  std::int64_t seq = 0;        ///< data: segment index; ack: unused (0)
+  std::int64_t ack = -1;       ///< ack: next expected segment index
+  std::int32_t payload = 0;    ///< payload bytes carried by a data segment
+  bool retransmit = false;     ///< true if this is a source retransmission
+  bool syn = false;            ///< connection-establishment segment
+  bool fin = false;            ///< connection-teardown segment
+  std::uint64_t conn = 0;      ///< connection id (single connection here)
+
+  /// Up to 3 SACK blocks (RFC 2018 option space); unused blocks are empty.
+  /// The 40-byte header size accounting ignores option bytes, as ns did.
+  std::array<SackBlock, 3> sack{};
+  bool has_sack() const { return !sack[0].empty(); }
+};
+
+/// Link-layer fragmentation header (kLinkFragment / kLinkAck).
+struct FragmentHeader {
+  std::uint64_t datagram_id = 0;  ///< id of the wired datagram being carried
+  std::int32_t index = 0;         ///< fragment index within the datagram
+  std::int32_t count = 1;         ///< total fragments of the datagram
+  std::int64_t link_seq = -1;     ///< link ARQ sequence number (-1 if no ARQ)
+};
+
+/// A packet in flight.  Value type; copies are cheap (fragments share the
+/// encapsulated original via shared_ptr).
+struct Packet {
+  PacketType type = PacketType::kTcpData;
+  std::int64_t size_bytes = 0;  ///< on-wire size including protocol headers
+
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+
+  std::optional<TcpHeader> tcp;
+  std::optional<FragmentHeader> frag;
+
+  /// For kLinkFragment: the wired datagram this fragment carries a piece
+  /// of.  All fragments of one datagram point at the same original.
+  std::shared_ptr<const Packet> encapsulated;
+
+  /// Creation time (set by the originating agent); used for delay stats.
+  sim::Time created_at;
+
+  /// Monotone id assigned by the creating agent, for tracing/debugging.
+  std::uint64_t uid = 0;
+
+  /// One-line rendering for logs and traces.
+  std::string describe() const;
+};
+
+/// Factory helpers — keep call sites terse and sizes consistent.
+/// `header_bytes` is the combined TCP/IP header size (paper: 40 bytes).
+Packet make_tcp_data(std::int64_t seq, std::int32_t payload, std::int32_t header_bytes,
+                     NodeId src, NodeId dst, sim::Time now);
+Packet make_tcp_ack(std::int64_t ack, std::int32_t header_bytes, NodeId src, NodeId dst,
+                    sim::Time now);
+Packet make_control(PacketType type, std::int64_t size_bytes, NodeId src, NodeId dst,
+                    sim::Time now);
+
+}  // namespace wtcp::net

@@ -1,0 +1,58 @@
+#include "src/net/queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace wtcp::net {
+
+DropTailQueue::DropTailQueue(std::size_t capacity_packets, std::int64_t capacity_bytes)
+    : capacity_packets_(capacity_packets), capacity_bytes_(capacity_bytes) {
+  assert(capacity_packets_ > 0);
+}
+
+bool DropTailQueue::enqueue(Packet pkt) {
+  if (items_.size() >= capacity_packets_ || bytes_ + pkt.size_bytes > capacity_bytes_) {
+    ++stats_.dropped;
+    return false;
+  }
+  bytes_ += pkt.size_bytes;
+  items_.push_back(std::move(pkt));
+  ++stats_.enqueued;
+  stats_.max_depth_packets = std::max(stats_.max_depth_packets, items_.size());
+  stats_.max_depth_bytes = std::max(stats_.max_depth_bytes, bytes_);
+  return true;
+}
+
+bool DropTailQueue::enqueue_front(Packet pkt) {
+  if (items_.size() >= capacity_packets_ || bytes_ + pkt.size_bytes > capacity_bytes_) {
+    ++stats_.dropped;
+    return false;
+  }
+  bytes_ += pkt.size_bytes;
+  items_.push_front(std::move(pkt));
+  ++stats_.enqueued;
+  stats_.max_depth_packets = std::max(stats_.max_depth_packets, items_.size());
+  stats_.max_depth_bytes = std::max(stats_.max_depth_bytes, bytes_);
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::dequeue() {
+  if (items_.empty()) return std::nullopt;
+  Packet pkt = std::move(items_.front());
+  items_.pop_front();
+  bytes_ -= pkt.size_bytes;
+  ++stats_.dequeued;
+  return pkt;
+}
+
+const Packet* DropTailQueue::peek() const {
+  return items_.empty() ? nullptr : &items_.front();
+}
+
+void DropTailQueue::clear() {
+  items_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace wtcp::net

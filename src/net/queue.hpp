@@ -1,0 +1,59 @@
+// Drop-tail FIFO packet queue with occupancy statistics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "src/net/packet.hpp"
+
+namespace wtcp::net {
+
+/// Statistics exported by a queue; all counters are cumulative.
+struct QueueStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t dropped = 0;        ///< tail drops due to a full queue
+  std::size_t max_depth_packets = 0;
+  std::int64_t max_depth_bytes = 0;
+};
+
+/// Bounded FIFO.  Capacity is expressed in packets (the paper's BS buffers
+/// are packet buffers); an optional byte bound can also be set.
+class DropTailQueue {
+ public:
+  explicit DropTailQueue(std::size_t capacity_packets,
+                         std::int64_t capacity_bytes = INT64_MAX);
+
+  /// Returns true if accepted, false if tail-dropped.
+  bool enqueue(Packet pkt);
+
+  /// Insert at the head (priority traffic such as link-level ACKs).
+  /// Subject to the same capacity bounds.
+  bool enqueue_front(Packet pkt);
+
+  /// Pop the head, or nullopt when empty.
+  std::optional<Packet> dequeue();
+
+  /// Inspect the head without removing it.
+  const Packet* peek() const;
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  std::int64_t bytes() const { return bytes_; }
+  std::size_t capacity_packets() const { return capacity_packets_; }
+
+  const QueueStats& stats() const { return stats_; }
+
+  /// Drop everything (used when tearing down a run).
+  void clear();
+
+ private:
+  std::size_t capacity_packets_;
+  std::int64_t capacity_bytes_;
+  std::int64_t bytes_ = 0;
+  std::deque<Packet> items_;
+  QueueStats stats_;
+};
+
+}  // namespace wtcp::net

@@ -1,0 +1,51 @@
+#include "src/phy/error_model.hpp"
+
+#include <cassert>
+
+namespace wtcp::phy {
+
+bool ErrorModel::corrupts(sim::Time start, sim::Time end, std::int64_t bits) {
+  assert(end >= start);
+  ++stats_.queries;
+  const bool bad = corrupts_impl(start, end, bits);
+  if (bad) ++stats_.corrupted;
+  return bad;
+}
+
+BernoulliErrorModel::BernoulliErrorModel(double loss_probability, sim::Rng rng)
+    : p_(loss_probability), rng_(rng) {
+  assert(p_ >= 0.0 && p_ <= 1.0);
+}
+
+bool BernoulliErrorModel::corrupts_impl(sim::Time, sim::Time, std::int64_t) {
+  return rng_.chance(p_);
+}
+
+ScriptedErrorModel::ScriptedErrorModel(std::vector<Window> loss_windows)
+    : windows_(std::move(loss_windows)) {}
+
+bool ScriptedErrorModel::corrupts_impl(sim::Time start, sim::Time end, std::int64_t) {
+  for (const Window& w : windows_) {
+    if (start < w.end && end > w.begin) return true;
+    if (start == end && start >= w.begin && start < w.end) return true;
+  }
+  return false;
+}
+
+CompositeErrorModel::CompositeErrorModel(
+    std::vector<std::shared_ptr<ErrorModel>> parts)
+    : parts_(std::move(parts)) {
+  assert(!parts_.empty());
+}
+
+bool CompositeErrorModel::corrupts_impl(sim::Time start, sim::Time end,
+                                        std::int64_t bits) {
+  bool corrupted = false;
+  for (const auto& part : parts_) {
+    // No short-circuit: every component must observe every query.
+    corrupted |= part->corrupts(start, end, bits);
+  }
+  return corrupted;
+}
+
+}  // namespace wtcp::phy

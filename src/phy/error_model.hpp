@@ -1,0 +1,98 @@
+// Channel error models.
+//
+// A link asks its error model, at transmission start, whether a frame
+// occupying the air for [start, end) with a given number of on-air bits
+// gets corrupted.  Models see queries in nondecreasing `start` order
+// (transmissions on each link direction are serialized and event times are
+// monotone), but a query's interval may extend past a later query's start
+// when the two directions of a duplex link share one channel state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/random.hpp"
+#include "src/sim/time.hpp"
+
+namespace wtcp::phy {
+
+/// Cumulative statistics every model tracks.
+struct ErrorModelStats {
+  std::uint64_t queries = 0;
+  std::uint64_t corrupted = 0;
+};
+
+class ErrorModel {
+ public:
+  virtual ~ErrorModel() = default;
+
+  /// Decide whether a frame on the air during [start, end) carrying `bits`
+  /// bits is corrupted.  Implementations must tolerate zero-length
+  /// intervals (instantaneous control frames) by judging the state at
+  /// `start`.
+  bool corrupts(sim::Time start, sim::Time end, std::int64_t bits);
+
+  const ErrorModelStats& stats() const { return stats_; }
+
+ protected:
+  virtual bool corrupts_impl(sim::Time start, sim::Time end, std::int64_t bits) = 0;
+
+ private:
+  ErrorModelStats stats_;
+};
+
+/// Lossless channel (wired links).
+class NullErrorModel final : public ErrorModel {
+ protected:
+  bool corrupts_impl(sim::Time, sim::Time, std::int64_t) override { return false; }
+};
+
+/// Independent per-frame loss with fixed probability.  Used in unit tests
+/// and as a memoryless baseline channel for ablations.
+class BernoulliErrorModel final : public ErrorModel {
+ public:
+  BernoulliErrorModel(double loss_probability, sim::Rng rng);
+
+ protected:
+  bool corrupts_impl(sim::Time, sim::Time, std::int64_t) override;
+
+ private:
+  double p_;
+  sim::Rng rng_;
+};
+
+/// Deterministic scripted loss: frames whose airtime overlaps any window in
+/// a caller-provided list are corrupted.  Used to build exact test
+/// scenarios ("lose exactly packets 4 and 5").
+class ScriptedErrorModel final : public ErrorModel {
+ public:
+  struct Window {
+    sim::Time begin;
+    sim::Time end;
+  };
+  explicit ScriptedErrorModel(std::vector<Window> loss_windows);
+
+ protected:
+  bool corrupts_impl(sim::Time start, sim::Time end, std::int64_t bits) override;
+
+ private:
+  std::vector<Window> windows_;
+};
+
+/// Combines several channel impairments: a frame is corrupted if ANY
+/// component model corrupts it.  All components see every query (their
+/// internal state trajectories stay consistent).  Used to overlay handoff
+/// blackouts on the fading channel.
+class CompositeErrorModel final : public ErrorModel {
+ public:
+  explicit CompositeErrorModel(std::vector<std::shared_ptr<ErrorModel>> parts);
+
+ protected:
+  bool corrupts_impl(sim::Time start, sim::Time end, std::int64_t bits) override;
+
+ private:
+  std::vector<std::shared_ptr<ErrorModel>> parts_;
+};
+
+}  // namespace wtcp::phy

@@ -1,0 +1,144 @@
+#include "src/phy/gilbert_elliott.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wtcp::phy {
+
+const char* to_string(ChannelState s) {
+  return s == ChannelState::kGood ? "GOOD" : "BAD";
+}
+
+// ---------------------------------------------------------------------------
+// Stochastic model
+// ---------------------------------------------------------------------------
+
+GilbertElliottModel::GilbertElliottModel(GilbertElliottConfig cfg, sim::Rng rng)
+    : cfg_(cfg), rng_(rng) {
+  assert(cfg_.mean_good_s > 0 && cfg_.mean_bad_s > 0);
+  assert(cfg_.ber_good >= 0 && cfg_.ber_bad >= 0);
+  segments_.push_back(Segment{sim::Time::zero(), ChannelState::kGood});
+  horizon_ = sim::Time::zero();
+}
+
+void GilbertElliottModel::extend_to(sim::Time until) {
+  while (horizon_ < until) {
+    const ChannelState cur = segments_.back().state;
+    const double mean_s =
+        cur == ChannelState::kGood ? cfg_.mean_good_s : cfg_.mean_bad_s;
+    const sim::Time sojourn = sim::Time::from_seconds(rng_.exponential(mean_s));
+    // Guard against a zero-length sojourn from an extreme draw.
+    const sim::Time step = std::max(sojourn, sim::Time::nanoseconds(1));
+    const sim::Time seg_begin = horizon_;
+    horizon_ = seg_begin + step;
+    if (cur == ChannelState::kBad) sampled_bad_ += step;
+    const ChannelState next =
+        cur == ChannelState::kGood ? ChannelState::kBad : ChannelState::kGood;
+    segments_.push_back(Segment{horizon_, next});
+  }
+}
+
+void GilbertElliottModel::prune_before(sim::Time t) {
+  // Keep the segment containing `t` and everything after it.
+  while (segments_.size() > 1 && segments_[1].begin <= t) {
+    segments_.pop_front();
+  }
+}
+
+ChannelState GilbertElliottModel::state_at(sim::Time t) {
+  extend_to(t + sim::Time::nanoseconds(1));
+  assert(!segments_.empty() && segments_.front().begin <= t);
+  ChannelState s = segments_.front().state;
+  for (const Segment& seg : segments_) {
+    if (seg.begin > t) break;
+    s = seg.state;
+  }
+  return s;
+}
+
+double GilbertElliottModel::expected_errors(sim::Time start, sim::Time end,
+                                            std::int64_t bits) {
+  extend_to(end);
+  if (start == end) {
+    // Instantaneous frame: judge by the state at `start`.
+    return ber_of(state_at(start)) * static_cast<double>(bits);
+  }
+  const double span_ns = static_cast<double>((end - start).ns());
+  double lambda = 0.0;
+  // Walk the trajectory accumulating BER-weighted overlap.
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const sim::Time seg_begin = segments_[i].begin;
+    const sim::Time seg_end =
+        (i + 1 < segments_.size()) ? segments_[i + 1].begin : horizon_;
+    const sim::Time ov_begin = std::max(seg_begin, start);
+    const sim::Time ov_end = std::min(seg_end, end);
+    if (ov_end <= ov_begin) continue;
+    const double frac = static_cast<double>((ov_end - ov_begin).ns()) / span_ns;
+    lambda += ber_of(segments_[i].state) * static_cast<double>(bits) * frac;
+  }
+  return lambda;
+}
+
+bool GilbertElliottModel::corrupts_impl(sim::Time start, sim::Time end,
+                                        std::int64_t bits) {
+  assert(start >= last_query_start_ &&
+         "GE model queries must have nondecreasing start times");
+  last_query_start_ = start;
+  prune_before(start);
+  const double lambda = expected_errors(start, end, bits);
+  const double p_loss = 1.0 - std::exp(-lambda);
+  return rng_.chance(p_loss);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic model (Figure 3-5 traces)
+// ---------------------------------------------------------------------------
+
+DeterministicGilbertElliott::DeterministicGilbertElliott(GilbertElliottConfig cfg)
+    : cfg_(cfg),
+      good_len_(sim::Time::from_seconds(cfg.mean_good_s)),
+      bad_len_(sim::Time::from_seconds(cfg.mean_bad_s)),
+      cycle_(good_len_ + bad_len_) {
+  assert(good_len_ > sim::Time::zero() && bad_len_ > sim::Time::zero());
+}
+
+ChannelState DeterministicGilbertElliott::state_at(sim::Time t) const {
+  if (t.is_negative()) return ChannelState::kGood;
+  const std::int64_t in_cycle = t.ns() % cycle_.ns();
+  return in_cycle < good_len_.ns() ? ChannelState::kGood : ChannelState::kBad;
+}
+
+double DeterministicGilbertElliott::expected_errors(sim::Time start, sim::Time end,
+                                                    std::int64_t bits) const {
+  if (start == end) {
+    const double ber =
+        state_at(start) == ChannelState::kGood ? cfg_.ber_good : cfg_.ber_bad;
+    return ber * static_cast<double>(bits);
+  }
+  // Integrate the piecewise-constant BER over [start, end).
+  const double span_ns = static_cast<double>((end - start).ns());
+  double lambda = 0.0;
+  sim::Time t = start;
+  while (t < end) {
+    const ChannelState s = state_at(t);
+    // Next boundary after t.
+    const std::int64_t in_cycle = t.ns() % cycle_.ns();
+    const std::int64_t to_boundary = (s == ChannelState::kGood)
+                                         ? good_len_.ns() - in_cycle
+                                         : cycle_.ns() - in_cycle;
+    const sim::Time seg_end = std::min(end, t + sim::Time::nanoseconds(to_boundary));
+    const double frac = static_cast<double>((seg_end - t).ns()) / span_ns;
+    const double ber = (s == ChannelState::kGood) ? cfg_.ber_good : cfg_.ber_bad;
+    lambda += ber * static_cast<double>(bits) * frac;
+    t = seg_end;
+  }
+  return lambda;
+}
+
+bool DeterministicGilbertElliott::corrupts_impl(sim::Time start, sim::Time end,
+                                                std::int64_t bits) {
+  return expected_errors(start, end, bits) >= 1.0;
+}
+
+}  // namespace wtcp::phy

@@ -1,0 +1,110 @@
+// Two-state Markov (Gilbert-Elliott) burst-error channel, exactly the model
+// of the paper's Section 3.1 (Figure 1):
+//
+//   - two states, GOOD and BAD;
+//   - in each state bit errors are Poisson with mean BER beta_g / beta_b;
+//   - sojourn times are exponential with means mean_good / mean_bad
+//     (equivalently, Poisson transition rates lambda_gb = 1/mean_good and
+//     lambda_bg = 1/mean_bad).
+//
+// A frame occupying the air for [start, end) with B bits sees an expected
+// error count  Lambda = sum_over_states( BER_s * B * overlap_s / (end-start) )
+// integrated along the sampled state trajectory; it is corrupted with
+// probability 1 - exp(-Lambda).
+//
+// Both directions of a duplex wireless link share one channel instance, so
+// data and ACK frames fade together as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "src/phy/error_model.hpp"
+
+namespace wtcp::phy {
+
+enum class ChannelState : std::uint8_t { kGood, kBad };
+
+const char* to_string(ChannelState s);
+
+/// Parameters of the burst-error channel.  Defaults are the paper's
+/// wide-area settings: BER_good = 1e-6, BER_bad = 1e-2, mean good period
+/// 10 s, mean bad period 1 s.
+struct GilbertElliottConfig {
+  double ber_good = 1e-6;   ///< mean bit error rate in the good state
+  double ber_bad = 1e-2;    ///< mean bit error rate in the bad state (deep fades)
+  double mean_good_s = 10;  ///< mean good-period length, seconds (1/lambda_gb)
+  double mean_bad_s = 1;    ///< mean bad-period length, seconds (1/lambda_bg)
+
+  /// Long-run fraction of time the channel is good.
+  double good_fraction() const { return mean_good_s / (mean_good_s + mean_bad_s); }
+};
+
+/// Stochastic Gilbert-Elliott channel.  Samples the state trajectory lazily
+/// and remembers enough history to answer (possibly overlapping) airtime
+/// queries from both directions of a duplex link.
+class GilbertElliottModel final : public ErrorModel {
+ public:
+  GilbertElliottModel(GilbertElliottConfig cfg, sim::Rng rng);
+
+  /// State of the channel at time `t` (samples the trajectory up to `t`).
+  /// `t` must be >= the earliest time still retained (queries are expected
+  /// in roughly nondecreasing order; see header comment).
+  ChannelState state_at(sim::Time t);
+
+  const GilbertElliottConfig& config() const { return cfg_; }
+
+  /// Total time spent in the bad state among the trajectory sampled so far
+  /// (diagnostics; grows as queries extend the trajectory).
+  sim::Time sampled_bad_time() const { return sampled_bad_; }
+  sim::Time sampled_until() const { return horizon_; }
+
+ protected:
+  bool corrupts_impl(sim::Time start, sim::Time end, std::int64_t bits) override;
+
+ private:
+  struct Segment {
+    sim::Time begin;  ///< segment covers [begin, next segment's begin)
+    ChannelState state;
+  };
+
+  void extend_to(sim::Time until);
+  void prune_before(sim::Time t);
+  /// Expected bit-error count for `bits` spread uniformly over [start, end).
+  double expected_errors(sim::Time start, sim::Time end, std::int64_t bits);
+  double ber_of(ChannelState s) const {
+    return s == ChannelState::kGood ? cfg_.ber_good : cfg_.ber_bad;
+  }
+
+  GilbertElliottConfig cfg_;
+  sim::Rng rng_;
+  std::deque<Segment> segments_;  ///< sampled trajectory, oldest first
+  sim::Time horizon_;             ///< trajectory is valid on [segments_.front().begin, horizon_)
+  sim::Time sampled_bad_;
+  sim::Time last_query_start_;
+};
+
+/// Deterministic variant used for the paper's Figure 3-5 traces: the
+/// channel alternates fixed-length good/bad periods starting in GOOD at
+/// t = 0, and a frame is corrupted iff its expected bit-error count is
+/// >= 1.0 (constant — "do not follow a random distribution").
+class DeterministicGilbertElliott final : public ErrorModel {
+ public:
+  explicit DeterministicGilbertElliott(GilbertElliottConfig cfg);
+
+  ChannelState state_at(sim::Time t) const;
+  const GilbertElliottConfig& config() const { return cfg_; }
+
+ protected:
+  bool corrupts_impl(sim::Time start, sim::Time end, std::int64_t bits) override;
+
+ private:
+  double expected_errors(sim::Time start, sim::Time end, std::int64_t bits) const;
+
+  GilbertElliottConfig cfg_;
+  sim::Time good_len_;
+  sim::Time bad_len_;
+  sim::Time cycle_;
+};
+
+}  // namespace wtcp::phy

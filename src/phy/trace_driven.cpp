@@ -1,0 +1,106 @@
+#include "src/phy/trace_driven.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace wtcp::phy {
+
+TraceDrivenErrorModel::TraceDrivenErrorModel(std::vector<FadeWindow> windows,
+                                             sim::Rng rng, double residual_ber)
+    : windows_(std::move(windows)), rng_(rng), residual_ber_(residual_ber) {
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    if (windows_[i].end <= windows_[i].begin) {
+      throw std::runtime_error("fade trace: empty or inverted window");
+    }
+    if (i > 0 && windows_[i].begin < windows_[i - 1].end) {
+      throw std::runtime_error("fade trace: windows unsorted or overlapping");
+    }
+  }
+}
+
+std::vector<FadeWindow> TraceDrivenErrorModel::parse(std::istream& is) {
+  std::vector<FadeWindow> windows;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    double begin_s = 0, end_s = 0;
+    if (!(ls >> begin_s)) continue;  // blank / comment-only line
+    if (!(ls >> end_s)) {
+      throw std::runtime_error("fade trace: missing end time on line " +
+                               std::to_string(lineno));
+    }
+    windows.push_back(FadeWindow{sim::Time::from_seconds(begin_s),
+                                 sim::Time::from_seconds(end_s)});
+  }
+  return windows;
+}
+
+TraceDrivenErrorModel TraceDrivenErrorModel::from_file(const std::string& path,
+                                                       sim::Rng rng,
+                                                       double residual_ber) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("fade trace: cannot open " + path);
+  return TraceDrivenErrorModel(parse(is), rng, residual_ber);
+}
+
+void TraceDrivenErrorModel::write(std::ostream& os,
+                                  const std::vector<FadeWindow>& windows) {
+  os << "# fade trace: begin_seconds end_seconds\n";
+  for (const FadeWindow& w : windows) {
+    os << w.begin.to_seconds() << ' ' << w.end.to_seconds() << '\n';
+  }
+}
+
+std::vector<FadeWindow> TraceDrivenErrorModel::record(GilbertElliottModel& model,
+                                                      sim::Time horizon,
+                                                      sim::Time resolution) {
+  std::vector<FadeWindow> windows;
+  bool in_fade = false;
+  sim::Time fade_begin;
+  for (sim::Time t; t < horizon; t += resolution) {
+    const bool bad = model.state_at(t) == ChannelState::kBad;
+    if (bad && !in_fade) {
+      in_fade = true;
+      fade_begin = t;
+    } else if (!bad && in_fade) {
+      in_fade = false;
+      windows.push_back(FadeWindow{fade_begin, t});
+    }
+  }
+  if (in_fade) windows.push_back(FadeWindow{fade_begin, horizon});
+  return windows;
+}
+
+sim::Time TraceDrivenErrorModel::total_fade_time() const {
+  sim::Time total;
+  for (const FadeWindow& w : windows_) total += w.end - w.begin;
+  return total;
+}
+
+bool TraceDrivenErrorModel::overlaps_fade(sim::Time start, sim::Time end) const {
+  // Binary search: first window ending after `start`.
+  auto it = std::lower_bound(windows_.begin(), windows_.end(), start,
+                             [](const FadeWindow& w, sim::Time t) {
+                               return w.end <= t;
+                             });
+  if (it == windows_.end()) return false;
+  if (start == end) return start >= it->begin && start < it->end;
+  return it->begin < end;
+}
+
+bool TraceDrivenErrorModel::corrupts_impl(sim::Time start, sim::Time end,
+                                          std::int64_t bits) {
+  if (overlaps_fade(start, end)) return true;
+  // Residual bit errors outside fades.
+  const double lambda = residual_ber_ * static_cast<double>(bits);
+  return rng_.chance(1.0 - std::exp(-lambda));
+}
+
+}  // namespace wtcp::phy

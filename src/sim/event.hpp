@@ -1,0 +1,26 @@
+// Event handles for the discrete-event scheduler.
+#pragma once
+
+#include <cstdint>
+
+namespace wtcp::sim {
+
+/// Opaque handle to a scheduled event.  Default-constructed handles are
+/// invalid; a handle becomes stale (harmlessly) once its event fires or is
+/// cancelled.
+class EventId {
+ public:
+  constexpr EventId() = default;
+
+  constexpr bool valid() const { return id_ != 0; }
+  constexpr std::uint64_t raw() const { return id_; }
+
+  friend constexpr bool operator==(EventId, EventId) = default;
+
+ private:
+  friend class Scheduler;
+  explicit constexpr EventId(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace wtcp::sim

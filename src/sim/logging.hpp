@@ -1,0 +1,46 @@
+// Minimal leveled, component-tagged logging keyed to simulation time.
+// Disabled by default; experiments enable it for debugging single runs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "src/sim/time.hpp"
+
+namespace wtcp::sim {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kOff };
+
+/// Global log configuration.  A simulation is single-threaded, so a plain
+/// global is fine and keeps call sites cheap when logging is off.
+class Log {
+ public:
+  static void set_level(LogLevel level) { level_ = level; }
+  static LogLevel level() { return level_; }
+  static bool enabled(LogLevel level) { return level >= level_ && level_ != LogLevel::kOff; }
+
+  /// Set the sink (defaults to stderr).  Pass nullptr to restore stderr.
+  static void set_sink(std::FILE* sink) { sink_ = sink ? sink : stderr; }
+
+  static void write(LogLevel level, Time now, std::string_view component,
+                    std::string_view message);
+
+ private:
+  static inline LogLevel level_ = LogLevel::kOff;
+  static inline std::FILE* sink_ = stderr;
+};
+
+/// printf-style formatting helper used by the WTCP_LOG macro.
+std::string log_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace wtcp::sim
+
+/// Usage: WTCP_LOG(kDebug, sim.now(), "tcp", "timeout seq=%ld", seq);
+#define WTCP_LOG(level, now, component, ...)                                       \
+  do {                                                                             \
+    if (::wtcp::sim::Log::enabled(::wtcp::sim::LogLevel::level)) {                 \
+      ::wtcp::sim::Log::write(::wtcp::sim::LogLevel::level, (now), (component),    \
+                              ::wtcp::sim::log_format(__VA_ARGS__));               \
+    }                                                                              \
+  } while (0)

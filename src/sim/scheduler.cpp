@@ -1,0 +1,74 @@
+#include "src/sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace wtcp::sim {
+
+EventId Scheduler::schedule_at(Time at, Callback cb) {
+  assert(cb);
+  if (at < now_) at = now_;  // never schedule into the past
+  const std::uint64_t id = next_id_++;
+  heap_.push(HeapEntry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return EventId{id};
+}
+
+EventId Scheduler::schedule_after(Time delay, Callback cb) {
+  if (delay.is_negative()) delay = Time::zero();
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (!id.valid()) return false;
+  return callbacks_.erase(id.raw()) > 0;
+}
+
+Time Scheduler::next_event_time() {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
+    heap_.pop();  // drop cancelled entries
+  }
+  return heap_.empty() ? Time::max() : heap_.top().at;
+}
+
+bool Scheduler::run_one() {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.at;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Scheduler::run_until(Time until) {
+  std::uint64_t n = 0;
+  while (next_event_time() <= until && run_one()) ++n;
+  if (now_ < until && heap_.empty()) {
+    // No event exactly at `until`; still advance the clock so that now()
+    // reflects the horizon the caller asked for.
+    now_ = until;
+  } else if (now_ < until) {
+    now_ = until;
+  }
+  return n;
+}
+
+std::uint64_t Scheduler::run() {
+  std::uint64_t n = 0;
+  while (run_one()) ++n;
+  return n;
+}
+
+void Scheduler::clear() {
+  callbacks_.clear();
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace wtcp::sim

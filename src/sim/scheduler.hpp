@@ -1,0 +1,88 @@
+// Discrete-event scheduler: a binary heap of (time, seq) keyed events with
+// O(log n) scheduling and O(1) lazy cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/event.hpp"
+#include "src/sim/time.hpp"
+
+namespace wtcp::sim {
+
+/// The event queue at the heart of the simulator.
+///
+/// Events scheduled for the same instant fire in insertion order, which
+/// makes runs deterministic.  Cancellation is lazy: the heap entry stays
+/// behind and is skipped when popped.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time.  Advances only inside run_one().
+  Time now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `at` (must be >= now()).
+  EventId schedule_at(Time at, Callback cb);
+
+  /// Schedule `cb` to run `delay` from now (delay clamped to >= 0).
+  EventId schedule_after(Time delay, Callback cb);
+
+  /// Cancel a pending event.  Returns true if the event was still pending.
+  /// Safe to call with invalid/stale handles.
+  bool cancel(EventId id);
+
+  /// True if `id` refers to an event that has not yet fired or been
+  /// cancelled.
+  bool pending(EventId id) const { return callbacks_.contains(id.raw()); }
+
+  /// Number of live (non-cancelled) pending events.
+  std::size_t pending_count() const { return callbacks_.size(); }
+  bool empty() const { return callbacks_.empty(); }
+
+  /// Time of the earliest live event, or Time::max() if none.
+  Time next_event_time();
+
+  /// Pop and run the earliest event.  Returns false if the queue is empty.
+  bool run_one();
+
+  /// Run until the queue drains or `until` is reached (events at exactly
+  /// `until` DO run).  Returns the number of events executed.
+  std::uint64_t run_until(Time until);
+
+  /// Run until the queue drains.
+  std::uint64_t run();
+
+  /// Drop all pending events (used between experiment runs).
+  void clear();
+
+  /// Total events executed over the scheduler's lifetime.
+  std::uint64_t executed_count() const { return executed_; }
+
+ private:
+  struct HeapEntry {
+    Time at;
+    std::uint64_t seq;  // tie-break: insertion order
+    std::uint64_t id;
+    friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace wtcp::sim

@@ -1,0 +1,15 @@
+#include "src/sim/simulator.hpp"
+
+namespace wtcp::sim {
+
+Simulator::Simulator(std::uint64_t seed) : seed_(seed), root_rng_(seed) {}
+
+std::uint64_t Simulator::run(Time horizon) {
+  std::uint64_t n = 0;
+  while (!stopped_ && sched_.next_event_time() <= horizon && sched_.run_one()) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace wtcp::sim

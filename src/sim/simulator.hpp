@@ -1,0 +1,57 @@
+// Simulator facade: owns the scheduler and the experiment-wide RNG root,
+// and provides the run loop with an optional hard stop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/random.hpp"
+#include "src/sim/scheduler.hpp"
+#include "src/sim/time.hpp"
+
+namespace wtcp::sim {
+
+/// One simulation run.  Components hold a Simulator& and use it for time,
+/// timers and randomness.  Not thread-safe (a run is single-threaded by
+/// construction; parallelism happens across runs).
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return sched_.now(); }
+  Scheduler& scheduler() { return sched_; }
+
+  /// Root RNG; components should fork() their own labelled streams.
+  const Rng& root_rng() const { return root_rng_; }
+  Rng fork_rng(std::string_view label) const { return root_rng_.fork(label); }
+
+  EventId at(Time when, Scheduler::Callback cb) {
+    return sched_.schedule_at(when, std::move(cb));
+  }
+  EventId after(Time delay, Scheduler::Callback cb) {
+    return sched_.schedule_after(delay, std::move(cb));
+  }
+  bool cancel(EventId id) { return sched_.cancel(id); }
+  bool pending(EventId id) const { return sched_.pending(id); }
+
+  /// Run until no events remain, `horizon` is exceeded, or stop() is called.
+  /// Returns the number of events executed.
+  std::uint64_t run(Time horizon = Time::max());
+
+  /// Request the run loop to exit after the current event.
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  Scheduler sched_;
+  Rng root_rng_;
+  bool stopped_ = false;
+};
+
+}  // namespace wtcp::sim

@@ -1,0 +1,43 @@
+#include "src/sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wtcp::sim {
+
+Time Time::from_seconds(double s) {
+  return Time{static_cast<std::int64_t>(std::llround(s * 1e9))};
+}
+
+Time Time::from_milliseconds(double ms) {
+  return Time{static_cast<std::int64_t>(std::llround(ms * 1e6))};
+}
+
+Time Time::scaled(double factor) const {
+  return Time{static_cast<std::int64_t>(std::llround(static_cast<double>(ns_) * factor))};
+}
+
+std::string Time::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9fs", to_seconds());
+  return buf;
+}
+
+Time transmission_time(std::int64_t bytes, std::int64_t bits_per_second) {
+  // ceil(bits * 1e9 / bps) without overflow for realistic inputs:
+  // bytes < 2^32 and bps >= 1.
+  const std::int64_t bits = bytes * 8;
+  const std::int64_t num = bits * 1'000'000'000;
+  return Time::nanoseconds((num + bits_per_second - 1) / bits_per_second);
+}
+
+std::int64_t bits_in(Time d, std::int64_t bits_per_second) {
+  if (d.is_negative()) return 0;
+  // floor(ns * bps / 1e9).  Use long double to avoid overflow for long
+  // durations at high bit rates; precision is ample for simulation needs.
+  const long double bits =
+      static_cast<long double>(d.ns()) * static_cast<long double>(bits_per_second) / 1e9L;
+  return static_cast<std::int64_t>(bits);
+}
+
+}  // namespace wtcp::sim

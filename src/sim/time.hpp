@@ -1,0 +1,78 @@
+// Simulation time: a strong int64 nanosecond type.
+//
+// All of wtcp runs on integer nanoseconds so that event ordering is exact
+// and runs are bit-reproducible across platforms.  Helpers convert to and
+// from seconds/milliseconds and compute serialization delays for a given
+// bit rate with round-to-nearest semantics.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace wtcp::sim {
+
+/// A point in simulated time (or a duration), in integer nanoseconds.
+///
+/// Time is a regular value type: totally ordered, hashable, cheap to copy.
+/// Arithmetic between two Times yields a Time (durations and instants share
+/// the representation, as in ns-3's Time class).
+class Time {
+ public:
+  constexpr Time() = default;
+
+  /// Named constructors.
+  static constexpr Time nanoseconds(std::int64_t ns) { return Time{ns}; }
+  static constexpr Time microseconds(std::int64_t us) { return Time{us * 1'000}; }
+  static constexpr Time milliseconds(std::int64_t ms) { return Time{ms * 1'000'000}; }
+  static constexpr Time seconds(std::int64_t s) { return Time{s * 1'000'000'000}; }
+  /// Fractional seconds, rounded to the nearest nanosecond.
+  static Time from_seconds(double s);
+  /// Fractional milliseconds, rounded to the nearest nanosecond.
+  static Time from_milliseconds(double ms);
+
+  /// The largest representable time; used as "never".
+  static constexpr Time max() { return Time{std::numeric_limits<std::int64_t>::max()}; }
+  static constexpr Time zero() { return Time{0}; }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_milliseconds() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  friend constexpr auto operator<=>(Time a, Time b) = default;
+
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  constexpr Time& operator+=(Time o) { ns_ += o.ns_; return *this; }
+  constexpr Time& operator-=(Time o) { ns_ -= o.ns_; return *this; }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ns_ * k}; }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.ns_ * k}; }
+  friend constexpr Time operator/(Time a, std::int64_t k) { return Time{a.ns_ / k}; }
+  /// Ratio of two durations.
+  friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+  /// Scale by a double, rounding to nearest nanosecond (for backoff jitter).
+  Time scaled(double factor) const;
+
+  /// "12.345678s" style human-readable rendering.
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Time(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// Serialization delay of `bytes` at `bits_per_second`, rounded up to a
+/// whole nanosecond so that back-to-back transmissions never overlap.
+Time transmission_time(std::int64_t bytes, std::int64_t bits_per_second);
+
+/// Number of bits that fit in duration `d` at `bits_per_second` (floor).
+std::int64_t bits_in(Time d, std::int64_t bits_per_second);
+
+}  // namespace wtcp::sim

@@ -1,0 +1,16 @@
+#include "src/stats/metrics.hpp"
+
+#include <ostream>
+
+namespace wtcp::stats {
+
+std::ostream& operator<<(std::ostream& os, const RunMetrics& m) {
+  os << (m.completed ? "completed" : "INCOMPLETE") << " in "
+     << m.duration.to_seconds() << "s, throughput=" << m.throughput_kbps()
+     << " kbps, goodput=" << m.goodput << ", timeouts=" << m.timeouts
+     << ", fast_rtx=" << m.fast_retransmits
+     << ", rtx_bytes=" << m.retransmitted_bytes << ", ebsn=" << m.ebsn_received;
+  return os;
+}
+
+}  // namespace wtcp::stats

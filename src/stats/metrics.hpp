@@ -1,0 +1,59 @@
+// Run-level metrics: the quantities the paper's evaluation reports.
+//
+//   goodput    = useful data received at the destination
+//                / total data transmitted by the source        (Section 1)
+//   throughput = data received by the end user (payload + 40 B header per
+//                delivered segment) / connection time           (Section 5)
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "src/sim/time.hpp"
+
+namespace wtcp::stats {
+
+struct RunMetrics {
+  bool completed = false;       ///< transfer finished before the horizon
+  sim::Time duration;           ///< start of transfer -> last in-order byte at sink
+  double throughput_bps = 0.0;  ///< paper's throughput metric
+  double goodput = 0.0;         ///< paper's goodput metric, in [0, 1]
+
+  // Source-side detail.
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t segments_sent = 0;
+  std::uint64_t segments_retransmitted = 0;
+  std::int64_t retransmitted_bytes = 0;  ///< payload bytes resent by source (Fig. 9/11)
+  std::uint64_t ebsn_received = 0;
+  std::uint64_t quench_received = 0;
+
+  // Sink-side detail.
+  std::int64_t unique_payload_bytes = 0;
+  std::uint64_t duplicate_segments = 0;
+
+  // Wireless link / local recovery detail.
+  std::uint64_t wireless_frames_corrupted = 0;
+  std::uint64_t arq_attempts = 0;
+  std::uint64_t arq_retransmissions = 0;
+  std::uint64_t arq_discards = 0;
+  std::uint64_t ebsn_sent = 0;
+  std::uint64_t quench_sent = 0;
+  std::uint64_t snoop_local_retransmits = 0;
+  std::uint64_t handoffs = 0;
+
+  // End-to-end segment delay (source tx -> sink arrival), seconds.
+  double delay_p50_s = 0.0;
+  double delay_p95_s = 0.0;
+  double delay_max_s = 0.0;
+
+  double throughput_kbps() const { return throughput_bps / 1000.0; }
+  double retransmitted_kbytes() const {
+    return static_cast<double>(retransmitted_bytes) / 1024.0;
+  }
+};
+
+/// One-line human-readable rendering (for examples and debugging).
+std::ostream& operator<<(std::ostream& os, const RunMetrics& m);
+
+}  // namespace wtcp::stats

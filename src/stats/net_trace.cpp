@@ -1,0 +1,89 @@
+#include "src/stats/net_trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace wtcp::stats {
+
+void NetTrace::attach(net::DuplexLink& link, std::string name) {
+  const auto idx = static_cast<std::uint16_t>(names_.size());
+  names_.push_back(std::move(name));
+  link.add_trace_hook([this, idx](char event, int from, const net::Packet& pkt) {
+    NetTraceRecord r;
+    r.at = sim_.now();
+    r.event = event;
+    r.link = idx;
+    r.from = static_cast<std::int8_t>(from);
+    r.type = pkt.type;
+    r.size_bytes = pkt.size_bytes;
+    r.conn = pkt.tcp ? pkt.tcp->conn : 0;
+    if (pkt.tcp) {
+      r.seq = pkt.type == net::PacketType::kTcpAck ? pkt.tcp->ack : pkt.tcp->seq;
+    } else if (pkt.frag) {
+      r.seq = pkt.frag->link_seq;
+    } else {
+      r.seq = -1;
+    }
+    records_.push_back(r);
+  });
+}
+
+int NetTrace::link_index(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::size_t NetTrace::count(char event, std::string_view link_name) const {
+  const int idx = link_name.empty() ? -1 : link_index(link_name);
+  std::size_t n = 0;
+  for (const NetTraceRecord& r : records_) {
+    if (r.event != event) continue;
+    if (idx >= 0 && r.link != idx) continue;
+    ++n;
+  }
+  return n;
+}
+
+std::int64_t NetTrace::bytes_sent(std::string_view link_name, net::PacketType type,
+                                  int from) const {
+  const int idx = link_index(link_name);
+  assert(idx >= 0 && "unknown link name");
+  std::int64_t bytes = 0;
+  for (const NetTraceRecord& r : records_) {
+    if (r.event != '-' || r.link != idx || r.type != type) continue;
+    if (from >= 0 && r.from != from) continue;
+    bytes += r.size_bytes;
+  }
+  return bytes;
+}
+
+double NetTrace::utilization(std::string_view link_name,
+                             const net::DuplexLink& link, sim::Time begin,
+                             sim::Time end) const {
+  assert(end > begin);
+  const int idx = link_index(link_name);
+  assert(idx >= 0 && "unknown link name");
+  sim::Time busy;
+  for (const NetTraceRecord& r : records_) {
+    if (r.event != '-' || r.link != idx) continue;
+    const sim::Time tx_end = r.at + link.frame_airtime(r.size_bytes);
+    const sim::Time ov_begin = std::max(r.at, begin);
+    const sim::Time ov_end = std::min(tx_end, end);
+    if (ov_end > ov_begin) busy += ov_end - ov_begin;
+  }
+  return busy / (end - begin);
+}
+
+void NetTrace::write_tsv(std::ostream& os) const {
+  os << "# event\ttime_s\tlink\tfrom\ttype\tsize\tseq\tconn\n";
+  for (const NetTraceRecord& r : records_) {
+    os << r.event << '\t' << r.at.to_seconds() << '\t' << names_[r.link] << '\t'
+       << static_cast<int>(r.from) << '\t' << net::to_string(r.type) << '\t'
+       << r.size_bytes << '\t' << r.seq << '\t' << r.conn << '\n';
+  }
+}
+
+}  // namespace wtcp::stats

@@ -1,0 +1,72 @@
+// Network-wide event traces, in the spirit of ns's trace files.
+//
+// Attach a NetTrace to any set of links and every queue/transmit/deliver/
+// drop/corrupt event is recorded with its packet metadata.  The analyzer
+// answers the questions one normally greps an ns trace for: per-link
+// loss and drop counts, byte volumes per packet type, and link
+// utilization over an interval.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/net/link.hpp"
+#include "src/net/packet.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/sim/time.hpp"
+
+namespace wtcp::stats {
+
+struct NetTraceRecord {
+  sim::Time at;
+  char event;  ///< '+', '-', 'd', 'r', 'c' (see DuplexLink::TraceHook)
+  std::uint16_t link;  ///< index into link_names()
+  std::int8_t from;    ///< transmitting endpoint
+  net::PacketType type;
+  std::int64_t size_bytes;
+  std::int64_t seq;    ///< TCP seq/ack or link_seq, -1 if n/a
+  std::uint64_t conn;  ///< TCP connection id, 0 if n/a
+};
+
+class NetTrace {
+ public:
+  NetTrace(sim::Simulator& sim) : sim_(sim) {}
+
+  NetTrace(const NetTrace&) = delete;
+  NetTrace& operator=(const NetTrace&) = delete;
+
+  /// Start recording `link`'s events under the given display name.
+  void attach(net::DuplexLink& link, std::string name);
+
+  const std::vector<NetTraceRecord>& records() const { return records_; }
+  const std::vector<std::string>& link_names() const { return names_; }
+
+  /// Number of records matching an event (and optionally a link name).
+  std::size_t count(char event, std::string_view link_name = {}) const;
+
+  /// Bytes that finished transmission ('-' events) per packet type on one
+  /// link, endpoint `from` (-1 = both).
+  std::int64_t bytes_sent(std::string_view link_name, net::PacketType type,
+                          int from = -1) const;
+
+  /// Fraction of [begin, end) the link spent transmitting (any direction),
+  /// reconstructed from '-' events and link bandwidth/overhead.
+  double utilization(std::string_view link_name, const net::DuplexLink& link,
+                     sim::Time begin, sim::Time end) const;
+
+  /// ns-style text dump: event time link from type size seq conn
+  void write_tsv(std::ostream& os) const;
+
+  void clear() { records_.clear(); }
+
+ private:
+  int link_index(std::string_view name) const;
+
+  sim::Simulator& sim_;
+  std::vector<std::string> names_;
+  std::vector<NetTraceRecord> records_;
+};
+
+}  // namespace wtcp::stats

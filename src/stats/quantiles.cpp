@@ -1,0 +1,30 @@
+#include "src/stats/quantiles.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wtcp::stats {
+
+double Quantiles::quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const auto n = samples_.size();
+  // Nearest-rank: ceil(q * n), clamped to [1, n], as a 0-based index.
+  std::size_t rank = static_cast<std::size_t>(q * static_cast<double>(n) + 0.999999);
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return samples_[rank - 1];
+}
+
+double Quantiles::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+}  // namespace wtcp::stats

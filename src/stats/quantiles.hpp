@@ -1,0 +1,42 @@
+// Exact quantile accumulator for per-packet delay distributions.
+//
+// Runs in this library are small (10^3..10^5 samples), so we keep the
+// samples and sort lazily — exact quantiles, no sketch error, trivial to
+// reason about in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wtcp::stats {
+
+class Quantiles {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Quantile q in [0, 1] (nearest-rank).  0 with no samples.
+  double quantile(double q) const;
+
+  double median() const { return quantile(0.5); }
+  double p95() const { return quantile(0.95); }
+  double max() const { return quantile(1.0); }
+  double min() const { return quantile(0.0); }
+  double mean() const;
+
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace wtcp::stats

@@ -1,0 +1,26 @@
+#include "src/stats/summary.hpp"
+
+#include <algorithm>
+
+namespace wtcp::stats {
+
+void Summary::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::cv() const {
+  if (n_ == 0 || mean_ == 0.0) return 0.0;
+  return stddev() / std::abs(mean_);
+}
+
+}  // namespace wtcp::stats

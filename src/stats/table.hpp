@@ -1,0 +1,38 @@
+// Plain-text table rendering for the bench harness: each bench prints the
+// rows/series of one paper figure, aligned for reading and TSV-friendly
+// for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wtcp::stats {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Add a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows.
+  void add_numeric_row(const std::vector<double>& values, int precision = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Aligned, human-readable rendering.
+  void print(std::ostream& os) const;
+
+  /// Tab-separated rendering (for piping into plotting tools).
+  void print_tsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used across the benches.
+std::string fmt_double(double v, int precision = 2);
+
+}  // namespace wtcp::stats

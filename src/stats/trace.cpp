@@ -1,0 +1,59 @@
+#include "src/stats/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace wtcp::stats {
+
+const char* to_string(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kSend: return "send";
+    case TraceEvent::kRetransmit: return "rtx";
+    case TraceEvent::kAck: return "ack";
+    case TraceEvent::kDupAck: return "dupack";
+    case TraceEvent::kTimeout: return "timeout";
+    case TraceEvent::kFastRtx: return "fastrtx";
+    case TraceEvent::kEbsn: return "ebsn";
+    case TraceEvent::kQuench: return "quench";
+    case TraceEvent::kCwnd: return "cwnd";
+    case TraceEvent::kDeliver: return "deliver";
+  }
+  return "?";
+}
+
+void ConnectionTrace::record(sim::Time at, TraceEvent event, std::int64_t seq) {
+  records_.push_back(TraceRecord{at, event, seq});
+}
+
+std::size_t ConnectionTrace::count(TraceEvent event) const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [event](const TraceRecord& r) { return r.event == event; }));
+}
+
+std::vector<ConnectionTrace::PlotPoint> ConnectionTrace::send_plot(
+    std::int64_t modulus) const {
+  std::vector<PlotPoint> points;
+  for (const TraceRecord& r : records_) {
+    if (r.event != TraceEvent::kSend && r.event != TraceEvent::kRetransmit) continue;
+    points.push_back(PlotPoint{r.at.to_seconds(), r.seq % modulus,
+                               r.event == TraceEvent::kRetransmit});
+  }
+  return points;
+}
+
+void ConnectionTrace::write_send_plot(std::ostream& os, std::int64_t modulus) const {
+  os << "# time_s\tseq_mod" << modulus << "\trtx\n";
+  for (const PlotPoint& p : send_plot(modulus)) {
+    os << p.time_s << '\t' << p.seq_mod << '\t' << (p.retransmit ? 1 : 0) << '\n';
+  }
+}
+
+void ConnectionTrace::write_tsv(std::ostream& os) const {
+  os << "# time_s\tevent\tseq\n";
+  for (const TraceRecord& r : records_) {
+    os << r.at.to_seconds() << '\t' << to_string(r.event) << '\t' << r.seq << '\n';
+  }
+}
+
+}  // namespace wtcp::stats

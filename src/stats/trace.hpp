@@ -1,0 +1,72 @@
+// Per-connection event traces.
+//
+// Reproduces ns's graphical output used in the paper's Figures 3-5: every
+// packet the TCP source emits is one (time, sequence-number mod 90) mark;
+// retransmissions show as repeated marks at the same vertical coordinate.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace wtcp::stats {
+
+enum class TraceEvent : std::uint8_t {
+  kSend,       ///< source transmitted a new segment
+  kRetransmit, ///< source retransmitted a segment
+  kAck,        ///< source received a (new) cumulative ACK
+  kDupAck,     ///< source received a duplicate ACK
+  kTimeout,    ///< source retransmission timer expired
+  kFastRtx,    ///< fast retransmit triggered
+  kEbsn,       ///< source received an EBSN
+  kQuench,     ///< source received a source quench
+  kCwnd,       ///< congestion window sample (value stored in `seq`x1000)
+  kDeliver,    ///< sink delivered an in-order segment to the application
+};
+
+const char* to_string(TraceEvent e);
+
+struct TraceRecord {
+  sim::Time at;
+  TraceEvent event;
+  std::int64_t seq;  ///< segment number (or scaled cwnd for kCwnd)
+};
+
+/// Append-only event log.  Cheap enough to keep on for every run; the
+/// experiment layer only attaches it when a figure needs it.
+class ConnectionTrace {
+ public:
+  void record(sim::Time at, TraceEvent event, std::int64_t seq);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+  /// Count of records with the given event type.
+  std::size_t count(TraceEvent event) const;
+
+  /// Paper-style plot series: (time seconds, seq mod `modulus`) for every
+  /// source transmission (kSend and kRetransmit).
+  struct PlotPoint {
+    double time_s;
+    std::int64_t seq_mod;
+    bool retransmit;
+  };
+  std::vector<PlotPoint> send_plot(std::int64_t modulus = 90) const;
+
+  /// Write the send plot as whitespace-separated columns:
+  /// time  seq_mod  rtx_flag
+  void write_send_plot(std::ostream& os, std::int64_t modulus = 90) const;
+
+  /// Write all records as TSV: time  event  seq
+  void write_tsv(std::ostream& os) const;
+
+  void clear() { records_.clear(); }
+  bool empty() const { return records_.empty(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace wtcp::stats

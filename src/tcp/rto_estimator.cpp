@@ -1,0 +1,64 @@
+#include "src/tcp/rto_estimator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wtcp::tcp {
+
+RtoEstimator::RtoEstimator(RtoConfig cfg) : cfg_(cfg) {
+  assert(cfg_.granularity > sim::Time::zero());
+  assert(cfg_.min_rto <= cfg_.max_rto);
+}
+
+std::int64_t RtoEstimator::to_ticks(sim::Time rtt) const {
+  // Round to nearest tick, at least 1: a coarse clock cannot observe a
+  // zero-tick round trip as zero (BSD counts elapsed ticks, min 1).
+  const std::int64_t g = cfg_.granularity.ns();
+  const std::int64_t ticks = (rtt.ns() + g / 2) / g;
+  return std::max<std::int64_t>(ticks, 1);
+}
+
+void RtoEstimator::add_sample(sim::Time rtt) {
+  const std::int64_t m = to_ticks(rtt);
+  if (!has_sample_) {
+    // RFC 6298 initialization: SRTT = R, RTTVAR = R/2.
+    sa_ = m << 3;
+    sv_ = (m << 2) / 2;
+    has_sample_ = true;
+    return;
+  }
+  // 4.3BSD integer filter (Jacobson '88, appendix A).
+  std::int64_t delta = m - (sa_ >> 3);
+  sa_ += delta;
+  if (sa_ <= 0) sa_ = 1;
+  if (delta < 0) delta = -delta;
+  delta -= (sv_ >> 2);
+  sv_ += delta;
+  if (sv_ <= 0) sv_ = 1;
+}
+
+sim::Time RtoEstimator::base_rto() const {
+  if (!has_sample_) return cfg_.initial_rto;
+  const std::int64_t ticks = (sa_ >> 3) + sv_;  // srtt + 4*rttvar
+  const sim::Time rto = cfg_.granularity * ticks;
+  return std::clamp(rto, cfg_.min_rto, cfg_.max_rto);
+}
+
+sim::Time RtoEstimator::rto() const {
+  const sim::Time backed = base_rto() * (std::int64_t{1} << backoff_shift_);
+  return std::clamp(backed, cfg_.min_rto, cfg_.max_rto);
+}
+
+void RtoEstimator::back_off() {
+  if (backoff_shift_ < cfg_.max_backoff_shift) ++backoff_shift_;
+}
+
+sim::Time RtoEstimator::srtt() const {
+  return cfg_.granularity * (sa_ >> 3);
+}
+
+sim::Time RtoEstimator::rttvar() const {
+  return cfg_.granularity * (sv_ >> 2);
+}
+
+}  // namespace wtcp::tcp

@@ -1,0 +1,68 @@
+// Jacobson/Karn retransmission-timeout estimation with a coarse-grained
+// clock, in the style of 4.3BSD/ns TCP.
+//
+// Round-trip times are measured to the nearest clock tick (the paper sets
+// the granularity to 100 ms) and smoothed with the classic fixed-point
+// filter: srtt gain 1/8, rttvar gain 1/4, RTO = srtt + 4*rttvar.  Karn's
+// rule lives in the sender (no samples from retransmitted segments); the
+// exponential backoff multiplier is managed here.
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/time.hpp"
+
+namespace wtcp::tcp {
+
+struct RtoConfig {
+  sim::Time granularity = sim::Time::milliseconds(100);  ///< TCP clock tick
+  sim::Time initial_rto = sim::Time::seconds(3);  ///< before the first sample
+  sim::Time min_rto = sim::Time::milliseconds(200);  ///< >= 2 ticks classically
+  sim::Time max_rto = sim::Time::seconds(64);
+  std::int32_t max_backoff_shift = 6;  ///< backoff caps at 2^6 = 64x
+};
+
+class RtoEstimator {
+ public:
+  explicit RtoEstimator(RtoConfig cfg);
+
+  /// Feed one RTT measurement (only for never-retransmitted segments —
+  /// Karn's rule is enforced by the caller).
+  void add_sample(sim::Time rtt);
+
+  /// Current timeout including the backoff multiplier, clamped to
+  /// [min_rto, max_rto].
+  sim::Time rto() const;
+
+  /// Timeout without backoff (the base estimate).
+  sim::Time base_rto() const;
+
+  /// Double the timeout (consecutive loss).  Saturates at
+  /// 2^max_backoff_shift.
+  void back_off();
+
+  /// An ACK for a non-retransmitted segment arrived: drop the backoff.
+  void reset_backoff() { backoff_shift_ = 0; }
+
+  std::int32_t backoff_shift() const { return backoff_shift_; }
+  bool has_sample() const { return has_sample_; }
+
+  /// Smoothed estimates (for tests/diagnostics).
+  sim::Time srtt() const;
+  sim::Time rttvar() const;
+
+  const RtoConfig& config() const { return cfg_; }
+
+  /// RTT quantized to clock ticks, as the estimator will perceive it.
+  std::int64_t to_ticks(sim::Time rtt) const;
+
+ private:
+  RtoConfig cfg_;
+  // BSD fixed point: sa = 8*srtt_ticks, sv = 4*rttvar_ticks.
+  std::int64_t sa_ = 0;
+  std::int64_t sv_ = 0;
+  bool has_sample_ = false;
+  std::int32_t backoff_shift_ = 0;
+};
+
+}  // namespace wtcp::tcp

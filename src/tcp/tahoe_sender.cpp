@@ -1,0 +1,437 @@
+#include "src/tcp/tahoe_sender.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/sim/logging.hpp"
+
+namespace wtcp::tcp {
+
+const char* to_string(ConnState s) {
+  switch (s) {
+    case ConnState::kClosed: return "closed";
+    case ConnState::kSynSent: return "syn-sent";
+    case ConnState::kEstablished: return "established";
+    case ConnState::kFinSent: return "fin-sent";
+    case ConnState::kDone: return "done";
+  }
+  return "?";
+}
+
+const char* to_string(TcpFlavor f) {
+  switch (f) {
+    case TcpFlavor::kTahoe: return "tahoe";
+    case TcpFlavor::kReno: return "reno";
+    case TcpFlavor::kNewReno: return "newreno";
+  }
+  return "?";
+}
+
+TcpSender::TcpSender(sim::Simulator& sim, TcpConfig cfg, net::NodeId self,
+                     net::NodeId peer, std::string name)
+    : sim_(sim),
+      cfg_(cfg),
+      self_(self),
+      peer_(peer),
+      name_(std::move(name)),
+      estimator_(cfg.rto),
+      total_segments_(cfg.total_segments()),
+      ssthresh_(static_cast<double>(cfg.window_segments())),
+      ever_retransmitted_(static_cast<std::size_t>(total_segments_), false) {
+  assert(cfg_.mss > 0 && cfg_.file_bytes > 0);
+}
+
+void TcpSender::trace(stats::TraceEvent e, std::int64_t seq) {
+  if (trace_) trace_->record(sim_.now(), e, seq);
+}
+
+void TcpSender::start() {
+  assert(downstream_ && "downstream forwarder must be set before start()");
+  assert(!started_);
+  started_ = true;
+  stats_.start_time = sim_.now();
+  if (cfg_.connect_handshake) {
+    conn_state_ = ConnState::kSynSent;
+    send_syn();
+    return;
+  }
+  send_segments();
+}
+
+net::Packet TcpSender::make_control_segment(bool syn, bool fin) {
+  net::Packet pkt;
+  pkt.type = net::PacketType::kTcpData;
+  pkt.size_bytes = cfg_.header_bytes;
+  pkt.src = self_;
+  pkt.dst = peer_;
+  pkt.created_at = sim_.now();
+  pkt.tcp = net::TcpHeader{.seq = syn ? -1 : total_segments_,
+                           .ack = -1,
+                           .payload = 0,
+                           .syn = syn,
+                           .fin = fin,
+                           .conn = cfg_.conn};
+  return pkt;
+}
+
+void TcpSender::send_syn() {
+  ++stats_.syn_sent;
+  if (stats_.syn_sent == 1) syn_sent_at_ = sim_.now();
+  set_rtx_timer();
+  downstream_(make_control_segment(/*syn=*/true, /*fin=*/false));
+}
+
+void TcpSender::send_fin() {
+  ++stats_.fin_sent;
+  set_rtx_timer();
+  downstream_(make_control_segment(/*syn=*/false, /*fin=*/true));
+}
+
+void TcpSender::start_at(sim::Time at) {
+  sim_.at(at, [this] { start(); });
+}
+
+std::int64_t TcpSender::effective_window() const {
+  const auto cw = static_cast<std::int64_t>(cwnd_);
+  return std::max<std::int64_t>(1, std::min(cfg_.window_segments(), cw));
+}
+
+std::int32_t TcpSender::payload_of(std::int64_t seq) const {
+  assert(seq >= 0 && seq < total_segments_);
+  const std::int64_t offset = seq * cfg_.mss;
+  return static_cast<std::int32_t>(
+      std::min<std::int64_t>(cfg_.mss, cfg_.file_bytes - offset));
+}
+
+void TcpSender::send_segments() {
+  while (snd_nxt_ < total_segments_ && snd_nxt_ < snd_una_ + effective_window()) {
+    if (cfg_.sack_enabled && sacked_.contains(snd_nxt_)) {
+      // The receiver already holds this segment (SACKed): advance past it
+      // without burning airtime (this is where SACK beats go-back-N).
+      ++snd_nxt_;
+      continue;
+    }
+    transmit(snd_nxt_);
+    ++snd_nxt_;
+  }
+}
+
+void TcpSender::absorb_sack(const net::TcpHeader& hdr) {
+  if (!cfg_.sack_enabled || !hdr.has_sack()) return;
+  for (const net::SackBlock& b : hdr.sack) {
+    if (b.empty()) break;
+    for (std::int64_t s = std::max(b.begin, snd_una_);
+         s < std::min(b.end, total_segments_); ++s) {
+      sacked_.insert(s);
+    }
+  }
+}
+
+std::int64_t TcpSender::next_sack_hole() const {
+  const std::int64_t limit = std::min(recover_ + 1, snd_nxt_);
+  for (std::int64_t s = snd_una_; s < limit; ++s) {
+    if (sacked_.contains(s) || episode_rtx_.contains(s)) continue;
+    // RFC 6675 "IsLost": an un-SACKed segment is only presumed lost once
+    // at least DupThresh segments above it have been SACKed — otherwise
+    // it may simply still be in flight.
+    const auto above = std::distance(sacked_.upper_bound(s), sacked_.end());
+    if (above >= cfg_.dupack_threshold) return s;
+  }
+  return -1;
+}
+
+void TcpSender::transmit(std::int64_t seq) {
+  const bool is_rtx = seq <= max_seq_sent_;
+  const std::int32_t payload = payload_of(seq);
+
+  net::Packet pkt =
+      net::make_tcp_data(seq, payload, cfg_.header_bytes, self_, peer_, sim_.now());
+  pkt.tcp->retransmit = is_rtx;
+  pkt.tcp->conn = cfg_.conn;
+
+  if (is_rtx) {
+    ever_retransmitted_[static_cast<std::size_t>(seq)] = true;
+    ++stats_.segments_retransmitted;
+    stats_.payload_bytes_retransmitted += payload;
+    trace(stats::TraceEvent::kRetransmit, seq);
+    // Karn: a timed segment that gets retransmitted yields no sample.
+    if (timing_seq_ == seq) timing_seq_ = -1;
+  } else {
+    ++stats_.segments_sent;
+    trace(stats::TraceEvent::kSend, seq);
+    if (timing_seq_ < 0) {
+      timing_seq_ = seq;
+      timing_sent_at_ = sim_.now();
+    }
+  }
+  stats_.payload_bytes_sent += payload;
+  stats_.wire_bytes_sent += pkt.size_bytes;
+  max_seq_sent_ = std::max(max_seq_sent_, seq);
+
+  if (!sim_.pending(rtx_timer_)) set_rtx_timer();
+
+  WTCP_LOG(kTrace, sim_.now(), name_.c_str(), "tx %s cwnd=%.2f una=%lld",
+           pkt.describe().c_str(), cwnd_, static_cast<long long>(snd_una_));
+  downstream_(std::move(pkt));
+}
+
+void TcpSender::set_rtx_timer() {
+  sim_.cancel(rtx_timer_);
+  rtx_timer_ = sim_.after(estimator_.rto(), [this] { on_rtx_timeout(); });
+}
+
+void TcpSender::cancel_rtx_timer() { sim_.cancel(rtx_timer_); }
+
+void TcpSender::loss_response() {
+  // Tahoe: ssthresh = half the effective window (min 2 segments), window
+  // back to one segment, restart slow start.
+  const double flight = std::min(cwnd_, static_cast<double>(cfg_.window_segments()));
+  ssthresh_ = std::max(2.0, std::floor(flight / 2.0));
+  cwnd_ = 1.0;
+}
+
+void TcpSender::open_cwnd() {
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += 1.0;  // slow start: one segment per ACK
+  } else {
+    cwnd_ += 1.0 / cwnd_;  // congestion avoidance: ~one segment per RTT
+  }
+  const auto max_win = static_cast<double>(cfg_.window_segments());
+  cwnd_ = std::min(cwnd_, max_win + 1.0);  // no point growing far past awnd
+}
+
+void TcpSender::on_rtx_timeout() {
+  if (stats_.completed) return;
+  if (conn_state_ == ConnState::kSynSent) {
+    ++stats_.timeouts;
+    estimator_.back_off();
+    send_syn();
+    return;
+  }
+  if (conn_state_ == ConnState::kFinSent) {
+    ++stats_.timeouts;
+    estimator_.back_off();
+    send_fin();
+    return;
+  }
+  ++stats_.timeouts;
+  trace(stats::TraceEvent::kTimeout, snd_una_);
+  WTCP_LOG(kDebug, sim_.now(), name_.c_str(), "TIMEOUT una=%lld rto=%s backoff=%d",
+           static_cast<long long>(snd_una_), estimator_.rto().to_string().c_str(),
+           estimator_.backoff_shift());
+
+  estimator_.back_off();  // consecutive-loss doubling
+  timing_seq_ = -1;       // Karn: abandon the in-progress measurement
+  dupacks_ = 0;
+  in_fast_recovery_ = false;  // a timeout aborts Reno fast recovery
+  episode_rtx_.clear();       // (the SACK scoreboard itself survives)
+  loss_response();
+  snd_nxt_ = snd_una_;  // go-back-N via slow start
+  send_segments();      // retransmits snd_una (cwnd == 1)
+  set_rtx_timer();
+}
+
+void TcpSender::handle_packet(net::Packet pkt) {
+  switch (pkt.type) {
+    case net::PacketType::kTcpAck:
+      on_ack(pkt);
+      return;
+    case net::PacketType::kEbsn:
+      on_ebsn();
+      return;
+    case net::PacketType::kSourceQuench:
+      on_quench();
+      return;
+    default:
+      WTCP_LOG(kWarn, sim_.now(), name_.c_str(), "unexpected packet: %s",
+               pkt.describe().c_str());
+      return;
+  }
+}
+
+void TcpSender::on_ack(const net::Packet& pkt) {
+  assert(pkt.tcp.has_value());
+  if (stats_.completed) return;
+  ++stats_.acks_received;
+  const std::int64_t ack = pkt.tcp->ack;
+
+  if (conn_state_ == ConnState::kSynSent) {
+    if (!pkt.tcp->syn) return;  // stale
+    // SYN-ACK: connection established; the handshake round trip is a
+    // clean RTT sample unless the SYN was retransmitted (Karn).
+    if (stats_.syn_sent == 1) {
+      estimator_.add_sample(sim_.now() - syn_sent_at_);
+      ++stats_.rtt_samples;
+    } else {
+      estimator_.reset_backoff();  // eventual success clears SYN backoff
+    }
+    conn_state_ = ConnState::kEstablished;
+    cancel_rtx_timer();
+    send_segments();
+    return;
+  }
+  if (conn_state_ == ConnState::kFinSent) {
+    if (ack > total_segments_) complete();  // FIN-ACK
+    return;
+  }
+
+  absorb_sack(*pkt.tcp);
+  if (ack > snd_una_) {
+    on_new_ack(ack);
+  } else {
+    on_dupack();
+  }
+}
+
+void TcpSender::on_new_ack(std::int64_t ack) {
+  trace(stats::TraceEvent::kAck, ack);
+
+  // RTT sample (Karn: only if the timed segment was never retransmitted).
+  if (timing_seq_ >= 0 && ack > timing_seq_) {
+    if (!ever_retransmitted_[static_cast<std::size_t>(timing_seq_)]) {
+      estimator_.add_sample(sim_.now() - timing_sent_at_);
+      ++stats_.rtt_samples;
+    }
+    timing_seq_ = -1;
+  }
+  // Backoff is dropped once a never-retransmitted segment is acked.
+  if (!ever_retransmitted_[static_cast<std::size_t>(ack - 1)]) {
+    estimator_.reset_backoff();
+  }
+
+  if (in_fast_recovery_) {
+    if (cfg_.flavor == TcpFlavor::kNewReno && ack <= recover_) {
+      // Partial ACK: another segment of the same loss window is missing.
+      // Deflate by the amount acknowledged, retransmit the next hole, and
+      // stay in fast recovery (RFC 6582).
+      const double acked = static_cast<double>(ack - snd_una_);
+      cwnd_ = std::max(ssthresh_, cwnd_ - acked + 1.0);
+      snd_una_ = ack;
+      snd_nxt_ = std::max(snd_nxt_, snd_una_);
+      sacked_.erase(sacked_.begin(), sacked_.lower_bound(snd_una_));
+      dupacks_ = 0;
+      // Retransmit the next hole — unless SACK-directed recovery already
+      // did (the retransmission that produced this partial ACK may have
+      // been followed by hole retransmissions still in flight).
+      if (episode_rtx_.insert(snd_una_).second) {
+        transmit(snd_una_);
+      }
+      set_rtx_timer();
+      return;
+    }
+    // Full ACK (or plain Reno): deflate to ssthresh and resume congestion
+    // avoidance.
+    in_fast_recovery_ = false;
+    episode_rtx_.clear();
+    cwnd_ = ssthresh_;
+  }
+  open_cwnd();
+  if (trace_) {
+    trace_->record(sim_.now(), stats::TraceEvent::kCwnd,
+                   static_cast<std::int64_t>(std::llround(cwnd_ * 1000)));
+  }
+  snd_una_ = ack;
+  snd_nxt_ = std::max(snd_nxt_, snd_una_);
+  sacked_.erase(sacked_.begin(), sacked_.lower_bound(snd_una_));
+  dupacks_ = 0;
+
+  if (snd_una_ >= total_segments_) {
+    if (cfg_.connect_handshake) {
+      // All data acknowledged: close actively with a FIN.
+      conn_state_ = ConnState::kFinSent;
+      send_fin();
+      return;
+    }
+    complete();
+    return;
+  }
+  set_rtx_timer();  // restart for the (new) oldest outstanding segment
+  send_segments();
+}
+
+void TcpSender::on_dupack() {
+  ++stats_.dupacks_received;
+  trace(stats::TraceEvent::kDupAck, snd_una_);
+  ++dupacks_;
+
+  if (in_fast_recovery_) {
+    // Reno window inflation: each extra dupack signals one more segment
+    // has left the network.  With SACK, spend the credit on the next hole
+    // first; otherwise (or with no holes left) send new data.
+    cwnd_ += 1.0;
+    if (cfg_.sack_enabled) {
+      const std::int64_t hole = next_sack_hole();
+      if (hole >= 0) {
+        episode_rtx_.insert(hole);
+        transmit(hole);
+        return;
+      }
+    }
+    send_segments();
+    return;
+  }
+  if (dupacks_ != cfg_.dupack_threshold) return;  // act exactly once
+  if (snd_una_ >= snd_nxt_) return;  // nothing outstanding to retransmit
+
+  ++stats_.fast_retransmits;
+  trace(stats::TraceEvent::kFastRtx, snd_una_);
+  timing_seq_ = -1;
+
+  if (cfg_.flavor == TcpFlavor::kReno || cfg_.flavor == TcpFlavor::kNewReno) {
+    // Fast recovery: halve, retransmit the hole, inflate by the three
+    // dupacks already seen, and keep transmitting on further dupacks.
+    const double flight =
+        std::min(cwnd_, static_cast<double>(cfg_.window_segments()));
+    ssthresh_ = std::max(2.0, std::floor(flight / 2.0));
+    cwnd_ = ssthresh_ + static_cast<double>(cfg_.dupack_threshold);
+    in_fast_recovery_ = true;
+    recover_ = max_seq_sent_;
+    episode_rtx_.clear();
+    episode_rtx_.insert(snd_una_);
+    transmit(snd_una_);
+    set_rtx_timer();
+    return;
+  }
+
+  // Fast retransmit (Tahoe: no fast recovery, straight to slow start).
+  loss_response();
+  snd_nxt_ = snd_una_;
+  send_segments();
+  set_rtx_timer();
+}
+
+void TcpSender::on_ebsn() {
+  ++stats_.ebsn_received;
+  trace(stats::TraceEvent::kEbsn, snd_una_);
+  if (!cfg_.react_to_ebsn) return;
+  // Paper appendix: cancel the previous timer and put a new one in place
+  // retaining the current timeout value.  Nothing else changes.
+  if (snd_una_ < snd_nxt_ && !stats_.completed) {
+    set_rtx_timer();
+  }
+}
+
+void TcpSender::on_quench() {
+  ++stats_.quench_received;
+  trace(stats::TraceEvent::kQuench, snd_una_);
+  if (!cfg_.react_to_quench) return;
+  // Classic 4.3BSD reaction: collapse the congestion window to one
+  // segment; ssthresh is untouched.
+  cwnd_ = 1.0;
+}
+
+void TcpSender::complete() {
+  stats_.completed = true;
+  stats_.finish_time = sim_.now();
+  conn_state_ = cfg_.connect_handshake ? ConnState::kDone : conn_state_;
+  cancel_rtx_timer();
+  WTCP_LOG(kInfo, sim_.now(), name_.c_str(),
+           "transfer complete: %llu timeouts, %llu fast-rtx, %llu rtx segs",
+           static_cast<unsigned long long>(stats_.timeouts),
+           static_cast<unsigned long long>(stats_.fast_retransmits),
+           static_cast<unsigned long long>(stats_.segments_retransmitted));
+  if (on_complete) on_complete();
+}
+
+}  // namespace wtcp::tcp

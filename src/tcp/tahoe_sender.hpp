@@ -1,0 +1,221 @@
+// TCP bulk-transfer source, in the style of ns-1's TCP agents (the
+// simulator the paper used).  Two classic flavors:
+//
+//   * Tahoe (the paper's choice): slow start, congestion avoidance, fast
+//     retransmit — every loss collapses cwnd to one segment.
+//   * Reno (extension, for the abl_tcp_flavor bench): adds fast recovery —
+//     after a fast retransmit, cwnd = ssthresh + 3 with per-dupack window
+//     inflation, deflating to ssthresh on the next new ACK.
+//
+// Both use Jacobson RTO with Karn's rule, exponential backoff, and
+// segment-granularity sequence numbers.
+//
+// Extensions for the paper's mechanisms:
+//   * EBSN (Section 4.2.3 / appendix): on receiving an Explicit Bad State
+//     Notification the source re-arms its retransmission timer with the
+//     CURRENT timeout value — RTT estimate, variance, backoff and cwnd are
+//     untouched.
+//   * ICMP Source Quench (Section 4.2.2): classic 4.3BSD response, cwnd
+//     collapses to one segment; shown by the paper NOT to prevent
+//     timeouts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/net/node.hpp"
+#include "src/net/packet.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/stats/trace.hpp"
+#include "src/tcp/rto_estimator.hpp"
+
+namespace wtcp::tcp {
+
+/// How packets leave an agent toward the network.
+using PacketForwarder = std::function<void(net::Packet)>;
+
+enum class TcpFlavor : std::uint8_t {
+  kTahoe,    ///< loss => slow start from cwnd = 1 (the paper's TCP)
+  kReno,     ///< fast recovery after fast retransmit
+  kNewReno,  ///< + partial-ACK handling: multiple losses per window heal
+             ///< inside one fast-recovery episode (RFC 6582 style)
+};
+
+const char* to_string(TcpFlavor f);
+
+struct TcpConfig {
+  TcpFlavor flavor = TcpFlavor::kTahoe;
+  std::uint64_t conn = 0;  ///< connection id (multi-connection scenarios)
+  std::int32_t mss = 536;           ///< payload bytes per segment
+  std::int32_t header_bytes = 40;   ///< TCP/IP header (paper: 40 B)
+  std::int64_t window_bytes = 4096; ///< receiver advertised window (paper: 4 KB WAN, 64 KB LAN)
+  std::int64_t file_bytes = 100 * 1024;  ///< bulk transfer size
+  std::int32_t dupack_threshold = 3;
+  RtoConfig rto;
+
+  bool react_to_ebsn = true;    ///< honor EBSN messages (paper appendix)
+  bool react_to_quench = true;  ///< honor ICMP source quench
+
+  /// Receiver-side delayed ACKs (RFC 1122): ACK every second in-order
+  /// segment or after delack_timeout, whichever first.  Out-of-order data
+  /// is always ACKed immediately (dupacks drive fast retransmit).  The
+  /// paper's ns-1 sink ACKs every segment, so this defaults off.
+  bool delayed_ack = false;
+  sim::Time delack_timeout = sim::Time::milliseconds(200);
+
+  /// Model connection establishment and teardown: a SYN / SYN-ACK
+  /// exchange before data (with retransmission and an RTT sample) and a
+  /// FIN / FIN-ACK afterwards.  The paper's ns-1 agents start mid-stream,
+  /// so this defaults off; it costs one extra RTT at each end.
+  bool connect_handshake = false;
+
+  /// Selective acknowledgments (RFC 2018, contemporaneous with the
+  /// paper): the sink advertises up to 3 out-of-order blocks; the sender
+  /// keeps a scoreboard, retransmits only holes during Reno/NewReno fast
+  /// recovery, and skips SACKed segments in Tahoe's post-timeout
+  /// go-back-N.  Defaults off (the paper's TCP has no SACK).
+  bool sack_enabled = false;
+
+  /// Number of segments the transfer comprises.
+  std::int64_t total_segments() const {
+    return (file_bytes + mss - 1) / mss;
+  }
+  /// Advertised window in segments (>= 1).
+  std::int64_t window_segments() const {
+    return std::max<std::int64_t>(1, window_bytes / mss);
+  }
+};
+
+/// Connection lifecycle (only advances when connect_handshake is on).
+enum class ConnState : std::uint8_t {
+  kClosed,
+  kSynSent,
+  kEstablished,
+  kFinSent,
+  kDone,
+};
+
+const char* to_string(ConnState s);
+
+struct TcpSenderStats {
+  std::uint64_t syn_sent = 0;             ///< SYN transmissions (incl. rtx)
+  std::uint64_t fin_sent = 0;             ///< FIN transmissions (incl. rtx)
+  std::uint64_t segments_sent = 0;        ///< first transmissions
+  std::uint64_t segments_retransmitted = 0;
+  std::int64_t payload_bytes_sent = 0;    ///< includes retransmissions
+  std::int64_t payload_bytes_retransmitted = 0;
+  std::int64_t wire_bytes_sent = 0;       ///< payload + headers, all tx
+  std::uint64_t acks_received = 0;
+  std::uint64_t dupacks_received = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t rtt_samples = 0;
+  std::uint64_t ebsn_received = 0;
+  std::uint64_t quench_received = 0;
+  bool completed = false;
+  sim::Time start_time;
+  sim::Time finish_time;  ///< when the final ACK arrived
+};
+
+/// The TCP source embedded in the fixed host.
+class TcpSender final : public net::PacketSink {
+ public:
+  TcpSender(sim::Simulator& sim, TcpConfig cfg, net::NodeId self, net::NodeId peer,
+            std::string name);
+
+  /// Where outgoing segments go (the wired link endpoint).
+  void set_downstream(PacketForwarder fwd) { downstream_ = std::move(fwd); }
+
+  /// Optional event trace (Figures 3-5).
+  void set_trace(stats::ConnectionTrace* trace) { trace_ = trace; }
+
+  /// Begin the bulk transfer at time `at` (defaults to immediately).
+  void start();
+  void start_at(sim::Time at);
+
+  /// Network delivery entry point: ACKs, EBSNs, source quenches.
+  void handle_packet(net::Packet pkt) override;
+
+  /// Fired once when the final ACK arrives.
+  std::function<void()> on_complete;
+
+  // Observers (tests, experiment harness).
+  const TcpSenderStats& stats() const { return stats_; }
+  double cwnd() const { return cwnd_; }
+  double ssthresh() const { return ssthresh_; }
+  std::int64_t snd_una() const { return snd_una_; }
+  std::int64_t snd_nxt() const { return snd_nxt_; }
+  std::size_t sacked_count() const { return sacked_.size(); }
+  std::int64_t total_segments() const { return total_segments_; }
+  const RtoEstimator& rto_estimator() const { return estimator_; }
+  bool rtx_timer_pending() const { return sim_.pending(rtx_timer_); }
+  bool in_fast_recovery() const { return in_fast_recovery_; }
+  ConnState conn_state() const { return conn_state_; }
+  const TcpConfig& config() const { return cfg_; }
+
+ private:
+  void send_segments();
+  void transmit(std::int64_t seq);
+  void send_syn();
+  void send_fin();
+  net::Packet make_control_segment(bool syn, bool fin);
+  void absorb_sack(const net::TcpHeader& hdr);
+  /// First un-SACKed, not-yet-retransmitted hole in (snd_una, recover],
+  /// or -1.  SACK-directed recovery only.
+  std::int64_t next_sack_hole() const;
+  std::int64_t effective_window() const;
+  std::int32_t payload_of(std::int64_t seq) const;
+  void set_rtx_timer();
+  void cancel_rtx_timer();
+  void on_rtx_timeout();
+  void on_ack(const net::Packet& pkt);
+  void on_new_ack(std::int64_t ack);
+  void on_dupack();
+  void on_ebsn();
+  void on_quench();
+  void loss_response();
+  void open_cwnd();
+  void complete();
+  void trace(stats::TraceEvent e, std::int64_t seq);
+
+  sim::Simulator& sim_;
+  TcpConfig cfg_;
+  net::NodeId self_;
+  net::NodeId peer_;
+  std::string name_;
+  PacketForwarder downstream_;
+  stats::ConnectionTrace* trace_ = nullptr;
+
+  RtoEstimator estimator_;
+  std::int64_t total_segments_;
+  std::int64_t snd_una_ = 0;       ///< oldest unacknowledged segment
+  std::int64_t snd_nxt_ = 0;       ///< next segment to transmit
+  std::int64_t max_seq_sent_ = -1; ///< highest segment ever transmitted
+  double cwnd_ = 1.0;              ///< congestion window, segments
+  double ssthresh_;                ///< slow-start threshold, segments
+  std::int32_t dupacks_ = 0;
+  bool in_fast_recovery_ = false;  ///< Reno/NewReno only
+  std::int64_t recover_ = -1;      ///< NewReno: highest seq sent at loss
+  std::set<std::int64_t> sacked_;          ///< SACK scoreboard (>= snd_una)
+  std::set<std::int64_t> episode_rtx_;     ///< holes retransmitted this recovery
+
+  // Single-timer RTT measurement (one segment timed at a time, as in BSD).
+  std::int64_t timing_seq_ = -1;
+  sim::Time timing_sent_at_;
+  std::vector<bool> ever_retransmitted_;
+
+  sim::EventId rtx_timer_;
+  TcpSenderStats stats_;
+  bool started_ = false;
+  ConnState conn_state_ = ConnState::kEstablished;  ///< kClosed when handshaking
+  sim::Time syn_sent_at_;
+};
+
+/// The paper's experiments all use Tahoe; most of this codebase predates
+/// the Reno extension and refers to the sender by that name.
+using TahoeSender = TcpSender;
+
+}  // namespace wtcp::tcp

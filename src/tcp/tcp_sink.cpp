@@ -1,0 +1,167 @@
+#include "src/tcp/tcp_sink.hpp"
+
+#include <cassert>
+
+#include "src/sim/logging.hpp"
+
+namespace wtcp::tcp {
+
+TcpSink::TcpSink(sim::Simulator& sim, TcpConfig cfg, net::NodeId self,
+                 net::NodeId peer, std::string name)
+    : sim_(sim), cfg_(cfg), self_(self), peer_(peer), name_(std::move(name)) {}
+
+void TcpSink::handle_packet(net::Packet pkt) {
+  if (pkt.type != net::PacketType::kTcpData) {
+    WTCP_LOG(kWarn, sim_.now(), name_.c_str(), "unexpected packet: %s",
+             pkt.describe().c_str());
+    return;
+  }
+  assert(pkt.tcp.has_value());
+
+  if (pkt.tcp->syn || pkt.tcp->fin) {
+    handle_control_segment(*pkt.tcp);
+    return;
+  }
+
+  const std::int64_t seq = pkt.tcp->seq;
+  const std::int32_t payload = pkt.tcp->payload;
+
+  if (stats_.segments_received == 0) stats_.first_data_time = sim_.now();
+  ++stats_.segments_received;
+  stats_.payload_bytes_received += payload;
+  const std::int64_t rcv_next_before = rcv_next_;
+  const bool had_holes = !buffered_.empty();
+
+  const bool fresh = seq >= rcv_next_ && !buffered_.contains(seq);
+  if (fresh) delay_.add((sim_.now() - pkt.created_at).to_seconds());
+
+  if (seq == rcv_next_) {
+    stats_.unique_payload_bytes += payload;
+    stats_.delivered_wire_bytes += payload + cfg_.header_bytes;
+    if (trace_) trace_->record(sim_.now(), stats::TraceEvent::kDeliver, seq);
+    ++rcv_next_;
+    deliver_in_order();
+  } else if (seq > rcv_next_) {
+    // Hole: buffer (dedup) and dupack below.
+    auto [it, inserted] = buffered_.try_emplace(seq, payload);
+    (void)it;
+    if (inserted) {
+      ++stats_.out_of_order_segments;
+    } else {
+      ++stats_.duplicate_segments;
+    }
+  } else {
+    ++stats_.duplicate_segments;
+  }
+
+  if (!stats_.completed && rcv_next_ >= cfg_.total_segments()) {
+    stats_.completed = true;
+    stats_.completion_time = sim_.now();
+  }
+
+  // ACK policy: ns-1 sink ACKs every segment; delayed-ACK mode coalesces
+  // in-order arrivals but always ACKs out-of-order or duplicate data
+  // immediately (those dupacks drive fast retransmit).
+  // "In order" means: this arrival advanced rcv_next and there were no
+  // holes before or after it (filling a hole must be ACKed at once so the
+  // sender exits recovery promptly).
+  const bool in_order_arrival =
+      rcv_next_ > rcv_next_before && buffered_.empty() && !had_holes;
+  if (cfg_.delayed_ack && !stats_.completed && in_order_arrival) {
+    maybe_delay_ack(true);
+  } else {
+    send_ack_now();
+  }
+
+  if (stats_.completed && on_complete && rcv_next_ >= cfg_.total_segments()) {
+    // Fire exactly once.
+    auto cb = std::move(on_complete);
+    on_complete = nullptr;
+    cb();
+  }
+}
+
+void TcpSink::handle_control_segment(const net::TcpHeader& hdr) {
+  if (!downstream_) return;
+  if (hdr.syn) {
+    ++stats_.syns_received;
+    // SYN-ACK: accept the connection, expect segment 0.  Duplicate SYNs
+    // (retransmissions) are re-acknowledged idempotently.
+    net::Packet ack = net::make_tcp_ack(0, cfg_.header_bytes, self_, peer_,
+                                        sim_.now());
+    ack.tcp->syn = true;
+    ack.tcp->conn = cfg_.conn;
+    ++stats_.acks_sent;
+    downstream_(std::move(ack));
+    return;
+  }
+  // FIN: only meaningful once all data arrived (the sender closes after
+  // the final data ACK); otherwise it degenerates to a normal dupack.
+  const bool all_data_in = rcv_next_ >= cfg_.total_segments();
+  if (all_data_in) ++stats_.fins_received;
+  net::Packet ack = net::make_tcp_ack(all_data_in ? rcv_next_ + 1 : rcv_next_,
+                                      cfg_.header_bytes, self_, peer_, sim_.now());
+  ack.tcp->fin = all_data_in;
+  ack.tcp->conn = cfg_.conn;
+  ++stats_.acks_sent;
+  downstream_(std::move(ack));
+}
+
+void TcpSink::force_duplicate_acks(std::int32_t n) {
+  if (stats_.segments_received == 0 || stats_.completed) return;
+  for (std::int32_t i = 0; i < n; ++i) send_ack_now();
+}
+
+void TcpSink::send_ack_now() {
+  sim_.cancel(delack_timer_);
+  unacked_in_order_ = 0;
+  if (!downstream_) return;
+  net::Packet ack =
+      net::make_tcp_ack(rcv_next_, cfg_.header_bytes, self_, peer_, sim_.now());
+  ack.tcp->conn = cfg_.conn;
+  if (cfg_.sack_enabled) fill_sack_blocks(*ack.tcp);
+  ++stats_.acks_sent;
+  downstream_(std::move(ack));
+}
+
+void TcpSink::fill_sack_blocks(net::TcpHeader& hdr) const {
+  // Summarize the out-of-order buffer as up to 3 contiguous runs above
+  // the cumulative ACK, lowest first (deterministic and sufficient at
+  // segment granularity).
+  std::size_t n = 0;
+  auto it = buffered_.begin();
+  while (it != buffered_.end() && n < hdr.sack.size()) {
+    const std::int64_t begin = it->first;
+    std::int64_t end = begin + 1;
+    ++it;
+    while (it != buffered_.end() && it->first == end) {
+      ++end;
+      ++it;
+    }
+    hdr.sack[n++] = net::SackBlock{begin, end};
+  }
+}
+
+void TcpSink::maybe_delay_ack(bool /*in_order*/) {
+  if (++unacked_in_order_ >= 2) {
+    send_ack_now();
+    return;
+  }
+  ++stats_.acks_delayed;
+  if (!sim_.pending(delack_timer_)) {
+    delack_timer_ = sim_.after(cfg_.delack_timeout, [this] { send_ack_now(); });
+  }
+}
+
+void TcpSink::deliver_in_order() {
+  auto it = buffered_.begin();
+  while (it != buffered_.end() && it->first == rcv_next_) {
+    stats_.unique_payload_bytes += it->second;
+    stats_.delivered_wire_bytes += it->second + cfg_.header_bytes;
+    if (trace_) trace_->record(sim_.now(), stats::TraceEvent::kDeliver, it->first);
+    ++rcv_next_;
+    it = buffered_.erase(it);
+  }
+}
+
+}  // namespace wtcp::tcp

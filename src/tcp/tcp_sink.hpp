@@ -1,0 +1,88 @@
+// TCP sink (receiver) embedded in the mobile host: cumulative ACKs, one
+// ACK per arriving data segment (no delayed ACKs, as in ns-1's sink),
+// duplicate-ACK generation for out-of-order arrivals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/net/packet.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/stats/quantiles.hpp"
+#include "src/stats/trace.hpp"
+#include "src/tcp/tahoe_sender.hpp"  // TcpConfig, PacketForwarder
+
+namespace wtcp::tcp {
+
+struct TcpSinkStats {
+  std::uint64_t segments_received = 0;   ///< all data arrivals, incl. dups
+  std::uint64_t duplicate_segments = 0;  ///< already-delivered data
+  std::uint64_t out_of_order_segments = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_delayed = 0;  ///< ACKs coalesced by delayed-ACK mode
+  std::uint64_t syns_received = 0;
+  std::uint64_t fins_received = 0;
+  std::int64_t payload_bytes_received = 0;  ///< all arrivals
+  std::int64_t unique_payload_bytes = 0;    ///< useful (goodput numerator)
+  std::int64_t delivered_wire_bytes = 0;    ///< unique payload + header per
+                                            ///< delivered segment
+  bool completed = false;
+  sim::Time first_data_time;
+  sim::Time completion_time;  ///< when the final in-order byte arrived
+};
+
+class TcpSink final : public net::PacketSink {
+ public:
+  TcpSink(sim::Simulator& sim, TcpConfig cfg, net::NodeId self, net::NodeId peer,
+          std::string name);
+
+  /// Where ACKs leave (the mobile host's wireless interface).
+  void set_downstream(PacketForwarder fwd) { downstream_ = std::move(fwd); }
+
+  void set_trace(stats::ConnectionTrace* trace) { trace_ = trace; }
+
+  void handle_packet(net::Packet pkt) override;
+
+  /// Force `n` duplicate ACKs for the current cumulative position — the
+  /// Caceres & Iftode [4] trick: after a handoff completes, trigger the
+  /// source's fast retransmit instead of waiting for its (backed-off)
+  /// timer.  No-op before any data arrived or after completion.
+  void force_duplicate_acks(std::int32_t n);
+
+  /// Fired when the whole file has been received in order.
+  std::function<void()> on_complete;
+
+  const TcpSinkStats& stats() const { return stats_; }
+  std::int64_t rcv_next() const { return rcv_next_; }
+
+  /// End-to-end delay distribution (source transmission -> first arrival
+  /// here) over fresh segments, seconds.  Retransmitted copies count from
+  /// their own transmission time — the user-perceived delivery latency.
+  const stats::Quantiles& delay() const { return delay_; }
+
+ private:
+  void deliver_in_order();
+  void send_ack_now();
+  void maybe_delay_ack(bool in_order);
+  void handle_control_segment(const net::TcpHeader& hdr);
+  void fill_sack_blocks(net::TcpHeader& hdr) const;
+
+  sim::Simulator& sim_;
+  TcpConfig cfg_;
+  net::NodeId self_;
+  net::NodeId peer_;
+  std::string name_;
+  PacketForwarder downstream_;
+  stats::ConnectionTrace* trace_ = nullptr;
+
+  std::int64_t rcv_next_ = 0;                      ///< next expected segment
+  std::map<std::int64_t, std::int32_t> buffered_;  ///< out-of-order: seq -> payload
+  std::int32_t unacked_in_order_ = 0;              ///< delayed-ACK counter
+  sim::EventId delack_timer_;
+  stats::Quantiles delay_;
+  TcpSinkStats stats_;
+};
+
+}  // namespace wtcp::tcp

@@ -1,0 +1,252 @@
+#include "src/topo/multi_scenario.hpp"
+
+#include <cassert>
+#include <unordered_map>
+#include <utility>
+
+#include "src/sim/logging.hpp"
+
+namespace wtcp::topo {
+
+MultiUserConfig multi_user_lan_scenario() {
+  MultiUserConfig cfg;
+  cfg.users = 4;
+  cfg.wired = net::LinkConfig{
+      .name = "wired-lan",
+      .bandwidth_bps = 10'000'000,
+      .prop_delay = sim::Time::milliseconds(1),
+      .queue_packets = 4096,
+  };
+  cfg.wireless = link::lan_wireless_link_config();
+  cfg.channel = phy::GilbertElliottConfig{
+      .ber_good = 1e-6, .ber_bad = 1e-2, .mean_good_s = 4, .mean_bad_s = 0.8};
+  cfg.tcp.mss = 1536 - 40;
+  cfg.tcp.header_bytes = 40;
+  cfg.tcp.window_bytes = 64 * 1024;
+  cfg.tcp.file_bytes = 1024 * 1024;  // 1 MB per connection
+  cfg.tcp.rto.granularity = sim::Time::milliseconds(100);
+  return cfg;
+}
+
+double jain_fairness(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+MultiUserLanScenario::MultiUserLanScenario(MultiUserConfig cfg)
+    : cfg_(std::move(cfg)), sim_(cfg_.seed), medium_(std::make_shared<net::Medium>()) {
+  assert(cfg_.users >= 1);
+  assert((cfg_.feedback == FeedbackMode::kNone || cfg_.local_recovery) &&
+         "feedback requires local recovery");
+  assert(cfg_.feedback != FeedbackMode::kSourceQuench &&
+         "multi-user scenario supports kNone/kEbsn");
+
+  const net::NodeId fh = 0;
+  const net::NodeId bs = 1;
+
+  // --- wired segment ---------------------------------------------------
+  wired_ = std::make_unique<net::DuplexLink>(sim_, cfg_.wired);
+  fh_sink_ = std::make_unique<net::CallbackSink>(
+      [this](net::Packet p) { on_wired_at_fh(std::move(p)); });
+  bs_sink_ = std::make_unique<net::CallbackSink>(
+      [this](net::Packet p) { on_wired_at_bs(std::move(p)); });
+  wired_->set_sink(0, fh_sink_.get());
+  wired_->set_sink(1, bs_sink_.get());
+
+  // --- scheduler ---------------------------------------------------------
+  sched_ = std::make_unique<link::BsScheduler>(sim_, cfg_.sched, cfg_.users);
+  sched_->set_release(
+      [this](std::size_t user, net::Packet d) { release_to_user(user, std::move(d)); });
+  sched_->set_channel_probe([this](std::size_t user) {
+    if (!cfg_.channel_errors) return true;
+    return channels_[user]->state_at(sim_.now()) == phy::ChannelState::kGood;
+  });
+
+  // --- per-user radio links, interfaces, TCP endpoints -------------------
+  link::WirelessIfaceConfig wcfg;
+  wcfg.local_recovery = cfg_.local_recovery;
+  wcfg.arq = cfg_.arq;
+  wcfg.frag.mtu_bytes = cfg_.wireless_mtu_bytes;
+
+  radio_links_.resize(cfg_.users);
+  pending_frags_.resize(cfg_.users);
+  channels_.resize(cfg_.users);
+  bs_wifis_.resize(cfg_.users);
+  mh_wifis_.resize(cfg_.users);
+  bs_uppers_.resize(cfg_.users);
+  mh_uppers_.resize(cfg_.users);
+  senders_.resize(cfg_.users);
+  sinks_.resize(cfg_.users);
+  ebsn_agents_.resize(cfg_.users);
+
+  for (std::size_t k = 0; k < cfg_.users; ++k) {
+    const net::NodeId mh = static_cast<net::NodeId>(2 + k);
+    const std::string tag = "u" + std::to_string(k);
+
+    net::LinkConfig radio = cfg_.wireless;
+    radio.name = "radio-" + tag;
+    radio.medium = medium_;  // one base-station radio for everyone
+    radio_links_[k] = std::make_unique<net::DuplexLink>(sim_, radio);
+    if (cfg_.channel_errors) {
+      channels_[k] = std::make_shared<phy::GilbertElliottModel>(
+          cfg_.channel, sim_.fork_rng("channel-" + tag));
+      radio_links_[k]->set_error_model(channels_[k]);
+    }
+
+    // TCP endpoints.
+    tcp::TcpConfig tcfg = cfg_.tcp;
+    tcfg.conn = k;
+    senders_[k] = std::make_unique<tcp::TcpSender>(sim_, tcfg, fh, mh, "src-" + tag);
+    senders_[k]->set_downstream(
+        [this](net::Packet p) { wired_->send(0, std::move(p)); });
+    sinks_[k] = std::make_unique<tcp::TcpSink>(sim_, tcfg, mh, fh, "snk-" + tag);
+    sinks_[k]->set_downstream(
+        [this, k](net::Packet ack) { mh_wifis_[k]->send_datagram(ack); });
+    sinks_[k]->on_complete = [this] {
+      if (++completed_ == cfg_.users) sim_.stop();
+    };
+
+    // Wireless interfaces.
+    mh_uppers_[k] = std::make_unique<net::CallbackSink>([this, k](net::Packet p) {
+      if (p.type == net::PacketType::kTcpData) sinks_[k]->handle_packet(std::move(p));
+    });
+    mh_wifis_[k] = std::make_unique<link::WirelessInterface>(
+        sim_, *radio_links_[k], 1, wcfg, "mh-wifi-" + tag, mh_uppers_[k].get());
+
+    bs_uppers_[k] = std::make_unique<net::CallbackSink>([this](net::Packet p) {
+      if (p.type == net::PacketType::kTcpAck) wired_->send(1, std::move(p));
+    });
+    bs_wifis_[k] = std::make_unique<link::WirelessInterface>(
+        sim_, *radio_links_[k], 0, wcfg, "bs-wifi-" + tag, bs_uppers_[k].get());
+
+    // Datagram resolution -> scheduler slot release.  With LAN framing a
+    // datagram is one fragment; the generic counter handles fragmentation
+    // anyway.
+    if (cfg_.local_recovery) {
+      auto& arq = bs_wifis_[k]->arq_sender();
+      auto resolve = [this, k](const net::Packet& frame) {
+        auto& remaining = pending_frags_[k];
+        auto it = remaining.find(frame.frag->datagram_id);
+        if (it == remaining.end()) return;  // e.g. not scheduler-released
+        if (--it->second == 0) {
+          remaining.erase(it);
+          sched_->on_resolved(k);
+        }
+      };
+      arq.on_delivered = resolve;
+      arq.on_discard = resolve;
+    } else {
+      radio_links_[k]->add_frame_observer(
+          [this, k](int from, const net::Packet& frame, bool) {
+            if (from != 0 || frame.type != net::PacketType::kLinkFragment) return;
+            auto& remaining = pending_frags_[k];
+            auto it = remaining.find(frame.frag->datagram_id);
+            if (it == remaining.end()) return;
+            if (--it->second == 0) {
+              remaining.erase(it);
+              sched_->on_resolved(k);
+            }
+          });
+    }
+
+    if (cfg_.feedback == FeedbackMode::kEbsn) {
+      ebsn_agents_[k] = std::make_unique<core::EbsnAgent>(
+          sim_, cfg_.ebsn, bs, fh,
+          [this](net::Packet p) { wired_->send(1, std::move(p)); });
+      ebsn_agents_[k]->attach(bs_wifis_[k]->arq_sender());
+    }
+  }
+}
+
+void MultiUserLanScenario::on_wired_at_bs(net::Packet pkt) {
+  if (pkt.type != net::PacketType::kTcpData || !pkt.tcp) {
+    WTCP_LOG(kWarn, sim_.now(), "bs", "unexpected wired packet: %s",
+             pkt.describe().c_str());
+    return;
+  }
+  const auto user = static_cast<std::size_t>(pkt.tcp->conn);
+  assert(user < cfg_.users);
+  sched_->enqueue(user, std::move(pkt));
+}
+
+void MultiUserLanScenario::on_wired_at_fh(net::Packet pkt) {
+  if (!pkt.tcp) {
+    WTCP_LOG(kWarn, sim_.now(), "fh", "undemuxable packet: %s",
+             pkt.describe().c_str());
+    return;
+  }
+  const auto user = static_cast<std::size_t>(pkt.tcp->conn);
+  assert(user < cfg_.users);
+  senders_[user]->handle_packet(std::move(pkt));
+}
+
+void MultiUserLanScenario::release_to_user(std::size_t user, net::Packet datagram) {
+  const link::WirelessInterface::SendInfo info =
+      bs_wifis_[user]->send_datagram(datagram);
+  // Resolution (ARQ delivered/discarded, or airtime ended without ARQ) is
+  // reported per fragment; the scheduler slot frees when all fragments of
+  // this datagram are resolved.
+  pending_frags_[user][info.datagram_id] = info.fragments;
+}
+
+MultiUserMetrics MultiUserLanScenario::run() {
+  assert(!ran_);
+  ran_ = true;
+  for (auto& s : senders_) s->start_at(sim::Time::zero());
+  sim_.run(cfg_.horizon);
+  return collect();
+}
+
+MultiUserMetrics MultiUserLanScenario::collect() const {
+  MultiUserMetrics out;
+  out.per_user.reserve(cfg_.users);
+  sim::Time last_completion = sim::Time::zero();
+  std::int64_t total_delivered_wire = 0;
+  std::vector<double> rates;
+
+  for (std::size_t k = 0; k < cfg_.users; ++k) {
+    const auto& snd = senders_[k]->stats();
+    const auto& snk = sinks_[k]->stats();
+    stats::RunMetrics m;
+    m.completed = snk.completed;
+    m.duration = snk.completed ? snk.completion_time - snd.start_time
+                               : sim_.now() - snd.start_time;
+    if (m.duration > sim::Time::zero()) {
+      m.throughput_bps = static_cast<double>(snk.delivered_wire_bytes) * 8.0 /
+                         m.duration.to_seconds();
+    }
+    if (snd.payload_bytes_sent > 0) {
+      m.goodput = static_cast<double>(snk.unique_payload_bytes) /
+                  static_cast<double>(snd.payload_bytes_sent);
+    }
+    m.timeouts = snd.timeouts;
+    m.fast_retransmits = snd.fast_retransmits;
+    m.segments_retransmitted = snd.segments_retransmitted;
+    m.retransmitted_bytes = snd.payload_bytes_retransmitted;
+    m.ebsn_received = snd.ebsn_received;
+    m.unique_payload_bytes = snk.unique_payload_bytes;
+    if (m.completed) ++out.completed_users;
+    last_completion = std::max(last_completion, m.duration);
+    total_delivered_wire += snk.delivered_wire_bytes;
+    rates.push_back(m.throughput_bps);
+    out.per_user.push_back(m);
+  }
+
+  out.duration = last_completion;
+  if (out.duration > sim::Time::zero()) {
+    out.aggregate_throughput_bps =
+        static_cast<double>(total_delivered_wire) * 8.0 / out.duration.to_seconds();
+  }
+  out.fairness = jain_fairness(rates);
+  out.csd_deferrals = sched_->stats().csd_deferrals;
+  out.csd_skips = sched_->stats().csd_skips;
+  return out;
+}
+
+}  // namespace wtcp::topo

@@ -1,0 +1,120 @@
+// Multi-user wireless LAN scenario (the setting of Bhagwat et al. [9],
+// discussed in the paper's Section 2): one fixed host runs K bulk TCP
+// connections, one per mobile host; the base station serves all K mobile
+// hosts over a single shared radio.  Each user's channel fades
+// independently (its own Gilbert-Elliott process), so the base station's
+// scheduling policy decides whether a faded user's head-of-line traffic
+// blocks everyone (FIFO) or not (round-robin / channel-state-dependent).
+//
+//          FH ==== wired ==== BS  ~~~radio~~~  MH_0 ... MH_{K-1}
+//        K senders          scheduler + per-user ARQ     K sinks
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/ebsn.hpp"
+#include "src/link/bs_scheduler.hpp"
+#include "src/link/wireless_link.hpp"
+#include "src/net/link.hpp"
+#include "src/net/medium.hpp"
+#include "src/phy/gilbert_elliott.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/stats/metrics.hpp"
+#include "src/tcp/tahoe_sender.hpp"
+#include "src/tcp/tcp_sink.hpp"
+#include "src/topo/scenario.hpp"  // FeedbackMode
+
+namespace wtcp::topo {
+
+struct MultiUserConfig {
+  std::size_t users = 4;
+
+  net::LinkConfig wired;     ///< FH <-> BS
+  net::LinkConfig wireless;  ///< template for each BS <-> MH_k link (the
+                             ///< shared Medium is installed by the scenario)
+  phy::GilbertElliottConfig channel;  ///< per-user independent processes
+  bool channel_errors = true;
+
+  tcp::TcpConfig tcp;  ///< per-connection (conn id assigned per user)
+
+  bool local_recovery = true;
+  link::ArqConfig arq;
+  std::int64_t wireless_mtu_bytes = 1 << 20;  ///< LAN: no fragmentation
+
+  link::BsSchedulerConfig sched;
+  FeedbackMode feedback = FeedbackMode::kNone;
+  core::EbsnConfig ebsn;
+
+  std::uint64_t seed = 1;
+  sim::Time horizon = sim::Time::seconds(36'000);
+};
+
+/// Paper-[9]-style defaults: 10 Mbps wired, 2 Mbps shared radio, 4 users,
+/// 1 MB per connection, 64 KB windows, good 4 s / bad 0.8 s channels.
+MultiUserConfig multi_user_lan_scenario();
+
+struct MultiUserMetrics {
+  std::vector<stats::RunMetrics> per_user;
+  sim::Time duration;                 ///< start -> last sink completion
+  double aggregate_throughput_bps = 0;  ///< sum of delivered wire bytes / duration
+  double fairness = 0;                ///< Jain index over per-user goodput bytes
+  std::uint64_t completed_users = 0;
+  std::uint64_t csd_deferrals = 0;
+  std::uint64_t csd_skips = 0;
+};
+
+class MultiUserLanScenario {
+ public:
+  explicit MultiUserLanScenario(MultiUserConfig cfg);
+
+  MultiUserLanScenario(const MultiUserLanScenario&) = delete;
+  MultiUserLanScenario& operator=(const MultiUserLanScenario&) = delete;
+
+  MultiUserMetrics run();
+
+  sim::Simulator& simulator() { return sim_; }
+  tcp::TcpSender& sender(std::size_t user) { return *senders_[user]; }
+  tcp::TcpSink& sink(std::size_t user) { return *sinks_[user]; }
+  link::BsScheduler& scheduler() { return *sched_; }
+  const MultiUserConfig& config() const { return cfg_; }
+
+ private:
+  void on_wired_at_bs(net::Packet pkt);
+  void on_wired_at_fh(net::Packet pkt);
+  void release_to_user(std::size_t user, net::Packet datagram);
+  MultiUserMetrics collect() const;
+
+  MultiUserConfig cfg_;
+  sim::Simulator sim_;
+  std::shared_ptr<net::Medium> medium_;
+
+  std::unique_ptr<net::DuplexLink> wired_;
+  std::unique_ptr<net::CallbackSink> fh_sink_;  ///< demux acks/EBSN by conn
+  std::unique_ptr<net::CallbackSink> bs_sink_;  ///< data -> scheduler
+
+  std::unique_ptr<link::BsScheduler> sched_;
+
+  // Per-user plumbing.
+  std::vector<std::unique_ptr<net::DuplexLink>> radio_links_;
+  std::vector<std::shared_ptr<phy::GilbertElliottModel>> channels_;
+  std::vector<std::unique_ptr<link::WirelessInterface>> bs_wifis_;
+  std::vector<std::unique_ptr<link::WirelessInterface>> mh_wifis_;
+  std::vector<std::unique_ptr<net::CallbackSink>> bs_uppers_;
+  std::vector<std::unique_ptr<net::CallbackSink>> mh_uppers_;
+  std::vector<std::unique_ptr<tcp::TcpSender>> senders_;
+  std::vector<std::unique_ptr<tcp::TcpSink>> sinks_;
+  std::vector<std::unique_ptr<core::EbsnAgent>> ebsn_agents_;
+  /// Per user: datagram id -> fragments still unresolved (scheduler slots).
+  std::vector<std::unordered_map<std::uint64_t, std::int32_t>> pending_frags_;
+
+  std::size_t completed_ = 0;
+  bool ran_ = false;
+};
+
+/// Jain's fairness index over non-negative allocations.
+double jain_fairness(const std::vector<double>& xs);
+
+}  // namespace wtcp::topo

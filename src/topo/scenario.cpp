@@ -1,0 +1,336 @@
+#include "src/topo/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/sim/logging.hpp"
+
+namespace wtcp::topo {
+
+const char* to_string(FeedbackMode m) {
+  switch (m) {
+    case FeedbackMode::kNone: return "none";
+    case FeedbackMode::kEbsn: return "ebsn";
+    case FeedbackMode::kSourceQuench: return "source-quench";
+  }
+  return "?";
+}
+
+const char* to_string(TransferDirection d) {
+  return d == TransferDirection::kDownlink ? "downlink" : "uplink";
+}
+
+void ScenarioConfig::set_packet_size(std::int32_t total_bytes) {
+  assert(total_bytes > tcp.header_bytes);
+  tcp.mss = total_bytes - tcp.header_bytes;
+}
+
+ScenarioConfig wan_scenario() {
+  ScenarioConfig cfg;
+  cfg.wired = net::LinkConfig{
+      .name = "wired-wan",
+      .bandwidth_bps = 56'000,
+      .prop_delay = sim::Time::milliseconds(50),
+      .queue_packets = 1000,
+  };
+  cfg.wireless = link::wan_wireless_link_config();
+  cfg.channel = phy::GilbertElliottConfig{
+      .ber_good = 1e-6, .ber_bad = 1e-2, .mean_good_s = 10, .mean_bad_s = 1};
+  cfg.tcp.mss = 536;  // 576 B packet with a 40 B header
+  cfg.tcp.header_bytes = 40;
+  cfg.tcp.window_bytes = 4 * 1024;
+  cfg.tcp.file_bytes = 100 * 1024;
+  cfg.tcp.rto.granularity = sim::Time::milliseconds(100);
+  cfg.wireless_mtu_bytes = 128;
+  return cfg;
+}
+
+ScenarioConfig lan_scenario() {
+  ScenarioConfig cfg;
+  cfg.wired = net::LinkConfig{
+      .name = "wired-lan",
+      .bandwidth_bps = 10'000'000,
+      .prop_delay = sim::Time::milliseconds(1),
+      .queue_packets = 1000,
+  };
+  cfg.wireless = link::lan_wireless_link_config();
+  cfg.channel = phy::GilbertElliottConfig{
+      .ber_good = 1e-6, .ber_bad = 1e-2, .mean_good_s = 4, .mean_bad_s = 0.8};
+  cfg.tcp.mss = 1536 - 40;
+  cfg.tcp.header_bytes = 40;
+  cfg.tcp.window_bytes = 64 * 1024;
+  cfg.tcp.file_bytes = 4 * 1024 * 1024;
+  cfg.tcp.rto.granularity = sim::Time::milliseconds(100);
+  cfg.wireless_mtu_bytes = 1 << 20;  // "no fragmentation over the wireless link"
+  return cfg;
+}
+
+Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), sim_(cfg_.seed) {
+  assert((cfg_.feedback == FeedbackMode::kNone || cfg_.local_recovery) &&
+         "EBSN/source-quench feedback is triggered by local-recovery "
+         "attempts; enable local_recovery");
+
+  fh_ = nodes_.add("FH");
+  bs_ = nodes_.add("BS");
+  mh_ = nodes_.add("MH");
+
+  // Wired path: one link (the paper's setup) or a chain of identical hops
+  // through store-and-forward routers.
+  const int hops = std::max<std::int32_t>(1, cfg_.wired_hops);
+  for (int h = 0; h < hops; ++h) {
+    net::LinkConfig hop_cfg = cfg_.wired;
+    if (hops > 1) hop_cfg.name = cfg_.wired.name + "-hop" + std::to_string(h);
+    wired_links_.push_back(std::make_unique<net::DuplexLink>(sim_, hop_cfg));
+  }
+  for (int h = 1; h < hops; ++h) {
+    // Router between hop h-1 and hop h: forward in both directions.
+    net::DuplexLink* left = wired_links_[static_cast<std::size_t>(h - 1)].get();
+    net::DuplexLink* right = wired_links_[static_cast<std::size_t>(h)].get();
+    router_sinks_.push_back(std::make_unique<net::CallbackSink>(
+        [right](net::Packet p) { right->send(0, std::move(p)); }));
+    left->set_sink(1, router_sinks_.back().get());
+    router_sinks_.push_back(std::make_unique<net::CallbackSink>(
+        [left](net::Packet p) { left->send(1, std::move(p)); }));
+    right->set_sink(0, router_sinks_.back().get());
+  }
+  wireless_ = std::make_unique<net::DuplexLink>(sim_, cfg_.wireless);
+
+  if (cfg_.channel_errors) {
+    if (!cfg_.fade_trace_file.empty()) {
+      channel_ = std::make_shared<phy::TraceDrivenErrorModel>(
+          phy::TraceDrivenErrorModel::from_file(cfg_.fade_trace_file,
+                                                sim_.fork_rng("channel"),
+                                                cfg_.channel.ber_good));
+    } else if (cfg_.deterministic_channel) {
+      channel_ = std::make_shared<phy::DeterministicGilbertElliott>(cfg_.channel);
+    } else {
+      channel_ = std::make_shared<phy::GilbertElliottModel>(
+          cfg_.channel, sim_.fork_rng("channel"));
+    }
+  }
+  if (cfg_.handoff.enabled) {
+    handoff_ = std::make_unique<mobility::HandoffManager>(sim_, cfg_.handoff);
+    if (channel_) {
+      channel_ = std::make_shared<phy::CompositeErrorModel>(
+          std::vector<std::shared_ptr<phy::ErrorModel>>{
+              channel_, handoff_->blackout_model()});
+    } else {
+      channel_ = handoff_->blackout_model();
+    }
+    if (cfg_.handoff.fast_retransmit_on_resume) {
+      handoff_->on_handoff_complete = [this] {
+        sink_->force_duplicate_acks(cfg_.tcp.dupack_threshold);
+      };
+    }
+  }
+  if (channel_) wireless_->set_error_model(channel_);
+
+  // --- TCP endpoints -------------------------------------------------------
+  const bool downlink = cfg_.direction == TransferDirection::kDownlink;
+  assert((downlink || !cfg_.snoop) &&
+         "the snoop agent caches BS->MH data; it has no uplink role");
+
+  if (downlink) {
+    // The paper's setting: source at the fixed host, sink at the mobile.
+    sender_ = std::make_unique<tcp::TcpSender>(sim_, cfg_.tcp, fh_, mh_, "src");
+    sender_->set_downstream(
+        [this](net::Packet pkt) { wired_links_.front()->send(0, std::move(pkt)); });
+    wired_links_.front()->set_sink(0, sender_.get());  // ACKs/EBSN/quench
+
+    sink_ = std::make_unique<tcp::TcpSink>(sim_, cfg_.tcp, mh_, fh_, "snk");
+    sink_->set_downstream(
+        [this](net::Packet ack) { mh_wifi_->send_datagram(ack); });
+  } else {
+    // Uplink: source at the mobile host, sink at the fixed host.
+    sender_ = std::make_unique<tcp::TcpSender>(sim_, cfg_.tcp, mh_, fh_, "src");
+    sender_->set_downstream(
+        [this](net::Packet pkt) { mh_wifi_->send_datagram(pkt); });
+
+    sink_ = std::make_unique<tcp::TcpSink>(sim_, cfg_.tcp, fh_, mh_, "snk");
+    sink_->set_downstream(
+        [this](net::Packet ack) { wired_links_.front()->send(0, std::move(ack)); });
+    wired_links_.front()->set_sink(0, sink_.get());  // data arrives at FH
+  }
+  sink_->on_complete = [this] { sim_.stop(); };
+
+  // --- Wireless interfaces -------------------------------------------------
+  link::WirelessIfaceConfig wcfg;
+  wcfg.local_recovery = cfg_.local_recovery;
+  wcfg.arq = cfg_.arq;
+  wcfg.frag.mtu_bytes = cfg_.wireless_mtu_bytes;
+
+  mh_upper_sink_ = std::make_unique<net::CallbackSink>(
+      [this](net::Packet pkt) { on_datagram_at_mh(std::move(pkt)); });
+  mh_wifi_ = std::make_unique<link::WirelessInterface>(
+      sim_, *wireless_, 1, wcfg, "mh-wifi", mh_upper_sink_.get());
+
+  bs_upper_sink_ = std::make_unique<net::CallbackSink>(
+      [this](net::Packet pkt) { on_datagram_from_mh(std::move(pkt)); });
+  bs_wifi_ = std::make_unique<link::WirelessInterface>(
+      sim_, *wireless_, 0, wcfg, "bs-wifi", bs_upper_sink_.get());
+
+  // --- Base station wired side ---------------------------------------------
+  bs_wired_sink_ = std::make_unique<net::CallbackSink>(
+      [this](net::Packet pkt) { on_data_at_bs(std::move(pkt)); });
+  wired_links_.back()->set_sink(1, bs_wired_sink_.get());
+
+  // --- Feedback agents -------------------------------------------------------
+  if (cfg_.cross_traffic) {
+    cross_ = std::make_unique<traffic::OnOffSource>(
+        sim_, cfg_.cross, fh_, bs_,
+        [this](net::Packet p) { wired_links_.front()->send(0, std::move(p)); });
+    cross_->start();
+  }
+  if (cfg_.snoop) {
+    snoop_agent_ = std::make_unique<feedback::SnoopAgent>(sim_, cfg_.snoop_cfg, "snoop");
+    snoop_agent_->set_wireless_tx(
+        [this](net::Packet pkt) { bs_wifi_->send_datagram(pkt); });
+  }
+  // Feedback travels from wherever local recovery runs for the DATA
+  // direction: the BS (downlink, over the wired path) or the mobile host
+  // itself (uplink — the notification is local, no network crossing).
+  link::WirelessInterface* data_arq_side = downlink ? bs_wifi_.get() : mh_wifi_.get();
+  const net::NodeId notifier = downlink ? bs_ : mh_;
+  tcp::PacketForwarder to_source =
+      downlink
+          ? tcp::PacketForwarder([this](net::Packet pkt) {
+              wired_links_.back()->send(1, std::move(pkt));
+            })
+          : tcp::PacketForwarder([this](net::Packet pkt) {
+              sender_->handle_packet(std::move(pkt));
+            });
+  if (cfg_.feedback == FeedbackMode::kEbsn) {
+    ebsn_agent_ = std::make_unique<core::EbsnAgent>(sim_, cfg_.ebsn, notifier,
+                                                    downlink ? fh_ : mh_,
+                                                    std::move(to_source));
+    ebsn_agent_->attach(data_arq_side->arq_sender());
+  } else if (cfg_.feedback == FeedbackMode::kSourceQuench) {
+    quench_agent_ = std::make_unique<feedback::SourceQuenchAgent>(
+        sim_, cfg_.quench, notifier, downlink ? fh_ : mh_, std::move(to_source));
+    quench_agent_->attach(data_arq_side->arq_sender());
+  }
+}
+
+void Scenario::on_data_at_bs(net::Packet pkt) {
+  if (pkt.type == net::PacketType::kBackground) {
+    // Cross-traffic exits toward the rest of the internet here.
+    ++background_delivered_;
+    return;
+  }
+  const bool downlink = cfg_.direction == TransferDirection::kDownlink;
+  if (downlink && pkt.type == net::PacketType::kTcpData) {
+    if (snoop_agent_) snoop_agent_->on_data_from_wired(pkt);
+    bs_wifi_->send_datagram(pkt);
+    return;
+  }
+  if (!downlink && pkt.type == net::PacketType::kTcpAck) {
+    bs_wifi_->send_datagram(pkt);  // ACKs from the FH sink toward the MH
+    return;
+  }
+  WTCP_LOG(kWarn, sim_.now(), "bs", "unexpected wired packet: %s",
+           pkt.describe().c_str());
+}
+
+void Scenario::on_datagram_from_mh(net::Packet pkt) {
+  const bool downlink = cfg_.direction == TransferDirection::kDownlink;
+  if (downlink && pkt.type == net::PacketType::kTcpAck) {
+    if (snoop_agent_ && !snoop_agent_->on_ack_from_wireless(pkt)) {
+      return;  // snoop suppressed a duplicate ACK
+    }
+    wired_links_.back()->send(1, std::move(pkt));
+    return;
+  }
+  if (!downlink && pkt.type == net::PacketType::kTcpData) {
+    wired_links_.back()->send(1, std::move(pkt));  // data onward to the FH
+    return;
+  }
+  WTCP_LOG(kWarn, sim_.now(), "bs", "unexpected datagram from MH: %s",
+           pkt.describe().c_str());
+}
+
+void Scenario::on_datagram_at_mh(net::Packet pkt) {
+  const bool downlink = cfg_.direction == TransferDirection::kDownlink;
+  if (downlink && pkt.type == net::PacketType::kTcpData) {
+    sink_->handle_packet(std::move(pkt));
+    return;
+  }
+  if (!downlink && pkt.type == net::PacketType::kTcpAck) {
+    sender_->handle_packet(std::move(pkt));
+    return;
+  }
+  WTCP_LOG(kWarn, sim_.now(), "mh", "unexpected datagram at MH: %s",
+           pkt.describe().c_str());
+}
+
+void Scenario::set_sender_trace(stats::ConnectionTrace* trace) {
+  sender_->set_trace(trace);
+}
+
+void Scenario::set_sink_trace(stats::ConnectionTrace* trace) {
+  sink_->set_trace(trace);
+}
+
+stats::RunMetrics Scenario::run() {
+  assert(!ran_ && "Scenario::run() may only be called once");
+  ran_ = true;
+  sender_->start_at(sim::Time::zero());
+  sim_.run(cfg_.horizon);
+  return metrics();
+}
+
+stats::RunMetrics Scenario::metrics() const {
+  stats::RunMetrics m;
+  const auto& snd = sender_->stats();
+  const auto& snk = sink_->stats();
+
+  m.completed = snk.completed;
+  m.duration = snk.completed ? snk.completion_time - snd.start_time
+                             : sim_.now() - snd.start_time;
+  if (m.duration > sim::Time::zero()) {
+    m.throughput_bps =
+        static_cast<double>(snk.delivered_wire_bytes) * 8.0 / m.duration.to_seconds();
+  }
+  if (snd.payload_bytes_sent > 0) {
+    m.goodput = static_cast<double>(snk.unique_payload_bytes) /
+                static_cast<double>(snd.payload_bytes_sent);
+  }
+
+  m.timeouts = snd.timeouts;
+  m.fast_retransmits = snd.fast_retransmits;
+  m.segments_sent = snd.segments_sent;
+  m.segments_retransmitted = snd.segments_retransmitted;
+  m.retransmitted_bytes = snd.payload_bytes_retransmitted;
+  m.ebsn_received = snd.ebsn_received;
+  m.quench_received = snd.quench_received;
+
+  m.unique_payload_bytes = snk.unique_payload_bytes;
+  m.duplicate_segments = snk.duplicate_segments;
+
+  m.wireless_frames_corrupted = wireless_->stats(0).frames_corrupted +
+                                wireless_->stats(1).frames_corrupted;
+  for (const link::WirelessInterface* w : {bs_wifi_.get(), mh_wifi_.get()}) {
+    if (const link::ArqSender* a = w->arq_sender_or_null()) {
+      m.arq_attempts += a->stats().attempts;
+      m.arq_retransmissions += a->stats().retransmissions;
+      m.arq_discards += a->stats().discarded;
+    }
+  }
+  if (ebsn_agent_) m.ebsn_sent = ebsn_agent_->stats().notifications_sent;
+  if (quench_agent_) m.quench_sent = quench_agent_->stats().quenches_sent;
+  if (snoop_agent_) m.snoop_local_retransmits = snoop_agent_->stats().local_retransmits;
+  if (handoff_) m.handoffs = handoff_->stats().handoffs;
+  m.delay_p50_s = sink_->delay().median();
+  m.delay_p95_s = sink_->delay().p95();
+  m.delay_max_s = sink_->delay().max();
+  return m;
+}
+
+stats::RunMetrics run_scenario(const ScenarioConfig& cfg,
+                               stats::ConnectionTrace* sender_trace) {
+  Scenario s(cfg);
+  if (sender_trace) s.set_sender_trace(sender_trace);
+  return s.run();
+}
+
+}  // namespace wtcp::topo

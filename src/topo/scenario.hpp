@@ -1,0 +1,204 @@
+// The paper's simulation setup (Figure 2): a fixed host (FH) with the TCP
+// source, a base station (BS), and a mobile host (MH) with the TCP sink.
+//
+//    FH ---- wired link ---- BS ---- wireless link ---- MH
+//   (SRC)                 (gateway)                   (SNK)
+//
+// ScenarioConfig captures every knob the paper varies; Scenario builds the
+// node graph, runs the bulk transfer, and reports the paper's metrics.
+// `wan_scenario()` / `lan_scenario()` return the Section 3 / Section 4.2.4
+// parameter sets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "src/core/ebsn.hpp"
+#include "src/feedback/snoop_agent.hpp"
+#include "src/feedback/source_quench.hpp"
+#include "src/link/wireless_link.hpp"
+#include "src/mobility/handoff.hpp"
+#include "src/net/link.hpp"
+#include "src/traffic/background.hpp"
+#include "src/net/node.hpp"
+#include "src/phy/gilbert_elliott.hpp"
+#include "src/phy/trace_driven.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/stats/metrics.hpp"
+#include "src/stats/trace.hpp"
+#include "src/tcp/tahoe_sender.hpp"
+#include "src/tcp/tcp_sink.hpp"
+
+namespace wtcp::topo {
+
+/// Which base-station feedback mechanism is active (requires local
+/// recovery, which supplies the failed-attempt trigger).
+enum class FeedbackMode : std::uint8_t { kNone, kEbsn, kSourceQuench };
+
+const char* to_string(FeedbackMode m);
+
+/// Direction of the bulk transfer.
+enum class TransferDirection : std::uint8_t {
+  kDownlink,  ///< FH -> MH, the paper's setting
+  kUplink,    ///< MH -> FH (extension): the data source sits BEHIND the
+              ///< wireless hop, so "bad state" is a LOCAL signal — the
+              ///< mobile host's own ARQ notifies its own TCP directly,
+              ///< no wired round trip and no BS involvement.
+};
+
+const char* to_string(TransferDirection d);
+
+struct ScenarioConfig {
+  net::LinkConfig wired;
+  /// Number of wired hops between FH and BS (default 1 = the paper's
+  /// direct link).  With N > 1, N identical `wired` links are chained
+  /// through store-and-forward routers, inflating the wired RTT and
+  /// adding queueing points.
+  std::int32_t wired_hops = 1;
+  net::LinkConfig wireless;
+
+  phy::GilbertElliottConfig channel;
+  /// Use the fixed-cycle channel of the Figure 3-5 example instead of the
+  /// stochastic one.
+  bool deterministic_channel = false;
+  /// Disable channel errors entirely (tput_max calibration runs).
+  bool channel_errors = true;
+  /// Replay a recorded fade trace instead of the analytic channel (see
+  /// phy::TraceDrivenErrorModel for the file format).  Overrides
+  /// `channel` / `deterministic_channel` when non-empty.
+  std::string fade_trace_file;
+
+  tcp::TcpConfig tcp;
+  TransferDirection direction = TransferDirection::kDownlink;
+
+  /// Base-station link-level retransmissions (Section 4.2.1).
+  bool local_recovery = false;
+  link::ArqConfig arq;
+
+  /// Wireless MTU; datagrams larger than this fragment (Section 3.1).
+  std::int64_t wireless_mtu_bytes = 128;
+
+  FeedbackMode feedback = FeedbackMode::kNone;
+  core::EbsnConfig ebsn;
+  feedback::SourceQuenchConfig quench;
+
+  /// TCP-aware snoop agent at the BS (extra baseline, Section 2 / [11]).
+  bool snoop = false;
+  feedback::SnoopConfig snoop_cfg;
+
+  /// Handoffs (the paper's companion study [17]): periodic wireless
+  /// blackouts while the MH re-registers, with optional [4]-style fast
+  /// retransmit on resumption.
+  mobility::HandoffConfig handoff;
+
+  /// Wired cross-traffic (the paper's follow-up study [18]): background
+  /// packets compete with the connection under test on the FH->BS link.
+  /// They terminate at the base station (heading "elsewhere").  Shrink
+  /// wired.queue_packets to make congestion bite.
+  bool cross_traffic = false;
+  traffic::OnOffConfig cross;
+
+  std::uint64_t seed = 1;
+  sim::Time horizon = sim::Time::seconds(36'000);  ///< hard stop
+
+  /// Set the paper's "packet size" (total wired packet, header included).
+  void set_packet_size(std::int32_t total_bytes);
+  std::int32_t packet_size() const { return tcp.mss + tcp.header_bytes; }
+};
+
+/// Paper Section 3: 56 kbps wired link, 19.2 kbps (12.8 effective) wireless
+/// link, 128 B wireless MTU, 576 B packets, 4 KB window, 100 KB transfer,
+/// 100 ms TCP clock, good/bad = 10 s / 1 s.
+ScenarioConfig wan_scenario();
+
+/// Paper Section 4.2.4: 10 Mbps wired, 2 Mbps wireless, no fragmentation,
+/// 1536 B packets, 64 KB window, 4 MB transfer, good/bad = 4 s / 0.8 s.
+ScenarioConfig lan_scenario();
+
+/// A fully wired (and configured) instance of the Figure 2 topology.
+/// Build, optionally attach traces, call run() once, then read metrics or
+/// poke at components (tests do).
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig cfg);
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Attach an event trace to the source (Figures 3-5) / sink.
+  void set_sender_trace(stats::ConnectionTrace* trace);
+  void set_sink_trace(stats::ConnectionTrace* trace);
+
+  /// Run the bulk transfer to completion (or the horizon).  Call once.
+  stats::RunMetrics run();
+
+  /// Metrics of the run so far (also usable mid-run from tests).
+  stats::RunMetrics metrics() const;
+
+  // Component access (tests, benches, examples).
+  sim::Simulator& simulator() { return sim_; }
+  tcp::TahoeSender& sender() { return *sender_; }
+  tcp::TcpSink& sink() { return *sink_; }
+  /// First wired hop (the FH's access link).
+  net::DuplexLink& wired_link() { return *wired_links_.front(); }
+  /// Any wired hop, 0-based from the FH side.
+  net::DuplexLink& wired_link(std::size_t hop) { return *wired_links_[hop]; }
+  std::size_t wired_hop_count() const { return wired_links_.size(); }
+  net::DuplexLink& wireless_link() { return *wireless_; }
+  link::WirelessInterface& bs_wireless() { return *bs_wifi_; }
+  link::WirelessInterface& mh_wireless() { return *mh_wifi_; }
+  core::EbsnAgent* ebsn_agent() { return ebsn_agent_.get(); }
+  feedback::SourceQuenchAgent* quench_agent() { return quench_agent_.get(); }
+  feedback::SnoopAgent* snoop_agent() { return snoop_agent_.get(); }
+  mobility::HandoffManager* handoff_manager() { return handoff_.get(); }
+  traffic::OnOffSource* cross_traffic_source() { return cross_.get(); }
+  std::uint64_t background_delivered() const { return background_delivered_; }
+  const ScenarioConfig& config() const { return cfg_; }
+
+  net::NodeId fh() const { return fh_; }
+  net::NodeId bs() const { return bs_; }
+  net::NodeId mh() const { return mh_; }
+
+ private:
+  void on_data_at_bs(net::Packet pkt);
+  void on_datagram_from_mh(net::Packet pkt);
+  void on_datagram_at_mh(net::Packet pkt);
+
+  ScenarioConfig cfg_;
+  sim::Simulator sim_;
+  net::NodeRegistry nodes_;
+  net::NodeId fh_;
+  net::NodeId bs_;
+  net::NodeId mh_;
+
+  std::vector<std::unique_ptr<net::DuplexLink>> wired_links_;
+  std::vector<std::unique_ptr<net::CallbackSink>> router_sinks_;
+  std::unique_ptr<net::DuplexLink> wireless_;
+  std::shared_ptr<phy::ErrorModel> channel_;
+
+  std::unique_ptr<tcp::TahoeSender> sender_;
+  std::unique_ptr<tcp::TcpSink> sink_;
+
+  std::unique_ptr<net::CallbackSink> bs_wired_sink_;   ///< wired arrivals at BS
+  std::unique_ptr<net::CallbackSink> bs_upper_sink_;   ///< reassembled ACKs at BS
+  std::unique_ptr<net::CallbackSink> mh_upper_sink_;   ///< reassembled data at MH
+
+  std::unique_ptr<link::WirelessInterface> bs_wifi_;
+  std::unique_ptr<link::WirelessInterface> mh_wifi_;
+
+  std::unique_ptr<core::EbsnAgent> ebsn_agent_;
+  std::unique_ptr<feedback::SourceQuenchAgent> quench_agent_;
+  std::unique_ptr<feedback::SnoopAgent> snoop_agent_;
+  std::unique_ptr<mobility::HandoffManager> handoff_;
+  std::unique_ptr<traffic::OnOffSource> cross_;
+  std::uint64_t background_delivered_ = 0;
+
+  bool ran_ = false;
+};
+
+/// Run one configuration end to end (convenience used by benches/tests).
+stats::RunMetrics run_scenario(const ScenarioConfig& cfg,
+                               stats::ConnectionTrace* sender_trace = nullptr);
+
+}  // namespace wtcp::topo

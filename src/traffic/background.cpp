@@ -1,0 +1,71 @@
+#include "src/traffic/background.hpp"
+
+#include <cassert>
+
+namespace wtcp::traffic {
+
+OnOffSource::OnOffSource(sim::Simulator& sim, OnOffConfig cfg, net::NodeId self,
+                         net::NodeId dst, Downstream downstream)
+    : sim_(sim),
+      cfg_(cfg),
+      self_(self),
+      dst_(dst),
+      downstream_(std::move(downstream)),
+      rng_(sim.fork_rng("background")) {
+  assert(cfg_.rate_bps > 0 && cfg_.packet_bytes > 0);
+  assert(cfg_.mean_on_s > 0);
+  assert(downstream_);
+}
+
+double OnOffSource::offered_load_bps() const {
+  const double duty = cfg_.mean_off_s <= 0
+                          ? 1.0
+                          : cfg_.mean_on_s / (cfg_.mean_on_s + cfg_.mean_off_s);
+  return static_cast<double>(cfg_.rate_bps) * duty;
+}
+
+sim::Time OnOffSource::packet_interval() const {
+  return sim::transmission_time(cfg_.packet_bytes, cfg_.rate_bps);
+}
+
+void OnOffSource::start() {
+  if (started_) return;
+  started_ = true;
+  sim_.at(cfg_.start, [this] { begin_on(); });
+}
+
+void OnOffSource::stop() {
+  stopped_ = true;
+  sim_.cancel(timer_);
+}
+
+void OnOffSource::begin_on() {
+  if (stopped_) return;
+  on_ = true;
+  ++stats_.bursts;
+  if (cfg_.mean_off_s > 0) {
+    const sim::Time on_len = sim::Time::from_seconds(rng_.exponential(cfg_.mean_on_s));
+    sim_.after(std::max(on_len, sim::Time::nanoseconds(1)), [this] { begin_off(); });
+  }
+  emit();
+}
+
+void OnOffSource::begin_off() {
+  if (stopped_) return;
+  on_ = false;
+  sim_.cancel(timer_);
+  const sim::Time off_len = sim::Time::from_seconds(rng_.exponential(cfg_.mean_off_s));
+  sim_.after(std::max(off_len, sim::Time::nanoseconds(1)), [this] { begin_on(); });
+}
+
+void OnOffSource::emit() {
+  if (stopped_ || !on_) return;
+  net::Packet p = net::make_control(net::PacketType::kBackground, cfg_.packet_bytes,
+                                    self_, dst_, sim_.now());
+  ++stats_.packets_sent;
+  stats_.bytes_sent += p.size_bytes;
+  downstream_(std::move(p));
+  timer_ = sim_.after(packet_interval(), [this] { emit(); });
+}
+
+}  // namespace wtcp::traffic

@@ -1,0 +1,76 @@
+// Background (cross) traffic for wired-congestion experiments.
+//
+// The paper assumes an uncongested wired network and names the congested
+// case as its follow-up study [18] ("the impact of congestion in the
+// wired network on the effectiveness of EBSN").  OnOffSource injects
+// CBR or bursty on/off traffic into the wired link so that the TCP
+// connection under test competes for the 56 kbps pipe and the
+// base-station queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/net/packet.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace wtcp::traffic {
+
+struct OnOffConfig {
+  std::int64_t rate_bps = 14'000;   ///< sending rate while ON
+  std::int32_t packet_bytes = 576;  ///< background packet size
+  /// Mean ON/OFF period lengths (exponential).  mean_off == 0 makes the
+  /// source plain CBR.
+  double mean_on_s = 1.0;
+  double mean_off_s = 0.0;
+  sim::Time start = sim::Time::zero();
+};
+
+struct OnOffStats {
+  std::uint64_t packets_sent = 0;
+  std::int64_t bytes_sent = 0;
+  std::uint64_t bursts = 0;  ///< ON periods begun
+};
+
+/// Emits kBackground packets into `downstream` (the wired link).  Packet
+/// spacing while ON is packet_bytes*8/rate_bps; ON/OFF sojourns are
+/// exponential with the configured means.
+class OnOffSource {
+ public:
+  using Downstream = std::function<void(net::Packet)>;
+
+  OnOffSource(sim::Simulator& sim, OnOffConfig cfg, net::NodeId self,
+              net::NodeId dst, Downstream downstream);
+
+  /// Begin the schedule (idempotent; honors cfg.start).
+  void start();
+  /// Stop emitting (pending timer is cancelled).
+  void stop();
+
+  bool on() const { return on_; }
+  const OnOffStats& stats() const { return stats_; }
+  const OnOffConfig& config() const { return cfg_; }
+
+  /// Average offered load in bits/second given the duty cycle.
+  double offered_load_bps() const;
+
+ private:
+  void begin_on();
+  void begin_off();
+  void emit();
+  sim::Time packet_interval() const;
+
+  sim::Simulator& sim_;
+  OnOffConfig cfg_;
+  net::NodeId self_;
+  net::NodeId dst_;
+  Downstream downstream_;
+  sim::Rng rng_;
+  bool started_ = false;
+  bool stopped_ = false;
+  bool on_ = false;
+  sim::EventId timer_;
+  OnOffStats stats_;
+};
+
+}  // namespace wtcp::traffic

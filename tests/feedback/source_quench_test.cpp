@@ -1,0 +1,79 @@
+#include "src/feedback/source_quench.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+
+namespace wtcp::feedback {
+namespace {
+
+net::Packet data_fragment(sim::Simulator& sim) {
+  net::Packet inner = net::make_tcp_data(0, 536, 40, 0, 2, sim.now());
+  net::Packet frag;
+  frag.type = net::PacketType::kLinkFragment;
+  frag.size_bytes = 128;
+  frag.frag = net::FragmentHeader{.datagram_id = 1, .index = 0, .count = 5,
+                                  .link_seq = 0};
+  frag.encapsulated = std::make_shared<const net::Packet>(inner);
+  return frag;
+}
+
+class QuenchTest : public ::testing::Test {
+ protected:
+  void build(SourceQuenchConfig cfg = {}) {
+    agent_ = std::make_unique<SourceQuenchAgent>(
+        sim_, cfg, 1, 0, [this](net::Packet p) { out_.push_back(std::move(p)); });
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<SourceQuenchAgent> agent_;
+  std::vector<net::Packet> out_;
+};
+
+TEST_F(QuenchTest, NotifySendsQuench) {
+  SourceQuenchConfig cfg;
+  cfg.min_interval = sim::Time::zero();
+  build(cfg);
+  agent_->notify(data_fragment(sim_));
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(out_[0].type, net::PacketType::kSourceQuench);
+  EXPECT_EQ(agent_->stats().quenches_sent, 1u);
+}
+
+TEST_F(QuenchTest, DefaultRateLimitIsIcmpLike) {
+  build();  // default 500 ms min interval
+  for (int i = 0; i < 5; ++i) agent_->notify(data_fragment(sim_));
+  EXPECT_EQ(out_.size(), 1u);
+  EXPECT_EQ(agent_->stats().suppressed, 4u);
+}
+
+TEST_F(QuenchTest, QuenchesSpacedByInterval) {
+  build();
+  for (int i = 0; i < 4; ++i) {
+    sim_.at(sim::Time::milliseconds(400) * i, [this] {
+      agent_->notify(data_fragment(sim_));
+    });
+  }
+  sim_.run();
+  // t = 0 passes, 0.4 suppressed, 0.8 passes, 1.2 suppressed... wait:
+  // 1.2 - 0.8 = 0.4 < 0.5 suppressed.  So 2 pass.
+  EXPECT_EQ(out_.size(), 2u);
+}
+
+TEST_F(QuenchTest, NonDataSuppressedByDefault) {
+  build();
+  net::Packet frag;
+  frag.type = net::PacketType::kLinkFragment;
+  frag.size_bytes = 40;
+  frag.frag = net::FragmentHeader{.link_seq = 0};
+  frag.encapsulated = std::make_shared<const net::Packet>(
+      net::make_tcp_ack(1, 40, 2, 0, sim_.now()));
+  agent_->notify(frag);
+  EXPECT_TRUE(out_.empty());
+}
+
+}  // namespace
+}  // namespace wtcp::feedback

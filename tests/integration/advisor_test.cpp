@@ -1,0 +1,82 @@
+#include "src/core/packet_size_advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.hpp"
+
+namespace wtcp::core {
+namespace {
+
+TEST(PacketSizeAdvisor, FromPrecomputedTable) {
+  PacketSizeAdvisor advisor({
+      {.mean_bad_s = 1.0, .packet_size = 512, .throughput_bps = 8700},
+      {.mean_bad_s = 3.0, .packet_size = 384, .throughput_bps = 6000},
+  });
+  EXPECT_EQ(advisor.recommend(1.0), 512);
+  EXPECT_EQ(advisor.recommend(3.0), 384);
+  // Nearest-characteristic lookup.
+  EXPECT_EQ(advisor.recommend(1.4), 512);
+  EXPECT_EQ(advisor.recommend(2.6), 384);
+  EXPECT_EQ(advisor.recommend(100.0), 384);
+  EXPECT_EQ(advisor.recommend(0.0), 512);
+}
+
+TEST(PacketSizeAdvisor, TableIsSortedByCharacteristic) {
+  PacketSizeAdvisor advisor({
+      {.mean_bad_s = 3.0, .packet_size = 384},
+      {.mean_bad_s = 1.0, .packet_size = 512},
+  });
+  EXPECT_DOUBLE_EQ(advisor.table()[0].mean_bad_s, 1.0);
+  EXPECT_DOUBLE_EQ(advisor.table()[1].mean_bad_s, 3.0);
+}
+
+TEST(PacketSizeAdvisor, EntryForExposesThroughputs) {
+  PacketSizeAdvisor advisor({
+      {.mean_bad_s = 1.0, .packet_size = 512, .throughput_bps = 8700,
+       .worst_throughput_bps = 6700},
+  });
+  const PacketSizeEntry& e = advisor.entry_for(1.0);
+  EXPECT_EQ(e.packet_size, 512);
+  EXPECT_GT(e.throughput_bps, e.worst_throughput_bps);
+}
+
+TEST(PacketSizeAdvisor, BuildSweepsAndPicksBest) {
+  topo::ScenarioConfig base = topo::wan_scenario();
+  base.tcp.file_bytes = 20 * 1024;  // keep the test quick
+  const PacketSizeAdvisor advisor = PacketSizeAdvisor::build(
+      base, {256, 512, 1536}, {1.0, 4.0}, /*seeds=*/2);
+  ASSERT_EQ(advisor.table().size(), 2u);
+  for (const PacketSizeEntry& e : advisor.table()) {
+    EXPECT_TRUE(e.packet_size == 256 || e.packet_size == 512 ||
+                e.packet_size == 1536);
+    EXPECT_GT(e.throughput_bps, 0.0);
+    EXPECT_GE(e.throughput_bps, e.worst_throughput_bps);
+  }
+  // The best size for some characteristic must beat the worst candidate
+  // at that characteristic (otherwise the table is vacuous).
+  EXPECT_GT(advisor.table()[1].throughput_bps,
+            advisor.table()[1].worst_throughput_bps);
+}
+
+TEST(Experiment, RunSeedsAggregates) {
+  topo::ScenarioConfig cfg = topo::wan_scenario();
+  cfg.tcp.file_bytes = 20 * 1024;
+  cfg.channel.mean_bad_s = 2;
+  const MetricsSummary s = run_seeds(cfg, 4);
+  EXPECT_EQ(s.runs_total, 4u);
+  EXPECT_EQ(s.runs_completed, 4u);
+  EXPECT_EQ(s.throughput_bps.count(), 4u);
+  EXPECT_GT(s.throughput_bps.mean(), 0.0);
+  EXPECT_GT(s.throughput_bps.stddev(), 0.0);  // seeds differ
+}
+
+TEST(Experiment, ErrorFreeThroughputNearEffectiveRate) {
+  topo::ScenarioConfig cfg = topo::wan_scenario();
+  cfg.tcp.file_bytes = 30 * 1024;
+  const double tput = measure_error_free_throughput_bps(cfg);
+  EXPECT_GT(tput, 0.9 * 12'800);
+  EXPECT_LT(tput, 12'800 * 1.01);
+}
+
+}  // namespace
+}  // namespace wtcp::core

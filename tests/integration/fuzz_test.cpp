@@ -1,0 +1,88 @@
+// Randomized configuration fuzzing: draw scenario configurations from a
+// seeded generator and assert that every run terminates and conserves
+// bytes.  This is the catch-all net under the targeted suites — any
+// wiring combination (flavor x scheme x hops x handoff x delack x ARQ
+// parameters) must be safe.
+#include <gtest/gtest.h>
+
+#include "src/sim/random.hpp"
+#include "src/topo/scenario.hpp"
+
+namespace wtcp {
+namespace {
+
+topo::ScenarioConfig random_config(sim::Rng& rng) {
+  topo::ScenarioConfig cfg =
+      rng.chance(0.5) ? topo::wan_scenario() : topo::lan_scenario();
+  const bool is_lan = cfg.wireless.bandwidth_bps > 1'000'000;
+
+  cfg.tcp.file_bytes = is_lan ? rng.uniform_int(64, 512) * 1024
+                              : rng.uniform_int(10, 60) * 1024;
+  if (!is_lan) {
+    cfg.set_packet_size(static_cast<std::int32_t>(rng.uniform_int(2, 24) * 64));
+  }
+  cfg.tcp.window_bytes = rng.uniform_int(2, 64) * 1024;
+  cfg.tcp.flavor = static_cast<tcp::TcpFlavor>(rng.uniform_int(0, 2));
+  cfg.tcp.delayed_ack = rng.chance(0.3);
+  cfg.tcp.connect_handshake = rng.chance(0.3);
+  cfg.tcp.sack_enabled = rng.chance(0.4);
+  cfg.tcp.rto.granularity = sim::Time::milliseconds(rng.uniform_int(1, 5) * 100);
+  cfg.tcp.rto.min_rto = cfg.tcp.rto.granularity * 2;
+
+  // Channel: keep the good fraction >= 2/3 so transfers always finish.
+  cfg.channel.mean_good_s = rng.uniform(4.0, 12.0);
+  cfg.channel.mean_bad_s = rng.uniform(0.2, cfg.channel.mean_good_s / 2.0);
+  cfg.deterministic_channel = rng.chance(0.2);
+
+  const int scheme = static_cast<int>(rng.uniform_int(0, 3));
+  if (scheme >= 1) cfg.local_recovery = true;
+  if (scheme == 2) cfg.feedback = topo::FeedbackMode::kEbsn;
+  if (scheme == 3) cfg.feedback = topo::FeedbackMode::kSourceQuench;
+  if (scheme == 0 && rng.chance(0.4)) cfg.snoop = true;
+
+  cfg.arq.rt_max = static_cast<std::int32_t>(rng.uniform_int(1, 20));
+  cfg.arq.window = static_cast<std::int32_t>(rng.uniform_int(1, 16));
+  cfg.wired_hops = static_cast<std::int32_t>(rng.uniform_int(1, 3));
+  cfg.wireless.half_duplex = rng.chance(0.2);
+
+  if (rng.chance(0.3)) {
+    cfg.handoff.enabled = true;
+    cfg.handoff.mean_interval = sim::Time::from_seconds(rng.uniform(8, 30));
+    cfg.handoff.latency = sim::Time::milliseconds(rng.uniform_int(100, 800));
+    cfg.handoff.fast_retransmit_on_resume = rng.chance(0.5);
+    cfg.handoff.deterministic = rng.chance(0.5);
+  }
+  if (rng.chance(0.25)) {
+    cfg.cross_traffic = true;
+    cfg.cross.rate_bps = cfg.wired.bandwidth_bps / 4;
+    cfg.cross.mean_on_s = 1.0;
+    cfg.cross.mean_off_s = 1.0;
+  }
+  return cfg;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSweep, TerminatesAndConserves) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  topo::ScenarioConfig cfg = random_config(rng);
+  cfg.seed = static_cast<std::uint64_t>(GetParam());
+  cfg.horizon = sim::Time::seconds(50'000);
+
+  topo::Scenario s(cfg);
+  const stats::RunMetrics m = s.run();
+
+  ASSERT_TRUE(m.completed) << "incomplete transfer; duration "
+                           << m.duration.to_seconds() << " s";
+  EXPECT_EQ(s.sink().stats().unique_payload_bytes, cfg.tcp.file_bytes);
+  EXPECT_LE(s.sink().stats().unique_payload_bytes,
+            s.sender().stats().payload_bytes_sent);
+  EXPECT_GT(m.goodput, 0.0);
+  EXPECT_LE(m.goodput, 1.0);
+  EXPECT_GT(m.throughput_bps, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, FuzzSweep, ::testing::Range(1, 33));
+
+}  // namespace
+}  // namespace wtcp

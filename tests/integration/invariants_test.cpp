@@ -1,0 +1,160 @@
+// Property-based invariant sweeps: conservation laws and metric bounds
+// that must hold for EVERY configuration, checked across the cross
+// product of scheme x packet size x bad period (and the LAN setup).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/core/theoretical.hpp"
+#include "src/topo/scenario.hpp"
+
+namespace wtcp {
+namespace {
+
+using topo::FeedbackMode;
+using topo::Scenario;
+using topo::ScenarioConfig;
+
+struct Point {
+  std::string scheme;   // basic | local | ebsn | quench | snoop
+  std::int32_t packet;  // wired packet size
+  double bad_s;
+};
+
+void apply_scheme(ScenarioConfig& cfg, const std::string& scheme) {
+  if (scheme == "snoop") {
+    cfg.snoop = true;
+    return;
+  }
+  if (scheme == "basic") return;
+  cfg.local_recovery = true;
+  if (scheme == "ebsn") cfg.feedback = FeedbackMode::kEbsn;
+  if (scheme == "quench") cfg.feedback = FeedbackMode::kSourceQuench;
+}
+
+class WanInvariants
+    : public ::testing::TestWithParam<std::tuple<const char*, int, double>> {};
+
+TEST_P(WanInvariants, ConservationAndBounds) {
+  const auto [scheme, packet, bad] = GetParam();
+  ScenarioConfig cfg = topo::wan_scenario();
+  cfg.tcp.file_bytes = 40 * 1024;
+  cfg.set_packet_size(packet);
+  cfg.channel.mean_bad_s = bad;
+  cfg.seed = 42;
+  apply_scheme(cfg, scheme);
+
+  Scenario s(cfg);
+  const stats::RunMetrics m = s.run();
+
+  // The transfer must complete within the (huge) horizon.
+  ASSERT_TRUE(m.completed) << scheme << " " << packet << " " << bad;
+
+  const auto& snd = s.sender().stats();
+  const auto& snk = s.sink().stats();
+
+  // Conservation: the sink cannot deliver more than the source sent.
+  EXPECT_LE(snk.unique_payload_bytes, snd.payload_bytes_sent);
+  // Total arrivals are bounded by source transmissions plus base-station
+  // local retransmissions (the snoop agent duplicates cached packets).
+  EXPECT_LE(snk.payload_bytes_received,
+            snd.payload_bytes_sent +
+                static_cast<std::int64_t>(m.snoop_local_retransmits) * cfg.tcp.mss);
+  // Completion means every payload byte was delivered exactly once.
+  EXPECT_EQ(snk.unique_payload_bytes, cfg.tcp.file_bytes);
+  // Sent = file + retransmissions.
+  EXPECT_EQ(snd.payload_bytes_sent,
+            cfg.tcp.file_bytes + snd.payload_bytes_retransmitted);
+
+  // Metric bounds.
+  EXPECT_GT(m.goodput, 0.0);
+  EXPECT_LE(m.goodput, 1.0);
+  EXPECT_GT(m.throughput_bps, 0.0);
+  // Throughput can never exceed the effective wireless rate.
+  EXPECT_LE(m.throughput_bps,
+            core::effective_bandwidth_bps(cfg.wireless) * 1.01);
+
+  // Sequence sanity.  The run stops at SINK completion; the final ACKs
+  // may still be in flight toward the sender.
+  EXPECT_LE(s.sender().snd_una(), cfg.tcp.total_segments());
+  EXPECT_GE(s.sender().snd_una(), 0);
+  EXPECT_EQ(s.sink().rcv_next(), cfg.tcp.total_segments());
+
+  // Every ACK the source counted was a real arrival.
+  EXPECT_LE(snd.acks_received, snk.acks_sent);
+
+  // EBSN accounting: received at most sent (wired link is lossless).
+  if (s.ebsn_agent() != nullptr) {
+    EXPECT_EQ(m.ebsn_received, s.ebsn_agent()->stats().notifications_sent);
+  } else {
+    EXPECT_EQ(m.ebsn_received, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WanInvariants,
+    ::testing::Combine(::testing::Values("basic", "local", "ebsn", "quench",
+                                         "snoop"),
+                       ::testing::Values(128, 576, 1536),
+                       ::testing::Values(1.0, 4.0)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param)) + "B_" +
+             std::to_string(static_cast<int>(std::get<2>(info.param))) + "s";
+    });
+
+class LanInvariants : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LanInvariants, ConservationAndBounds) {
+  ScenarioConfig cfg = topo::lan_scenario();
+  cfg.tcp.file_bytes = 512 * 1024;
+  cfg.channel.mean_bad_s = 1.2;
+  cfg.seed = 7;
+  apply_scheme(cfg, GetParam());
+
+  Scenario s(cfg);
+  const stats::RunMetrics m = s.run();
+  ASSERT_TRUE(m.completed);
+  EXPECT_EQ(s.sink().stats().unique_payload_bytes, cfg.tcp.file_bytes);
+  EXPECT_LE(m.goodput, 1.0);
+  EXPECT_LE(m.throughput_bps, 2e6 * 1.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, LanInvariants,
+                         ::testing::Values("basic", "local", "ebsn", "snoop"));
+
+// Delayed ACKs and Reno must preserve the same conservation laws.
+class VariantInvariants
+    : public ::testing::TestWithParam<std::tuple<bool, tcp::TcpFlavor>> {};
+
+TEST_P(VariantInvariants, CompleteAndConserve) {
+  const auto [delack, flavor] = GetParam();
+  ScenarioConfig cfg = topo::wan_scenario();
+  cfg.tcp.file_bytes = 40 * 1024;
+  cfg.tcp.delayed_ack = delack;
+  cfg.tcp.flavor = flavor;
+  cfg.channel.mean_bad_s = 2;
+  cfg.local_recovery = true;
+  cfg.feedback = FeedbackMode::kEbsn;
+  cfg.seed = 9;
+
+  Scenario s(cfg);
+  const stats::RunMetrics m = s.run();
+  ASSERT_TRUE(m.completed);
+  EXPECT_EQ(s.sink().stats().unique_payload_bytes, cfg.tcp.file_bytes);
+  if (delack) {
+    // Coalescing must actually reduce ACK volume.
+    EXPECT_LT(s.sink().stats().acks_sent, s.sender().stats().segments_sent +
+                                              s.sender().stats().segments_retransmitted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, VariantInvariants,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(tcp::TcpFlavor::kTahoe,
+                                         tcp::TcpFlavor::kReno)));
+
+}  // namespace
+}  // namespace wtcp

@@ -1,0 +1,93 @@
+// Multi-hop wired paths: identical hops chained through store-and-forward
+// routers between the fixed host and the base station.
+#include <gtest/gtest.h>
+
+#include "src/topo/scenario.hpp"
+
+namespace wtcp::topo {
+namespace {
+
+ScenarioConfig hop_cfg(std::int32_t hops) {
+  ScenarioConfig cfg = wan_scenario();
+  cfg.tcp.file_bytes = 30 * 1024;
+  cfg.channel_errors = false;
+  cfg.wired_hops = hops;
+  return cfg;
+}
+
+TEST(MultiHop, SingleHopMatchesLegacyBehavior) {
+  Scenario s(hop_cfg(1));
+  EXPECT_EQ(s.wired_hop_count(), 1u);
+  const stats::RunMetrics m = s.run();
+  EXPECT_TRUE(m.completed);
+  EXPECT_GT(m.throughput_bps, 0.9 * 12'800);
+}
+
+TEST(MultiHop, ThreeHopsStillComplete) {
+  Scenario s(hop_cfg(3));
+  EXPECT_EQ(s.wired_hop_count(), 3u);
+  const stats::RunMetrics m = s.run();
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.timeouts, 0u);
+  // The wireless link (12.8 kbps) is still the bottleneck: each 56 kbps
+  // hop only adds latency.
+  EXPECT_GT(m.throughput_bps, 0.85 * 12'800);
+}
+
+TEST(MultiHop, ExtraHopsInflateTransferTime) {
+  const stats::RunMetrics one = topo::run_scenario(hop_cfg(1));
+  const stats::RunMetrics four = topo::run_scenario(hop_cfg(4));
+  ASSERT_TRUE(one.completed);
+  ASSERT_TRUE(four.completed);
+  // 3 extra hops x (50 ms prop + ~82 ms serialization) per direction
+  // inflate the RTT; the transfer takes measurably longer.
+  EXPECT_GT(four.duration, one.duration);
+}
+
+TEST(MultiHop, RttSeenBySenderGrowsWithHops) {
+  Scenario one(hop_cfg(1));
+  Scenario four(hop_cfg(4));
+  one.run();
+  four.run();
+  EXPECT_GT(four.sender().rto_estimator().srtt(),
+            one.sender().rto_estimator().srtt());
+}
+
+TEST(MultiHop, TrafficTraversesEveryHop) {
+  ScenarioConfig cfg = hop_cfg(3);
+  Scenario s(cfg);
+  const stats::RunMetrics m = s.run();
+  ASSERT_TRUE(m.completed);
+  for (std::size_t h = 0; h < 3; ++h) {
+    // Forward data on every hop...
+    EXPECT_EQ(s.wired_link(h).stats(0).bytes_sent,
+              s.sender().stats().wire_bytes_sent)
+        << "hop " << h;
+    // ...and ACKs flowing back.
+    EXPECT_GT(s.wired_link(h).stats(1).frames_delivered, 0u) << "hop " << h;
+  }
+}
+
+TEST(MultiHop, EbsnTraversesRoutersToo) {
+  ScenarioConfig cfg = hop_cfg(3);
+  cfg.channel_errors = true;
+  cfg.channel.mean_bad_s = 4;
+  cfg.local_recovery = true;
+  cfg.feedback = FeedbackMode::kEbsn;
+  Scenario s(cfg);
+  const stats::RunMetrics m = s.run();
+  EXPECT_TRUE(m.completed);
+  EXPECT_GT(m.ebsn_sent, 0u);
+  EXPECT_EQ(m.ebsn_received, m.ebsn_sent);  // wired path is lossless
+}
+
+TEST(MultiHop, BurstErrorsWithMultiHopStillRecover) {
+  ScenarioConfig cfg = hop_cfg(2);
+  cfg.channel_errors = true;
+  cfg.channel.mean_bad_s = 2;
+  const stats::RunMetrics m = topo::run_scenario(cfg);
+  EXPECT_TRUE(m.completed);
+}
+
+}  // namespace
+}  // namespace wtcp::topo

@@ -1,0 +1,147 @@
+// Multi-user LAN scenario: K TCP connections over one shared base-station
+// radio with per-user burst-error channels.
+#include "src/topo/multi_scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/stats/summary.hpp"
+
+namespace wtcp::topo {
+namespace {
+
+MultiUserConfig quick_cfg() {
+  MultiUserConfig cfg = multi_user_lan_scenario();
+  cfg.tcp.file_bytes = 256 * 1024;  // keep tests fast
+  return cfg;
+}
+
+TEST(JainFairness, KnownValues) {
+  EXPECT_DOUBLE_EQ(jain_fairness({1, 1, 1, 1}), 1.0);
+  EXPECT_NEAR(jain_fairness({1, 0, 0, 0}), 0.25, 1e-12);
+  EXPECT_NEAR(jain_fairness({2, 1}), 9.0 / 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0, 0}), 0.0);
+}
+
+TEST(MultiUser, ErrorFreeAllUsersComplete) {
+  MultiUserConfig cfg = quick_cfg();
+  cfg.channel_errors = false;
+  MultiUserLanScenario s(cfg);
+  const MultiUserMetrics m = s.run();
+  EXPECT_EQ(m.completed_users, cfg.users);
+  for (const auto& u : m.per_user) {
+    EXPECT_TRUE(u.completed);
+    EXPECT_DOUBLE_EQ(u.goodput, 1.0);
+    EXPECT_EQ(u.timeouts, 0u);
+  }
+  // One shared 2 Mbps radio carrying both data and ACKs: aggregate close
+  // to (but below) the channel rate.
+  EXPECT_GT(m.aggregate_throughput_bps, 1.5e6);
+  EXPECT_LT(m.aggregate_throughput_bps, 2.0e6);
+  EXPECT_GT(m.fairness, 0.95);
+}
+
+TEST(MultiUser, SharedMediumHalvesPerUserRates) {
+  // 2 users vs 4 users: per-user throughput roughly halves.
+  MultiUserConfig cfg = quick_cfg();
+  cfg.channel_errors = false;
+  cfg.users = 2;
+  MultiUserLanScenario two(cfg);
+  const double two_rate = two.run().per_user[0].throughput_bps;
+  cfg.users = 4;
+  MultiUserLanScenario four(cfg);
+  const double four_rate = four.run().per_user[0].throughput_bps;
+  EXPECT_NEAR(four_rate / two_rate, 0.5, 0.15);
+}
+
+TEST(MultiUser, CompletesUnderBurstErrors) {
+  MultiUserConfig cfg = quick_cfg();
+  cfg.seed = 3;
+  MultiUserLanScenario s(cfg);
+  const MultiUserMetrics m = s.run();
+  EXPECT_EQ(m.completed_users, cfg.users);
+  for (const auto& u : m.per_user) EXPECT_GT(u.throughput_bps, 0.0);
+}
+
+TEST(MultiUser, CsdOutperformsFifo) {
+  stats::Summary fifo, csd;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    MultiUserConfig cfg = quick_cfg();
+    cfg.seed = seed;
+    cfg.sched.policy = link::SchedPolicy::kFifo;
+    MultiUserLanScenario f(cfg);
+    fifo.add(f.run().aggregate_throughput_bps);
+
+    cfg.sched.policy = link::SchedPolicy::kCsdRoundRobin;
+    MultiUserLanScenario c(cfg);
+    csd.add(c.run().aggregate_throughput_bps);
+  }
+  // The [9] result: channel-state-dependent scheduling significantly
+  // beats FIFO when users fade independently.
+  EXPECT_GT(csd.mean(), 1.3 * fifo.mean());
+}
+
+TEST(MultiUser, CsdUsesProbeAndSkips) {
+  MultiUserConfig cfg = quick_cfg();
+  cfg.sched.policy = link::SchedPolicy::kCsdRoundRobin;
+  MultiUserLanScenario s(cfg);
+  const MultiUserMetrics m = s.run();
+  EXPECT_GT(m.csd_skips, 0u);
+}
+
+TEST(MultiUser, EbsnWorksPerConnection) {
+  MultiUserConfig cfg = quick_cfg();
+  cfg.feedback = FeedbackMode::kEbsn;
+  cfg.sched.policy = link::SchedPolicy::kRoundRobin;
+  MultiUserLanScenario s(cfg);
+  const MultiUserMetrics m = s.run();
+  EXPECT_EQ(m.completed_users, cfg.users);
+  std::uint64_t total_ebsn = 0, total_timeouts = 0;
+  for (const auto& u : m.per_user) {
+    total_ebsn += u.ebsn_received;
+    total_timeouts += u.timeouts;
+  }
+  EXPECT_GT(total_ebsn, 0u);
+  // EBSN keeps per-connection timeouts low even on the shared radio.
+  EXPECT_LE(total_timeouts, 8u);
+}
+
+TEST(MultiUser, RoundRobinIsFair) {
+  MultiUserConfig cfg = quick_cfg();
+  cfg.sched.policy = link::SchedPolicy::kRoundRobin;
+  cfg.seed = 5;
+  MultiUserLanScenario s(cfg);
+  const MultiUserMetrics m = s.run();
+  EXPECT_GT(m.fairness, 0.85);
+}
+
+TEST(MultiUser, WorksWithFragmentation) {
+  // Wide-area-style MTU on the shared radio: each datagram becomes many
+  // ARQ frames, and the scheduler's resolution counting must track them
+  // all before freeing a slot.
+  MultiUserConfig cfg = quick_cfg();
+  cfg.users = 2;
+  cfg.tcp.file_bytes = 64 * 1024;
+  cfg.wireless_mtu_bytes = 512;
+  cfg.sched.policy = link::SchedPolicy::kRoundRobin;
+  MultiUserLanScenario s(cfg);
+  const MultiUserMetrics m = s.run();
+  EXPECT_EQ(m.completed_users, cfg.users);
+  for (const auto& u : m.per_user) {
+    EXPECT_EQ(u.unique_payload_bytes, cfg.tcp.file_bytes);
+  }
+}
+
+TEST(MultiUser, DeterministicPerSeed) {
+  MultiUserConfig cfg = quick_cfg();
+  cfg.seed = 11;
+  MultiUserLanScenario a(cfg);
+  MultiUserLanScenario b(cfg);
+  const MultiUserMetrics ma = a.run();
+  const MultiUserMetrics mb = b.run();
+  EXPECT_EQ(ma.duration, mb.duration);
+  EXPECT_DOUBLE_EQ(ma.aggregate_throughput_bps, mb.aggregate_throughput_bps);
+}
+
+}  // namespace
+}  // namespace wtcp::topo

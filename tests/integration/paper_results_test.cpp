@@ -1,0 +1,147 @@
+// End-to-end checks of the paper's headline results (shape, not absolute
+// numbers).  These are the claims DESIGN.md section 4 commits to:
+//
+//   * EBSN throughput ~ theoretical max on the deterministic channel.
+//   * EBSN substantially outperforms basic TCP for long bad periods.
+//   * Basic TCP goodput degrades with packet size (fragmentation harm);
+//     EBSN goodput stays ~1.
+//   * LAN: EBSN near tput_th, ~zero retransmissions; basic far below with
+//     large retransmission volume (Figures 10/11).
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.hpp"
+#include "src/core/theoretical.hpp"
+#include "src/topo/scenario.hpp"
+
+namespace wtcp {
+namespace {
+
+using core::MetricsSummary;
+using core::run_seeds;
+using topo::FeedbackMode;
+using topo::ScenarioConfig;
+
+ScenarioConfig wan_with(FeedbackMode fb, double bad_s, std::int32_t pkt = 576) {
+  ScenarioConfig cfg = topo::wan_scenario();
+  cfg.channel.mean_bad_s = bad_s;
+  cfg.set_packet_size(pkt);
+  if (fb != FeedbackMode::kNone) {
+    cfg.local_recovery = true;
+    cfg.feedback = fb;
+  }
+  return cfg;
+}
+
+TEST(PaperResults, DeterministicEbsnHitsTheoreticalMax) {
+  ScenarioConfig cfg = wan_with(FeedbackMode::kEbsn, 4);
+  cfg.deterministic_channel = true;
+  cfg.tcp.file_bytes = 50 * 1024;
+  const stats::RunMetrics m = topo::run_scenario(cfg);
+  const double th = core::theoretical_max_throughput_bps(cfg.wireless, cfg.channel);
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.timeouts, 0u);
+  EXPECT_DOUBLE_EQ(m.goodput, 1.0);
+  EXPECT_GT(m.throughput_bps, 0.9 * th);
+}
+
+TEST(PaperResults, EbsnBeatsBasicTcpAtLongBadPeriods) {
+  // Paper: up to 100% improvement at 1536 B / bad = 4 s (4.5 -> 9 kbps).
+  const MetricsSummary basic = run_seeds(wan_with(FeedbackMode::kNone, 4, 1536), 12);
+  const MetricsSummary ebsn = run_seeds(wan_with(FeedbackMode::kEbsn, 4, 1536), 12);
+  EXPECT_GT(ebsn.throughput_bps.mean(), 1.5 * basic.throughput_bps.mean());
+}
+
+TEST(PaperResults, EbsnThroughputIncreasesWithPacketSize) {
+  // Paper Figure 8: "unlike basic TCP, the throughput now increases with
+  // increase in packet sizes."
+  const MetricsSummary small = run_seeds(wan_with(FeedbackMode::kEbsn, 2, 128), 8);
+  const MetricsSummary large = run_seeds(wan_with(FeedbackMode::kEbsn, 2, 1536), 8);
+  EXPECT_GT(large.throughput_bps.mean(), small.throughput_bps.mean());
+}
+
+TEST(PaperResults, BasicTcpRetransmitsGrowWithBadPeriod) {
+  // Paper Figure 9: retransmitted data grows with the bad period length.
+  const MetricsSummary short_bad = run_seeds(wan_with(FeedbackMode::kNone, 1), 10);
+  const MetricsSummary long_bad = run_seeds(wan_with(FeedbackMode::kNone, 4), 10);
+  EXPECT_GT(long_bad.retransmitted_kbytes.mean(),
+            short_bad.retransmitted_kbytes.mean());
+}
+
+TEST(PaperResults, EbsnSuppressesSourceRetransmissions) {
+  const MetricsSummary basic = run_seeds(wan_with(FeedbackMode::kNone, 4), 8);
+  const MetricsSummary ebsn = run_seeds(wan_with(FeedbackMode::kEbsn, 4), 8);
+  EXPECT_LT(ebsn.retransmitted_kbytes.mean(),
+            0.3 * basic.retransmitted_kbytes.mean());
+  EXPECT_GT(ebsn.goodput.mean(), 0.95);
+}
+
+TEST(PaperResults, EbsnGoodputNearOneAcrossPacketSizes) {
+  for (std::int32_t pkt : {256, 576, 1536}) {
+    const MetricsSummary s = run_seeds(wan_with(FeedbackMode::kEbsn, 2, pkt), 6);
+    EXPECT_GT(s.goodput.mean(), 0.95) << "packet size " << pkt;
+  }
+}
+
+TEST(PaperResults, LanEbsnNearTheoreticalMax) {
+  ScenarioConfig cfg = topo::lan_scenario();
+  cfg.channel.mean_bad_s = 0.8;
+  cfg.local_recovery = true;
+  cfg.feedback = FeedbackMode::kEbsn;
+  cfg.tcp.file_bytes = 2 * 1024 * 1024;  // quicker than the full 4 MB
+  const MetricsSummary s = run_seeds(cfg, 6);
+  const double th = core::theoretical_max_throughput_bps(cfg.wireless, cfg.channel);
+  EXPECT_GT(s.throughput_bps.mean(), 0.85 * th);
+  EXPECT_LT(s.timeouts.mean(), 1.5);
+}
+
+TEST(PaperResults, LanBasicVsEbsnRetransmissionVolume) {
+  // Paper Figure 11: basic TCP retransmits large volumes; EBSN ~ none.
+  ScenarioConfig basic = topo::lan_scenario();
+  basic.channel.mean_bad_s = 0.8;
+  basic.tcp.file_bytes = 2 * 1024 * 1024;
+  ScenarioConfig ebsn = basic;
+  ebsn.local_recovery = true;
+  ebsn.feedback = FeedbackMode::kEbsn;
+  const MetricsSummary mb = run_seeds(basic, 6);
+  const MetricsSummary me = run_seeds(ebsn, 6);
+  EXPECT_GT(mb.retransmitted_kbytes.mean(), 20.0);
+  EXPECT_LT(me.retransmitted_kbytes.mean(),
+            0.5 * mb.retransmitted_kbytes.mean());
+}
+
+TEST(PaperResults, LanEbsnBeatsBasic) {
+  ScenarioConfig basic = topo::lan_scenario();
+  basic.channel.mean_bad_s = 1.6;
+  ScenarioConfig ebsn = basic;
+  ebsn.local_recovery = true;
+  ebsn.feedback = FeedbackMode::kEbsn;
+  const MetricsSummary mb = run_seeds(basic, 10);
+  const MetricsSummary me = run_seeds(ebsn, 10);
+  EXPECT_GT(me.throughput_bps.mean(), 1.1 * mb.throughput_bps.mean());
+}
+
+TEST(PaperResults, LocalRecoveryAloneStillTimesOutSometimes) {
+  // Paper Figure 4 / Section 4.2.1: during local recovery the source can
+  // still time out (redundant retransmissions) — EBSN exists to fix this.
+  ScenarioConfig cfg = wan_with(FeedbackMode::kNone, 4);
+  cfg.local_recovery = true;
+  const MetricsSummary s = run_seeds(cfg, 12);
+  EXPECT_GT(s.timeouts.mean(), 0.5);
+}
+
+TEST(PaperResults, EbsnMessagesFlowOnlyDuringBadPeriods) {
+  ScenarioConfig cfg = wan_with(FeedbackMode::kEbsn, 4);
+  cfg.deterministic_channel = true;
+  cfg.tcp.file_bytes = 40 * 1024;
+  topo::Scenario s(cfg);
+  const stats::RunMetrics m = s.run();
+  EXPECT_TRUE(m.completed);
+  EXPECT_GT(m.ebsn_sent, 0u);
+  // With 10 s good / 4 s bad and ~45 s of transfer there are ~2-3 bad
+  // periods; EBSN counts should be dozens, not thousands (they only fire
+  // on failed attempts).
+  EXPECT_LT(m.ebsn_sent, 1000u);
+}
+
+}  // namespace
+}  // namespace wtcp

@@ -1,0 +1,184 @@
+// Integration tests over the full FH-BS-MH topology.
+#include "src/topo/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/theoretical.hpp"
+
+namespace wtcp::topo {
+namespace {
+
+ScenarioConfig quick_wan() {
+  ScenarioConfig cfg = wan_scenario();
+  cfg.tcp.file_bytes = 30 * 1024;  // keep tests fast
+  return cfg;
+}
+
+TEST(Scenario, ErrorFreeTransferCompletesNearLinkRate) {
+  ScenarioConfig cfg = quick_wan();
+  cfg.channel_errors = false;
+  const stats::RunMetrics m = run_scenario(cfg);
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.timeouts, 0u);
+  EXPECT_EQ(m.segments_retransmitted, 0u);
+  EXPECT_DOUBLE_EQ(m.goodput, 1.0);
+  // Effective wireless rate is 12.8 kbps; TCP should get most of it.
+  EXPECT_GT(m.throughput_bps, 0.9 * 12'800);
+  EXPECT_LE(m.throughput_bps, 12'800 * 1.01);
+}
+
+TEST(Scenario, ErrorFreeLanTransferSaturates) {
+  ScenarioConfig cfg = lan_scenario();
+  cfg.channel_errors = false;
+  cfg.tcp.file_bytes = 1024 * 1024;
+  const stats::RunMetrics m = run_scenario(cfg);
+  EXPECT_TRUE(m.completed);
+  EXPECT_GT(m.throughput_bps, 0.9 * 2'000'000);
+}
+
+TEST(Scenario, BasicTcpSuffersTimeoutsUnderBurstErrors) {
+  ScenarioConfig cfg = quick_wan();
+  cfg.channel.mean_bad_s = 4;
+  const stats::RunMetrics m = run_scenario(cfg);
+  EXPECT_TRUE(m.completed);
+  EXPECT_GT(m.timeouts + m.fast_retransmits, 0u);
+  EXPECT_LT(m.goodput, 1.0);
+  EXPECT_GT(m.wireless_frames_corrupted, 0u);
+}
+
+TEST(Scenario, LocalRecoveryReducesSourceRetransmissions) {
+  ScenarioConfig basic = quick_wan();
+  basic.channel.mean_bad_s = 4;
+  ScenarioConfig local = basic;
+  local.local_recovery = true;
+  // Average a few seeds to avoid a fluke.
+  std::uint64_t rtx_basic = 0, rtx_local = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    basic.seed = local.seed = seed;
+    rtx_basic += run_scenario(basic).segments_retransmitted;
+    rtx_local += run_scenario(local).segments_retransmitted;
+  }
+  EXPECT_LT(rtx_local, rtx_basic);
+}
+
+TEST(Scenario, EbsnEliminatesTimeoutsOnDeterministicChannel) {
+  ScenarioConfig cfg = quick_wan();
+  cfg.deterministic_channel = true;
+  cfg.channel.mean_bad_s = 4;
+  cfg.local_recovery = true;
+  cfg.feedback = FeedbackMode::kEbsn;
+  Scenario s(cfg);
+  const stats::RunMetrics m = s.run();
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.timeouts, 0u);
+  EXPECT_EQ(m.segments_retransmitted, 0u);
+  EXPECT_DOUBLE_EQ(m.goodput, 1.0);
+  EXPECT_GT(m.ebsn_sent, 0u);
+  EXPECT_EQ(m.ebsn_received, m.ebsn_sent);
+}
+
+TEST(Scenario, EbsnRequiresLocalRecovery) {
+  ScenarioConfig cfg = quick_wan();
+  cfg.local_recovery = false;
+  cfg.feedback = FeedbackMode::kEbsn;
+#ifdef NDEBUG
+  GTEST_SKIP() << "assertion disabled in release build";
+#else
+  EXPECT_DEATH({ Scenario s(cfg); }, "local_recovery");
+#endif
+}
+
+TEST(Scenario, SourceQuenchDoesNotPreventTimeouts) {
+  ScenarioConfig cfg = quick_wan();
+  cfg.deterministic_channel = true;
+  cfg.channel.mean_bad_s = 6;  // long enough that the RTO expires
+  cfg.local_recovery = true;
+  cfg.feedback = FeedbackMode::kSourceQuench;
+  cfg.tcp.file_bytes = 60 * 1024;
+  Scenario s(cfg);
+  const stats::RunMetrics m = s.run();
+  EXPECT_TRUE(m.completed);
+  EXPECT_GT(m.quench_sent, 0u);
+  EXPECT_GT(m.quench_received, 0u);
+  // The paper's negative result: quenching stems new packets but cannot
+  // prevent timeouts of packets already in flight.
+  EXPECT_GT(m.timeouts, 0u);
+}
+
+TEST(Scenario, SnoopPerformsLocalRetransmissions) {
+  ScenarioConfig cfg = quick_wan();
+  cfg.channel.mean_bad_s = 2;
+  cfg.snoop = true;
+  const stats::RunMetrics m = run_scenario(cfg);
+  EXPECT_TRUE(m.completed);
+  EXPECT_GT(m.snoop_local_retransmits, 0u);
+}
+
+TEST(Scenario, MetricsAreDeterministicPerSeed) {
+  ScenarioConfig cfg = quick_wan();
+  cfg.channel.mean_bad_s = 2;
+  cfg.seed = 77;
+  const stats::RunMetrics a = run_scenario(cfg);
+  const stats::RunMetrics b = run_scenario(cfg);
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_DOUBLE_EQ(a.throughput_bps, b.throughput_bps);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.segments_retransmitted, b.segments_retransmitted);
+}
+
+TEST(Scenario, DifferentSeedsGiveDifferentRuns) {
+  ScenarioConfig cfg = quick_wan();
+  cfg.channel.mean_bad_s = 2;
+  cfg.seed = 1;
+  const stats::RunMetrics a = run_scenario(cfg);
+  cfg.seed = 2;
+  const stats::RunMetrics b = run_scenario(cfg);
+  EXPECT_NE(a.duration, b.duration);
+}
+
+TEST(Scenario, SenderTraceCapturesTransfer) {
+  ScenarioConfig cfg = quick_wan();
+  cfg.deterministic_channel = true;
+  stats::ConnectionTrace trace;
+  Scenario s(cfg);
+  s.set_sender_trace(&trace);
+  s.run();
+  EXPECT_EQ(trace.count(stats::TraceEvent::kSend),
+            static_cast<std::size_t>(cfg.tcp.total_segments()));
+}
+
+TEST(Scenario, PacketSizeSetterAdjustsMss) {
+  ScenarioConfig cfg = wan_scenario();
+  cfg.set_packet_size(512);
+  EXPECT_EQ(cfg.tcp.mss, 472);
+  EXPECT_EQ(cfg.packet_size(), 512);
+}
+
+TEST(Scenario, HorizonBoundsBrokenConfigs) {
+  // A channel that is bad essentially forever: transfer cannot finish.
+  ScenarioConfig cfg = quick_wan();
+  cfg.channel.mean_good_s = 0.01;
+  cfg.channel.mean_bad_s = 1000;
+  cfg.horizon = sim::Time::seconds(500);
+  const stats::RunMetrics m = run_scenario(cfg);
+  EXPECT_FALSE(m.completed);
+  EXPECT_LE(m.duration, sim::Time::seconds(500) + sim::Time::seconds(1));
+}
+
+TEST(Theoretical, MatchesPaperNumbers) {
+  const ScenarioConfig wan = wan_scenario();
+  EXPECT_DOUBLE_EQ(core::effective_bandwidth_bps(wan.wireless), 12'800.0);
+  phy::GilbertElliottConfig ch = wan.channel;
+  ch.mean_bad_s = 1;
+  EXPECT_NEAR(core::theoretical_max_throughput_bps(wan.wireless, ch), 11'636, 1);
+  ch.mean_bad_s = 4;
+  EXPECT_NEAR(core::theoretical_max_throughput_bps(wan.wireless, ch), 9'143, 1);
+  const ScenarioConfig lan = lan_scenario();
+  ch = lan.channel;
+  ch.mean_bad_s = 0.4;
+  EXPECT_NEAR(core::theoretical_max_throughput_bps(lan.wireless, ch),
+              2e6 * 4.0 / 4.4, 1);
+}
+
+}  // namespace
+}  // namespace wtcp::topo

@@ -1,0 +1,111 @@
+// Uplink (MH -> FH) transfers: the data source sits behind the wireless
+// hop, so bad-state notification is a LOCAL signal at the mobile host.
+#include <gtest/gtest.h>
+
+#include "src/stats/summary.hpp"
+#include "src/topo/scenario.hpp"
+
+namespace wtcp::topo {
+namespace {
+
+ScenarioConfig uplink_cfg() {
+  ScenarioConfig cfg = wan_scenario();
+  cfg.direction = TransferDirection::kUplink;
+  cfg.tcp.file_bytes = 30 * 1024;
+  return cfg;
+}
+
+TEST(Uplink, DirectionNames) {
+  EXPECT_STREQ(to_string(TransferDirection::kDownlink), "downlink");
+  EXPECT_STREQ(to_string(TransferDirection::kUplink), "uplink");
+}
+
+TEST(Uplink, ErrorFreeTransferCompletes) {
+  ScenarioConfig cfg = uplink_cfg();
+  cfg.channel_errors = false;
+  Scenario s(cfg);
+  const stats::RunMetrics m = s.run();
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.timeouts, 0u);
+  EXPECT_DOUBLE_EQ(m.goodput, 1.0);
+  // Still wireless-bound.
+  EXPECT_GT(m.throughput_bps, 0.85 * 12'800);
+  // Data crossed the wireless hop MH -> BS (endpoint 1 transmits it).
+  EXPECT_GT(s.wireless_link().stats(1).bytes_sent, cfg.tcp.file_bytes);
+}
+
+TEST(Uplink, BurstErrorsHurtBasicTcp) {
+  ScenarioConfig cfg = uplink_cfg();
+  cfg.channel.mean_bad_s = 4;
+  const stats::RunMetrics m = run_scenario(cfg);
+  EXPECT_TRUE(m.completed);
+  EXPECT_GT(m.timeouts + m.fast_retransmits, 0u);
+  EXPECT_LT(m.goodput, 1.0);
+}
+
+TEST(Uplink, LocalEbsnEliminatesTimeoutsOnDeterministicChannel) {
+  ScenarioConfig cfg = uplink_cfg();
+  cfg.deterministic_channel = true;
+  cfg.channel.mean_bad_s = 4;
+  cfg.local_recovery = true;
+  cfg.feedback = FeedbackMode::kEbsn;
+  Scenario s(cfg);
+  const stats::RunMetrics m = s.run();
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.timeouts, 0u);
+  EXPECT_DOUBLE_EQ(m.goodput, 1.0);
+  // The notifications never crossed a link: they were delivered locally
+  // at the mobile host.
+  EXPECT_GT(m.ebsn_sent, 0u);
+  EXPECT_EQ(m.ebsn_received, m.ebsn_sent);
+}
+
+TEST(Uplink, LocalEbsnBeatsBasicUnderStochasticFades) {
+  stats::Summary basic, ebsn;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ScenarioConfig b = uplink_cfg();
+    b.channel.mean_bad_s = 4;
+    b.seed = seed;
+    basic.add(run_scenario(b).throughput_bps);
+
+    ScenarioConfig e = b;
+    e.local_recovery = true;
+    e.feedback = FeedbackMode::kEbsn;
+    ebsn.add(run_scenario(e).throughput_bps);
+  }
+  EXPECT_GT(ebsn.mean(), 1.2 * basic.mean());
+}
+
+TEST(Uplink, DeterministicPerSeed) {
+  ScenarioConfig cfg = uplink_cfg();
+  cfg.channel.mean_bad_s = 2;
+  cfg.seed = 5;
+  const stats::RunMetrics a = run_scenario(cfg);
+  const stats::RunMetrics b = run_scenario(cfg);
+  EXPECT_EQ(a.duration, b.duration);
+}
+
+TEST(Uplink, SnoopIsRejected) {
+  ScenarioConfig cfg = uplink_cfg();
+  cfg.snoop = true;
+#ifdef NDEBUG
+  GTEST_SKIP() << "assertion disabled in release build";
+#else
+  EXPECT_DEATH({ Scenario s(cfg); }, "snoop");
+#endif
+}
+
+TEST(Uplink, HandshakeAndDelayedAcksCompose) {
+  ScenarioConfig cfg = uplink_cfg();
+  cfg.channel.mean_bad_s = 2;
+  cfg.tcp.connect_handshake = true;
+  cfg.tcp.delayed_ack = true;
+  cfg.local_recovery = true;
+  cfg.feedback = FeedbackMode::kEbsn;
+  const stats::RunMetrics m = run_scenario(cfg);
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.unique_payload_bytes, cfg.tcp.file_bytes);
+}
+
+}  // namespace
+}  // namespace wtcp::topo

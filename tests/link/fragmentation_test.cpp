@@ -1,0 +1,180 @@
+#include "src/link/fragmentation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+
+namespace wtcp::link {
+namespace {
+
+net::Packet datagram(std::int64_t size, std::int64_t seq = 0) {
+  net::Packet p = net::make_tcp_data(seq, static_cast<std::int32_t>(size - 40), 40,
+                                     0, 2, sim::Time::zero());
+  return p;
+}
+
+TEST(Fragmenter, FragmentCountMatchesCeilDivision) {
+  Fragmenter f(FragmenterConfig{.mtu_bytes = 128});
+  EXPECT_EQ(f.fragment_count(128), 1);
+  EXPECT_EQ(f.fragment_count(129), 2);
+  EXPECT_EQ(f.fragment_count(576), 5);   // 576 = 4*128 + 64
+  EXPECT_EQ(f.fragment_count(616), 5);   // paper 576 B + 40 B header
+  EXPECT_EQ(f.fragment_count(1536), 12);
+  EXPECT_EQ(f.fragment_count(1), 1);
+}
+
+TEST(Fragmenter, SmallDatagramWrappedAsSingleFragment) {
+  Fragmenter f(FragmenterConfig{.mtu_bytes = 128});
+  auto frags = f.fragment(datagram(100), sim::Time::zero());
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_EQ(frags[0].type, net::PacketType::kLinkFragment);
+  EXPECT_EQ(frags[0].size_bytes, 100);
+  EXPECT_EQ(frags[0].frag->count, 1);
+  ASSERT_NE(frags[0].encapsulated, nullptr);
+  EXPECT_EQ(frags[0].encapsulated->size_bytes, 100);
+}
+
+TEST(Fragmenter, SizesSumToDatagramAndLastIsPartial) {
+  Fragmenter f(FragmenterConfig{.mtu_bytes = 128});
+  auto frags = f.fragment(datagram(616), sim::Time::zero());
+  ASSERT_EQ(frags.size(), 5u);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    EXPECT_EQ(frags[i].frag->index, static_cast<std::int32_t>(i));
+    EXPECT_EQ(frags[i].frag->count, 5);
+    total += frags[i].size_bytes;
+  }
+  EXPECT_EQ(total, 616);
+  EXPECT_EQ(frags[0].size_bytes, 128);
+  EXPECT_EQ(frags[4].size_bytes, 616 - 4 * 128);
+}
+
+TEST(Fragmenter, DatagramIdsAreUniqueAndShared) {
+  Fragmenter f(FragmenterConfig{.mtu_bytes = 128});
+  auto a = f.fragment(datagram(300), sim::Time::zero());
+  auto b = f.fragment(datagram(300), sim::Time::zero());
+  EXPECT_EQ(a[0].frag->datagram_id, a[1].frag->datagram_id);
+  EXPECT_NE(a[0].frag->datagram_id, b[0].frag->datagram_id);
+}
+
+TEST(Fragmenter, AllFragmentsShareEncapsulatedOriginal) {
+  Fragmenter f(FragmenterConfig{.mtu_bytes = 128});
+  auto frags = f.fragment(datagram(616, 42), sim::Time::zero());
+  for (const auto& fr : frags) {
+    ASSERT_NE(fr.encapsulated, nullptr);
+    EXPECT_EQ(fr.encapsulated->tcp->seq, 42);
+    EXPECT_EQ(fr.encapsulated.get(), frags[0].encapsulated.get());
+  }
+}
+
+TEST(Fragmenter, StatsAccumulate) {
+  Fragmenter f(FragmenterConfig{.mtu_bytes = 128});
+  f.fragment(datagram(616), sim::Time::zero());
+  f.fragment(datagram(128), sim::Time::zero());
+  EXPECT_EQ(f.stats().datagrams, 2u);
+  EXPECT_EQ(f.stats().fragments, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Reassembler
+// ---------------------------------------------------------------------------
+
+class ReassemblerTest : public ::testing::Test {
+ protected:
+  ReassemblerTest()
+      : sink_([this](net::Packet p) { delivered_.push_back(std::move(p)); }),
+        reasm_(sim_, ReassemblerConfig{.timeout = sim::Time::seconds(60)}, &sink_),
+        frag_(FragmenterConfig{.mtu_bytes = 128}) {}
+
+  sim::Simulator sim_;
+  std::vector<net::Packet> delivered_;
+  net::CallbackSink sink_;
+  Reassembler reasm_;
+  Fragmenter frag_;
+};
+
+TEST_F(ReassemblerTest, CompletesInOrder) {
+  for (auto& fr : frag_.fragment(datagram(616, 3), sim_.now())) {
+    reasm_.handle_fragment(fr);
+  }
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].tcp->seq, 3);
+  EXPECT_EQ(delivered_[0].size_bytes, 616);
+  EXPECT_EQ(reasm_.stats().datagrams_completed, 1u);
+  EXPECT_EQ(reasm_.pending(), 0u);
+}
+
+TEST_F(ReassemblerTest, CompletesOutOfOrder) {
+  auto frags = frag_.fragment(datagram(616), sim_.now());
+  reasm_.handle_fragment(frags[4]);
+  reasm_.handle_fragment(frags[1]);
+  reasm_.handle_fragment(frags[3]);
+  reasm_.handle_fragment(frags[0]);
+  EXPECT_TRUE(delivered_.empty());
+  reasm_.handle_fragment(frags[2]);
+  EXPECT_EQ(delivered_.size(), 1u);
+}
+
+TEST_F(ReassemblerTest, DuplicatesIgnored) {
+  auto frags = frag_.fragment(datagram(616), sim_.now());
+  reasm_.handle_fragment(frags[0]);
+  reasm_.handle_fragment(frags[0]);
+  reasm_.handle_fragment(frags[0]);
+  EXPECT_EQ(reasm_.stats().duplicate_fragments, 2u);
+  EXPECT_TRUE(delivered_.empty());
+}
+
+TEST_F(ReassemblerTest, InterleavedDatagrams) {
+  auto a = frag_.fragment(datagram(300, 1), sim_.now());  // 3 frags
+  auto b = frag_.fragment(datagram(300, 2), sim_.now());
+  reasm_.handle_fragment(a[0]);
+  reasm_.handle_fragment(b[0]);
+  reasm_.handle_fragment(a[1]);
+  reasm_.handle_fragment(b[1]);
+  reasm_.handle_fragment(b[2]);
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].tcp->seq, 2);
+  reasm_.handle_fragment(a[2]);
+  ASSERT_EQ(delivered_.size(), 2u);
+  EXPECT_EQ(delivered_[1].tcp->seq, 1);
+}
+
+TEST_F(ReassemblerTest, MissingFragmentMeansNoDelivery) {
+  auto frags = frag_.fragment(datagram(616), sim_.now());
+  for (std::size_t i = 0; i + 1 < frags.size(); ++i) {
+    reasm_.handle_fragment(frags[i]);
+  }
+  EXPECT_TRUE(delivered_.empty());
+  EXPECT_EQ(reasm_.pending(), 1u);
+}
+
+TEST_F(ReassemblerTest, ExpiredPartialsArePurged) {
+  auto frags = frag_.fragment(datagram(616), sim_.now());
+  reasm_.handle_fragment(frags[0]);
+  EXPECT_EQ(reasm_.pending(), 1u);
+  // Another fragment arriving much later triggers the purge sweep.
+  sim_.after(sim::Time::seconds(120), [&] {
+    auto later = frag_.fragment(datagram(300), sim_.now());
+    reasm_.handle_fragment(later[0]);
+  });
+  sim_.run();
+  EXPECT_EQ(reasm_.stats().datagrams_expired, 1u);
+  EXPECT_EQ(reasm_.pending(), 1u);  // only the new partial remains
+}
+
+TEST_F(ReassemblerTest, LateFragmentAfterPurgeStartsFresh) {
+  auto frags = frag_.fragment(datagram(616), sim_.now());
+  reasm_.handle_fragment(frags[0]);
+  sim_.after(sim::Time::seconds(120), [&] {
+    // The old partial gets purged; the remaining fragments then arrive and
+    // cannot complete (fragment 0 was lost with the purge).
+    for (std::size_t i = 1; i < frags.size(); ++i) reasm_.handle_fragment(frags[i]);
+  });
+  sim_.run();
+  EXPECT_TRUE(delivered_.empty());
+}
+
+}  // namespace
+}  // namespace wtcp::link

@@ -1,0 +1,238 @@
+#include "src/link/link_arq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/link/fragmentation.hpp"
+#include "src/net/node.hpp"
+#include "src/phy/error_model.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace wtcp::link {
+namespace {
+
+// A fixture wiring an ArqSender at endpoint 0 to an ArqReceiver at
+// endpoint 1 over a real DuplexLink, with a scriptable error model.
+class ArqTest : public ::testing::Test {
+ protected:
+  static constexpr std::int64_t kBw = 19'200;
+
+  void build(std::vector<phy::ScriptedErrorModel::Window> loss = {},
+             ArqConfig cfg = {}) {
+    net::LinkConfig lc;
+    lc.name = "wl";
+    lc.bandwidth_bps = kBw;
+    lc.prop_delay = sim::Time::milliseconds(5);
+    lc.overhead_num = 3;
+    lc.overhead_den = 2;
+    link_ = std::make_unique<net::DuplexLink>(sim_, lc);
+    if (!loss.empty()) {
+      link_->set_error_model(std::make_shared<phy::ScriptedErrorModel>(loss));
+    }
+    cfg_ = cfg;
+    sender_ = std::make_unique<ArqSender>(sim_, *link_, 0, cfg, "snd");
+    receiver_ = std::make_unique<ArqReceiver>(sim_, *link_, 1, cfg, "rcv");
+    receiver_->set_deliver(
+        [this](net::Packet p) { delivered_.push_back(std::move(p)); });
+    // Demux: receiver handles fragments, sender handles link ACKs.
+    rx_demux_ = std::make_unique<net::CallbackSink>([this](net::Packet p) {
+      if (p.type == net::PacketType::kLinkFragment) receiver_->on_frame(std::move(p));
+    });
+    tx_demux_ = std::make_unique<net::CallbackSink>([this](net::Packet p) {
+      if (p.type == net::PacketType::kLinkAck) sender_->on_link_ack(p);
+    });
+    link_->set_sink(1, rx_demux_.get());
+    link_->set_sink(0, tx_demux_.get());
+  }
+
+  net::Packet frame(std::int64_t size = 128, std::int32_t index = 0) {
+    net::Packet p;
+    p.type = net::PacketType::kLinkFragment;
+    p.size_bytes = size;
+    p.src = 1;
+    p.dst = 2;
+    p.frag = net::FragmentHeader{.datagram_id = next_dgram_++, .index = index,
+                                 .count = 1, .link_seq = -1};
+    return p;
+  }
+
+  sim::Simulator sim_;
+  ArqConfig cfg_;
+  std::unique_ptr<net::DuplexLink> link_;
+  std::unique_ptr<ArqSender> sender_;
+  std::unique_ptr<ArqReceiver> receiver_;
+  std::unique_ptr<net::CallbackSink> rx_demux_;
+  std::unique_ptr<net::CallbackSink> tx_demux_;
+  std::vector<net::Packet> delivered_;
+  std::uint64_t next_dgram_ = 1;
+};
+
+TEST_F(ArqTest, CleanChannelDeliversEverythingOnce) {
+  build();
+  for (int i = 0; i < 20; ++i) sender_->submit(frame());
+  sim_.run();
+  EXPECT_EQ(delivered_.size(), 20u);
+  EXPECT_EQ(sender_->stats().delivered, 20u);
+  EXPECT_EQ(sender_->stats().retransmissions, 0u);
+  EXPECT_EQ(sender_->stats().discarded, 0u);
+  EXPECT_TRUE(sender_->idle());
+}
+
+TEST_F(ArqTest, AssignsMonotoneLinkSeqs) {
+  build();
+  for (int i = 0; i < 5; ++i) sender_->submit(frame());
+  sim_.run();
+  ASSERT_EQ(delivered_.size(), 5u);
+  for (std::size_t i = 0; i < delivered_.size(); ++i) {
+    EXPECT_EQ(delivered_[i].frag->link_seq, static_cast<std::int64_t>(i));
+  }
+}
+
+TEST_F(ArqTest, RecoversFromLossBurst) {
+  // Channel dead for [0.1 s, 1.0 s): first frames need retransmission.
+  build({{sim::Time::milliseconds(100), sim::Time::seconds(1)}});
+  for (int i = 0; i < 10; ++i) sender_->submit(frame());
+  sim_.run();
+  EXPECT_EQ(delivered_.size(), 10u);
+  EXPECT_GT(sender_->stats().retransmissions, 0u);
+  EXPECT_EQ(sender_->stats().discarded, 0u);
+}
+
+TEST_F(ArqTest, InOrderDeliveryDespiteSelectiveRepeat) {
+  build({{sim::Time::milliseconds(100), sim::Time::milliseconds(700)}});
+  for (int i = 0; i < 30; ++i) sender_->submit(frame());
+  sim_.run();
+  ASSERT_EQ(delivered_.size(), 30u);
+  for (std::size_t i = 0; i < delivered_.size(); ++i) {
+    EXPECT_EQ(delivered_[i].frag->link_seq, static_cast<std::int64_t>(i))
+        << "out-of-order release at position " << i;
+  }
+}
+
+TEST_F(ArqTest, AttemptFailedHookFiresPerTimeout) {
+  build({{sim::Time::zero(), sim::Time::seconds(2)}});
+  int failures = 0;
+  sender_->on_attempt_failed = [&](const net::Packet&, std::int32_t attempt) {
+    ++failures;
+    EXPECT_GE(attempt, 1);
+  };
+  sender_->submit(frame());
+  sim_.run(sim::Time::milliseconds(1500));
+  EXPECT_GE(failures, 2);
+}
+
+TEST_F(ArqTest, DiscardsAfterRtMax) {
+  ArqConfig cfg;
+  cfg.rt_max = 3;
+  // Channel dead forever.
+  build({{sim::Time::zero(), sim::Time::seconds(10'000)}}, cfg);
+  bool discarded = false;
+  sender_->on_discard = [&](const net::Packet&) { discarded = true; };
+  sender_->submit(frame());
+  sim_.run();
+  EXPECT_TRUE(discarded);
+  EXPECT_EQ(sender_->stats().discarded, 1u);
+  // rt_max retransmissions + 1 original = 4 attempts.
+  EXPECT_EQ(sender_->stats().attempts, 4u);
+  EXPECT_TRUE(sender_->idle());
+  EXPECT_TRUE(delivered_.empty());
+}
+
+TEST_F(ArqTest, WindowBoundsOutstandingFrames) {
+  ArqConfig cfg;
+  cfg.window = 3;
+  build({}, cfg);
+  for (int i = 0; i < 10; ++i) sender_->submit(frame());
+  EXPECT_LE(sender_->outstanding(), 3u);
+  sim_.run(sim::Time::milliseconds(50));
+  EXPECT_LE(sender_->outstanding(), 3u);
+  sim_.run();
+  EXPECT_EQ(delivered_.size(), 10u);
+}
+
+TEST_F(ArqTest, LostLinkAckCausesDuplicateWhichReceiverSuppresses) {
+  // Kill only the reverse direction (ACKs) for a while: frames arrive,
+  // ACKs die, the sender retransmits, the receiver must dedup.
+  // The scripted model is shared by both directions, so instead use a
+  // window that catches the ACK but not the (earlier) data frame:
+  // data airtime [0, 80) ms; ack goes on air ~85 ms.
+  build({{sim::Time::milliseconds(81), sim::Time::milliseconds(200)}});
+  sender_->submit(frame());
+  sim_.run();
+  EXPECT_EQ(delivered_.size(), 1u);
+  EXPECT_GE(sender_->stats().retransmissions, 1u);
+  EXPECT_GE(receiver_->stats().duplicates, 1u);
+  EXPECT_EQ(sender_->stats().delivered, 1u);
+}
+
+TEST_F(ArqTest, HoleSkipAfterSenderDiscard) {
+  // Frame 0 sent while channel is dead long enough to exhaust rt_max; the
+  // following frames are submitted after the bad window and deliver fine.
+  ArqConfig cfg;
+  cfg.rt_max = 2;
+  cfg.window = 1;  // serialize, so only frame 0 faces the bad window
+  build({{sim::Time::zero(), sim::Time::seconds(3)}}, cfg);
+  sender_->submit(frame());
+  sim_.at(sim::Time::seconds(4), [&] {
+    for (int i = 0; i < 3; ++i) sender_->submit(frame());
+  });
+  sim_.run();
+  // Frame 0 was discarded; 1..3 must still come through (hole skipped).
+  ASSERT_EQ(delivered_.size(), 3u);
+  EXPECT_EQ(delivered_[0].frag->link_seq, 1);
+  EXPECT_EQ(receiver_->stats().holes_skipped, 1u);
+}
+
+TEST_F(ArqTest, StaleAcksAreCounted) {
+  build();
+  sender_->submit(frame());
+  sim_.run();
+  // Forge a link ACK for a long-gone seq.
+  net::Packet stale = net::make_control(net::PacketType::kLinkAck, 16, 2, 1,
+                                        sim_.now());
+  stale.frag = net::FragmentHeader{.link_seq = 0};
+  sender_->on_link_ack(stale);
+  EXPECT_EQ(sender_->stats().stale_acks, 1u);
+}
+
+TEST_F(ArqTest, BufferOverflowDropsSubmissions) {
+  ArqConfig cfg;
+  cfg.buffer_packets = 4;
+  cfg.window = 1;
+  build({}, cfg);
+  for (int i = 0; i < 10; ++i) sender_->submit(frame());
+  EXPECT_GT(sender_->stats().buffer_drops, 0u);
+  sim_.run();
+  EXPECT_EQ(delivered_.size(),
+            sender_->stats().submitted);
+}
+
+TEST_F(ArqTest, DeliveredHookFires) {
+  build();
+  int ok = 0;
+  sender_->on_delivered = [&](const net::Packet&) { ++ok; };
+  for (int i = 0; i < 4; ++i) sender_->submit(frame());
+  sim_.run();
+  EXPECT_EQ(ok, 4);
+}
+
+// Parameterized: every rt_max in 0..13 leads to exactly rt_max+1 attempts
+// on a dead channel (the paper's discard rule).
+class RtMaxSweep : public ArqTest, public ::testing::WithParamInterface<int> {};
+
+TEST_P(RtMaxSweep, AttemptsAreRtMaxPlusOne) {
+  ArqConfig cfg;
+  cfg.rt_max = GetParam();
+  build({{sim::Time::zero(), sim::Time::seconds(100'000)}}, cfg);
+  sender_->submit(frame());
+  sim_.run();
+  EXPECT_EQ(sender_->stats().attempts, static_cast<std::uint64_t>(GetParam() + 1));
+  EXPECT_EQ(sender_->stats().discarded, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RtMax, RtMaxSweep, ::testing::Values(0, 1, 2, 5, 13));
+
+}  // namespace
+}  // namespace wtcp::link

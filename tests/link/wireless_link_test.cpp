@@ -1,0 +1,155 @@
+#include "src/link/wireless_link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/phy/error_model.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace wtcp::link {
+namespace {
+
+// Two WirelessInterfaces (BS at endpoint 0, MH at endpoint 1) over a WAN
+// wireless link.
+class WirelessIfaceTest : public ::testing::Test {
+ protected:
+  void build(bool local_recovery,
+             std::vector<phy::ScriptedErrorModel::Window> loss = {}) {
+    link_ = std::make_unique<net::DuplexLink>(sim_, wan_wireless_link_config());
+    if (!loss.empty()) {
+      link_->set_error_model(std::make_shared<phy::ScriptedErrorModel>(loss));
+    }
+    WirelessIfaceConfig cfg;
+    cfg.local_recovery = local_recovery;
+    cfg.frag.mtu_bytes = 128;
+    bs_up_ = std::make_unique<net::CallbackSink>(
+        [this](net::Packet p) { at_bs_.push_back(std::move(p)); });
+    mh_up_ = std::make_unique<net::CallbackSink>(
+        [this](net::Packet p) { at_mh_.push_back(std::move(p)); });
+    bs_ = std::make_unique<WirelessInterface>(sim_, *link_, 0, cfg, "bs",
+                                              bs_up_.get());
+    mh_ = std::make_unique<WirelessInterface>(sim_, *link_, 1, cfg, "mh",
+                                              mh_up_.get());
+  }
+
+  net::Packet data(std::int64_t seq, std::int32_t payload = 576) {
+    return net::make_tcp_data(seq, payload, 40, 0, 2, sim_.now());
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<net::DuplexLink> link_;
+  std::unique_ptr<net::CallbackSink> bs_up_;
+  std::unique_ptr<net::CallbackSink> mh_up_;
+  std::unique_ptr<WirelessInterface> bs_;
+  std::unique_ptr<WirelessInterface> mh_;
+  std::vector<net::Packet> at_bs_;
+  std::vector<net::Packet> at_mh_;
+};
+
+TEST_F(WirelessIfaceTest, DatagramCrossesCleanLinkWithoutArq) {
+  build(/*local_recovery=*/false);
+  bs_->send_datagram(data(7));
+  sim_.run();
+  ASSERT_EQ(at_mh_.size(), 1u);
+  EXPECT_EQ(at_mh_[0].tcp->seq, 7);
+  EXPECT_EQ(at_mh_[0].size_bytes, 616);
+  EXPECT_EQ(bs_->fragmenter().stats().fragments, 5u);
+  EXPECT_EQ(mh_->reassembler().stats().datagrams_completed, 1u);
+}
+
+TEST_F(WirelessIfaceTest, DatagramCrossesCleanLinkWithArq) {
+  build(/*local_recovery=*/true);
+  bs_->send_datagram(data(7));
+  sim_.run();
+  ASSERT_EQ(at_mh_.size(), 1u);
+  EXPECT_EQ(bs_->arq_sender().stats().delivered, 5u);
+}
+
+TEST_F(WirelessIfaceTest, BothDirectionsWork) {
+  build(/*local_recovery=*/true);
+  bs_->send_datagram(data(1));
+  mh_->send_datagram(net::make_tcp_ack(1, 40, 2, 0, sim_.now()));
+  sim_.run();
+  ASSERT_EQ(at_mh_.size(), 1u);
+  ASSERT_EQ(at_bs_.size(), 1u);
+  EXPECT_EQ(at_bs_[0].type, net::PacketType::kTcpAck);
+}
+
+TEST_F(WirelessIfaceTest, LossWithoutArqKillsWholeDatagram) {
+  // One fragment airs inside the loss window -> datagram never completes.
+  build(false, {{sim::Time::milliseconds(100), sim::Time::milliseconds(200)}});
+  bs_->send_datagram(data(1));  // 5 fragments, 80 ms airtime each
+  sim_.run();
+  EXPECT_TRUE(at_mh_.empty());
+  EXPECT_GT(link_->stats(0).frames_corrupted, 0u);
+}
+
+TEST_F(WirelessIfaceTest, LossWithArqIsRecoveredLocally) {
+  build(true, {{sim::Time::milliseconds(100), sim::Time::milliseconds(400)}});
+  bs_->send_datagram(data(1));
+  sim_.run();
+  ASSERT_EQ(at_mh_.size(), 1u);
+  EXPECT_GT(bs_->arq_sender().stats().retransmissions, 0u);
+}
+
+TEST_F(WirelessIfaceTest, ManyDatagramsDeliverInOrderUnderBurstLoss) {
+  build(true, {{sim::Time::milliseconds(500), sim::Time::seconds(2)}});
+  for (int i = 0; i < 12; ++i) bs_->send_datagram(data(i));
+  sim_.run();
+  ASSERT_EQ(at_mh_.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(at_mh_[static_cast<std::size_t>(i)].tcp->seq, i);
+  }
+}
+
+TEST_F(WirelessIfaceTest, MixedArqOnlyOnOneSide) {
+  // BS runs local recovery; MH does not (its sends are raw).  The MH side
+  // must still ACK and dedup BS ARQ frames.
+  link_ = std::make_unique<net::DuplexLink>(sim_, wan_wireless_link_config());
+  WirelessIfaceConfig with, without;
+  with.local_recovery = true;
+  without.local_recovery = false;
+  bs_up_ = std::make_unique<net::CallbackSink>(
+      [this](net::Packet p) { at_bs_.push_back(std::move(p)); });
+  mh_up_ = std::make_unique<net::CallbackSink>(
+      [this](net::Packet p) { at_mh_.push_back(std::move(p)); });
+  bs_ = std::make_unique<WirelessInterface>(sim_, *link_, 0, with, "bs", bs_up_.get());
+  mh_ = std::make_unique<WirelessInterface>(sim_, *link_, 1, without, "mh",
+                                            mh_up_.get());
+  bs_->send_datagram(data(5));
+  mh_->send_datagram(net::make_tcp_ack(5, 40, 2, 0, sim_.now()));
+  sim_.run();
+  ASSERT_EQ(at_mh_.size(), 1u);
+  ASSERT_EQ(at_bs_.size(), 1u);
+  EXPECT_EQ(bs_->arq_sender().stats().delivered, 5u);
+}
+
+TEST_F(WirelessIfaceTest, LanConfigHasNoOverhead) {
+  const net::LinkConfig lan = lan_wireless_link_config();
+  EXPECT_EQ(lan.bandwidth_bps, 2'000'000);
+  EXPECT_EQ(lan.overhead_num, 1);
+  const net::LinkConfig wan = wan_wireless_link_config();
+  EXPECT_EQ(wan.bandwidth_bps, 19'200);
+  // 1.5x overhead: 12.8 kbps effective.
+  EXPECT_EQ(wan.overhead_num * 2, wan.overhead_den * 3);
+}
+
+TEST_F(WirelessIfaceTest, NoFragmentationWhenMtuLarge) {
+  link_ = std::make_unique<net::DuplexLink>(sim_, lan_wireless_link_config());
+  WirelessIfaceConfig cfg;
+  cfg.frag.mtu_bytes = 1 << 20;
+  mh_up_ = std::make_unique<net::CallbackSink>(
+      [this](net::Packet p) { at_mh_.push_back(std::move(p)); });
+  bs_ = std::make_unique<WirelessInterface>(sim_, *link_, 0, cfg, "bs", nullptr);
+  mh_ = std::make_unique<WirelessInterface>(sim_, *link_, 1, cfg, "mh",
+                                            mh_up_.get());
+  bs_->send_datagram(data(1, 1496));
+  sim_.run();
+  ASSERT_EQ(at_mh_.size(), 1u);
+  EXPECT_EQ(bs_->fragmenter().stats().fragments, 1u);
+}
+
+}  // namespace
+}  // namespace wtcp::link

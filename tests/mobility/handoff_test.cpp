@@ -1,0 +1,132 @@
+#include "src/mobility/handoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/topo/scenario.hpp"
+
+namespace wtcp::mobility {
+namespace {
+
+HandoffConfig det_cfg() {
+  HandoffConfig cfg;
+  cfg.enabled = true;
+  cfg.deterministic = true;
+  cfg.mean_interval = sim::Time::seconds(10);
+  cfg.latency = sim::Time::milliseconds(500);
+  cfg.first_after = sim::Time::seconds(5);
+  return cfg;
+}
+
+TEST(HandoffManager, DeterministicSchedule) {
+  sim::Simulator sim;
+  HandoffManager mgr(sim, det_cfg());
+  std::vector<double> starts, ends;
+  mgr.on_handoff_start = [&] { starts.push_back(sim.now().to_seconds()); };
+  mgr.on_handoff_complete = [&] { ends.push_back(sim.now().to_seconds()); };
+  sim.run(sim::Time::seconds(40));
+  // First at 5 + 10 = 15 s, then every (10 + 0.5) s.
+  ASSERT_GE(starts.size(), 3u);
+  EXPECT_DOUBLE_EQ(starts[0], 15.0);
+  EXPECT_DOUBLE_EQ(ends[0], 15.5);
+  EXPECT_DOUBLE_EQ(starts[1], 25.5);
+  EXPECT_EQ(mgr.stats().handoffs, starts.size());
+}
+
+TEST(HandoffManager, BlackoutModelCorruptsDuringHandoff) {
+  sim::Simulator sim;
+  HandoffManager mgr(sim, det_cfg());
+  auto model = mgr.blackout_model();
+  sim.run(sim::Time::seconds(16));  // one handoff at [15, 15.5)
+  EXPECT_FALSE(model->corrupts(sim::Time::seconds(14),
+                               sim::Time::from_seconds(14.5), 1000));
+  EXPECT_TRUE(model->corrupts(sim::Time::from_seconds(15.2),
+                              sim::Time::from_seconds(15.3), 1000));
+  EXPECT_TRUE(model->corrupts(sim::Time::from_seconds(14.9),
+                              sim::Time::from_seconds(15.1), 1000));
+  EXPECT_FALSE(model->corrupts(sim::Time::from_seconds(15.5),
+                               sim::Time::from_seconds(15.6), 1000));
+}
+
+TEST(HandoffManager, StochasticScheduleIsSeedDeterministic) {
+  sim::Simulator a(7), b(7), c(8);
+  HandoffConfig cfg = det_cfg();
+  cfg.deterministic = false;
+  HandoffManager ma(a, cfg), mb(b, cfg), mc(c, cfg);
+  std::vector<double> ta, tb, tc;
+  ma.on_handoff_start = [&] { ta.push_back(a.now().to_seconds()); };
+  mb.on_handoff_start = [&] { tb.push_back(b.now().to_seconds()); };
+  mc.on_handoff_start = [&] { tc.push_back(c.now().to_seconds()); };
+  a.run(sim::Time::seconds(200));
+  b.run(sim::Time::seconds(200));
+  c.run(sim::Time::seconds(200));
+  EXPECT_EQ(ta, tb);
+  EXPECT_NE(ta, tc);
+  EXPECT_GT(ta.size(), 2u);
+}
+
+TEST(HandoffManager, DisabledDoesNothing) {
+  sim::Simulator sim;
+  HandoffConfig cfg;
+  cfg.enabled = false;
+  HandoffManager mgr(sim, cfg);
+  sim.run(sim::Time::seconds(100));
+  EXPECT_EQ(mgr.stats().handoffs, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end handoff scenarios
+// ---------------------------------------------------------------------------
+
+topo::ScenarioConfig handoff_scenario() {
+  topo::ScenarioConfig cfg = topo::wan_scenario();
+  cfg.channel_errors = false;  // isolate the handoff effect
+  cfg.tcp.file_bytes = 60 * 1024;
+  cfg.handoff = det_cfg();
+  return cfg;
+}
+
+TEST(HandoffScenario, BlackoutsCauseTimeoutsForBasicTcp) {
+  const stats::RunMetrics m = topo::run_scenario(handoff_scenario());
+  EXPECT_TRUE(m.completed);
+  EXPECT_GT(m.handoffs, 0u);
+  EXPECT_GT(m.timeouts + m.fast_retransmits, 0u);
+  EXPECT_LT(m.goodput, 1.0);
+}
+
+TEST(HandoffScenario, FastRetransmitOnResumeRecoversFaster) {
+  topo::ScenarioConfig plain = handoff_scenario();
+  topo::ScenarioConfig fr = handoff_scenario();
+  fr.handoff.fast_retransmit_on_resume = true;
+  const stats::RunMetrics mp = topo::run_scenario(plain);
+  const stats::RunMetrics mf = topo::run_scenario(fr);
+  EXPECT_TRUE(mf.completed);
+  // The [4] scheme replaces timeout-recovery with fast retransmit.
+  EXPECT_LT(mf.timeouts, mp.timeouts);
+  EXPECT_LE(mf.duration, mp.duration);
+}
+
+TEST(HandoffScenario, EbsnKeepsTimerCalmThroughHandoffs) {
+  topo::ScenarioConfig cfg = handoff_scenario();
+  cfg.local_recovery = true;
+  cfg.feedback = topo::FeedbackMode::kEbsn;
+  const stats::RunMetrics m = topo::run_scenario(cfg);
+  EXPECT_TRUE(m.completed);
+  EXPECT_GT(m.handoffs, 0u);
+  EXPECT_EQ(m.timeouts, 0u);
+  EXPECT_DOUBLE_EQ(m.goodput, 1.0);
+}
+
+TEST(HandoffScenario, ComposesWithBurstErrors) {
+  topo::ScenarioConfig cfg = handoff_scenario();
+  cfg.channel_errors = true;  // fading AND handoffs
+  cfg.channel.mean_bad_s = 2;
+  cfg.local_recovery = true;
+  cfg.feedback = topo::FeedbackMode::kEbsn;
+  const stats::RunMetrics m = topo::run_scenario(cfg);
+  EXPECT_TRUE(m.completed);
+  EXPECT_GT(m.handoffs, 0u);
+  EXPECT_GT(m.wireless_frames_corrupted, 0u);
+}
+
+}  // namespace
+}  // namespace wtcp::mobility

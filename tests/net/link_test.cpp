@@ -1,0 +1,252 @@
+#include "src/net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/net/node.hpp"
+#include "src/phy/error_model.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace wtcp::net {
+namespace {
+
+struct Arrival {
+  Packet pkt;
+  sim::Time at;
+};
+
+class Recorder final : public PacketSink {
+ public:
+  explicit Recorder(sim::Simulator& sim) : sim_(sim) {}
+  void handle_packet(Packet pkt) override {
+    arrivals.push_back(Arrival{std::move(pkt), sim_.now()});
+  }
+  std::vector<Arrival> arrivals;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+LinkConfig test_config() {
+  return LinkConfig{
+      .name = "test",
+      .bandwidth_bps = 8'000,  // 1 byte per ms
+      .prop_delay = sim::Time::milliseconds(10),
+      .queue_packets = 4,
+  };
+}
+
+Packet pkt(std::int64_t size) {
+  Packet p;
+  p.type = PacketType::kTcpData;
+  p.size_bytes = size;
+  p.tcp = TcpHeader{};
+  return p;
+}
+
+TEST(DuplexLink, DeliversAfterSerializationPlusPropagation) {
+  sim::Simulator sim;
+  DuplexLink link(sim, test_config());
+  Recorder rx(sim);
+  link.set_sink(1, &rx);
+  link.send(0, pkt(100));  // 100 ms serialization + 10 ms propagation
+  sim.run();
+  ASSERT_EQ(rx.arrivals.size(), 1u);
+  EXPECT_EQ(rx.arrivals[0].at, sim::Time::milliseconds(110));
+}
+
+TEST(DuplexLink, BackToBackFramesSerialize) {
+  sim::Simulator sim;
+  DuplexLink link(sim, test_config());
+  Recorder rx(sim);
+  link.set_sink(1, &rx);
+  link.send(0, pkt(100));
+  link.send(0, pkt(100));
+  sim.run();
+  ASSERT_EQ(rx.arrivals.size(), 2u);
+  EXPECT_EQ(rx.arrivals[0].at, sim::Time::milliseconds(110));
+  EXPECT_EQ(rx.arrivals[1].at, sim::Time::milliseconds(210));
+}
+
+TEST(DuplexLink, DirectionsAreIndependent) {
+  sim::Simulator sim;
+  DuplexLink link(sim, test_config());
+  Recorder rx0(sim), rx1(sim);
+  link.set_sink(0, &rx0);
+  link.set_sink(1, &rx1);
+  link.send(0, pkt(100));
+  link.send(1, pkt(100));
+  sim.run();
+  ASSERT_EQ(rx0.arrivals.size(), 1u);
+  ASSERT_EQ(rx1.arrivals.size(), 1u);
+  // Full duplex: both arrive at the same time, no contention.
+  EXPECT_EQ(rx0.arrivals[0].at, sim::Time::milliseconds(110));
+  EXPECT_EQ(rx1.arrivals[0].at, sim::Time::milliseconds(110));
+}
+
+TEST(DuplexLink, OverheadExpandsAirtime) {
+  sim::Simulator sim;
+  LinkConfig cfg = test_config();
+  cfg.overhead_num = 3;
+  cfg.overhead_den = 2;
+  DuplexLink link(sim, cfg);
+  Recorder rx(sim);
+  link.set_sink(1, &rx);
+  link.send(0, pkt(100));  // on-air 150 B -> 150 ms + 10 ms
+  sim.run();
+  ASSERT_EQ(rx.arrivals.size(), 1u);
+  EXPECT_EQ(rx.arrivals[0].at, sim::Time::milliseconds(160));
+  EXPECT_EQ(link.airtime_bytes(100), 150);
+  EXPECT_EQ(link.airtime_bytes(1), 2);  // rounds up
+}
+
+TEST(DuplexLink, QueueOverflowDropsTail) {
+  sim::Simulator sim;
+  DuplexLink link(sim, test_config());  // queue 4
+  Recorder rx(sim);
+  link.set_sink(1, &rx);
+  // First is immediately in transmission, 4 queue, rest dropped.
+  int accepted = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (link.send(0, pkt(100))) ++accepted;
+  }
+  sim.run();
+  EXPECT_EQ(accepted, 5);
+  EXPECT_EQ(rx.arrivals.size(), 5u);
+  EXPECT_EQ(link.queue_stats(0).dropped, 3u);
+}
+
+TEST(DuplexLink, PrioritySendJumpsQueue) {
+  sim::Simulator sim;
+  DuplexLink link(sim, test_config());
+  Recorder rx(sim);
+  link.set_sink(1, &rx);
+  Packet a = pkt(100);
+  a.uid = 1;
+  Packet b = pkt(100);
+  b.uid = 2;
+  Packet c = pkt(100);
+  c.uid = 3;
+  link.send(0, a);           // goes on air immediately
+  link.send(0, b);           // queued
+  link.send(0, c, /*priority=*/true);  // jumps ahead of b
+  sim.run();
+  ASSERT_EQ(rx.arrivals.size(), 3u);
+  EXPECT_EQ(rx.arrivals[0].pkt.uid, 1u);
+  EXPECT_EQ(rx.arrivals[1].pkt.uid, 3u);
+  EXPECT_EQ(rx.arrivals[2].pkt.uid, 2u);
+}
+
+TEST(DuplexLink, ErrorModelDropsCorruptedFrames) {
+  sim::Simulator sim;
+  DuplexLink link(sim, test_config());
+  Recorder rx(sim);
+  link.set_sink(1, &rx);
+  // Corrupt everything transmitted in [0, 150 ms).
+  link.set_error_model(std::make_shared<phy::ScriptedErrorModel>(
+      std::vector<phy::ScriptedErrorModel::Window>{
+          {sim::Time::zero(), sim::Time::milliseconds(150)}}));
+  link.send(0, pkt(100));  // on air [0, 100) -> corrupted
+  link.send(0, pkt(100));  // on air [100, 200) -> overlaps window -> corrupted
+  link.send(0, pkt(100));  // on air [200, 300) -> clean
+  sim.run();
+  ASSERT_EQ(rx.arrivals.size(), 1u);
+  EXPECT_EQ(link.stats(0).frames_corrupted, 2u);
+  EXPECT_EQ(link.stats(0).frames_delivered, 1u);
+}
+
+TEST(DuplexLink, StatsCountBytesAndBusyTime) {
+  sim::Simulator sim;
+  DuplexLink link(sim, test_config());
+  Recorder rx(sim);
+  link.set_sink(1, &rx);
+  link.send(0, pkt(100));
+  link.send(0, pkt(50));
+  sim.run();
+  const LinkDirectionStats& s = link.stats(0);
+  EXPECT_EQ(s.frames_sent, 2u);
+  EXPECT_EQ(s.bytes_sent, 150);
+  EXPECT_EQ(s.bytes_delivered, 150);
+  EXPECT_EQ(s.busy_time, sim::Time::milliseconds(150));
+}
+
+TEST(DuplexLink, FrameObserversSeeOutcomes) {
+  sim::Simulator sim;
+  DuplexLink link(sim, test_config());
+  Recorder rx(sim);
+  link.set_sink(1, &rx);
+  int observed = 0;
+  link.add_frame_observer([&](int from, const Packet&, bool delivered) {
+    ++observed;
+    EXPECT_EQ(from, 0);
+    EXPECT_TRUE(delivered);
+  });
+  link.send(0, pkt(10));
+  sim.run();
+  EXPECT_EQ(observed, 1);
+}
+
+TEST(DuplexLink, NoSinkMeansSilentDrop) {
+  sim::Simulator sim;
+  DuplexLink link(sim, test_config());
+  link.send(0, pkt(10));  // no sink at endpoint 1
+  sim.run();              // must not crash
+  EXPECT_EQ(link.stats(0).frames_delivered, 1u);
+}
+
+TEST(DuplexLink, HalfDuplexSerializesDirections) {
+  sim::Simulator sim;
+  LinkConfig cfg = test_config();
+  cfg.half_duplex = true;
+  DuplexLink link(sim, cfg);
+  Recorder rx0(sim), rx1(sim);
+  link.set_sink(0, &rx0);
+  link.set_sink(1, &rx1);
+  link.send(0, pkt(100));  // [0, 100) on air
+  link.send(1, pkt(100));  // must wait: [100, 200)
+  sim.run();
+  ASSERT_EQ(rx1.arrivals.size(), 1u);
+  ASSERT_EQ(rx0.arrivals.size(), 1u);
+  EXPECT_EQ(rx1.arrivals[0].at, sim::Time::milliseconds(110));
+  EXPECT_EQ(rx0.arrivals[0].at, sim::Time::milliseconds(210));
+}
+
+TEST(DuplexLink, HalfDuplexAlternatesUnderBacklog) {
+  sim::Simulator sim;
+  LinkConfig cfg = test_config();
+  cfg.half_duplex = true;
+  cfg.queue_packets = 10;
+  DuplexLink link(sim, cfg);
+  std::vector<int> order;
+  CallbackSink s0([&](Packet) { order.push_back(0); });
+  CallbackSink s1([&](Packet) { order.push_back(1); });
+  link.set_sink(0, &s0);
+  link.set_sink(1, &s1);
+  for (int i = 0; i < 3; ++i) {
+    link.send(0, pkt(50));
+    link.send(1, pkt(50));
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 6u);
+  // After the first frame, service alternates between directions.
+  for (std::size_t i = 1; i + 1 < order.size(); ++i) {
+    EXPECT_NE(order[i], order[i + 1]) << "position " << i;
+  }
+}
+
+TEST(DuplexLink, TransmittingFlagTracksAirtime) {
+  sim::Simulator sim;
+  DuplexLink link(sim, test_config());
+  Recorder rx(sim);
+  link.set_sink(1, &rx);
+  link.send(0, pkt(100));
+  EXPECT_TRUE(link.transmitting(0));
+  sim.at(sim::Time::milliseconds(50), [&] { EXPECT_TRUE(link.transmitting(0)); });
+  sim.at(sim::Time::milliseconds(101), [&] { EXPECT_FALSE(link.transmitting(0)); });
+  sim.run();
+}
+
+}  // namespace
+}  // namespace wtcp::net

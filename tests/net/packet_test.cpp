@@ -1,0 +1,91 @@
+#include "src/net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/net/node.hpp"
+
+namespace wtcp::net {
+namespace {
+
+TEST(Packet, MakeTcpDataSetsSizeAndHeader) {
+  const Packet p = make_tcp_data(7, 536, 40, 0, 2, sim::Time::seconds(1));
+  EXPECT_EQ(p.type, PacketType::kTcpData);
+  EXPECT_EQ(p.size_bytes, 576);
+  ASSERT_TRUE(p.tcp.has_value());
+  EXPECT_EQ(p.tcp->seq, 7);
+  EXPECT_EQ(p.tcp->payload, 536);
+  EXPECT_FALSE(p.tcp->retransmit);
+  EXPECT_EQ(p.src, 0);
+  EXPECT_EQ(p.dst, 2);
+  EXPECT_EQ(p.created_at, sim::Time::seconds(1));
+}
+
+TEST(Packet, MakeTcpAckIsHeaderOnly) {
+  const Packet p = make_tcp_ack(12, 40, 2, 0, sim::Time::zero());
+  EXPECT_EQ(p.type, PacketType::kTcpAck);
+  EXPECT_EQ(p.size_bytes, 40);
+  ASSERT_TRUE(p.tcp.has_value());
+  EXPECT_EQ(p.tcp->ack, 12);
+  EXPECT_EQ(p.tcp->payload, 0);
+}
+
+TEST(Packet, MakeControl) {
+  const Packet p = make_control(PacketType::kEbsn, 40, 1, 0, sim::Time::zero());
+  EXPECT_EQ(p.type, PacketType::kEbsn);
+  EXPECT_EQ(p.size_bytes, 40);
+  EXPECT_FALSE(p.tcp.has_value());
+  EXPECT_FALSE(p.frag.has_value());
+}
+
+TEST(Packet, TypeNames) {
+  EXPECT_STREQ(to_string(PacketType::kTcpData), "DATA");
+  EXPECT_STREQ(to_string(PacketType::kTcpAck), "ACK");
+  EXPECT_STREQ(to_string(PacketType::kLinkFragment), "FRAG");
+  EXPECT_STREQ(to_string(PacketType::kLinkAck), "LACK");
+  EXPECT_STREQ(to_string(PacketType::kEbsn), "EBSN");
+  EXPECT_STREQ(to_string(PacketType::kSourceQuench), "QUENCH");
+}
+
+TEST(Packet, DescribeMentionsKeyFields) {
+  const Packet d = make_tcp_data(5, 100, 40, 0, 2, sim::Time::zero());
+  EXPECT_NE(d.describe().find("DATA"), std::string::npos);
+  EXPECT_NE(d.describe().find("seq=5"), std::string::npos);
+
+  Packet r = d;
+  r.tcp->retransmit = true;
+  EXPECT_NE(r.describe().find("rtx"), std::string::npos);
+
+  Packet f;
+  f.type = PacketType::kLinkFragment;
+  f.size_bytes = 128;
+  f.frag = FragmentHeader{.datagram_id = 9, .index = 1, .count = 3, .link_seq = 44};
+  EXPECT_NE(f.describe().find("dgram=9"), std::string::npos);
+  EXPECT_NE(f.describe().find("1/3"), std::string::npos);
+}
+
+TEST(NodeRegistry, AssignsDenseIds) {
+  NodeRegistry reg;
+  const NodeId a = reg.add("FH");
+  const NodeId b = reg.add("BS");
+  const NodeId c = reg.add("MH");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(c, 2);
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.at(b).name(), "BS");
+  EXPECT_EQ(reg.at(c).id(), 2);
+}
+
+TEST(CallbackSink, ForwardsPackets) {
+  int seen = 0;
+  CallbackSink sink([&](Packet p) {
+    ++seen;
+    EXPECT_EQ(p.type, PacketType::kTcpAck);
+  });
+  sink.handle_packet(make_tcp_ack(1, 40, 0, 1, sim::Time::zero()));
+  sink.handle_packet(make_tcp_ack(2, 40, 0, 1, sim::Time::zero()));
+  EXPECT_EQ(seen, 2);
+}
+
+}  // namespace
+}  // namespace wtcp::net

@@ -1,0 +1,103 @@
+#include "src/net/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wtcp::net {
+namespace {
+
+Packet pkt(std::int64_t size) {
+  Packet p;
+  p.size_bytes = size;
+  return p;
+}
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q(10);
+  q.enqueue(pkt(1));
+  q.enqueue(pkt(2));
+  q.enqueue(pkt(3));
+  EXPECT_EQ(q.dequeue()->size_bytes, 1);
+  EXPECT_EQ(q.dequeue()->size_bytes, 2);
+  EXPECT_EQ(q.dequeue()->size_bytes, 3);
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(DropTailQueue, DropsWhenPacketCapacityExceeded) {
+  DropTailQueue q(2);
+  EXPECT_TRUE(q.enqueue(pkt(1)));
+  EXPECT_TRUE(q.enqueue(pkt(2)));
+  EXPECT_FALSE(q.enqueue(pkt(3)));
+  EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(DropTailQueue, DropsWhenByteCapacityExceeded) {
+  DropTailQueue q(100, 250);
+  EXPECT_TRUE(q.enqueue(pkt(100)));
+  EXPECT_TRUE(q.enqueue(pkt(100)));
+  EXPECT_FALSE(q.enqueue(pkt(100)));  // would reach 300 > 250
+  EXPECT_TRUE(q.enqueue(pkt(50)));
+  EXPECT_EQ(q.bytes(), 250);
+}
+
+TEST(DropTailQueue, ByteAccountingAcrossDequeue) {
+  DropTailQueue q(10);
+  q.enqueue(pkt(100));
+  q.enqueue(pkt(50));
+  EXPECT_EQ(q.bytes(), 150);
+  q.dequeue();
+  EXPECT_EQ(q.bytes(), 50);
+  q.dequeue();
+  EXPECT_EQ(q.bytes(), 0);
+}
+
+TEST(DropTailQueue, EnqueueFrontJumpsQueue) {
+  DropTailQueue q(10);
+  q.enqueue(pkt(1));
+  q.enqueue(pkt(2));
+  EXPECT_TRUE(q.enqueue_front(pkt(99)));
+  EXPECT_EQ(q.dequeue()->size_bytes, 99);
+  EXPECT_EQ(q.dequeue()->size_bytes, 1);
+}
+
+TEST(DropTailQueue, EnqueueFrontRespectsCapacity) {
+  DropTailQueue q(1);
+  EXPECT_TRUE(q.enqueue(pkt(1)));
+  EXPECT_FALSE(q.enqueue_front(pkt(2)));
+  EXPECT_EQ(q.stats().dropped, 1u);
+}
+
+TEST(DropTailQueue, PeekDoesNotRemove) {
+  DropTailQueue q(10);
+  EXPECT_EQ(q.peek(), nullptr);
+  q.enqueue(pkt(7));
+  ASSERT_NE(q.peek(), nullptr);
+  EXPECT_EQ(q.peek()->size_bytes, 7);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(DropTailQueue, StatsTrackDepthsAndCounts) {
+  DropTailQueue q(10);
+  q.enqueue(pkt(100));
+  q.enqueue(pkt(200));
+  q.dequeue();
+  q.enqueue(pkt(50));
+  const QueueStats& s = q.stats();
+  EXPECT_EQ(s.enqueued, 3u);
+  EXPECT_EQ(s.dequeued, 1u);
+  EXPECT_EQ(s.max_depth_packets, 2u);
+  EXPECT_EQ(s.max_depth_bytes, 300);
+}
+
+TEST(DropTailQueue, ClearEmptiesButKeepsStats) {
+  DropTailQueue q(10);
+  q.enqueue(pkt(1));
+  q.enqueue(pkt(2));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.bytes(), 0);
+  EXPECT_EQ(q.stats().enqueued, 2u);
+}
+
+}  // namespace
+}  // namespace wtcp::net

@@ -1,0 +1,99 @@
+#include "src/phy/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wtcp::phy {
+namespace {
+
+TEST(NullErrorModel, NeverCorrupts) {
+  NullErrorModel m;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(m.corrupts(sim::Time::seconds(i), sim::Time::seconds(i + 1), 1536));
+  }
+  EXPECT_EQ(m.stats().queries, 1000u);
+  EXPECT_EQ(m.stats().corrupted, 0u);
+}
+
+TEST(BernoulliErrorModel, ZeroAndOneProbabilities) {
+  BernoulliErrorModel never(0.0, sim::Rng(1));
+  BernoulliErrorModel always(1.0, sim::Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(never.corrupts(sim::Time::zero(), sim::Time::zero(), 8));
+    EXPECT_TRUE(always.corrupts(sim::Time::zero(), sim::Time::zero(), 8));
+  }
+}
+
+TEST(BernoulliErrorModel, FrequencyMatches) {
+  BernoulliErrorModel m(0.25, sim::Rng(7));
+  int bad = 0;
+  constexpr int kN = 40'000;
+  for (int i = 0; i < kN; ++i) {
+    if (m.corrupts(sim::Time::zero(), sim::Time::zero(), 8)) ++bad;
+  }
+  EXPECT_NEAR(static_cast<double>(bad) / kN, 0.25, 0.01);
+  EXPECT_EQ(m.stats().corrupted, static_cast<std::uint64_t>(bad));
+}
+
+TEST(ScriptedErrorModel, CorruptsOverlappingWindowsOnly) {
+  ScriptedErrorModel m({{sim::Time::seconds(10), sim::Time::seconds(14)}});
+  // Entirely before.
+  EXPECT_FALSE(m.corrupts(sim::Time::seconds(8), sim::Time::seconds(9), 8));
+  // Ends exactly at window start (half-open): clean.
+  EXPECT_FALSE(m.corrupts(sim::Time::seconds(9), sim::Time::seconds(10), 8));
+  // Straddles the boundary.
+  EXPECT_TRUE(m.corrupts(sim::Time::seconds(9), sim::Time::seconds(11), 8));
+  // Inside.
+  EXPECT_TRUE(m.corrupts(sim::Time::seconds(11), sim::Time::seconds(12), 8));
+  // Starts exactly at window end: clean.
+  EXPECT_FALSE(m.corrupts(sim::Time::seconds(14), sim::Time::seconds(15), 8));
+}
+
+TEST(ScriptedErrorModel, InstantaneousQueryUsesPointInTime) {
+  ScriptedErrorModel m({{sim::Time::seconds(1), sim::Time::seconds(2)}});
+  EXPECT_FALSE(m.corrupts(sim::Time::zero(), sim::Time::zero(), 8));
+  EXPECT_TRUE(m.corrupts(sim::Time::milliseconds(1500), sim::Time::milliseconds(1500), 8));
+  EXPECT_FALSE(m.corrupts(sim::Time::seconds(2), sim::Time::seconds(2), 8));
+}
+
+TEST(CompositeErrorModel, CorruptsIfAnyPartDoes) {
+  auto a = std::make_shared<ScriptedErrorModel>(
+      std::vector<ScriptedErrorModel::Window>{
+          {sim::Time::seconds(1), sim::Time::seconds(2)}});
+  auto b = std::make_shared<ScriptedErrorModel>(
+      std::vector<ScriptedErrorModel::Window>{
+          {sim::Time::seconds(5), sim::Time::seconds(6)}});
+  CompositeErrorModel combo({a, b});
+  EXPECT_TRUE(combo.corrupts(sim::Time::milliseconds(1500),
+                             sim::Time::milliseconds(1600), 8));
+  EXPECT_TRUE(combo.corrupts(sim::Time::milliseconds(5500),
+                             sim::Time::milliseconds(5600), 8));
+  EXPECT_FALSE(combo.corrupts(sim::Time::seconds(3), sim::Time::seconds(4), 8));
+}
+
+TEST(CompositeErrorModel, AllPartsSeeEveryQuery) {
+  auto a = std::make_shared<ScriptedErrorModel>(
+      std::vector<ScriptedErrorModel::Window>{
+          {sim::Time::zero(), sim::Time::seconds(100)}});
+  auto b = std::make_shared<NullErrorModel>();
+  CompositeErrorModel combo({a, b});
+  for (int i = 0; i < 10; ++i) {
+    // `a` corrupts everything, but `b` must still be queried (no
+    // short-circuit) so stateful models stay consistent.
+    EXPECT_TRUE(combo.corrupts(sim::Time::seconds(i), sim::Time::seconds(i) +
+                                   sim::Time::milliseconds(10), 8));
+  }
+  EXPECT_EQ(a->stats().queries, 10u);
+  EXPECT_EQ(b->stats().queries, 10u);
+  EXPECT_EQ(combo.stats().corrupted, 10u);
+}
+
+TEST(ScriptedErrorModel, MultipleWindows) {
+  ScriptedErrorModel m({{sim::Time::seconds(1), sim::Time::seconds(2)},
+                        {sim::Time::seconds(5), sim::Time::seconds(6)}});
+  EXPECT_TRUE(m.corrupts(sim::Time::milliseconds(1500), sim::Time::milliseconds(1600), 8));
+  EXPECT_FALSE(m.corrupts(sim::Time::seconds(3), sim::Time::seconds(4), 8));
+  EXPECT_TRUE(m.corrupts(sim::Time::milliseconds(5900), sim::Time::milliseconds(6100), 8));
+}
+
+}  // namespace
+}  // namespace wtcp::phy

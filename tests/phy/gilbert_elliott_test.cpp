@@ -1,0 +1,174 @@
+#include "src/phy/gilbert_elliott.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wtcp::phy {
+namespace {
+
+GilbertElliottConfig paper_wan() {
+  return GilbertElliottConfig{
+      .ber_good = 1e-6, .ber_bad = 1e-2, .mean_good_s = 10, .mean_bad_s = 1};
+}
+
+TEST(GilbertElliottConfig, GoodFraction) {
+  EXPECT_DOUBLE_EQ(paper_wan().good_fraction(), 10.0 / 11.0);
+  GilbertElliottConfig c{.mean_good_s = 4, .mean_bad_s = 4};
+  EXPECT_DOUBLE_EQ(c.good_fraction(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic variant (Figure 3-5 channel)
+// ---------------------------------------------------------------------------
+
+TEST(DeterministicGE, AlternatesFixedPeriods) {
+  GilbertElliottConfig cfg = paper_wan();
+  cfg.mean_bad_s = 4;
+  DeterministicGilbertElliott m(cfg);
+  EXPECT_EQ(m.state_at(sim::Time::zero()), ChannelState::kGood);
+  EXPECT_EQ(m.state_at(sim::Time::seconds(9)), ChannelState::kGood);
+  EXPECT_EQ(m.state_at(sim::Time::seconds(10)), ChannelState::kBad);
+  EXPECT_EQ(m.state_at(sim::Time::seconds(13)), ChannelState::kBad);
+  EXPECT_EQ(m.state_at(sim::Time::seconds(14)), ChannelState::kGood);
+  // Next cycle.
+  EXPECT_EQ(m.state_at(sim::Time::seconds(24)), ChannelState::kBad);
+  EXPECT_EQ(m.state_at(sim::Time::seconds(28)), ChannelState::kGood);
+}
+
+TEST(DeterministicGE, GoodStateFrameSurvives) {
+  DeterministicGilbertElliott m(paper_wan());
+  // 192-byte frame (1536 bits) fully in a good period:
+  // lambda = 1e-6 * 1536 << 1 -> clean.
+  EXPECT_FALSE(m.corrupts(sim::Time::seconds(1), sim::Time::milliseconds(1080), 1536));
+}
+
+TEST(DeterministicGE, BadStateFrameDies) {
+  GilbertElliottConfig cfg = paper_wan();
+  cfg.mean_bad_s = 4;
+  DeterministicGilbertElliott m(cfg);
+  // Fully inside the 10-14 s bad period: lambda = 1e-2 * 1536 >> 1.
+  EXPECT_TRUE(m.corrupts(sim::Time::seconds(11), sim::Time::milliseconds(11080), 1536));
+}
+
+TEST(DeterministicGE, BoundaryStraddleIntegratesExposure) {
+  GilbertElliottConfig cfg = paper_wan();
+  cfg.mean_bad_s = 4;
+  DeterministicGilbertElliott m(cfg);
+  // Frame of 1536 bits spanning [9.99, 10.07): 1/8 of airtime in bad state
+  // -> lambda ~ 1e-2 * 1536/8 = 1.9 >= 1 -> corrupted.
+  EXPECT_TRUE(m.corrupts(sim::Time::milliseconds(9990), sim::Time::milliseconds(10070),
+                         1536));
+  // Frame spanning [9.92, 10.0): no bad exposure at all -> clean.
+  EXPECT_FALSE(m.corrupts(sim::Time::milliseconds(9920), sim::Time::milliseconds(10000),
+                          1536));
+  // Tiny sliver of bad exposure (~0.5% of airtime): lambda ~ 0.08 -> clean.
+  EXPECT_FALSE(m.corrupts(sim::Time::from_milliseconds(9920.4),
+                          sim::Time::from_milliseconds(10000.4), 1536));
+}
+
+TEST(DeterministicGE, InstantaneousQueryJudgedByState) {
+  GilbertElliottConfig cfg = paper_wan();
+  cfg.mean_bad_s = 4;
+  DeterministicGilbertElliott m(cfg);
+  // Zero-length "frame" with enough bits that bad-state BER kills it.
+  EXPECT_FALSE(m.corrupts(sim::Time::seconds(5), sim::Time::seconds(5), 1536));
+  EXPECT_TRUE(m.corrupts(sim::Time::seconds(12), sim::Time::seconds(12), 1536));
+}
+
+// ---------------------------------------------------------------------------
+// Stochastic variant
+// ---------------------------------------------------------------------------
+
+TEST(StochasticGE, StartsGood) {
+  GilbertElliottModel m(paper_wan(), sim::Rng(1));
+  EXPECT_EQ(m.state_at(sim::Time::zero()), ChannelState::kGood);
+}
+
+TEST(StochasticGE, LongRunBadFractionMatchesConfig) {
+  GilbertElliottConfig cfg = paper_wan();
+  cfg.mean_bad_s = 4;  // bad fraction 4/14
+  GilbertElliottModel m(cfg, sim::Rng(99));
+  const sim::Time horizon = sim::Time::seconds(200'000);
+  (void)m.state_at(horizon);  // force trajectory sampling
+  const double bad_frac = m.sampled_bad_time() / m.sampled_until();
+  EXPECT_NEAR(bad_frac, 4.0 / 14.0, 0.02);
+}
+
+TEST(StochasticGE, GoodFramesMostlySurviveBadFramesMostlyDie) {
+  GilbertElliottModel m(paper_wan(), sim::Rng(7));
+  int corrupted_good = 0, corrupted_bad = 0, n_good = 0, n_bad = 0;
+  // March 1536-bit (80 ms) frames through time, classifying by the state
+  // at frame start.
+  for (int i = 0; i < 20'000; ++i) {
+    const sim::Time start = sim::Time::milliseconds(80) * i;
+    const sim::Time end = start + sim::Time::milliseconds(80);
+    const ChannelState s = m.state_at(start);
+    const bool bad = m.corrupts(start, end, 1536);
+    if (s == ChannelState::kGood) {
+      ++n_good;
+      corrupted_good += bad;
+    } else {
+      ++n_bad;
+      corrupted_bad += bad;
+    }
+  }
+  ASSERT_GT(n_good, 1000);
+  ASSERT_GT(n_bad, 100);
+  // Good-state: lambda ~ 0.0015 (boundary straddles inflate slightly).
+  EXPECT_LT(static_cast<double>(corrupted_good) / n_good, 0.05);
+  // Bad-state: lambda ~ 15 unless the frame mostly straddles out.
+  EXPECT_GT(static_cast<double>(corrupted_bad) / n_bad, 0.85);
+}
+
+TEST(StochasticGE, DeterministicForSameSeed) {
+  GilbertElliottModel a(paper_wan(), sim::Rng(5));
+  GilbertElliottModel b(paper_wan(), sim::Rng(5));
+  for (int i = 0; i < 1000; ++i) {
+    const sim::Time start = sim::Time::milliseconds(100) * i;
+    const sim::Time end = start + sim::Time::milliseconds(80);
+    EXPECT_EQ(a.corrupts(start, end, 1536), b.corrupts(start, end, 1536));
+  }
+}
+
+TEST(StochasticGE, OverlappingDuplexQueriesAreConsistent) {
+  // Two directions of a duplex link share one model; the second query may
+  // start before the first one's end.  This must not crash or violate the
+  // trajectory.
+  GilbertElliottModel m(paper_wan(), sim::Rng(3));
+  for (int i = 0; i < 1000; ++i) {
+    const sim::Time t = sim::Time::milliseconds(30) * i;
+    (void)m.corrupts(t, t + sim::Time::milliseconds(80), 1536);   // data dir
+    (void)m.corrupts(t + sim::Time::milliseconds(10),
+                     t + sim::Time::milliseconds(35), 480);       // ack dir
+  }
+  SUCCEED();
+}
+
+TEST(StochasticGE, CountsQueriesInStats) {
+  GilbertElliottModel m(paper_wan(), sim::Rng(2));
+  for (int i = 0; i < 50; ++i) {
+    (void)m.corrupts(sim::Time::seconds(i), sim::Time::seconds(i) + sim::Time::milliseconds(80),
+                     1536);
+  }
+  EXPECT_EQ(m.stats().queries, 50u);
+}
+
+// Property sweep: sampled bad fraction tracks mean_bad over a range.
+class GeBadFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeBadFractionSweep, MatchesExpectation) {
+  GilbertElliottConfig cfg = paper_wan();
+  cfg.mean_bad_s = GetParam();
+  GilbertElliottModel m(cfg, sim::Rng(12345));
+  (void)m.state_at(sim::Time::seconds(300'000));
+  const double expect = cfg.mean_bad_s / (cfg.mean_good_s + cfg.mean_bad_s);
+  const double got = m.sampled_bad_time() / m.sampled_until();
+  EXPECT_NEAR(got, expect, expect * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(BadPeriods, GeBadFractionSweep,
+                         ::testing::Values(0.4, 1.0, 2.0, 3.0, 4.0));
+
+}  // namespace
+}  // namespace wtcp::phy

@@ -1,0 +1,81 @@
+#include "src/sim/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace wtcp::sim {
+namespace {
+
+// Capture log output through a tmpfile sink.
+class LogCapture {
+ public:
+  LogCapture() : file_(std::tmpfile()) { Log::set_sink(file_); }
+  ~LogCapture() {
+    Log::set_sink(nullptr);
+    Log::set_level(LogLevel::kOff);
+    if (file_) std::fclose(file_);
+  }
+
+  std::string contents() {
+    std::fflush(file_);
+    std::rewind(file_);
+    std::string out;
+    char buf[256];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), file_)) > 0) out.append(buf, n);
+    return out;
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+TEST(Log, OffByDefaultAndDisabledLevelsDontWrite) {
+  LogCapture cap;
+  Log::set_level(LogLevel::kOff);
+  WTCP_LOG(kWarn, Time::seconds(1), "test", "should not appear %d", 1);
+  EXPECT_TRUE(cap.contents().empty());
+}
+
+TEST(Log, EnabledLevelWrites) {
+  LogCapture cap;
+  Log::set_level(LogLevel::kDebug);
+  WTCP_LOG(kInfo, Time::from_seconds(1.5), "tcp", "timeout seq=%d rto=%s", 42,
+           "1.2s");
+  const std::string out = cap.contents();
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+  EXPECT_NE(out.find("tcp"), std::string::npos);
+  EXPECT_NE(out.find("timeout seq=42 rto=1.2s"), std::string::npos);
+  EXPECT_NE(out.find("1.500000"), std::string::npos);
+}
+
+TEST(Log, LevelFiltering) {
+  LogCapture cap;
+  Log::set_level(LogLevel::kWarn);
+  WTCP_LOG(kDebug, Time::zero(), "x", "debug hidden");
+  WTCP_LOG(kTrace, Time::zero(), "x", "trace hidden");
+  WTCP_LOG(kWarn, Time::zero(), "x", "warn shown");
+  const std::string out = cap.contents();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("warn shown"), std::string::npos);
+}
+
+TEST(Log, EnabledPredicate) {
+  Log::set_level(LogLevel::kInfo);
+  EXPECT_FALSE(Log::enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Log::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Log::enabled(LogLevel::kWarn));
+  Log::set_level(LogLevel::kOff);
+  EXPECT_FALSE(Log::enabled(LogLevel::kWarn));
+}
+
+TEST(LogFormat, FormatsLikePrintf) {
+  EXPECT_EQ(log_format("a=%d b=%s c=%.2f", 7, "xy", 1.5), "a=7 b=xy c=1.50");
+  EXPECT_EQ(log_format("no args"), "no args");
+  EXPECT_EQ(log_format("%s", ""), "");
+}
+
+}  // namespace
+}  // namespace wtcp::sim

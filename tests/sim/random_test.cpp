@@ -1,0 +1,137 @@
+#include "src/sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace wtcp::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  Rng a(1, 0), b(1, 1);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkIsDeterministicAndLabelled) {
+  Rng root(7);
+  Rng a = root.fork("alpha");
+  Rng b = root.fork("alpha");
+  Rng c = root.fork("beta");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, ForkDoesNotPerturbParent) {
+  Rng a(9), b(9);
+  (void)a.fork("child");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng r(11);
+  double sum = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(13);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = r.uniform(2.5, 7.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(17);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60'000; ++i) {
+    const std::int64_t v = r.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10'000, 600);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(23);
+  double sum = 0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / kN, 4.0, 0.05);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng r(29);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GT(r.exponential(0.001), 0.0);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng r(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    EXPECT_FALSE(r.chance(-0.5));
+    EXPECT_TRUE(r.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceFrequencyMatchesProbability) {
+  Rng r(37);
+  int hits = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+// Property sweep: exponential sample means converge for various means.
+class RngExponentialSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngExponentialSweep, MeanConverges) {
+  const double mean = GetParam();
+  Rng r(41);
+  double sum = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += r.exponential(mean);
+  EXPECT_NEAR(sum / kN, mean, mean * 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, RngExponentialSweep,
+                         ::testing::Values(0.01, 0.4, 1.0, 4.0, 10.0));
+
+}  // namespace
+}  // namespace wtcp::sim

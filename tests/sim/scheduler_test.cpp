@@ -1,0 +1,181 @@
+#include "src/sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+
+namespace wtcp::sim {
+namespace {
+
+TEST(Scheduler, StartsEmptyAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), Time::zero());
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.next_event_time(), Time::max());
+  EXPECT_FALSE(s.run_one());
+}
+
+TEST(Scheduler, RunsEventAtScheduledTime) {
+  Scheduler s;
+  Time fired;
+  s.schedule_at(Time::milliseconds(10), [&] { fired = s.now(); });
+  EXPECT_EQ(s.run(), 1u);
+  EXPECT_EQ(fired, Time::milliseconds(10));
+  EXPECT_EQ(s.now(), Time::milliseconds(10));
+}
+
+TEST(Scheduler, EventsFireInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(Time::milliseconds(30), [&] { order.push_back(3); });
+  s.schedule_at(Time::milliseconds(10), [&] { order.push_back(1); });
+  s.schedule_at(Time::milliseconds(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, SimultaneousEventsFireInInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(Time::seconds(1), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleAfterIsRelativeToNow) {
+  Scheduler s;
+  Time fired;
+  s.schedule_at(Time::seconds(5), [&] {
+    s.schedule_after(Time::seconds(2), [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired, Time::seconds(7));
+}
+
+TEST(Scheduler, PastScheduleClampsToNow) {
+  Scheduler s;
+  Time fired;
+  s.schedule_at(Time::seconds(5), [&] {
+    s.schedule_at(Time::seconds(1), [&] { fired = s.now(); });  // in the past
+  });
+  s.run();
+  EXPECT_EQ(fired, Time::seconds(5));
+}
+
+TEST(Scheduler, NegativeDelayClampsToZero) {
+  Scheduler s;
+  bool fired = false;
+  s.schedule_after(Time::seconds(-3), [&] { fired = true; });
+  s.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now(), Time::zero());
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  EventId id = s.schedule_at(Time::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(s.pending(id));
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.pending(id));
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelIsIdempotentAndSafeOnInvalidHandles) {
+  Scheduler s;
+  EventId id = s.schedule_at(Time::seconds(1), [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));      // already cancelled
+  EXPECT_FALSE(s.cancel(EventId{}));  // default/invalid handle
+  s.run();
+  EXPECT_FALSE(s.cancel(id));  // stale handle after run
+}
+
+TEST(Scheduler, CancelledEventDoesNotBlockNextEventTime) {
+  Scheduler s;
+  EventId early = s.schedule_at(Time::seconds(1), [] {});
+  s.schedule_at(Time::seconds(2), [] {});
+  s.cancel(early);
+  EXPECT_EQ(s.next_event_time(), Time::seconds(2));
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizonInclusive) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(Time::seconds(1), [&] { order.push_back(1); });
+  s.schedule_at(Time::seconds(2), [&] { order.push_back(2); });
+  s.schedule_at(Time::seconds(3), [&] { order.push_back(3); });
+  EXPECT_EQ(s.run_until(Time::seconds(2)), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.now(), Time::seconds(2));
+  EXPECT_EQ(s.pending_count(), 1u);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) s.schedule_after(Time::seconds(1), chain);
+  };
+  s.schedule_at(Time::seconds(1), chain);
+  s.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), Time::seconds(5));
+}
+
+TEST(Scheduler, ExecutedCountAccumulates) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(Time::milliseconds(i), [] {});
+  s.run();
+  EXPECT_EQ(s.executed_count(), 7u);
+}
+
+TEST(Scheduler, ClearDropsEverything) {
+  Scheduler s;
+  bool fired = false;
+  s.schedule_at(Time::seconds(1), [&] { fired = true; });
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, StopHaltsRunLoop) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(Time::seconds(1), [&] { ++fired; });
+  sim.after(Time::seconds(2), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.after(Time::seconds(3), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(sim.stopped());
+}
+
+TEST(Simulator, RunHonorsHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.after(Time::seconds(1), [&] { ++fired; });
+  sim.after(Time::seconds(10), [&] { ++fired; });
+  sim.run(Time::seconds(5));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, ForkedRngsAreDeterministicPerSeed) {
+  Simulator a(42), b(42), c(43);
+  EXPECT_EQ(a.fork_rng("x").next_u64(), b.fork_rng("x").next_u64());
+  EXPECT_NE(a.fork_rng("x").next_u64(), c.fork_rng("x").next_u64());
+  EXPECT_NE(a.fork_rng("x").next_u64(), a.fork_rng("y").next_u64());
+}
+
+}  // namespace
+}  // namespace wtcp::sim

@@ -1,0 +1,107 @@
+#include "src/sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wtcp::sim {
+namespace {
+
+TEST(Time, DefaultIsZero) {
+  Time t;
+  EXPECT_EQ(t.ns(), 0);
+  EXPECT_TRUE(t.is_zero());
+  EXPECT_FALSE(t.is_negative());
+}
+
+TEST(Time, NamedConstructors) {
+  EXPECT_EQ(Time::nanoseconds(5).ns(), 5);
+  EXPECT_EQ(Time::microseconds(3).ns(), 3'000);
+  EXPECT_EQ(Time::milliseconds(7).ns(), 7'000'000);
+  EXPECT_EQ(Time::seconds(2).ns(), 2'000'000'000);
+}
+
+TEST(Time, FromSecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(Time::from_seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(Time::from_seconds(1e-9).ns(), 1);
+  EXPECT_EQ(Time::from_seconds(0.4e-9).ns(), 0);
+  EXPECT_EQ(Time::from_seconds(0.6e-9).ns(), 1);
+}
+
+TEST(Time, FromMilliseconds) {
+  EXPECT_EQ(Time::from_milliseconds(0.5).ns(), 500'000);
+  EXPECT_EQ(Time::from_milliseconds(100).ns(), Time::milliseconds(100).ns());
+}
+
+TEST(Time, ToSecondsRoundTrip) {
+  const Time t = Time::milliseconds(1234);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 1.234);
+  EXPECT_DOUBLE_EQ(t.to_milliseconds(), 1234.0);
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Time::milliseconds(1), Time::milliseconds(2));
+  EXPECT_LE(Time::seconds(1), Time::milliseconds(1000));
+  EXPECT_EQ(Time::seconds(1), Time::milliseconds(1000));
+  EXPECT_GT(Time::max(), Time::seconds(1'000'000));
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::milliseconds(300);
+  const Time b = Time::milliseconds(200);
+  EXPECT_EQ((a + b).ns(), Time::milliseconds(500).ns());
+  EXPECT_EQ((a - b).ns(), Time::milliseconds(100).ns());
+  EXPECT_EQ((b - a).ns(), -Time::milliseconds(100).ns());
+  EXPECT_TRUE((b - a).is_negative());
+  EXPECT_EQ((a * 3).ns(), Time::milliseconds(900).ns());
+  EXPECT_EQ((3 * a).ns(), Time::milliseconds(900).ns());
+  EXPECT_EQ((a / 3).ns(), 100'000'000);
+  EXPECT_DOUBLE_EQ(a / b, 1.5);
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = Time::seconds(1);
+  t += Time::milliseconds(500);
+  EXPECT_EQ(t, Time::milliseconds(1500));
+  t -= Time::seconds(1);
+  EXPECT_EQ(t, Time::milliseconds(500));
+}
+
+TEST(Time, Scaled) {
+  EXPECT_EQ(Time::milliseconds(100).scaled(1.5), Time::milliseconds(150));
+  EXPECT_EQ(Time::milliseconds(100).scaled(0.0), Time::zero());
+  // Rounds to nearest nanosecond.
+  EXPECT_EQ(Time::nanoseconds(3).scaled(0.5), Time::nanoseconds(2));
+}
+
+TEST(Time, ToString) {
+  EXPECT_EQ(Time::seconds(1).to_string(), "1.000000000s");
+  EXPECT_EQ(Time::nanoseconds(1).to_string(), "0.000000001s");
+}
+
+TEST(TransmissionTime, ExactDivision) {
+  // 1000 bytes at 8000 bps = 1 second exactly.
+  EXPECT_EQ(transmission_time(1000, 8'000), Time::seconds(1));
+}
+
+TEST(TransmissionTime, RoundsUp) {
+  // 1 byte at 19200 bps = 416666.67 ns -> rounded up.
+  EXPECT_EQ(transmission_time(1, 19'200).ns(), 416'667);
+}
+
+TEST(TransmissionTime, PaperWirelessFrame) {
+  // A 128 B MTU fragment with 1.5x overhead = 192 B at 19.2 kbps = 80 ms.
+  EXPECT_EQ(transmission_time(192, 19'200), Time::milliseconds(80));
+}
+
+TEST(TransmissionTime, ZeroBytes) {
+  EXPECT_EQ(transmission_time(0, 19'200), Time::zero());
+}
+
+TEST(BitsIn, Basics) {
+  EXPECT_EQ(bits_in(Time::seconds(1), 19'200), 19'200);
+  EXPECT_EQ(bits_in(Time::milliseconds(500), 2'000'000), 1'000'000);
+  EXPECT_EQ(bits_in(Time::zero(), 19'200), 0);
+  EXPECT_EQ(bits_in(Time::seconds(-1), 19'200), 0);
+}
+
+}  // namespace
+}  // namespace wtcp::sim

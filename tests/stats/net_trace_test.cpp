@@ -1,0 +1,128 @@
+#include "src/stats/net_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "src/net/node.hpp"
+#include "src/phy/error_model.hpp"
+#include "src/topo/scenario.hpp"
+
+namespace wtcp::stats {
+namespace {
+
+class NetTraceTest : public ::testing::Test {
+ protected:
+  NetTraceTest() : trace_(sim_) {
+    net::LinkConfig cfg;
+    cfg.bandwidth_bps = 8'000;  // 1 byte per ms
+    cfg.prop_delay = sim::Time::milliseconds(10);
+    cfg.queue_packets = 2;
+    link_ = std::make_unique<net::DuplexLink>(sim_, cfg);
+    sink_ = std::make_unique<net::CallbackSink>([](net::Packet) {});
+    link_->set_sink(1, sink_.get());
+    trace_.attach(*link_, "wired");
+  }
+
+  net::Packet data(std::int64_t seq, std::int64_t size = 100) {
+    net::Packet p = net::make_tcp_data(seq, static_cast<std::int32_t>(size - 40),
+                                       40, 0, 1, sim_.now());
+    return p;
+  }
+
+  sim::Simulator sim_;
+  NetTrace trace_;
+  std::unique_ptr<net::DuplexLink> link_;
+  std::unique_ptr<net::CallbackSink> sink_;
+};
+
+TEST_F(NetTraceTest, RecordsEnqueueTransmitDeliver) {
+  link_->send(0, data(5));
+  sim_.run();
+  EXPECT_EQ(trace_.count('+'), 1u);
+  EXPECT_EQ(trace_.count('-'), 1u);
+  EXPECT_EQ(trace_.count('r'), 1u);
+  EXPECT_EQ(trace_.count('d'), 0u);
+  // Sequence metadata survives.
+  EXPECT_EQ(trace_.records().front().seq, 5);
+  EXPECT_EQ(trace_.records().front().type, net::PacketType::kTcpData);
+}
+
+TEST_F(NetTraceTest, RecordsDrops) {
+  for (int i = 0; i < 5; ++i) link_->send(0, data(i));
+  sim_.run();
+  // 1 transmitting + 2 queued accepted, 2 dropped.
+  EXPECT_EQ(trace_.count('+'), 3u);
+  EXPECT_EQ(trace_.count('d'), 2u);
+}
+
+TEST_F(NetTraceTest, RecordsCorruption) {
+  link_->set_error_model(std::make_shared<phy::ScriptedErrorModel>(
+      std::vector<phy::ScriptedErrorModel::Window>{
+          {sim::Time::zero(), sim::Time::seconds(1)}}));
+  link_->send(0, data(0));
+  sim_.run();
+  EXPECT_EQ(trace_.count('c'), 1u);
+  EXPECT_EQ(trace_.count('r'), 0u);
+}
+
+TEST_F(NetTraceTest, BytesSentByType) {
+  link_->send(0, data(0, 100));
+  link_->send(0, data(1, 200));
+  link_->send(1, net::make_tcp_ack(1, 40, 1, 0, sim_.now()));
+  sim_.run();
+  EXPECT_EQ(trace_.bytes_sent("wired", net::PacketType::kTcpData), 300);
+  EXPECT_EQ(trace_.bytes_sent("wired", net::PacketType::kTcpAck), 40);
+  EXPECT_EQ(trace_.bytes_sent("wired", net::PacketType::kTcpData, /*from=*/1), 0);
+}
+
+TEST_F(NetTraceTest, UtilizationMatchesAirtime) {
+  link_->send(0, data(0, 100));  // 100 ms airtime in a 1 s window
+  sim_.run();
+  const double u = trace_.utilization("wired", *link_, sim::Time::zero(),
+                                      sim::Time::seconds(1));
+  EXPECT_NEAR(u, 0.1, 1e-9);
+}
+
+TEST_F(NetTraceTest, TsvDumpContainsEvents) {
+  link_->send(0, data(7));
+  sim_.run();
+  std::ostringstream os;
+  trace_.write_tsv(os);
+  EXPECT_NE(os.str().find("wired"), std::string::npos);
+  EXPECT_NE(os.str().find("DATA"), std::string::npos);
+  EXPECT_NE(os.str().find('r'), std::string::npos);
+}
+
+TEST(NetTraceScenario, FullRunAccounting) {
+  topo::ScenarioConfig cfg = topo::wan_scenario();
+  cfg.tcp.file_bytes = 20 * 1024;
+  cfg.deterministic_channel = true;
+  topo::Scenario s(cfg);
+  NetTrace trace(s.simulator());
+  trace.attach(s.wired_link(), "wired");
+  trace.attach(s.wireless_link(), "wifi");
+  const RunMetrics m = s.run();
+  ASSERT_TRUE(m.completed);
+
+  // Every wired TCP data byte the source sent shows up in the trace.
+  EXPECT_EQ(trace.bytes_sent("wired", net::PacketType::kTcpData, 0),
+            s.sender().stats().wire_bytes_sent);
+  // The wireless link carried at least the file (as fragments).
+  EXPECT_GE(trace.bytes_sent("wifi", net::PacketType::kLinkFragment, 0),
+            cfg.tcp.file_bytes);
+  // Corruption events equal the link's corrupted-frame count.
+  EXPECT_EQ(trace.count('c', "wifi"), m.wireless_frames_corrupted);
+  // The wireless link is the bottleneck: its utilization dwarfs the
+  // wired link's.
+  const double wifi_u = trace.utilization("wifi", s.wireless_link(),
+                                          sim::Time::zero(), m.duration);
+  const double wired_u = trace.utilization("wired", s.wired_link(),
+                                           sim::Time::zero(), m.duration);
+  EXPECT_GT(wifi_u, 3 * wired_u);
+  EXPECT_GT(wifi_u, 0.5);
+}
+
+}  // namespace
+}  // namespace wtcp::stats

@@ -1,0 +1,88 @@
+#include "src/stats/quantiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/topo/scenario.hpp"
+
+namespace wtcp::stats {
+namespace {
+
+TEST(Quantiles, EmptyIsZero) {
+  Quantiles q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.median(), 0.0);
+  EXPECT_DOUBLE_EQ(q.mean(), 0.0);
+}
+
+TEST(Quantiles, SingleSample) {
+  Quantiles q;
+  q.add(3.5);
+  EXPECT_DOUBLE_EQ(q.median(), 3.5);
+  EXPECT_DOUBLE_EQ(q.p95(), 3.5);
+  EXPECT_DOUBLE_EQ(q.min(), 3.5);
+  EXPECT_DOUBLE_EQ(q.max(), 3.5);
+}
+
+TEST(Quantiles, NearestRankOnKnownData) {
+  Quantiles q;
+  for (int i = 1; i <= 100; ++i) q.add(i);  // 1..100
+  EXPECT_DOUBLE_EQ(q.median(), 50.0);
+  EXPECT_DOUBLE_EQ(q.p95(), 95.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.01), 1.0);
+  EXPECT_DOUBLE_EQ(q.max(), 100.0);
+  EXPECT_DOUBLE_EQ(q.min(), 1.0);
+  EXPECT_DOUBLE_EQ(q.mean(), 50.5);
+}
+
+TEST(Quantiles, UnsortedInsertionOrder) {
+  Quantiles q;
+  for (double x : {9.0, 1.0, 5.0, 3.0, 7.0}) q.add(x);
+  EXPECT_DOUBLE_EQ(q.median(), 5.0);
+  EXPECT_DOUBLE_EQ(q.max(), 9.0);
+}
+
+TEST(Quantiles, InterleavedAddAndQuery) {
+  Quantiles q;
+  q.add(10);
+  EXPECT_DOUBLE_EQ(q.median(), 10.0);
+  q.add(20);
+  q.add(30);
+  EXPECT_DOUBLE_EQ(q.median(), 20.0);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+// End-to-end delay accounting.  Note the semantics: a copy's delay is
+// measured from ITS OWN transmission, so basic TCP's post-timeout copies
+// look "fast" even though the user waited out the timeout, while local
+// recovery's fade-spanning deliveries carry the whole fade in one sample.
+TEST(DelayMetrics, DistributionsAreConsistent) {
+  topo::ScenarioConfig basic = topo::wan_scenario();
+  basic.tcp.file_bytes = 60 * 1024;
+  basic.channel.mean_bad_s = 4;
+  basic.deterministic_channel = true;
+  topo::ScenarioConfig ebsn = basic;
+  ebsn.local_recovery = true;
+  ebsn.feedback = topo::FeedbackMode::kEbsn;
+
+  const RunMetrics mb = topo::run_scenario(basic);
+  const RunMetrics me = topo::run_scenario(ebsn);
+  ASSERT_TRUE(mb.completed);
+  ASSERT_TRUE(me.completed);
+  for (const RunMetrics* m : {&mb, &me}) {
+    EXPECT_GT(m->delay_p50_s, 0.0);
+    EXPECT_LE(m->delay_p50_s, m->delay_p95_s);
+    EXPECT_LE(m->delay_p95_s, m->delay_max_s);
+    // Nothing can arrive faster than the one-way path minimum (~0.4 s
+    // wired + wireless serialization for a 576 B packet).
+    EXPECT_GT(m->delay_p50_s, 0.3);
+  }
+  // Local recovery holds fade-spanning segments at the BS for the whole
+  // bad period: EBSN's maximum delay covers a fade; basic TCP's does not
+  // (its late copies restart the clock at retransmission).
+  EXPECT_GT(me.delay_max_s, 4.0);
+  EXPECT_LT(mb.delay_max_s, me.delay_max_s);
+}
+
+}  // namespace
+}  // namespace wtcp::stats

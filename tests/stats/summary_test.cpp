@@ -1,0 +1,64 @@
+#include "src/stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wtcp::stats {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, CvIsRelativeStddev) {
+  Summary s;
+  s.add(90);
+  s.add(110);
+  // mean 100, stddev = sqrt(200) ~ 14.14 -> cv ~ 0.1414.
+  EXPECT_NEAR(s.cv(), std::sqrt(200.0) / 100.0, 1e-12);
+}
+
+TEST(Summary, NegativeValues) {
+  Summary s;
+  s.add(-10);
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);  // guarded division
+  EXPECT_DOUBLE_EQ(s.min(), -10.0);
+}
+
+TEST(Summary, ManySamplesNumericallyStable) {
+  Summary s;
+  for (int i = 0; i < 1'000'000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25, 1e-3);
+}
+
+}  // namespace
+}  // namespace wtcp::stats

@@ -1,0 +1,49 @@
+#include "src/stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace wtcp::stats {
+namespace {
+
+TEST(TextTable, PrintsAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Two data rows + header + separator.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, TsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_tsv(os);
+  EXPECT_EQ(os.str(), "a\tb\n1\t2\n");
+}
+
+TEST(TextTable, NumericRows) {
+  TextTable t({"x", "y"});
+  t.add_numeric_row({1.23456, 7.0}, 2);
+  std::ostringstream os;
+  t.print_tsv(os);
+  EXPECT_NE(os.str().find("1.23\t7.00"), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.14159, 0), "3");
+  EXPECT_EQ(fmt_double(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace wtcp::stats

@@ -1,0 +1,93 @@
+#include "src/stats/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wtcp::stats {
+namespace {
+
+TEST(ConnectionTrace, RecordsInOrder) {
+  ConnectionTrace t;
+  t.record(sim::Time::seconds(1), TraceEvent::kSend, 0);
+  t.record(sim::Time::seconds(2), TraceEvent::kAck, 1);
+  ASSERT_EQ(t.records().size(), 2u);
+  EXPECT_EQ(t.records()[0].event, TraceEvent::kSend);
+  EXPECT_EQ(t.records()[1].seq, 1);
+}
+
+TEST(ConnectionTrace, CountByEvent) {
+  ConnectionTrace t;
+  t.record(sim::Time::zero(), TraceEvent::kSend, 0);
+  t.record(sim::Time::zero(), TraceEvent::kSend, 1);
+  t.record(sim::Time::zero(), TraceEvent::kTimeout, 0);
+  EXPECT_EQ(t.count(TraceEvent::kSend), 2u);
+  EXPECT_EQ(t.count(TraceEvent::kTimeout), 1u);
+  EXPECT_EQ(t.count(TraceEvent::kEbsn), 0u);
+}
+
+TEST(ConnectionTrace, SendPlotWrapsModulus) {
+  ConnectionTrace t;
+  t.record(sim::Time::seconds(1), TraceEvent::kSend, 89);
+  t.record(sim::Time::seconds(2), TraceEvent::kSend, 90);
+  t.record(sim::Time::seconds(3), TraceEvent::kRetransmit, 91);
+  t.record(sim::Time::seconds(4), TraceEvent::kAck, 92);  // not plotted
+  auto pts = t.send_plot(90);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].seq_mod, 89);
+  EXPECT_EQ(pts[1].seq_mod, 0);
+  EXPECT_EQ(pts[2].seq_mod, 1);
+  EXPECT_FALSE(pts[0].retransmit);
+  EXPECT_TRUE(pts[2].retransmit);
+}
+
+TEST(ConnectionTrace, RetransmissionsShareVerticalCoordinate) {
+  // The paper's marker for retransmissions: multiple marks, same seq mod
+  // 90, different times.
+  ConnectionTrace t;
+  t.record(sim::Time::seconds(25.0 * 1), TraceEvent::kSend, 44);
+  t.record(sim::Time::from_seconds(25.9), TraceEvent::kRetransmit, 44);
+  t.record(sim::Time::from_seconds(28.3), TraceEvent::kRetransmit, 44);
+  auto pts = t.send_plot();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].seq_mod, pts[1].seq_mod);
+  EXPECT_EQ(pts[1].seq_mod, pts[2].seq_mod);
+  EXPECT_LT(pts[1].time_s, pts[2].time_s);
+}
+
+TEST(ConnectionTrace, WriteSendPlotFormat) {
+  ConnectionTrace t;
+  t.record(sim::Time::from_seconds(1.5), TraceEvent::kSend, 95);
+  std::ostringstream os;
+  t.write_send_plot(os, 90);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# time_s"), std::string::npos);
+  EXPECT_NE(out.find("1.5\t5\t0"), std::string::npos);
+}
+
+TEST(ConnectionTrace, WriteTsvListsAllEvents) {
+  ConnectionTrace t;
+  t.record(sim::Time::seconds(1), TraceEvent::kTimeout, 7);
+  t.record(sim::Time::seconds(2), TraceEvent::kEbsn, 8);
+  std::ostringstream os;
+  t.write_tsv(os);
+  EXPECT_NE(os.str().find("timeout\t7"), std::string::npos);
+  EXPECT_NE(os.str().find("ebsn\t8"), std::string::npos);
+}
+
+TEST(ConnectionTrace, ClearEmpties) {
+  ConnectionTrace t;
+  t.record(sim::Time::zero(), TraceEvent::kSend, 0);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TraceEventNames, AllDistinct) {
+  EXPECT_STREQ(to_string(TraceEvent::kSend), "send");
+  EXPECT_STREQ(to_string(TraceEvent::kRetransmit), "rtx");
+  EXPECT_STREQ(to_string(TraceEvent::kFastRtx), "fastrtx");
+  EXPECT_STREQ(to_string(TraceEvent::kDeliver), "deliver");
+}
+
+}  // namespace
+}  // namespace wtcp::stats

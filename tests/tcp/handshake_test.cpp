@@ -1,0 +1,202 @@
+// Optional SYN/FIN connection lifecycle (TcpConfig::connect_handshake).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+#include "src/tcp/tahoe_sender.hpp"
+#include "src/tcp/tcp_sink.hpp"
+
+namespace wtcp::tcp {
+namespace {
+
+TcpConfig hs_cfg() {
+  TcpConfig cfg;
+  cfg.connect_handshake = true;
+  cfg.mss = 536;
+  cfg.header_bytes = 40;
+  cfg.window_bytes = 8 * 536;
+  cfg.file_bytes = 20 * 536;
+  cfg.rto.initial_rto = sim::Time::seconds(1);
+  return cfg;
+}
+
+TEST(ConnState, Names) {
+  EXPECT_STREQ(to_string(ConnState::kClosed), "closed");
+  EXPECT_STREQ(to_string(ConnState::kSynSent), "syn-sent");
+  EXPECT_STREQ(to_string(ConnState::kEstablished), "established");
+  EXPECT_STREQ(to_string(ConnState::kFinSent), "fin-sent");
+  EXPECT_STREQ(to_string(ConnState::kDone), "done");
+}
+
+// Direct-drive harness.
+class HandshakeTest : public ::testing::Test {
+ protected:
+  void build(TcpConfig cfg) {
+    sender_ = std::make_unique<TcpSender>(sim_, cfg, 0, 2, "src");
+    sender_->set_downstream([this](net::Packet p) { sent_.push_back(std::move(p)); });
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<TcpSender> sender_;
+  std::vector<net::Packet> sent_;
+};
+
+TEST_F(HandshakeTest, StartSendsSynNotData) {
+  build(hs_cfg());
+  sender_->start();
+  ASSERT_EQ(sent_.size(), 1u);
+  EXPECT_TRUE(sent_[0].tcp->syn);
+  EXPECT_EQ(sent_[0].tcp->payload, 0);
+  EXPECT_EQ(sent_[0].size_bytes, 40);
+  EXPECT_EQ(sender_->conn_state(), ConnState::kSynSent);
+}
+
+TEST_F(HandshakeTest, SynAckEstablishesAndStartsDataWithRttSample) {
+  build(hs_cfg());
+  sender_->start();
+  sim_.scheduler().run_until(sim::Time::milliseconds(300));
+  net::Packet synack = net::make_tcp_ack(0, 40, 2, 0, sim_.now());
+  synack.tcp->syn = true;
+  sender_->handle_packet(synack);
+  EXPECT_EQ(sender_->conn_state(), ConnState::kEstablished);
+  EXPECT_EQ(sender_->stats().rtt_samples, 1u);
+  ASSERT_EQ(sent_.size(), 2u);  // SYN + first data segment (cwnd 1)
+  EXPECT_FALSE(sent_[1].tcp->syn);
+  EXPECT_EQ(sent_[1].tcp->seq, 0);
+}
+
+TEST_F(HandshakeTest, SynRetransmittedOnTimeoutWithBackoff) {
+  build(hs_cfg());
+  sender_->start();
+  sim_.run(sim::Time::seconds(4));  // initial RTO 1 s, doubling
+  EXPECT_GE(sender_->stats().syn_sent, 3u);
+  EXPECT_EQ(sender_->conn_state(), ConnState::kSynSent);
+  for (const auto& p : sent_) EXPECT_TRUE(p.tcp->syn);
+  // A late SYN-ACK after retransmissions yields no RTT sample (Karn).
+  net::Packet synack = net::make_tcp_ack(0, 40, 2, 0, sim_.now());
+  synack.tcp->syn = true;
+  sender_->handle_packet(synack);
+  EXPECT_EQ(sender_->stats().rtt_samples, 0u);
+  EXPECT_EQ(sender_->rto_estimator().backoff_shift(), 0);
+}
+
+TEST_F(HandshakeTest, NormalAcksIgnoredWhileSynSent) {
+  build(hs_cfg());
+  sender_->start();
+  sender_->handle_packet(net::make_tcp_ack(1, 40, 2, 0, sim_.now()));
+  EXPECT_EQ(sender_->conn_state(), ConnState::kSynSent);
+  EXPECT_EQ(sent_.size(), 1u);
+}
+
+// Sink side.
+class SinkHandshakeTest : public ::testing::Test {
+ protected:
+  SinkHandshakeTest() {
+    cfg_ = hs_cfg();
+    sink_ = std::make_unique<TcpSink>(sim_, cfg_, 2, 0, "snk");
+    sink_->set_downstream([this](net::Packet p) { acks_.push_back(std::move(p)); });
+  }
+
+  sim::Simulator sim_;
+  TcpConfig cfg_;
+  std::unique_ptr<TcpSink> sink_;
+  std::vector<net::Packet> acks_;
+};
+
+TEST_F(SinkHandshakeTest, SynGetsSynAck) {
+  net::Packet syn;
+  syn.type = net::PacketType::kTcpData;
+  syn.size_bytes = 40;
+  syn.tcp = net::TcpHeader{.seq = -1, .payload = 0, .syn = true};
+  sink_->handle_packet(syn);
+  sink_->handle_packet(syn);  // duplicate SYN re-acked
+  ASSERT_EQ(acks_.size(), 2u);
+  EXPECT_TRUE(acks_[0].tcp->syn);
+  EXPECT_EQ(acks_[0].tcp->ack, 0);
+  EXPECT_EQ(sink_->stats().syns_received, 2u);
+  EXPECT_EQ(sink_->stats().segments_received, 0u);  // no data counted
+}
+
+TEST_F(SinkHandshakeTest, FinAckedOnlyAfterAllData) {
+  net::Packet fin;
+  fin.type = net::PacketType::kTcpData;
+  fin.size_bytes = 40;
+  fin.tcp = net::TcpHeader{.seq = 20, .payload = 0, .fin = true};
+  // FIN before data: degenerates to a plain (dup)ack.
+  sink_->handle_packet(fin);
+  ASSERT_EQ(acks_.size(), 1u);
+  EXPECT_FALSE(acks_[0].tcp->fin);
+  EXPECT_EQ(acks_[0].tcp->ack, 0);
+  // Deliver everything, then FIN.
+  for (std::int64_t s = 0; s < 20; ++s) {
+    sink_->handle_packet(net::make_tcp_data(s, 536, 40, 0, 2, sim_.now()));
+  }
+  sink_->handle_packet(fin);
+  EXPECT_TRUE(acks_.back().tcp->fin);
+  EXPECT_EQ(acks_.back().tcp->ack, 21);
+  EXPECT_EQ(sink_->stats().fins_received, 1u);
+}
+
+// Closed loop: full lifecycle over a delayed path.
+TEST(HandshakeLoop, FullLifecycle) {
+  sim::Simulator sim;
+  TcpConfig cfg = hs_cfg();
+  TcpSender sender(sim, cfg, 0, 2, "src");
+  TcpSink sink(sim, cfg, 2, 0, "snk");
+  const sim::Time delay = sim::Time::milliseconds(50);
+  sender.set_downstream([&](net::Packet p) {
+    sim.after(delay, [&sink, p = std::move(p)]() mutable {
+      sink.handle_packet(std::move(p));
+    });
+  });
+  sink.set_downstream([&](net::Packet p) {
+    sim.after(delay, [&sender, p = std::move(p)]() mutable {
+      sender.handle_packet(std::move(p));
+    });
+  });
+  sender.start();
+  sim.run();
+  EXPECT_TRUE(sender.stats().completed);
+  EXPECT_EQ(sender.conn_state(), ConnState::kDone);
+  EXPECT_EQ(sender.stats().syn_sent, 1u);
+  EXPECT_EQ(sender.stats().fin_sent, 1u);
+  EXPECT_TRUE(sink.stats().completed);
+  EXPECT_EQ(sink.stats().unique_payload_bytes, cfg.file_bytes);
+  EXPECT_EQ(sender.stats().timeouts, 0u);
+}
+
+TEST(HandshakeLoop, LostSynAndFinStillComplete) {
+  sim::Simulator sim;
+  TcpConfig cfg = hs_cfg();
+  TcpSender sender(sim, cfg, 0, 2, "src");
+  TcpSink sink(sim, cfg, 2, 0, "snk");
+  int syn_drops = 1, fin_drops = 1;
+  sender.set_downstream([&](net::Packet p) {
+    if (p.tcp->syn && syn_drops > 0) {
+      --syn_drops;
+      return;
+    }
+    if (p.tcp->fin && fin_drops > 0) {
+      --fin_drops;
+      return;
+    }
+    sim.after(sim::Time::milliseconds(50), [&sink, p = std::move(p)]() mutable {
+      sink.handle_packet(std::move(p));
+    });
+  });
+  sink.set_downstream([&](net::Packet p) {
+    sim.after(sim::Time::milliseconds(50), [&sender, p = std::move(p)]() mutable {
+      sender.handle_packet(std::move(p));
+    });
+  });
+  sender.start();
+  sim.run();
+  EXPECT_TRUE(sender.stats().completed);
+  EXPECT_EQ(sender.stats().syn_sent, 2u);
+  EXPECT_EQ(sender.stats().fin_sent, 2u);
+}
+
+}  // namespace
+}  // namespace wtcp::tcp

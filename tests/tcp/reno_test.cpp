@@ -1,0 +1,232 @@
+// TCP-Reno flavor: fast recovery semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+#include "src/tcp/tahoe_sender.hpp"
+#include "src/tcp/tcp_sink.hpp"
+
+namespace wtcp::tcp {
+namespace {
+
+TcpConfig reno_cfg() {
+  TcpConfig cfg;
+  cfg.flavor = TcpFlavor::kReno;
+  cfg.mss = 536;
+  cfg.header_bytes = 40;
+  cfg.window_bytes = 16 * 536;  // 16-segment window
+  cfg.file_bytes = 100 * 536;
+  cfg.rto.granularity = sim::Time::milliseconds(100);
+  cfg.rto.initial_rto = sim::Time::seconds(1);
+  return cfg;
+}
+
+class RenoTest : public ::testing::Test {
+ protected:
+  void build(TcpConfig cfg) {
+    sender_ = std::make_unique<TcpSender>(sim_, cfg, 0, 2, "src");
+    sender_->set_downstream([this](net::Packet p) { sent_.push_back(std::move(p)); });
+  }
+  void ack(std::int64_t next_expected) {
+    sender_->handle_packet(net::make_tcp_ack(next_expected, 40, 2, 0, sim_.now()));
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<TcpSender> sender_;
+  std::vector<net::Packet> sent_;
+};
+
+TEST(TcpFlavor, Names) {
+  EXPECT_STREQ(to_string(TcpFlavor::kTahoe), "tahoe");
+  EXPECT_STREQ(to_string(TcpFlavor::kReno), "reno");
+  EXPECT_STREQ(to_string(TcpFlavor::kNewReno), "newreno");
+}
+
+TEST_F(RenoTest, FastRetransmitEntersFastRecovery) {
+  build(reno_cfg());
+  sender_->start();
+  std::int64_t next = 0;
+  for (int i = 0; i < 7; ++i) ack(++next);  // cwnd 8, una 7
+  ASSERT_DOUBLE_EQ(sender_->cwnd(), 8.0);
+  for (int i = 0; i < 3; ++i) ack(next);  // 3 dupacks
+  EXPECT_TRUE(sender_->in_fast_recovery());
+  // ssthresh = 4, cwnd = ssthresh + 3 = 7 (not 1, unlike Tahoe).
+  EXPECT_DOUBLE_EQ(sender_->ssthresh(), 4.0);
+  EXPECT_DOUBLE_EQ(sender_->cwnd(), 7.0);
+  // The hole was retransmitted...
+  EXPECT_TRUE(sent_.back().tcp->retransmit);
+  EXPECT_EQ(sent_.back().tcp->seq, next);
+  // ...and snd_nxt was NOT pulled back (no go-back-N).
+  EXPECT_GT(sender_->snd_nxt(), sender_->snd_una());
+}
+
+TEST_F(RenoTest, WindowInflationSendsNewDataPerExtraDupack) {
+  build(reno_cfg());
+  sender_->start();
+  std::int64_t next = 0;
+  for (int i = 0; i < 7; ++i) ack(++next);
+  for (int i = 0; i < 3; ++i) ack(next);  // enter recovery
+  const std::size_t before = sent_.size();
+  const std::int64_t nxt_before = sender_->snd_nxt();
+  // Each further dupack inflates cwnd by 1 and may release a new segment.
+  for (int i = 0; i < 4; ++i) ack(next);
+  EXPECT_GT(sender_->snd_nxt(), nxt_before);
+  EXPECT_GT(sent_.size(), before);
+  for (std::size_t i = before; i < sent_.size(); ++i) {
+    EXPECT_FALSE(sent_[i].tcp->retransmit);  // new data, not retransmissions
+  }
+}
+
+TEST_F(RenoTest, NewAckDeflatesToSsthresh) {
+  build(reno_cfg());
+  sender_->start();
+  std::int64_t next = 0;
+  for (int i = 0; i < 7; ++i) ack(++next);
+  for (int i = 0; i < 5; ++i) ack(next);  // recovery + 2 inflation dupacks
+  EXPECT_TRUE(sender_->in_fast_recovery());
+  EXPECT_DOUBLE_EQ(sender_->cwnd(), 9.0);  // 4 + 3 + 2
+  ack(sender_->snd_nxt());                 // everything outstanding acked
+  EXPECT_FALSE(sender_->in_fast_recovery());
+  // Deflated to ssthresh, then one congestion-avoidance increment.
+  EXPECT_NEAR(sender_->cwnd(), 4.0 + 1.0 / 4.0, 1e-9);
+}
+
+TEST_F(RenoTest, TimeoutAbortsFastRecovery) {
+  build(reno_cfg());
+  sender_->start();
+  std::int64_t next = 0;
+  for (int i = 0; i < 7; ++i) ack(++next);
+  for (int i = 0; i < 3; ++i) ack(next);
+  EXPECT_TRUE(sender_->in_fast_recovery());
+  sim_.run(sim::Time::seconds(30));  // no more acks: RTO fires
+  EXPECT_FALSE(sender_->in_fast_recovery());
+  EXPECT_GE(sender_->stats().timeouts, 1u);
+  EXPECT_DOUBLE_EQ(sender_->cwnd(), 1.0);
+}
+
+TEST_F(RenoTest, TahoeNeverEntersFastRecovery) {
+  TcpConfig cfg = reno_cfg();
+  cfg.flavor = TcpFlavor::kTahoe;
+  build(cfg);
+  sender_->start();
+  std::int64_t next = 0;
+  for (int i = 0; i < 7; ++i) ack(++next);
+  for (int i = 0; i < 6; ++i) ack(next);
+  EXPECT_FALSE(sender_->in_fast_recovery());
+  EXPECT_DOUBLE_EQ(sender_->cwnd(), 1.0);
+}
+
+TEST_F(RenoTest, PlainRenoExitsRecoveryOnPartialAck) {
+  build(reno_cfg());
+  sender_->start();
+  std::int64_t next = 0;
+  for (int i = 0; i < 7; ++i) ack(++next);  // una 7, nxt 15
+  for (int i = 0; i < 3; ++i) ack(next);    // enter recovery
+  ASSERT_TRUE(sender_->in_fast_recovery());
+  // A partial ACK (8 < highest sent 14) still ends plain Reno's recovery.
+  ack(8);
+  EXPECT_FALSE(sender_->in_fast_recovery());
+}
+
+TEST_F(RenoTest, NewRenoStaysInRecoveryAcrossPartialAcks) {
+  TcpConfig cfg = reno_cfg();
+  cfg.flavor = TcpFlavor::kNewReno;
+  build(cfg);
+  sender_->start();
+  std::int64_t next = 0;
+  for (int i = 0; i < 7; ++i) ack(++next);  // una 7, nxt 15, cwnd 8
+  for (int i = 0; i < 3; ++i) ack(next);    // recovery; rtx of 7
+  ASSERT_TRUE(sender_->in_fast_recovery());
+  const std::size_t before = sent_.size();
+
+  // Partial ACK: 7 got through but 9 is also missing.
+  ack(9);
+  EXPECT_TRUE(sender_->in_fast_recovery());
+  // NewReno immediately retransmits the next hole (seq 9).
+  ASSERT_EQ(sent_.size(), before + 1);
+  EXPECT_EQ(sent_.back().tcp->seq, 9);
+  EXPECT_TRUE(sent_.back().tcp->retransmit);
+  EXPECT_EQ(sender_->snd_una(), 9);
+
+  // Another partial ACK: hole at 12.
+  ack(12);
+  EXPECT_TRUE(sender_->in_fast_recovery());
+  EXPECT_EQ(sent_.back().tcp->seq, 12);
+
+  // Full ACK past `recover` (14 was the highest sent at loss): exit.
+  ack(15);
+  EXPECT_FALSE(sender_->in_fast_recovery());
+  EXPECT_DOUBLE_EQ(sender_->cwnd(), 4.0 + 1.0 / 4.0);
+}
+
+TEST_F(RenoTest, NewRenoPartialAckDeflatesTowardSsthresh) {
+  TcpConfig cfg = reno_cfg();
+  cfg.flavor = TcpFlavor::kNewReno;
+  build(cfg);
+  sender_->start();
+  std::int64_t next = 0;
+  for (int i = 0; i < 7; ++i) ack(++next);
+  for (int i = 0; i < 6; ++i) ack(next);  // recovery + 3 inflation dupacks
+  const double inflated = sender_->cwnd();  // 4 + 3 + 3 = 10
+  ASSERT_DOUBLE_EQ(inflated, 10.0);
+  ack(9);  // partial ack of 2 segments: cwnd = max(4, 10 - 2 + 1) = 9
+  EXPECT_DOUBLE_EQ(sender_->cwnd(), 9.0);
+  EXPECT_GE(sender_->cwnd(), sender_->ssthresh());
+}
+
+TEST_F(RenoTest, NewRenoClosedLoopMultiLossAvoidsTimeout) {
+  TcpConfig cfg = reno_cfg();
+  cfg.flavor = TcpFlavor::kNewReno;
+  auto sink = std::make_unique<TcpSink>(sim_, cfg, 2, 0, "snk");
+  build(cfg);
+  std::set<std::int64_t> drops{30, 32, 34};  // three losses in one window
+  sender_->set_downstream([&, this](net::Packet p) {
+    if (!p.tcp->retransmit && drops.contains(p.tcp->seq)) return;
+    sim_.after(sim::Time::milliseconds(50), [&, p = std::move(p)]() mutable {
+      sink->handle_packet(std::move(p));
+    });
+  });
+  sink->set_downstream([this](net::Packet p) {
+    sim_.after(sim::Time::milliseconds(50), [this, p = std::move(p)]() mutable {
+      sender_->handle_packet(std::move(p));
+    });
+  });
+  sender_->start();
+  sim_.run();
+  EXPECT_TRUE(sender_->stats().completed);
+  // One fast-recovery episode heals all three holes without a timeout.
+  EXPECT_EQ(sender_->stats().timeouts, 0u);
+  EXPECT_EQ(sender_->stats().fast_retransmits, 1u);
+  EXPECT_EQ(sender_->stats().segments_retransmitted, 3u);
+}
+
+// Closed-loop: Reno recovers a single loss without collapsing to cwnd 1.
+TEST_F(RenoTest, ClosedLoopSingleLossKeepsPipeFull) {
+  TcpConfig cfg = reno_cfg();
+  auto sink = std::make_unique<TcpSink>(sim_, cfg, 2, 0, "snk");
+  build(cfg);
+  std::set<std::int64_t> drops{30};
+  sender_->set_downstream([&, this](net::Packet p) {
+    if (!p.tcp->retransmit && drops.contains(p.tcp->seq)) return;
+    sim_.after(sim::Time::milliseconds(50), [&, p = std::move(p)]() mutable {
+      sink->handle_packet(std::move(p));
+    });
+  });
+  sink->set_downstream([this](net::Packet p) {
+    sim_.after(sim::Time::milliseconds(50), [this, p = std::move(p)]() mutable {
+      sender_->handle_packet(std::move(p));
+    });
+  });
+  sender_->start();
+  sim_.run();
+  EXPECT_TRUE(sender_->stats().completed);
+  EXPECT_EQ(sender_->stats().fast_retransmits, 1u);
+  EXPECT_EQ(sender_->stats().timeouts, 0u);
+  EXPECT_EQ(sender_->stats().segments_retransmitted, 1u);
+}
+
+}  // namespace
+}  // namespace wtcp::tcp

@@ -1,0 +1,144 @@
+#include "src/tcp/rto_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wtcp::tcp {
+namespace {
+
+RtoConfig paper_cfg() {
+  RtoConfig cfg;
+  cfg.granularity = sim::Time::milliseconds(100);
+  cfg.initial_rto = sim::Time::seconds(3);
+  cfg.min_rto = sim::Time::milliseconds(200);
+  cfg.max_rto = sim::Time::seconds(64);
+  return cfg;
+}
+
+TEST(RtoEstimator, InitialRtoBeforeAnySample) {
+  RtoEstimator e(paper_cfg());
+  EXPECT_FALSE(e.has_sample());
+  EXPECT_EQ(e.rto(), sim::Time::seconds(3));
+}
+
+TEST(RtoEstimator, FirstSampleGivesThreeTimesRtt) {
+  RtoEstimator e(paper_cfg());
+  e.add_sample(sim::Time::milliseconds(500));  // 5 ticks
+  // SRTT = R, RTTVAR = R/2 => RTO = 3R = 1.5 s.
+  EXPECT_EQ(e.rto(), sim::Time::milliseconds(1500));
+  EXPECT_EQ(e.srtt(), sim::Time::milliseconds(500));
+}
+
+TEST(RtoEstimator, QuantizesToTicks) {
+  RtoEstimator e(paper_cfg());
+  EXPECT_EQ(e.to_ticks(sim::Time::milliseconds(449)), 4);  // rounds
+  EXPECT_EQ(e.to_ticks(sim::Time::milliseconds(450)), 5);
+  EXPECT_EQ(e.to_ticks(sim::Time::milliseconds(1)), 1);    // never 0
+  EXPECT_EQ(e.to_ticks(sim::Time::zero()), 1);
+}
+
+TEST(RtoEstimator, ConvergesOnStableRtt) {
+  RtoEstimator e(paper_cfg());
+  for (int i = 0; i < 100; ++i) e.add_sample(sim::Time::milliseconds(800));
+  // Stable RTT: srtt -> 0.8 s, rttvar decays toward one tick.
+  EXPECT_EQ(e.srtt(), sim::Time::milliseconds(800));
+  EXPECT_LE(e.rttvar(), sim::Time::milliseconds(100));
+  EXPECT_LE(e.rto(), sim::Time::milliseconds(1200));
+  EXPECT_GE(e.rto(), sim::Time::milliseconds(800));
+}
+
+TEST(RtoEstimator, VarianceGrowsOnJitter) {
+  RtoEstimator e(paper_cfg());
+  for (int i = 0; i < 50; ++i) {
+    e.add_sample(sim::Time::milliseconds(i % 2 ? 400 : 1600));
+  }
+  EXPECT_GT(e.rttvar(), sim::Time::milliseconds(300));
+  EXPECT_GT(e.rto(), e.srtt());
+}
+
+TEST(RtoEstimator, MinRtoClamp) {
+  RtoConfig cfg = paper_cfg();
+  RtoEstimator e(cfg);
+  for (int i = 0; i < 100; ++i) e.add_sample(sim::Time::milliseconds(10));
+  EXPECT_GE(e.rto(), cfg.min_rto);
+}
+
+TEST(RtoEstimator, MaxRtoClamp) {
+  RtoConfig cfg = paper_cfg();
+  cfg.max_rto = sim::Time::seconds(4);
+  RtoEstimator e(cfg);
+  e.add_sample(sim::Time::seconds(10));
+  EXPECT_EQ(e.rto(), sim::Time::seconds(4));
+}
+
+TEST(RtoEstimator, BackoffDoublesAndSaturates) {
+  RtoEstimator e(paper_cfg());
+  e.add_sample(sim::Time::milliseconds(500));  // rto 1.5 s
+  const sim::Time base = e.rto();
+  e.back_off();
+  EXPECT_EQ(e.rto(), base * 2);
+  e.back_off();
+  EXPECT_EQ(e.rto(), base * 4);
+  for (int i = 0; i < 20; ++i) e.back_off();
+  EXPECT_EQ(e.backoff_shift(), paper_cfg().max_backoff_shift);
+  EXPECT_LE(e.rto(), paper_cfg().max_rto);
+}
+
+TEST(RtoEstimator, ResetBackoffRestoresBase) {
+  RtoEstimator e(paper_cfg());
+  e.add_sample(sim::Time::milliseconds(500));
+  const sim::Time base = e.rto();
+  e.back_off();
+  e.back_off();
+  e.reset_backoff();
+  EXPECT_EQ(e.rto(), base);
+}
+
+TEST(RtoEstimator, BackoffAppliesToInitialRtoToo) {
+  RtoEstimator e(paper_cfg());
+  e.back_off();
+  EXPECT_EQ(e.rto(), sim::Time::seconds(6));
+}
+
+TEST(RtoEstimator, CoarseClockInflatesSmallRtts) {
+  // With a 100 ms clock, a 5 ms LAN round trip still reads as one tick.
+  RtoEstimator e(paper_cfg());
+  for (int i = 0; i < 50; ++i) e.add_sample(sim::Time::milliseconds(5));
+  EXPECT_EQ(e.srtt(), sim::Time::milliseconds(100));
+}
+
+// The paper's Section 4.2.1 point: a finer timer granularity reduces RTO
+// for the same RTT stream, making timeouts during local recovery MORE
+// likely.  Verify the monotonicity.
+TEST(RtoEstimator, FinerGranularityYieldsTighterRto) {
+  RtoConfig coarse = paper_cfg();
+  RtoConfig fine = paper_cfg();
+  fine.granularity = sim::Time::milliseconds(10);
+  RtoEstimator ec(coarse), ef(fine);
+  for (int i = 0; i < 60; ++i) {
+    const sim::Time rtt = sim::Time::milliseconds(230 + (i % 5) * 7);
+    ec.add_sample(rtt);
+    ef.add_sample(rtt);
+  }
+  EXPECT_LT(ef.rto(), ec.rto());
+}
+
+// Parameterized sweep over granularities: RTO always >= min and within
+// sane bounds for a stable 800 ms RTT.
+class GranularitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GranularitySweep, RtoBounded) {
+  RtoConfig cfg = paper_cfg();
+  cfg.granularity = sim::Time::milliseconds(GetParam());
+  RtoEstimator e(cfg);
+  for (int i = 0; i < 80; ++i) e.add_sample(sim::Time::milliseconds(800));
+  EXPECT_GE(e.rto(), cfg.min_rto);
+  // srtt + 4*var, var <= 1 tick after convergence.
+  EXPECT_LE(e.rto(), sim::Time::milliseconds(800 + 5 * GetParam()) +
+                         sim::Time::milliseconds(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, GranularitySweep,
+                         ::testing::Values(10, 100, 300, 500));
+
+}  // namespace
+}  // namespace wtcp::tcp

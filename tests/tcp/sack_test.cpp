@@ -1,0 +1,212 @@
+// Selective acknowledgments (RFC 2018, TcpConfig::sack_enabled).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+#include "src/tcp/tahoe_sender.hpp"
+#include "src/tcp/tcp_sink.hpp"
+
+namespace wtcp::tcp {
+namespace {
+
+TcpConfig sack_cfg(TcpFlavor flavor = TcpFlavor::kNewReno) {
+  TcpConfig cfg;
+  cfg.flavor = flavor;
+  cfg.sack_enabled = true;
+  cfg.mss = 536;
+  cfg.header_bytes = 40;
+  cfg.window_bytes = 16 * 536;
+  cfg.file_bytes = 100 * 536;
+  cfg.rto.initial_rto = sim::Time::seconds(1);
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Sink: block generation
+// ---------------------------------------------------------------------------
+
+class SackSinkTest : public ::testing::Test {
+ protected:
+  SackSinkTest() {
+    cfg_ = sack_cfg();
+    sink_ = std::make_unique<TcpSink>(sim_, cfg_, 2, 0, "snk");
+    sink_->set_downstream([this](net::Packet p) { acks_.push_back(std::move(p)); });
+  }
+  void data(std::int64_t seq) {
+    sink_->handle_packet(net::make_tcp_data(seq, 536, 40, 0, 2, sim_.now()));
+  }
+
+  sim::Simulator sim_;
+  TcpConfig cfg_;
+  std::unique_ptr<TcpSink> sink_;
+  std::vector<net::Packet> acks_;
+};
+
+TEST_F(SackSinkTest, InOrderAcksCarryNoBlocks) {
+  data(0);
+  data(1);
+  EXPECT_FALSE(acks_.back().tcp->has_sack());
+}
+
+TEST_F(SackSinkTest, DupacksCarryBufferedRuns) {
+  data(0);
+  data(2);
+  data(3);
+  data(5);
+  const net::TcpHeader& h = *acks_.back().tcp;
+  EXPECT_EQ(h.ack, 1);
+  ASSERT_TRUE(h.has_sack());
+  EXPECT_EQ(h.sack[0].begin, 2);
+  EXPECT_EQ(h.sack[0].end, 4);
+  EXPECT_EQ(h.sack[1].begin, 5);
+  EXPECT_EQ(h.sack[1].end, 6);
+  EXPECT_TRUE(h.sack[2].empty());
+}
+
+TEST_F(SackSinkTest, AtMostThreeBlocks) {
+  data(2);
+  data(4);
+  data(6);
+  data(8);  // four runs; only three fit
+  const net::TcpHeader& h = *acks_.back().tcp;
+  EXPECT_FALSE(h.sack[2].empty());
+  EXPECT_EQ(h.sack[2].begin, 6);
+}
+
+TEST_F(SackSinkTest, DisabledMeansNoBlocks) {
+  cfg_.sack_enabled = false;
+  sink_ = std::make_unique<TcpSink>(sim_, cfg_, 2, 0, "snk");
+  sink_->set_downstream([this](net::Packet p) { acks_.push_back(std::move(p)); });
+  data(3);
+  EXPECT_FALSE(acks_.back().tcp->has_sack());
+}
+
+// ---------------------------------------------------------------------------
+// Sender: scoreboard-directed recovery
+// ---------------------------------------------------------------------------
+
+class SackSenderTest : public ::testing::Test {
+ protected:
+  void build(TcpConfig cfg) {
+    sender_ = std::make_unique<TcpSender>(sim_, cfg, 0, 2, "src");
+    sender_->set_downstream([this](net::Packet p) { sent_.push_back(std::move(p)); });
+  }
+  void ack(std::int64_t a, std::vector<net::SackBlock> blocks = {}) {
+    net::Packet p = net::make_tcp_ack(a, 40, 2, 0, sim_.now());
+    for (std::size_t i = 0; i < blocks.size() && i < 3; ++i) {
+      p.tcp->sack[i] = blocks[i];
+    }
+    sender_->handle_packet(p);
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<TcpSender> sender_;
+  std::vector<net::Packet> sent_;
+};
+
+TEST_F(SackSenderTest, ScoreboardTracksBlocks) {
+  build(sack_cfg());
+  sender_->start();
+  std::int64_t next = 0;
+  for (int i = 0; i < 7; ++i) ack(++next);
+  ack(next, {{9, 11}});
+  EXPECT_EQ(sender_->sacked_count(), 2u);
+  ack(next + 1);  // cumulative advance prunes nothing below 8... seqs 9,10 stay
+  EXPECT_EQ(sender_->sacked_count(), 2u);
+}
+
+TEST_F(SackSenderTest, RecoveryRetransmitsHolesNotSackedData) {
+  build(sack_cfg());
+  sender_->start();
+  std::int64_t next = 0;
+  for (int i = 0; i < 7; ++i) ack(++next);  // una 7, nxt 15
+  // Segments 7 and 9 lost; 8 and 10.. received: dupacks carry the blocks.
+  ack(7, {{8, 9}});
+  ack(7, {{8, 9}, {10, 13}});
+  ack(7, {{8, 9}, {10, 14}});  // third dupack -> fast retransmit of 7
+  ASSERT_TRUE(sender_->in_fast_recovery());
+  EXPECT_EQ(sent_.back().tcp->seq, 7);
+  // Further dupacks: the next hole is 9 (8 is SACKed), never 8.
+  ack(7, {{8, 9}, {10, 14}});
+  EXPECT_EQ(sent_.back().tcp->seq, 9);
+  EXPECT_TRUE(sent_.back().tcp->retransmit);
+  // More dupacks: no holes left below recover -> new data, not rtx.
+  ack(7, {{8, 9}, {10, 14}});
+  ack(7, {{8, 9}, {10, 14}});
+  EXPECT_FALSE(sent_.back().tcp->retransmit);
+}
+
+TEST_F(SackSenderTest, GoBackNSkipsSackedSegments) {
+  TcpConfig cfg = sack_cfg(TcpFlavor::kTahoe);
+  build(cfg);
+  sender_->start();
+  std::int64_t next = 0;
+  for (int i = 0; i < 7; ++i) ack(++next);  // una 7, segments 7..14 in flight
+  // Receiver holds 8..14 but 7 was lost; report via SACK, then let the
+  // retransmission timer fire (only 2 dupacks: no fast retransmit).
+  ack(7, {{8, 15}});
+  ack(7, {{8, 15}});
+  const std::size_t before = sent_.size();
+  sim_.run(sim::Time::milliseconds(400));  // first RTO fires
+  ASSERT_EQ(sender_->stats().timeouts, 1u);
+  // Go-back-N must retransmit ONLY segment 7; 8..14 are SACKed.
+  ASSERT_EQ(sent_.size(), before + 1);
+  EXPECT_TRUE(sent_.back().tcp->retransmit);
+  EXPECT_EQ(sent_.back().tcp->seq, 7);
+  // The retransmission fills the hole; the cumulative ACK releases new
+  // data and nothing from 8..14 is ever resent.
+  ack(15);
+  for (const auto& p : sent_) {
+    if (p.tcp->retransmit) EXPECT_EQ(p.tcp->seq, 7);
+  }
+  EXPECT_GT(sender_->snd_nxt(), 15);
+}
+
+// ---------------------------------------------------------------------------
+// Closed loop: SACK vs go-back-N retransmission volume
+// ---------------------------------------------------------------------------
+
+std::uint64_t run_loop(bool sack, TcpFlavor flavor) {
+  sim::Simulator sim;
+  TcpConfig cfg = sack_cfg(flavor);
+  cfg.sack_enabled = sack;
+  TcpSender sender(sim, cfg, 0, 2, "src");
+  TcpSink sink(sim, cfg, 2, 0, "snk");
+  const std::set<std::int64_t> drops{30, 33, 36, 60, 63, 80};
+  sender.set_downstream([&](net::Packet p) {
+    if (!p.tcp->retransmit && drops.contains(p.tcp->seq)) return;
+    sim.after(sim::Time::milliseconds(50), [&sink, p = std::move(p)]() mutable {
+      sink.handle_packet(std::move(p));
+    });
+  });
+  sink.set_downstream([&](net::Packet p) {
+    sim.after(sim::Time::milliseconds(50), [&sender, p = std::move(p)]() mutable {
+      sender.handle_packet(std::move(p));
+    });
+  });
+  sender.start();
+  sim.run();
+  EXPECT_TRUE(sender.stats().completed);
+  EXPECT_TRUE(sink.stats().completed);
+  return sender.stats().segments_retransmitted;
+}
+
+TEST(SackLoop, SackNeverRetransmitsMoreThanGoBackN) {
+  for (TcpFlavor flavor :
+       {TcpFlavor::kTahoe, TcpFlavor::kReno, TcpFlavor::kNewReno}) {
+    const std::uint64_t without = run_loop(false, flavor);
+    const std::uint64_t with = run_loop(true, flavor);
+    EXPECT_LE(with, without) << to_string(flavor);
+    EXPECT_GE(with, 6u) << to_string(flavor);  // the genuinely lost segments
+  }
+}
+
+TEST(SackLoop, NewRenoSackRetransmitsExactlyTheLosses) {
+  EXPECT_EQ(run_loop(true, TcpFlavor::kNewReno), 6u);
+}
+
+}  // namespace
+}  // namespace wtcp::tcp

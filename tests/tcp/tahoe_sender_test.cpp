@@ -1,0 +1,408 @@
+#include "src/tcp/tahoe_sender.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+#include "src/stats/trace.hpp"
+#include "src/tcp/tcp_sink.hpp"
+
+namespace wtcp::tcp {
+namespace {
+
+TcpConfig small_cfg() {
+  TcpConfig cfg;
+  cfg.mss = 536;
+  cfg.header_bytes = 40;
+  cfg.window_bytes = 4096;  // 7 segments
+  cfg.file_bytes = 10 * 536;
+  cfg.rto.granularity = sim::Time::milliseconds(100);
+  cfg.rto.initial_rto = sim::Time::seconds(1);
+  return cfg;
+}
+
+// Fixture with a hand-driven network: captures the sender's output; the
+// test injects ACKs / EBSNs / quenches directly.
+class TahoeTest : public ::testing::Test {
+ protected:
+  void build(TcpConfig cfg) {
+    cfg_ = cfg;
+    sender_ = std::make_unique<TahoeSender>(sim_, cfg, 0, 2, "src");
+    sender_->set_downstream([this](net::Packet p) { sent_.push_back(std::move(p)); });
+    sender_->set_trace(&trace_);
+  }
+
+  void ack(std::int64_t next_expected) {
+    sender_->handle_packet(net::make_tcp_ack(next_expected, 40, 2, 0, sim_.now()));
+  }
+  void ebsn() {
+    sender_->handle_packet(
+        net::make_control(net::PacketType::kEbsn, 40, 1, 0, sim_.now()));
+  }
+  void quench() {
+    sender_->handle_packet(
+        net::make_control(net::PacketType::kSourceQuench, 40, 1, 0, sim_.now()));
+  }
+
+  sim::Simulator sim_;
+  TcpConfig cfg_;
+  std::unique_ptr<TahoeSender> sender_;
+  std::vector<net::Packet> sent_;
+  stats::ConnectionTrace trace_;
+};
+
+TEST_F(TahoeTest, SlowStartBeginsWithOneSegment) {
+  build(small_cfg());
+  sender_->start();
+  ASSERT_EQ(sent_.size(), 1u);
+  EXPECT_EQ(sent_[0].tcp->seq, 0);
+  EXPECT_EQ(sent_[0].size_bytes, 576);
+  EXPECT_DOUBLE_EQ(sender_->cwnd(), 1.0);
+}
+
+TEST_F(TahoeTest, CwndDoublesPerRttInSlowStart) {
+  build(small_cfg());
+  sender_->start();
+  ack(1);  // cwnd 2 -> sends 2
+  EXPECT_EQ(sent_.size(), 3u);
+  ack(2);
+  ack(3);  // cwnd 4 -> window now allows 4 beyond una
+  EXPECT_DOUBLE_EQ(sender_->cwnd(), 4.0);
+  EXPECT_EQ(sent_.size(), 7u);
+}
+
+TEST_F(TahoeTest, CongestionAvoidanceGrowsLinearly) {
+  TcpConfig cfg = small_cfg();
+  cfg.file_bytes = 100 * 536;
+  cfg.window_bytes = 100 * 536;  // wide open receiver window
+  build(cfg);
+  sender_->start();
+  // Push cwnd past ssthresh by hand-acking; ssthresh starts at win segs.
+  // Force a loss first so ssthresh becomes small.
+  sim_.run(sim::Time::seconds(2));  // initial RTO fires -> cwnd 1, ssthresh>=2
+  EXPECT_EQ(sender_->stats().timeouts, 1u);
+  const double ssthresh = sender_->ssthresh();
+  // Ack everything sent so far, one by one, until cwnd > ssthresh.
+  std::int64_t next = sender_->snd_una();
+  while (sender_->cwnd() <= ssthresh + 1.0 && next < 60) ack(++next);
+  const double before = sender_->cwnd();
+  ack(++next);
+  const double growth = sender_->cwnd() - before;
+  EXPECT_GT(growth, 0.0);
+  EXPECT_LT(growth, 1.0);  // sublinear per-ack growth
+  EXPECT_NEAR(growth, 1.0 / before, 0.05);
+}
+
+TEST_F(TahoeTest, WindowNeverExceedsReceiverWindow) {
+  build(small_cfg());  // 7-segment advertised window
+  sender_->start();
+  std::int64_t next = 0;
+  for (int i = 0; i < 6; ++i) ack(++next);
+  // All acks delivered; in-flight bounded by min(cwnd, 7).
+  EXPECT_LE(sender_->snd_nxt() - sender_->snd_una(), 7);
+}
+
+TEST_F(TahoeTest, TimeoutTriggersSlowStartAndBackoff) {
+  build(small_cfg());
+  sender_->start();
+  ack(1);
+  ack(2);  // cwnd 3
+  const std::size_t sent_before = sent_.size();
+  sim_.run(sim::Time::seconds(10));  // no more acks -> RTO fires
+  EXPECT_GE(sender_->stats().timeouts, 1u);
+  EXPECT_DOUBLE_EQ(sender_->cwnd(), 1.0);
+  // The retransmission is the oldest unacked segment.
+  ASSERT_GT(sent_.size(), sent_before);
+  EXPECT_EQ(sent_[sent_before].tcp->seq, 2);
+  EXPECT_TRUE(sent_[sent_before].tcp->retransmit);
+  EXPECT_GT(sender_->rto_estimator().backoff_shift(), 0);
+}
+
+TEST_F(TahoeTest, ConsecutiveTimeoutsDoubleRto) {
+  build(small_cfg());
+  sender_->start();
+  std::vector<double> timeout_times;
+  sim_.run(sim::Time::seconds(20));
+  for (const auto& r : trace_.records()) {
+    if (r.event == stats::TraceEvent::kTimeout) {
+      timeout_times.push_back(r.at.to_seconds());
+    }
+  }
+  ASSERT_GE(timeout_times.size(), 3u);
+  const double gap1 = timeout_times[1] - timeout_times[0];
+  const double gap2 = timeout_times[2] - timeout_times[1];
+  EXPECT_NEAR(gap2 / gap1, 2.0, 0.1);
+}
+
+TEST_F(TahoeTest, FastRetransmitOnThreeDupacks) {
+  build(small_cfg());
+  sender_->start();
+  ack(1);
+  ack(2);  // cwnd 3; segments 0..4 sent
+  const std::size_t before = sent_.size();
+  ack(2);  // dup 1
+  ack(2);  // dup 2
+  EXPECT_EQ(sent_.size(), before);
+  ack(2);  // dup 3 -> fast retransmit
+  ASSERT_EQ(sent_.size(), before + 1);
+  EXPECT_EQ(sent_[before].tcp->seq, 2);
+  EXPECT_TRUE(sent_[before].tcp->retransmit);
+  EXPECT_EQ(sender_->stats().fast_retransmits, 1u);
+  EXPECT_DOUBLE_EQ(sender_->cwnd(), 1.0);
+}
+
+TEST_F(TahoeTest, ExtraDupacksBeyondThresholdDoNothing) {
+  build(small_cfg());
+  sender_->start();
+  ack(1);
+  ack(2);
+  for (int i = 0; i < 3; ++i) ack(2);
+  const std::size_t after_frtx = sent_.size();
+  ack(2);
+  ack(2);
+  EXPECT_EQ(sent_.size(), after_frtx);
+  EXPECT_EQ(sender_->stats().fast_retransmits, 1u);
+}
+
+TEST_F(TahoeTest, SsthreshHalvesOnLoss) {
+  build(small_cfg());
+  sender_->start();
+  std::int64_t next = 0;
+  for (int i = 0; i < 5; ++i) ack(++next);  // cwnd 6
+  EXPECT_DOUBLE_EQ(sender_->cwnd(), 6.0);
+  for (int i = 0; i < 3; ++i) ack(next);  // fast rtx
+  EXPECT_DOUBLE_EQ(sender_->ssthresh(), 3.0);
+  EXPECT_DOUBLE_EQ(sender_->cwnd(), 1.0);
+}
+
+TEST_F(TahoeTest, CompletesAndReportsFinishTime) {
+  build(small_cfg());
+  bool done = false;
+  sender_->on_complete = [&] { done = true; };
+  sender_->start();
+  std::int64_t next = 0;
+  while (next < sender_->total_segments()) ack(++next);
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(sender_->stats().completed);
+  EXPECT_FALSE(sender_->rtx_timer_pending());
+}
+
+TEST_F(TahoeTest, LastSegmentMayBePartial) {
+  TcpConfig cfg = small_cfg();
+  cfg.file_bytes = 3 * 536 + 100;
+  build(cfg);
+  EXPECT_EQ(sender_->total_segments(), 4);
+  sender_->start();
+  std::int64_t next = 0;
+  while (next < 4) ack(++next);
+  ASSERT_EQ(sent_.size(), 4u);
+  EXPECT_EQ(sent_[3].tcp->payload, 100);
+  EXPECT_EQ(sender_->stats().payload_bytes_sent, cfg.file_bytes);
+}
+
+TEST_F(TahoeTest, EbsnReArmsTimerWithoutTouchingWindowOrRto) {
+  build(small_cfg());
+  sender_->start();
+  ack(1);
+  ack(2);
+  const double cwnd_before = sender_->cwnd();
+  const sim::Time rto_before = sender_->rto_estimator().rto();
+  ASSERT_GE(rto_before, sim::Time::milliseconds(300));
+  // Keep sending EBSNs every 0.25 s (< RTO): the timer never fires.
+  for (int i = 1; i <= 36; ++i) {
+    sim_.at(sim::Time::milliseconds(250) * i, [this] { ebsn(); });
+  }
+  sim_.run(sim::Time::seconds(9));
+  EXPECT_EQ(sender_->stats().timeouts, 0u);
+  EXPECT_EQ(sender_->stats().ebsn_received, 36u);
+  EXPECT_DOUBLE_EQ(sender_->cwnd(), cwnd_before);
+  EXPECT_EQ(sender_->rto_estimator().rto(), rto_before);
+  EXPECT_EQ(sender_->rto_estimator().backoff_shift(), 0);
+}
+
+TEST_F(TahoeTest, WithoutEbsnSameScenarioTimesOut) {
+  build(small_cfg());
+  sender_->start();
+  ack(1);
+  ack(2);
+  sim_.run(sim::Time::seconds(10));
+  EXPECT_GT(sender_->stats().timeouts, 0u);
+}
+
+TEST_F(TahoeTest, EbsnIgnoredWhenDisabled) {
+  TcpConfig cfg = small_cfg();
+  cfg.react_to_ebsn = false;
+  build(cfg);
+  sender_->start();
+  ack(1);
+  for (int i = 1; i <= 20; ++i) {
+    sim_.at(sim::Time::milliseconds(500) * i, [this] { ebsn(); });
+  }
+  sim_.run(sim::Time::seconds(10));
+  EXPECT_GT(sender_->stats().timeouts, 0u);
+  EXPECT_EQ(sender_->stats().ebsn_received, 20u);
+}
+
+TEST_F(TahoeTest, EbsnWithNothingOutstandingIsANoop) {
+  build(small_cfg());
+  sender_->start();
+  std::int64_t next = 0;
+  while (next < sender_->total_segments()) ack(++next);  // complete
+  ebsn();
+  EXPECT_FALSE(sender_->rtx_timer_pending());
+}
+
+TEST_F(TahoeTest, SourceQuenchCollapsesCwndOnly) {
+  build(small_cfg());
+  sender_->start();
+  std::int64_t next = 0;
+  for (int i = 0; i < 4; ++i) ack(++next);
+  const double ssthresh_before = sender_->ssthresh();
+  quench();
+  EXPECT_DOUBLE_EQ(sender_->cwnd(), 1.0);
+  EXPECT_DOUBLE_EQ(sender_->ssthresh(), ssthresh_before);
+  EXPECT_EQ(sender_->stats().quench_received, 1u);
+  // Quench does NOT stop the retransmit timer: losses still time out.
+  EXPECT_TRUE(sender_->rtx_timer_pending());
+}
+
+TEST_F(TahoeTest, KarnNoRttSampleFromRetransmittedSegment) {
+  build(small_cfg());
+  sender_->start();
+  sim_.run(sim::Time::seconds(2));  // segment 0 times out, is retransmitted
+  const auto samples_before = sender_->stats().rtt_samples;
+  ack(1);  // acks the retransmitted segment 0
+  EXPECT_EQ(sender_->stats().rtt_samples, samples_before);
+}
+
+TEST_F(TahoeTest, BackoffResetOnAckOfFreshSegment) {
+  build(small_cfg());
+  sender_->start();
+  sim_.run(sim::Time::seconds(4));  // several timeouts, backoff grows
+  EXPECT_GT(sender_->rto_estimator().backoff_shift(), 0);
+  ack(1);  // segment 0 was retransmitted -> backoff stays
+  EXPECT_GT(sender_->rto_estimator().backoff_shift(), 0);
+  // Segment 1 goes out fresh after the ack; acking it resets backoff.
+  ack(2);
+  EXPECT_EQ(sender_->rto_estimator().backoff_shift(), 0);
+}
+
+TEST_F(TahoeTest, ConnectionIdStampsEveryDataPacket) {
+  TcpConfig cfg = small_cfg();
+  cfg.conn = 7;
+  build(cfg);
+  sender_->start();
+  ack(1);
+  ack(2);
+  for (const net::Packet& p : sent_) {
+    ASSERT_TRUE(p.tcp.has_value());
+    EXPECT_EQ(p.tcp->conn, 7u);
+  }
+}
+
+TEST_F(TahoeTest, TraceRecordsSendsAndRetransmissionsDistinctly) {
+  build(small_cfg());
+  sender_->start();
+  sim_.run(sim::Time::seconds(2));
+  EXPECT_GE(trace_.count(stats::TraceEvent::kSend), 1u);
+  EXPECT_GE(trace_.count(stats::TraceEvent::kRetransmit), 1u);
+  EXPECT_GE(trace_.count(stats::TraceEvent::kTimeout), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop harness: sender <-> sink over delayed, lossy forwarders.
+// ---------------------------------------------------------------------------
+
+class LoopTest : public ::testing::Test {
+ protected:
+  void build(TcpConfig cfg, std::set<std::int64_t> drop_first_tx = {}) {
+    cfg_ = cfg;
+    sender_ = std::make_unique<TahoeSender>(sim_, cfg, 0, 2, "src");
+    sink_ = std::make_unique<TcpSink>(sim_, cfg, 2, 0, "snk");
+    drops_ = std::move(drop_first_tx);
+    sender_->set_downstream([this](net::Packet p) {
+      const std::int64_t seq = p.tcp->seq;
+      if (!p.tcp->retransmit && drops_.contains(seq)) return;  // lose first tx
+      sim_.after(delay_, [this, p = std::move(p)]() mutable {
+        sink_->handle_packet(std::move(p));
+      });
+    });
+    sink_->set_downstream([this](net::Packet p) {
+      sim_.after(delay_, [this, p = std::move(p)]() mutable {
+        sender_->handle_packet(std::move(p));
+      });
+    });
+  }
+
+  sim::Simulator sim_;
+  TcpConfig cfg_;
+  std::unique_ptr<TahoeSender> sender_;
+  std::unique_ptr<TcpSink> sink_;
+  std::set<std::int64_t> drops_;
+  sim::Time delay_ = sim::Time::milliseconds(50);
+};
+
+TEST_F(LoopTest, LosslessTransferCompletes) {
+  TcpConfig cfg = small_cfg();
+  cfg.file_bytes = 50 * 536;
+  build(cfg);
+  sender_->start();
+  sim_.run();
+  EXPECT_TRUE(sender_->stats().completed);
+  EXPECT_TRUE(sink_->stats().completed);
+  EXPECT_EQ(sink_->stats().unique_payload_bytes, cfg.file_bytes);
+  EXPECT_EQ(sender_->stats().timeouts, 0u);
+  EXPECT_EQ(sender_->stats().segments_retransmitted, 0u);
+}
+
+TEST_F(LoopTest, SingleLossRecoveredByFastRetransmit) {
+  TcpConfig cfg = small_cfg();
+  cfg.file_bytes = 50 * 536;
+  build(cfg, /*drop_first_tx=*/{20});
+  sender_->start();
+  sim_.run();
+  EXPECT_TRUE(sender_->stats().completed);
+  EXPECT_EQ(sink_->stats().unique_payload_bytes, cfg.file_bytes);
+  EXPECT_EQ(sender_->stats().fast_retransmits, 1u);
+  EXPECT_EQ(sender_->stats().timeouts, 0u);
+}
+
+TEST_F(LoopTest, LossNearEndRecoveredByTimeout) {
+  TcpConfig cfg = small_cfg();
+  cfg.file_bytes = 10 * 536;
+  build(cfg, /*drop_first_tx=*/{9});  // last segment: no dupacks possible
+  sender_->start();
+  sim_.run();
+  EXPECT_TRUE(sender_->stats().completed);
+  EXPECT_GE(sender_->stats().timeouts, 1u);
+}
+
+TEST_F(LoopTest, MultipleLossesStillComplete) {
+  TcpConfig cfg = small_cfg();
+  cfg.file_bytes = 100 * 536;
+  build(cfg, {3, 4, 5, 30, 55, 56, 80});
+  sender_->start();
+  sim_.run();
+  EXPECT_TRUE(sender_->stats().completed);
+  EXPECT_EQ(sink_->stats().unique_payload_bytes, cfg.file_bytes);
+  EXPECT_EQ(sink_->rcv_next(), 100);
+}
+
+TEST_F(LoopTest, GoodputAccountingConsistent) {
+  TcpConfig cfg = small_cfg();
+  cfg.file_bytes = 60 * 536;
+  build(cfg, {10, 25});
+  sender_->start();
+  sim_.run();
+  const auto& snd = sender_->stats();
+  const auto& snk = sink_->stats();
+  EXPECT_EQ(snk.unique_payload_bytes, cfg.file_bytes);
+  EXPECT_EQ(snd.payload_bytes_sent,
+            cfg.file_bytes + snd.payload_bytes_retransmitted);
+}
+
+}  // namespace
+}  // namespace wtcp::tcp

@@ -1,0 +1,162 @@
+#include "src/tcp/tcp_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+
+namespace wtcp::tcp {
+namespace {
+
+class SinkTest : public ::testing::Test {
+ protected:
+  SinkTest() {
+    cfg_.mss = 536;
+    cfg_.header_bytes = 40;
+    cfg_.file_bytes = 10 * 536;
+    sink_ = std::make_unique<TcpSink>(sim_, cfg_, 2, 0, "snk");
+    sink_->set_downstream([this](net::Packet p) { acks_.push_back(std::move(p)); });
+  }
+
+  void data(std::int64_t seq, std::int32_t payload = 536) {
+    sink_->handle_packet(net::make_tcp_data(seq, payload, 40, 0, 2, sim_.now()));
+  }
+  std::int64_t last_ack() const { return acks_.back().tcp->ack; }
+
+  sim::Simulator sim_;
+  TcpConfig cfg_;
+  std::unique_ptr<TcpSink> sink_;
+  std::vector<net::Packet> acks_;
+};
+
+TEST_F(SinkTest, AcksEveryInOrderSegmentCumulatively) {
+  data(0);
+  EXPECT_EQ(last_ack(), 1);
+  data(1);
+  EXPECT_EQ(last_ack(), 2);
+  data(2);
+  EXPECT_EQ(last_ack(), 3);
+  EXPECT_EQ(acks_.size(), 3u);
+  EXPECT_EQ(sink_->stats().unique_payload_bytes, 3 * 536);
+}
+
+TEST_F(SinkTest, OutOfOrderGeneratesDupacks) {
+  data(0);
+  data(2);  // hole at 1
+  EXPECT_EQ(last_ack(), 1);  // duplicate ack
+  data(3);
+  EXPECT_EQ(last_ack(), 1);
+  EXPECT_EQ(sink_->stats().out_of_order_segments, 2u);
+  data(1);  // fills the hole; buffered 2,3 released
+  EXPECT_EQ(last_ack(), 4);
+  EXPECT_EQ(sink_->rcv_next(), 4);
+  EXPECT_EQ(sink_->stats().unique_payload_bytes, 4 * 536);
+}
+
+TEST_F(SinkTest, DuplicateDataStillAcked) {
+  data(0);
+  data(0);
+  EXPECT_EQ(acks_.size(), 2u);
+  EXPECT_EQ(last_ack(), 1);
+  EXPECT_EQ(sink_->stats().duplicate_segments, 1u);
+  // Duplicate payload does not inflate the goodput numerator.
+  EXPECT_EQ(sink_->stats().unique_payload_bytes, 536);
+  EXPECT_EQ(sink_->stats().payload_bytes_received, 2 * 536);
+}
+
+TEST_F(SinkTest, BufferedDuplicateCounted) {
+  data(3);
+  data(3);
+  EXPECT_EQ(sink_->stats().duplicate_segments, 1u);
+  EXPECT_EQ(sink_->stats().out_of_order_segments, 1u);
+}
+
+TEST_F(SinkTest, CompletionFiresOnceWithTimestamp) {
+  int completions = 0;
+  sink_->on_complete = [&] { ++completions; };
+  for (std::int64_t s = 0; s < 10; ++s) {
+    sim_.after(sim::Time::milliseconds(100) * (s + 1),
+               [this, s] { data(s); });
+  }
+  sim_.run();
+  EXPECT_EQ(completions, 1);
+  EXPECT_TRUE(sink_->stats().completed);
+  EXPECT_EQ(sink_->stats().completion_time, sim::Time::seconds(1));
+  // A stray duplicate after completion must not re-fire.
+  data(9);
+  EXPECT_EQ(completions, 1);
+}
+
+TEST_F(SinkTest, DeliveredWireBytesIncludeHeaders) {
+  data(0);
+  data(1);
+  EXPECT_EQ(sink_->stats().delivered_wire_bytes, 2 * (536 + 40));
+}
+
+TEST_F(SinkTest, FirstDataTimeRecorded) {
+  sim_.after(sim::Time::milliseconds(250), [this] { data(0); });
+  sim_.run();
+  EXPECT_EQ(sink_->stats().first_data_time, sim::Time::milliseconds(250));
+}
+
+TEST_F(SinkTest, NonDataPacketsIgnored) {
+  sink_->handle_packet(net::make_control(net::PacketType::kEbsn, 40, 1, 2, sim_.now()));
+  EXPECT_TRUE(acks_.empty());
+  EXPECT_EQ(sink_->stats().segments_received, 0u);
+}
+
+TEST_F(SinkTest, PartialFinalSegment) {
+  // 9 full segments + trailing 100 bytes.
+  cfg_.file_bytes = 9 * 536 + 100;
+  sink_ = std::make_unique<TcpSink>(sim_, cfg_, 2, 0, "snk");
+  sink_->set_downstream([this](net::Packet p) { acks_.push_back(std::move(p)); });
+  for (std::int64_t s = 0; s < 9; ++s) data(s);
+  EXPECT_FALSE(sink_->stats().completed);
+  data(9, 100);
+  EXPECT_TRUE(sink_->stats().completed);
+  EXPECT_EQ(sink_->stats().unique_payload_bytes, cfg_.file_bytes);
+}
+
+TEST_F(SinkTest, AcksCarryConnectionId) {
+  cfg_.conn = 9;
+  sink_ = std::make_unique<TcpSink>(sim_, cfg_, 2, 0, "snk");
+  sink_->set_downstream([this](net::Packet p) { acks_.push_back(std::move(p)); });
+  data(0);
+  ASSERT_EQ(acks_.size(), 1u);
+  EXPECT_EQ(acks_[0].tcp->conn, 9u);
+}
+
+TEST_F(SinkTest, ForcedDupacksRepeatCurrentPosition) {
+  data(0);
+  data(1);
+  const std::size_t before = acks_.size();
+  sink_->force_duplicate_acks(3);
+  ASSERT_EQ(acks_.size(), before + 3);
+  for (std::size_t i = before; i < acks_.size(); ++i) {
+    EXPECT_EQ(acks_[i].tcp->ack, 2);
+  }
+}
+
+TEST_F(SinkTest, ForcedDupacksNoopBeforeDataOrAfterCompletion) {
+  sink_->force_duplicate_acks(3);
+  EXPECT_TRUE(acks_.empty());
+  for (std::int64_t s = 0; s < 10; ++s) data(s);  // completes
+  const std::size_t done = acks_.size();
+  sink_->force_duplicate_acks(3);
+  EXPECT_EQ(acks_.size(), done);
+}
+
+TEST_F(SinkTest, ManyHolesFilledInAnyOrder) {
+  // Deliver evens then odds.
+  for (std::int64_t s = 0; s < 10; s += 2) data(s);
+  EXPECT_EQ(sink_->rcv_next(), 1);
+  for (std::int64_t s = 9; s >= 1; s -= 2) data(s);
+  EXPECT_EQ(sink_->rcv_next(), 10);
+  EXPECT_TRUE(sink_->stats().completed);
+  EXPECT_EQ(sink_->stats().unique_payload_bytes, 10 * 536);
+}
+
+}  // namespace
+}  // namespace wtcp::tcp

@@ -1,0 +1,151 @@
+#include "src/traffic/background.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/topo/scenario.hpp"
+
+namespace wtcp::traffic {
+namespace {
+
+class OnOffTest : public ::testing::Test {
+ protected:
+  void build(OnOffConfig cfg) {
+    src_ = std::make_unique<OnOffSource>(sim_, cfg, 0, 1, [this](net::Packet p) {
+      sent_.push_back(std::move(p));
+    });
+  }
+
+  sim::Simulator sim_{1};
+  std::unique_ptr<OnOffSource> src_;
+  std::vector<net::Packet> sent_;
+};
+
+TEST_F(OnOffTest, CbrRateIsExact) {
+  OnOffConfig cfg;
+  cfg.rate_bps = 57'600;  // 576 B packets -> one per 80 ms
+  cfg.packet_bytes = 576;
+  cfg.mean_off_s = 0;  // pure CBR
+  build(cfg);
+  src_->start();
+  sim_.run(sim::Time::seconds(10));
+  // t=0, 0.08, ..., <=10 s: 126 packets (0 through 125 inclusive).
+  EXPECT_EQ(sent_.size(), 126u);
+  EXPECT_EQ(sent_[0].type, net::PacketType::kBackground);
+  EXPECT_EQ(sent_[0].size_bytes, 576);
+  EXPECT_DOUBLE_EQ(src_->offered_load_bps(), 57'600.0);
+}
+
+TEST_F(OnOffTest, StartDelayHonored) {
+  OnOffConfig cfg;
+  cfg.mean_off_s = 0;
+  cfg.start = sim::Time::seconds(5);
+  build(cfg);
+  src_->start();
+  sim_.run(sim::Time::seconds(4));
+  EXPECT_TRUE(sent_.empty());
+  sim_.run(sim::Time::seconds(6));
+  EXPECT_FALSE(sent_.empty());
+}
+
+TEST_F(OnOffTest, OnOffDutyCycleMatches) {
+  OnOffConfig cfg;
+  cfg.rate_bps = 57'600;
+  cfg.packet_bytes = 576;
+  cfg.mean_on_s = 1.0;
+  cfg.mean_off_s = 3.0;  // 25% duty
+  build(cfg);
+  src_->start();
+  sim_.run(sim::Time::seconds(2000));
+  EXPECT_DOUBLE_EQ(src_->offered_load_bps(), 57'600.0 * 0.25);
+  const double achieved =
+      static_cast<double>(src_->stats().bytes_sent) * 8.0 / 2000.0;
+  EXPECT_NEAR(achieved, src_->offered_load_bps(), src_->offered_load_bps() * 0.15);
+  EXPECT_GT(src_->stats().bursts, 100u);
+}
+
+TEST_F(OnOffTest, StopCeasesEmission) {
+  OnOffConfig cfg;
+  cfg.mean_off_s = 0;
+  build(cfg);
+  src_->start();
+  sim_.run(sim::Time::seconds(1));
+  const std::size_t n = sent_.size();
+  src_->stop();
+  sim_.run(sim::Time::seconds(10));
+  EXPECT_EQ(sent_.size(), n);
+}
+
+TEST_F(OnOffTest, DeterministicPerSeed) {
+  OnOffConfig cfg;
+  cfg.mean_on_s = 0.5;
+  cfg.mean_off_s = 0.5;
+  sim::Simulator a(9), b(9);
+  std::size_t na = 0, nb = 0;
+  OnOffSource sa(a, cfg, 0, 1, [&](net::Packet) { ++na; });
+  OnOffSource sb(b, cfg, 0, 1, [&](net::Packet) { ++nb; });
+  sa.start();
+  sb.start();
+  a.run(sim::Time::seconds(100));
+  b.run(sim::Time::seconds(100));
+  EXPECT_EQ(na, nb);
+  EXPECT_GT(na, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-level congestion
+// ---------------------------------------------------------------------------
+
+topo::ScenarioConfig congested_wan(double load_fraction) {
+  topo::ScenarioConfig cfg = topo::wan_scenario();
+  cfg.tcp.file_bytes = 40 * 1024;
+  cfg.channel_errors = false;  // isolate congestion effects
+  cfg.wired.queue_packets = 10;
+  cfg.cross_traffic = true;
+  cfg.cross.rate_bps = static_cast<std::int64_t>(56'000 * load_fraction);
+  cfg.cross.mean_off_s = 0;  // CBR
+  return cfg;
+}
+
+TEST(CrossTraffic, BackgroundTerminatesAtBs) {
+  topo::ScenarioConfig cfg = congested_wan(0.25);
+  topo::Scenario s(cfg);
+  const stats::RunMetrics m = s.run();
+  EXPECT_TRUE(m.completed);
+  EXPECT_GT(s.background_delivered(), 0u);
+  // No background packet can appear at the BS that was not sent, and the
+  // shortfall is bounded by wired-queue drops plus what is still queued.
+  const std::uint64_t sent = s.cross_traffic_source()->stats().packets_sent;
+  EXPECT_LE(s.background_delivered(), sent);
+  EXPECT_GE(s.background_delivered() + s.wired_link().queue_stats(0).dropped +
+                s.wired_link().queue_depth(0) + 1,
+            sent);
+}
+
+TEST(CrossTraffic, HeavyLoadCongestsAndTcpBacksOff) {
+  // 90% background load on 56 kbps leaves ~5.6 kbps for TCP; the wired
+  // queue overflows and TCP sees genuine congestion losses.
+  topo::ScenarioConfig cfg = congested_wan(0.9);
+  topo::Scenario s(cfg);
+  const stats::RunMetrics m = s.run();
+  EXPECT_TRUE(m.completed);
+  EXPECT_GT(s.wired_link().queue_stats(0).dropped, 0u);
+  EXPECT_GT(m.timeouts + m.fast_retransmits, 0u);
+  // TCP gets well under the wireless rate now.
+  EXPECT_LT(m.throughput_bps, 9'000);
+}
+
+TEST(CrossTraffic, LightLoadBarelyAffectsTcp) {
+  topo::ScenarioConfig quiet = congested_wan(0.0);
+  quiet.cross_traffic = false;
+  topo::ScenarioConfig light = congested_wan(0.15);
+  const stats::RunMetrics mq = topo::run_scenario(quiet);
+  const stats::RunMetrics ml = topo::run_scenario(light);
+  // 56 kbps wired minus 15% still exceeds the 12.8 kbps wireless rate.
+  EXPECT_GT(ml.throughput_bps, 0.9 * mq.throughput_bps);
+}
+
+}  // namespace
+}  // namespace wtcp::traffic
