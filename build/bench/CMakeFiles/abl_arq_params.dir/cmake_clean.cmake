@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_arq_params.dir/abl_arq_params.cpp.o"
+  "CMakeFiles/abl_arq_params.dir/abl_arq_params.cpp.o.d"
+  "abl_arq_params"
+  "abl_arq_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_arq_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_csdp_scheduling.dir/abl_csdp_scheduling.cpp.o"
+  "CMakeFiles/abl_csdp_scheduling.dir/abl_csdp_scheduling.cpp.o.d"
+  "abl_csdp_scheduling"
+  "abl_csdp_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_csdp_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

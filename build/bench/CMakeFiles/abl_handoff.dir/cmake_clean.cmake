@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_handoff.dir/abl_handoff.cpp.o"
+  "CMakeFiles/abl_handoff.dir/abl_handoff.cpp.o.d"
+  "abl_handoff"
+  "abl_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

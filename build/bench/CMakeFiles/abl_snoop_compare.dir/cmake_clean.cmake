@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_snoop_compare.dir/abl_snoop_compare.cpp.o"
+  "CMakeFiles/abl_snoop_compare.dir/abl_snoop_compare.cpp.o.d"
+  "abl_snoop_compare"
+  "abl_snoop_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_snoop_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_source_quench.dir/abl_source_quench.cpp.o"
+  "CMakeFiles/abl_source_quench.dir/abl_source_quench.cpp.o.d"
+  "abl_source_quench"
+  "abl_source_quench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_source_quench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

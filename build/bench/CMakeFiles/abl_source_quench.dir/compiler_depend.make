@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_source_quench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tcp_flavor.dir/abl_tcp_flavor.cpp.o"
+  "CMakeFiles/abl_tcp_flavor.dir/abl_tcp_flavor.cpp.o.d"
+  "abl_tcp_flavor"
+  "abl_tcp_flavor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tcp_flavor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

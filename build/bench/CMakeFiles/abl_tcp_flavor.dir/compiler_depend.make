@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_tcp_flavor.
+# This may be replaced when dependencies are built.

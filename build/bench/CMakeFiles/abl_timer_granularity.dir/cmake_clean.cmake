@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_timer_granularity.dir/abl_timer_granularity.cpp.o"
+  "CMakeFiles/abl_timer_granularity.dir/abl_timer_granularity.cpp.o.d"
+  "abl_timer_granularity"
+  "abl_timer_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_timer_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_wired_congestion.dir/abl_wired_congestion.cpp.o"
+  "CMakeFiles/abl_wired_congestion.dir/abl_wired_congestion.cpp.o.d"
+  "abl_wired_congestion"
+  "abl_wired_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_wired_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_trace_basic.dir/fig03_trace_basic.cpp.o"
+  "CMakeFiles/fig03_trace_basic.dir/fig03_trace_basic.cpp.o.d"
+  "fig03_trace_basic"
+  "fig03_trace_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_trace_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

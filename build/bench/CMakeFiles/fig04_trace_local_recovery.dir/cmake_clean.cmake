@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_trace_local_recovery.dir/fig04_trace_local_recovery.cpp.o"
+  "CMakeFiles/fig04_trace_local_recovery.dir/fig04_trace_local_recovery.cpp.o.d"
+  "fig04_trace_local_recovery"
+  "fig04_trace_local_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_trace_local_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_trace_ebsn.dir/fig05_trace_ebsn.cpp.o"
+  "CMakeFiles/fig05_trace_ebsn.dir/fig05_trace_ebsn.cpp.o.d"
+  "fig05_trace_ebsn"
+  "fig05_trace_ebsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_trace_ebsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_trace_ebsn.
+# This may be replaced when dependencies are built.

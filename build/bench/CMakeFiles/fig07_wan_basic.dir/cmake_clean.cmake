@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_wan_basic.dir/fig07_wan_basic.cpp.o"
+  "CMakeFiles/fig07_wan_basic.dir/fig07_wan_basic.cpp.o.d"
+  "fig07_wan_basic"
+  "fig07_wan_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_wan_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

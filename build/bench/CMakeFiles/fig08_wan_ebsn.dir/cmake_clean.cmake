@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_wan_ebsn.dir/fig08_wan_ebsn.cpp.o"
+  "CMakeFiles/fig08_wan_ebsn.dir/fig08_wan_ebsn.cpp.o.d"
+  "fig08_wan_ebsn"
+  "fig08_wan_ebsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_wan_ebsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

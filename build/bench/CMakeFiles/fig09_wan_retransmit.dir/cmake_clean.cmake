@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_wan_retransmit.dir/fig09_wan_retransmit.cpp.o"
+  "CMakeFiles/fig09_wan_retransmit.dir/fig09_wan_retransmit.cpp.o.d"
+  "fig09_wan_retransmit"
+  "fig09_wan_retransmit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_wan_retransmit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

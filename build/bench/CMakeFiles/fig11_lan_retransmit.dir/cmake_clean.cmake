@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_lan_retransmit.dir/fig11_lan_retransmit.cpp.o"
+  "CMakeFiles/fig11_lan_retransmit.dir/fig11_lan_retransmit.cpp.o.d"
+  "fig11_lan_retransmit"
+  "fig11_lan_retransmit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_lan_retransmit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

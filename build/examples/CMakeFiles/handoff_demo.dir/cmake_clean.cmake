@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handoff_demo.dir/handoff_demo.cpp.o"
+  "CMakeFiles/handoff_demo.dir/handoff_demo.cpp.o.d"
+  "handoff_demo"
+  "handoff_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handoff_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

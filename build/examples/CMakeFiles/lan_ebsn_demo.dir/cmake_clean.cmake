@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lan_ebsn_demo.dir/lan_ebsn_demo.cpp.o"
+  "CMakeFiles/lan_ebsn_demo.dir/lan_ebsn_demo.cpp.o.d"
+  "lan_ebsn_demo"
+  "lan_ebsn_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lan_ebsn_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lan_ebsn_demo.
+# This may be replaced when dependencies are built.

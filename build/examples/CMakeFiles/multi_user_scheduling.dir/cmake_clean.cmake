@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_user_scheduling.dir/multi_user_scheduling.cpp.o"
+  "CMakeFiles/multi_user_scheduling.dir/multi_user_scheduling.cpp.o.d"
+  "multi_user_scheduling"
+  "multi_user_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_user_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

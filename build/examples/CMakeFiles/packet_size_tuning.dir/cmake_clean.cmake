@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_size_tuning.dir/packet_size_tuning.cpp.o"
+  "CMakeFiles/packet_size_tuning.dir/packet_size_tuning.cpp.o.d"
+  "packet_size_tuning"
+  "packet_size_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_size_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

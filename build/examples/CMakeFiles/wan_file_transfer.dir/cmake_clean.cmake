@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_file_transfer.dir/wan_file_transfer.cpp.o"
+  "CMakeFiles/wan_file_transfer.dir/wan_file_transfer.cpp.o.d"
+  "wan_file_transfer"
+  "wan_file_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_file_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wtcpsim.dir/wtcpsim.cpp.o"
+  "CMakeFiles/wtcpsim.dir/wtcpsim.cpp.o.d"
+  "wtcpsim"
+  "wtcpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wtcpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ebsn.cpp" "src/CMakeFiles/wtcp.dir/core/ebsn.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/core/ebsn.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/wtcp.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/packet_size_advisor.cpp" "src/CMakeFiles/wtcp.dir/core/packet_size_advisor.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/core/packet_size_advisor.cpp.o.d"
+  "/root/repo/src/core/theoretical.cpp" "src/CMakeFiles/wtcp.dir/core/theoretical.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/core/theoretical.cpp.o.d"
+  "/root/repo/src/feedback/snoop_agent.cpp" "src/CMakeFiles/wtcp.dir/feedback/snoop_agent.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/feedback/snoop_agent.cpp.o.d"
+  "/root/repo/src/feedback/source_quench.cpp" "src/CMakeFiles/wtcp.dir/feedback/source_quench.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/feedback/source_quench.cpp.o.d"
+  "/root/repo/src/link/bs_scheduler.cpp" "src/CMakeFiles/wtcp.dir/link/bs_scheduler.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/link/bs_scheduler.cpp.o.d"
+  "/root/repo/src/link/fragmentation.cpp" "src/CMakeFiles/wtcp.dir/link/fragmentation.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/link/fragmentation.cpp.o.d"
+  "/root/repo/src/link/link_arq.cpp" "src/CMakeFiles/wtcp.dir/link/link_arq.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/link/link_arq.cpp.o.d"
+  "/root/repo/src/link/wireless_link.cpp" "src/CMakeFiles/wtcp.dir/link/wireless_link.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/link/wireless_link.cpp.o.d"
+  "/root/repo/src/mobility/handoff.cpp" "src/CMakeFiles/wtcp.dir/mobility/handoff.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/mobility/handoff.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/wtcp.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/medium.cpp" "src/CMakeFiles/wtcp.dir/net/medium.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/net/medium.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/wtcp.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/wtcp.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/CMakeFiles/wtcp.dir/net/queue.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/net/queue.cpp.o.d"
+  "/root/repo/src/phy/error_model.cpp" "src/CMakeFiles/wtcp.dir/phy/error_model.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/phy/error_model.cpp.o.d"
+  "/root/repo/src/phy/gilbert_elliott.cpp" "src/CMakeFiles/wtcp.dir/phy/gilbert_elliott.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/phy/gilbert_elliott.cpp.o.d"
+  "/root/repo/src/phy/trace_driven.cpp" "src/CMakeFiles/wtcp.dir/phy/trace_driven.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/phy/trace_driven.cpp.o.d"
+  "/root/repo/src/sim/logging.cpp" "src/CMakeFiles/wtcp.dir/sim/logging.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/sim/logging.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/wtcp.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/wtcp.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/wtcp.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/time.cpp" "src/CMakeFiles/wtcp.dir/sim/time.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/sim/time.cpp.o.d"
+  "/root/repo/src/stats/metrics.cpp" "src/CMakeFiles/wtcp.dir/stats/metrics.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/stats/metrics.cpp.o.d"
+  "/root/repo/src/stats/net_trace.cpp" "src/CMakeFiles/wtcp.dir/stats/net_trace.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/stats/net_trace.cpp.o.d"
+  "/root/repo/src/stats/quantiles.cpp" "src/CMakeFiles/wtcp.dir/stats/quantiles.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/stats/quantiles.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/wtcp.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/CMakeFiles/wtcp.dir/stats/table.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/stats/table.cpp.o.d"
+  "/root/repo/src/stats/trace.cpp" "src/CMakeFiles/wtcp.dir/stats/trace.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/stats/trace.cpp.o.d"
+  "/root/repo/src/tcp/rto_estimator.cpp" "src/CMakeFiles/wtcp.dir/tcp/rto_estimator.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/tcp/rto_estimator.cpp.o.d"
+  "/root/repo/src/tcp/tahoe_sender.cpp" "src/CMakeFiles/wtcp.dir/tcp/tahoe_sender.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/tcp/tahoe_sender.cpp.o.d"
+  "/root/repo/src/tcp/tcp_sink.cpp" "src/CMakeFiles/wtcp.dir/tcp/tcp_sink.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/tcp/tcp_sink.cpp.o.d"
+  "/root/repo/src/topo/multi_scenario.cpp" "src/CMakeFiles/wtcp.dir/topo/multi_scenario.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/topo/multi_scenario.cpp.o.d"
+  "/root/repo/src/topo/scenario.cpp" "src/CMakeFiles/wtcp.dir/topo/scenario.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/topo/scenario.cpp.o.d"
+  "/root/repo/src/traffic/background.cpp" "src/CMakeFiles/wtcp.dir/traffic/background.cpp.o" "gcc" "src/CMakeFiles/wtcp.dir/traffic/background.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for wtcp.
+# This may be replaced when dependencies are built.

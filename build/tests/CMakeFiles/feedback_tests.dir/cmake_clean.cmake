@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_tests.dir/feedback/ebsn_test.cpp.o"
+  "CMakeFiles/feedback_tests.dir/feedback/ebsn_test.cpp.o.d"
+  "CMakeFiles/feedback_tests.dir/feedback/snoop_test.cpp.o"
+  "CMakeFiles/feedback_tests.dir/feedback/snoop_test.cpp.o.d"
+  "CMakeFiles/feedback_tests.dir/feedback/source_quench_test.cpp.o"
+  "CMakeFiles/feedback_tests.dir/feedback/source_quench_test.cpp.o.d"
+  "feedback_tests"
+  "feedback_tests.pdb"
+  "feedback_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

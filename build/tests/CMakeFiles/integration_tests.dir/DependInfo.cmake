@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/advisor_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/advisor_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/advisor_test.cpp.o.d"
+  "/root/repo/tests/integration/fuzz_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/fuzz_test.cpp.o.d"
+  "/root/repo/tests/integration/invariants_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/invariants_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/invariants_test.cpp.o.d"
+  "/root/repo/tests/integration/multi_hop_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/multi_hop_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/multi_hop_test.cpp.o.d"
+  "/root/repo/tests/integration/multi_user_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/multi_user_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/multi_user_test.cpp.o.d"
+  "/root/repo/tests/integration/paper_results_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/paper_results_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/paper_results_test.cpp.o.d"
+  "/root/repo/tests/integration/scenario_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/scenario_test.cpp.o.d"
+  "/root/repo/tests/integration/uplink_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/uplink_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/uplink_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wtcp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

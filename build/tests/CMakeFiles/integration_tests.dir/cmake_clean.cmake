@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/advisor_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/advisor_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/fuzz_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/fuzz_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/invariants_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/invariants_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/multi_hop_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/multi_hop_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/multi_user_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/multi_user_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/paper_results_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/paper_results_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/scenario_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/scenario_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/uplink_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/uplink_test.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/link/bs_scheduler_test.cpp" "tests/CMakeFiles/link_tests.dir/link/bs_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/link_tests.dir/link/bs_scheduler_test.cpp.o.d"
+  "/root/repo/tests/link/fragmentation_test.cpp" "tests/CMakeFiles/link_tests.dir/link/fragmentation_test.cpp.o" "gcc" "tests/CMakeFiles/link_tests.dir/link/fragmentation_test.cpp.o.d"
+  "/root/repo/tests/link/link_arq_test.cpp" "tests/CMakeFiles/link_tests.dir/link/link_arq_test.cpp.o" "gcc" "tests/CMakeFiles/link_tests.dir/link/link_arq_test.cpp.o.d"
+  "/root/repo/tests/link/wireless_link_test.cpp" "tests/CMakeFiles/link_tests.dir/link/wireless_link_test.cpp.o" "gcc" "tests/CMakeFiles/link_tests.dir/link/wireless_link_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wtcp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

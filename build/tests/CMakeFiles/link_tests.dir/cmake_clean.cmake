@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_tests.dir/link/bs_scheduler_test.cpp.o"
+  "CMakeFiles/link_tests.dir/link/bs_scheduler_test.cpp.o.d"
+  "CMakeFiles/link_tests.dir/link/fragmentation_test.cpp.o"
+  "CMakeFiles/link_tests.dir/link/fragmentation_test.cpp.o.d"
+  "CMakeFiles/link_tests.dir/link/link_arq_test.cpp.o"
+  "CMakeFiles/link_tests.dir/link/link_arq_test.cpp.o.d"
+  "CMakeFiles/link_tests.dir/link/wireless_link_test.cpp.o"
+  "CMakeFiles/link_tests.dir/link/wireless_link_test.cpp.o.d"
+  "link_tests"
+  "link_tests.pdb"
+  "link_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_tests.dir/mobility/handoff_test.cpp.o"
+  "CMakeFiles/mobility_tests.dir/mobility/handoff_test.cpp.o.d"
+  "mobility_tests"
+  "mobility_tests.pdb"
+  "mobility_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tcp/delayed_ack_test.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/delayed_ack_test.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/delayed_ack_test.cpp.o.d"
+  "/root/repo/tests/tcp/handshake_test.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/handshake_test.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/handshake_test.cpp.o.d"
+  "/root/repo/tests/tcp/reno_test.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/reno_test.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/reno_test.cpp.o.d"
+  "/root/repo/tests/tcp/rto_estimator_test.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/rto_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/rto_estimator_test.cpp.o.d"
+  "/root/repo/tests/tcp/sack_test.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/sack_test.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/sack_test.cpp.o.d"
+  "/root/repo/tests/tcp/tahoe_sender_test.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/tahoe_sender_test.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/tahoe_sender_test.cpp.o.d"
+  "/root/repo/tests/tcp/tcp_sink_test.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/tcp_sink_test.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/tcp_sink_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wtcp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

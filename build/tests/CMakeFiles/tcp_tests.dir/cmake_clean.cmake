@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_tests.dir/tcp/delayed_ack_test.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/delayed_ack_test.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/handshake_test.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/handshake_test.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/reno_test.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/reno_test.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/rto_estimator_test.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/rto_estimator_test.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/sack_test.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/sack_test.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/tahoe_sender_test.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/tahoe_sender_test.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/tcp_sink_test.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/tcp_sink_test.cpp.o.d"
+  "tcp_tests"
+  "tcp_tests.pdb"
+  "tcp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/phy_tests[1]_include.cmake")
+include("/root/repo/build/tests/link_tests[1]_include.cmake")
+include("/root/repo/build/tests/tcp_tests[1]_include.cmake")
+include("/root/repo/build/tests/feedback_tests[1]_include.cmake")
+include("/root/repo/build/tests/mobility_tests[1]_include.cmake")
+include("/root/repo/build/tests/traffic_tests[1]_include.cmake")
+include("/root/repo/build/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
