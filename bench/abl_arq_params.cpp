@@ -15,6 +15,7 @@ int main() {
              "100 KB transfer, good 10 s / bad 4 s; mean over " +
                  std::to_string(wb::kSeeds) + " seeds");
 
+  wb::JsonResult json("abl_arq_params");
   std::cout << "--- RTmax sweep (window = 8) ---\n";
   {
     stats::TextTable table({"RTmax", "throughput kbps", "goodput",
@@ -33,6 +34,8 @@ int main() {
         s.add(m);
         discards += static_cast<double>(m.arq_discards);
       }
+      json.begin_row().field("sweep", "rt_max").field("value", rt_max)
+          .field("arq_discards", discards / wb::kSeeds).summary(s).end_row();
       table.add_row({std::to_string(rt_max),
                      stats::fmt_double(s.throughput_bps.mean() / 1000.0, 2),
                      stats::fmt_double(s.goodput.mean(), 3),
@@ -50,6 +53,8 @@ int main() {
       cfg.channel.mean_bad_s = 4;
       cfg.arq.window = window;
       const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds);
+      json.begin_row().field("sweep", "window").field("value", window)
+          .summary(s).end_row();
       table.add_row({std::to_string(window),
                      stats::fmt_double(s.throughput_bps.mean() / 1000.0, 2),
                      stats::fmt_double(s.goodput.mean(), 3),
@@ -61,5 +66,6 @@ int main() {
   std::cout << "\nexpectation: throughput saturates by RTmax ~ 8-13 (fewer\n"
                "discards) and by window ~ 4-8 (pipe stays full; stop-and-wait\n"
                "pays one ACK round trip per fragment).\n";
+  json.print();
   return 0;
 }

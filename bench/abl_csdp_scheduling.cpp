@@ -21,6 +21,7 @@ int main() {
 
   stats::TextTable table({"policy", "outstanding", "aggregate kbps",
                           "fairness", "timeouts/user", "CSD skips"});
+  wb::JsonResult json("abl_csdp_scheduling");
 
   for (link::SchedPolicy policy :
        {link::SchedPolicy::kFifo, link::SchedPolicy::kRoundRobin,
@@ -41,6 +42,14 @@ int main() {
         timeouts.add(to / static_cast<double>(cfg.users));
         skips.add(static_cast<double>(m.csd_skips));
       }
+      json.begin_row()
+          .field("policy", to_string(policy))
+          .field("outstanding", outstanding)
+          .field("aggregate_bps", agg.mean())
+          .field("fairness", fair.mean())
+          .field("timeouts_per_user", timeouts.mean())
+          .field("csd_skips", skips.mean())
+          .end_row();
       table.add_row({to_string(policy), std::to_string(outstanding),
                      stats::fmt_double(agg.mean() / 1000.0, 0),
                      stats::fmt_double(fair.mean(), 3),
@@ -67,10 +76,16 @@ int main() {
     }
     std::printf("aggregate %.0f kbps, %.2f timeouts/user\n", agg.mean() / 1000.0,
                 timeouts.mean());
+    json.begin_row()
+        .field("policy", "csd_rr+ebsn")
+        .field("aggregate_bps", agg.mean())
+        .field("timeouts_per_user", timeouts.mean())
+        .end_row();
   }
 
   std::cout << "\nexpectation ([9]): channel-state-dependent scheduling far\n"
                "outperforms FIFO (head-of-line fades waste shared airtime);\n"
                "its gain depends on probe accuracy.  EBSN composes with it.\n";
+  json.print();
   return 0;
 }

@@ -21,6 +21,7 @@ int main() {
              "100 KB transfer, good 10 s; mean over " +
                  std::to_string(wb::kSeeds) + " seeds");
 
+  wb::JsonResult json("abl_duplex");
   for (const std::string scheme : {"basic", "ebsn"}) {
     std::cout << "--- " << (scheme == "basic" ? "Basic TCP" : "EBSN")
               << ": throughput (kbps) vs packet size ---\n";
@@ -35,6 +36,13 @@ int main() {
           cfg.wireless.half_duplex = half;
           cfg.set_packet_size(size);
           const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds);
+          json.begin_row()
+              .field("scheme", scheme)
+              .field("pkt_size_B", size)
+              .field("bad_s", bad)
+              .field("half_duplex", half)
+              .summary(s)
+              .end_row();
           row.push_back(stats::fmt_double(s.throughput_bps.mean() / 1000.0, 2));
         }
       }
@@ -48,5 +56,6 @@ int main() {
   std::cout << "expectation: half duplex taxes small packets most (the\n"
                "paper's Fig. 7 left-side penalty) and pulls EBSN a further\n"
                "5-15% below the full-duplex theoretical ceiling.\n";
+  json.print();
   return 0;
 }

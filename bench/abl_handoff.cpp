@@ -31,6 +31,7 @@ int main() {
              "wide-area, 100 KB; handoff every ~15 s; mean over " +
                  std::to_string(wb::kSeeds) + " seeds");
 
+  wb::JsonResult json("abl_handoff");
   for (bool fading : {false, true}) {
     std::cout << (fading ? "--- with burst errors (good 10 s / bad 2 s) ---\n"
                          : "--- clean channel, handoffs only ---\n");
@@ -60,6 +61,13 @@ int main() {
         fast_rtx += static_cast<double>(m.fast_retransmits);
         handoffs += static_cast<double>(m.handoffs);
       }
+      json.begin_row()
+          .field("fading", fading)
+          .field("case", c.name)
+          .field("fast_rtx", fast_rtx / wb::kSeeds)
+          .field("handoffs", handoffs / wb::kSeeds)
+          .summary(s)
+          .end_row();
       table.add_row({c.name, stats::fmt_double(s.throughput_bps.mean() / 1000.0, 2),
                      stats::fmt_double(s.goodput.mean(), 3),
                      stats::fmt_double(s.timeouts.mean(), 1),
@@ -73,5 +81,6 @@ int main() {
   std::cout << "expectation: [4]'s fast retransmit converts handoff timeouts\n"
                "into cheap fast retransmits; EBSN + local recovery removes\n"
                "the loss entirely (the ARQ replays the blackout backlog).\n";
+  json.print();
   return 0;
 }

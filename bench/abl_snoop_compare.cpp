@@ -8,8 +8,9 @@
 
 namespace {
 
-void run_family(const char* title, wtcp::topo::ScenarioConfig base, int seeds,
-                double scale, const char* unit) {
+void run_family(const char* title, const char* family,
+                wtcp::topo::ScenarioConfig base, int seeds, double scale,
+                const char* unit, wtcp::bench::JsonResult& json) {
   using namespace wtcp;
   namespace wb = wtcp::bench;
 
@@ -41,6 +42,12 @@ void run_family(const char* title, wtcp::topo::ScenarioConfig base, int seeds,
     const std::uint64_t local_rtx =
         p.snoop ? m1.snoop_local_retransmits : m1.arq_retransmissions;
 
+    json.begin_row()
+        .field("family", family)
+        .field("policy", p.name)
+        .field("local_rtx", local_rtx)
+        .summary(s)
+        .end_row();
     table.add_row({p.name,
                    stats::fmt_double(s.throughput_bps.mean() / scale, 2),
                    stats::fmt_double(s.goodput.mean(), 3),
@@ -60,15 +67,19 @@ int main() {
   wb::banner("Ablation: snoop vs local recovery vs EBSN",
              "paper Section 2 baselines on the paper's two setups");
 
+  wb::JsonResult json("abl_snoop_compare");
   topo::ScenarioConfig wan = topo::wan_scenario();
   wan.channel.mean_bad_s = 4;
-  run_family("wide-area (100 KB, bad 4 s)", wan, wb::kSeeds, 1e3, "kbps");
+  run_family("wide-area (100 KB, bad 4 s)", "wan", wan, wb::kSeeds, 1e3, "kbps",
+             json);
 
   topo::ScenarioConfig lan = topo::lan_scenario();
   lan.channel.mean_bad_s = 0.8;
-  run_family("local-area (4 MB, bad 0.8 s)", lan, wb::kLanSeeds, 1e6, "Mbps");
+  run_family("local-area (4 MB, bad 0.8 s)", "lan", lan, wb::kLanSeeds, 1e6,
+             "Mbps", json);
 
   std::cout << "expectation: snoop > basic (local retransmissions help) but\n"
                "below EBSN, which also eliminates source timeouts.\n";
+  json.print();
   return 0;
 }

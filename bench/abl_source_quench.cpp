@@ -27,12 +27,18 @@ int main() {
       {"local recovery + EBSN", "ebsn"},
   };
 
+  wb::JsonResult json("abl_source_quench");
   double quench_tput = 0, ebsn_tput = 0, local_tput = 0;
   for (const auto& p : policies) {
     topo::ScenarioConfig cfg = wb::with_scheme(topo::wan_scenario(), p.scheme);
     cfg.channel.mean_bad_s = 4;
     const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds);
     const double kbps = s.throughput_bps.mean() / 1000.0;
+    json.begin_row()
+        .field("policy", p.scheme)
+        .field("feedback_msgs", s.ebsn_received.mean() + s.quench_received.mean())
+        .summary(s)
+        .end_row();
     if (std::string(p.scheme) == "quench") quench_tput = kbps;
     if (std::string(p.scheme) == "ebsn") ebsn_tput = kbps;
     if (std::string(p.scheme) == "local") local_tput = kbps;
@@ -51,5 +57,6 @@ int main() {
       " only the timer-reset semantics of EBSN eliminate them)\n",
       100.0 * (ebsn_tput / quench_tput - 1.0),
       100.0 * (quench_tput / local_tput - 1.0));
+  json.print();
   return 0;
 }

@@ -19,6 +19,7 @@ int main() {
   stats::TextTable table({"flavor", "scheme", "throughput kbps", "goodput",
                           "timeouts", "fast rtx"});
 
+  wb::JsonResult json("abl_tcp_flavor");
   struct Variant {
     const char* name;
     tcp::TcpFlavor flavor;
@@ -42,6 +43,12 @@ int main() {
         s.add(m);
         fast_rtx += static_cast<double>(m.fast_retransmits);
       }
+      json.begin_row()
+          .field("flavor", v.name)
+          .field("scheme", scheme)
+          .field("fast_rtx", fast_rtx / wb::kSeeds)
+          .summary(s)
+          .end_row();
       table.add_row({v.name,
                      scheme == "basic"  ? "basic"
                      : scheme == "local" ? "local recovery"
@@ -56,5 +63,6 @@ int main() {
   std::cout << "\nexpectation: Reno edges out Tahoe for basic TCP (fast\n"
                "recovery on partial losses), but both need EBSN to shed the\n"
                "burst-error timeouts; with EBSN the flavors converge.\n";
+  json.print();
   return 0;
 }

@@ -22,6 +22,7 @@ int main() {
   stats::TextTable table({"bg load", "scheme", "throughput kbps", "goodput",
                           "timeouts", "wired drops"});
 
+  wb::JsonResult json("abl_wired_congestion");
   for (double load : {0.0, 0.3, 0.6, 0.8}) {
     for (const std::string scheme : {"basic", "local", "ebsn"}) {
       topo::ScenarioConfig cfg = wb::with_scheme(topo::wan_scenario(), scheme);
@@ -43,6 +44,8 @@ int main() {
         s.add(m);
         drops += static_cast<double>(sc.wired_link().queue_stats(0).dropped);
       }
+      json.begin_row().field("bg_load", load).field("scheme", scheme)
+          .field("wired_drops", drops / wb::kSeeds).summary(s).end_row();
       table.add_row({stats::fmt_double(load, 1) + "x",
                      scheme == "basic"   ? "basic"
                      : scheme == "local" ? "local recovery"
@@ -59,5 +62,6 @@ int main() {
                "heavy load, congestion losses dominate every scheme and the\n"
                "schemes converge (EBSN does not defeat congestion control --\n"
                "dupacks and post-fade timeouts still fire).\n";
+  json.print();
   return 0;
 }

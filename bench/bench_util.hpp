@@ -3,11 +3,81 @@
 
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <type_traits>
 
 #include "src/core/api.hpp"
 
 namespace wtcp::bench {
+
+/// Machine-readable result block every bench appends to its stdout.
+/// Collect flat rows of (name, value) fields while the bench runs, then
+/// print() once at the end.  The block is delimited by sentinel lines so
+/// scripts can lift it out of the human-readable report:
+///
+///   --- wtcp-bench-json ---
+///   {"bench":"fig07_wan_basic","rows":[{...},{...}]}
+///   --- end wtcp-bench-json ---
+class JsonResult {
+ public:
+  explicit JsonResult(std::string_view bench) : w_(os_) {
+    w_.begin_object();
+    w_.field("bench", bench);
+    w_.key("rows").begin_array();
+  }
+
+  JsonResult& begin_row() {
+    w_.begin_object();
+    return *this;
+  }
+  JsonResult& end_row() {
+    w_.end_object();
+    return *this;
+  }
+
+  JsonResult& field(std::string_view key, std::string_view v) {
+    w_.field(key, v);
+    return *this;
+  }
+  JsonResult& field(std::string_view key, const char* v) {
+    w_.field(key, std::string_view(v));
+    return *this;
+  }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  JsonResult& field(std::string_view key, T v) {
+    if constexpr (std::is_floating_point_v<T>) {
+      w_.field(key, static_cast<double>(v));
+    } else if constexpr (std::is_same_v<T, bool>) {
+      w_.field(key, v);
+    } else {
+      w_.field(key, static_cast<std::int64_t>(v));
+    }
+    return *this;
+  }
+
+  /// Add the per-row slice of a multi-seed summary.
+  JsonResult& summary(const core::MetricsSummary& s) {
+    return field("throughput_bps", s.throughput_bps.mean())
+        .field("throughput_cv", s.throughput_bps.cv())
+        .field("goodput", s.goodput.mean())
+        .field("timeouts", s.timeouts.mean())
+        .field("retransmitted_kbytes", s.retransmitted_kbytes.mean())
+        .field("duration_s", s.duration_s.mean());
+  }
+
+  /// Close the block and print it; call exactly once, at the end.
+  void print(std::ostream& os = std::cout) {
+    w_.end_array().end_object();
+    os << "\n--- wtcp-bench-json ---\n"
+       << os_.str() << "\n--- end wtcp-bench-json ---\n";
+  }
+
+ private:
+  std::ostringstream os_;
+  obs::JsonWriter w_;
+};
 
 /// Seeds per data point.  The paper reports means with stddev < 4%; with
 /// this many seeds the standard error of our means is a few percent.
@@ -104,6 +174,19 @@ inline int run_trace_bench(const std::string& scheme, const char* figure,
   scenario.set_sender_trace(&trace);
   const stats::RunMetrics m = scenario.run();
   print_trace_figure(scheme, trace, m, cfg.channel.mean_bad_s);
+
+  JsonResult json("trace_" + scheme);
+  json.begin_row()
+      .field("scheme", scheme)
+      .field("completed", m.completed)
+      .field("duration_s", m.duration.to_seconds())
+      .field("throughput_kbps", m.throughput_kbps())
+      .field("goodput", m.goodput)
+      .field("timeouts", m.timeouts)
+      .field("source_retransmissions", m.segments_retransmitted)
+      .field("ebsn_received", m.ebsn_received)
+      .end_row();
+  json.print();
   return m.completed ? 0 : 1;
 }
 

@@ -20,6 +20,7 @@ int main() {
 
   stats::TextTable table({"pkt_size_B", "bad=1s kbps", "bad=2s kbps",
                           "bad=3s kbps", "bad=4s kbps"});
+  wb::JsonResult json("fig07_wan_basic");
   // Track optima for the summary row.
   std::vector<std::int32_t> best_size(bads.size(), 0);
   std::vector<double> best_tput(bads.size(), 0.0), tput_1536(bads.size(), 0.0);
@@ -34,6 +35,11 @@ int main() {
       const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds);
       const double kbps = s.throughput_bps.mean() / 1000.0;
       worst_cv = std::max(worst_cv, s.throughput_bps.cv());
+      json.begin_row()
+          .field("pkt_size_B", size)
+          .field("bad_s", bads[b])
+          .summary(s)
+          .end_row();
       row.push_back(stats::fmt_double(kbps, 2));
       if (kbps > best_tput[b]) {
         best_tput[b] = kbps;
@@ -64,5 +70,6 @@ int main() {
   }
   std::printf("\nper-point sample cv <= %.2f (mean standard error ~ cv/sqrt(%d))\n",
               worst_cv, wb::kSeeds);
+  json.print();
   return 0;
 }

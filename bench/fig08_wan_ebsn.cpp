@@ -20,6 +20,7 @@ int main() {
 
   stats::TextTable table({"pkt_size_B", "bad=1s kbps", "bad=2s kbps",
                           "bad=3s kbps", "bad=4s kbps"});
+  wb::JsonResult json("fig08_wan_ebsn");
   std::vector<double> tput_at_1536(bads.size(), 0.0);
   std::vector<double> timeouts_total(bads.size(), 0.0);
 
@@ -32,6 +33,11 @@ int main() {
       cfg.set_packet_size(size);
       const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds);
       const double kbps = s.throughput_bps.mean() / 1000.0;
+      json.begin_row()
+          .field("pkt_size_B", size)
+          .field("bad_s", bads[b])
+          .summary(s)
+          .end_row();
       row.push_back(stats::fmt_double(kbps, 2));
       timeouts_total[b] += s.timeouts.mean();
       if (size == 1536) tput_at_1536[b] = kbps;
@@ -53,5 +59,6 @@ int main() {
                 100.0 * tput_at_1536[b] / th,
                 timeouts_total[b] / static_cast<double>(sizes.size()));
   }
+  json.print();
   return 0;
 }

@@ -16,6 +16,7 @@ int main() {
                                            1280, 1536};
   const std::vector<double> bads = {1, 2, 3, 4};
 
+  wb::JsonResult json("fig09_wan_retransmit");
   for (const std::string scheme : {"basic", "ebsn"}) {
     std::cout << (scheme == "basic" ? "--- Basic TCP ---\n"
                                     : "--- Using EBSN ---\n");
@@ -29,6 +30,12 @@ int main() {
         cfg.channel.mean_bad_s = bad;
         cfg.set_packet_size(size);
         const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds);
+        json.begin_row()
+            .field("scheme", scheme)
+            .field("pkt_size_B", size)
+            .field("bad_s", bad)
+            .summary(s)
+            .end_row();
         row.push_back(stats::fmt_double(s.retransmitted_kbytes.mean(), 1));
         scheme_max = std::max(scheme_max, s.retransmitted_kbytes.mean());
       }
@@ -40,5 +47,6 @@ int main() {
                     ? "(paper: grows with packet size and bad period, up to ~35 KB)"
                     : "(paper: ~0 KB - EBSN eliminates redundant retransmissions)");
   }
+  json.print();
   return 0;
 }

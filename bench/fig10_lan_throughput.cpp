@@ -17,6 +17,7 @@ int main() {
                           "basic Mbps", "EBSN/basic", "EBSN timeouts",
                           "basic timeouts"});
 
+  wb::JsonResult json("fig10_lan_throughput");
   for (double bad : {0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6}) {
     topo::ScenarioConfig basic = topo::lan_scenario();
     basic.channel.mean_bad_s = bad;
@@ -26,6 +27,10 @@ int main() {
     const core::MetricsSummary me = core::run_seeds(ebsn, wb::kLanSeeds);
     const double th = core::theoretical_max_throughput_bps(basic.wireless,
                                                            basic.channel);
+    json.begin_row().field("scheme", "basic").field("bad_s", bad)
+        .field("theory_bps", th).summary(mb).end_row();
+    json.begin_row().field("scheme", "ebsn").field("bad_s", bad)
+        .field("theory_bps", th).summary(me).end_row();
     table.add_row({stats::fmt_double(bad, 1), stats::fmt_double(th / 1e6, 3),
                    stats::fmt_double(me.throughput_bps.mean() / 1e6, 3),
                    stats::fmt_double(mb.throughput_bps.mean() / 1e6, 3),
@@ -37,5 +42,6 @@ int main() {
   table.print(std::cout);
   std::cout << "\npaper expectation: EBSN close to theory with ~zero "
                "timeouts; basic TCP falls away as fades lengthen.\n";
+  json.print();
   return 0;
 }

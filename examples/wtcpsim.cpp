@@ -60,6 +60,14 @@ run control
   --trace                  print the (time, seq mod 90) send plot (1 seed)
   --tsv                    one machine-readable output row
   --help
+
+observability
+  --obs-out PATH           machine-readable run report: writes PATH.jsonl
+                           (events), PATH.series.csv (sampled time series)
+                           and PATH.manifest.json (config digest, per-seed
+                           metrics/counters/profile, aggregate summary);
+                           a trailing .jsonl on PATH is stripped
+  --obs-sample-interval MS sampler period (default 100 ms)
 )";
   std::exit(code);
 }
@@ -90,6 +98,8 @@ int main(int argc, char** argv) {
   int seeds = 5;
   std::uint64_t base_seed = 1;
   bool trace = false, tsv = false;
+  std::string obs_out;
+  sim::Time obs_interval = sim::Time::milliseconds(100);
 
   // Two-pass parse: --setup decides the config template first.
   for (int i = 1; i < argc; ++i) {
@@ -162,6 +172,22 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (a == "--tsv") {
       tsv = true;
+    } else if (a == "--obs-out") {
+      obs_out = arg_str(argc, argv, i);
+      // Accept "run.jsonl" as the stem "run".
+      const std::string suffix = ".jsonl";
+      if (obs_out.size() > suffix.size() &&
+          obs_out.compare(obs_out.size() - suffix.size(), suffix.size(),
+                          suffix) == 0) {
+        obs_out.resize(obs_out.size() - suffix.size());
+      }
+    } else if (a == "--obs-sample-interval") {
+      const long ms = arg_long(argc, argv, i);
+      if (ms <= 0) {
+        std::cerr << "--obs-sample-interval must be a positive number of ms\n";
+        usage(2);
+      }
+      obs_interval = sim::Time::milliseconds(ms);
     } else if (a == "--help") {
       usage(0);
     } else {
@@ -193,6 +219,10 @@ int main(int argc, char** argv) {
                             : core::effective_bandwidth_bps(cfg.wireless);
 
   if (trace) {
+    if (!obs_out.empty()) {
+      std::cerr << "note: --obs-out is ignored with --trace (use the "
+                   "default or --tsv output modes)\n";
+    }
     cfg.seed = base_seed;
     stats::ConnectionTrace tr;
     topo::Scenario s(cfg);
@@ -203,7 +233,19 @@ int main(int argc, char** argv) {
     return m.completed ? 0 : 1;
   }
 
-  const core::MetricsSummary s = core::run_seeds(cfg, seeds, base_seed);
+  core::MetricsSummary s;
+  if (!obs_out.empty()) {
+    core::ReportOptions opts;
+    opts.out_stem = obs_out;
+    opts.sample_interval = obs_interval;
+    const core::RunReport report =
+        core::run_seeds_reported(cfg, seeds, base_seed, opts);
+    s = report.summary;
+    std::fprintf(stderr, "obs: wrote %s.jsonl, %s.series.csv, %s.manifest.json\n",
+                 obs_out.c_str(), obs_out.c_str(), obs_out.c_str());
+  } else {
+    s = core::run_seeds(cfg, seeds, base_seed);
+  }
 
   if (tsv) {
     std::printf(

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full pre-merge check: release build + tests, then an ASan/UBSan build +
+# tests.  Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run() {
+  local build_dir=$1
+  shift
+  cmake -B "$build_dir" -S . "$@" >/dev/null
+  cmake --build "$build_dir" -j"$(nproc)"
+  ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)" "${EXTRA_CTEST_ARGS[@]}"
+}
+
+EXTRA_CTEST_ARGS=("$@")
+
+echo "=== release build + tests ==="
+run build
+
+echo
+echo "=== sanitizer build + tests (address,undefined) ==="
+run build-san -DWTCP_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=Debug
+
+echo
+echo "all checks passed"

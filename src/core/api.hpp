@@ -26,6 +26,10 @@
 #include "src/net/node.hpp"
 #include "src/net/packet.hpp"
 #include "src/net/queue.hpp"
+#include "src/obs/export.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/probe.hpp"
+#include "src/obs/sampler.hpp"
 #include "src/phy/error_model.hpp"
 #include "src/phy/gilbert_elliott.hpp"
 #include "src/phy/trace_driven.hpp"

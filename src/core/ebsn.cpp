@@ -11,6 +11,10 @@ EbsnAgent::EbsnAgent(sim::Simulator& sim, EbsnConfig cfg, net::NodeId bs,
                      net::NodeId source, tcp::PacketForwarder to_source)
     : sim_(sim), cfg_(cfg), bs_(bs), source_(source), to_source_(std::move(to_source)) {
   assert(to_source_);
+  if ((bus_ = sim_.probes())) {
+    probe_sent_ = bus_->counter("ebsn.sent");
+    probe_suppressed_ = bus_->counter("ebsn.suppressed");
+  }
 }
 
 void EbsnAgent::attach(link::ArqSender& arq) {
@@ -27,16 +31,20 @@ void EbsnAgent::notify(const net::Packet& failed_frame) {
             : failed_frame.type == net::PacketType::kTcpData;
     if (!is_data) {
       ++stats_.suppressed;
+      obs::add(probe_suppressed_);
       return;
     }
   }
   if (!cfg_.min_interval.is_zero() && last_sent_ >= sim::Time::zero() &&
       sim_.now() - last_sent_ < cfg_.min_interval) {
     ++stats_.suppressed;
+    obs::add(probe_suppressed_);
     return;
   }
   last_sent_ = sim_.now();
   ++stats_.notifications_sent;
+  obs::add(probe_sent_);
+  if (bus_) bus_->publish(sim_.now(), "ebsn", "sent");
   WTCP_LOG(kDebug, sim_.now(), "ebsn", "notify source (failed frame: %s)",
            failed_frame.describe().c_str());
   net::Packet ebsn = net::make_control(net::PacketType::kEbsn, cfg_.message_bytes,

@@ -15,6 +15,7 @@
 
 #include "src/link/link_arq.hpp"
 #include "src/net/packet.hpp"
+#include "src/obs/probe.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/tcp/tahoe_sender.hpp"  // PacketForwarder
 
@@ -61,6 +62,9 @@ class EbsnAgent {
   tcp::PacketForwarder to_source_;
   sim::Time last_sent_ = sim::Time::nanoseconds(-1);
   EbsnAgentStats stats_;
+  obs::Registry* bus_ = nullptr;
+  obs::Counter* probe_sent_ = nullptr;
+  obs::Counter* probe_suppressed_ = nullptr;
 };
 
 }  // namespace wtcp::core

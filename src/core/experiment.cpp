@@ -1,5 +1,17 @@
 #include "src/core/experiment.hpp"
 
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+#include "src/obs/export.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/probe.hpp"
+#include "src/obs/sampler.hpp"
+
 namespace wtcp::core {
 
 void MetricsSummary::add(const stats::RunMetrics& m) {
@@ -30,6 +42,209 @@ double measure_error_free_throughput_bps(topo::ScenarioConfig cfg) {
   cfg.feedback = topo::FeedbackMode::kNone;
   const stats::RunMetrics m = topo::run_scenario(cfg);
   return m.throughput_bps;
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+std::string describe_config(const topo::ScenarioConfig& cfg) {
+  std::ostringstream os;
+  os << "wired=" << cfg.wired.name << ":" << cfg.wired.bandwidth_bps << "bps:"
+     << cfg.wired.prop_delay.ns() << "ns:q" << cfg.wired.queue_packets
+     << " hops=" << cfg.wired_hops
+     << " wireless=" << cfg.wireless.name << ":" << cfg.wireless.bandwidth_bps
+     << "bps:" << cfg.wireless.prop_delay.ns() << "ns:oh"
+     << cfg.wireless.overhead_num << "/" << cfg.wireless.overhead_den
+     << (cfg.wireless.half_duplex ? ":half" : ":full")
+     << " channel=" << (cfg.channel_errors ? "on" : "off");
+  if (cfg.channel_errors) {
+    if (!cfg.fade_trace_file.empty()) {
+      os << ":trace=" << cfg.fade_trace_file;
+    } else {
+      os << (cfg.deterministic_channel ? ":det" : ":stoch") << ":bg"
+         << cfg.channel.ber_good << ":bb" << cfg.channel.ber_bad << ":g"
+         << cfg.channel.mean_good_s << "s:b" << cfg.channel.mean_bad_s << "s";
+    }
+  }
+  os << " tcp=" << tcp::to_string(cfg.tcp.flavor) << ":mss" << cfg.tcp.mss
+     << ":hdr" << cfg.tcp.header_bytes << ":win" << cfg.tcp.window_bytes
+     << ":file" << cfg.tcp.file_bytes << ":dup" << cfg.tcp.dupack_threshold
+     << ":tick" << cfg.tcp.rto.granularity.ns() << "ns"
+     << (cfg.tcp.delayed_ack ? ":delack" : "")
+     << (cfg.tcp.connect_handshake ? ":handshake" : "")
+     << (cfg.tcp.sack_enabled ? ":sack" : "")
+     << " dir=" << topo::to_string(cfg.direction)
+     << " arq=" << (cfg.local_recovery ? "on" : "off");
+  if (cfg.local_recovery) {
+    os << ":rt" << cfg.arq.rt_max << ":w" << cfg.arq.window;
+  }
+  os << " mtu=" << cfg.wireless_mtu_bytes
+     << " feedback=" << topo::to_string(cfg.feedback)
+     << " snoop=" << (cfg.snoop ? "on" : "off")
+     << " handoff=" << (cfg.handoff.enabled ? "on" : "off")
+     << " xtraffic=" << (cfg.cross_traffic ? "on" : "off")
+     << " horizon=" << cfg.horizon.ns() << "ns";
+  return os.str();
+}
+
+std::string config_digest(const topo::ScenarioConfig& cfg) {
+  // FNV-1a, 64-bit.
+  const std::string desc = describe_config(cfg);
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : desc) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+  return std::string(buf);
+}
+
+namespace {
+
+void write_metrics(obs::JsonWriter& w, const stats::RunMetrics& m) {
+  w.key("metrics").begin_object();
+  w.field("completed", m.completed);
+  w.field("duration_s", m.duration.to_seconds());
+  w.field("throughput_bps", m.throughput_bps);
+  w.field("goodput", m.goodput);
+  w.field("timeouts", m.timeouts);
+  w.field("fast_retransmits", m.fast_retransmits);
+  w.field("segments_sent", m.segments_sent);
+  w.field("segments_retransmitted", m.segments_retransmitted);
+  w.field("retransmitted_bytes", static_cast<std::int64_t>(m.retransmitted_bytes));
+  w.field("ebsn_sent", m.ebsn_sent);
+  w.field("ebsn_received", m.ebsn_received);
+  w.field("quench_sent", m.quench_sent);
+  w.field("quench_received", m.quench_received);
+  w.field("wireless_frames_corrupted", m.wireless_frames_corrupted);
+  w.field("arq_attempts", m.arq_attempts);
+  w.field("arq_retransmissions", m.arq_retransmissions);
+  w.field("arq_discards", m.arq_discards);
+  w.field("delay_p50_s", m.delay_p50_s);
+  w.field("delay_p95_s", m.delay_p95_s);
+  w.field("delay_max_s", m.delay_max_s);
+  w.end_object();
+}
+
+void write_summary_stat(obs::JsonWriter& w, std::string_view name,
+                        const stats::Summary& s) {
+  w.key(name).begin_object();
+  w.field("count", static_cast<std::uint64_t>(s.count()));
+  w.field("mean", s.mean());
+  w.field("stddev", s.stddev());
+  w.field("min", s.min());
+  w.field("max", s.max());
+  w.end_object();
+}
+
+}  // namespace
+
+void write_manifest(std::ostream& os, const RunReport& report) {
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.field("config", report.config_description);
+  w.field("digest", report.digest);
+  w.field("seeds", static_cast<std::uint64_t>(report.seeds.size()));
+
+  w.key("per_seed").begin_array();
+  for (const SeedRunReport& sr : report.seeds) {
+    w.begin_object();
+    w.field("seed", sr.seed);
+    w.field("wall_seconds", sr.wall_seconds);
+    w.field("events_executed", sr.events_executed);
+    w.field("max_event_queue_depth",
+            static_cast<std::uint64_t>(sr.max_event_queue_depth));
+    w.field("obs_events", static_cast<std::uint64_t>(sr.obs_events));
+    w.field("obs_samples", static_cast<std::uint64_t>(sr.obs_samples));
+    write_metrics(w, sr.metrics);
+    w.key("counters").begin_object();
+    for (const auto& [name, v] : sr.counters) w.field(name, v);
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [name, v] : sr.gauges) w.field(name, v);
+    w.end_object();
+    w.key("scheduler_profile").begin_object();
+    for (const auto& [tag, n] : sr.executed_by_tag) w.field(tag, n);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("aggregate").begin_object();
+  w.field("runs_total", report.summary.runs_total);
+  w.field("runs_completed", report.summary.runs_completed);
+  write_summary_stat(w, "throughput_bps", report.summary.throughput_bps);
+  write_summary_stat(w, "goodput", report.summary.goodput);
+  write_summary_stat(w, "timeouts", report.summary.timeouts);
+  write_summary_stat(w, "retransmitted_kbytes",
+                     report.summary.retransmitted_kbytes);
+  write_summary_stat(w, "duration_s", report.summary.duration_s);
+  w.end_object();
+
+  w.end_object();
+  os << '\n';
+}
+
+RunReport run_seeds_reported(topo::ScenarioConfig cfg, int n_seeds,
+                             std::uint64_t base_seed,
+                             const ReportOptions& opts) {
+  cfg.obs.enabled = true;
+  cfg.obs.sample_interval = opts.sample_interval;
+  cfg.obs.profile_scheduler = opts.profile_scheduler;
+
+  RunReport report;
+  report.config_description = describe_config(cfg);
+  report.digest = config_digest(cfg);
+
+  std::ofstream events_out;
+  std::ofstream series_out;
+  const bool to_files = !opts.out_stem.empty();
+  if (to_files) {
+    events_out.open(opts.out_stem + ".jsonl");
+    series_out.open(opts.out_stem + ".series.csv");
+  }
+
+  for (int i = 0; i < n_seeds; ++i) {
+    cfg.seed = base_seed + static_cast<std::uint64_t>(i);
+    topo::Scenario scenario(cfg);
+    const stats::RunMetrics m = scenario.run();
+    report.summary.add(m);
+
+    const obs::Registry& reg = *scenario.probes();
+    SeedRunReport sr;
+    sr.seed = cfg.seed;
+    sr.metrics = m;
+    sr.wall_seconds = scenario.simulator().wall_seconds();
+    sr.events_executed = scenario.simulator().scheduler().executed_count();
+    sr.max_event_queue_depth =
+        scenario.simulator().scheduler().max_pending_depth();
+    sr.obs_events = reg.events().size();
+    sr.obs_samples = scenario.sampler()->sample_count();
+    for (const auto& [name, c] : reg.counters()) sr.counters[name] = c.value;
+    for (const auto& [name, g] : reg.gauges()) sr.gauges[name] = g.value;
+    for (const auto& [tag, n] :
+         scenario.simulator().scheduler().executed_by_tag()) {
+      sr.executed_by_tag[tag] = n;
+    }
+
+    if (to_files) {
+      // Event names/components are string literals inside live components:
+      // export while the scenario still exists.
+      obs::write_events_jsonl(events_out, reg,
+                              static_cast<std::int64_t>(cfg.seed));
+      scenario.sampler()->series().write_csv(
+          series_out, static_cast<std::int64_t>(cfg.seed), /*header=*/i == 0);
+    }
+    report.seeds.push_back(std::move(sr));
+  }
+
+  if (to_files) {
+    std::ofstream manifest_out(opts.out_stem + ".manifest.json");
+    write_manifest(manifest_out, report);
+  }
+  return report;
 }
 
 }  // namespace wtcp::core

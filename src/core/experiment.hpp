@@ -4,6 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "src/stats/metrics.hpp"
@@ -34,5 +37,58 @@ MetricsSummary run_seeds(topo::ScenarioConfig cfg, int n_seeds,
 /// Measured effective throughput of `cfg` with channel errors disabled —
 /// the empirical tput_max the theoretical bound scales from.
 double measure_error_free_throughput_bps(topo::ScenarioConfig cfg);
+
+// ---------------------------------------------------------------------------
+// Machine-readable run reports (the observability layer's experiment face)
+// ---------------------------------------------------------------------------
+
+/// Canonical one-line description of every knob that affects a run's
+/// outcome.  Two configs with equal descriptions produce identical runs
+/// for the same seed; the digest below is the FNV-1a hash of this string.
+std::string describe_config(const topo::ScenarioConfig& cfg);
+
+/// 16-hex-digit FNV-1a digest of describe_config(cfg).
+std::string config_digest(const topo::ScenarioConfig& cfg);
+
+/// Everything recorded about one seed's run.
+struct SeedRunReport {
+  std::uint64_t seed = 0;
+  stats::RunMetrics metrics;
+  double wall_seconds = 0.0;             ///< wall-clock inside the run loop
+  std::uint64_t events_executed = 0;
+  std::size_t max_event_queue_depth = 0;
+  std::size_t obs_events = 0;            ///< events published to the bus
+  std::size_t obs_samples = 0;           ///< sampler rows recorded
+  std::map<std::string, std::uint64_t> counters;        ///< probe snapshot
+  std::map<std::string, double> gauges;                 ///< final values
+  std::map<std::string, std::uint64_t> executed_by_tag; ///< scheduler profile
+};
+
+struct ReportOptions {
+  /// Output stem: writes <stem>.jsonl (events), <stem>.series.csv (time
+  /// series) and <stem>.manifest.json.  Empty = in-memory report only.
+  std::string out_stem;
+  sim::Time sample_interval = sim::Time::milliseconds(100);
+  bool profile_scheduler = true;
+};
+
+/// A full multi-seed experiment with per-seed detail.
+struct RunReport {
+  std::string config_description;
+  std::string digest;
+  std::vector<SeedRunReport> seeds;
+  MetricsSummary summary;
+};
+
+/// Write `report` as a manifest JSON document.
+void write_manifest(std::ostream& os, const RunReport& report);
+
+/// run_seeds with observability on: every seed runs with a probe registry
+/// and sampler; events/series/manifest are written under opts.out_stem
+/// (JSONL rows and CSV rows carry a seed column so one file holds all
+/// seeds).  Returns the in-memory report either way.
+RunReport run_seeds_reported(topo::ScenarioConfig cfg, int n_seeds,
+                             std::uint64_t base_seed,
+                             const ReportOptions& opts);
 
 }  // namespace wtcp::core

@@ -8,7 +8,13 @@
 namespace wtcp::feedback {
 
 SnoopAgent::SnoopAgent(sim::Simulator& sim, SnoopConfig cfg, std::string name)
-    : sim_(sim), cfg_(cfg), name_(std::move(name)) {}
+    : sim_(sim), cfg_(cfg), name_(std::move(name)) {
+  if ((bus_ = sim_.probes())) {
+    probe_local_rtx_ = bus_->counter("snoop.local_retransmits");
+    probe_dupacks_suppressed_ = bus_->counter("snoop.dupacks_suppressed");
+    probe_local_timeouts_ = bus_->counter("snoop.local_timeouts");
+  }
+}
 
 void SnoopAgent::on_data_from_wired(const net::Packet& pkt) {
   assert(pkt.type == net::PacketType::kTcpData && pkt.tcp.has_value());
@@ -62,6 +68,7 @@ bool SnoopAgent::on_ack_from_wireless(const net::Packet& ack) {
       local_retransmit(a);
     }
     ++stats_.dupacks_suppressed;
+    obs::add(probe_dupacks_suppressed_);
     return false;
   }
   ++stats_.acks_forwarded;
@@ -75,6 +82,10 @@ void SnoopAgent::local_retransmit(std::int64_t seq) {
   if (e.local_rtx >= cfg_.max_local_retransmits) return;
   ++e.local_rtx;
   ++stats_.local_retransmits;
+  obs::add(probe_local_rtx_);
+  if (bus_) {
+    bus_->publish(sim_.now(), "snoop", "local_rtx", static_cast<double>(seq));
+  }
   WTCP_LOG(kDebug, sim_.now(), name_.c_str(), "local rtx seq=%lld (n=%d)",
            static_cast<long long>(seq), e.local_rtx);
   wireless_tx_(e.pkt);
@@ -90,12 +101,13 @@ sim::Time SnoopAgent::local_rto() const {
 void SnoopAgent::arm_timer() {
   sim_.cancel(timer_);
   if (cache_.empty()) return;
-  timer_ = sim_.after(local_rto(), [this] { on_local_timeout(); });
+  timer_ = sim_.after(local_rto(), [this] { on_local_timeout(); }, "snoop.timer");
 }
 
 void SnoopAgent::on_local_timeout() {
   if (cache_.empty()) return;
   ++stats_.local_timeouts;
+  obs::add(probe_local_timeouts_);
   local_retransmit(cache_.begin()->first);
 }
 

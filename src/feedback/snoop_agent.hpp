@@ -15,6 +15,7 @@
 #include <string>
 
 #include "src/net/packet.hpp"
+#include "src/obs/probe.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/tcp/tahoe_sender.hpp"  // PacketForwarder
 
@@ -82,6 +83,10 @@ class SnoopAgent {
   bool have_rtt_ = false;
   sim::EventId timer_;
   SnoopStats stats_;
+  obs::Registry* bus_ = nullptr;
+  obs::Counter* probe_local_rtx_ = nullptr;
+  obs::Counter* probe_dupacks_suppressed_ = nullptr;
+  obs::Counter* probe_local_timeouts_ = nullptr;
 };
 
 }  // namespace wtcp::feedback

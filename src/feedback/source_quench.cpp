@@ -10,6 +10,10 @@ SourceQuenchAgent::SourceQuenchAgent(sim::Simulator& sim, SourceQuenchConfig cfg
                                      tcp::PacketForwarder to_source)
     : sim_(sim), cfg_(cfg), bs_(bs), source_(source), to_source_(std::move(to_source)) {
   assert(to_source_);
+  if ((bus_ = sim_.probes())) {
+    probe_sent_ = bus_->counter("quench.sent");
+    probe_suppressed_ = bus_->counter("quench.suppressed");
+  }
 }
 
 void SourceQuenchAgent::attach(link::ArqSender& arq) {
@@ -26,16 +30,20 @@ void SourceQuenchAgent::notify(const net::Packet& failed_frame) {
             : failed_frame.type == net::PacketType::kTcpData;
     if (!is_data) {
       ++stats_.suppressed;
+      obs::add(probe_suppressed_);
       return;
     }
   }
   if (!cfg_.min_interval.is_zero() && last_sent_ >= sim::Time::zero() &&
       sim_.now() - last_sent_ < cfg_.min_interval) {
     ++stats_.suppressed;
+    obs::add(probe_suppressed_);
     return;
   }
   last_sent_ = sim_.now();
   ++stats_.quenches_sent;
+  obs::add(probe_sent_);
+  if (bus_) bus_->publish(sim_.now(), "quench", "sent");
   net::Packet quench = net::make_control(net::PacketType::kSourceQuench,
                                          cfg_.message_bytes, bs_, source_, sim_.now());
   if (failed_frame.encapsulated && failed_frame.encapsulated->tcp) {

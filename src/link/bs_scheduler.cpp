@@ -84,7 +84,8 @@ std::size_t BsScheduler::pick() {
         // than burn shared airtime on doomed transmissions.
         ++stats_.csd_deferrals;
         if (!sim_.pending(probe_timer_)) {
-          probe_timer_ = sim_.after(cfg_.probe_interval, [this] { pump(); });
+          probe_timer_ =
+              sim_.after(cfg_.probe_interval, [this] { pump(); }, "bs.probe");
         }
       }
       return npos;

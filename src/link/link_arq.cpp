@@ -22,6 +22,12 @@ ArqSender::ArqSender(sim::Simulator& sim, net::DuplexLink& link, int endpoint,
       name_(std::move(name)),
       rng_(sim.fork_rng(name_ + "/arq-backoff")) {
   assert(cfg_.rt_max >= 0 && cfg_.window >= 1);
+  if ((bus_ = sim_.probes())) {
+    probe_attempts_ = bus_->counter("arq.attempts");
+    probe_retransmissions_ = bus_->counter("arq.retransmissions");
+    probe_discards_ = bus_->counter("arq.discards");
+    probe_delivered_ = bus_->counter("arq.delivered");
+  }
   // Arm ACK timers from actual transmission completion: watch our own
   // frames finish their airtime.
   link_.add_frame_observer([this](int from, const net::Packet& pkt, bool) {
@@ -63,7 +69,11 @@ void ArqSender::transmit_attempt(std::int64_t seq) {
   Outstanding& o = it->second;
   ++o.attempts;
   ++stats_.attempts;
-  if (o.attempts > 1) ++stats_.retransmissions;
+  obs::add(probe_attempts_);
+  if (o.attempts > 1) {
+    ++stats_.retransmissions;
+    obs::add(probe_retransmissions_);
+  }
   o.in_flight = true;
   link_.send(endpoint_, o.frame);
 }
@@ -90,9 +100,9 @@ void ArqSender::on_frame_aired(const net::Packet& pkt) {
   if (!o.in_flight) return;  // stale duplicate airing after a late ACK
   o.in_flight = false;
   sim_.cancel(o.ack_timer);
-  o.ack_timer = sim_.after(ack_wait_after_airtime(o.frame), [this, seq] {
-    on_ack_timeout(seq);
-  });
+  o.ack_timer = sim_.after(
+      ack_wait_after_airtime(o.frame), [this, seq] { on_ack_timeout(seq); },
+      "arq.ack_timer");
 }
 
 sim::Time ArqSender::backoff_delay(std::int32_t attempt) {
@@ -112,12 +122,18 @@ void ArqSender::on_ack_timeout(std::int64_t seq) {
   Outstanding& o = it->second;
   WTCP_LOG(kDebug, sim_.now(), name_.c_str(), "ack timeout attempt=%d %s",
            o.attempts, o.frame.describe().c_str());
+  if (bus_) {
+    bus_->publish(sim_.now(), "arq", "ack_timeout",
+                  static_cast<double>(o.attempts));
+  }
   if (on_attempt_failed) on_attempt_failed(o.frame, o.attempts);
 
   // `attempts` transmissions done => `attempts - 1` retransmissions so
   // far; RTmax bounds successive retransmissions.
   if (o.attempts - 1 >= cfg_.rt_max) {
     ++stats_.discarded;
+    obs::add(probe_discards_);
+    if (bus_) bus_->publish(sim_.now(), "arq", "discard", static_cast<double>(seq));
     const net::Packet dropped = std::move(o.frame);
     sim_.cancel(o.backoff_timer);
     outstanding_.erase(it);
@@ -125,9 +141,12 @@ void ArqSender::on_ack_timeout(std::int64_t seq) {
     fill_window();
     return;
   }
-  o.backoff_timer = sim_.after(backoff_delay(o.attempts), [this, seq] {
-    if (outstanding_.contains(seq)) transmit_attempt(seq);
-  });
+  o.backoff_timer = sim_.after(
+      backoff_delay(o.attempts),
+      [this, seq] {
+        if (outstanding_.contains(seq)) transmit_attempt(seq);
+      },
+      "arq.backoff");
 }
 
 void ArqSender::on_link_ack(const net::Packet& ack) {
@@ -138,6 +157,7 @@ void ArqSender::on_link_ack(const net::Packet& ack) {
     return;
   }
   ++stats_.delivered;
+  obs::add(probe_delivered_);
   Outstanding& o = it->second;
   sim_.cancel(o.ack_timer);
   sim_.cancel(o.backoff_timer);
@@ -210,7 +230,7 @@ void ArqReceiver::arm_hole_timer() {
   }
   if (sim_.pending(hole_timer_)) return;  // already timing this hole
   const sim::Time flush = flush_timeout_for(buffer_.begin()->second);
-  hole_timer_ = sim_.after(flush, [this] { on_hole_timeout(); });
+  hole_timer_ = sim_.after(flush, [this] { on_hole_timeout(); }, "arq.hole_timer");
 }
 
 void ArqReceiver::on_hole_timeout() {

@@ -19,6 +19,7 @@
 
 #include "src/net/link.hpp"
 #include "src/net/packet.hpp"
+#include "src/obs/probe.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace wtcp::link {
@@ -108,6 +109,14 @@ class ArqSender {
   std::map<std::int64_t, Outstanding> outstanding_; ///< link_seq -> state
   std::int64_t next_link_seq_ = 0;
   ArqSenderStats stats_;
+
+  /// Probe bus (null when observability is off).  Counters are shared
+  /// across ARQ instances — they aggregate both link directions.
+  obs::Registry* bus_ = nullptr;
+  obs::Counter* probe_attempts_ = nullptr;
+  obs::Counter* probe_retransmissions_ = nullptr;
+  obs::Counter* probe_discards_ = nullptr;
+  obs::Counter* probe_delivered_ = nullptr;
 };
 
 struct ArqReceiverStats {

@@ -17,6 +17,10 @@ WirelessInterface::WirelessInterface(sim::Simulator& sim, net::DuplexLink& link,
       name_(std::move(name)),
       fragmenter_(cfg.frag),
       reassembler_(sim, cfg.reassembly, upper) {
+  if (obs::Registry* bus = sim_.probes()) {
+    probe_datagrams_ = bus->counter("wifi.datagrams_sent");
+    probe_fragments_ = bus->counter("wifi.fragments_sent");
+  }
   if (cfg_.local_recovery) {
     arq_sender_ = std::make_unique<ArqSender>(sim, link, endpoint, cfg_.arq,
                                               name_ + "/arq-snd");
@@ -42,6 +46,8 @@ WirelessInterface::SendInfo WirelessInterface::send_datagram(
   std::vector<net::Packet> frags = fragmenter_.fragment(datagram, sim_.now());
   SendInfo info{frags.front().frag->datagram_id,
                 static_cast<std::int32_t>(frags.size())};
+  obs::add(probe_datagrams_);
+  obs::add(probe_fragments_, frags.size());
   for (net::Packet& frag : frags) {
     if (arq_sender_) {
       arq_sender_->submit(std::move(frag));

@@ -18,6 +18,7 @@
 #include "src/link/fragmentation.hpp"
 #include "src/link/link_arq.hpp"
 #include "src/net/link.hpp"
+#include "src/obs/probe.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace wtcp::link {
@@ -74,6 +75,8 @@ class WirelessInterface final : public net::PacketSink {
   Reassembler reassembler_;
   std::unique_ptr<ArqSender> arq_sender_;
   std::unique_ptr<ArqReceiver> arq_receiver_;
+  obs::Counter* probe_datagrams_ = nullptr;
+  obs::Counter* probe_fragments_ = nullptr;
 };
 
 /// Paper Section 3.1: 19.2 kbps raw, 1.5x framing/FEC overhead (=> 12.8

@@ -23,7 +23,7 @@ void HandoffManager::schedule_next(sim::Time from) {
       cfg_.deterministic
           ? cfg_.mean_interval
           : sim::Time::from_seconds(rng_.exponential(cfg_.mean_interval.to_seconds()));
-  sim_.at(from + gap, [this] { begin_handoff(); });
+  sim_.at(from + gap, [this] { begin_handoff(); }, "handoff");
 }
 
 void HandoffManager::begin_handoff() {
@@ -35,7 +35,7 @@ void HandoffManager::begin_handoff() {
   WTCP_LOG(kInfo, sim_.now(), "handoff", "begin (blackout %.3fs)",
            cfg_.latency.to_seconds());
   if (on_handoff_start) on_handoff_start();
-  sim_.after(cfg_.latency, [this] { end_handoff(); });
+  sim_.after(cfg_.latency, [this] { end_handoff(); }, "handoff");
 }
 
 void HandoffManager::end_handoff() {

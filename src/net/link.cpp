@@ -1,8 +1,10 @@
 #include "src/net/link.hpp"
 
 #include <cassert>
+#include <string>
 #include <utility>
 
+#include "src/obs/probe.hpp"
 #include "src/sim/logging.hpp"
 
 namespace wtcp::net {
@@ -13,6 +15,14 @@ DuplexLink::DuplexLink(sim::Simulator& sim, LinkConfig cfg)
       dirs_{Direction(cfg_.queue_packets), Direction(cfg_.queue_packets)} {
   assert(cfg_.bandwidth_bps > 0);
   assert(cfg_.overhead_num >= cfg_.overhead_den && cfg_.overhead_den > 0);
+  if (obs::Registry* bus = sim_.probes()) {
+    for (int from : {0, 1}) {
+      const std::string stem =
+          "queue." + cfg_.name + "." + std::to_string(from);
+      dirs_[from].queue.bind_probes(bus->counter(stem + ".drops"),
+                                    bus->gauge(stem + ".depth"));
+    }
+  }
   if (cfg_.medium) {
     for (int from : {0, 1}) {
       waiter_ids_[from] = cfg_.medium->add_waiter([this, from] {
@@ -105,36 +115,42 @@ void DuplexLink::start_transmission(int from, Packet pkt) {
            pkt.describe().c_str(), airtime.to_seconds(), corrupted ? " CORRUPT" : "");
 
   const int to = 1 - from;
-  sim_.after(airtime, [this, from, to, corrupted, pkt = std::move(pkt)]() mutable {
-    Direction& d2 = dir(from);
-    d2.busy = false;
-    for (const FrameObserver& obs : observers_) obs(from, pkt, !corrupted);
-    if (corrupted) {
-      ++d2.stats.frames_corrupted;
-      trace('c', from, pkt);
-    } else {
-      ++d2.stats.frames_delivered;
-      d2.stats.bytes_delivered += pkt.size_bytes;
-      if (sinks_[to]) {
-        sim_.after(cfg_.prop_delay,
-                   [this, from, to, pkt = std::move(pkt)]() mutable {
-                     trace('r', from, pkt);
-                     if (sinks_[to]) sinks_[to]->handle_packet(std::move(pkt));
-                   });
-      }
-    }
-    if (cfg_.medium) {
-      // The medium offers the channel round-robin across every bound
-      // direction (including ours).
-      cfg_.medium->release();
-    } else if (cfg_.half_duplex) {
-      // Alternate service so neither direction starves the shared channel.
-      kick(1 - from);
-      kick(from);
-    } else {
-      kick(from);
-    }
-  });
+  sim_.after(
+      airtime,
+      [this, from, to, corrupted, pkt = std::move(pkt)]() mutable {
+        Direction& d2 = dir(from);
+        d2.busy = false;
+        for (const FrameObserver& obs : observers_) obs(from, pkt, !corrupted);
+        if (corrupted) {
+          ++d2.stats.frames_corrupted;
+          trace('c', from, pkt);
+        } else {
+          ++d2.stats.frames_delivered;
+          d2.stats.bytes_delivered += pkt.size_bytes;
+          if (sinks_[to]) {
+            sim_.after(
+                cfg_.prop_delay,
+                [this, from, to, pkt = std::move(pkt)]() mutable {
+                  trace('r', from, pkt);
+                  if (sinks_[to]) sinks_[to]->handle_packet(std::move(pkt));
+                },
+                "link.deliver");
+          }
+        }
+        if (cfg_.medium) {
+          // The medium offers the channel round-robin across every bound
+          // direction (including ours).
+          cfg_.medium->release();
+        } else if (cfg_.half_duplex) {
+          // Alternate service so neither direction starves the shared
+          // channel.
+          kick(1 - from);
+          kick(from);
+        } else {
+          kick(from);
+        }
+      },
+      "link.tx_done");
 }
 
 }  // namespace wtcp::net

@@ -14,6 +14,7 @@ DropTailQueue::DropTailQueue(std::size_t capacity_packets, std::int64_t capacity
 bool DropTailQueue::enqueue(Packet pkt) {
   if (items_.size() >= capacity_packets_ || bytes_ + pkt.size_bytes > capacity_bytes_) {
     ++stats_.dropped;
+    obs::add(probe_drops_);
     return false;
   }
   bytes_ += pkt.size_bytes;
@@ -21,12 +22,14 @@ bool DropTailQueue::enqueue(Packet pkt) {
   ++stats_.enqueued;
   stats_.max_depth_packets = std::max(stats_.max_depth_packets, items_.size());
   stats_.max_depth_bytes = std::max(stats_.max_depth_bytes, bytes_);
+  update_depth_gauge();
   return true;
 }
 
 bool DropTailQueue::enqueue_front(Packet pkt) {
   if (items_.size() >= capacity_packets_ || bytes_ + pkt.size_bytes > capacity_bytes_) {
     ++stats_.dropped;
+    obs::add(probe_drops_);
     return false;
   }
   bytes_ += pkt.size_bytes;
@@ -34,6 +37,7 @@ bool DropTailQueue::enqueue_front(Packet pkt) {
   ++stats_.enqueued;
   stats_.max_depth_packets = std::max(stats_.max_depth_packets, items_.size());
   stats_.max_depth_bytes = std::max(stats_.max_depth_bytes, bytes_);
+  update_depth_gauge();
   return true;
 }
 
@@ -43,6 +47,7 @@ std::optional<Packet> DropTailQueue::dequeue() {
   items_.pop_front();
   bytes_ -= pkt.size_bytes;
   ++stats_.dequeued;
+  update_depth_gauge();
   return pkt;
 }
 
@@ -53,6 +58,13 @@ const Packet* DropTailQueue::peek() const {
 void DropTailQueue::clear() {
   items_.clear();
   bytes_ = 0;
+  update_depth_gauge();
+}
+
+void DropTailQueue::bind_probes(obs::Counter* drops, obs::Gauge* depth) {
+  probe_drops_ = drops;
+  probe_depth_ = depth;
+  update_depth_gauge();
 }
 
 }  // namespace wtcp::net

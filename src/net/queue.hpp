@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "src/net/packet.hpp"
+#include "src/obs/probe.hpp"
 
 namespace wtcp::net {
 
@@ -48,12 +49,22 @@ class DropTailQueue {
   /// Drop everything (used when tearing down a run).
   void clear();
 
+  /// Publish drops (counter) and live depth in packets (gauge) to the
+  /// probe bus; either pointer may be null.
+  void bind_probes(obs::Counter* drops, obs::Gauge* depth);
+
  private:
+  void update_depth_gauge() {
+    if (probe_depth_) probe_depth_->value = static_cast<double>(items_.size());
+  }
+
   std::size_t capacity_packets_;
   std::int64_t capacity_bytes_;
   std::int64_t bytes_ = 0;
   std::deque<Packet> items_;
   QueueStats stats_;
+  obs::Counter* probe_drops_ = nullptr;
+  obs::Gauge* probe_depth_ = nullptr;
 };
 
 }  // namespace wtcp::net

@@ -1,0 +1,40 @@
+#include "src/obs/export.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "src/obs/json.hpp"
+
+namespace wtcp::obs {
+
+void write_events_jsonl(std::ostream& os, const Registry& registry,
+                        std::int64_t seed) {
+  char tbuf[32];
+  for (const Event& e : registry.events()) {
+    std::snprintf(tbuf, sizeof tbuf, "%.6f", e.at.to_seconds());
+    os << "{\"t\":" << tbuf << ",\"component\":\"" << json_escape(e.component)
+       << "\",\"event\":\"" << json_escape(e.name) << '"';
+    if (e.value != 0.0) {
+      char vbuf[32];
+      std::snprintf(vbuf, sizeof vbuf, "%.10g", e.value);
+      os << ",\"value\":" << vbuf;
+    }
+    if (seed >= 0) os << ",\"seed\":" << seed;
+    os << "}\n";
+  }
+}
+
+void write_probe_snapshot(JsonWriter& w, const Registry& registry) {
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : registry.counters()) {
+    w.field(name, c.value);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : registry.gauges()) {
+    w.field(name, g.value);
+  }
+  w.end_object();
+}
+
+}  // namespace wtcp::obs

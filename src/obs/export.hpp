@@ -1,0 +1,27 @@
+// Exporters: registry event log -> JSONL, counters/gauges -> JSON object.
+//
+// The per-run manifest itself is assembled by core/experiment (it needs
+// scenario metadata the obs layer must not depend on); these helpers
+// render the obs-owned pieces.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "src/obs/probe.hpp"
+
+namespace wtcp::obs {
+
+class JsonWriter;
+
+/// One JSON line per event:
+///   {"t":12.345678,"component":"tcp","event":"timeout","value":3,"seed":1}
+/// The seed field is omitted when `seed` is negative (single-run streams).
+void write_events_jsonl(std::ostream& os, const Registry& registry,
+                        std::int64_t seed = -1);
+
+/// Emit {"counters":{...},"gauges":{...}} members into an already-open
+/// JSON object (the manifest's per-seed report).
+void write_probe_snapshot(JsonWriter& w, const Registry& registry);
+
+}  // namespace wtcp::obs

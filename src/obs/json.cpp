@@ -1,0 +1,116 @@
+#include "src/obs/json.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace wtcp::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value completes a "key":  pair, no comma
+  }
+  if (has_elem_.back()) os_ << ',';
+  has_elem_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  os_ << '{';
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(has_elem_.size() > 1 && !after_key_);
+  has_elem_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  os_ << '[';
+  has_elem_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(has_elem_.size() > 1 && !after_key_);
+  has_elem_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  assert(!after_key_);
+  comma();
+  os_ << '"' << json_escape(k) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  // %.17g round-trips doubles but litters output; %.10g is plenty for
+  // simulation quantities and stays locale-independent via snprintf("C").
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+}  // namespace wtcp::obs

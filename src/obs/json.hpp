@@ -1,0 +1,60 @@
+// Minimal streaming JSON writer for the machine-readable exporters.
+//
+// Emits objects/arrays to an ostream with correct commas, string escaping
+// and locale-independent number formatting.  Nothing is buffered; the
+// caller is responsible for well-formed nesting (asserts catch misuse in
+// debug builds).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wtcp::obs {
+
+/// JSON-escape `s` (quotes, backslashes, control characters).  Returned
+/// string excludes the surrounding quotes.
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value or
+  /// begin_object/begin_array.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+
+  /// Shorthand: key + value.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void comma();
+
+  std::ostream& os_;
+  /// Per nesting level: has this container already emitted an element?
+  std::vector<bool> has_elem_{false};
+  bool after_key_ = false;
+};
+
+}  // namespace wtcp::obs

@@ -1,0 +1,36 @@
+#include "src/obs/probe.hpp"
+
+namespace wtcp::obs {
+
+Counter* Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return &it->second;
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return &it->second;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value;
+}
+
+double Registry::gauge_value(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value;
+}
+
+void Registry::publish(sim::Time at, const char* component, const char* name,
+                       double value) {
+  events_.push_back(Event{at, component, name, value});
+}
+
+}  // namespace wtcp::obs

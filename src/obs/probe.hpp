@@ -1,0 +1,94 @@
+// Probe bus: the one place every subsystem publishes its internals to.
+//
+// Three primitives, all owned by a per-run obs::Registry:
+//
+//   * Counter — monotonically increasing uint64 ("tcp.timeouts").
+//   * Gauge   — last-written double ("channel.bad_time_s").
+//   * Event   — a timestamped (component, name, value) record appended to
+//               the registry's event log; exported as JSONL.
+//
+// Zero overhead when off: components look the registry up once (at
+// construction, via Simulator::probes()) and cache raw Counter*/Gauge*
+// pointers; when no registry is attached the pointers are null and every
+// probe call is a single predictable branch.  Probe names use dotted
+// lowercase paths, "<subsystem>.<instance?>.<quantity>" — see
+// docs/observability.md for the naming scheme.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace wtcp::obs {
+
+struct Counter {
+  std::uint64_t value = 0;
+};
+
+struct Gauge {
+  double value = 0.0;
+};
+
+/// One discrete occurrence published on the bus.  `component` and `name`
+/// are string literals (or otherwise outlive the registry) so the log
+/// stays 32 bytes per event.
+struct Event {
+  sim::Time at;
+  const char* component;
+  const char* name;
+  double value;
+};
+
+/// Null-tolerant probe helpers — the idiom at every publish site.
+inline void add(Counter* c, std::uint64_t n = 1) {
+  if (c) c->value += n;
+}
+inline void set(Gauge* g, double v) {
+  if (g) g->value = v;
+}
+
+/// Per-run registry of named probes plus the event log.  Single-threaded,
+/// like everything else in a run.  Lives at least as long as the
+/// Simulator it is attached to.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create.  Returned pointers are stable for the registry's
+  /// lifetime (node-based storage).
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+
+  /// Value lookups for consumers (exporters, tests).  Missing names read
+  /// as zero so reports never have to special-case unwired probes.
+  std::uint64_t counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+
+  /// Append one event to the log.  `component`/`name` must outlive the
+  /// registry (string literals in practice).
+  void publish(sim::Time at, const char* component, const char* name,
+               double value = 0.0);
+
+  const std::vector<Event>& events() const { return events_; }
+  const std::map<std::string, Counter, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge, std::less<>>& gauges() const {
+    return gauges_;
+  }
+
+  void clear_events() { events_.clear(); }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::vector<Event> events_;
+};
+
+}  // namespace wtcp::obs

@@ -1,0 +1,65 @@
+#include "src/obs/sampler.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace wtcp::obs {
+
+void TimeSeries::write_csv(std::ostream& os, std::int64_t seed_column,
+                           bool header) const {
+  if (header) {
+    if (seed_column >= 0) os << "seed,";
+    os << "time_s";
+    for (const std::string& c : columns) os << ',' << c;
+    os << '\n';
+  }
+  char buf[32];
+  for (const Row& r : rows) {
+    if (seed_column >= 0) os << seed_column << ',';
+    std::snprintf(buf, sizeof buf, "%.6f", r.at.to_seconds());
+    os << buf;
+    for (const double v : r.values) {
+      std::snprintf(buf, sizeof buf, "%.10g", v);
+      os << ',' << buf;
+    }
+    os << '\n';
+  }
+}
+
+Sampler::Sampler(sim::Simulator& sim, sim::Time interval)
+    : sim_(sim), interval_(interval) {
+  assert(interval_ > sim::Time::zero());
+  // A non-positive interval would self-reschedule at the same instant
+  // forever (the tick never advances time); clamp rather than hang in
+  // release builds.
+  if (interval_ <= sim::Time::zero()) interval_ = sim::Time::milliseconds(1);
+}
+
+void Sampler::add_series(std::string name, std::function<double()> probe) {
+  assert(!running_ && "register all columns before start()");
+  assert(probe);
+  series_.columns.push_back(std::move(name));
+  probes_.push_back(std::move(probe));
+}
+
+void Sampler::start() {
+  if (running_) return;
+  running_ = true;
+  tick();
+}
+
+void Sampler::stop() {
+  running_ = false;
+  sim_.cancel(tick_event_);
+}
+
+void Sampler::tick() {
+  TimeSeries::Row row;
+  row.at = sim_.now();
+  row.values.reserve(probes_.size());
+  for (const auto& probe : probes_) row.values.push_back(probe());
+  series_.rows.push_back(std::move(row));
+  tick_event_ = sim_.after(interval_, [this] { tick(); }, "obs.sampler");
+}
+
+}  // namespace wtcp::obs

@@ -1,0 +1,75 @@
+// Periodic time-series sampler driven by the simulator's scheduler.
+//
+// Callers register named probe functions ("cwnd" -> [] { return
+// sender.cwnd(); }); the sampler ticks at a fixed interval, evaluates
+// every probe, and appends one row to an in-memory TimeSeries.  The first
+// row is taken at start() time, so a horizon H with interval dt yields
+// floor(H/dt) + 1 rows.
+//
+// The sampler keeps itself alive by rescheduling, so it must only run in
+// simulations that stop via Simulator::stop() or a run(horizon) bound —
+// exactly how Scenario runs work.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+#include "src/sim/time.hpp"
+
+namespace wtcp::obs {
+
+/// Column-named table of (time, values...) rows.
+struct TimeSeries {
+  struct Row {
+    sim::Time at;
+    std::vector<double> values;
+  };
+
+  std::vector<std::string> columns;  ///< excludes the leading time column
+  std::vector<Row> rows;
+
+  bool empty() const { return rows.empty(); }
+  std::size_t size() const { return rows.size(); }
+
+  /// CSV export.  When `seed_column` is non-negative a leading "seed"
+  /// column is emitted (multi-seed aggregation into one file); `header`
+  /// controls whether the column row is printed (off when appending).
+  void write_csv(std::ostream& os, std::int64_t seed_column = -1,
+                 bool header = true) const;
+};
+
+class Sampler {
+ public:
+  Sampler(sim::Simulator& sim, sim::Time interval);
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Register one column.  All columns must be added before start().
+  void add_series(std::string name, std::function<double()> probe);
+
+  /// Take the first sample now and begin ticking every interval.
+  void start();
+
+  /// Stop ticking (the recorded series stays).
+  void stop();
+
+  sim::Time interval() const { return interval_; }
+  const TimeSeries& series() const { return series_; }
+  std::size_t sample_count() const { return series_.rows.size(); }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  sim::Time interval_;
+  std::vector<std::function<double()>> probes_;
+  TimeSeries series_;
+  sim::EventId tick_event_;
+  bool running_ = false;
+};
+
+}  // namespace wtcp::obs

@@ -7,8 +7,12 @@ namespace wtcp::phy {
 bool ErrorModel::corrupts(sim::Time start, sim::Time end, std::int64_t bits) {
   assert(end >= start);
   ++stats_.queries;
+  obs::add(probe_queries_);
   const bool bad = corrupts_impl(start, end, bits);
-  if (bad) ++stats_.corrupted;
+  if (bad) {
+    ++stats_.corrupted;
+    obs::add(probe_corrupted_);
+  }
   return bad;
 }
 

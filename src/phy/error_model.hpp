@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/obs/probe.hpp"
 #include "src/sim/random.hpp"
 #include "src/sim/time.hpp"
 
@@ -35,11 +36,20 @@ class ErrorModel {
 
   const ErrorModelStats& stats() const { return stats_; }
 
+  /// Publish query/corruption counts to the probe bus (either pointer may
+  /// be null).  Called by whoever builds the channel when obs is on.
+  void bind_probes(obs::Counter* queries, obs::Counter* corrupted) {
+    probe_queries_ = queries;
+    probe_corrupted_ = corrupted;
+  }
+
  protected:
   virtual bool corrupts_impl(sim::Time start, sim::Time end, std::int64_t bits) = 0;
 
  private:
   ErrorModelStats stats_;
+  obs::Counter* probe_queries_ = nullptr;
+  obs::Counter* probe_corrupted_ = nullptr;
 };
 
 /// Lossless channel (wired links).

@@ -57,6 +57,15 @@ ChannelState GilbertElliottModel::state_at(sim::Time t) {
   return s;
 }
 
+ChannelState GilbertElliottModel::peek_state(sim::Time t) const {
+  ChannelState s = segments_.front().state;
+  for (const Segment& seg : segments_) {
+    if (seg.begin > t) break;
+    s = seg.state;
+  }
+  return s;
+}
+
 double GilbertElliottModel::expected_errors(sim::Time start, sim::Time end,
                                             std::int64_t bits) {
   extend_to(end);

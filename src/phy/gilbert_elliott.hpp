@@ -52,6 +52,11 @@ class GilbertElliottModel final : public ErrorModel {
   /// in roughly nondecreasing order; see header comment).
   ChannelState state_at(sim::Time t);
 
+  /// State at `t` WITHOUT extending the trajectory — never draws from the
+  /// RNG, so observers (the obs sampler) cannot perturb the run.  Times
+  /// past the sampled horizon report the state entered at the horizon.
+  ChannelState peek_state(sim::Time t) const;
+
   const GilbertElliottConfig& config() const { return cfg_; }
 
   /// Total time spent in the bad state among the trajectory sampled so far

@@ -24,6 +24,8 @@ void Log::write(LogLevel level, Time now, std::string_view component,
   std::fprintf(sink_, "[%12.6f] %-5s %-10.*s %.*s\n", now.to_seconds(),
                level_name(level), static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());
+  // Warnings must survive a crash shortly after; pay the flush only there.
+  if (level == LogLevel::kWarn) std::fflush(sink_);
 }
 
 std::string log_format(const char* fmt, ...) {

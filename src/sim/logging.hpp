@@ -37,10 +37,14 @@ std::string log_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)
 }  // namespace wtcp::sim
 
 /// Usage: WTCP_LOG(kDebug, sim.now(), "tcp", "timeout seq=%ld", seq);
+/// `now` is hoisted into a local so an expression with side effects (for
+/// example a clock that samples on read) is evaluated exactly once.
 #define WTCP_LOG(level, now, component, ...)                                       \
   do {                                                                             \
     if (::wtcp::sim::Log::enabled(::wtcp::sim::LogLevel::level)) {                 \
-      ::wtcp::sim::Log::write(::wtcp::sim::LogLevel::level, (now), (component),    \
+      const ::wtcp::sim::Time wtcp_log_now = (now);                                \
+      ::wtcp::sim::Log::write(::wtcp::sim::LogLevel::level, wtcp_log_now,          \
+                              (component),                                         \
                               ::wtcp::sim::log_format(__VA_ARGS__));               \
     }                                                                              \
   } while (0)

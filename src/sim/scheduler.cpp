@@ -1,22 +1,24 @@
 #include "src/sim/scheduler.hpp"
 
 #include <cassert>
+#include <string_view>
 #include <utility>
 
 namespace wtcp::sim {
 
-EventId Scheduler::schedule_at(Time at, Callback cb) {
+EventId Scheduler::schedule_at(Time at, Callback cb, const char* tag) {
   assert(cb);
   if (at < now_) at = now_;  // never schedule into the past
   const std::uint64_t id = next_id_++;
   heap_.push(HeapEntry{at, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
+  callbacks_.emplace(id, Entry{std::move(cb), tag});
+  if (callbacks_.size() > max_depth_) max_depth_ = callbacks_.size();
   return EventId{id};
 }
 
-EventId Scheduler::schedule_after(Time delay, Callback cb) {
+EventId Scheduler::schedule_after(Time delay, Callback cb, const char* tag) {
   if (delay.is_negative()) delay = Time::zero();
-  return schedule_at(now_ + delay, std::move(cb));
+  return schedule_at(now_ + delay, std::move(cb), tag);
 }
 
 bool Scheduler::cancel(EventId id) {
@@ -37,10 +39,19 @@ bool Scheduler::run_one() {
     heap_.pop();
     auto it = callbacks_.find(top.id);
     if (it == callbacks_.end()) continue;  // cancelled
-    Callback cb = std::move(it->second);
+    Callback cb = std::move(it->second.cb);
+    const char* tag = it->second.tag;
     callbacks_.erase(it);
     now_ = top.at;
     ++executed_;
+    if (profiling_) {
+      const std::string_view key = tag ? tag : "untagged";
+      auto pit = executed_by_tag_.find(key);
+      if (pit == executed_by_tag_.end()) {
+        pit = executed_by_tag_.emplace(std::string(key), 0).first;
+      }
+      ++pit->second;
+    }
     cb();
     return true;
   }

@@ -4,7 +4,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -30,10 +32,12 @@ class Scheduler {
   Time now() const { return now_; }
 
   /// Schedule `cb` to run at absolute time `at` (must be >= now()).
-  EventId schedule_at(Time at, Callback cb);
+  /// `tag` labels the event's component for profiling; it must be a
+  /// string literal (or otherwise outlive the scheduler).
+  EventId schedule_at(Time at, Callback cb, const char* tag = nullptr);
 
   /// Schedule `cb` to run `delay` from now (delay clamped to >= 0).
-  EventId schedule_after(Time delay, Callback cb);
+  EventId schedule_after(Time delay, Callback cb, const char* tag = nullptr);
 
   /// Cancel a pending event.  Returns true if the event was still pending.
   /// Safe to call with invalid/stale handles.
@@ -66,6 +70,18 @@ class Scheduler {
   /// Total events executed over the scheduler's lifetime.
   std::uint64_t executed_count() const { return executed_; }
 
+  /// High-water mark of live (non-cancelled) pending events.
+  std::size_t max_pending_depth() const { return max_depth_; }
+
+  /// Start counting executed events per schedule-site tag (untagged
+  /// events land under "untagged").  Off by default: the per-event map
+  /// lookup is the one profiling cost worth gating.
+  void enable_profiling() { profiling_ = true; }
+  bool profiling_enabled() const { return profiling_; }
+  const std::map<std::string, std::uint64_t, std::less<>>& executed_by_tag() const {
+    return executed_by_tag_;
+  }
+
  private:
   struct HeapEntry {
     Time at;
@@ -77,12 +93,20 @@ class Scheduler {
     }
   };
 
+  struct Entry {
+    Callback cb;
+    const char* tag;  ///< nullptr = untagged
+  };
+
   Time now_;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t max_depth_ = 0;
+  bool profiling_ = false;
+  std::map<std::string, std::uint64_t, std::less<>> executed_by_tag_;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::unordered_map<std::uint64_t, Entry> callbacks_;
 };
 
 }  // namespace wtcp::sim

@@ -1,14 +1,20 @@
 #include "src/sim/simulator.hpp"
 
+#include <chrono>
+
 namespace wtcp::sim {
 
 Simulator::Simulator(std::uint64_t seed) : seed_(seed), root_rng_(seed) {}
 
 std::uint64_t Simulator::run(Time horizon) {
+  const auto wall_start = std::chrono::steady_clock::now();
   std::uint64_t n = 0;
   while (!stopped_ && sched_.next_event_time() <= horizon && sched_.run_one()) {
     ++n;
   }
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
   return n;
 }
 

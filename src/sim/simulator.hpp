@@ -9,6 +9,10 @@
 #include "src/sim/scheduler.hpp"
 #include "src/sim/time.hpp"
 
+namespace wtcp::obs {
+class Registry;
+}
+
 namespace wtcp::sim {
 
 /// One simulation run.  Components hold a Simulator& and use it for time,
@@ -28,11 +32,11 @@ class Simulator {
   const Rng& root_rng() const { return root_rng_; }
   Rng fork_rng(std::string_view label) const { return root_rng_.fork(label); }
 
-  EventId at(Time when, Scheduler::Callback cb) {
-    return sched_.schedule_at(when, std::move(cb));
+  EventId at(Time when, Scheduler::Callback cb, const char* tag = nullptr) {
+    return sched_.schedule_at(when, std::move(cb), tag);
   }
-  EventId after(Time delay, Scheduler::Callback cb) {
-    return sched_.schedule_after(delay, std::move(cb));
+  EventId after(Time delay, Scheduler::Callback cb, const char* tag = nullptr) {
+    return sched_.schedule_after(delay, std::move(cb), tag);
   }
   bool cancel(EventId id) { return sched_.cancel(id); }
   bool pending(EventId id) const { return sched_.pending(id); }
@@ -47,10 +51,23 @@ class Simulator {
 
   std::uint64_t seed() const { return seed_; }
 
+  /// Probe bus for this run, or nullptr when observability is off.
+  /// Components cache Counter*/Gauge* pointers from it at construction,
+  /// so attach the registry BEFORE building the component graph.  The
+  /// registry is owned by the caller and must outlive the simulator.
+  void set_probes(obs::Registry* probes) { probes_ = probes; }
+  obs::Registry* probes() const { return probes_; }
+
+  /// Cumulative wall-clock seconds spent inside run() (scheduler
+  /// profiling: wall-time per simulated second = wall_seconds() / now()).
+  double wall_seconds() const { return wall_seconds_; }
+
  private:
   std::uint64_t seed_;
   Scheduler sched_;
   Rng root_rng_;
+  obs::Registry* probes_ = nullptr;
+  double wall_seconds_ = 0.0;
   bool stopped_ = false;
 };
 

@@ -5,6 +5,45 @@
 #include <ostream>
 
 namespace wtcp::stats {
+namespace {
+
+/// Index of a DuplexLink trace event char in probe_by_event_ (or -1).
+int event_slot(char event) {
+  switch (event) {
+    case '+': return 0;
+    case '-': return 1;
+    case 'd': return 2;
+    case 'r': return 3;
+    case 'c': return 4;
+  }
+  return -1;
+}
+
+const char* event_name(char event) {
+  switch (event) {
+    case '+': return "enqueue";
+    case '-': return "transmit";
+    case 'd': return "drop";
+    case 'r': return "deliver";
+    case 'c': return "corrupt";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void NetTrace::bind(obs::Registry* bus) {
+  bus_ = bus;
+  if (!bus_) {
+    for (auto*& c : probe_by_event_) c = nullptr;
+    return;
+  }
+  probe_by_event_[0] = bus_->counter("net.enqueues");
+  probe_by_event_[1] = bus_->counter("net.transmits");
+  probe_by_event_[2] = bus_->counter("net.drops");
+  probe_by_event_[3] = bus_->counter("net.delivers");
+  probe_by_event_[4] = bus_->counter("net.corrupts");
+}
 
 void NetTrace::attach(net::DuplexLink& link, std::string name) {
   const auto idx = static_cast<std::uint16_t>(names_.size());
@@ -26,6 +65,14 @@ void NetTrace::attach(net::DuplexLink& link, std::string name) {
       r.seq = -1;
     }
     records_.push_back(r);
+    if (bus_) {
+      const int slot = event_slot(event);
+      if (slot >= 0) obs::add(probe_by_event_[slot]);
+      if (event == 'd' || event == 'c') {
+        bus_->publish(r.at, "net", event_name(event),
+                      static_cast<double>(r.seq));
+      }
+    }
   });
 }
 

@@ -14,6 +14,7 @@
 
 #include "src/net/link.hpp"
 #include "src/net/packet.hpp"
+#include "src/obs/probe.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/sim/time.hpp"
 
@@ -39,6 +40,12 @@ class NetTrace {
 
   /// Start recording `link`'s events under the given display name.
   void attach(net::DuplexLink& link, std::string name);
+
+  /// Mirror onto the probe bus: per-event counters (net.enqueues,
+  /// net.transmits, net.drops, net.delivers, net.corrupts) for every
+  /// record, plus published events for drops and corruptions only — the
+  /// bulk '+'/'-'/'r' traffic stays out of the event log.
+  void bind(obs::Registry* bus);
 
   const std::vector<NetTraceRecord>& records() const { return records_; }
   const std::vector<std::string>& link_names() const { return names_; }
@@ -67,6 +74,8 @@ class NetTrace {
   sim::Simulator& sim_;
   std::vector<std::string> names_;
   std::vector<NetTraceRecord> records_;
+  obs::Registry* bus_ = nullptr;
+  obs::Counter* probe_by_event_[5] = {};  ///< +, -, d, r, c
 };
 
 }  // namespace wtcp::stats

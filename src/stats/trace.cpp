@@ -23,6 +23,7 @@ const char* to_string(TraceEvent e) {
 
 void ConnectionTrace::record(sim::Time at, TraceEvent event, std::int64_t seq) {
   records_.push_back(TraceRecord{at, event, seq});
+  if (bus_) bus_->publish(at, "tcp", to_string(event), static_cast<double>(seq));
 }
 
 std::size_t ConnectionTrace::count(TraceEvent event) const {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/probe.hpp"
 #include "src/sim/time.hpp"
 
 namespace wtcp::stats {
@@ -41,6 +42,10 @@ class ConnectionTrace {
  public:
   void record(sim::Time at, TraceEvent event, std::int64_t seq);
 
+  /// Mirror every record onto the probe bus as a "tcp" event (null
+  /// unbinds).  The record() API and in-memory log are unchanged.
+  void bind(obs::Registry* bus) { bus_ = bus; }
+
   const std::vector<TraceRecord>& records() const { return records_; }
 
   /// Count of records with the given event type.
@@ -67,6 +72,7 @@ class ConnectionTrace {
 
  private:
   std::vector<TraceRecord> records_;
+  obs::Registry* bus_ = nullptr;
 };
 
 }  // namespace wtcp::stats

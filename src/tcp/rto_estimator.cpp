@@ -19,12 +19,14 @@ std::int64_t RtoEstimator::to_ticks(sim::Time rtt) const {
 }
 
 void RtoEstimator::add_sample(sim::Time rtt) {
+  obs::add(probe_samples_);
   const std::int64_t m = to_ticks(rtt);
   if (!has_sample_) {
     // RFC 6298 initialization: SRTT = R, RTTVAR = R/2.
     sa_ = m << 3;
     sv_ = (m << 2) / 2;
     has_sample_ = true;
+    update_rto_gauge();
     return;
   }
   // 4.3BSD integer filter (Jacobson '88, appendix A).
@@ -35,6 +37,7 @@ void RtoEstimator::add_sample(sim::Time rtt) {
   delta -= (sv_ >> 2);
   sv_ += delta;
   if (sv_ <= 0) sv_ = 1;
+  update_rto_gauge();
 }
 
 sim::Time RtoEstimator::base_rto() const {
@@ -50,7 +53,21 @@ sim::Time RtoEstimator::rto() const {
 }
 
 void RtoEstimator::back_off() {
+  obs::add(probe_backoffs_);
   if (backoff_shift_ < cfg_.max_backoff_shift) ++backoff_shift_;
+  update_rto_gauge();
+}
+
+void RtoEstimator::bind_probes(obs::Registry* registry) {
+  if (!registry) return;
+  probe_samples_ = registry->counter("tcp.rto.samples");
+  probe_backoffs_ = registry->counter("tcp.rto.backoffs");
+  probe_rto_s_ = registry->gauge("tcp.rto.seconds");
+  update_rto_gauge();
+}
+
+void RtoEstimator::update_rto_gauge() {
+  if (probe_rto_s_) probe_rto_s_->value = rto().to_seconds();
 }
 
 sim::Time RtoEstimator::srtt() const {

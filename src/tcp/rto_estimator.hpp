@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "src/obs/probe.hpp"
 #include "src/sim/time.hpp"
 
 namespace wtcp::tcp {
@@ -42,7 +43,10 @@ class RtoEstimator {
   void back_off();
 
   /// An ACK for a non-retransmitted segment arrived: drop the backoff.
-  void reset_backoff() { backoff_shift_ = 0; }
+  void reset_backoff() {
+    backoff_shift_ = 0;
+    update_rto_gauge();
+  }
 
   std::int32_t backoff_shift() const { return backoff_shift_; }
   bool has_sample() const { return has_sample_; }
@@ -56,7 +60,16 @@ class RtoEstimator {
   /// RTT quantized to clock ticks, as the estimator will perceive it.
   std::int64_t to_ticks(sim::Time rtt) const;
 
+  /// Publish samples/backoffs/current-RTO to the probe bus (no-op with a
+  /// null registry).  Called by the owning sender when observability is on.
+  void bind_probes(obs::Registry* registry);
+
  private:
+  void update_rto_gauge();
+
+  obs::Counter* probe_samples_ = nullptr;
+  obs::Counter* probe_backoffs_ = nullptr;
+  obs::Gauge* probe_rto_s_ = nullptr;
   RtoConfig cfg_;
   // BSD fixed point: sa = 8*srtt_ticks, sv = 4*rttvar_ticks.
   std::int64_t sa_ = 0;

@@ -40,10 +40,31 @@ TcpSender::TcpSender(sim::Simulator& sim, TcpConfig cfg, net::NodeId self,
       ssthresh_(static_cast<double>(cfg.window_segments())),
       ever_retransmitted_(static_cast<std::size_t>(total_segments_), false) {
   assert(cfg_.mss > 0 && cfg_.file_bytes > 0);
+  if ((bus_ = sim_.probes())) {
+    static constexpr const char* kCounterNames[10] = {
+        "tcp.sends",         "tcp.retransmits",    "tcp.acks",
+        "tcp.dupacks",       "tcp.timeouts",       "tcp.fast_rtx",
+        "tcp.ebsn_received", "tcp.quench_received", "tcp.cwnd_updates",
+        "tcp.delivers"};
+    for (int i = 0; i < 10; ++i) {
+      event_counters_[i] = bus_->counter(kCounterNames[i]);
+    }
+    estimator_.bind_probes(bus_);
+  }
 }
 
 void TcpSender::trace(stats::TraceEvent e, std::int64_t seq) {
   if (trace_) trace_->record(sim_.now(), e, seq);
+  if (bus_) {
+    obs::add(event_counters_[static_cast<int>(e)]);
+    // A bound ConnectionTrace mirrors its records onto the bus itself;
+    // publish directly only when no trace is attached, so each TCP event
+    // appears exactly once in the event log.
+    if (!trace_) {
+      bus_->publish(sim_.now(), "tcp", stats::to_string(e),
+                    static_cast<double>(seq));
+    }
+  }
 }
 
 void TcpSender::start() {
@@ -89,7 +110,7 @@ void TcpSender::send_fin() {
 }
 
 void TcpSender::start_at(sim::Time at) {
-  sim_.at(at, [this] { start(); });
+  sim_.at(at, [this] { start(); }, "tcp.start");
 }
 
 std::int64_t TcpSender::effective_window() const {
@@ -178,7 +199,8 @@ void TcpSender::transmit(std::int64_t seq) {
 
 void TcpSender::set_rtx_timer() {
   sim_.cancel(rtx_timer_);
-  rtx_timer_ = sim_.after(estimator_.rto(), [this] { on_rtx_timeout(); });
+  rtx_timer_ =
+      sim_.after(estimator_.rto(), [this] { on_rtx_timeout(); }, "tcp.rtx_timer");
 }
 
 void TcpSender::cancel_rtx_timer() { sim_.cancel(rtx_timer_); }

@@ -28,6 +28,7 @@
 
 #include "src/net/node.hpp"
 #include "src/net/packet.hpp"
+#include "src/obs/probe.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/stats/trace.hpp"
 #include "src/tcp/rto_estimator.hpp"
@@ -188,6 +189,10 @@ class TcpSender final : public net::PacketSink {
   std::string name_;
   PacketForwarder downstream_;
   stats::ConnectionTrace* trace_ = nullptr;
+  /// Probe bus (null when observability is off).  One counter per trace
+  /// event type, indexed by stats::TraceEvent.
+  obs::Registry* bus_ = nullptr;
+  obs::Counter* event_counters_[10] = {};
 
   RtoEstimator estimator_;
   std::int64_t total_segments_;

@@ -149,7 +149,8 @@ void TcpSink::maybe_delay_ack(bool /*in_order*/) {
   }
   ++stats_.acks_delayed;
   if (!sim_.pending(delack_timer_)) {
-    delack_timer_ = sim_.after(cfg_.delack_timeout, [this] { send_ack_now(); });
+    delack_timer_ = sim_.after(cfg_.delack_timeout, [this] { send_ack_now(); },
+                               "tcp.delack");
   }
 }
 

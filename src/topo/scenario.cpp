@@ -71,6 +71,14 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), sim_(cfg_.seed) {
          "EBSN/source-quench feedback is triggered by local-recovery "
          "attempts; enable local_recovery");
 
+  // Attach the probe bus BEFORE any component is built: probe sites cache
+  // their Counter*/Gauge* pointers at construction time.
+  if (cfg_.obs.enabled) {
+    probes_ = std::make_unique<obs::Registry>();
+    sim_.set_probes(probes_.get());
+    if (cfg_.obs.profile_scheduler) sim_.scheduler().enable_profiling();
+  }
+
   fh_ = nodes_.add("FH");
   bs_ = nodes_.add("BS");
   mh_ = nodes_.add("MH");
@@ -103,10 +111,14 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), sim_(cfg_.seed) {
                                                 sim_.fork_rng("channel"),
                                                 cfg_.channel.ber_good));
     } else if (cfg_.deterministic_channel) {
-      channel_ = std::make_shared<phy::DeterministicGilbertElliott>(cfg_.channel);
+      auto det = std::make_shared<phy::DeterministicGilbertElliott>(cfg_.channel);
+      det_channel_ = det.get();
+      channel_ = std::move(det);
     } else {
-      channel_ = std::make_shared<phy::GilbertElliottModel>(
+      auto ge = std::make_shared<phy::GilbertElliottModel>(
           cfg_.channel, sim_.fork_rng("channel"));
+      ge_channel_ = ge.get();
+      channel_ = std::move(ge);
     }
   }
   if (cfg_.handoff.enabled) {
@@ -124,7 +136,13 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), sim_(cfg_.seed) {
       };
     }
   }
-  if (channel_) wireless_->set_error_model(channel_);
+  if (channel_) {
+    wireless_->set_error_model(channel_);
+    if (probes_) {
+      channel_->bind_probes(probes_->counter("phy.frames"),
+                            probes_->counter("phy.corrupted"));
+    }
+  }
 
   // --- TCP endpoints -------------------------------------------------------
   const bool downlink = cfg_.direction == TransferDirection::kDownlink;
@@ -210,6 +228,53 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), sim_(cfg_.seed) {
         sim_, cfg_.quench, notifier, downlink ? fh_ : mh_, std::move(to_source));
     quench_agent_->attach(data_arq_side->arq_sender());
   }
+
+  if (probes_) build_sampler();
+}
+
+void Scenario::build_sampler() {
+  sampler_ = std::make_unique<obs::Sampler>(sim_, cfg_.obs.sample_interval);
+  sampler_->add_series("cwnd", [this] { return sender_->cwnd(); });
+  sampler_->add_series("ssthresh", [this] { return sender_->ssthresh(); });
+  sampler_->add_series("rto_s", [this] {
+    return sender_->rto_estimator().rto().to_seconds();
+  });
+  sampler_->add_series("inflight_bytes", [this] {
+    return static_cast<double>((sender_->snd_nxt() - sender_->snd_una()) *
+                               cfg_.tcp.mss);
+  });
+  sampler_->add_series("wired_queue", [this] {
+    return static_cast<double>(wired_links_.front()->queue_depth(0));
+  });
+  sampler_->add_series("wireless_queue", [this] {
+    return static_cast<double>(wireless_->queue_depth(0));
+  });
+  sampler_->add_series("arq_backlog", [this] {
+    std::size_t backlog = 0;
+    for (const link::WirelessInterface* w : {bs_wifi_.get(), mh_wifi_.get()}) {
+      if (const link::ArqSender* a = w->arq_sender_or_null()) {
+        backlog += a->backlog();
+      }
+    }
+    return static_cast<double>(backlog);
+  });
+  // Channel state: 1 while the Gilbert-Elliott channel is in BAD.  The
+  // stochastic model is peeked (const, clamped to the sampled horizon) so
+  // the sampler never draws from the channel RNG — obs on/off runs see the
+  // identical random sequence.
+  sampler_->add_series("channel_bad", [this] {
+    if (ge_channel_) {
+      return ge_channel_->peek_state(sim_.now()) == phy::ChannelState::kBad
+                 ? 1.0
+                 : 0.0;
+    }
+    if (det_channel_) {
+      return det_channel_->state_at(sim_.now()) == phy::ChannelState::kBad
+                 ? 1.0
+                 : 0.0;
+    }
+    return 0.0;
+  });
 }
 
 void Scenario::on_data_at_bs(net::Packet pkt) {
@@ -264,18 +329,22 @@ void Scenario::on_datagram_at_mh(net::Packet pkt) {
 }
 
 void Scenario::set_sender_trace(stats::ConnectionTrace* trace) {
+  if (trace && probes_) trace->bind(probes_.get());
   sender_->set_trace(trace);
 }
 
 void Scenario::set_sink_trace(stats::ConnectionTrace* trace) {
+  if (trace && probes_) trace->bind(probes_.get());
   sink_->set_trace(trace);
 }
 
 stats::RunMetrics Scenario::run() {
   assert(!ran_ && "Scenario::run() may only be called once");
   ran_ = true;
+  if (sampler_) sampler_->start();
   sender_->start_at(sim::Time::zero());
   sim_.run(cfg_.horizon);
+  if (sampler_) sampler_->stop();
   return metrics();
 }
 

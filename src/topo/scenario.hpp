@@ -20,6 +20,8 @@
 #include "src/link/wireless_link.hpp"
 #include "src/mobility/handoff.hpp"
 #include "src/net/link.hpp"
+#include "src/obs/probe.hpp"
+#include "src/obs/sampler.hpp"
 #include "src/traffic/background.hpp"
 #include "src/net/node.hpp"
 #include "src/phy/gilbert_elliott.hpp"
@@ -48,6 +50,18 @@ enum class TransferDirection : std::uint8_t {
 };
 
 const char* to_string(TransferDirection d);
+
+/// Observability for one run: when enabled the Scenario owns a probe
+/// registry (attached to the Simulator before any component is built, so
+/// every probe site binds its counters) and a periodic sampler recording
+/// the run's key time series.
+struct ObsConfig {
+  bool enabled = false;
+  sim::Time sample_interval = sim::Time::milliseconds(100);
+  /// Count executed events per scheduler tag (cheap; one map bump per
+  /// event).
+  bool profile_scheduler = true;
+};
 
 struct ScenarioConfig {
   net::LinkConfig wired;
@@ -101,6 +115,8 @@ struct ScenarioConfig {
 
   std::uint64_t seed = 1;
   sim::Time horizon = sim::Time::seconds(36'000);  ///< hard stop
+
+  ObsConfig obs;
 
   /// Set the paper's "packet size" (total wired packet, header included).
   void set_packet_size(std::int32_t total_bytes);
@@ -160,13 +176,24 @@ class Scenario {
   net::NodeId bs() const { return bs_; }
   net::NodeId mh() const { return mh_; }
 
+  /// Probe registry for this run, or nullptr when obs is off.
+  obs::Registry* probes() { return probes_.get(); }
+  const obs::Registry* probes() const { return probes_.get(); }
+  /// Time-series sampler, or nullptr when obs is off.
+  const obs::Sampler* sampler() const { return sampler_.get(); }
+
  private:
+  void build_sampler();
   void on_data_at_bs(net::Packet pkt);
   void on_datagram_from_mh(net::Packet pkt);
   void on_datagram_at_mh(net::Packet pkt);
 
   ScenarioConfig cfg_;
   sim::Simulator sim_;
+  /// Owned probe bus; declared right after sim_ so it outlives every
+  /// component holding cached Counter*/Gauge* pointers.
+  std::unique_ptr<obs::Registry> probes_;
+  std::unique_ptr<obs::Sampler> sampler_;
   net::NodeRegistry nodes_;
   net::NodeId fh_;
   net::NodeId bs_;
@@ -176,6 +203,10 @@ class Scenario {
   std::vector<std::unique_ptr<net::CallbackSink>> router_sinks_;
   std::unique_ptr<net::DuplexLink> wireless_;
   std::shared_ptr<phy::ErrorModel> channel_;
+  /// Concrete channel for the sampler's state series (null for
+  /// trace-driven/absent channels).  Never used to EXTEND the trajectory.
+  phy::GilbertElliottModel* ge_channel_ = nullptr;
+  phy::DeterministicGilbertElliott* det_channel_ = nullptr;
 
   std::unique_ptr<tcp::TahoeSender> sender_;
   std::unique_ptr<tcp::TcpSink> sink_;

@@ -31,7 +31,7 @@ sim::Time OnOffSource::packet_interval() const {
 void OnOffSource::start() {
   if (started_) return;
   started_ = true;
-  sim_.at(cfg_.start, [this] { begin_on(); });
+  sim_.at(cfg_.start, [this] { begin_on(); }, "traffic.onoff");
 }
 
 void OnOffSource::stop() {
@@ -45,7 +45,8 @@ void OnOffSource::begin_on() {
   ++stats_.bursts;
   if (cfg_.mean_off_s > 0) {
     const sim::Time on_len = sim::Time::from_seconds(rng_.exponential(cfg_.mean_on_s));
-    sim_.after(std::max(on_len, sim::Time::nanoseconds(1)), [this] { begin_off(); });
+    sim_.after(std::max(on_len, sim::Time::nanoseconds(1)),
+               [this] { begin_off(); }, "traffic.onoff");
   }
   emit();
 }
@@ -55,7 +56,8 @@ void OnOffSource::begin_off() {
   on_ = false;
   sim_.cancel(timer_);
   const sim::Time off_len = sim::Time::from_seconds(rng_.exponential(cfg_.mean_off_s));
-  sim_.after(std::max(off_len, sim::Time::nanoseconds(1)), [this] { begin_on(); });
+  sim_.after(std::max(off_len, sim::Time::nanoseconds(1)),
+             [this] { begin_on(); }, "traffic.onoff");
 }
 
 void OnOffSource::emit() {
@@ -65,7 +67,7 @@ void OnOffSource::emit() {
   ++stats_.packets_sent;
   stats_.bytes_sent += p.size_bytes;
   downstream_(std::move(p));
-  timer_ = sim_.after(packet_interval(), [this] { emit(); });
+  timer_ = sim_.after(packet_interval(), [this] { emit(); }, "traffic.emit");
 }
 
 }  // namespace wtcp::traffic

@@ -1,0 +1,130 @@
+// The machine-readable report path end to end: run_seeds_reported drives
+// instrumented scenarios, snapshots every probe, and (optionally) writes
+// the JSONL/CSV/manifest trio.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/core/experiment.hpp"
+
+namespace wtcp {
+namespace {
+
+topo::ScenarioConfig ebsn_trace_config() {
+  // The Figure-5 setup: deterministic 10 s good / 6 s bad channel, local
+  // recovery + EBSN.  The paper's claim, which the report must surface:
+  // EBSN eliminates source timeouts entirely.
+  topo::ScenarioConfig cfg = topo::wan_scenario();
+  cfg.local_recovery = true;
+  cfg.feedback = topo::FeedbackMode::kEbsn;
+  cfg.deterministic_channel = true;
+  cfg.channel.mean_bad_s = 6;
+  cfg.tcp.file_bytes = 50 * 1024;
+  return cfg;
+}
+
+TEST(RunReport, EbsnDeterministicRunReportsZeroTimeouts) {
+  const core::ReportOptions opts;  // empty out_stem: in-memory only
+  const core::RunReport report =
+      core::run_seeds_reported(ebsn_trace_config(), 2, 1, opts);
+
+  EXPECT_EQ(report.digest.size(), 16u);
+  EXPECT_FALSE(report.config_description.empty());
+  ASSERT_EQ(report.seeds.size(), 2u);
+  EXPECT_EQ(report.summary.runs_completed, 2u);
+
+  for (const core::SeedRunReport& sr : report.seeds) {
+    EXPECT_TRUE(sr.metrics.completed);
+    EXPECT_EQ(sr.metrics.timeouts, 0u);
+    EXPECT_EQ(sr.counters.at("tcp.timeouts"), 0u);
+    EXPECT_GT(sr.counters.at("tcp.sends"), 0u);
+    EXPECT_GT(sr.counters.at("ebsn.sent"), 0u);
+    EXPECT_GT(sr.counters.at("arq.attempts"), 0u);
+    EXPECT_GT(sr.obs_samples, 0u);
+    EXPECT_GT(sr.obs_events, 0u);
+    EXPECT_GT(sr.events_executed, 0u);
+    EXPECT_GT(sr.max_event_queue_depth, 0u);
+    // Scheduler profiling attributed events to tagged components.
+    EXPECT_FALSE(sr.executed_by_tag.empty());
+    EXPECT_TRUE(sr.executed_by_tag.contains("obs.sampler"));
+  }
+}
+
+TEST(RunReport, DigestIsStableAndConfigSensitive) {
+  const topo::ScenarioConfig cfg = ebsn_trace_config();
+  EXPECT_EQ(core::config_digest(cfg), core::config_digest(cfg));
+
+  topo::ScenarioConfig other = cfg;
+  other.tcp.mss += 1;
+  EXPECT_NE(core::config_digest(cfg), core::config_digest(other));
+}
+
+TEST(RunReport, WritesJsonlCsvAndManifestFiles) {
+  const std::string stem = testing::TempDir() + "wtcp_report_test";
+  core::ReportOptions opts;
+  opts.out_stem = stem;
+  const core::RunReport report =
+      core::run_seeds_reported(ebsn_trace_config(), 2, 1, opts);
+
+  std::ifstream jsonl(stem + ".jsonl");
+  ASSERT_TRUE(jsonl.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(jsonl, line));
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_NE(line.find("\"seed\":"), std::string::npos);
+
+  std::ifstream csv(stem + ".series.csv");
+  ASSERT_TRUE(csv.good());
+  std::string header;
+  ASSERT_TRUE(std::getline(csv, header));
+  EXPECT_EQ(header.substr(0, 11), "seed,time_s");
+  for (const char* col : {"cwnd", "rto_s", "wired_queue", "channel_bad"}) {
+    EXPECT_NE(header.find(col), std::string::npos) << col;
+  }
+  std::size_t csv_rows = 0;
+  while (std::getline(csv, line)) ++csv_rows;
+  std::size_t expected = 0;
+  for (const core::SeedRunReport& sr : report.seeds) {
+    expected += sr.obs_samples;
+  }
+  EXPECT_EQ(csv_rows, expected);
+
+  std::ifstream manifest(stem + ".manifest.json");
+  ASSERT_TRUE(manifest.good());
+  std::stringstream all;
+  all << manifest.rdbuf();
+  EXPECT_EQ(all.str().front(), '{');
+  EXPECT_NE(all.str().find("\"per_seed\":"), std::string::npos);
+  EXPECT_NE(all.str().find("\"aggregate\":"), std::string::npos);
+  EXPECT_NE(all.str().find(report.digest), std::string::npos);
+}
+
+TEST(RunReport, ObservabilityDoesNotChangeResults) {
+  // The probe bus must be write-only: metrics with obs on equal metrics
+  // with obs off for the same seed (no RNG perturbation, no behavior
+  // coupling).
+  topo::ScenarioConfig cfg = topo::wan_scenario();
+  cfg.local_recovery = true;
+  cfg.feedback = topo::FeedbackMode::kEbsn;
+  cfg.channel.mean_bad_s = 4;  // stochastic channel: the RNG-sensitive case
+  cfg.tcp.file_bytes = 50 * 1024;
+  cfg.seed = 7;
+
+  const stats::RunMetrics off = topo::run_scenario(cfg);
+
+  const core::ReportOptions opts;
+  const core::RunReport on = core::run_seeds_reported(cfg, 1, 7, opts);
+  ASSERT_EQ(on.seeds.size(), 1u);
+  const stats::RunMetrics& m = on.seeds[0].metrics;
+
+  EXPECT_EQ(m.duration, off.duration);
+  EXPECT_EQ(m.segments_sent, off.segments_sent);
+  EXPECT_EQ(m.segments_retransmitted, off.segments_retransmitted);
+  EXPECT_EQ(m.timeouts, off.timeouts);
+  EXPECT_DOUBLE_EQ(m.throughput_bps, off.throughput_bps);
+}
+
+}  // namespace
+}  // namespace wtcp

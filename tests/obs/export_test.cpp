@@ -1,0 +1,81 @@
+#include "src/obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/obs/json.hpp"
+#include "src/obs/sampler.hpp"
+
+namespace wtcp::obs {
+namespace {
+
+TEST(ExportJsonl, GoldenEventStream) {
+  Registry reg;
+  reg.publish(sim::Time::milliseconds(1500), "tcp", "timeout", 3.0);
+  reg.publish(sim::Time::milliseconds(2250), "arq", "discard");
+
+  std::ostringstream os;
+  write_events_jsonl(os, reg, /*seed=*/7);
+  EXPECT_EQ(os.str(),
+            "{\"t\":1.500000,\"component\":\"tcp\",\"event\":\"timeout\","
+            "\"value\":3,\"seed\":7}\n"
+            "{\"t\":2.250000,\"component\":\"arq\",\"event\":\"discard\","
+            "\"seed\":7}\n");
+}
+
+TEST(ExportJsonl, SeedFieldOmittedWhenNegative) {
+  Registry reg;
+  reg.publish(sim::Time::seconds(1), "ebsn", "sent");
+  std::ostringstream os;
+  write_events_jsonl(os, reg);
+  EXPECT_EQ(os.str(),
+            "{\"t\":1.000000,\"component\":\"ebsn\",\"event\":\"sent\"}\n");
+}
+
+TEST(ExportSnapshot, CountersAndGaugesAsJsonMembers) {
+  Registry reg;
+  reg.counter("arq.attempts")->value = 12;
+  reg.counter("tcp.sends")->value = 90;
+  reg.gauge("queue.depth")->value = 2.5;
+
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  write_probe_snapshot(w, reg);
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            "{\"counters\":{\"arq.attempts\":12,\"tcp.sends\":90},"
+            "\"gauges\":{\"queue.depth\":2.5}}");
+}
+
+TEST(ExportCsv, GoldenTimeSeries) {
+  TimeSeries ts;
+  ts.columns = {"cwnd", "rto_s"};
+  ts.rows.push_back({sim::Time::zero(), {1.0, 3.0}});
+  ts.rows.push_back({sim::Time::milliseconds(100), {2.0, 2.5}});
+
+  std::ostringstream os;
+  ts.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "time_s,cwnd,rto_s\n"
+            "0.000000,1,3\n"
+            "0.100000,2,2.5\n");
+}
+
+TEST(ExportCsv, SeedColumnAndHeaderSuppression) {
+  TimeSeries ts;
+  ts.columns = {"x"};
+  ts.rows.push_back({sim::Time::seconds(1), {4.0}});
+
+  std::ostringstream with_header;
+  ts.write_csv(with_header, /*seed_column=*/3);
+  EXPECT_EQ(with_header.str(), "seed,time_s,x\n3,1.000000,4\n");
+
+  std::ostringstream append;
+  ts.write_csv(append, /*seed_column=*/4, /*header=*/false);
+  EXPECT_EQ(append.str(), "4,1.000000,4\n");
+}
+
+}  // namespace
+}  // namespace wtcp::obs

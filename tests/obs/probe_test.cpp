@@ -1,0 +1,73 @@
+#include "src/obs/probe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wtcp::obs {
+namespace {
+
+TEST(Registry, CounterFindOrCreateReturnsStablePointer) {
+  Registry reg;
+  Counter* a = reg.counter("tcp.sends");
+  Counter* again = reg.counter("tcp.sends");
+  EXPECT_EQ(a, again);
+
+  // Creating other probes must not invalidate earlier pointers.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i));
+  }
+  EXPECT_EQ(reg.counter("tcp.sends"), a);
+
+  a->value += 3;
+  add(a, 2);
+  EXPECT_EQ(reg.counter_value("tcp.sends"), 5u);
+}
+
+TEST(Registry, GaugeRoundTrip) {
+  Registry reg;
+  Gauge* g = reg.gauge("queue.depth");
+  EXPECT_EQ(reg.gauge("queue.depth"), g);
+  set(g, 7.5);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("queue.depth"), 7.5);
+  set(g, 2.0);  // gauges overwrite, not accumulate
+  EXPECT_DOUBLE_EQ(reg.gauge_value("queue.depth"), 2.0);
+}
+
+TEST(Registry, MissingNamesReadAsZero) {
+  Registry reg;
+  EXPECT_EQ(reg.counter_value("never.created"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("never.created"), 0.0);
+}
+
+TEST(Registry, NullProbeHelpersAreNoOps) {
+  // The obs-off path: components hold null pointers and every probe call
+  // must be safe.
+  add(nullptr);
+  add(nullptr, 42);
+  set(nullptr, 1.0);
+
+  Counter c;
+  add(&c);
+  add(&c, 9);
+  EXPECT_EQ(c.value, 10u);
+}
+
+TEST(Registry, PublishAppendsToEventLog) {
+  Registry reg;
+  reg.publish(sim::Time::milliseconds(1500), "tcp", "timeout", 3.0);
+  reg.publish(sim::Time::seconds(2), "arq", "discard");
+
+  ASSERT_EQ(reg.events().size(), 2u);
+  EXPECT_EQ(reg.events()[0].at, sim::Time::milliseconds(1500));
+  EXPECT_STREQ(reg.events()[0].component, "tcp");
+  EXPECT_STREQ(reg.events()[0].name, "timeout");
+  EXPECT_DOUBLE_EQ(reg.events()[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(reg.events()[1].value, 0.0);
+
+  reg.clear_events();
+  EXPECT_TRUE(reg.events().empty());
+}
+
+}  // namespace
+}  // namespace wtcp::obs

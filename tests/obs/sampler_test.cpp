@@ -1,0 +1,63 @@
+#include "src/obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/sim/simulator.hpp"
+
+namespace wtcp::obs {
+namespace {
+
+TEST(Sampler, FixedHorizonYieldsFloorPlusOneRows) {
+  // First row at start(), then one per interval: floor(H/dt) + 1 rows.
+  sim::Simulator sim;
+  Sampler s(sim, sim::Time::milliseconds(100));
+  s.add_series("t", [&] { return sim.now().to_seconds(); });
+  s.start();
+  sim.run(sim::Time::seconds(1));
+  s.stop();
+  EXPECT_EQ(s.sample_count(), 11u);
+}
+
+TEST(Sampler, NonDivisibleHorizonRoundsDown) {
+  sim::Simulator sim;
+  Sampler s(sim, sim::Time::milliseconds(100));
+  s.add_series("t", [&] { return sim.now().to_seconds(); });
+  s.start();
+  sim.run(sim::Time::milliseconds(950));  // floor(9.5) + 1
+  s.stop();
+  EXPECT_EQ(s.sample_count(), 10u);
+}
+
+TEST(Sampler, RowsRecordProbeValuesAtTickTime) {
+  sim::Simulator sim;
+  Sampler s(sim, sim::Time::milliseconds(250));
+  int calls = 0;
+  s.add_series("calls", [&] { return static_cast<double>(++calls); });
+  s.add_series("time_ms", [&] { return sim.now().to_seconds() * 1000.0; });
+  s.start();
+  sim.run(sim::Time::milliseconds(500));
+  s.stop();
+
+  ASSERT_EQ(s.series().size(), 3u);
+  ASSERT_EQ(s.series().columns.size(), 2u);
+  EXPECT_EQ(s.series().rows[0].at, sim::Time::zero());
+  EXPECT_EQ(s.series().rows[2].at, sim::Time::milliseconds(500));
+  EXPECT_DOUBLE_EQ(s.series().rows[2].values[0], 3.0);
+  EXPECT_DOUBLE_EQ(s.series().rows[1].values[1], 250.0);
+}
+
+TEST(Sampler, StopHaltsTicking) {
+  sim::Simulator sim;
+  Sampler s(sim, sim::Time::milliseconds(100));
+  s.add_series("t", [&] { return 0.0; });
+  s.start();
+  sim.at(sim::Time::milliseconds(350), [&] { s.stop(); });
+  // Without stop() the self-rescheduling tick would run to the horizon.
+  sim.run(sim::Time::seconds(10));
+  EXPECT_EQ(s.sample_count(), 4u);  // t = 0, 100, 200, 300 ms
+}
+
+}  // namespace
+}  // namespace wtcp::obs
