@@ -52,7 +52,7 @@ int main() {
       topo::ScenarioConfig cfg = wb::with_scheme(topo::wan_scenario(), "ebsn");
       cfg.channel.mean_bad_s = 4;
       cfg.arq.window = window;
-      const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds);
+      const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds, 1, wb::jobs());
       json.begin_row().field("sweep", "window").field("value", window)
           .summary(s).end_row();
       table.add_row({std::to_string(window),

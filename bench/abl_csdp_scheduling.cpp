@@ -27,19 +27,23 @@ int main() {
        {link::SchedPolicy::kFifo, link::SchedPolicy::kRoundRobin,
         link::SchedPolicy::kCsdRoundRobin}) {
     for (int outstanding : {1, 4}) {
+      std::vector<topo::MultiUserMetrics> runs(kSeeds);
+      core::ParallelRunner(wb::jobs()).for_each_index(
+          kSeeds, [&runs, policy, outstanding](std::size_t i) {
+            topo::MultiUserConfig cfg = topo::multi_user_lan_scenario();
+            cfg.sched.policy = policy;
+            cfg.sched.max_outstanding = outstanding;
+            cfg.seed = i + 1;
+            topo::MultiUserLanScenario s(cfg);
+            runs[i] = s.run();
+          });
       stats::Summary agg, fair, timeouts, skips;
-      for (int seed = 1; seed <= kSeeds; ++seed) {
-        topo::MultiUserConfig cfg = topo::multi_user_lan_scenario();
-        cfg.sched.policy = policy;
-        cfg.sched.max_outstanding = outstanding;
-        cfg.seed = static_cast<std::uint64_t>(seed);
-        topo::MultiUserLanScenario s(cfg);
-        const topo::MultiUserMetrics m = s.run();
+      for (const topo::MultiUserMetrics& m : runs) {  // fold in seed order
         agg.add(m.aggregate_throughput_bps);
         fair.add(m.fairness);
         double to = 0;
         for (const auto& u : m.per_user) to += static_cast<double>(u.timeouts);
-        timeouts.add(to / static_cast<double>(cfg.users));
+        timeouts.add(to / static_cast<double>(m.per_user.size()));
         skips.add(static_cast<double>(m.csd_skips));
       }
       json.begin_row()
@@ -61,18 +65,21 @@ int main() {
 
   std::cout << "\n--- CSD-RR + per-connection EBSN (best of both worlds) ---\n";
   {
-    stats::Summary agg, timeouts;
-    for (int seed = 1; seed <= kSeeds; ++seed) {
+    std::vector<topo::MultiUserMetrics> runs(kSeeds);
+    core::ParallelRunner(wb::jobs()).for_each_index(kSeeds, [&runs](std::size_t i) {
       topo::MultiUserConfig cfg = topo::multi_user_lan_scenario();
       cfg.sched.policy = link::SchedPolicy::kCsdRoundRobin;
       cfg.feedback = topo::FeedbackMode::kEbsn;
-      cfg.seed = static_cast<std::uint64_t>(seed);
+      cfg.seed = i + 1;
       topo::MultiUserLanScenario s(cfg);
-      const topo::MultiUserMetrics m = s.run();
+      runs[i] = s.run();
+    });
+    stats::Summary agg, timeouts;
+    for (const topo::MultiUserMetrics& m : runs) {
       agg.add(m.aggregate_throughput_bps);
       double to = 0;
       for (const auto& u : m.per_user) to += static_cast<double>(u.timeouts);
-      timeouts.add(to / static_cast<double>(cfg.users));
+      timeouts.add(to / static_cast<double>(m.per_user.size()));
     }
     std::printf("aggregate %.0f kbps, %.2f timeouts/user\n", agg.mean() / 1000.0,
                 timeouts.mean());

@@ -35,7 +35,7 @@ int main() {
           cfg.channel.mean_bad_s = bad;
           cfg.wireless.half_duplex = half;
           cfg.set_packet_size(size);
-          const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds);
+          const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds, 1, wb::jobs());
           json.begin_row()
               .field("scheme", scheme)
               .field("pkt_size_B", size)

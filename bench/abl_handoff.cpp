@@ -50,16 +50,23 @@ int main() {
       topo::ScenarioConfig cfg =
           with_handoff(wb::with_scheme(topo::wan_scenario(), c.scheme), 15, fading);
       cfg.handoff.fast_retransmit_on_resume = c.fr_on_resume;
+      cfg.handoff.deterministic = false;
 
-      core::MetricsSummary s;
+      struct PerSeed {
+        double fast_rtx = 0, handoffs = 0;
+      };
+      std::vector<PerSeed> by_seed(wb::kSeeds);
+      const core::MetricsSummary s = core::run_seeds_inspect(
+          cfg, wb::kSeeds, 1, wb::jobs(),
+          [&by_seed](int i, topo::Scenario&, const stats::RunMetrics& m) {
+            by_seed[static_cast<std::size_t>(i)] = {
+                static_cast<double>(m.fast_retransmits),
+                static_cast<double>(m.handoffs)};
+          });
       double fast_rtx = 0, handoffs = 0;
-      for (int seed = 1; seed <= wb::kSeeds; ++seed) {
-        cfg.seed = static_cast<std::uint64_t>(seed);
-        cfg.handoff.deterministic = false;
-        const stats::RunMetrics m = topo::run_scenario(cfg);
-        s.add(m);
-        fast_rtx += static_cast<double>(m.fast_retransmits);
-        handoffs += static_cast<double>(m.handoffs);
+      for (const PerSeed& ps : by_seed) {
+        fast_rtx += ps.fast_rtx;
+        handoffs += ps.handoffs;
       }
       json.begin_row()
           .field("fading", fading)

@@ -32,7 +32,7 @@ void run_family(const char* title, const char* family,
   for (const auto& p : policies) {
     topo::ScenarioConfig cfg = wb::with_scheme(base, p.scheme);
     cfg.snoop = p.snoop;
-    const core::MetricsSummary s = core::run_seeds(cfg, seeds);
+    const core::MetricsSummary s = core::run_seeds(cfg, seeds, 1, wb::jobs());
 
     // Count BS-side local retransmissions (ARQ or snoop) for context.
     topo::ScenarioConfig one = cfg;

@@ -32,7 +32,7 @@ int main() {
   for (const auto& p : policies) {
     topo::ScenarioConfig cfg = wb::with_scheme(topo::wan_scenario(), p.scheme);
     cfg.channel.mean_bad_s = 4;
-    const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds);
+    const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds, 1, wb::jobs());
     const double kbps = s.throughput_bps.mean() / 1000.0;
     json.begin_row()
         .field("policy", p.scheme)

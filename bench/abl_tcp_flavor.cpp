@@ -35,14 +35,15 @@ int main() {
       cfg.tcp.flavor = v.flavor;
       cfg.tcp.sack_enabled = v.sack;
 
-      core::MetricsSummary s;
+      std::vector<double> rtx_by_seed(wb::kSeeds, 0.0);
+      const core::MetricsSummary s = core::run_seeds_inspect(
+          cfg, wb::kSeeds, 1, wb::jobs(),
+          [&rtx_by_seed](int i, topo::Scenario&, const stats::RunMetrics& m) {
+            rtx_by_seed[static_cast<std::size_t>(i)] =
+                static_cast<double>(m.fast_retransmits);
+          });
       double fast_rtx = 0;
-      for (int seed = 1; seed <= wb::kSeeds; ++seed) {
-        cfg.seed = static_cast<std::uint64_t>(seed);
-        const stats::RunMetrics m = topo::run_scenario(cfg);
-        s.add(m);
-        fast_rtx += static_cast<double>(m.fast_retransmits);
-      }
+      for (const double v : rtx_by_seed) fast_rtx += v;
       json.begin_row()
           .field("flavor", v.name)
           .field("scheme", scheme)

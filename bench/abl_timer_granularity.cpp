@@ -24,7 +24,7 @@ int main() {
       cfg.channel.mean_bad_s = 4;
       cfg.tcp.rto.granularity = sim::Time::milliseconds(gran_ms);
       cfg.tcp.rto.min_rto = sim::Time::milliseconds(2 * gran_ms);
-      const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds);
+      const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds, 1, wb::jobs());
       json.begin_row().field("granularity_ms", gran_ms).field("scheme", scheme)
           .summary(s).end_row();
       table.add_row({std::to_string(gran_ms),

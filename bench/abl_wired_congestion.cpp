@@ -35,15 +35,15 @@ int main() {
         cfg.cross.mean_off_s = 1.0;
       }
 
-      core::MetricsSummary s;
+      std::vector<double> drops_by_seed(wb::kSeeds, 0.0);
+      const core::MetricsSummary s = core::run_seeds_inspect(
+          cfg, wb::kSeeds, 1, wb::jobs(),
+          [&drops_by_seed](int i, topo::Scenario& sc, const stats::RunMetrics&) {
+            drops_by_seed[static_cast<std::size_t>(i)] =
+                static_cast<double>(sc.wired_link().queue_stats(0).dropped);
+          });
       double drops = 0;
-      for (int seed = 1; seed <= wb::kSeeds; ++seed) {
-        cfg.seed = static_cast<std::uint64_t>(seed);
-        topo::Scenario sc(cfg);
-        const stats::RunMetrics m = sc.run();
-        s.add(m);
-        drops += static_cast<double>(sc.wired_link().queue_stats(0).dropped);
-      }
+      for (const double v : drops_by_seed) drops += v;
       json.begin_row().field("bg_load", load).field("scheme", scheme)
           .field("wired_drops", drops / wb::kSeeds).summary(s).end_row();
       table.add_row({stats::fmt_double(load, 1) + "x",

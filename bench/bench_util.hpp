@@ -86,6 +86,12 @@ inline constexpr int kSeeds = 40;
 /// each run spans many good/bad cycles.
 inline constexpr int kLanSeeds = 15;
 
+/// Worker threads for the multi-seed sweeps: WTCP_JOBS env var if set,
+/// else all hardware threads.  Results are byte-identical whatever the
+/// value (core::ParallelRunner folds per-seed results in seed order), so
+/// the benches always run at full width.
+inline int jobs() { return core::resolve_jobs(0); }
+
 inline void banner(const std::string& title, const std::string& setup) {
   std::cout << "==============================================================\n"
             << title << "\n"

@@ -32,7 +32,7 @@ int main() {
       topo::ScenarioConfig cfg = topo::wan_scenario();
       cfg.channel.mean_bad_s = bads[b];
       cfg.set_packet_size(size);
-      const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds);
+      const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds, 1, wb::jobs());
       const double kbps = s.throughput_bps.mean() / 1000.0;
       worst_cv = std::max(worst_cv, s.throughput_bps.cv());
       json.begin_row()

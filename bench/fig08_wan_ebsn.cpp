@@ -31,7 +31,7 @@ int main() {
           wb::with_scheme(topo::wan_scenario(), "ebsn");
       cfg.channel.mean_bad_s = bads[b];
       cfg.set_packet_size(size);
-      const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds);
+      const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds, 1, wb::jobs());
       const double kbps = s.throughput_bps.mean() / 1000.0;
       json.begin_row()
           .field("pkt_size_B", size)

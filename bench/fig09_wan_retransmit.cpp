@@ -29,7 +29,7 @@ int main() {
         topo::ScenarioConfig cfg = wb::with_scheme(topo::wan_scenario(), scheme);
         cfg.channel.mean_bad_s = bad;
         cfg.set_packet_size(size);
-        const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds);
+        const core::MetricsSummary s = core::run_seeds(cfg, wb::kSeeds, 1, wb::jobs());
         json.begin_row()
             .field("scheme", scheme)
             .field("pkt_size_B", size)

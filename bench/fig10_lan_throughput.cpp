@@ -23,8 +23,8 @@ int main() {
     basic.channel.mean_bad_s = bad;
     const topo::ScenarioConfig ebsn = wb::with_scheme(basic, "ebsn");
 
-    const core::MetricsSummary mb = core::run_seeds(basic, wb::kLanSeeds);
-    const core::MetricsSummary me = core::run_seeds(ebsn, wb::kLanSeeds);
+    const core::MetricsSummary mb = core::run_seeds(basic, wb::kLanSeeds, 1, wb::jobs());
+    const core::MetricsSummary me = core::run_seeds(ebsn, wb::kLanSeeds, 1, wb::jobs());
     const double th = core::theoretical_max_throughput_bps(basic.wireless,
                                                            basic.channel);
     json.begin_row().field("scheme", "basic").field("bad_s", bad)

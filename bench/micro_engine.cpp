@@ -42,6 +42,55 @@ void BM_SchedulerCancelHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerCancelHeavy)->Arg(100'000);
 
+// The timer pattern every protocol component follows: keep one event
+// outstanding, cancel + re-schedule it on every firing.  Exercises slot
+// recycling and generation bumps.
+void BM_SchedulerRescheduleTimer(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int fired = 0;
+    sim::EventId timer;
+    std::function<void()> arm = [&] {
+      if (++fired >= n) return;
+      timer = sched.schedule_after(sim::Time::microseconds(5), arm);
+      // Half the time, restart the timer (the RTO/ARQ re-arm pattern).
+      if ((fired & 1) != 0) {
+        sched.cancel(timer);
+        timer = sched.schedule_after(sim::Time::microseconds(7), arm);
+      }
+    };
+    sched.schedule_after(sim::Time::microseconds(1), arm);
+    sched.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerRescheduleTimer)->Arg(100'000);
+
+// Parallel-scaling case for the run engine: the same 8-seed WAN sweep at
+// increasing --jobs.  On a multi-core host the wall-clock per iteration
+// should drop near-linearly until jobs exceeds the core count; results
+// are byte-identical at every width.
+void BM_RunSeedsParallel(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  topo::ScenarioConfig cfg = topo::wan_scenario();
+  cfg.tcp.file_bytes = 50 * 1024;
+  cfg.channel.mean_bad_s = 4;
+  cfg.local_recovery = true;
+  cfg.feedback = topo::FeedbackMode::kEbsn;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_seeds(cfg, 8, 1, jobs));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_RunSeedsParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_RngExponential(benchmark::State& state) {
   sim::Rng rng(42);
   for (auto _ : state) {

@@ -57,6 +57,9 @@ handoffs
 run control
   --seeds N                average over N seeds (default 5)
   --seed N                 base seed (default 1)
+  --jobs N                 worker threads for the multi-seed sweep
+                           (default: all hardware threads; 1 = sequential;
+                           results are byte-identical either way)
   --trace                  print the (time, seq mod 90) send plot (1 seed)
   --tsv                    one machine-readable output row
   --help
@@ -97,6 +100,7 @@ int main(int argc, char** argv) {
   std::string flavor = "tahoe";
   int seeds = 5;
   std::uint64_t base_seed = 1;
+  int jobs = 0;  // 0 = resolve_jobs default (WTCP_JOBS env or hardware)
   bool trace = false, tsv = false;
   std::string obs_out;
   sim::Time obs_interval = sim::Time::milliseconds(100);
@@ -168,6 +172,15 @@ int main(int argc, char** argv) {
       seeds = static_cast<int>(arg_long(argc, argv, i));
     } else if (a == "--seed") {
       base_seed = static_cast<std::uint64_t>(arg_long(argc, argv, i));
+    } else if (a == "--jobs") {
+      const std::string v = arg_str(argc, argv, i);
+      char* end = nullptr;
+      const long j = std::strtol(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0' || j <= 0) {
+        std::cerr << "--jobs must be a positive integer (got \"" << v << "\")\n";
+        usage(2);
+      }
+      jobs = static_cast<int>(j);
     } else if (a == "--trace") {
       trace = true;
     } else if (a == "--tsv") {
@@ -238,13 +251,14 @@ int main(int argc, char** argv) {
     core::ReportOptions opts;
     opts.out_stem = obs_out;
     opts.sample_interval = obs_interval;
+    opts.jobs = jobs;
     const core::RunReport report =
         core::run_seeds_reported(cfg, seeds, base_seed, opts);
     s = report.summary;
     std::fprintf(stderr, "obs: wrote %s.jsonl, %s.series.csv, %s.manifest.json\n",
                  obs_out.c_str(), obs_out.c_str(), obs_out.c_str());
   } else {
-    s = core::run_seeds(cfg, seeds, base_seed);
+    s = core::run_seeds(cfg, seeds, base_seed, jobs);
   }
 
   if (tsv) {

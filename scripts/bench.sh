@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Engine performance tracking: run the micro_engine google-benchmark suite
+# and write the machine-readable results to BENCH_engine.json at the repo
+# root, so the perf trajectory (scheduler hot path, parallel run engine)
+# is comparable across PRs.
+#
+# Usage: scripts/bench.sh [build-dir] [extra micro_engine args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+shift || true
+
+if [ ! -x "$BUILD_DIR/bench/micro_engine" ]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_engine
+fi
+
+"$BUILD_DIR/bench/micro_engine" \
+  --benchmark_out=BENCH_engine.json \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${WTCP_BENCH_REPS:-1}" \
+  "$@"
+
+echo
+echo "wrote BENCH_engine.json"

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full pre-merge check: release build + tests, then an ASan/UBSan build +
-# tests.  Usage: scripts/check.sh [extra ctest args...]
+# Full pre-merge check: release build + tests, an ASan/UBSan build + tests,
+# then a TSAN build running the parallel-engine tests (the only code that
+# spawns threads).  Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,6 +22,14 @@ run build
 echo
 echo "=== sanitizer build + tests (address,undefined) ==="
 run build-san -DWTCP_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=Debug
+
+echo
+echo "=== thread-sanitizer build + parallel-engine tests ==="
+# TSAN is mutually exclusive with ASAN, so it gets its own tree; only the
+# ParallelRunner/ParallelDeterminism suites exercise threads.
+cmake -B build-tsan -S . -DWTCP_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build build-tsan -j"$(nproc)"
+ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" -R 'Parallel'
 
 echo
 echo "all checks passed"

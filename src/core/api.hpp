@@ -13,6 +13,7 @@
 #include "src/core/ebsn.hpp"
 #include "src/core/experiment.hpp"
 #include "src/core/packet_size_advisor.hpp"
+#include "src/core/parallel.hpp"
 #include "src/core/theoretical.hpp"
 #include "src/feedback/snoop_agent.hpp"
 #include "src/feedback/source_quench.hpp"

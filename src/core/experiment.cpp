@@ -26,14 +26,30 @@ void MetricsSummary::add(const stats::RunMetrics& m) {
   quench_received.add(static_cast<double>(m.quench_received));
 }
 
-MetricsSummary run_seeds(topo::ScenarioConfig cfg, int n_seeds,
-                         std::uint64_t base_seed) {
+MetricsSummary run_seeds_inspect(
+    topo::ScenarioConfig cfg, int n_seeds, std::uint64_t base_seed, int jobs,
+    const std::function<void(int, topo::Scenario&, const stats::RunMetrics&)>&
+        inspect) {
+  if (n_seeds <= 0) return {};
+  std::vector<stats::RunMetrics> metrics(static_cast<std::size_t>(n_seeds));
+  ParallelRunner(jobs).for_each_index(
+      static_cast<std::size_t>(n_seeds), [&](std::size_t i) {
+        topo::ScenarioConfig run_cfg = cfg;
+        run_cfg.seed = base_seed + i;
+        topo::Scenario scenario(run_cfg);
+        metrics[i] = scenario.run();
+        if (inspect) inspect(static_cast<int>(i), scenario, metrics[i]);
+      });
+  // Fold in seed order: Summary accumulation is order-sensitive in the
+  // last floating-point bit, and byte-identical output is the contract.
   MetricsSummary summary;
-  for (int i = 0; i < n_seeds; ++i) {
-    cfg.seed = base_seed + static_cast<std::uint64_t>(i);
-    summary.add(topo::run_scenario(cfg));
-  }
+  for (const stats::RunMetrics& m : metrics) summary.add(m);
   return summary;
+}
+
+MetricsSummary run_seeds(topo::ScenarioConfig cfg, int n_seeds,
+                         std::uint64_t base_seed, int jobs) {
+  return run_seeds_inspect(std::move(cfg), n_seeds, base_seed, jobs, nullptr);
 }
 
 double measure_error_free_throughput_bps(topo::ScenarioConfig cfg) {
@@ -198,23 +214,29 @@ RunReport run_seeds_reported(topo::ScenarioConfig cfg, int n_seeds,
   report.config_description = describe_config(cfg);
   report.digest = config_digest(cfg);
 
-  std::ofstream events_out;
-  std::ofstream series_out;
   const bool to_files = !opts.out_stem.empty();
-  if (to_files) {
-    events_out.open(opts.out_stem + ".jsonl");
-    series_out.open(opts.out_stem + ".series.csv");
-  }
 
-  for (int i = 0; i < n_seeds; ++i) {
-    cfg.seed = base_seed + static_cast<std::uint64_t>(i);
-    topo::Scenario scenario(cfg);
+  // Each worker renders its seed's JSONL/CSV sections into per-seed
+  // buffers; the main thread concatenates them in seed order afterwards,
+  // so the files are byte-identical to a sequential run.
+  struct PerSeed {
+    SeedRunReport sr;
+    std::string events_jsonl;
+    std::string series_csv;
+  };
+  const std::size_t n =
+      n_seeds > 0 ? static_cast<std::size_t>(n_seeds) : std::size_t{0};
+  std::vector<PerSeed> per_seed(n);
+
+  ParallelRunner(opts.jobs).for_each_index(n, [&](std::size_t i) {
+    topo::ScenarioConfig run_cfg = cfg;
+    run_cfg.seed = base_seed + i;
+    topo::Scenario scenario(run_cfg);
     const stats::RunMetrics m = scenario.run();
-    report.summary.add(m);
 
     const obs::Registry& reg = *scenario.probes();
     SeedRunReport sr;
-    sr.seed = cfg.seed;
+    sr.seed = run_cfg.seed;
     sr.metrics = m;
     sr.wall_seconds = scenario.simulator().wall_seconds();
     sr.events_executed = scenario.simulator().scheduler().executed_count();
@@ -224,23 +246,39 @@ RunReport run_seeds_reported(topo::ScenarioConfig cfg, int n_seeds,
     sr.obs_samples = scenario.sampler()->sample_count();
     for (const auto& [name, c] : reg.counters()) sr.counters[name] = c.value;
     for (const auto& [name, g] : reg.gauges()) sr.gauges[name] = g.value;
-    for (const auto& [tag, n] :
+    for (const auto& [tag, cnt] :
          scenario.simulator().scheduler().executed_by_tag()) {
-      sr.executed_by_tag[tag] = n;
+      sr.executed_by_tag[tag] = cnt;
     }
 
     if (to_files) {
       // Event names/components are string literals inside live components:
       // export while the scenario still exists.
-      obs::write_events_jsonl(events_out, reg,
-                              static_cast<std::int64_t>(cfg.seed));
+      std::ostringstream events_os;
+      obs::write_events_jsonl(events_os, reg,
+                              static_cast<std::int64_t>(run_cfg.seed));
+      per_seed[i].events_jsonl = std::move(events_os).str();
+      std::ostringstream series_os;
       scenario.sampler()->series().write_csv(
-          series_out, static_cast<std::int64_t>(cfg.seed), /*header=*/i == 0);
+          series_os, static_cast<std::int64_t>(run_cfg.seed),
+          /*header=*/i == 0);
+      per_seed[i].series_csv = std::move(series_os).str();
     }
-    report.seeds.push_back(std::move(sr));
+    per_seed[i].sr = std::move(sr);
+  });
+
+  for (PerSeed& ps : per_seed) {
+    report.summary.add(ps.sr.metrics);
+    report.seeds.push_back(std::move(ps.sr));
   }
 
   if (to_files) {
+    std::ofstream events_out(opts.out_stem + ".jsonl");
+    std::ofstream series_out(opts.out_stem + ".series.csv");
+    for (const PerSeed& ps : per_seed) {
+      events_out << ps.events_jsonl;
+      series_out << ps.series_csv;
+    }
     std::ofstream manifest_out(opts.out_stem + ".manifest.json");
     write_manifest(manifest_out, report);
   }

@@ -4,11 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "src/core/parallel.hpp"
 #include "src/stats/metrics.hpp"
 #include "src/stats/summary.hpp"
 #include "src/topo/scenario.hpp"
@@ -30,9 +32,23 @@ struct MetricsSummary {
   void add(const stats::RunMetrics& m);
 };
 
-/// Run `cfg` under `n_seeds` different seeds (base_seed, base_seed+1, ...).
+/// Run `cfg` under `n_seeds` different seeds (base_seed, base_seed+1, ...)
+/// across `jobs` worker threads (1 = sequential on the caller's thread,
+/// 0 = resolve_jobs default: WTCP_JOBS env var or all hardware threads).
+/// Results are folded in seed order, so the summary is byte-identical to
+/// a sequential run whatever the parallelism.
 MetricsSummary run_seeds(topo::ScenarioConfig cfg, int n_seeds,
-                         std::uint64_t base_seed = 1);
+                         std::uint64_t base_seed = 1, int jobs = 1);
+
+/// run_seeds with a per-run hook: `inspect(i, scenario, metrics)` fires on
+/// the worker thread as soon as seed base_seed + i finishes, with the
+/// scenario still alive (benches read component stats through it).
+/// Distinct indices run concurrently — inspect must only touch
+/// per-index state.  The summary is still folded in seed order.
+MetricsSummary run_seeds_inspect(
+    topo::ScenarioConfig cfg, int n_seeds, std::uint64_t base_seed, int jobs,
+    const std::function<void(int, topo::Scenario&, const stats::RunMetrics&)>&
+        inspect);
 
 /// Measured effective throughput of `cfg` with channel errors disabled —
 /// the empirical tput_max the theoretical bound scales from.
@@ -70,6 +86,11 @@ struct ReportOptions {
   std::string out_stem;
   sim::Time sample_interval = sim::Time::milliseconds(100);
   bool profile_scheduler = true;
+  /// Worker threads (1 = sequential, 0 = resolve_jobs default).  The
+  /// JSONL/CSV/manifest outputs are byte-identical whatever the value:
+  /// each seed renders its file sections in isolation and they are
+  /// concatenated in seed order.
+  int jobs = 1;
 };
 
 /// A full multi-seed experiment with per-seed detail.

@@ -1,0 +1,46 @@
+// Parallel execution of independent simulation runs.
+//
+// Every figure and ablation averages many independent runs per data point;
+// each run is single-threaded by construction (one Simulator, one RNG
+// root, one probe registry per topo::Scenario), so runs parallelize
+// embarrassingly.  ParallelRunner is the small worker pool the experiment
+// harness and the benches share.  Determinism is preserved by
+// construction: workers only write to their own index's output slot and
+// callers fold results in index order, so anything derived from the
+// results is byte-identical to a sequential execution.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace wtcp::core {
+
+/// Resolve a worker-count request: n > 0 is taken as-is; 0 means the
+/// WTCP_JOBS environment variable if set to a positive integer, else
+/// std::thread::hardware_concurrency() (at least 1).
+int resolve_jobs(int jobs);
+
+class ParallelRunner {
+ public:
+  /// `jobs` as per resolve_jobs(); jobs() reports the resolved count.
+  explicit ParallelRunner(int jobs = 0);
+
+  int jobs() const { return jobs_; }
+
+  /// Invoke `fn(i)` exactly once for every i in [0, n), distributing
+  /// indices across jobs() threads (the caller's thread participates).
+  /// With jobs() == 1 (or n <= 1) everything runs inline on the caller's
+  /// thread — exactly the sequential behavior, no threads spawned.
+  ///
+  /// `fn` runs concurrently for distinct indices: it must only touch
+  /// per-index state (e.g. results[i]).  The first exception thrown by
+  /// `fn` stops the pool draining further indices and is rethrown on the
+  /// caller's thread after all workers join.
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  int jobs_;
+};
+
+}  // namespace wtcp::core

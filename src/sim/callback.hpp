@@ -1,0 +1,105 @@
+// Move-only callable with small-buffer optimization for the scheduler's
+// hot path.  Event callbacks capture a `this` pointer and a few words of
+// state; storing them inline in the event slot removes the per-event heap
+// allocation std::function paid.  Callables larger than kInlineBytes (or
+// with throwing moves) fall back to a single heap allocation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wtcp::sim {
+
+class SmallCallback {
+ public:
+  /// Inline capture budget.  Sized so a lambda capturing `this` plus a
+  /// handful of words (the common scheduler pattern) never allocates.
+  static constexpr std::size_t kInlineBytes = 56;
+
+  SmallCallback() = default;
+  SmallCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, SmallCallback> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vt_ = &kHeapVTable<D>;
+    }
+  }
+
+  SmallCallback(SmallCallback&& other) noexcept { move_from(other); }
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  ~SmallCallback() { reset(); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  void operator()() { vt_->invoke(buf_); }
+
+  /// Destroy the held callable (and release any captured state) now.
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* self);
+    void (*relocate)(void* src, void* dst) noexcept;  ///< move into dst, destroy src
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename D>
+  static constexpr VTable kInlineVTable{
+      [](void* self) { (*std::launder(reinterpret_cast<D*>(self)))(); },
+      [](void* src, void* dst) noexcept {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* self) noexcept { std::launder(reinterpret_cast<D*>(self))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr VTable kHeapVTable{
+      [](void* self) { (**std::launder(reinterpret_cast<D**>(self)))(); },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* self) noexcept { delete *std::launder(reinterpret_cast<D**>(self)); },
+  };
+
+  void move_from(SmallCallback& other) noexcept {
+    if (other.vt_ != nullptr) {
+      vt_ = other.vt_;
+      vt_->relocate(other.buf_, buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace wtcp::sim

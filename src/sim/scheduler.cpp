@@ -1,19 +1,42 @@
 #include "src/sim/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
-#include <string_view>
 #include <utility>
 
 namespace wtcp::sim {
 
+namespace {
+/// Pre-sized storage: typical runs keep tens to a few hundred events
+/// pending; reserving once keeps the first growth spurts off the hot path.
+constexpr std::size_t kReserveEvents = 256;
+}  // namespace
+
+Scheduler::Scheduler() {
+  heap_.reserve(kReserveEvents);
+  slots_.reserve(kReserveEvents);
+}
+
 EventId Scheduler::schedule_at(Time at, Callback cb, const char* tag) {
   assert(cb);
   if (at < now_) at = now_;  // never schedule into the past
-  const std::uint64_t id = next_id_++;
-  heap_.push(HeapEntry{at, next_seq_++, id});
-  callbacks_.emplace(id, Entry{std::move(cb), tag});
-  if (callbacks_.size() > max_depth_) max_depth_ = callbacks_.size();
-  return EventId{id};
+  std::uint32_t s;
+  if (free_head_ == kNoSlot) {
+    s = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    s = free_head_;
+    free_head_ = slots_[s].next_free;
+  }
+  Slot& slot = slots_[s];
+  slot.cb = std::move(cb);
+  slot.tag = tag;
+  slot.live = true;
+  heap_.push_back(HeapEntry{at, next_seq_++, s, slot.gen});
+  std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
+  ++live_;
+  if (live_ > max_depth_) max_depth_ = live_;
+  return make_id(s, slot.gen);
 }
 
 EventId Scheduler::schedule_after(Time delay, Callback cb, const char* tag) {
@@ -21,37 +44,47 @@ EventId Scheduler::schedule_after(Time delay, Callback cb, const char* tag) {
   return schedule_at(now_ + delay, std::move(cb), tag);
 }
 
+void Scheduler::release_slot(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.cb.reset();
+  slot.tag = nullptr;
+  slot.live = false;
+  ++slot.gen;  // invalidates every outstanding handle to this slot
+  slot.next_free = free_head_;  // intrusive link: no side-array traffic
+  free_head_ = s;
+  --live_;
+}
+
 bool Scheduler::cancel(EventId id) {
-  if (!id.valid()) return false;
-  return callbacks_.erase(id.raw()) > 0;
+  if (!pending(id)) return false;
+  release_slot(slot_of(id));  // heap entry stays; skipped when popped
+  return true;
 }
 
 Time Scheduler::next_event_time() {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
-    heap_.pop();  // drop cancelled entries
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    const Slot& slot = slots_[top.slot];
+    if (slot.live && slot.gen == top.gen) return top.at;
+    std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});  // cancelled
+    heap_.pop_back();
   }
-  return heap_.empty() ? Time::max() : heap_.top().at;
+  return Time::max();
 }
 
 bool Scheduler::run_one() {
   while (!heap_.empty()) {
-    const HeapEntry top = heap_.top();
-    heap_.pop();
-    auto it = callbacks_.find(top.id);
-    if (it == callbacks_.end()) continue;  // cancelled
-    Callback cb = std::move(it->second.cb);
-    const char* tag = it->second.tag;
-    callbacks_.erase(it);
+    const HeapEntry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
+    heap_.pop_back();
+    Slot& slot = slots_[top.slot];
+    if (!slot.live || slot.gen != top.gen) continue;  // cancelled
+    Callback cb = std::move(slot.cb);
+    const char* tag = slot.tag;
+    release_slot(top.slot);  // before cb(): the event is no longer pending
     now_ = top.at;
     ++executed_;
-    if (profiling_) {
-      const std::string_view key = tag ? tag : "untagged";
-      auto pit = executed_by_tag_.find(key);
-      if (pit == executed_by_tag_.end()) {
-        pit = executed_by_tag_.emplace(std::string(key), 0).first;
-      }
-      ++pit->second;
-    }
+    if (profiling_) ++tag_hits_[tag];
     cb();
     return true;
   }
@@ -61,11 +94,9 @@ bool Scheduler::run_one() {
 std::uint64_t Scheduler::run_until(Time until) {
   std::uint64_t n = 0;
   while (next_event_time() <= until && run_one()) ++n;
-  if (now_ < until && heap_.empty()) {
+  if (now_ < until) {
     // No event exactly at `until`; still advance the clock so that now()
     // reflects the horizon the caller asked for.
-    now_ = until;
-  } else if (now_ < until) {
     now_ = until;
   }
   return n;
@@ -78,8 +109,34 @@ std::uint64_t Scheduler::run() {
 }
 
 void Scheduler::clear() {
-  callbacks_.clear();
-  while (!heap_.empty()) heap_.pop();
+  // Rebuild the free list so slot 0 is handed out first again, matching a
+  // freshly-constructed scheduler.
+  free_head_ = kNoSlot;
+  for (std::uint32_t s = static_cast<std::uint32_t>(slots_.size()); s-- > 0;) {
+    Slot& slot = slots_[s];
+    if (slot.live) {
+      slot.cb.reset();
+      slot.tag = nullptr;
+      slot.live = false;
+      ++slot.gen;
+    }
+    slot.next_free = free_head_;
+    free_head_ = s;
+  }
+  heap_.clear();
+  live_ = 0;
+}
+
+std::map<std::string, std::uint64_t, std::less<>> Scheduler::executed_by_tag()
+    const {
+  // Tags are counted by pointer on the hot path; identical literals from
+  // different translation units may have distinct addresses, so merge by
+  // content here, at export time.
+  std::map<std::string, std::uint64_t, std::less<>> merged;
+  for (const auto& [tag, n] : tag_hits_) {
+    merged[tag != nullptr ? std::string(tag) : std::string("untagged")] += n;
+  }
+  return merged;
 }
 
 }  // namespace wtcp::sim

@@ -1,15 +1,15 @@
-// Discrete-event scheduler: a binary heap of (time, seq) keyed events with
-// O(log n) scheduling and O(1) lazy cancellation.
+// Discrete-event scheduler: a binary heap of (time, seq) keyed events over
+// a slot pool, with O(log n) scheduling and O(1) array-indexed
+// validate/cancel.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
-#include <queue>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/sim/callback.hpp"
 #include "src/sim/event.hpp"
 #include "src/sim/time.hpp"
 
@@ -20,11 +20,22 @@ namespace wtcp::sim {
 /// Events scheduled for the same instant fire in insertion order, which
 /// makes runs deterministic.  Cancellation is lazy: the heap entry stays
 /// behind and is skipped when popped.
+///
+/// Hot-path design (the figure benches run hundreds of simulations per
+/// data point, so per-event constants dominate wall-clock):
+///   * callbacks live in a slot pool, recycled through a free list — no
+///     per-event hash-map insert/erase;
+///   * handles are (slot, generation) pairs, so validate/cancel is one
+///     array index plus a generation compare;
+///   * SmallCallback stores the capture inline in the slot — no per-event
+///     std::function heap allocation;
+///   * the heap is an open-coded std::push_heap/pop_heap vector with
+///     reserved storage (priority_queue cannot reserve).
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallCallback;
 
-  Scheduler() = default;
+  Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
@@ -44,12 +55,16 @@ class Scheduler {
   bool cancel(EventId id);
 
   /// True if `id` refers to an event that has not yet fired or been
-  /// cancelled.
-  bool pending(EventId id) const { return callbacks_.contains(id.raw()); }
+  /// cancelled.  A slot's generation bumps on every recycle, so stale
+  /// handles stay harmlessly invalid.
+  bool pending(EventId id) const {
+    const std::uint32_t s = slot_of(id);
+    return s < slots_.size() && slots_[s].live && slots_[s].gen == gen_of(id);
+  }
 
   /// Number of live (non-cancelled) pending events.
-  std::size_t pending_count() const { return callbacks_.size(); }
-  bool empty() const { return callbacks_.empty(); }
+  std::size_t pending_count() const { return live_; }
+  bool empty() const { return live_ == 0; }
 
   /// Time of the earliest live event, or Time::max() if none.
   Time next_event_time();
@@ -74,39 +89,64 @@ class Scheduler {
   std::size_t max_pending_depth() const { return max_depth_; }
 
   /// Start counting executed events per schedule-site tag (untagged
-  /// events land under "untagged").  Off by default: the per-event map
-  /// lookup is the one profiling cost worth gating.
+  /// events land under "untagged").  Off by default.  Counts are keyed by
+  /// the tag POINTER on the hot path (no string construction per event);
+  /// executed_by_tag() merges same-content tags at export time.
   void enable_profiling() { profiling_ = true; }
   bool profiling_enabled() const { return profiling_; }
-  const std::map<std::string, std::uint64_t, std::less<>>& executed_by_tag() const {
-    return executed_by_tag_;
-  }
+  std::map<std::string, std::uint64_t, std::less<>> executed_by_tag() const;
 
  private:
   struct HeapEntry {
     Time at;
     std::uint64_t seq;  // tie-break: insertion order
-    std::uint64_t id;
-    friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  /// Comparator for std::push_heap/pop_heap: "a fires after b" puts the
+  /// earliest (time, seq) at the front of the max-heap.
+  struct FiresLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
-  struct Entry {
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  struct Slot {
     Callback cb;
-    const char* tag;  ///< nullptr = untagged
+    const char* tag = nullptr;       ///< nullptr = untagged
+    std::uint32_t gen = 0;           ///< bumped on every release
+    std::uint32_t next_free = kNoSlot;  ///< intrusive free-list link
+    bool live = false;
   };
 
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id.raw() & 0xffffffffu) - 1;
+  }
+  static std::uint32_t gen_of(EventId id) {
+    return static_cast<std::uint32_t>(id.raw() >> 32);
+  }
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return EventId{(static_cast<std::uint64_t>(gen) << 32) |
+                   (static_cast<std::uint64_t>(slot) + 1)};
+  }
+
+  /// Return a slot to the free list (callback already destroyed or moved
+  /// out) and invalidate outstanding handles to it.
+  void release_slot(std::uint32_t s);
+
   Time now_;
-  std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
   std::size_t max_depth_ = 0;
   bool profiling_ = false;
-  std::map<std::string, std::uint64_t, std::less<>> executed_by_tag_;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
-  std::unordered_map<std::uint64_t, Entry> callbacks_;
+  std::unordered_map<const char*, std::uint64_t> tag_hits_;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;  ///< head of the intrusive free list
 };
 
 }  // namespace wtcp::sim

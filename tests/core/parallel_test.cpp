@@ -1,0 +1,145 @@
+// The parallel run engine: worker-pool mechanics, and the contract that
+// matters — parallel execution produces BYTE-IDENTICAL results to
+// sequential execution for the same seeds.
+#include "src/core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/experiment.hpp"
+
+namespace wtcp {
+namespace {
+
+TEST(ParallelRunner, CoversEveryIndexExactlyOnce) {
+  core::ParallelRunner pool(8);
+  EXPECT_EQ(pool.jobs(), 8);
+  std::vector<int> hits(257, 0);
+  pool.for_each_index(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelRunner, JobsOneRunsInlineOnCallerThread) {
+  core::ParallelRunner pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran(4);
+  pool.for_each_index(ran.size(),
+                      [&](std::size_t i) { ran[i] = std::this_thread::get_id(); });
+  for (const std::thread::id id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelRunner, HandlesZeroAndFewerItemsThanWorkers) {
+  core::ParallelRunner pool(16);
+  pool.for_each_index(0, [](std::size_t) { FAIL() << "no items to run"; });
+  std::atomic<int> count{0};
+  pool.for_each_index(3, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelRunner, PropagatesWorkerExceptions) {
+  core::ParallelRunner pool(4);
+  EXPECT_THROW(pool.for_each_index(64,
+                                   [](std::size_t i) {
+                                     if (i == 5) {
+                                       throw std::runtime_error("boom");
+                                     }
+                                   }),
+               std::runtime_error);
+}
+
+TEST(ParallelRunner, ResolveJobsPrefersExplicitValue) {
+  EXPECT_EQ(core::resolve_jobs(3), 3);
+  EXPECT_GE(core::resolve_jobs(0), 1);  // env or hardware, but never < 1
+}
+
+// ---------------------------------------------------------------------------
+// Determinism regression: --jobs N must change nothing but wall-clock.
+// ---------------------------------------------------------------------------
+
+topo::ScenarioConfig stochastic_ebsn_config() {
+  // A stochastic channel (the RNG-sensitive case) with local recovery and
+  // EBSN: exercises the full component graph including probe export.
+  topo::ScenarioConfig cfg = topo::wan_scenario();
+  cfg.local_recovery = true;
+  cfg.feedback = topo::FeedbackMode::kEbsn;
+  cfg.channel.mean_bad_s = 4;
+  cfg.tcp.file_bytes = 30 * 1024;
+  return cfg;
+}
+
+TEST(ParallelDeterminism, RunSeedsSummaryMatchesSequentialExactly) {
+  const topo::ScenarioConfig cfg = stochastic_ebsn_config();
+  const core::MetricsSummary seq = core::run_seeds(cfg, 6, 1, /*jobs=*/1);
+  const core::MetricsSummary par = core::run_seeds(cfg, 6, 1, /*jobs=*/4);
+
+  // Bitwise-equal floats: the fold order is fixed, so no tolerance needed.
+  EXPECT_EQ(seq.runs_total, par.runs_total);
+  EXPECT_EQ(seq.runs_completed, par.runs_completed);
+  EXPECT_EQ(seq.throughput_bps.mean(), par.throughput_bps.mean());
+  EXPECT_EQ(seq.throughput_bps.stddev(), par.throughput_bps.stddev());
+  EXPECT_EQ(seq.goodput.mean(), par.goodput.mean());
+  EXPECT_EQ(seq.timeouts.mean(), par.timeouts.mean());
+  EXPECT_EQ(seq.retransmitted_kbytes.mean(), par.retransmitted_kbytes.mean());
+  EXPECT_EQ(seq.duration_s.mean(), par.duration_s.mean());
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return std::move(os).str();
+}
+
+// Remove every "wall_seconds":<number> value (the only field that may
+// legitimately differ between two executions of the same seeds).
+std::string strip_wall_seconds(std::string s) {
+  const std::string key = "\"wall_seconds\":";
+  for (std::size_t pos = s.find(key); pos != std::string::npos;
+       pos = s.find(key, pos)) {
+    std::size_t end = s.find_first_of(",}", pos + key.size());
+    if (end == std::string::npos) end = s.size();
+    s.erase(pos, end - pos);  // leaves the trailing ,/} as a stable anchor
+  }
+  return s;
+}
+
+TEST(ParallelDeterminism, ReportedFilesAreByteIdenticalAcrossJobs) {
+  const topo::ScenarioConfig cfg = stochastic_ebsn_config();
+
+  core::ReportOptions seq_opts;
+  seq_opts.out_stem = testing::TempDir() + "wtcp_par_seq";
+  seq_opts.jobs = 1;
+  const core::RunReport seq = core::run_seeds_reported(cfg, 4, 1, seq_opts);
+
+  core::ReportOptions par_opts;
+  par_opts.out_stem = testing::TempDir() + "wtcp_par_par";
+  par_opts.jobs = 4;
+  const core::RunReport par = core::run_seeds_reported(cfg, 4, 1, par_opts);
+
+  ASSERT_EQ(seq.seeds.size(), 4u);
+  ASSERT_EQ(par.seeds.size(), 4u);
+  EXPECT_EQ(seq.digest, par.digest);
+
+  // Event stream and sampled series: byte-for-byte, no exclusions.
+  EXPECT_EQ(slurp(seq_opts.out_stem + ".jsonl"),
+            slurp(par_opts.out_stem + ".jsonl"));
+  EXPECT_EQ(slurp(seq_opts.out_stem + ".series.csv"),
+            slurp(par_opts.out_stem + ".series.csv"));
+
+  // Manifest: byte-for-byte after stripping the wall-clock field.
+  EXPECT_EQ(strip_wall_seconds(slurp(seq_opts.out_stem + ".manifest.json")),
+            strip_wall_seconds(slurp(par_opts.out_stem + ".manifest.json")));
+}
+
+}  // namespace
+}  // namespace wtcp

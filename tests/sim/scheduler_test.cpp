@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -135,6 +136,57 @@ TEST(Scheduler, ExecutedCountAccumulates) {
   for (int i = 0; i < 7; ++i) s.schedule_at(Time::milliseconds(i), [] {});
   s.run();
   EXPECT_EQ(s.executed_count(), 7u);
+}
+
+TEST(Scheduler, SlotReuseInvalidatesStaleHandles) {
+  Scheduler s;
+  bool a_fired = false, b_fired = false;
+  EventId a = s.schedule_at(Time::seconds(1), [&] { a_fired = true; });
+  EXPECT_TRUE(s.cancel(a));
+  // The new event recycles a's slot; a's handle must stay dead.
+  EventId b = s.schedule_at(Time::seconds(2), [&] { b_fired = true; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(s.pending(a));
+  EXPECT_TRUE(s.pending(b));
+  EXPECT_FALSE(s.cancel(a));  // stale handle must not kill b
+  EXPECT_TRUE(s.pending(b));
+  s.run();
+  EXPECT_FALSE(a_fired);
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(Scheduler, LargeCapturesFallBackToHeapAndStillFire) {
+  Scheduler s;
+  std::array<char, 256> big{};  // larger than SmallCallback's inline buffer
+  big[0] = 'x';
+  big[255] = 'y';
+  char seen_front = 0, seen_back = 0;
+  s.schedule_at(Time::seconds(1), [big, &seen_front, &seen_back] {
+    seen_front = big[0];
+    seen_back = big[255];
+  });
+  s.run();
+  EXPECT_EQ(seen_front, 'x');
+  EXPECT_EQ(seen_back, 'y');
+}
+
+TEST(Scheduler, ProfilingMergesEqualTagContent) {
+  // Tags are counted by pointer on the hot path; executed_by_tag() must
+  // merge distinct pointers with equal content (identical literals can
+  // have different addresses across translation units).
+  static const char tag_a[] = "dup";
+  static const char tag_b[] = "dup";
+  Scheduler s;
+  s.enable_profiling();
+  s.schedule_at(Time::seconds(1), [] {}, tag_a);
+  s.schedule_at(Time::seconds(2), [] {}, tag_b);
+  s.schedule_at(Time::seconds(3), [] {});  // untagged
+  s.run();
+  const auto by_tag = s.executed_by_tag();
+  ASSERT_TRUE(by_tag.contains("dup"));
+  EXPECT_EQ(by_tag.at("dup"), 2u);
+  ASSERT_TRUE(by_tag.contains("untagged"));
+  EXPECT_EQ(by_tag.at("untagged"), 1u);
 }
 
 TEST(Scheduler, ClearDropsEverything) {
