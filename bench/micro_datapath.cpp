@@ -1,0 +1,108 @@
+// Datapath microbenchmarks (google-benchmark): packet-pool churn, fragment
+// fan-out, queue hand-off, and the WAN scenario expressed as link frames
+// per second.  These guard the allocation-free forwarding path — the
+// figure benches push millions of frames per data point, so per-frame
+// costs here multiply directly into wall-clock there.
+#include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
+
+#include "src/core/api.hpp"
+
+namespace {
+
+using namespace wtcp;
+
+// Steady-state slot churn: acquire, touch, release.  After the first
+// iteration every acquisition is a freelist pop (pool.recycled == all).
+void BM_PoolAcquireRelease(benchmark::State& state) {
+  net::PacketPool pool;
+  for (auto _ : state) {
+    net::PacketRef p = pool.acquire();
+    p->size_bytes = 576;
+    benchmark::DoNotOptimize(p.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolAcquireRelease);
+
+// The paper's WAN hot loop: split one 576-byte datagram into 128-byte MTU
+// fragments that share the original slot, then drop them all.  Zero heap
+// traffic per round in steady state.
+void BM_FragmentFanOut(benchmark::State& state) {
+  net::PacketPool pool;
+  link::Fragmenter fragmenter(link::FragmenterConfig{.mtu_bytes = 128});
+  std::vector<net::PacketRef> frags;
+  frags.reserve(8);
+  std::int64_t n = 0;
+  for (auto _ : state) {
+    net::PacketRef datagram =
+        net::make_tcp_data(pool, n++, 536, 40, 0, 2, sim::Time::zero());
+    fragmenter.fragment_to(pool, std::move(datagram), sim::Time::zero(),
+                           [&frags](net::PacketRef f) {
+                             frags.push_back(std::move(f));
+                           });
+    benchmark::DoNotOptimize(frags.data());
+    frags.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * 5);  // 576 B -> 5 fragments
+}
+BENCHMARK(BM_FragmentFanOut);
+
+// FIFO hand-off through a link queue: refs move in and out, the packets
+// themselves never move.
+void BM_QueueEnqueueDequeue(benchmark::State& state) {
+  const int burst = static_cast<int>(state.range(0));
+  net::PacketPool pool;
+  net::DropTailQueue queue(static_cast<std::size_t>(burst));
+  for (auto _ : state) {
+    for (int i = 0; i < burst; ++i) {
+      net::PacketRef p = pool.acquire();
+      p->size_bytes = 128;
+      queue.enqueue(std::move(p));
+    }
+    while (net::PacketRef p = queue.dequeue()) benchmark::DoNotOptimize(p.get());
+  }
+  state.SetItemsProcessed(state.iterations() * burst);
+}
+BENCHMARK(BM_QueueEnqueueDequeue)->Arg(64);
+
+// End-to-end WAN transfer reported as wireless link frames per second of
+// wall clock — the datapath figure of merit (fragments, ARQ, EBSN all in
+// play).  Complements micro_engine's per-run timing of the same scenario.
+void BM_WanFramesPerSecond(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  std::uint64_t frames = 0;
+  std::uint64_t pool_allocs = 0;
+  std::uint64_t pool_recycled = 0;
+  for (auto _ : state) {
+    topo::ScenarioConfig cfg = topo::wan_scenario();
+    cfg.tcp.file_bytes = 50 * 1024;
+    cfg.channel.mean_bad_s = 4;
+    cfg.local_recovery = true;
+    cfg.feedback = topo::FeedbackMode::kEbsn;
+    cfg.seed = seed++;
+    topo::Scenario s(cfg);
+    benchmark::DoNotOptimize(s.run());
+    frames += s.wireless_link().stats(0).frames_sent +
+              s.wireless_link().stats(1).frames_sent;
+    const net::PacketPool& pool = s.simulator().packet_pool();
+    pool_allocs += pool.allocs();
+    pool_recycled += pool.recycled();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+  state.counters["pool_allocs_per_run"] =
+      benchmark::Counter(static_cast<double>(pool_allocs) /
+                         static_cast<double>(state.iterations()));
+  state.counters["pool_recycle_ratio"] = benchmark::Counter(
+      pool_allocs + pool_recycled > 0
+          ? static_cast<double>(pool_recycled) /
+                static_cast<double>(pool_allocs + pool_recycled)
+          : 0.0);
+}
+BENCHMARK(BM_WanFramesPerSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Engine performance tracking: run the micro_engine google-benchmark suite
-# and write the machine-readable results to BENCH_engine.json at the repo
-# root, so the perf trajectory (scheduler hot path, parallel run engine)
-# is comparable across PRs.
+# Engine performance tracking: run the micro_engine and micro_datapath
+# google-benchmark suites and write the machine-readable results to
+# BENCH_engine.json / BENCH_datapath.json at the repo root, so the perf
+# trajectory (scheduler hot path, parallel run engine, allocation-free
+# packet datapath) is comparable across PRs.
 #
-# Usage: scripts/bench.sh [build-dir] [extra micro_engine args...]
+# Usage: scripts/bench.sh [build-dir] [extra benchmark args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -12,10 +13,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${1:-build}
 shift || true
 
-if [ ! -x "$BUILD_DIR/bench/micro_engine" ]; then
-  cmake -B "$BUILD_DIR" -S . >/dev/null
-  cmake --build "$BUILD_DIR" -j"$(nproc)" --target micro_engine
-fi
+for target in micro_engine micro_datapath; do
+  if [ ! -x "$BUILD_DIR/bench/$target" ]; then
+    cmake -B "$BUILD_DIR" -S . >/dev/null
+    cmake --build "$BUILD_DIR" -j"$(nproc)" --target "$target"
+  fi
+done
 
 "$BUILD_DIR/bench/micro_engine" \
   --benchmark_out=BENCH_engine.json \
@@ -23,5 +26,11 @@ fi
   --benchmark_repetitions="${WTCP_BENCH_REPS:-1}" \
   "$@"
 
+"$BUILD_DIR/bench/micro_datapath" \
+  --benchmark_out=BENCH_datapath.json \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${WTCP_BENCH_REPS:-1}" \
+  "$@"
+
 echo
-echo "wrote BENCH_engine.json"
+echo "wrote BENCH_engine.json and BENCH_datapath.json"

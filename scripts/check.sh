@@ -20,8 +20,18 @@ echo "=== release build + tests ==="
 run build
 
 echo
-echo "=== sanitizer build + tests (address,undefined) ==="
-run build-san -DWTCP_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=Debug
+echo "=== sanitizer build + datapath/pool suites (address,undefined) ==="
+# Fail-fast pass over the packet-pool datapath before the full sanitized
+# suite: recycled-slot poisoning, refcount fan-out, queue/ARQ hand-off.
+# ASan turns any use-after-release of a pooled packet into a hard error.
+cmake -B build-san -S . -DWTCP_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build build-san -j"$(nproc)"
+ctest --test-dir build-san --output-on-failure -j"$(nproc)" \
+  -R 'PacketPool|Packet\.|DropTailQueue|Fragmenter|Reassembler|Arq|Datapath'
+
+echo
+echo "=== sanitizer build + full tests (address,undefined) ==="
+ctest --test-dir build-san --output-on-failure -j"$(nproc)" "${EXTRA_CTEST_ARGS[@]}"
 
 echo
 echo "=== thread-sanitizer build + parallel-engine tests ==="

@@ -47,12 +47,13 @@ void EbsnAgent::notify(const net::Packet& failed_frame) {
   if (bus_) bus_->publish(sim_.now(), "ebsn", "sent");
   WTCP_LOG(kDebug, sim_.now(), "ebsn", "notify source (failed frame: %s)",
            failed_frame.describe().c_str());
-  net::Packet ebsn = net::make_control(net::PacketType::kEbsn, cfg_.message_bytes,
-                                       bs_, source_, sim_.now());
+  net::PacketRef ebsn =
+      net::make_control(sim_.packet_pool(), net::PacketType::kEbsn,
+                        cfg_.message_bytes, bs_, source_, sim_.now());
   // Like real ICMP, the notification identifies the triggering packet's
   // connection so a multi-connection fixed host can demux it.
   if (failed_frame.encapsulated && failed_frame.encapsulated->tcp) {
-    ebsn.tcp = net::TcpHeader{.conn = failed_frame.encapsulated->tcp->conn};
+    ebsn->tcp = net::TcpHeader{.conn = failed_frame.encapsulated->tcp->conn};
   }
   to_source_(std::move(ebsn));
 }

@@ -16,9 +16,9 @@ SnoopAgent::SnoopAgent(sim::Simulator& sim, SnoopConfig cfg, std::string name)
   }
 }
 
-void SnoopAgent::on_data_from_wired(const net::Packet& pkt) {
-  assert(pkt.type == net::PacketType::kTcpData && pkt.tcp.has_value());
-  const std::int64_t seq = pkt.tcp->seq;
+void SnoopAgent::on_data_from_wired(const net::PacketRef& pkt) {
+  assert(pkt->type == net::PacketType::kTcpData && pkt->tcp.has_value());
+  const std::int64_t seq = pkt->tcp->seq;
   if (seq < last_ack_) return;  // already acknowledged end-to-end
 
   if (cache_.size() >= cfg_.cache_packets && !cache_.contains(seq)) {
@@ -33,7 +33,7 @@ void SnoopAgent::on_data_from_wired(const net::Packet& pkt) {
       return;  // no room for this one
     }
   }
-  cache_[seq] = CacheEntry{pkt, sim_.now(), 0};
+  cache_[seq] = CacheEntry{pkt.share(), sim_.now(), 0};
   ++stats_.data_cached;
   arm_timer();
 }
@@ -88,7 +88,7 @@ void SnoopAgent::local_retransmit(std::int64_t seq) {
   }
   WTCP_LOG(kDebug, sim_.now(), name_.c_str(), "local rtx seq=%lld (n=%d)",
            static_cast<long long>(seq), e.local_rtx);
-  wireless_tx_(e.pkt);
+  wireless_tx_(e.pkt.share());
   arm_timer();
 }
 

@@ -47,9 +47,11 @@ class SnoopAgent {
   /// Transmit path toward the mobile host (the BS wireless interface).
   void set_wireless_tx(tcp::PacketForwarder tx) { wireless_tx_ = std::move(tx); }
 
-  /// A data packet from the fixed host is passing through: cache it.
-  /// The caller still forwards the packet to the wireless interface.
-  void on_data_from_wired(const net::Packet& pkt);
+  /// A data packet from the fixed host is passing through: cache a share
+  /// of it.  The caller still forwards the packet to the wireless
+  /// interface (packets are immutable in flight, so cache and forward
+  /// reference the same slot).
+  void on_data_from_wired(const net::PacketRef& pkt);
 
   /// An ACK from the mobile host is passing through.  Returns true if the
   /// ACK should be forwarded to the fixed host, false if snoop suppressed
@@ -71,7 +73,7 @@ class SnoopAgent {
   tcp::PacketForwarder wireless_tx_;
 
   struct CacheEntry {
-    net::Packet pkt;
+    net::PacketRef pkt;
     sim::Time cached_at;
     std::int32_t local_rtx = 0;
   };

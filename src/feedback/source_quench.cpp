@@ -44,10 +44,11 @@ void SourceQuenchAgent::notify(const net::Packet& failed_frame) {
   ++stats_.quenches_sent;
   obs::add(probe_sent_);
   if (bus_) bus_->publish(sim_.now(), "quench", "sent");
-  net::Packet quench = net::make_control(net::PacketType::kSourceQuench,
-                                         cfg_.message_bytes, bs_, source_, sim_.now());
+  net::PacketRef quench =
+      net::make_control(sim_.packet_pool(), net::PacketType::kSourceQuench,
+                        cfg_.message_bytes, bs_, source_, sim_.now());
   if (failed_frame.encapsulated && failed_frame.encapsulated->tcp) {
-    quench.tcp = net::TcpHeader{.conn = failed_frame.encapsulated->tcp->conn};
+    quench->tcp = net::TcpHeader{.conn = failed_frame.encapsulated->tcp->conn};
   }
   to_source_(std::move(quench));
 }

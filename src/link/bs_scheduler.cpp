@@ -22,7 +22,7 @@ BsScheduler::BsScheduler(sim::Simulator& sim, BsSchedulerConfig cfg, std::size_t
   assert(cfg_.max_outstanding >= 1);
 }
 
-void BsScheduler::enqueue(std::size_t user, net::Packet datagram) {
+void BsScheduler::enqueue(std::size_t user, net::PacketRef datagram) {
   assert(user < queues_.size());
   if (queues_[user].size() >= cfg_.queue_datagrams) {
     ++stats_.dropped;
@@ -99,7 +99,7 @@ void BsScheduler::pump() {
   while (outstanding_ < cfg_.max_outstanding) {
     const std::size_t user = pick();
     if (user == npos) return;
-    net::Packet datagram = std::move(queues_[user].front());
+    net::PacketRef datagram = std::move(queues_[user].front());
     queues_[user].pop_front();
     if (cfg_.policy == SchedPolicy::kFifo && !fifo_order_.empty() &&
         fifo_order_.front() == user) {
@@ -108,7 +108,7 @@ void BsScheduler::pump() {
     ++outstanding_;
     ++stats_.released;
     WTCP_LOG(kTrace, sim_.now(), "bs-sched", "release user=%zu (%s)", user,
-             datagram.describe().c_str());
+             datagram->describe().c_str());
     release_(user, std::move(datagram));
   }
 }

@@ -54,7 +54,7 @@ class BsScheduler {
   /// `release(user, datagram)` hands a datagram to user `user`'s wireless
   /// path; the caller must later invoke on_resolved(user) exactly once
   /// per released datagram.
-  using Release = std::function<void(std::size_t user, net::Packet datagram)>;
+  using Release = std::function<void(std::size_t user, net::PacketRef datagram)>;
   /// Channel oracle: true if `user`'s channel is currently good.  CSD
   /// policies require it; others ignore it.
   using ChannelProbe = std::function<bool(std::size_t user)>;
@@ -65,7 +65,7 @@ class BsScheduler {
   void set_channel_probe(ChannelProbe probe) { probe_ = std::move(probe); }
 
   /// Queue a datagram for `user` and serve if the radio has room.
-  void enqueue(std::size_t user, net::Packet datagram);
+  void enqueue(std::size_t user, net::PacketRef datagram);
 
   /// Downstream resolved one released datagram (ARQ delivered or
   /// discarded it); frees an outstanding slot and serves the next.
@@ -88,7 +88,7 @@ class BsScheduler {
   BsSchedulerConfig cfg_;
   Release release_;
   ChannelProbe probe_;
-  std::vector<std::deque<net::Packet>> queues_;  ///< per-user
+  std::vector<std::deque<net::PacketRef>> queues_;  ///< per-user
   std::deque<std::size_t> fifo_order_;           ///< arrival order of users (kFifo)
   std::size_t rr_cursor_ = 0;
   std::int32_t outstanding_ = 0;

@@ -14,30 +14,13 @@ std::int32_t Fragmenter::fragment_count(std::int64_t size_bytes) const {
   return static_cast<std::int32_t>((size_bytes + cfg_.mtu_bytes - 1) / cfg_.mtu_bytes);
 }
 
-std::vector<net::Packet> Fragmenter::fragment(const net::Packet& datagram,
-                                              sim::Time now) {
-  const std::int32_t count = fragment_count(datagram.size_bytes);
-  const std::uint64_t id = next_datagram_id_++;
-  auto original = std::make_shared<const net::Packet>(datagram);
-
-  std::vector<net::Packet> frags;
-  frags.reserve(static_cast<std::size_t>(count));
-  std::int64_t remaining = datagram.size_bytes;
-  for (std::int32_t i = 0; i < count; ++i) {
-    net::Packet f;
-    f.type = net::PacketType::kLinkFragment;
-    f.size_bytes = std::min(cfg_.mtu_bytes, remaining);
-    remaining -= f.size_bytes;
-    f.src = datagram.src;
-    f.dst = datagram.dst;
-    f.frag = net::FragmentHeader{.datagram_id = id, .index = i, .count = count,
-                                 .link_seq = -1};
-    f.encapsulated = original;
-    f.created_at = now;
-    frags.push_back(std::move(f));
-  }
-  ++stats_.datagrams;
-  stats_.fragments += static_cast<std::uint64_t>(count);
+std::vector<net::PacketRef> Fragmenter::fragment(net::PacketPool& pool,
+                                                 net::PacketRef datagram,
+                                                 sim::Time now) {
+  std::vector<net::PacketRef> frags;
+  frags.reserve(static_cast<std::size_t>(fragment_count(datagram->size_bytes)));
+  fragment_to(pool, std::move(datagram), now,
+              [&frags](net::PacketRef f) { frags.push_back(std::move(f)); });
   return frags;
 }
 
@@ -45,12 +28,12 @@ Reassembler::Reassembler(sim::Simulator& sim, ReassemblerConfig cfg,
                          net::PacketSink* upper)
     : sim_(sim), cfg_(cfg), upper_(upper) {}
 
-void Reassembler::handle_fragment(const net::Packet& frag) {
-  assert(frag.frag.has_value());
+void Reassembler::handle_fragment(net::PacketRef frag) {
+  assert(frag && frag->frag.has_value());
   purge_expired();
   ++stats_.fragments_received;
 
-  const net::FragmentHeader& h = *frag.frag;
+  const net::FragmentHeader& h = *frag->frag;
   auto [it, inserted] = partial_.try_emplace(h.datagram_id);
   Partial& p = it->second;
   if (inserted) {
@@ -67,9 +50,11 @@ void Reassembler::handle_fragment(const net::Packet& frag) {
   p.have[idx] = true;
   if (--p.remaining > 0) return;
 
-  // Complete: hand the encapsulated wired datagram upstairs.
+  // Complete: hand the encapsulated wired datagram upstairs (a share of
+  // the original slot — the fragments never copied it).
   ++stats_.datagrams_completed;
-  net::Packet datagram = frag.encapsulated ? *frag.encapsulated : frag;
+  net::PacketRef datagram =
+      frag->encapsulated ? frag->encapsulated.share() : std::move(frag);
   partial_.erase(it);
   if (upper_) upper_->handle_packet(std::move(datagram));
 }

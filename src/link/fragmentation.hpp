@@ -7,6 +7,8 @@
 // paper's packet-size results (Figure 7/9).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -27,6 +29,12 @@ struct FragmenterStats {
   std::uint64_t fragments = 0;
 };
 
+/// Identity of one fragmented datagram.
+struct FragmentInfo {
+  std::uint64_t datagram_id = 0;
+  std::int32_t count = 0;
+};
+
 /// Splits wired datagrams into kLinkFragment packets.  Datagrams no larger
 /// than the MTU still get wrapped (count = 1) so that the ARQ path is
 /// uniform; the wrapping adds no bytes.
@@ -37,7 +45,38 @@ class Fragmenter {
   /// Number of fragments a datagram of `size_bytes` will produce.
   std::int32_t fragment_count(std::int64_t size_bytes) const;
 
-  std::vector<net::Packet> fragment(const net::Packet& datagram, sim::Time now);
+  /// Split `datagram` and hand each fragment to `emit(net::PacketRef)` in
+  /// index order.  Fragments are drawn from `pool` and all share the
+  /// original datagram slot through `encapsulated` (refcount bumps, no
+  /// copies).  Allocation-free in steady state.
+  template <typename Emit>
+  FragmentInfo fragment_to(net::PacketPool& pool, net::PacketRef datagram,
+                           sim::Time now, Emit&& emit) {
+    assert(datagram);
+    const std::int32_t count = fragment_count(datagram->size_bytes);
+    const std::uint64_t id = next_datagram_id_++;
+    std::int64_t remaining = datagram->size_bytes;
+    for (std::int32_t i = 0; i < count; ++i) {
+      net::PacketRef f = pool.acquire();
+      f->type = net::PacketType::kLinkFragment;
+      f->size_bytes = std::min(cfg_.mtu_bytes, remaining);
+      remaining -= f->size_bytes;
+      f->src = datagram->src;
+      f->dst = datagram->dst;
+      f->frag = net::FragmentHeader{.datagram_id = id, .index = i,
+                                    .count = count, .link_seq = -1};
+      f->encapsulated = datagram.share();
+      f->created_at = now;
+      emit(std::move(f));
+    }
+    ++stats_.datagrams;
+    stats_.fragments += static_cast<std::uint64_t>(count);
+    return FragmentInfo{.datagram_id = id, .count = count};
+  }
+
+  /// Convenience for tests: collect the fragments into a vector.
+  std::vector<net::PacketRef> fragment(net::PacketPool& pool,
+                                       net::PacketRef datagram, sim::Time now);
 
   const FragmenterStats& stats() const { return stats_; }
 
@@ -69,8 +108,8 @@ class Reassembler {
 
   void set_upper(net::PacketSink* upper) { upper_ = upper; }
 
-  /// Feed one arriving fragment.
-  void handle_fragment(const net::Packet& frag);
+  /// Feed one arriving fragment (takes ownership).
+  void handle_fragment(net::PacketRef frag);
 
   const ReassemblerStats& stats() const { return stats_; }
   std::size_t pending() const { return partial_.size(); }

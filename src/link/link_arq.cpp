@@ -36,8 +36,8 @@ ArqSender::ArqSender(sim::Simulator& sim, net::DuplexLink& link, int endpoint,
   });
 }
 
-void ArqSender::submit(net::Packet frame) {
-  assert(frame.frag.has_value() && "ARQ transports link fragments");
+void ArqSender::submit(net::PacketRef frame) {
+  assert(frame && frame->frag.has_value() && "ARQ transports link fragments");
   if (queue_.size() >= cfg_.buffer_packets) {
     // ARQ buffer overflow: drop-tail.  With the paper's window sizes this
     // does not happen; the bound protects pathological configs.
@@ -45,7 +45,9 @@ void ArqSender::submit(net::Packet frame) {
     return;
   }
   ++stats_.submitted;
-  frame.frag->link_seq = next_link_seq_++;
+  // The frame is still exclusively ours here; after this point it is
+  // immutable (retransmission attempts share the same slot).
+  frame->frag->link_seq = next_link_seq_++;
   queue_.push_back(std::move(frame));
   fill_window();
 }
@@ -53,9 +55,9 @@ void ArqSender::submit(net::Packet frame) {
 void ArqSender::fill_window() {
   while (!queue_.empty() &&
          outstanding_.size() < static_cast<std::size_t>(cfg_.window)) {
-    net::Packet frame = std::move(queue_.front());
+    net::PacketRef frame = std::move(queue_.front());
     queue_.pop_front();
-    const std::int64_t seq = frame.frag->link_seq;
+    const std::int64_t seq = frame->frag->link_seq;
     auto [it, inserted] = outstanding_.try_emplace(seq);
     assert(inserted);
     it->second.frame = std::move(frame);
@@ -75,7 +77,9 @@ void ArqSender::transmit_attempt(std::int64_t seq) {
     obs::add(probe_retransmissions_);
   }
   o.in_flight = true;
-  link_.send(endpoint_, o.frame);
+  // Share, don't copy: a retransmission puts another ref to the same
+  // immutable slot on the air (the receiver dedups by link_seq).
+  link_.send(endpoint_, o.frame.share());
 }
 
 sim::Time ArqSender::ack_wait_after_airtime(const net::Packet& frame) const {
@@ -101,7 +105,7 @@ void ArqSender::on_frame_aired(const net::Packet& pkt) {
   o.in_flight = false;
   sim_.cancel(o.ack_timer);
   o.ack_timer = sim_.after(
-      ack_wait_after_airtime(o.frame), [this, seq] { on_ack_timeout(seq); },
+      ack_wait_after_airtime(*o.frame), [this, seq] { on_ack_timeout(seq); },
       "arq.ack_timer");
 }
 
@@ -121,12 +125,12 @@ void ArqSender::on_ack_timeout(std::int64_t seq) {
   if (it == outstanding_.end()) return;
   Outstanding& o = it->second;
   WTCP_LOG(kDebug, sim_.now(), name_.c_str(), "ack timeout attempt=%d %s",
-           o.attempts, o.frame.describe().c_str());
+           o.attempts, o.frame->describe().c_str());
   if (bus_) {
     bus_->publish(sim_.now(), "arq", "ack_timeout",
                   static_cast<double>(o.attempts));
   }
-  if (on_attempt_failed) on_attempt_failed(o.frame, o.attempts);
+  if (on_attempt_failed) on_attempt_failed(*o.frame, o.attempts);
 
   // `attempts` transmissions done => `attempts - 1` retransmissions so
   // far; RTmax bounds successive retransmissions.
@@ -134,10 +138,10 @@ void ArqSender::on_ack_timeout(std::int64_t seq) {
     ++stats_.discarded;
     obs::add(probe_discards_);
     if (bus_) bus_->publish(sim_.now(), "arq", "discard", static_cast<double>(seq));
-    const net::Packet dropped = std::move(o.frame);
+    const net::PacketRef dropped = std::move(o.frame);
     sim_.cancel(o.backoff_timer);
     outstanding_.erase(it);
-    if (on_discard) on_discard(dropped);
+    if (on_discard) on_discard(*dropped);
     fill_window();
     return;
   }
@@ -161,9 +165,9 @@ void ArqSender::on_link_ack(const net::Packet& ack) {
   Outstanding& o = it->second;
   sim_.cancel(o.ack_timer);
   sim_.cancel(o.backoff_timer);
-  const net::Packet done = std::move(o.frame);
+  const net::PacketRef done = std::move(o.frame);
   outstanding_.erase(it);
-  if (on_delivered) on_delivered(done);
+  if (on_delivered) on_delivered(*done);
   fill_window();
 }
 
@@ -175,20 +179,21 @@ ArqReceiver::ArqReceiver(sim::Simulator& sim, net::DuplexLink& link, int endpoin
                          ArqConfig cfg, std::string name)
     : sim_(sim), link_(link), endpoint_(endpoint), cfg_(cfg), name_(std::move(name)) {}
 
-void ArqReceiver::on_frame(net::Packet frame) {
-  assert(frame.frag.has_value());
+void ArqReceiver::on_frame(net::PacketRef frame) {
+  assert(frame && frame->frag.has_value());
   ++stats_.frames;
-  const std::int64_t seq = frame.frag->link_seq;
+  const std::int64_t seq = frame->frag->link_seq;
   assert(seq >= 0 && "ARQ receiver fed a non-ARQ frame");
 
   // Always (re-)acknowledge: the sender may be retransmitting because our
   // previous ACK was lost.  Link ACKs jump the queue.
-  net::Packet ack = net::make_control(net::PacketType::kLinkAck, cfg_.link_ack_bytes,
-                                      frame.dst, frame.src, sim_.now());
-  ack.frag = net::FragmentHeader{.datagram_id = frame.frag->datagram_id,
-                                 .index = frame.frag->index,
-                                 .count = frame.frag->count,
-                                 .link_seq = seq};
+  net::PacketRef ack =
+      net::make_control(sim_.packet_pool(), net::PacketType::kLinkAck,
+                        cfg_.link_ack_bytes, frame->dst, frame->src, sim_.now());
+  ack->frag = net::FragmentHeader{.datagram_id = frame->frag->datagram_id,
+                                  .index = frame->frag->index,
+                                  .count = frame->frag->count,
+                                  .link_seq = seq};
   link_.send(endpoint_, std::move(ack), /*priority=*/true);
   ++stats_.acks_sent;
 
@@ -205,7 +210,7 @@ void ArqReceiver::on_frame(net::Packet frame) {
 void ArqReceiver::release_in_order() {
   auto it = buffer_.begin();
   while (it != buffer_.end() && it->first == next_expected_) {
-    net::Packet out = std::move(it->second);
+    net::PacketRef out = std::move(it->second);
     it = buffer_.erase(it);
     ++next_expected_;
     ++stats_.delivered;
@@ -229,7 +234,7 @@ void ArqReceiver::arm_hole_timer() {
     return;
   }
   if (sim_.pending(hole_timer_)) return;  // already timing this hole
-  const sim::Time flush = flush_timeout_for(buffer_.begin()->second);
+  const sim::Time flush = flush_timeout_for(*buffer_.begin()->second);
   hole_timer_ = sim_.after(flush, [this] { on_hole_timeout(); }, "arq.hole_timer");
 }
 

@@ -63,7 +63,7 @@ class ArqSender {
 
   /// Queue a frame for reliable transmission.  The frame's link_seq is
   /// assigned here.
-  void submit(net::Packet frame);
+  void submit(net::PacketRef frame);
 
   /// Feed a received link ACK (called by the endpoint demux).
   void on_link_ack(const net::Packet& ack);
@@ -84,7 +84,7 @@ class ArqSender {
 
  private:
   struct Outstanding {
-    net::Packet frame;
+    net::PacketRef frame;
     std::int32_t attempts = 0;  ///< transmissions so far
     sim::EventId ack_timer;
     sim::EventId backoff_timer;
@@ -105,7 +105,7 @@ class ArqSender {
   std::string name_;
   sim::Rng rng_;
 
-  std::deque<net::Packet> queue_;                   ///< not yet in the window
+  std::deque<net::PacketRef> queue_;                ///< not yet in the window
   std::map<std::int64_t, Outstanding> outstanding_; ///< link_seq -> state
   std::int64_t next_link_seq_ = 0;
   ArqSenderStats stats_;
@@ -140,14 +140,14 @@ class ArqReceiver {
               std::string name);
 
   /// Where in-order frames are released.
-  void set_deliver(std::function<void(net::Packet)> deliver) {
+  void set_deliver(std::function<void(net::PacketRef)> deliver) {
     deliver_ = std::move(deliver);
   }
 
   /// Feed a received ARQ frame.  Sends a link ACK in all cases (the
   /// earlier ACK may have been lost) and releases whatever is now in
   /// order through the deliver callback.
-  void on_frame(net::Packet frame);
+  void on_frame(net::PacketRef frame);
 
   const ArqReceiverStats& stats() const { return stats_; }
   std::int64_t next_expected() const { return next_expected_; }
@@ -164,9 +164,9 @@ class ArqReceiver {
   int endpoint_;
   ArqConfig cfg_;
   std::string name_;
-  std::function<void(net::Packet)> deliver_;
+  std::function<void(net::PacketRef)> deliver_;
   std::int64_t next_expected_ = 0;
-  std::map<std::int64_t, net::Packet> buffer_;  ///< out-of-order frames
+  std::map<std::int64_t, net::PacketRef> buffer_;  ///< out-of-order frames
   sim::EventId hole_timer_;
   ArqReceiverStats stats_;
 };

@@ -32,8 +32,9 @@ WirelessInterface::WirelessInterface(sim::Simulator& sim, net::DuplexLink& link,
 void WirelessInterface::make_arq_receiver() {
   arq_receiver_ = std::make_unique<ArqReceiver>(sim_, link_, endpoint_, cfg_.arq,
                                                 name_ + "/arq-rcv");
-  arq_receiver_->set_deliver(
-      [this](net::Packet frame) { reassembler_.handle_fragment(frame); });
+  arq_receiver_->set_deliver([this](net::PacketRef frame) {
+    reassembler_.handle_fragment(std::move(frame));
+  });
 }
 
 ArqSender& WirelessInterface::arq_sender() {
@@ -42,44 +43,43 @@ ArqSender& WirelessInterface::arq_sender() {
 }
 
 WirelessInterface::SendInfo WirelessInterface::send_datagram(
-    const net::Packet& datagram) {
-  std::vector<net::Packet> frags = fragmenter_.fragment(datagram, sim_.now());
-  SendInfo info{frags.front().frag->datagram_id,
-                static_cast<std::int32_t>(frags.size())};
+    net::PacketRef datagram) {
+  const FragmentInfo info = fragmenter_.fragment_to(
+      sim_.packet_pool(), std::move(datagram), sim_.now(),
+      [this](net::PacketRef frag) {
+        if (arq_sender_) {
+          arq_sender_->submit(std::move(frag));
+        } else {
+          link_.send(endpoint_, std::move(frag));
+        }
+      });
   obs::add(probe_datagrams_);
-  obs::add(probe_fragments_, frags.size());
-  for (net::Packet& frag : frags) {
-    if (arq_sender_) {
-      arq_sender_->submit(std::move(frag));
-    } else {
-      link_.send(endpoint_, std::move(frag));
-    }
-  }
-  return info;
+  obs::add(probe_fragments_, static_cast<std::uint64_t>(info.count));
+  return SendInfo{info.datagram_id, info.count};
 }
 
-void WirelessInterface::handle_packet(net::Packet pkt) {
-  switch (pkt.type) {
+void WirelessInterface::handle_packet(net::PacketRef pkt) {
+  switch (pkt->type) {
     case net::PacketType::kLinkAck:
       if (arq_sender_) {
-        arq_sender_->on_link_ack(pkt);
+        arq_sender_->on_link_ack(*pkt);
       }
       // Without ARQ a stray link ACK is dropped.
       return;
     case net::PacketType::kLinkFragment: {
-      if (pkt.frag->link_seq >= 0) {
+      if (pkt->frag->link_seq >= 0) {
         // ARQ frame: acknowledge + in-order release even if our own ARQ is
         // disabled (the peer decides whether to run local recovery).
         if (!arq_receiver_) make_arq_receiver();
         arq_receiver_->on_frame(std::move(pkt));
       } else {
-        reassembler_.handle_fragment(pkt);
+        reassembler_.handle_fragment(std::move(pkt));
       }
       return;
     }
     default:
       WTCP_LOG(kWarn, sim_.now(), name_.c_str(), "unexpected packet on wireless: %s",
-               pkt.describe().c_str());
+               pkt->describe().c_str());
       return;
   }
 }

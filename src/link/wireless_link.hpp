@@ -48,11 +48,12 @@ class WirelessInterface final : public net::PacketSink {
     std::int32_t fragments = 0;
   };
 
-  /// Send a wired datagram across the wireless hop.
-  SendInfo send_datagram(const net::Packet& datagram);
+  /// Send a wired datagram across the wireless hop (takes ownership;
+  /// fragments share the datagram's slot, nothing is copied).
+  SendInfo send_datagram(net::PacketRef datagram);
 
   /// Link delivery entry point (fragments + link ACKs).
-  void handle_packet(net::Packet pkt) override;
+  void handle_packet(net::PacketRef pkt) override;
 
   /// ARQ sender of this endpoint (EBSN subscribes to its hooks).
   /// Precondition: local_recovery is enabled.

@@ -65,20 +65,15 @@ void DuplexLink::trace(char event, int from, const Packet& pkt) const {
   for (const TraceHook& hook : trace_hooks_) hook(event, from, pkt);
 }
 
-bool DuplexLink::send(int from, Packet pkt, bool priority) {
+bool DuplexLink::send(int from, PacketRef pkt, bool priority) {
   Direction& d = dir(from);
-  if (!trace_hooks_.empty()) {
-    // Keep the packet observable across the queue attempt so both the
-    // accept ('+') and the tail drop ('d') can be traced.
-    const Packet copy = pkt;
-    const bool ok = priority ? d.queue.enqueue_front(std::move(pkt))
-                             : d.queue.enqueue(std::move(pkt));
-    trace(ok ? '+' : 'd', from, copy);
-    if (ok) kick(from);
-    return ok;
-  }
+  // The slot address is stable across the enqueue, so the packet stays
+  // observable for both the accept ('+') and the tail-drop ('d') trace —
+  // on rejection the queue leaves `pkt` intact.
+  const Packet* raw = pkt.get();
   const bool ok = priority ? d.queue.enqueue_front(std::move(pkt))
                            : d.queue.enqueue(std::move(pkt));
+  if (!trace_hooks_.empty()) trace(ok ? '+' : 'd', from, *raw);
   if (ok) kick(from);
   return ok;
 }
@@ -89,49 +84,50 @@ void DuplexLink::kick(int from) {
   if (cfg_.half_duplex && dir(1 - from).busy) return;  // channel occupied
   if (cfg_.medium && cfg_.medium->busy()) return;      // shared radio occupied
   if (d.queue.empty()) return;
-  auto next = d.queue.dequeue();
-  start_transmission(from, std::move(*next));
+  start_transmission(from, d.queue.dequeue());
 }
 
-void DuplexLink::start_transmission(int from, Packet pkt) {
+void DuplexLink::start_transmission(int from, PacketRef pkt) {
   Direction& d = dir(from);
   d.busy = true;
   if (cfg_.medium) cfg_.medium->acquire(waiter_ids_[from]);
 
-  const sim::Time airtime = frame_airtime(pkt.size_bytes);
-  const std::int64_t on_air_bits = airtime_bytes(pkt.size_bytes) * 8;
+  const sim::Time airtime = frame_airtime(pkt->size_bytes);
+  const std::int64_t on_air_bits = airtime_bytes(pkt->size_bytes) * 8;
   const sim::Time start = sim_.now();
   const sim::Time end = start + airtime;
 
   ++d.stats.frames_sent;
-  d.stats.bytes_sent += pkt.size_bytes;
+  d.stats.bytes_sent += pkt->size_bytes;
   d.stats.busy_time += airtime;
-  trace('-', from, pkt);
+  if (!trace_hooks_.empty()) trace('-', from, *pkt);
 
   const bool corrupted =
       error_model_ && error_model_->corrupts(start, end, on_air_bits);
 
   WTCP_LOG(kTrace, start, cfg_.name.c_str(), "tx from=%d %s airtime=%.6fs%s", from,
-           pkt.describe().c_str(), airtime.to_seconds(), corrupted ? " CORRUPT" : "");
+           pkt->describe().c_str(), airtime.to_seconds(), corrupted ? " CORRUPT" : "");
 
   const int to = 1 - from;
+  // Both completion lambdas capture an 8-byte ref, so they stay inside
+  // SmallCallback's inline buffer: no heap allocation per frame.
   sim_.after(
       airtime,
       [this, from, to, corrupted, pkt = std::move(pkt)]() mutable {
         Direction& d2 = dir(from);
         d2.busy = false;
-        for (const FrameObserver& obs : observers_) obs(from, pkt, !corrupted);
+        for (const FrameObserver& obs : observers_) obs(from, *pkt, !corrupted);
         if (corrupted) {
           ++d2.stats.frames_corrupted;
-          trace('c', from, pkt);
+          if (!trace_hooks_.empty()) trace('c', from, *pkt);
         } else {
           ++d2.stats.frames_delivered;
-          d2.stats.bytes_delivered += pkt.size_bytes;
+          d2.stats.bytes_delivered += pkt->size_bytes;
           if (sinks_[to]) {
             sim_.after(
                 cfg_.prop_delay,
                 [this, from, to, pkt = std::move(pkt)]() mutable {
-                  trace('r', from, pkt);
+                  if (!trace_hooks_.empty()) trace('r', from, *pkt);
                   if (sinks_[to]) sinks_[to]->handle_packet(std::move(pkt));
                 },
                 "link.deliver");

@@ -70,7 +70,7 @@ class DuplexLink {
   /// Queue `pkt` at endpoint `from` for transmission to the other side.
   /// Returns false if the queue tail-dropped it.  `priority` pushes the
   /// packet at the head of the queue (used for link-level ACK frames).
-  bool send(int from, Packet pkt, bool priority = false);
+  bool send(int from, PacketRef pkt, bool priority = false);
 
   /// Observers fired when a frame finishes its airtime: (from-endpoint,
   /// packet, delivered?).  Used by the ARQ (to time ACK waits from actual
@@ -108,7 +108,7 @@ class DuplexLink {
   Direction& dir(int from);
   const Direction& dir(int from) const;
   void kick(int from);
-  void start_transmission(int from, Packet pkt);
+  void start_transmission(int from, PacketRef pkt);
   void trace(char event, int from, const Packet& pkt) const;
 
   sim::Simulator& sim_;

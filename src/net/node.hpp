@@ -16,7 +16,7 @@ namespace wtcp::net {
 class PacketSink {
  public:
   virtual ~PacketSink() = default;
-  virtual void handle_packet(Packet pkt) = 0;
+  virtual void handle_packet(PacketRef pkt) = 0;
 };
 
 /// A named node.  Nodes are pure identities in wtcp — behaviour lives in
@@ -38,11 +38,11 @@ class Node {
 /// logic (base station, mobile host) without dedicated classes.
 class CallbackSink final : public PacketSink {
  public:
-  explicit CallbackSink(std::function<void(Packet)> fn) : fn_(std::move(fn)) {}
-  void handle_packet(Packet pkt) override { fn_(std::move(pkt)); }
+  explicit CallbackSink(std::function<void(PacketRef)> fn) : fn_(std::move(fn)) {}
+  void handle_packet(PacketRef pkt) override { fn_(std::move(pkt)); }
 
  private:
-  std::function<void(Packet)> fn_;
+  std::function<void(PacketRef)> fn_;
 };
 
 /// Registry assigning dense NodeIds.  Owned by a scenario.

@@ -18,59 +18,74 @@ const char* to_string(PacketType t) {
   return "?";
 }
 
+std::size_t Packet::describe_to(char* buf, std::size_t size) const {
+  int n;
+  if (tcp) {
+    n = std::snprintf(buf, size, "%s seq=%lld ack=%lld size=%lld%s",
+                      to_string(type), static_cast<long long>(tcp->seq),
+                      static_cast<long long>(tcp->ack),
+                      static_cast<long long>(size_bytes),
+                      tcp->retransmit ? " rtx" : "");
+  } else if (frag) {
+    n = std::snprintf(buf, size, "%s dgram=%llu %d/%d lseq=%lld size=%lld",
+                      to_string(type),
+                      static_cast<unsigned long long>(frag->datagram_id),
+                      frag->index, frag->count,
+                      static_cast<long long>(frag->link_seq),
+                      static_cast<long long>(size_bytes));
+  } else {
+    n = std::snprintf(buf, size, "%s size=%lld", to_string(type),
+                      static_cast<long long>(size_bytes));
+  }
+  if (n < 0) return 0;
+  const std::size_t written = static_cast<std::size_t>(n);
+  return written < size ? written : (size ? size - 1 : 0);
+}
+
 std::string Packet::describe() const {
   char buf[160];
-  if (tcp) {
-    std::snprintf(buf, sizeof(buf), "%s seq=%lld ack=%lld size=%lld%s",
-                  to_string(type), static_cast<long long>(tcp->seq),
-                  static_cast<long long>(tcp->ack), static_cast<long long>(size_bytes),
-                  tcp->retransmit ? " rtx" : "");
-  } else if (frag) {
-    std::snprintf(buf, sizeof(buf), "%s dgram=%llu %d/%d lseq=%lld size=%lld",
-                  to_string(type), static_cast<unsigned long long>(frag->datagram_id),
-                  frag->index, frag->count, static_cast<long long>(frag->link_seq),
-                  static_cast<long long>(size_bytes));
-  } else {
-    std::snprintf(buf, sizeof(buf), "%s size=%lld", to_string(type),
-                  static_cast<long long>(size_bytes));
-  }
+  describe_to(buf, sizeof(buf));
   return buf;
 }
 
-Packet make_tcp_data(std::int64_t seq, std::int32_t payload, std::int32_t header_bytes,
-                     NodeId src, NodeId dst, sim::Time now) {
+PacketRef make_tcp_data(PacketPool& pool, std::int64_t seq, std::int32_t payload,
+                        std::int32_t header_bytes, NodeId src, NodeId dst,
+                        sim::Time now) {
   assert(payload > 0);
-  Packet p;
+  PacketRef r = pool.acquire();
+  Packet& p = *r;
   p.type = PacketType::kTcpData;
   p.size_bytes = payload + header_bytes;
   p.src = src;
   p.dst = dst;
   p.tcp = TcpHeader{.seq = seq, .ack = -1, .payload = payload};
   p.created_at = now;
-  return p;
+  return r;
 }
 
-Packet make_tcp_ack(std::int64_t ack, std::int32_t header_bytes, NodeId src, NodeId dst,
-                    sim::Time now) {
-  Packet p;
+PacketRef make_tcp_ack(PacketPool& pool, std::int64_t ack, std::int32_t header_bytes,
+                       NodeId src, NodeId dst, sim::Time now) {
+  PacketRef r = pool.acquire();
+  Packet& p = *r;
   p.type = PacketType::kTcpAck;
   p.size_bytes = header_bytes;
   p.src = src;
   p.dst = dst;
   p.tcp = TcpHeader{.seq = 0, .ack = ack, .payload = 0};
   p.created_at = now;
-  return p;
+  return r;
 }
 
-Packet make_control(PacketType type, std::int64_t size_bytes, NodeId src, NodeId dst,
-                    sim::Time now) {
-  Packet p;
+PacketRef make_control(PacketPool& pool, PacketType type, std::int64_t size_bytes,
+                       NodeId src, NodeId dst, sim::Time now) {
+  PacketRef r = pool.acquire();
+  Packet& p = *r;
   p.type = type;
   p.size_bytes = size_bytes;
   p.src = src;
   p.dst = dst;
   p.created_at = now;
-  return p;
+  return r;
 }
 
 }  // namespace wtcp::net

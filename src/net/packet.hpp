@@ -4,11 +4,18 @@
 // on-wire size, and a small set of optional typed headers.  No byte-level
 // serialization is performed — the paper's results depend only on sizes,
 // timing and loss, not on wire encoding.
+//
+// Packet storage lives in a per-run net::PacketPool (a freelist arena, see
+// packet_pool.hpp) and is handed around as a move-only PacketRef: an
+// 8-byte handle with an intrusive refcount.  The datapath forwards refs by
+// move, so steady-state forwarding performs no heap allocation — fragments
+// of one datagram share the encapsulated original by bumping its refcount
+// (PacketRef::share()), never by copying.
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <optional>
 #include <string>
 
@@ -69,8 +76,52 @@ struct FragmentHeader {
   std::int64_t link_seq = -1;     ///< link ARQ sequence number (-1 if no ARQ)
 };
 
-/// A packet in flight.  Value type; copies are cheap (fragments share the
-/// encapsulated original via shared_ptr).
+struct Packet;
+struct PacketSlot;
+class PacketPool;
+
+/// Move-only owning handle to a pooled Packet.  8 bytes; destruction drops
+/// the slot's refcount and recycles the slot into its pool at zero.
+/// share() hands out an additional owner (refcount bump) — used for the
+/// encapsulated original under fragment fan-out, for ARQ retransmission
+/// attempts, and for the snoop cache.  Packets are treated as immutable
+/// once they have entered the network, so shared slots are safe.
+class PacketRef {
+ public:
+  PacketRef() = default;
+  PacketRef(PacketRef&& o) noexcept : slot_(o.slot_) { o.slot_ = nullptr; }
+  PacketRef& operator=(PacketRef&& o) noexcept {
+    if (this != &o) {
+      reset();
+      slot_ = o.slot_;
+      o.slot_ = nullptr;
+    }
+    return *this;
+  }
+  PacketRef(const PacketRef&) = delete;
+  PacketRef& operator=(const PacketRef&) = delete;
+  ~PacketRef() { reset(); }
+
+  Packet* get() const;
+  Packet& operator*() const { return *get(); }
+  Packet* operator->() const { return get(); }
+  explicit operator bool() const { return slot_ != nullptr; }
+
+  /// Drop this reference (recycling the slot if it was the last owner).
+  void reset();
+
+  /// An additional owning reference to the same slot.
+  PacketRef share() const;
+
+ private:
+  friend class PacketPool;
+  explicit PacketRef(PacketSlot* s) : slot_(s) {}
+  PacketSlot* slot_ = nullptr;
+};
+
+/// A packet in flight.  Move-only: storage belongs to the pool, and the
+/// datapath forwards PacketRefs; an explicit PacketPool::clone() exists
+/// for the rare place that genuinely needs an independent copy.
 struct Packet {
   PacketType type = PacketType::kTcpData;
   std::int64_t size_bytes = 0;  ///< on-wire size including protocol headers
@@ -82,8 +133,8 @@ struct Packet {
   std::optional<FragmentHeader> frag;
 
   /// For kLinkFragment: the wired datagram this fragment carries a piece
-  /// of.  All fragments of one datagram point at the same original.
-  std::shared_ptr<const Packet> encapsulated;
+  /// of.  All fragments of one datagram share the same original slot.
+  PacketRef encapsulated;
 
   /// Creation time (set by the originating agent); used for delay stats.
   sim::Time created_at;
@@ -91,17 +142,35 @@ struct Packet {
   /// Monotone id assigned by the creating agent, for tracing/debugging.
   std::uint64_t uid = 0;
 
-  /// One-line rendering for logs and traces.
+  Packet() = default;
+  Packet(Packet&&) noexcept = default;
+  Packet& operator=(Packet&&) noexcept = default;
+  Packet(const Packet&) = delete;
+  Packet& operator=(const Packet&) = delete;
+
+  /// Render a one-line description into `buf` (never allocates); returns
+  /// the number of characters written (excluding the NUL).  A 160-byte
+  /// buffer always suffices.
+  std::size_t describe_to(char* buf, std::size_t size) const;
+
+  /// One-line rendering for logs and traces.  Allocates the returned
+  /// string — call only behind a logging/trace-enabled guard.
   std::string describe() const;
 };
 
-/// Factory helpers — keep call sites terse and sizes consistent.
+/// Factory helpers — keep call sites terse and sizes consistent.  Storage
+/// is drawn from `pool` (recycled slots in steady state).
 /// `header_bytes` is the combined TCP/IP header size (paper: 40 bytes).
-Packet make_tcp_data(std::int64_t seq, std::int32_t payload, std::int32_t header_bytes,
-                     NodeId src, NodeId dst, sim::Time now);
-Packet make_tcp_ack(std::int64_t ack, std::int32_t header_bytes, NodeId src, NodeId dst,
-                    sim::Time now);
-Packet make_control(PacketType type, std::int64_t size_bytes, NodeId src, NodeId dst,
-                    sim::Time now);
+PacketRef make_tcp_data(PacketPool& pool, std::int64_t seq, std::int32_t payload,
+                        std::int32_t header_bytes, NodeId src, NodeId dst,
+                        sim::Time now);
+PacketRef make_tcp_ack(PacketPool& pool, std::int64_t ack, std::int32_t header_bytes,
+                       NodeId src, NodeId dst, sim::Time now);
+PacketRef make_control(PacketPool& pool, PacketType type, std::int64_t size_bytes,
+                       NodeId src, NodeId dst, sim::Time now);
 
 }  // namespace wtcp::net
+
+// Completes PacketSlot / PacketPool and PacketRef's inline member
+// definitions (they need the slot layout, which needs Packet).
+#include "src/net/packet_pool.hpp"  // IWYU pragma: export

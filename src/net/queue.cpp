@@ -11,13 +11,14 @@ DropTailQueue::DropTailQueue(std::size_t capacity_packets, std::int64_t capacity
   assert(capacity_packets_ > 0);
 }
 
-bool DropTailQueue::enqueue(Packet pkt) {
-  if (items_.size() >= capacity_packets_ || bytes_ + pkt.size_bytes > capacity_bytes_) {
+bool DropTailQueue::enqueue(PacketRef&& pkt) {
+  if (items_.size() >= capacity_packets_ ||
+      bytes_ + pkt->size_bytes > capacity_bytes_) {
     ++stats_.dropped;
     obs::add(probe_drops_);
     return false;
   }
-  bytes_ += pkt.size_bytes;
+  bytes_ += pkt->size_bytes;
   items_.push_back(std::move(pkt));
   ++stats_.enqueued;
   stats_.max_depth_packets = std::max(stats_.max_depth_packets, items_.size());
@@ -26,13 +27,14 @@ bool DropTailQueue::enqueue(Packet pkt) {
   return true;
 }
 
-bool DropTailQueue::enqueue_front(Packet pkt) {
-  if (items_.size() >= capacity_packets_ || bytes_ + pkt.size_bytes > capacity_bytes_) {
+bool DropTailQueue::enqueue_front(PacketRef&& pkt) {
+  if (items_.size() >= capacity_packets_ ||
+      bytes_ + pkt->size_bytes > capacity_bytes_) {
     ++stats_.dropped;
     obs::add(probe_drops_);
     return false;
   }
-  bytes_ += pkt.size_bytes;
+  bytes_ += pkt->size_bytes;
   items_.push_front(std::move(pkt));
   ++stats_.enqueued;
   stats_.max_depth_packets = std::max(stats_.max_depth_packets, items_.size());
@@ -41,18 +43,18 @@ bool DropTailQueue::enqueue_front(Packet pkt) {
   return true;
 }
 
-std::optional<Packet> DropTailQueue::dequeue() {
-  if (items_.empty()) return std::nullopt;
-  Packet pkt = std::move(items_.front());
+PacketRef DropTailQueue::dequeue() {
+  if (items_.empty()) return {};
+  PacketRef pkt = std::move(items_.front());
   items_.pop_front();
-  bytes_ -= pkt.size_bytes;
+  bytes_ -= pkt->size_bytes;
   ++stats_.dequeued;
   update_depth_gauge();
   return pkt;
 }
 
 const Packet* DropTailQueue::peek() const {
-  return items_.empty() ? nullptr : &items_.front();
+  return items_.empty() ? nullptr : items_.front().get();
 }
 
 void DropTailQueue::clear() {

@@ -1,9 +1,9 @@
-// Drop-tail FIFO packet queue with occupancy statistics.
+// Drop-tail FIFO packet queue with occupancy statistics.  Stores pooled
+// PacketRefs — enqueue/dequeue move 8-byte handles, never packet bodies.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <optional>
 
 #include "src/net/packet.hpp"
 #include "src/obs/probe.hpp"
@@ -26,15 +26,16 @@ class DropTailQueue {
   explicit DropTailQueue(std::size_t capacity_packets,
                          std::int64_t capacity_bytes = INT64_MAX);
 
-  /// Returns true if accepted, false if tail-dropped.
-  bool enqueue(Packet pkt);
+  /// Returns true if accepted, false if tail-dropped.  On rejection `pkt`
+  /// is left intact, so the caller can still trace the drop.
+  bool enqueue(PacketRef&& pkt);
 
   /// Insert at the head (priority traffic such as link-level ACKs).
-  /// Subject to the same capacity bounds.
-  bool enqueue_front(Packet pkt);
+  /// Subject to the same capacity bounds; `pkt` survives a rejection.
+  bool enqueue_front(PacketRef&& pkt);
 
-  /// Pop the head, or nullopt when empty.
-  std::optional<Packet> dequeue();
+  /// Pop the head, or a null ref when empty.
+  PacketRef dequeue();
 
   /// Inspect the head without removing it.
   const Packet* peek() const;
@@ -61,7 +62,7 @@ class DropTailQueue {
   std::size_t capacity_packets_;
   std::int64_t capacity_bytes_;
   std::int64_t bytes_ = 0;
-  std::deque<Packet> items_;
+  std::deque<PacketRef> items_;
   QueueStats stats_;
   obs::Counter* probe_drops_ = nullptr;
   obs::Gauge* probe_depth_ = nullptr;

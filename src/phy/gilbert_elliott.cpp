@@ -48,6 +48,11 @@ void GilbertElliottModel::prune_before(sim::Time t) {
 
 ChannelState GilbertElliottModel::state_at(sim::Time t) {
   extend_to(t + sim::Time::nanoseconds(1));
+  // Queries arrive in nondecreasing time order (same contract as
+  // corrupts_impl), so history before `t` is dead — dropping it here keeps
+  // the retained trajectory O(1) even for state_at-only users, who would
+  // otherwise accumulate one segment per sojourn for the whole run.
+  prune_before(t);
   assert(!segments_.empty() && segments_.front().begin <= t);
   ChannelState s = segments_.front().state;
   for (const Segment& seg : segments_) {

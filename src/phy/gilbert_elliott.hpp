@@ -16,6 +16,7 @@
 // data and ACK frames fade together as in the paper.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 
@@ -63,6 +64,11 @@ class GilbertElliottModel final : public ErrorModel {
   /// (diagnostics; grows as queries extend the trajectory).
   sim::Time sampled_bad_time() const { return sampled_bad_; }
   sim::Time sampled_until() const { return horizon_; }
+
+  /// Trajectory segments currently retained.  Both query paths prune
+  /// history behind the (nondecreasing) query time, so this stays O(1) for
+  /// arbitrarily long runs instead of growing one entry per sojourn.
+  std::size_t retained_segments() const { return segments_.size(); }
 
  protected:
   bool corrupts_impl(sim::Time start, sim::Time end, std::int64_t bits) override;

@@ -2,9 +2,14 @@
 
 #include <chrono>
 
+#include "src/net/packet_pool.hpp"
+
 namespace wtcp::sim {
 
-Simulator::Simulator(std::uint64_t seed) : seed_(seed), root_rng_(seed) {}
+Simulator::Simulator(std::uint64_t seed)
+    : pool_(std::make_unique<net::PacketPool>()), seed_(seed), root_rng_(seed) {}
+
+Simulator::~Simulator() = default;
 
 std::uint64_t Simulator::run(Time horizon) {
   const auto wall_start = std::chrono::steady_clock::now();

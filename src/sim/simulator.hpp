@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "src/sim/random.hpp"
 #include "src/sim/scheduler.hpp"
@@ -11,6 +12,9 @@
 
 namespace wtcp::obs {
 class Registry;
+}
+namespace wtcp::net {
+class PacketPool;
 }
 
 namespace wtcp::sim {
@@ -21,12 +25,16 @@ namespace wtcp::sim {
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   Time now() const { return sched_.now(); }
   Scheduler& scheduler() { return sched_; }
+
+  /// Per-run packet arena; every Packet on the datapath lives here.
+  net::PacketPool& packet_pool() { return *pool_; }
 
   /// Root RNG; components should fork() their own labelled streams.
   const Rng& root_rng() const { return root_rng_; }
@@ -63,6 +71,9 @@ class Simulator {
   double wall_seconds() const { return wall_seconds_; }
 
  private:
+  // The pool is the first member so it is destroyed LAST: events still
+  // queued at teardown hold PacketRefs that release into it.
+  std::unique_ptr<net::PacketPool> pool_;
   std::uint64_t seed_;
   Scheduler sched_;
   Rng root_rng_;

@@ -80,19 +80,19 @@ void TcpSender::start() {
   send_segments();
 }
 
-net::Packet TcpSender::make_control_segment(bool syn, bool fin) {
-  net::Packet pkt;
-  pkt.type = net::PacketType::kTcpData;
-  pkt.size_bytes = cfg_.header_bytes;
-  pkt.src = self_;
-  pkt.dst = peer_;
-  pkt.created_at = sim_.now();
-  pkt.tcp = net::TcpHeader{.seq = syn ? -1 : total_segments_,
-                           .ack = -1,
-                           .payload = 0,
-                           .syn = syn,
-                           .fin = fin,
-                           .conn = cfg_.conn};
+net::PacketRef TcpSender::make_control_segment(bool syn, bool fin) {
+  net::PacketRef pkt = sim_.packet_pool().acquire();
+  pkt->type = net::PacketType::kTcpData;
+  pkt->size_bytes = cfg_.header_bytes;
+  pkt->src = self_;
+  pkt->dst = peer_;
+  pkt->created_at = sim_.now();
+  pkt->tcp = net::TcpHeader{.seq = syn ? -1 : total_segments_,
+                            .ack = -1,
+                            .payload = 0,
+                            .syn = syn,
+                            .fin = fin,
+                            .conn = cfg_.conn};
   return pkt;
 }
 
@@ -166,10 +166,11 @@ void TcpSender::transmit(std::int64_t seq) {
   const bool is_rtx = seq <= max_seq_sent_;
   const std::int32_t payload = payload_of(seq);
 
-  net::Packet pkt =
-      net::make_tcp_data(seq, payload, cfg_.header_bytes, self_, peer_, sim_.now());
-  pkt.tcp->retransmit = is_rtx;
-  pkt.tcp->conn = cfg_.conn;
+  net::PacketRef pkt = net::make_tcp_data(sim_.packet_pool(), seq, payload,
+                                          cfg_.header_bytes, self_, peer_,
+                                          sim_.now());
+  pkt->tcp->retransmit = is_rtx;
+  pkt->tcp->conn = cfg_.conn;
 
   if (is_rtx) {
     ever_retransmitted_[static_cast<std::size_t>(seq)] = true;
@@ -187,13 +188,13 @@ void TcpSender::transmit(std::int64_t seq) {
     }
   }
   stats_.payload_bytes_sent += payload;
-  stats_.wire_bytes_sent += pkt.size_bytes;
+  stats_.wire_bytes_sent += pkt->size_bytes;
   max_seq_sent_ = std::max(max_seq_sent_, seq);
 
   if (!sim_.pending(rtx_timer_)) set_rtx_timer();
 
   WTCP_LOG(kTrace, sim_.now(), name_.c_str(), "tx %s cwnd=%.2f una=%lld",
-           pkt.describe().c_str(), cwnd_, static_cast<long long>(snd_una_));
+           pkt->describe().c_str(), cwnd_, static_cast<long long>(snd_una_));
   downstream_(std::move(pkt));
 }
 
@@ -254,10 +255,10 @@ void TcpSender::on_rtx_timeout() {
   set_rtx_timer();
 }
 
-void TcpSender::handle_packet(net::Packet pkt) {
-  switch (pkt.type) {
+void TcpSender::handle_packet(net::PacketRef pkt) {
+  switch (pkt->type) {
     case net::PacketType::kTcpAck:
-      on_ack(pkt);
+      on_ack(*pkt);
       return;
     case net::PacketType::kEbsn:
       on_ebsn();
@@ -267,7 +268,7 @@ void TcpSender::handle_packet(net::Packet pkt) {
       return;
     default:
       WTCP_LOG(kWarn, sim_.now(), name_.c_str(), "unexpected packet: %s",
-               pkt.describe().c_str());
+               pkt->describe().c_str());
       return;
   }
 }

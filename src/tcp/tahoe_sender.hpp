@@ -36,7 +36,7 @@
 namespace wtcp::tcp {
 
 /// How packets leave an agent toward the network.
-using PacketForwarder = std::function<void(net::Packet)>;
+using PacketForwarder = std::function<void(net::PacketRef)>;
 
 enum class TcpFlavor : std::uint8_t {
   kTahoe,    ///< loss => slow start from cwnd = 1 (the paper's TCP)
@@ -138,7 +138,7 @@ class TcpSender final : public net::PacketSink {
   void start_at(sim::Time at);
 
   /// Network delivery entry point: ACKs, EBSNs, source quenches.
-  void handle_packet(net::Packet pkt) override;
+  void handle_packet(net::PacketRef pkt) override;
 
   /// Fired once when the final ACK arrives.
   std::function<void()> on_complete;
@@ -162,7 +162,7 @@ class TcpSender final : public net::PacketSink {
   void transmit(std::int64_t seq);
   void send_syn();
   void send_fin();
-  net::Packet make_control_segment(bool syn, bool fin);
+  net::PacketRef make_control_segment(bool syn, bool fin);
   void absorb_sack(const net::TcpHeader& hdr);
   /// First un-SACKed, not-yet-retransmitted hole in (snd_una, recover],
   /// or -1.  SACK-directed recovery only.

@@ -10,21 +10,21 @@ TcpSink::TcpSink(sim::Simulator& sim, TcpConfig cfg, net::NodeId self,
                  net::NodeId peer, std::string name)
     : sim_(sim), cfg_(cfg), self_(self), peer_(peer), name_(std::move(name)) {}
 
-void TcpSink::handle_packet(net::Packet pkt) {
-  if (pkt.type != net::PacketType::kTcpData) {
+void TcpSink::handle_packet(net::PacketRef pkt) {
+  if (pkt->type != net::PacketType::kTcpData) {
     WTCP_LOG(kWarn, sim_.now(), name_.c_str(), "unexpected packet: %s",
-             pkt.describe().c_str());
+             pkt->describe().c_str());
     return;
   }
-  assert(pkt.tcp.has_value());
+  assert(pkt->tcp.has_value());
 
-  if (pkt.tcp->syn || pkt.tcp->fin) {
-    handle_control_segment(*pkt.tcp);
+  if (pkt->tcp->syn || pkt->tcp->fin) {
+    handle_control_segment(*pkt->tcp);
     return;
   }
 
-  const std::int64_t seq = pkt.tcp->seq;
-  const std::int32_t payload = pkt.tcp->payload;
+  const std::int64_t seq = pkt->tcp->seq;
+  const std::int32_t payload = pkt->tcp->payload;
 
   if (stats_.segments_received == 0) stats_.first_data_time = sim_.now();
   ++stats_.segments_received;
@@ -33,7 +33,7 @@ void TcpSink::handle_packet(net::Packet pkt) {
   const bool had_holes = !buffered_.empty();
 
   const bool fresh = seq >= rcv_next_ && !buffered_.contains(seq);
-  if (fresh) delay_.add((sim_.now() - pkt.created_at).to_seconds());
+  if (fresh) delay_.add((sim_.now() - pkt->created_at).to_seconds());
 
   if (seq == rcv_next_) {
     stats_.unique_payload_bytes += payload;
@@ -87,10 +87,11 @@ void TcpSink::handle_control_segment(const net::TcpHeader& hdr) {
     ++stats_.syns_received;
     // SYN-ACK: accept the connection, expect segment 0.  Duplicate SYNs
     // (retransmissions) are re-acknowledged idempotently.
-    net::Packet ack = net::make_tcp_ack(0, cfg_.header_bytes, self_, peer_,
-                                        sim_.now());
-    ack.tcp->syn = true;
-    ack.tcp->conn = cfg_.conn;
+    net::PacketRef ack = net::make_tcp_ack(sim_.packet_pool(), 0,
+                                           cfg_.header_bytes, self_, peer_,
+                                           sim_.now());
+    ack->tcp->syn = true;
+    ack->tcp->conn = cfg_.conn;
     ++stats_.acks_sent;
     downstream_(std::move(ack));
     return;
@@ -99,10 +100,11 @@ void TcpSink::handle_control_segment(const net::TcpHeader& hdr) {
   // the final data ACK); otherwise it degenerates to a normal dupack.
   const bool all_data_in = rcv_next_ >= cfg_.total_segments();
   if (all_data_in) ++stats_.fins_received;
-  net::Packet ack = net::make_tcp_ack(all_data_in ? rcv_next_ + 1 : rcv_next_,
-                                      cfg_.header_bytes, self_, peer_, sim_.now());
-  ack.tcp->fin = all_data_in;
-  ack.tcp->conn = cfg_.conn;
+  net::PacketRef ack = net::make_tcp_ack(
+      sim_.packet_pool(), all_data_in ? rcv_next_ + 1 : rcv_next_,
+      cfg_.header_bytes, self_, peer_, sim_.now());
+  ack->tcp->fin = all_data_in;
+  ack->tcp->conn = cfg_.conn;
   ++stats_.acks_sent;
   downstream_(std::move(ack));
 }
@@ -116,10 +118,11 @@ void TcpSink::send_ack_now() {
   sim_.cancel(delack_timer_);
   unacked_in_order_ = 0;
   if (!downstream_) return;
-  net::Packet ack =
-      net::make_tcp_ack(rcv_next_, cfg_.header_bytes, self_, peer_, sim_.now());
-  ack.tcp->conn = cfg_.conn;
-  if (cfg_.sack_enabled) fill_sack_blocks(*ack.tcp);
+  net::PacketRef ack = net::make_tcp_ack(sim_.packet_pool(), rcv_next_,
+                                         cfg_.header_bytes, self_, peer_,
+                                         sim_.now());
+  ack->tcp->conn = cfg_.conn;
+  if (cfg_.sack_enabled) fill_sack_blocks(*ack->tcp);
   ++stats_.acks_sent;
   downstream_(std::move(ack));
 }

@@ -43,7 +43,7 @@ class TcpSink final : public net::PacketSink {
 
   void set_trace(stats::ConnectionTrace* trace) { trace_ = trace; }
 
-  void handle_packet(net::Packet pkt) override;
+  void handle_packet(net::PacketRef pkt) override;
 
   /// Force `n` duplicate ACKs for the current cumulative position — the
   /// Caceres & Iftode [4] trick: after a handoff completes, trigger the

@@ -53,16 +53,16 @@ MultiUserLanScenario::MultiUserLanScenario(MultiUserConfig cfg)
   // --- wired segment ---------------------------------------------------
   wired_ = std::make_unique<net::DuplexLink>(sim_, cfg_.wired);
   fh_sink_ = std::make_unique<net::CallbackSink>(
-      [this](net::Packet p) { on_wired_at_fh(std::move(p)); });
+      [this](net::PacketRef p) { on_wired_at_fh(std::move(p)); });
   bs_sink_ = std::make_unique<net::CallbackSink>(
-      [this](net::Packet p) { on_wired_at_bs(std::move(p)); });
+      [this](net::PacketRef p) { on_wired_at_bs(std::move(p)); });
   wired_->set_sink(0, fh_sink_.get());
   wired_->set_sink(1, bs_sink_.get());
 
   // --- scheduler ---------------------------------------------------------
   sched_ = std::make_unique<link::BsScheduler>(sim_, cfg_.sched, cfg_.users);
   sched_->set_release(
-      [this](std::size_t user, net::Packet d) { release_to_user(user, std::move(d)); });
+      [this](std::size_t user, net::PacketRef d) { release_to_user(user, std::move(d)); });
   sched_->set_channel_probe([this](std::size_t user) {
     if (!cfg_.channel_errors) return true;
     return channels_[user]->state_at(sim_.now()) == phy::ChannelState::kGood;
@@ -104,23 +104,23 @@ MultiUserLanScenario::MultiUserLanScenario(MultiUserConfig cfg)
     tcfg.conn = k;
     senders_[k] = std::make_unique<tcp::TcpSender>(sim_, tcfg, fh, mh, "src-" + tag);
     senders_[k]->set_downstream(
-        [this](net::Packet p) { wired_->send(0, std::move(p)); });
+        [this](net::PacketRef p) { wired_->send(0, std::move(p)); });
     sinks_[k] = std::make_unique<tcp::TcpSink>(sim_, tcfg, mh, fh, "snk-" + tag);
     sinks_[k]->set_downstream(
-        [this, k](net::Packet ack) { mh_wifis_[k]->send_datagram(ack); });
+        [this, k](net::PacketRef ack) { mh_wifis_[k]->send_datagram(std::move(ack)); });
     sinks_[k]->on_complete = [this] {
       if (++completed_ == cfg_.users) sim_.stop();
     };
 
     // Wireless interfaces.
-    mh_uppers_[k] = std::make_unique<net::CallbackSink>([this, k](net::Packet p) {
-      if (p.type == net::PacketType::kTcpData) sinks_[k]->handle_packet(std::move(p));
+    mh_uppers_[k] = std::make_unique<net::CallbackSink>([this, k](net::PacketRef p) {
+      if (p->type == net::PacketType::kTcpData) sinks_[k]->handle_packet(std::move(p));
     });
     mh_wifis_[k] = std::make_unique<link::WirelessInterface>(
         sim_, *radio_links_[k], 1, wcfg, "mh-wifi-" + tag, mh_uppers_[k].get());
 
-    bs_uppers_[k] = std::make_unique<net::CallbackSink>([this](net::Packet p) {
-      if (p.type == net::PacketType::kTcpAck) wired_->send(1, std::move(p));
+    bs_uppers_[k] = std::make_unique<net::CallbackSink>([this](net::PacketRef p) {
+      if (p->type == net::PacketType::kTcpAck) wired_->send(1, std::move(p));
     });
     bs_wifis_[k] = std::make_unique<link::WirelessInterface>(
         sim_, *radio_links_[k], 0, wcfg, "bs-wifi-" + tag, bs_uppers_[k].get());
@@ -158,37 +158,37 @@ MultiUserLanScenario::MultiUserLanScenario(MultiUserConfig cfg)
     if (cfg_.feedback == FeedbackMode::kEbsn) {
       ebsn_agents_[k] = std::make_unique<core::EbsnAgent>(
           sim_, cfg_.ebsn, bs, fh,
-          [this](net::Packet p) { wired_->send(1, std::move(p)); });
+          [this](net::PacketRef p) { wired_->send(1, std::move(p)); });
       ebsn_agents_[k]->attach(bs_wifis_[k]->arq_sender());
     }
   }
 }
 
-void MultiUserLanScenario::on_wired_at_bs(net::Packet pkt) {
-  if (pkt.type != net::PacketType::kTcpData || !pkt.tcp) {
+void MultiUserLanScenario::on_wired_at_bs(net::PacketRef pkt) {
+  if (pkt->type != net::PacketType::kTcpData || !pkt->tcp) {
     WTCP_LOG(kWarn, sim_.now(), "bs", "unexpected wired packet: %s",
-             pkt.describe().c_str());
+             pkt->describe().c_str());
     return;
   }
-  const auto user = static_cast<std::size_t>(pkt.tcp->conn);
+  const auto user = static_cast<std::size_t>(pkt->tcp->conn);
   assert(user < cfg_.users);
   sched_->enqueue(user, std::move(pkt));
 }
 
-void MultiUserLanScenario::on_wired_at_fh(net::Packet pkt) {
-  if (!pkt.tcp) {
+void MultiUserLanScenario::on_wired_at_fh(net::PacketRef pkt) {
+  if (!pkt->tcp) {
     WTCP_LOG(kWarn, sim_.now(), "fh", "undemuxable packet: %s",
-             pkt.describe().c_str());
+             pkt->describe().c_str());
     return;
   }
-  const auto user = static_cast<std::size_t>(pkt.tcp->conn);
+  const auto user = static_cast<std::size_t>(pkt->tcp->conn);
   assert(user < cfg_.users);
   senders_[user]->handle_packet(std::move(pkt));
 }
 
-void MultiUserLanScenario::release_to_user(std::size_t user, net::Packet datagram) {
+void MultiUserLanScenario::release_to_user(std::size_t user, net::PacketRef datagram) {
   const link::WirelessInterface::SendInfo info =
-      bs_wifis_[user]->send_datagram(datagram);
+      bs_wifis_[user]->send_datagram(std::move(datagram));
   // Resolution (ARQ delivered/discarded, or airtime ended without ARQ) is
   // reported per fragment; the scheduler slot frees when all fragments of
   // this datagram are resolved.

@@ -82,9 +82,9 @@ class MultiUserLanScenario {
   const MultiUserConfig& config() const { return cfg_; }
 
  private:
-  void on_wired_at_bs(net::Packet pkt);
-  void on_wired_at_fh(net::Packet pkt);
-  void release_to_user(std::size_t user, net::Packet datagram);
+  void on_wired_at_bs(net::PacketRef pkt);
+  void on_wired_at_fh(net::PacketRef pkt);
+  void release_to_user(std::size_t user, net::PacketRef datagram);
   MultiUserMetrics collect() const;
 
   MultiUserConfig cfg_;

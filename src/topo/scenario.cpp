@@ -77,6 +77,9 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), sim_(cfg_.seed) {
     probes_ = std::make_unique<obs::Registry>();
     sim_.set_probes(probes_.get());
     if (cfg_.obs.profile_scheduler) sim_.scheduler().enable_profiling();
+    sim_.packet_pool().bind_probes(probes_->counter("pool.allocs"),
+                                   probes_->counter("pool.recycled"),
+                                   probes_->gauge("pool.high_water"));
   }
 
   fh_ = nodes_.add("FH");
@@ -96,10 +99,10 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), sim_(cfg_.seed) {
     net::DuplexLink* left = wired_links_[static_cast<std::size_t>(h - 1)].get();
     net::DuplexLink* right = wired_links_[static_cast<std::size_t>(h)].get();
     router_sinks_.push_back(std::make_unique<net::CallbackSink>(
-        [right](net::Packet p) { right->send(0, std::move(p)); }));
+        [right](net::PacketRef p) { right->send(0, std::move(p)); }));
     left->set_sink(1, router_sinks_.back().get());
     router_sinks_.push_back(std::make_unique<net::CallbackSink>(
-        [left](net::Packet p) { left->send(1, std::move(p)); }));
+        [left](net::PacketRef p) { left->send(1, std::move(p)); }));
     right->set_sink(0, router_sinks_.back().get());
   }
   wireless_ = std::make_unique<net::DuplexLink>(sim_, cfg_.wireless);
@@ -153,21 +156,21 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), sim_(cfg_.seed) {
     // The paper's setting: source at the fixed host, sink at the mobile.
     sender_ = std::make_unique<tcp::TcpSender>(sim_, cfg_.tcp, fh_, mh_, "src");
     sender_->set_downstream(
-        [this](net::Packet pkt) { wired_links_.front()->send(0, std::move(pkt)); });
+        [this](net::PacketRef pkt) { wired_links_.front()->send(0, std::move(pkt)); });
     wired_links_.front()->set_sink(0, sender_.get());  // ACKs/EBSN/quench
 
     sink_ = std::make_unique<tcp::TcpSink>(sim_, cfg_.tcp, mh_, fh_, "snk");
     sink_->set_downstream(
-        [this](net::Packet ack) { mh_wifi_->send_datagram(ack); });
+        [this](net::PacketRef ack) { mh_wifi_->send_datagram(std::move(ack)); });
   } else {
     // Uplink: source at the mobile host, sink at the fixed host.
     sender_ = std::make_unique<tcp::TcpSender>(sim_, cfg_.tcp, mh_, fh_, "src");
     sender_->set_downstream(
-        [this](net::Packet pkt) { mh_wifi_->send_datagram(pkt); });
+        [this](net::PacketRef pkt) { mh_wifi_->send_datagram(std::move(pkt)); });
 
     sink_ = std::make_unique<tcp::TcpSink>(sim_, cfg_.tcp, fh_, mh_, "snk");
     sink_->set_downstream(
-        [this](net::Packet ack) { wired_links_.front()->send(0, std::move(ack)); });
+        [this](net::PacketRef ack) { wired_links_.front()->send(0, std::move(ack)); });
     wired_links_.front()->set_sink(0, sink_.get());  // data arrives at FH
   }
   sink_->on_complete = [this] { sim_.stop(); };
@@ -179,31 +182,31 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), sim_(cfg_.seed) {
   wcfg.frag.mtu_bytes = cfg_.wireless_mtu_bytes;
 
   mh_upper_sink_ = std::make_unique<net::CallbackSink>(
-      [this](net::Packet pkt) { on_datagram_at_mh(std::move(pkt)); });
+      [this](net::PacketRef pkt) { on_datagram_at_mh(std::move(pkt)); });
   mh_wifi_ = std::make_unique<link::WirelessInterface>(
       sim_, *wireless_, 1, wcfg, "mh-wifi", mh_upper_sink_.get());
 
   bs_upper_sink_ = std::make_unique<net::CallbackSink>(
-      [this](net::Packet pkt) { on_datagram_from_mh(std::move(pkt)); });
+      [this](net::PacketRef pkt) { on_datagram_from_mh(std::move(pkt)); });
   bs_wifi_ = std::make_unique<link::WirelessInterface>(
       sim_, *wireless_, 0, wcfg, "bs-wifi", bs_upper_sink_.get());
 
   // --- Base station wired side ---------------------------------------------
   bs_wired_sink_ = std::make_unique<net::CallbackSink>(
-      [this](net::Packet pkt) { on_data_at_bs(std::move(pkt)); });
+      [this](net::PacketRef pkt) { on_data_at_bs(std::move(pkt)); });
   wired_links_.back()->set_sink(1, bs_wired_sink_.get());
 
   // --- Feedback agents -------------------------------------------------------
   if (cfg_.cross_traffic) {
     cross_ = std::make_unique<traffic::OnOffSource>(
         sim_, cfg_.cross, fh_, bs_,
-        [this](net::Packet p) { wired_links_.front()->send(0, std::move(p)); });
+        [this](net::PacketRef p) { wired_links_.front()->send(0, std::move(p)); });
     cross_->start();
   }
   if (cfg_.snoop) {
     snoop_agent_ = std::make_unique<feedback::SnoopAgent>(sim_, cfg_.snoop_cfg, "snoop");
     snoop_agent_->set_wireless_tx(
-        [this](net::Packet pkt) { bs_wifi_->send_datagram(pkt); });
+        [this](net::PacketRef pkt) { bs_wifi_->send_datagram(std::move(pkt)); });
   }
   // Feedback travels from wherever local recovery runs for the DATA
   // direction: the BS (downlink, over the wired path) or the mobile host
@@ -212,10 +215,10 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), sim_(cfg_.seed) {
   const net::NodeId notifier = downlink ? bs_ : mh_;
   tcp::PacketForwarder to_source =
       downlink
-          ? tcp::PacketForwarder([this](net::Packet pkt) {
+          ? tcp::PacketForwarder([this](net::PacketRef pkt) {
               wired_links_.back()->send(1, std::move(pkt));
             })
-          : tcp::PacketForwarder([this](net::Packet pkt) {
+          : tcp::PacketForwarder([this](net::PacketRef pkt) {
               sender_->handle_packet(std::move(pkt));
             });
   if (cfg_.feedback == FeedbackMode::kEbsn) {
@@ -277,55 +280,55 @@ void Scenario::build_sampler() {
   });
 }
 
-void Scenario::on_data_at_bs(net::Packet pkt) {
-  if (pkt.type == net::PacketType::kBackground) {
+void Scenario::on_data_at_bs(net::PacketRef pkt) {
+  if (pkt->type == net::PacketType::kBackground) {
     // Cross-traffic exits toward the rest of the internet here.
     ++background_delivered_;
     return;
   }
   const bool downlink = cfg_.direction == TransferDirection::kDownlink;
-  if (downlink && pkt.type == net::PacketType::kTcpData) {
+  if (downlink && pkt->type == net::PacketType::kTcpData) {
     if (snoop_agent_) snoop_agent_->on_data_from_wired(pkt);
-    bs_wifi_->send_datagram(pkt);
+    bs_wifi_->send_datagram(std::move(pkt));
     return;
   }
-  if (!downlink && pkt.type == net::PacketType::kTcpAck) {
-    bs_wifi_->send_datagram(pkt);  // ACKs from the FH sink toward the MH
+  if (!downlink && pkt->type == net::PacketType::kTcpAck) {
+    bs_wifi_->send_datagram(std::move(pkt));  // ACKs from the FH sink to the MH
     return;
   }
   WTCP_LOG(kWarn, sim_.now(), "bs", "unexpected wired packet: %s",
-           pkt.describe().c_str());
+           pkt->describe().c_str());
 }
 
-void Scenario::on_datagram_from_mh(net::Packet pkt) {
+void Scenario::on_datagram_from_mh(net::PacketRef pkt) {
   const bool downlink = cfg_.direction == TransferDirection::kDownlink;
-  if (downlink && pkt.type == net::PacketType::kTcpAck) {
-    if (snoop_agent_ && !snoop_agent_->on_ack_from_wireless(pkt)) {
+  if (downlink && pkt->type == net::PacketType::kTcpAck) {
+    if (snoop_agent_ && !snoop_agent_->on_ack_from_wireless(*pkt)) {
       return;  // snoop suppressed a duplicate ACK
     }
     wired_links_.back()->send(1, std::move(pkt));
     return;
   }
-  if (!downlink && pkt.type == net::PacketType::kTcpData) {
+  if (!downlink && pkt->type == net::PacketType::kTcpData) {
     wired_links_.back()->send(1, std::move(pkt));  // data onward to the FH
     return;
   }
   WTCP_LOG(kWarn, sim_.now(), "bs", "unexpected datagram from MH: %s",
-           pkt.describe().c_str());
+           pkt->describe().c_str());
 }
 
-void Scenario::on_datagram_at_mh(net::Packet pkt) {
+void Scenario::on_datagram_at_mh(net::PacketRef pkt) {
   const bool downlink = cfg_.direction == TransferDirection::kDownlink;
-  if (downlink && pkt.type == net::PacketType::kTcpData) {
+  if (downlink && pkt->type == net::PacketType::kTcpData) {
     sink_->handle_packet(std::move(pkt));
     return;
   }
-  if (!downlink && pkt.type == net::PacketType::kTcpAck) {
+  if (!downlink && pkt->type == net::PacketType::kTcpAck) {
     sender_->handle_packet(std::move(pkt));
     return;
   }
   WTCP_LOG(kWarn, sim_.now(), "mh", "unexpected datagram at MH: %s",
-           pkt.describe().c_str());
+           pkt->describe().c_str());
 }
 
 void Scenario::set_sender_trace(stats::ConnectionTrace* trace) {

@@ -184,9 +184,9 @@ class Scenario {
 
  private:
   void build_sampler();
-  void on_data_at_bs(net::Packet pkt);
-  void on_datagram_from_mh(net::Packet pkt);
-  void on_datagram_at_mh(net::Packet pkt);
+  void on_data_at_bs(net::PacketRef pkt);
+  void on_datagram_from_mh(net::PacketRef pkt);
+  void on_datagram_at_mh(net::PacketRef pkt);
 
   ScenarioConfig cfg_;
   sim::Simulator sim_;

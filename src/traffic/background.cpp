@@ -62,10 +62,11 @@ void OnOffSource::begin_off() {
 
 void OnOffSource::emit() {
   if (stopped_ || !on_) return;
-  net::Packet p = net::make_control(net::PacketType::kBackground, cfg_.packet_bytes,
-                                    self_, dst_, sim_.now());
+  net::PacketRef p =
+      net::make_control(sim_.packet_pool(), net::PacketType::kBackground,
+                        cfg_.packet_bytes, self_, dst_, sim_.now());
   ++stats_.packets_sent;
-  stats_.bytes_sent += p.size_bytes;
+  stats_.bytes_sent += p->size_bytes;
   downstream_(std::move(p));
   timer_ = sim_.after(packet_interval(), [this] { emit(); }, "traffic.emit");
 }

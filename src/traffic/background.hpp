@@ -37,7 +37,7 @@ struct OnOffStats {
 /// exponential with the configured means.
 class OnOffSource {
  public:
-  using Downstream = std::function<void(net::Packet)>;
+  using Downstream = std::function<void(net::PacketRef)>;
 
   OnOffSource(sim::Simulator& sim, OnOffConfig cfg, net::NodeId self,
               net::NodeId dst, Downstream downstream);

@@ -11,25 +11,27 @@
 namespace wtcp::core {
 namespace {
 
-net::Packet data_fragment(sim::Simulator& sim) {
-  net::Packet inner = net::make_tcp_data(0, 536, 40, 0, 2, sim.now());
-  net::Packet frag;
-  frag.type = net::PacketType::kLinkFragment;
-  frag.size_bytes = 128;
-  frag.frag = net::FragmentHeader{.datagram_id = 1, .index = 0, .count = 5,
-                                  .link_seq = 0};
-  frag.encapsulated = std::make_shared<const net::Packet>(inner);
+net::PacketRef data_fragment(sim::Simulator& sim) {
+  net::PacketRef inner = net::make_tcp_data(sim.packet_pool(), 0, 536, 40, 0, 2,
+                                            sim.now());
+  net::PacketRef frag = sim.packet_pool().acquire();
+  frag->type = net::PacketType::kLinkFragment;
+  frag->size_bytes = 128;
+  frag->frag = net::FragmentHeader{.datagram_id = 1, .index = 0, .count = 5,
+                                   .link_seq = 0};
+  frag->encapsulated = std::move(inner);
   return frag;
 }
 
-net::Packet ack_fragment(sim::Simulator& sim) {
-  net::Packet inner = net::make_tcp_ack(3, 40, 2, 0, sim.now());
-  net::Packet frag;
-  frag.type = net::PacketType::kLinkFragment;
-  frag.size_bytes = 40;
-  frag.frag = net::FragmentHeader{.datagram_id = 2, .index = 0, .count = 1,
-                                  .link_seq = 1};
-  frag.encapsulated = std::make_shared<const net::Packet>(inner);
+net::PacketRef ack_fragment(sim::Simulator& sim) {
+  net::PacketRef inner = net::make_tcp_ack(sim.packet_pool(), 3, 40, 2, 0,
+                                           sim.now());
+  net::PacketRef frag = sim.packet_pool().acquire();
+  frag->type = net::PacketType::kLinkFragment;
+  frag->size_bytes = 40;
+  frag->frag = net::FragmentHeader{.datagram_id = 2, .index = 0, .count = 1,
+                                   .link_seq = 1};
+  frag->encapsulated = std::move(inner);
   return frag;
 }
 
@@ -39,34 +41,35 @@ class EbsnAgentTest : public ::testing::Test {
 
   void build(EbsnConfig cfg = {}) {
     agent_ = std::make_unique<EbsnAgent>(
-        sim_, cfg, 1, 0, [this](net::Packet p) { out_.push_back(std::move(p)); });
+        sim_, cfg, 1, 0,
+        [this](net::PacketRef p) { out_.push_back(std::move(p)); });
   }
 
   sim::Simulator sim_;
   std::unique_ptr<EbsnAgent> agent_;
-  std::vector<net::Packet> out_;
+  std::vector<net::PacketRef> out_;
 };
 
 TEST_F(EbsnAgentTest, NotifySendsEbsnTowardSource) {
   build();
-  agent_->notify(data_fragment(sim_));
+  agent_->notify(*data_fragment(sim_));
   ASSERT_EQ(out_.size(), 1u);
-  EXPECT_EQ(out_[0].type, net::PacketType::kEbsn);
-  EXPECT_EQ(out_[0].size_bytes, 40);
-  EXPECT_EQ(out_[0].src, 1);
-  EXPECT_EQ(out_[0].dst, 0);
+  EXPECT_EQ(out_[0]->type, net::PacketType::kEbsn);
+  EXPECT_EQ(out_[0]->size_bytes, 40);
+  EXPECT_EQ(out_[0]->src, 1);
+  EXPECT_EQ(out_[0]->dst, 0);
   EXPECT_EQ(agent_->stats().notifications_sent, 1u);
 }
 
 TEST_F(EbsnAgentTest, EveryFailedAttemptNotifies) {
   build();
-  for (int i = 0; i < 7; ++i) agent_->notify(data_fragment(sim_));
+  for (int i = 0; i < 7; ++i) agent_->notify(*data_fragment(sim_));
   EXPECT_EQ(out_.size(), 7u);
 }
 
 TEST_F(EbsnAgentTest, DataOnlyFilterSuppressesAckFragments) {
   build();  // data_only defaults to true
-  agent_->notify(ack_fragment(sim_));
+  agent_->notify(*ack_fragment(sim_));
   EXPECT_TRUE(out_.empty());
   EXPECT_EQ(agent_->stats().suppressed, 1u);
 }
@@ -75,7 +78,7 @@ TEST_F(EbsnAgentTest, DataOnlyFilterCanBeDisabled) {
   EbsnConfig cfg;
   cfg.data_only = false;
   build(cfg);
-  agent_->notify(ack_fragment(sim_));
+  agent_->notify(*ack_fragment(sim_));
   EXPECT_EQ(out_.size(), 1u);
 }
 
@@ -84,12 +87,12 @@ TEST_F(EbsnAgentTest, RateLimiterSuppressesBursts) {
   cfg.min_interval = sim::Time::milliseconds(500);
   build(cfg);
   // Three notifies at t=0: only the first passes.
-  for (int i = 0; i < 3; ++i) agent_->notify(data_fragment(sim_));
+  for (int i = 0; i < 3; ++i) agent_->notify(*data_fragment(sim_));
   EXPECT_EQ(out_.size(), 1u);
   EXPECT_EQ(agent_->stats().suppressed, 2u);
   // After the interval elapses, the next one passes again.
   sim_.after(sim::Time::milliseconds(600), [&] {
-    agent_->notify(data_fragment(sim_));
+    agent_->notify(*data_fragment(sim_));
   });
   sim_.run();
   EXPECT_EQ(out_.size(), 2u);
@@ -99,9 +102,9 @@ TEST_F(EbsnAgentTest, CustomMessageSize) {
   EbsnConfig cfg;
   cfg.message_bytes = 64;
   build(cfg);
-  agent_->notify(data_fragment(sim_));
+  agent_->notify(*data_fragment(sim_));
   ASSERT_EQ(out_.size(), 1u);
-  EXPECT_EQ(out_[0].size_bytes, 64);
+  EXPECT_EQ(out_[0]->size_bytes, 64);
 }
 
 TEST_F(EbsnAgentTest, AttachHooksIntoArqFailures) {

@@ -15,19 +15,19 @@ class SnoopTest : public ::testing::Test {
   void build(SnoopConfig cfg = {}) {
     snoop_ = std::make_unique<SnoopAgent>(sim_, cfg, "snoop");
     snoop_->set_wireless_tx(
-        [this](net::Packet p) { wireless_tx_.push_back(std::move(p)); });
+        [this](net::PacketRef p) { wireless_tx_.push_back(std::move(p)); });
   }
 
-  net::Packet data(std::int64_t seq) {
-    return net::make_tcp_data(seq, 536, 40, 0, 2, sim_.now());
+  net::PacketRef data(std::int64_t seq) {
+    return net::make_tcp_data(sim_.packet_pool(), seq, 536, 40, 0, 2, sim_.now());
   }
-  net::Packet ack(std::int64_t a) {
-    return net::make_tcp_ack(a, 40, 2, 0, sim_.now());
+  net::PacketRef ack(std::int64_t a) {
+    return net::make_tcp_ack(sim_.packet_pool(), a, 40, 2, 0, sim_.now());
   }
 
   sim::Simulator sim_;
   std::unique_ptr<SnoopAgent> snoop_;
-  std::vector<net::Packet> wireless_tx_;
+  std::vector<net::PacketRef> wireless_tx_;
 };
 
 TEST_F(SnoopTest, CachesPassingData) {
@@ -40,7 +40,7 @@ TEST_F(SnoopTest, CachesPassingData) {
 TEST_F(SnoopTest, NewAckFreesCacheAndForwards) {
   build();
   for (int i = 0; i < 5; ++i) snoop_->on_data_from_wired(data(i));
-  EXPECT_TRUE(snoop_->on_ack_from_wireless(ack(3)));
+  EXPECT_TRUE(snoop_->on_ack_from_wireless(*ack(3)));
   EXPECT_EQ(snoop_->cache_size(), 2u);  // 3, 4 remain
   EXPECT_EQ(snoop_->stats().acks_forwarded, 1u);
 }
@@ -48,10 +48,10 @@ TEST_F(SnoopTest, NewAckFreesCacheAndForwards) {
 TEST_F(SnoopTest, FirstDupackTriggersLocalRetransmitAndIsSuppressed) {
   build();
   for (int i = 0; i < 5; ++i) snoop_->on_data_from_wired(data(i));
-  EXPECT_TRUE(snoop_->on_ack_from_wireless(ack(2)));   // new ack
-  EXPECT_FALSE(snoop_->on_ack_from_wireless(ack(2)));  // dup 1: suppressed
+  EXPECT_TRUE(snoop_->on_ack_from_wireless(*ack(2)));   // new ack
+  EXPECT_FALSE(snoop_->on_ack_from_wireless(*ack(2)));  // dup 1: suppressed
   ASSERT_EQ(wireless_tx_.size(), 1u);
-  EXPECT_EQ(wireless_tx_[0].tcp->seq, 2);
+  EXPECT_EQ(wireless_tx_[0]->tcp->seq, 2);
   EXPECT_EQ(snoop_->stats().local_retransmits, 1u);
   EXPECT_EQ(snoop_->stats().dupacks_suppressed, 1u);
 }
@@ -59,10 +59,10 @@ TEST_F(SnoopTest, FirstDupackTriggersLocalRetransmitAndIsSuppressed) {
 TEST_F(SnoopTest, SubsequentDupacksSuppressedWithoutRetransmit) {
   build();
   for (int i = 0; i < 5; ++i) snoop_->on_data_from_wired(data(i));
-  snoop_->on_ack_from_wireless(ack(2));
-  snoop_->on_ack_from_wireless(ack(2));  // dup 1: local rtx
-  snoop_->on_ack_from_wireless(ack(2));  // dup 2
-  snoop_->on_ack_from_wireless(ack(2));  // dup 3
+  snoop_->on_ack_from_wireless(*ack(2));
+  snoop_->on_ack_from_wireless(*ack(2));  // dup 1: local rtx
+  snoop_->on_ack_from_wireless(*ack(2));  // dup 2
+  snoop_->on_ack_from_wireless(*ack(2));  // dup 3
   EXPECT_EQ(wireless_tx_.size(), 1u);
   EXPECT_EQ(snoop_->stats().dupacks_suppressed, 3u);
 }
@@ -70,8 +70,8 @@ TEST_F(SnoopTest, SubsequentDupacksSuppressedWithoutRetransmit) {
 TEST_F(SnoopTest, DupackForUncachedSeqForwarded) {
   build();
   // Nothing cached: snoop cannot help, TCP must recover end to end.
-  EXPECT_TRUE(snoop_->on_ack_from_wireless(ack(7)));
-  EXPECT_TRUE(snoop_->on_ack_from_wireless(ack(7)));
+  EXPECT_TRUE(snoop_->on_ack_from_wireless(*ack(7)));
+  EXPECT_TRUE(snoop_->on_ack_from_wireless(*ack(7)));
   EXPECT_TRUE(wireless_tx_.empty());
 }
 
@@ -84,7 +84,7 @@ TEST_F(SnoopTest, LocalTimeoutRetransmitsOldestCached) {
   sim_.run(sim::Time::seconds(1));
   EXPECT_GE(snoop_->stats().local_timeouts, 1u);
   ASSERT_GE(wireless_tx_.size(), 1u);
-  EXPECT_EQ(wireless_tx_[0].tcp->seq, 0);
+  EXPECT_EQ(wireless_tx_[0]->tcp->seq, 0);
 }
 
 TEST_F(SnoopTest, LocalRetransmitsAreBounded) {
@@ -105,14 +105,14 @@ TEST_F(SnoopTest, CacheBounded) {
   EXPECT_LE(snoop_->cache_size(), 4u);
   EXPECT_GT(snoop_->stats().cache_evictions, 0u);
   // The oldest outstanding segments are the ones retained.
-  snoop_->on_ack_from_wireless(ack(0));
-  snoop_->on_ack_from_wireless(ack(0));  // dup: seq 0 must still be cached
+  snoop_->on_ack_from_wireless(*ack(0));
+  snoop_->on_ack_from_wireless(*ack(0));  // dup: seq 0 must still be cached
   EXPECT_EQ(wireless_tx_.size(), 1u);
 }
 
 TEST_F(SnoopTest, StaleDataBelowAckNotCached) {
   build();
-  snoop_->on_ack_from_wireless(ack(5));
+  snoop_->on_ack_from_wireless(*ack(5));
   snoop_->on_data_from_wired(data(3));  // already acked end-to-end
   EXPECT_EQ(snoop_->cache_size(), 0u);
 }

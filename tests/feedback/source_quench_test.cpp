@@ -10,14 +10,15 @@
 namespace wtcp::feedback {
 namespace {
 
-net::Packet data_fragment(sim::Simulator& sim) {
-  net::Packet inner = net::make_tcp_data(0, 536, 40, 0, 2, sim.now());
-  net::Packet frag;
-  frag.type = net::PacketType::kLinkFragment;
-  frag.size_bytes = 128;
-  frag.frag = net::FragmentHeader{.datagram_id = 1, .index = 0, .count = 5,
-                                  .link_seq = 0};
-  frag.encapsulated = std::make_shared<const net::Packet>(inner);
+net::PacketRef data_fragment(sim::Simulator& sim) {
+  net::PacketRef inner = net::make_tcp_data(sim.packet_pool(), 0, 536, 40, 0, 2,
+                                            sim.now());
+  net::PacketRef frag = sim.packet_pool().acquire();
+  frag->type = net::PacketType::kLinkFragment;
+  frag->size_bytes = 128;
+  frag->frag = net::FragmentHeader{.datagram_id = 1, .index = 0, .count = 5,
+                                   .link_seq = 0};
+  frag->encapsulated = std::move(inner);
   return frag;
 }
 
@@ -25,27 +26,28 @@ class QuenchTest : public ::testing::Test {
  protected:
   void build(SourceQuenchConfig cfg = {}) {
     agent_ = std::make_unique<SourceQuenchAgent>(
-        sim_, cfg, 1, 0, [this](net::Packet p) { out_.push_back(std::move(p)); });
+        sim_, cfg, 1, 0,
+        [this](net::PacketRef p) { out_.push_back(std::move(p)); });
   }
 
   sim::Simulator sim_;
   std::unique_ptr<SourceQuenchAgent> agent_;
-  std::vector<net::Packet> out_;
+  std::vector<net::PacketRef> out_;
 };
 
 TEST_F(QuenchTest, NotifySendsQuench) {
   SourceQuenchConfig cfg;
   cfg.min_interval = sim::Time::zero();
   build(cfg);
-  agent_->notify(data_fragment(sim_));
+  agent_->notify(*data_fragment(sim_));
   ASSERT_EQ(out_.size(), 1u);
-  EXPECT_EQ(out_[0].type, net::PacketType::kSourceQuench);
+  EXPECT_EQ(out_[0]->type, net::PacketType::kSourceQuench);
   EXPECT_EQ(agent_->stats().quenches_sent, 1u);
 }
 
 TEST_F(QuenchTest, DefaultRateLimitIsIcmpLike) {
   build();  // default 500 ms min interval
-  for (int i = 0; i < 5; ++i) agent_->notify(data_fragment(sim_));
+  for (int i = 0; i < 5; ++i) agent_->notify(*data_fragment(sim_));
   EXPECT_EQ(out_.size(), 1u);
   EXPECT_EQ(agent_->stats().suppressed, 4u);
 }
@@ -54,7 +56,7 @@ TEST_F(QuenchTest, QuenchesSpacedByInterval) {
   build();
   for (int i = 0; i < 4; ++i) {
     sim_.at(sim::Time::milliseconds(400) * i, [this] {
-      agent_->notify(data_fragment(sim_));
+      agent_->notify(*data_fragment(sim_));
     });
   }
   sim_.run();
@@ -65,13 +67,12 @@ TEST_F(QuenchTest, QuenchesSpacedByInterval) {
 
 TEST_F(QuenchTest, NonDataSuppressedByDefault) {
   build();
-  net::Packet frag;
-  frag.type = net::PacketType::kLinkFragment;
-  frag.size_bytes = 40;
-  frag.frag = net::FragmentHeader{.link_seq = 0};
-  frag.encapsulated = std::make_shared<const net::Packet>(
-      net::make_tcp_ack(1, 40, 2, 0, sim_.now()));
-  agent_->notify(frag);
+  net::PacketRef frag = sim_.packet_pool().acquire();
+  frag->type = net::PacketType::kLinkFragment;
+  frag->size_bytes = 40;
+  frag->frag = net::FragmentHeader{.link_seq = 0};
+  frag->encapsulated = net::make_tcp_ack(sim_.packet_pool(), 1, 40, 2, 0, sim_.now());
+  agent_->notify(*frag);
   EXPECT_TRUE(out_.empty());
 }
 

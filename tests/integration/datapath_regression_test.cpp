@@ -1,0 +1,152 @@
+// Regression locks for the pooled packet datapath.
+//
+// 1. Bitwise determinism: the pooled/move-only datapath must reproduce the
+//    exact pre-pool run_seeds summaries (captured as hexfloat constants
+//    from the shared_ptr/copying implementation) at jobs=1 and jobs=4.
+//    Any ordering or arithmetic drift in the refactor shows up here as an
+//    exact-double mismatch, not a tolerance failure.
+// 2. Steady-state allocation plateau: a long WAN transfer must stop
+//    growing the packet arena after warm-up — `pool.allocs` frozen while
+//    `pool.recycled` keeps counting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/core/experiment.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/topo/scenario.hpp"
+
+namespace wtcp {
+namespace {
+
+struct GoldenSummary {
+  double mean;
+  double min;
+  double max;
+  double var;
+};
+
+void expect_exact(const stats::Summary& s, const GoldenSummary& g,
+                  const char* what) {
+  EXPECT_EQ(s.count(), 6u) << what;
+  EXPECT_EQ(s.mean(), g.mean) << what;
+  EXPECT_EQ(s.min(), g.min) << what;
+  EXPECT_EQ(s.max(), g.max) << what;
+  EXPECT_EQ(s.variance(), g.var) << what;
+}
+
+// Captured from the pre-pool datapath (seed commit history): run_seeds with
+// 6 seeds, base seed 1.  Hexfloat for exact doubles.
+struct GoldenConfig {
+  GoldenSummary tput;
+  GoldenSummary goodput;
+  GoldenSummary rexmt_kb;
+  GoldenSummary dur;
+  GoldenSummary ebsn;
+};
+
+const GoldenConfig kWanEbsn = {
+    .tput = {0x1.173362d769889p+13, 0x1.a135c10aa335cp+12,
+             0x1.61ff7730cf398p+13, 0x1.55ed7d7952e37p+21},
+    .goodput = {0x1.f5c28ea47ffbep-1, 0x1.e1bd9c3079a3bp-1, 0x1p+0,
+                0x1.350a2de38740ep-11},
+    .rexmt_kb = {0x1.0cp+0, 0x0p+0, 0x1.92p+1, 0x1.a4d8p+0},
+    .dur = {0x1.9675e711ca5acp+5, 0x1.36f6585b832afp+5, 0x1.07d913b4ac895p+6,
+            0x1.875e3adf2941ap+6},
+    .ebsn = {0x1.7855555555555p+7, 0x1.68p+5, 0x1.83p+8, 0x1.b13e222222223p+13},
+};
+
+const GoldenConfig kWanBasic = {
+    .tput = {0x1.6916ca2240ea9p+12, 0x1.c02bc215fc744p+11,
+             0x1.ea7670e595be7p+12, 0x1.74ad1a2c30c77p+21},
+    .goodput = {0x1.a829586924892p-1, 0x1.76b49eaa14c8dp-1,
+                0x1.e8db1187b216bp-1, 0x1.adb51e5367a8bp-8},
+    .rexmt_kb = {0x1.5a4aaaaaaaaabp+3, 0x1.2fp+1, 0x1.252p+4,
+                 0x1.08f1922222222p+5},
+    .dur = {0x1.4d389cd227ca1p+6, 0x1.c0e1dd7b9315cp+5, 0x1.eb3dbb8a9657bp+6,
+            0x1.9831228f246e2p+9},
+    .ebsn = {0x0p+0, 0x0p+0, 0x0p+0, 0x0p+0},
+};
+
+const GoldenConfig kLanSnoop = {
+    .tput = {0x1.621b01e6141e3p+20, 0x1.208f4818b275bp+20,
+             0x1.7f0f8d2e3a514p+20, 0x1.2f145401a5642p+34},
+    .goodput = {0x1.f313a85959e5ep-1, 0x1.e4af8e4c590c5p-1, 0x1p+0,
+                0x1.5ecc917bb2d14p-12},
+    .rexmt_kb = {0x1.ad34p+6, 0x0p+0, 0x1.cda8p+7, 0x1.87e421c666667p+12},
+    .dur = {0x1.7f8d634f0a84fp+4, 0x1.5f51fc49f0979p+4, 0x1.d25ff9d14df72p+4,
+            0x1.cb8119f8d669dp+2},
+    .ebsn = {0x0p+0, 0x0p+0, 0x0p+0, 0x0p+0},
+};
+
+void expect_config(const core::MetricsSummary& m, const GoldenConfig& g,
+                   const char* label) {
+  EXPECT_EQ(m.runs_total, 6u) << label;
+  EXPECT_EQ(m.runs_completed, 6u) << label;
+  expect_exact(m.throughput_bps, g.tput, label);
+  expect_exact(m.goodput, g.goodput, label);
+  expect_exact(m.retransmitted_kbytes, g.rexmt_kb, label);
+  expect_exact(m.duration_s, g.dur, label);
+  expect_exact(m.ebsn_received, g.ebsn, label);
+}
+
+class DatapathDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatapathDeterminism, MatchesPrePoolGoldenSummaries) {
+  const int jobs = GetParam();
+  {
+    topo::ScenarioConfig cfg = topo::wan_scenario();
+    cfg.tcp.file_bytes = 50 * 1024;
+    cfg.channel.mean_bad_s = 4;
+    cfg.local_recovery = true;
+    cfg.feedback = topo::FeedbackMode::kEbsn;
+    expect_config(core::run_seeds(cfg, 6, 1, jobs), kWanEbsn, "wan_ebsn");
+  }
+  {
+    topo::ScenarioConfig cfg = topo::wan_scenario();
+    cfg.tcp.file_bytes = 50 * 1024;
+    cfg.channel.mean_bad_s = 2;
+    expect_config(core::run_seeds(cfg, 6, 1, jobs), kWanBasic, "wan_basic");
+  }
+  {
+    topo::ScenarioConfig cfg = topo::lan_scenario();
+    cfg.channel.mean_bad_s = 0.8;
+    cfg.snoop = true;
+    expect_config(core::run_seeds(cfg, 6, 1, jobs), kLanSnoop, "lan_snoop");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, DatapathDeterminism, ::testing::Values(1, 4));
+
+TEST(PacketPoolSteadyState, AllocsPlateauAfterWarmUpInLongWanRun) {
+  topo::ScenarioConfig cfg = topo::wan_scenario();
+  cfg.tcp.file_bytes = 200 * 1024;  // ~4x the paper transfer: a long run
+  cfg.channel.mean_bad_s = 4;
+  cfg.local_recovery = true;
+  cfg.feedback = topo::FeedbackMode::kEbsn;
+
+  topo::Scenario s(cfg);
+  net::PacketPool& pool = s.simulator().packet_pool();
+
+  // Sample the arena well past warm-up but well before the transfer ends
+  // (the 50 KB variant already takes ~40-90 s of sim time).
+  std::uint64_t allocs_mid = 0;
+  std::uint64_t recycled_mid = 0;
+  s.simulator().after(sim::Time::seconds(30), [&] {
+    allocs_mid = pool.allocs();
+    recycled_mid = pool.recycled();
+  });
+
+  const stats::RunMetrics m = s.run();
+  ASSERT_GT(m.duration.to_seconds(), 60.0);  // the sample was mid-run
+  ASSERT_TRUE(m.completed);
+
+  EXPECT_GT(allocs_mid, 0u);
+  EXPECT_GT(recycled_mid, 0u);
+  // Steady state: the arena stopped growing while recycling kept going.
+  EXPECT_EQ(pool.allocs(), allocs_mid);
+  EXPECT_GT(pool.recycled(), recycled_mid);
+}
+
+}  // namespace
+}  // namespace wtcp

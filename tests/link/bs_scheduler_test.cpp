@@ -9,9 +9,9 @@
 namespace wtcp::link {
 namespace {
 
-net::Packet dgram(std::uint64_t conn) {
-  net::Packet p = net::make_tcp_data(0, 536, 40, 0, 2, sim::Time::zero());
-  p.tcp->conn = conn;
+net::PacketRef dgram(net::PacketPool& pool, std::uint64_t conn) {
+  net::PacketRef p = net::make_tcp_data(pool, 0, 536, 40, 0, 2, sim::Time::zero());
+  p->tcp->conn = conn;
   return p;
 }
 
@@ -19,7 +19,7 @@ class SchedTest : public ::testing::Test {
  protected:
   void build(BsSchedulerConfig cfg, std::size_t users = 3) {
     sched_ = std::make_unique<BsScheduler>(sim_, cfg, users);
-    sched_->set_release([this](std::size_t user, net::Packet) {
+    sched_->set_release([this](std::size_t user, net::PacketRef) {
       releases_.push_back(user);
     });
     sched_->set_channel_probe([this](std::size_t user) { return good_[user]; });
@@ -37,10 +37,10 @@ TEST_F(SchedTest, FifoServesArrivalOrder) {
   cfg.policy = SchedPolicy::kFifo;
   cfg.max_outstanding = 1;
   build(cfg);
-  sched_->enqueue(2, dgram(2));  // released immediately (slot free)
-  sched_->enqueue(0, dgram(0));
-  sched_->enqueue(1, dgram(1));
-  sched_->enqueue(0, dgram(0));
+  sched_->enqueue(2, dgram(sim_.packet_pool(), 2));  // released immediately (slot free)
+  sched_->enqueue(0, dgram(sim_.packet_pool(), 0));
+  sched_->enqueue(1, dgram(sim_.packet_pool(), 1));
+  sched_->enqueue(0, dgram(sim_.packet_pool(), 0));
   EXPECT_EQ(releases_, (std::vector<std::size_t>{2}));
   sched_->on_resolved(2);
   sched_->on_resolved(0);
@@ -54,9 +54,9 @@ TEST_F(SchedTest, RoundRobinCyclesUsers) {
   cfg.max_outstanding = 1;
   build(cfg);
   // User 0 floods; users 1, 2 have one datagram each.
-  for (int i = 0; i < 4; ++i) sched_->enqueue(0, dgram(0));
-  sched_->enqueue(1, dgram(1));
-  sched_->enqueue(2, dgram(2));
+  for (int i = 0; i < 4; ++i) sched_->enqueue(0, dgram(sim_.packet_pool(), 0));
+  sched_->enqueue(1, dgram(sim_.packet_pool(), 1));
+  sched_->enqueue(2, dgram(sim_.packet_pool(), 2));
   for (int i = 0; i < 5; ++i) sched_->on_resolved(releases_.back());
   // Cyclic service: 0 (first), then 1, 2, back to 0...
   EXPECT_EQ(releases_, (std::vector<std::size_t>{0, 1, 2, 0, 0, 0}));
@@ -67,7 +67,7 @@ TEST_F(SchedTest, MaxOutstandingBoundsReleases) {
   cfg.policy = SchedPolicy::kRoundRobin;
   cfg.max_outstanding = 2;
   build(cfg);
-  for (int i = 0; i < 6; ++i) sched_->enqueue(0, dgram(0));
+  for (int i = 0; i < 6; ++i) sched_->enqueue(0, dgram(sim_.packet_pool(), 0));
   EXPECT_EQ(releases_.size(), 2u);
   EXPECT_EQ(sched_->outstanding(), 2);
   sched_->on_resolved(0);
@@ -80,8 +80,8 @@ TEST_F(SchedTest, CsdSkipsBadUsers) {
   cfg.max_outstanding = 1;
   build(cfg);
   good_ = {false, true, true};
-  sched_->enqueue(0, dgram(0));
-  sched_->enqueue(1, dgram(1));
+  sched_->enqueue(0, dgram(sim_.packet_pool(), 0));
+  sched_->enqueue(1, dgram(sim_.packet_pool(), 1));
   // User 0 is faded: user 1 is served first.
   EXPECT_EQ(releases_, (std::vector<std::size_t>{1}));
   EXPECT_GE(sched_->stats().csd_skips, 1u);
@@ -98,7 +98,7 @@ TEST_F(SchedTest, CsdDefersWhenAllBadAndReprobes) {
   cfg.probe_interval = sim::Time::milliseconds(50);
   build(cfg);
   good_ = {false, false, false};
-  sched_->enqueue(0, dgram(0));
+  sched_->enqueue(0, dgram(sim_.packet_pool(), 0));
   EXPECT_TRUE(releases_.empty());
   EXPECT_GE(sched_->stats().csd_deferrals, 1u);
   // Channel heals; the probe timer pumps without any external event.
@@ -114,7 +114,7 @@ TEST_F(SchedTest, PerUserQueueBound) {
   cfg.max_outstanding = 1;
   cfg.queue_datagrams = 3;
   build(cfg);
-  for (int i = 0; i < 10; ++i) sched_->enqueue(0, dgram(0));
+  for (int i = 0; i < 10; ++i) sched_->enqueue(0, dgram(sim_.packet_pool(), 0));
   // 1 released + 3 queued; rest dropped.
   EXPECT_EQ(sched_->backlog(0), 3u);
   EXPECT_EQ(sched_->stats().dropped, 6u);
@@ -124,9 +124,9 @@ TEST_F(SchedTest, BacklogAccounting) {
   BsSchedulerConfig cfg;
   cfg.max_outstanding = 1;
   build(cfg);
-  sched_->enqueue(0, dgram(0));
-  sched_->enqueue(1, dgram(1));
-  sched_->enqueue(1, dgram(1));
+  sched_->enqueue(0, dgram(sim_.packet_pool(), 0));
+  sched_->enqueue(1, dgram(sim_.packet_pool(), 1));
+  sched_->enqueue(1, dgram(sim_.packet_pool(), 1));
   EXPECT_EQ(sched_->total_backlog(), 2u);  // one was released
   EXPECT_EQ(sched_->stats().enqueued, 3u);
   EXPECT_EQ(sched_->stats().released, 1u);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "src/sim/simulator.hpp"
@@ -9,10 +10,10 @@
 namespace wtcp::link {
 namespace {
 
-net::Packet datagram(std::int64_t size, std::int64_t seq = 0) {
-  net::Packet p = net::make_tcp_data(seq, static_cast<std::int32_t>(size - 40), 40,
-                                     0, 2, sim::Time::zero());
-  return p;
+net::PacketRef datagram(net::PacketPool& pool, std::int64_t size,
+                        std::int64_t seq = 0) {
+  return net::make_tcp_data(pool, seq, static_cast<std::int32_t>(size - 40), 40,
+                            0, 2, sim::Time::zero());
 }
 
 TEST(Fragmenter, FragmentCountMatchesCeilDivision) {
@@ -26,53 +27,69 @@ TEST(Fragmenter, FragmentCountMatchesCeilDivision) {
 }
 
 TEST(Fragmenter, SmallDatagramWrappedAsSingleFragment) {
+  net::PacketPool pool;
   Fragmenter f(FragmenterConfig{.mtu_bytes = 128});
-  auto frags = f.fragment(datagram(100), sim::Time::zero());
+  auto frags = f.fragment(pool, datagram(pool, 100), sim::Time::zero());
   ASSERT_EQ(frags.size(), 1u);
-  EXPECT_EQ(frags[0].type, net::PacketType::kLinkFragment);
-  EXPECT_EQ(frags[0].size_bytes, 100);
-  EXPECT_EQ(frags[0].frag->count, 1);
-  ASSERT_NE(frags[0].encapsulated, nullptr);
-  EXPECT_EQ(frags[0].encapsulated->size_bytes, 100);
+  EXPECT_EQ(frags[0]->type, net::PacketType::kLinkFragment);
+  EXPECT_EQ(frags[0]->size_bytes, 100);
+  EXPECT_EQ(frags[0]->frag->count, 1);
+  ASSERT_TRUE(frags[0]->encapsulated);
+  EXPECT_EQ(frags[0]->encapsulated->size_bytes, 100);
 }
 
 TEST(Fragmenter, SizesSumToDatagramAndLastIsPartial) {
+  net::PacketPool pool;
   Fragmenter f(FragmenterConfig{.mtu_bytes = 128});
-  auto frags = f.fragment(datagram(616), sim::Time::zero());
+  auto frags = f.fragment(pool, datagram(pool, 616), sim::Time::zero());
   ASSERT_EQ(frags.size(), 5u);
   std::int64_t total = 0;
   for (std::size_t i = 0; i < frags.size(); ++i) {
-    EXPECT_EQ(frags[i].frag->index, static_cast<std::int32_t>(i));
-    EXPECT_EQ(frags[i].frag->count, 5);
-    total += frags[i].size_bytes;
+    EXPECT_EQ(frags[i]->frag->index, static_cast<std::int32_t>(i));
+    EXPECT_EQ(frags[i]->frag->count, 5);
+    total += frags[i]->size_bytes;
   }
   EXPECT_EQ(total, 616);
-  EXPECT_EQ(frags[0].size_bytes, 128);
-  EXPECT_EQ(frags[4].size_bytes, 616 - 4 * 128);
+  EXPECT_EQ(frags[0]->size_bytes, 128);
+  EXPECT_EQ(frags[4]->size_bytes, 616 - 4 * 128);
 }
 
 TEST(Fragmenter, DatagramIdsAreUniqueAndShared) {
+  net::PacketPool pool;
   Fragmenter f(FragmenterConfig{.mtu_bytes = 128});
-  auto a = f.fragment(datagram(300), sim::Time::zero());
-  auto b = f.fragment(datagram(300), sim::Time::zero());
-  EXPECT_EQ(a[0].frag->datagram_id, a[1].frag->datagram_id);
-  EXPECT_NE(a[0].frag->datagram_id, b[0].frag->datagram_id);
+  auto a = f.fragment(pool, datagram(pool, 300), sim::Time::zero());
+  auto b = f.fragment(pool, datagram(pool, 300), sim::Time::zero());
+  EXPECT_EQ(a[0]->frag->datagram_id, a[1]->frag->datagram_id);
+  EXPECT_NE(a[0]->frag->datagram_id, b[0]->frag->datagram_id);
 }
 
 TEST(Fragmenter, AllFragmentsShareEncapsulatedOriginal) {
+  net::PacketPool pool;
   Fragmenter f(FragmenterConfig{.mtu_bytes = 128});
-  auto frags = f.fragment(datagram(616, 42), sim::Time::zero());
+  auto frags = f.fragment(pool, datagram(pool, 616, 42), sim::Time::zero());
   for (const auto& fr : frags) {
-    ASSERT_NE(fr.encapsulated, nullptr);
-    EXPECT_EQ(fr.encapsulated->tcp->seq, 42);
-    EXPECT_EQ(fr.encapsulated.get(), frags[0].encapsulated.get());
+    ASSERT_TRUE(fr->encapsulated);
+    EXPECT_EQ(fr->encapsulated->tcp->seq, 42);
+    // Refcounted share of the same slot, not a copy.
+    EXPECT_EQ(fr->encapsulated.get(), frags[0]->encapsulated.get());
   }
 }
 
-TEST(Fragmenter, StatsAccumulate) {
+TEST(Fragmenter, FanOutRecyclesIntoPool) {
+  net::PacketPool pool;
   Fragmenter f(FragmenterConfig{.mtu_bytes = 128});
-  f.fragment(datagram(616), sim::Time::zero());
-  f.fragment(datagram(128), sim::Time::zero());
+  {
+    auto frags = f.fragment(pool, datagram(pool, 616), sim::Time::zero());
+    EXPECT_EQ(pool.live(), 6u);  // datagram + 5 fragments
+  }
+  EXPECT_EQ(pool.live(), 0u);  // everything returned to the freelist
+}
+
+TEST(Fragmenter, StatsAccumulate) {
+  net::PacketPool pool;
+  Fragmenter f(FragmenterConfig{.mtu_bytes = 128});
+  f.fragment(pool, datagram(pool, 616), sim::Time::zero());
+  f.fragment(pool, datagram(pool, 128), sim::Time::zero());
   EXPECT_EQ(f.stats().datagrams, 2u);
   EXPECT_EQ(f.stats().fragments, 6u);
 }
@@ -84,80 +101,84 @@ TEST(Fragmenter, StatsAccumulate) {
 class ReassemblerTest : public ::testing::Test {
  protected:
   ReassemblerTest()
-      : sink_([this](net::Packet p) { delivered_.push_back(std::move(p)); }),
+      : sink_([this](net::PacketRef p) { delivered_.push_back(std::move(p)); }),
         reasm_(sim_, ReassemblerConfig{.timeout = sim::Time::seconds(60)}, &sink_),
         frag_(FragmenterConfig{.mtu_bytes = 128}) {}
 
-  sim::Simulator sim_;
-  std::vector<net::Packet> delivered_;
+  net::PacketRef datagram(std::int64_t size, std::int64_t seq = 0) {
+    return link::datagram(sim_.packet_pool(), size, seq);
+  }
+
+  sim::Simulator sim_;  // owns the pool; declared first so refs die first
+  std::vector<net::PacketRef> delivered_;
   net::CallbackSink sink_;
   Reassembler reasm_;
   Fragmenter frag_;
 };
 
 TEST_F(ReassemblerTest, CompletesInOrder) {
-  for (auto& fr : frag_.fragment(datagram(616, 3), sim_.now())) {
-    reasm_.handle_fragment(fr);
+  for (auto& fr : frag_.fragment(sim_.packet_pool(), datagram(616, 3), sim_.now())) {
+    reasm_.handle_fragment(std::move(fr));
   }
   ASSERT_EQ(delivered_.size(), 1u);
-  EXPECT_EQ(delivered_[0].tcp->seq, 3);
-  EXPECT_EQ(delivered_[0].size_bytes, 616);
+  EXPECT_EQ(delivered_[0]->tcp->seq, 3);
+  EXPECT_EQ(delivered_[0]->size_bytes, 616);
   EXPECT_EQ(reasm_.stats().datagrams_completed, 1u);
   EXPECT_EQ(reasm_.pending(), 0u);
 }
 
 TEST_F(ReassemblerTest, CompletesOutOfOrder) {
-  auto frags = frag_.fragment(datagram(616), sim_.now());
-  reasm_.handle_fragment(frags[4]);
-  reasm_.handle_fragment(frags[1]);
-  reasm_.handle_fragment(frags[3]);
-  reasm_.handle_fragment(frags[0]);
+  auto frags = frag_.fragment(sim_.packet_pool(), datagram(616), sim_.now());
+  reasm_.handle_fragment(std::move(frags[4]));
+  reasm_.handle_fragment(std::move(frags[1]));
+  reasm_.handle_fragment(std::move(frags[3]));
+  reasm_.handle_fragment(std::move(frags[0]));
   EXPECT_TRUE(delivered_.empty());
-  reasm_.handle_fragment(frags[2]);
+  reasm_.handle_fragment(std::move(frags[2]));
   EXPECT_EQ(delivered_.size(), 1u);
 }
 
 TEST_F(ReassemblerTest, DuplicatesIgnored) {
-  auto frags = frag_.fragment(datagram(616), sim_.now());
-  reasm_.handle_fragment(frags[0]);
-  reasm_.handle_fragment(frags[0]);
-  reasm_.handle_fragment(frags[0]);
+  auto frags = frag_.fragment(sim_.packet_pool(), datagram(616), sim_.now());
+  reasm_.handle_fragment(frags[0].share());
+  reasm_.handle_fragment(frags[0].share());
+  reasm_.handle_fragment(frags[0].share());
   EXPECT_EQ(reasm_.stats().duplicate_fragments, 2u);
   EXPECT_TRUE(delivered_.empty());
 }
 
 TEST_F(ReassemblerTest, InterleavedDatagrams) {
-  auto a = frag_.fragment(datagram(300, 1), sim_.now());  // 3 frags
-  auto b = frag_.fragment(datagram(300, 2), sim_.now());
-  reasm_.handle_fragment(a[0]);
-  reasm_.handle_fragment(b[0]);
-  reasm_.handle_fragment(a[1]);
-  reasm_.handle_fragment(b[1]);
-  reasm_.handle_fragment(b[2]);
+  auto a = frag_.fragment(sim_.packet_pool(), datagram(300, 1), sim_.now());
+  auto b = frag_.fragment(sim_.packet_pool(), datagram(300, 2), sim_.now());
+  reasm_.handle_fragment(std::move(a[0]));
+  reasm_.handle_fragment(std::move(b[0]));
+  reasm_.handle_fragment(std::move(a[1]));
+  reasm_.handle_fragment(std::move(b[1]));
+  reasm_.handle_fragment(std::move(b[2]));
   ASSERT_EQ(delivered_.size(), 1u);
-  EXPECT_EQ(delivered_[0].tcp->seq, 2);
-  reasm_.handle_fragment(a[2]);
+  EXPECT_EQ(delivered_[0]->tcp->seq, 2);
+  reasm_.handle_fragment(std::move(a[2]));
   ASSERT_EQ(delivered_.size(), 2u);
-  EXPECT_EQ(delivered_[1].tcp->seq, 1);
+  EXPECT_EQ(delivered_[1]->tcp->seq, 1);
 }
 
 TEST_F(ReassemblerTest, MissingFragmentMeansNoDelivery) {
-  auto frags = frag_.fragment(datagram(616), sim_.now());
+  auto frags = frag_.fragment(sim_.packet_pool(), datagram(616), sim_.now());
   for (std::size_t i = 0; i + 1 < frags.size(); ++i) {
-    reasm_.handle_fragment(frags[i]);
+    reasm_.handle_fragment(std::move(frags[i]));
   }
   EXPECT_TRUE(delivered_.empty());
   EXPECT_EQ(reasm_.pending(), 1u);
 }
 
 TEST_F(ReassemblerTest, ExpiredPartialsArePurged) {
-  auto frags = frag_.fragment(datagram(616), sim_.now());
-  reasm_.handle_fragment(frags[0]);
+  auto frags = frag_.fragment(sim_.packet_pool(), datagram(616), sim_.now());
+  reasm_.handle_fragment(std::move(frags[0]));
   EXPECT_EQ(reasm_.pending(), 1u);
   // Another fragment arriving much later triggers the purge sweep.
   sim_.after(sim::Time::seconds(120), [&] {
-    auto later = frag_.fragment(datagram(300), sim_.now());
-    reasm_.handle_fragment(later[0]);
+    auto later = frag_.fragment(sim_.packet_pool(), datagram(300), sim_.now());
+    reasm_.handle_fragment(std::move(later[0]));
   });
   sim_.run();
   EXPECT_EQ(reasm_.stats().datagrams_expired, 1u);
@@ -165,12 +186,14 @@ TEST_F(ReassemblerTest, ExpiredPartialsArePurged) {
 }
 
 TEST_F(ReassemblerTest, LateFragmentAfterPurgeStartsFresh) {
-  auto frags = frag_.fragment(datagram(616), sim_.now());
-  reasm_.handle_fragment(frags[0]);
+  auto frags = frag_.fragment(sim_.packet_pool(), datagram(616), sim_.now());
+  reasm_.handle_fragment(std::move(frags[0]));
   sim_.after(sim::Time::seconds(120), [&] {
     // The old partial gets purged; the remaining fragments then arrive and
     // cannot complete (fragment 0 was lost with the purge).
-    for (std::size_t i = 1; i < frags.size(); ++i) reasm_.handle_fragment(frags[i]);
+    for (std::size_t i = 1; i < frags.size(); ++i) {
+      reasm_.handle_fragment(std::move(frags[i]));
+    }
   });
   sim_.run();
   EXPECT_TRUE(delivered_.empty());

@@ -35,26 +35,26 @@ class ArqTest : public ::testing::Test {
     sender_ = std::make_unique<ArqSender>(sim_, *link_, 0, cfg, "snd");
     receiver_ = std::make_unique<ArqReceiver>(sim_, *link_, 1, cfg, "rcv");
     receiver_->set_deliver(
-        [this](net::Packet p) { delivered_.push_back(std::move(p)); });
+        [this](net::PacketRef p) { delivered_.push_back(std::move(p)); });
     // Demux: receiver handles fragments, sender handles link ACKs.
-    rx_demux_ = std::make_unique<net::CallbackSink>([this](net::Packet p) {
-      if (p.type == net::PacketType::kLinkFragment) receiver_->on_frame(std::move(p));
+    rx_demux_ = std::make_unique<net::CallbackSink>([this](net::PacketRef p) {
+      if (p->type == net::PacketType::kLinkFragment) receiver_->on_frame(std::move(p));
     });
-    tx_demux_ = std::make_unique<net::CallbackSink>([this](net::Packet p) {
-      if (p.type == net::PacketType::kLinkAck) sender_->on_link_ack(p);
+    tx_demux_ = std::make_unique<net::CallbackSink>([this](net::PacketRef p) {
+      if (p->type == net::PacketType::kLinkAck) sender_->on_link_ack(*p);
     });
     link_->set_sink(1, rx_demux_.get());
     link_->set_sink(0, tx_demux_.get());
   }
 
-  net::Packet frame(std::int64_t size = 128, std::int32_t index = 0) {
-    net::Packet p;
-    p.type = net::PacketType::kLinkFragment;
-    p.size_bytes = size;
-    p.src = 1;
-    p.dst = 2;
-    p.frag = net::FragmentHeader{.datagram_id = next_dgram_++, .index = index,
-                                 .count = 1, .link_seq = -1};
+  net::PacketRef frame(std::int64_t size = 128, std::int32_t index = 0) {
+    net::PacketRef p = sim_.packet_pool().acquire();
+    p->type = net::PacketType::kLinkFragment;
+    p->size_bytes = size;
+    p->src = 1;
+    p->dst = 2;
+    p->frag = net::FragmentHeader{.datagram_id = next_dgram_++, .index = index,
+                                  .count = 1, .link_seq = -1};
     return p;
   }
 
@@ -65,7 +65,7 @@ class ArqTest : public ::testing::Test {
   std::unique_ptr<ArqReceiver> receiver_;
   std::unique_ptr<net::CallbackSink> rx_demux_;
   std::unique_ptr<net::CallbackSink> tx_demux_;
-  std::vector<net::Packet> delivered_;
+  std::vector<net::PacketRef> delivered_;
   std::uint64_t next_dgram_ = 1;
 };
 
@@ -86,7 +86,7 @@ TEST_F(ArqTest, AssignsMonotoneLinkSeqs) {
   sim_.run();
   ASSERT_EQ(delivered_.size(), 5u);
   for (std::size_t i = 0; i < delivered_.size(); ++i) {
-    EXPECT_EQ(delivered_[i].frag->link_seq, static_cast<std::int64_t>(i));
+    EXPECT_EQ(delivered_[i]->frag->link_seq, static_cast<std::int64_t>(i));
   }
 }
 
@@ -106,7 +106,7 @@ TEST_F(ArqTest, InOrderDeliveryDespiteSelectiveRepeat) {
   sim_.run();
   ASSERT_EQ(delivered_.size(), 30u);
   for (std::size_t i = 0; i < delivered_.size(); ++i) {
-    EXPECT_EQ(delivered_[i].frag->link_seq, static_cast<std::int64_t>(i))
+    EXPECT_EQ(delivered_[i]->frag->link_seq, static_cast<std::int64_t>(i))
         << "out-of-order release at position " << i;
   }
 }
@@ -181,7 +181,7 @@ TEST_F(ArqTest, HoleSkipAfterSenderDiscard) {
   sim_.run();
   // Frame 0 was discarded; 1..3 must still come through (hole skipped).
   ASSERT_EQ(delivered_.size(), 3u);
-  EXPECT_EQ(delivered_[0].frag->link_seq, 1);
+  EXPECT_EQ(delivered_[0]->frag->link_seq, 1);
   EXPECT_EQ(receiver_->stats().holes_skipped, 1u);
 }
 
@@ -190,10 +190,11 @@ TEST_F(ArqTest, StaleAcksAreCounted) {
   sender_->submit(frame());
   sim_.run();
   // Forge a link ACK for a long-gone seq.
-  net::Packet stale = net::make_control(net::PacketType::kLinkAck, 16, 2, 1,
-                                        sim_.now());
-  stale.frag = net::FragmentHeader{.link_seq = 0};
-  sender_->on_link_ack(stale);
+  net::PacketRef stale = net::make_control(sim_.packet_pool(),
+                                           net::PacketType::kLinkAck, 16, 2, 1,
+                                           sim_.now());
+  stale->frag = net::FragmentHeader{.link_seq = 0};
+  sender_->on_link_ack(*stale);
   EXPECT_EQ(sender_->stats().stale_acks, 1u);
 }
 

@@ -25,17 +25,18 @@ class WirelessIfaceTest : public ::testing::Test {
     cfg.local_recovery = local_recovery;
     cfg.frag.mtu_bytes = 128;
     bs_up_ = std::make_unique<net::CallbackSink>(
-        [this](net::Packet p) { at_bs_.push_back(std::move(p)); });
+        [this](net::PacketRef p) { at_bs_.push_back(std::move(p)); });
     mh_up_ = std::make_unique<net::CallbackSink>(
-        [this](net::Packet p) { at_mh_.push_back(std::move(p)); });
+        [this](net::PacketRef p) { at_mh_.push_back(std::move(p)); });
     bs_ = std::make_unique<WirelessInterface>(sim_, *link_, 0, cfg, "bs",
                                               bs_up_.get());
     mh_ = std::make_unique<WirelessInterface>(sim_, *link_, 1, cfg, "mh",
                                               mh_up_.get());
   }
 
-  net::Packet data(std::int64_t seq, std::int32_t payload = 576) {
-    return net::make_tcp_data(seq, payload, 40, 0, 2, sim_.now());
+  net::PacketRef data(std::int64_t seq, std::int32_t payload = 576) {
+    return net::make_tcp_data(sim_.packet_pool(), seq, payload, 40, 0, 2,
+                              sim_.now());
   }
 
   sim::Simulator sim_;
@@ -44,8 +45,8 @@ class WirelessIfaceTest : public ::testing::Test {
   std::unique_ptr<net::CallbackSink> mh_up_;
   std::unique_ptr<WirelessInterface> bs_;
   std::unique_ptr<WirelessInterface> mh_;
-  std::vector<net::Packet> at_bs_;
-  std::vector<net::Packet> at_mh_;
+  std::vector<net::PacketRef> at_bs_;
+  std::vector<net::PacketRef> at_mh_;
 };
 
 TEST_F(WirelessIfaceTest, DatagramCrossesCleanLinkWithoutArq) {
@@ -53,8 +54,8 @@ TEST_F(WirelessIfaceTest, DatagramCrossesCleanLinkWithoutArq) {
   bs_->send_datagram(data(7));
   sim_.run();
   ASSERT_EQ(at_mh_.size(), 1u);
-  EXPECT_EQ(at_mh_[0].tcp->seq, 7);
-  EXPECT_EQ(at_mh_[0].size_bytes, 616);
+  EXPECT_EQ(at_mh_[0]->tcp->seq, 7);
+  EXPECT_EQ(at_mh_[0]->size_bytes, 616);
   EXPECT_EQ(bs_->fragmenter().stats().fragments, 5u);
   EXPECT_EQ(mh_->reassembler().stats().datagrams_completed, 1u);
 }
@@ -70,11 +71,11 @@ TEST_F(WirelessIfaceTest, DatagramCrossesCleanLinkWithArq) {
 TEST_F(WirelessIfaceTest, BothDirectionsWork) {
   build(/*local_recovery=*/true);
   bs_->send_datagram(data(1));
-  mh_->send_datagram(net::make_tcp_ack(1, 40, 2, 0, sim_.now()));
+  mh_->send_datagram(net::make_tcp_ack(sim_.packet_pool(), 1, 40, 2, 0, sim_.now()));
   sim_.run();
   ASSERT_EQ(at_mh_.size(), 1u);
   ASSERT_EQ(at_bs_.size(), 1u);
-  EXPECT_EQ(at_bs_[0].type, net::PacketType::kTcpAck);
+  EXPECT_EQ(at_bs_[0]->type, net::PacketType::kTcpAck);
 }
 
 TEST_F(WirelessIfaceTest, LossWithoutArqKillsWholeDatagram) {
@@ -100,7 +101,7 @@ TEST_F(WirelessIfaceTest, ManyDatagramsDeliverInOrderUnderBurstLoss) {
   sim_.run();
   ASSERT_EQ(at_mh_.size(), 12u);
   for (int i = 0; i < 12; ++i) {
-    EXPECT_EQ(at_mh_[static_cast<std::size_t>(i)].tcp->seq, i);
+    EXPECT_EQ(at_mh_[static_cast<std::size_t>(i)]->tcp->seq, i);
   }
 }
 
@@ -112,14 +113,14 @@ TEST_F(WirelessIfaceTest, MixedArqOnlyOnOneSide) {
   with.local_recovery = true;
   without.local_recovery = false;
   bs_up_ = std::make_unique<net::CallbackSink>(
-      [this](net::Packet p) { at_bs_.push_back(std::move(p)); });
+      [this](net::PacketRef p) { at_bs_.push_back(std::move(p)); });
   mh_up_ = std::make_unique<net::CallbackSink>(
-      [this](net::Packet p) { at_mh_.push_back(std::move(p)); });
+      [this](net::PacketRef p) { at_mh_.push_back(std::move(p)); });
   bs_ = std::make_unique<WirelessInterface>(sim_, *link_, 0, with, "bs", bs_up_.get());
   mh_ = std::make_unique<WirelessInterface>(sim_, *link_, 1, without, "mh",
                                             mh_up_.get());
   bs_->send_datagram(data(5));
-  mh_->send_datagram(net::make_tcp_ack(5, 40, 2, 0, sim_.now()));
+  mh_->send_datagram(net::make_tcp_ack(sim_.packet_pool(), 5, 40, 2, 0, sim_.now()));
   sim_.run();
   ASSERT_EQ(at_mh_.size(), 1u);
   ASSERT_EQ(at_bs_.size(), 1u);
@@ -141,7 +142,7 @@ TEST_F(WirelessIfaceTest, NoFragmentationWhenMtuLarge) {
   WirelessIfaceConfig cfg;
   cfg.frag.mtu_bytes = 1 << 20;
   mh_up_ = std::make_unique<net::CallbackSink>(
-      [this](net::Packet p) { at_mh_.push_back(std::move(p)); });
+      [this](net::PacketRef p) { at_mh_.push_back(std::move(p)); });
   bs_ = std::make_unique<WirelessInterface>(sim_, *link_, 0, cfg, "bs", nullptr);
   mh_ = std::make_unique<WirelessInterface>(sim_, *link_, 1, cfg, "mh",
                                             mh_up_.get());

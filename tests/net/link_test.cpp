@@ -13,14 +13,14 @@ namespace wtcp::net {
 namespace {
 
 struct Arrival {
-  Packet pkt;
+  PacketRef pkt;
   sim::Time at;
 };
 
 class Recorder final : public PacketSink {
  public:
   explicit Recorder(sim::Simulator& sim) : sim_(sim) {}
-  void handle_packet(Packet pkt) override {
+  void handle_packet(PacketRef pkt) override {
     arrivals.push_back(Arrival{std::move(pkt), sim_.now()});
   }
   std::vector<Arrival> arrivals;
@@ -38,11 +38,11 @@ LinkConfig test_config() {
   };
 }
 
-Packet pkt(std::int64_t size) {
-  Packet p;
-  p.type = PacketType::kTcpData;
-  p.size_bytes = size;
-  p.tcp = TcpHeader{};
+PacketRef pkt(sim::Simulator& sim, std::int64_t size) {
+  PacketRef p = sim.packet_pool().acquire();
+  p->type = PacketType::kTcpData;
+  p->size_bytes = size;
+  p->tcp = TcpHeader{};
   return p;
 }
 
@@ -51,7 +51,7 @@ TEST(DuplexLink, DeliversAfterSerializationPlusPropagation) {
   DuplexLink link(sim, test_config());
   Recorder rx(sim);
   link.set_sink(1, &rx);
-  link.send(0, pkt(100));  // 100 ms serialization + 10 ms propagation
+  link.send(0, pkt(sim, 100));  // 100 ms serialization + 10 ms propagation
   sim.run();
   ASSERT_EQ(rx.arrivals.size(), 1u);
   EXPECT_EQ(rx.arrivals[0].at, sim::Time::milliseconds(110));
@@ -62,8 +62,8 @@ TEST(DuplexLink, BackToBackFramesSerialize) {
   DuplexLink link(sim, test_config());
   Recorder rx(sim);
   link.set_sink(1, &rx);
-  link.send(0, pkt(100));
-  link.send(0, pkt(100));
+  link.send(0, pkt(sim, 100));
+  link.send(0, pkt(sim, 100));
   sim.run();
   ASSERT_EQ(rx.arrivals.size(), 2u);
   EXPECT_EQ(rx.arrivals[0].at, sim::Time::milliseconds(110));
@@ -76,8 +76,8 @@ TEST(DuplexLink, DirectionsAreIndependent) {
   Recorder rx0(sim), rx1(sim);
   link.set_sink(0, &rx0);
   link.set_sink(1, &rx1);
-  link.send(0, pkt(100));
-  link.send(1, pkt(100));
+  link.send(0, pkt(sim, 100));
+  link.send(1, pkt(sim, 100));
   sim.run();
   ASSERT_EQ(rx0.arrivals.size(), 1u);
   ASSERT_EQ(rx1.arrivals.size(), 1u);
@@ -94,7 +94,7 @@ TEST(DuplexLink, OverheadExpandsAirtime) {
   DuplexLink link(sim, cfg);
   Recorder rx(sim);
   link.set_sink(1, &rx);
-  link.send(0, pkt(100));  // on-air 150 B -> 150 ms + 10 ms
+  link.send(0, pkt(sim, 100));  // on-air 150 B -> 150 ms + 10 ms
   sim.run();
   ASSERT_EQ(rx.arrivals.size(), 1u);
   EXPECT_EQ(rx.arrivals[0].at, sim::Time::milliseconds(160));
@@ -110,7 +110,7 @@ TEST(DuplexLink, QueueOverflowDropsTail) {
   // First is immediately in transmission, 4 queue, rest dropped.
   int accepted = 0;
   for (int i = 0; i < 8; ++i) {
-    if (link.send(0, pkt(100))) ++accepted;
+    if (link.send(0, pkt(sim, 100))) ++accepted;
   }
   sim.run();
   EXPECT_EQ(accepted, 5);
@@ -123,20 +123,20 @@ TEST(DuplexLink, PrioritySendJumpsQueue) {
   DuplexLink link(sim, test_config());
   Recorder rx(sim);
   link.set_sink(1, &rx);
-  Packet a = pkt(100);
-  a.uid = 1;
-  Packet b = pkt(100);
-  b.uid = 2;
-  Packet c = pkt(100);
-  c.uid = 3;
-  link.send(0, a);           // goes on air immediately
-  link.send(0, b);           // queued
-  link.send(0, c, /*priority=*/true);  // jumps ahead of b
+  PacketRef a = pkt(sim, 100);
+  a->uid = 1;
+  PacketRef b = pkt(sim, 100);
+  b->uid = 2;
+  PacketRef c = pkt(sim, 100);
+  c->uid = 3;
+  link.send(0, std::move(a));           // goes on air immediately
+  link.send(0, std::move(b));           // queued
+  link.send(0, std::move(c), /*priority=*/true);  // jumps ahead of b
   sim.run();
   ASSERT_EQ(rx.arrivals.size(), 3u);
-  EXPECT_EQ(rx.arrivals[0].pkt.uid, 1u);
-  EXPECT_EQ(rx.arrivals[1].pkt.uid, 3u);
-  EXPECT_EQ(rx.arrivals[2].pkt.uid, 2u);
+  EXPECT_EQ(rx.arrivals[0].pkt->uid, 1u);
+  EXPECT_EQ(rx.arrivals[1].pkt->uid, 3u);
+  EXPECT_EQ(rx.arrivals[2].pkt->uid, 2u);
 }
 
 TEST(DuplexLink, ErrorModelDropsCorruptedFrames) {
@@ -148,9 +148,9 @@ TEST(DuplexLink, ErrorModelDropsCorruptedFrames) {
   link.set_error_model(std::make_shared<phy::ScriptedErrorModel>(
       std::vector<phy::ScriptedErrorModel::Window>{
           {sim::Time::zero(), sim::Time::milliseconds(150)}}));
-  link.send(0, pkt(100));  // on air [0, 100) -> corrupted
-  link.send(0, pkt(100));  // on air [100, 200) -> overlaps window -> corrupted
-  link.send(0, pkt(100));  // on air [200, 300) -> clean
+  link.send(0, pkt(sim, 100));  // on air [0, 100) -> corrupted
+  link.send(0, pkt(sim, 100));  // on air [100, 200) -> overlaps window -> corrupted
+  link.send(0, pkt(sim, 100));  // on air [200, 300) -> clean
   sim.run();
   ASSERT_EQ(rx.arrivals.size(), 1u);
   EXPECT_EQ(link.stats(0).frames_corrupted, 2u);
@@ -162,8 +162,8 @@ TEST(DuplexLink, StatsCountBytesAndBusyTime) {
   DuplexLink link(sim, test_config());
   Recorder rx(sim);
   link.set_sink(1, &rx);
-  link.send(0, pkt(100));
-  link.send(0, pkt(50));
+  link.send(0, pkt(sim, 100));
+  link.send(0, pkt(sim, 50));
   sim.run();
   const LinkDirectionStats& s = link.stats(0);
   EXPECT_EQ(s.frames_sent, 2u);
@@ -183,7 +183,7 @@ TEST(DuplexLink, FrameObserversSeeOutcomes) {
     EXPECT_EQ(from, 0);
     EXPECT_TRUE(delivered);
   });
-  link.send(0, pkt(10));
+  link.send(0, pkt(sim, 10));
   sim.run();
   EXPECT_EQ(observed, 1);
 }
@@ -191,7 +191,7 @@ TEST(DuplexLink, FrameObserversSeeOutcomes) {
 TEST(DuplexLink, NoSinkMeansSilentDrop) {
   sim::Simulator sim;
   DuplexLink link(sim, test_config());
-  link.send(0, pkt(10));  // no sink at endpoint 1
+  link.send(0, pkt(sim, 10));  // no sink at endpoint 1
   sim.run();              // must not crash
   EXPECT_EQ(link.stats(0).frames_delivered, 1u);
 }
@@ -204,8 +204,8 @@ TEST(DuplexLink, HalfDuplexSerializesDirections) {
   Recorder rx0(sim), rx1(sim);
   link.set_sink(0, &rx0);
   link.set_sink(1, &rx1);
-  link.send(0, pkt(100));  // [0, 100) on air
-  link.send(1, pkt(100));  // must wait: [100, 200)
+  link.send(0, pkt(sim, 100));  // [0, 100) on air
+  link.send(1, pkt(sim, 100));  // must wait: [100, 200)
   sim.run();
   ASSERT_EQ(rx1.arrivals.size(), 1u);
   ASSERT_EQ(rx0.arrivals.size(), 1u);
@@ -220,13 +220,13 @@ TEST(DuplexLink, HalfDuplexAlternatesUnderBacklog) {
   cfg.queue_packets = 10;
   DuplexLink link(sim, cfg);
   std::vector<int> order;
-  CallbackSink s0([&](Packet) { order.push_back(0); });
-  CallbackSink s1([&](Packet) { order.push_back(1); });
+  CallbackSink s0([&](PacketRef) { order.push_back(0); });
+  CallbackSink s1([&](PacketRef) { order.push_back(1); });
   link.set_sink(0, &s0);
   link.set_sink(1, &s1);
   for (int i = 0; i < 3; ++i) {
-    link.send(0, pkt(50));
-    link.send(1, pkt(50));
+    link.send(0, pkt(sim, 50));
+    link.send(1, pkt(sim, 50));
   }
   sim.run();
   ASSERT_EQ(order.size(), 6u);
@@ -241,7 +241,7 @@ TEST(DuplexLink, TransmittingFlagTracksAirtime) {
   DuplexLink link(sim, test_config());
   Recorder rx(sim);
   link.set_sink(1, &rx);
-  link.send(0, pkt(100));
+  link.send(0, pkt(sim, 100));
   EXPECT_TRUE(link.transmitting(0));
   sim.at(sim::Time::milliseconds(50), [&] { EXPECT_TRUE(link.transmitting(0)); });
   sim.at(sim::Time::milliseconds(101), [&] { EXPECT_FALSE(link.transmitting(0)); });

@@ -69,15 +69,18 @@ TEST(Medium, SerializesAcrossLinks) {
   DuplexLink a(sim, cfg), b(sim, cfg);
 
   std::vector<std::pair<char, sim::Time>> arrivals;
-  CallbackSink sink_a([&](Packet) { arrivals.emplace_back('a', sim.now()); });
-  CallbackSink sink_b([&](Packet) { arrivals.emplace_back('b', sim.now()); });
+  CallbackSink sink_a([&](PacketRef) { arrivals.emplace_back('a', sim.now()); });
+  CallbackSink sink_b([&](PacketRef) { arrivals.emplace_back('b', sim.now()); });
   a.set_sink(1, &sink_a);
   b.set_sink(1, &sink_b);
 
-  Packet p;
-  p.size_bytes = 100;  // 100 ms airtime
-  a.send(0, p);
-  b.send(0, p);
+  auto mk = [&] {
+    PacketRef p = sim.packet_pool().acquire();
+    p->size_bytes = 100;  // 100 ms airtime
+    return p;
+  };
+  a.send(0, mk());
+  b.send(0, mk());
   sim.run();
 
   ASSERT_EQ(arrivals.size(), 2u);
@@ -99,16 +102,19 @@ TEST(Medium, RoundRobinAcrossLinksUnderBacklog) {
   DuplexLink a(sim, cfg), b(sim, cfg);
 
   std::vector<char> order;
-  CallbackSink sink_a([&](Packet) { order.push_back('a'); });
-  CallbackSink sink_b([&](Packet) { order.push_back('b'); });
+  CallbackSink sink_a([&](PacketRef) { order.push_back('a'); });
+  CallbackSink sink_b([&](PacketRef) { order.push_back('b'); });
   a.set_sink(1, &sink_a);
   b.set_sink(1, &sink_b);
 
-  Packet p;
-  p.size_bytes = 10;
+  auto mk = [&] {
+    PacketRef p = sim.packet_pool().acquire();
+    p->size_bytes = 10;
+    return p;
+  };
   for (int i = 0; i < 3; ++i) {
-    a.send(0, p);
-    b.send(0, p);
+    a.send(0, mk());
+    b.send(0, mk());
   }
   sim.run();
   ASSERT_EQ(order.size(), 6u);
@@ -128,14 +134,17 @@ TEST(Medium, UplinkAndDownlinkShareRadio) {
   cfg.medium = medium;
   DuplexLink link(sim, cfg);
   std::vector<std::pair<int, sim::Time>> arrivals;
-  CallbackSink s0([&](Packet) { arrivals.emplace_back(0, sim.now()); });
-  CallbackSink s1([&](Packet) { arrivals.emplace_back(1, sim.now()); });
+  CallbackSink s0([&](PacketRef) { arrivals.emplace_back(0, sim.now()); });
+  CallbackSink s1([&](PacketRef) { arrivals.emplace_back(1, sim.now()); });
   link.set_sink(0, &s0);
   link.set_sink(1, &s1);
-  Packet p;
-  p.size_bytes = 100;
-  link.send(0, p);  // downlink
-  link.send(1, p);  // uplink must wait
+  auto mk = [&] {
+    PacketRef p = sim.packet_pool().acquire();
+    p->size_bytes = 100;
+    return p;
+  };
+  link.send(0, mk());  // downlink
+  link.send(1, mk());  // uplink must wait
   sim.run();
   ASSERT_EQ(arrivals.size(), 2u);
   EXPECT_EQ(arrivals[1].second - arrivals[0].second, sim::Time::milliseconds(100));

@@ -8,33 +8,36 @@ namespace wtcp::net {
 namespace {
 
 TEST(Packet, MakeTcpDataSetsSizeAndHeader) {
-  const Packet p = make_tcp_data(7, 536, 40, 0, 2, sim::Time::seconds(1));
-  EXPECT_EQ(p.type, PacketType::kTcpData);
-  EXPECT_EQ(p.size_bytes, 576);
-  ASSERT_TRUE(p.tcp.has_value());
-  EXPECT_EQ(p.tcp->seq, 7);
-  EXPECT_EQ(p.tcp->payload, 536);
-  EXPECT_FALSE(p.tcp->retransmit);
-  EXPECT_EQ(p.src, 0);
-  EXPECT_EQ(p.dst, 2);
-  EXPECT_EQ(p.created_at, sim::Time::seconds(1));
+  PacketPool pool;
+  const PacketRef p = make_tcp_data(pool, 7, 536, 40, 0, 2, sim::Time::seconds(1));
+  EXPECT_EQ(p->type, PacketType::kTcpData);
+  EXPECT_EQ(p->size_bytes, 576);
+  ASSERT_TRUE(p->tcp.has_value());
+  EXPECT_EQ(p->tcp->seq, 7);
+  EXPECT_EQ(p->tcp->payload, 536);
+  EXPECT_FALSE(p->tcp->retransmit);
+  EXPECT_EQ(p->src, 0);
+  EXPECT_EQ(p->dst, 2);
+  EXPECT_EQ(p->created_at, sim::Time::seconds(1));
 }
 
 TEST(Packet, MakeTcpAckIsHeaderOnly) {
-  const Packet p = make_tcp_ack(12, 40, 2, 0, sim::Time::zero());
-  EXPECT_EQ(p.type, PacketType::kTcpAck);
-  EXPECT_EQ(p.size_bytes, 40);
-  ASSERT_TRUE(p.tcp.has_value());
-  EXPECT_EQ(p.tcp->ack, 12);
-  EXPECT_EQ(p.tcp->payload, 0);
+  PacketPool pool;
+  const PacketRef p = make_tcp_ack(pool, 12, 40, 2, 0, sim::Time::zero());
+  EXPECT_EQ(p->type, PacketType::kTcpAck);
+  EXPECT_EQ(p->size_bytes, 40);
+  ASSERT_TRUE(p->tcp.has_value());
+  EXPECT_EQ(p->tcp->ack, 12);
+  EXPECT_EQ(p->tcp->payload, 0);
 }
 
 TEST(Packet, MakeControl) {
-  const Packet p = make_control(PacketType::kEbsn, 40, 1, 0, sim::Time::zero());
-  EXPECT_EQ(p.type, PacketType::kEbsn);
-  EXPECT_EQ(p.size_bytes, 40);
-  EXPECT_FALSE(p.tcp.has_value());
-  EXPECT_FALSE(p.frag.has_value());
+  PacketPool pool;
+  const PacketRef p = make_control(pool, PacketType::kEbsn, 40, 1, 0, sim::Time::zero());
+  EXPECT_EQ(p->type, PacketType::kEbsn);
+  EXPECT_EQ(p->size_bytes, 40);
+  EXPECT_FALSE(p->tcp.has_value());
+  EXPECT_FALSE(p->frag.has_value());
 }
 
 TEST(Packet, TypeNames) {
@@ -47,13 +50,14 @@ TEST(Packet, TypeNames) {
 }
 
 TEST(Packet, DescribeMentionsKeyFields) {
-  const Packet d = make_tcp_data(5, 100, 40, 0, 2, sim::Time::zero());
-  EXPECT_NE(d.describe().find("DATA"), std::string::npos);
-  EXPECT_NE(d.describe().find("seq=5"), std::string::npos);
+  PacketPool pool;
+  const PacketRef d = make_tcp_data(pool, 5, 100, 40, 0, 2, sim::Time::zero());
+  EXPECT_NE(d->describe().find("DATA"), std::string::npos);
+  EXPECT_NE(d->describe().find("seq=5"), std::string::npos);
 
-  Packet r = d;
-  r.tcp->retransmit = true;
-  EXPECT_NE(r.describe().find("rtx"), std::string::npos);
+  PacketRef r = pool.clone(*d);
+  r->tcp->retransmit = true;
+  EXPECT_NE(r->describe().find("rtx"), std::string::npos);
 
   Packet f;
   f.type = PacketType::kLinkFragment;
@@ -61,6 +65,15 @@ TEST(Packet, DescribeMentionsKeyFields) {
   f.frag = FragmentHeader{.datagram_id = 9, .index = 1, .count = 3, .link_seq = 44};
   EXPECT_NE(f.describe().find("dgram=9"), std::string::npos);
   EXPECT_NE(f.describe().find("1/3"), std::string::npos);
+}
+
+TEST(Packet, DescribeToTruncatesSafely) {
+  PacketPool pool;
+  const PacketRef d = make_tcp_data(pool, 5, 100, 40, 0, 2, sim::Time::zero());
+  char tiny[8];
+  d->describe_to(tiny, sizeof(tiny));
+  EXPECT_EQ(tiny[sizeof(tiny) - 1], '\0');
+  EXPECT_EQ(std::string(tiny).substr(0, 4), "DATA");
 }
 
 TEST(NodeRegistry, AssignsDenseIds) {
@@ -77,13 +90,14 @@ TEST(NodeRegistry, AssignsDenseIds) {
 }
 
 TEST(CallbackSink, ForwardsPackets) {
+  PacketPool pool;
   int seen = 0;
-  CallbackSink sink([&](Packet p) {
+  CallbackSink sink([&](PacketRef p) {
     ++seen;
-    EXPECT_EQ(p.type, PacketType::kTcpAck);
+    EXPECT_EQ(p->type, PacketType::kTcpAck);
   });
-  sink.handle_packet(make_tcp_ack(1, 40, 0, 1, sim::Time::zero()));
-  sink.handle_packet(make_tcp_ack(2, 40, 0, 1, sim::Time::zero()));
+  sink.handle_packet(make_tcp_ack(pool, 1, 40, 0, 1, sim::Time::zero()));
+  sink.handle_packet(make_tcp_ack(pool, 2, 40, 0, 1, sim::Time::zero()));
   EXPECT_EQ(seen, 2);
 }
 

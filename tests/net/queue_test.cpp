@@ -5,13 +5,19 @@
 namespace wtcp::net {
 namespace {
 
-Packet pkt(std::int64_t size) {
-  Packet p;
-  p.size_bytes = size;
-  return p;
-}
+class DropTailQueueTest : public ::testing::Test {
+ protected:
+  // Pool outlives every queue so refs drain back into it at teardown.
+  PacketPool pool_;
 
-TEST(DropTailQueue, FifoOrder) {
+  PacketRef pkt(std::int64_t size) {
+    PacketRef p = pool_.acquire();
+    p->size_bytes = size;
+    return p;
+  }
+};
+
+TEST_F(DropTailQueueTest, FifoOrder) {
   DropTailQueue q(10);
   q.enqueue(pkt(1));
   q.enqueue(pkt(2));
@@ -19,10 +25,10 @@ TEST(DropTailQueue, FifoOrder) {
   EXPECT_EQ(q.dequeue()->size_bytes, 1);
   EXPECT_EQ(q.dequeue()->size_bytes, 2);
   EXPECT_EQ(q.dequeue()->size_bytes, 3);
-  EXPECT_FALSE(q.dequeue().has_value());
+  EXPECT_FALSE(q.dequeue());
 }
 
-TEST(DropTailQueue, DropsWhenPacketCapacityExceeded) {
+TEST_F(DropTailQueueTest, DropsWhenPacketCapacityExceeded) {
   DropTailQueue q(2);
   EXPECT_TRUE(q.enqueue(pkt(1)));
   EXPECT_TRUE(q.enqueue(pkt(2)));
@@ -31,7 +37,18 @@ TEST(DropTailQueue, DropsWhenPacketCapacityExceeded) {
   EXPECT_EQ(q.size(), 2u);
 }
 
-TEST(DropTailQueue, DropsWhenByteCapacityExceeded) {
+TEST_F(DropTailQueueTest, RejectedPacketStaysUsable) {
+  DropTailQueue q(1);
+  EXPECT_TRUE(q.enqueue(pkt(1)));
+  PacketRef p = pkt(42);
+  EXPECT_FALSE(q.enqueue(std::move(p)));
+  // A failed enqueue must not consume the ref: the caller still owns it
+  // (the link uses this to trace the drop).
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->size_bytes, 42);
+}
+
+TEST_F(DropTailQueueTest, DropsWhenByteCapacityExceeded) {
   DropTailQueue q(100, 250);
   EXPECT_TRUE(q.enqueue(pkt(100)));
   EXPECT_TRUE(q.enqueue(pkt(100)));
@@ -40,7 +57,7 @@ TEST(DropTailQueue, DropsWhenByteCapacityExceeded) {
   EXPECT_EQ(q.bytes(), 250);
 }
 
-TEST(DropTailQueue, ByteAccountingAcrossDequeue) {
+TEST_F(DropTailQueueTest, ByteAccountingAcrossDequeue) {
   DropTailQueue q(10);
   q.enqueue(pkt(100));
   q.enqueue(pkt(50));
@@ -51,7 +68,7 @@ TEST(DropTailQueue, ByteAccountingAcrossDequeue) {
   EXPECT_EQ(q.bytes(), 0);
 }
 
-TEST(DropTailQueue, EnqueueFrontJumpsQueue) {
+TEST_F(DropTailQueueTest, EnqueueFrontJumpsQueue) {
   DropTailQueue q(10);
   q.enqueue(pkt(1));
   q.enqueue(pkt(2));
@@ -60,14 +77,14 @@ TEST(DropTailQueue, EnqueueFrontJumpsQueue) {
   EXPECT_EQ(q.dequeue()->size_bytes, 1);
 }
 
-TEST(DropTailQueue, EnqueueFrontRespectsCapacity) {
+TEST_F(DropTailQueueTest, EnqueueFrontRespectsCapacity) {
   DropTailQueue q(1);
   EXPECT_TRUE(q.enqueue(pkt(1)));
   EXPECT_FALSE(q.enqueue_front(pkt(2)));
   EXPECT_EQ(q.stats().dropped, 1u);
 }
 
-TEST(DropTailQueue, PeekDoesNotRemove) {
+TEST_F(DropTailQueueTest, PeekDoesNotRemove) {
   DropTailQueue q(10);
   EXPECT_EQ(q.peek(), nullptr);
   q.enqueue(pkt(7));
@@ -76,7 +93,7 @@ TEST(DropTailQueue, PeekDoesNotRemove) {
   EXPECT_EQ(q.size(), 1u);
 }
 
-TEST(DropTailQueue, StatsTrackDepthsAndCounts) {
+TEST_F(DropTailQueueTest, StatsTrackDepthsAndCounts) {
   DropTailQueue q(10);
   q.enqueue(pkt(100));
   q.enqueue(pkt(200));
@@ -89,7 +106,7 @@ TEST(DropTailQueue, StatsTrackDepthsAndCounts) {
   EXPECT_EQ(s.max_depth_bytes, 300);
 }
 
-TEST(DropTailQueue, ClearEmptiesButKeepsStats) {
+TEST_F(DropTailQueueTest, ClearEmptiesButKeepsStats) {
   DropTailQueue q(10);
   q.enqueue(pkt(1));
   q.enqueue(pkt(2));

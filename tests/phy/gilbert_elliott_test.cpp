@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 namespace wtcp::phy {
 namespace {
@@ -152,6 +154,36 @@ TEST(StochasticGE, CountsQueriesInStats) {
                      1536);
   }
   EXPECT_EQ(m.stats().queries, 50u);
+}
+
+TEST(StochasticGE, RetainedTrajectoryStaysBounded) {
+  // Both query paths prune history behind the advancing query time, so the
+  // retained window is O(1) no matter how long the run — a multi-hour
+  // scenario must not accumulate one segment per sojourn (~hundreds of MB
+  // in a long parallel sweep).
+  GilbertElliottConfig cfg = paper_wan();
+  cfg.mean_bad_s = 1;
+  GilbertElliottModel m(cfg, sim::Rng(21));
+  std::size_t max_retained = 0;
+
+  // state_at-only user (the EBSN channel probe): one query per 500 ms of
+  // sim time across ~3 hours -> ~1000 sojourns sampled in total.
+  for (int i = 0; i < 20'000; ++i) {
+    (void)m.state_at(sim::Time::milliseconds(500) * i);
+    max_retained = std::max(max_retained, m.retained_segments());
+  }
+  EXPECT_LE(max_retained, 4u);
+
+  // corrupts-only user (a link's error queries), continuing the same
+  // trajectory: 80 ms frames marching over another ~30 minutes.
+  const sim::Time base = sim::Time::milliseconds(500) * 20'000;
+  max_retained = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const sim::Time start = base + sim::Time::milliseconds(80) * i;
+    (void)m.corrupts(start, start + sim::Time::milliseconds(80), 1536);
+    max_retained = std::max(max_retained, m.retained_segments());
+  }
+  EXPECT_LE(max_retained, 8u);
 }
 
 // Property sweep: sampled bad fraction tracks mean_bad over a range.

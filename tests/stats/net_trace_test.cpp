@@ -20,15 +20,15 @@ class NetTraceTest : public ::testing::Test {
     cfg.prop_delay = sim::Time::milliseconds(10);
     cfg.queue_packets = 2;
     link_ = std::make_unique<net::DuplexLink>(sim_, cfg);
-    sink_ = std::make_unique<net::CallbackSink>([](net::Packet) {});
+    sink_ = std::make_unique<net::CallbackSink>([](net::PacketRef) {});
     link_->set_sink(1, sink_.get());
     trace_.attach(*link_, "wired");
   }
 
-  net::Packet data(std::int64_t seq, std::int64_t size = 100) {
-    net::Packet p = net::make_tcp_data(seq, static_cast<std::int32_t>(size - 40),
-                                       40, 0, 1, sim_.now());
-    return p;
+  net::PacketRef data(std::int64_t seq, std::int64_t size = 100) {
+    return net::make_tcp_data(sim_.packet_pool(), seq,
+                              static_cast<std::int32_t>(size - 40), 40, 0, 1,
+                              sim_.now());
   }
 
   sim::Simulator sim_;
@@ -70,7 +70,7 @@ TEST_F(NetTraceTest, RecordsCorruption) {
 TEST_F(NetTraceTest, BytesSentByType) {
   link_->send(0, data(0, 100));
   link_->send(0, data(1, 200));
-  link_->send(1, net::make_tcp_ack(1, 40, 1, 0, sim_.now()));
+  link_->send(1, net::make_tcp_ack(sim_.packet_pool(), 1, 40, 1, 0, sim_.now()));
   sim_.run();
   EXPECT_EQ(trace_.bytes_sent("wired", net::PacketType::kTcpData), 300);
   EXPECT_EQ(trace_.bytes_sent("wired", net::PacketType::kTcpAck), 40);

@@ -20,17 +20,17 @@ class DelackTest : public ::testing::Test {
     cfg_.delayed_ack = true;
     cfg_.delack_timeout = sim::Time::milliseconds(200);
     sink_ = std::make_unique<TcpSink>(sim_, cfg_, 2, 0, "snk");
-    sink_->set_downstream([this](net::Packet p) { acks_.push_back(std::move(p)); });
+    sink_->set_downstream([this](net::PacketRef p) { acks_.push_back(std::move(p)); });
   }
 
   void data(std::int64_t seq) {
-    sink_->handle_packet(net::make_tcp_data(seq, 536, 40, 0, 2, sim_.now()));
+    sink_->handle_packet(net::make_tcp_data(sim_.packet_pool(), seq, 536, 40, 0, 2, sim_.now()));
   }
 
   sim::Simulator sim_;
   TcpConfig cfg_;
   std::unique_ptr<TcpSink> sink_;
-  std::vector<net::Packet> acks_;
+  std::vector<net::PacketRef> acks_;
 };
 
 TEST_F(DelackTest, EverySecondSegmentAcked) {
@@ -38,12 +38,12 @@ TEST_F(DelackTest, EverySecondSegmentAcked) {
   EXPECT_TRUE(acks_.empty());  // first in-order segment: delayed
   data(1);
   ASSERT_EQ(acks_.size(), 1u);  // second: immediate cumulative ACK
-  EXPECT_EQ(acks_[0].tcp->ack, 2);
+  EXPECT_EQ(acks_[0]->tcp->ack, 2);
   data(2);
   EXPECT_EQ(acks_.size(), 1u);
   data(3);
   ASSERT_EQ(acks_.size(), 2u);
-  EXPECT_EQ(acks_[1].tcp->ack, 4);
+  EXPECT_EQ(acks_[1]->tcp->ack, 4);
   EXPECT_EQ(sink_->stats().acks_delayed, 2u);
 }
 
@@ -52,7 +52,7 @@ TEST_F(DelackTest, TimerFlushesLoneSegment) {
   EXPECT_TRUE(acks_.empty());
   sim_.run();  // delack timer fires at 200 ms
   ASSERT_EQ(acks_.size(), 1u);
-  EXPECT_EQ(acks_[0].tcp->ack, 1);
+  EXPECT_EQ(acks_[0]->tcp->ack, 1);
   EXPECT_EQ(sim_.now(), sim::Time::milliseconds(200));
 }
 
@@ -62,7 +62,7 @@ TEST_F(DelackTest, OutOfOrderAckedImmediately) {
   ASSERT_EQ(acks_.size(), 1u);
   data(3);  // hole at 2: dupack NOW
   ASSERT_EQ(acks_.size(), 2u);
-  EXPECT_EQ(acks_[1].tcp->ack, 2);
+  EXPECT_EQ(acks_[1]->tcp->ack, 2);
   data(4);  // still out of order: another immediate dupack
   ASSERT_EQ(acks_.size(), 3u);
 }
@@ -74,7 +74,7 @@ TEST_F(DelackTest, HoleFillAckedImmediately) {
   data(2);  // fills the hole: buffered data exists during processing ->
             // immediate ACK covering everything
   ASSERT_EQ(acks_.size(), 3u);
-  EXPECT_EQ(acks_.back().tcp->ack, 4);
+  EXPECT_EQ(acks_.back()->tcp->ack, 4);
 }
 
 TEST_F(DelackTest, DuplicateAckedImmediately) {
@@ -82,14 +82,14 @@ TEST_F(DelackTest, DuplicateAckedImmediately) {
   data(1);
   data(1);  // duplicate
   ASSERT_EQ(acks_.size(), 2u);
-  EXPECT_EQ(acks_.back().tcp->ack, 2);
+  EXPECT_EQ(acks_.back()->tcp->ack, 2);
 }
 
 TEST_F(DelackTest, FinalSegmentAckedImmediately) {
   for (std::int64_t s = 0; s < 20; ++s) data(s);
   // 20 segments: acks at every 2nd + final flush; the last data arrival
   // completes the transfer and must be acked without waiting.
-  EXPECT_EQ(acks_.back().tcp->ack, 20);
+  EXPECT_EQ(acks_.back()->tcp->ack, 20);
   EXPECT_TRUE(sink_->stats().completed);
   EXPECT_TRUE(acks_.size() >= 10u);
 }
@@ -97,7 +97,7 @@ TEST_F(DelackTest, FinalSegmentAckedImmediately) {
 TEST_F(DelackTest, DisabledModeAcksEverySegment) {
   cfg_.delayed_ack = false;
   sink_ = std::make_unique<TcpSink>(sim_, cfg_, 2, 0, "snk");
-  sink_->set_downstream([this](net::Packet p) { acks_.push_back(std::move(p)); });
+  sink_->set_downstream([this](net::PacketRef p) { acks_.push_back(std::move(p)); });
   acks_.clear();
   for (std::int64_t s = 0; s < 5; ++s) data(s);
   EXPECT_EQ(acks_.size(), 5u);

@@ -35,21 +35,21 @@ class HandshakeTest : public ::testing::Test {
  protected:
   void build(TcpConfig cfg) {
     sender_ = std::make_unique<TcpSender>(sim_, cfg, 0, 2, "src");
-    sender_->set_downstream([this](net::Packet p) { sent_.push_back(std::move(p)); });
+    sender_->set_downstream([this](net::PacketRef p) { sent_.push_back(std::move(p)); });
   }
 
   sim::Simulator sim_;
   std::unique_ptr<TcpSender> sender_;
-  std::vector<net::Packet> sent_;
+  std::vector<net::PacketRef> sent_;
 };
 
 TEST_F(HandshakeTest, StartSendsSynNotData) {
   build(hs_cfg());
   sender_->start();
   ASSERT_EQ(sent_.size(), 1u);
-  EXPECT_TRUE(sent_[0].tcp->syn);
-  EXPECT_EQ(sent_[0].tcp->payload, 0);
-  EXPECT_EQ(sent_[0].size_bytes, 40);
+  EXPECT_TRUE(sent_[0]->tcp->syn);
+  EXPECT_EQ(sent_[0]->tcp->payload, 0);
+  EXPECT_EQ(sent_[0]->size_bytes, 40);
   EXPECT_EQ(sender_->conn_state(), ConnState::kSynSent);
 }
 
@@ -57,14 +57,14 @@ TEST_F(HandshakeTest, SynAckEstablishesAndStartsDataWithRttSample) {
   build(hs_cfg());
   sender_->start();
   sim_.scheduler().run_until(sim::Time::milliseconds(300));
-  net::Packet synack = net::make_tcp_ack(0, 40, 2, 0, sim_.now());
-  synack.tcp->syn = true;
-  sender_->handle_packet(synack);
+  net::PacketRef synack = net::make_tcp_ack(sim_.packet_pool(), 0, 40, 2, 0, sim_.now());
+  synack->tcp->syn = true;
+  sender_->handle_packet(std::move(synack));
   EXPECT_EQ(sender_->conn_state(), ConnState::kEstablished);
   EXPECT_EQ(sender_->stats().rtt_samples, 1u);
   ASSERT_EQ(sent_.size(), 2u);  // SYN + first data segment (cwnd 1)
-  EXPECT_FALSE(sent_[1].tcp->syn);
-  EXPECT_EQ(sent_[1].tcp->seq, 0);
+  EXPECT_FALSE(sent_[1]->tcp->syn);
+  EXPECT_EQ(sent_[1]->tcp->seq, 0);
 }
 
 TEST_F(HandshakeTest, SynRetransmittedOnTimeoutWithBackoff) {
@@ -73,11 +73,11 @@ TEST_F(HandshakeTest, SynRetransmittedOnTimeoutWithBackoff) {
   sim_.run(sim::Time::seconds(4));  // initial RTO 1 s, doubling
   EXPECT_GE(sender_->stats().syn_sent, 3u);
   EXPECT_EQ(sender_->conn_state(), ConnState::kSynSent);
-  for (const auto& p : sent_) EXPECT_TRUE(p.tcp->syn);
+  for (const auto& p : sent_) EXPECT_TRUE(p->tcp->syn);
   // A late SYN-ACK after retransmissions yields no RTT sample (Karn).
-  net::Packet synack = net::make_tcp_ack(0, 40, 2, 0, sim_.now());
-  synack.tcp->syn = true;
-  sender_->handle_packet(synack);
+  net::PacketRef synack = net::make_tcp_ack(sim_.packet_pool(), 0, 40, 2, 0, sim_.now());
+  synack->tcp->syn = true;
+  sender_->handle_packet(std::move(synack));
   EXPECT_EQ(sender_->stats().rtt_samples, 0u);
   EXPECT_EQ(sender_->rto_estimator().backoff_shift(), 0);
 }
@@ -85,7 +85,7 @@ TEST_F(HandshakeTest, SynRetransmittedOnTimeoutWithBackoff) {
 TEST_F(HandshakeTest, NormalAcksIgnoredWhileSynSent) {
   build(hs_cfg());
   sender_->start();
-  sender_->handle_packet(net::make_tcp_ack(1, 40, 2, 0, sim_.now()));
+  sender_->handle_packet(net::make_tcp_ack(sim_.packet_pool(), 1, 40, 2, 0, sim_.now()));
   EXPECT_EQ(sender_->conn_state(), ConnState::kSynSent);
   EXPECT_EQ(sent_.size(), 1u);
 }
@@ -96,46 +96,47 @@ class SinkHandshakeTest : public ::testing::Test {
   SinkHandshakeTest() {
     cfg_ = hs_cfg();
     sink_ = std::make_unique<TcpSink>(sim_, cfg_, 2, 0, "snk");
-    sink_->set_downstream([this](net::Packet p) { acks_.push_back(std::move(p)); });
+    sink_->set_downstream([this](net::PacketRef p) { acks_.push_back(std::move(p)); });
   }
 
   sim::Simulator sim_;
   TcpConfig cfg_;
   std::unique_ptr<TcpSink> sink_;
-  std::vector<net::Packet> acks_;
+  std::vector<net::PacketRef> acks_;
 };
 
 TEST_F(SinkHandshakeTest, SynGetsSynAck) {
-  net::Packet syn;
-  syn.type = net::PacketType::kTcpData;
-  syn.size_bytes = 40;
-  syn.tcp = net::TcpHeader{.seq = -1, .payload = 0, .syn = true};
-  sink_->handle_packet(syn);
-  sink_->handle_packet(syn);  // duplicate SYN re-acked
+  net::PacketRef syn = sim_.packet_pool().acquire();
+  syn->type = net::PacketType::kTcpData;
+  syn->size_bytes = 40;
+  syn->tcp = net::TcpHeader{.seq = -1, .payload = 0, .syn = true};
+  sink_->handle_packet(syn.share());
+  sink_->handle_packet(std::move(syn));  // duplicate SYN re-acked
   ASSERT_EQ(acks_.size(), 2u);
-  EXPECT_TRUE(acks_[0].tcp->syn);
-  EXPECT_EQ(acks_[0].tcp->ack, 0);
+  EXPECT_TRUE(acks_[0]->tcp->syn);
+  EXPECT_EQ(acks_[0]->tcp->ack, 0);
   EXPECT_EQ(sink_->stats().syns_received, 2u);
   EXPECT_EQ(sink_->stats().segments_received, 0u);  // no data counted
 }
 
 TEST_F(SinkHandshakeTest, FinAckedOnlyAfterAllData) {
-  net::Packet fin;
-  fin.type = net::PacketType::kTcpData;
-  fin.size_bytes = 40;
-  fin.tcp = net::TcpHeader{.seq = 20, .payload = 0, .fin = true};
+  net::PacketRef fin = sim_.packet_pool().acquire();
+  fin->type = net::PacketType::kTcpData;
+  fin->size_bytes = 40;
+  fin->tcp = net::TcpHeader{.seq = 20, .payload = 0, .fin = true};
   // FIN before data: degenerates to a plain (dup)ack.
-  sink_->handle_packet(fin);
+  sink_->handle_packet(fin.share());
   ASSERT_EQ(acks_.size(), 1u);
-  EXPECT_FALSE(acks_[0].tcp->fin);
-  EXPECT_EQ(acks_[0].tcp->ack, 0);
+  EXPECT_FALSE(acks_[0]->tcp->fin);
+  EXPECT_EQ(acks_[0]->tcp->ack, 0);
   // Deliver everything, then FIN.
   for (std::int64_t s = 0; s < 20; ++s) {
-    sink_->handle_packet(net::make_tcp_data(s, 536, 40, 0, 2, sim_.now()));
+    sink_->handle_packet(
+        net::make_tcp_data(sim_.packet_pool(), s, 536, 40, 0, 2, sim_.now()));
   }
-  sink_->handle_packet(fin);
-  EXPECT_TRUE(acks_.back().tcp->fin);
-  EXPECT_EQ(acks_.back().tcp->ack, 21);
+  sink_->handle_packet(std::move(fin));
+  EXPECT_TRUE(acks_.back()->tcp->fin);
+  EXPECT_EQ(acks_.back()->tcp->ack, 21);
   EXPECT_EQ(sink_->stats().fins_received, 1u);
 }
 
@@ -146,12 +147,12 @@ TEST(HandshakeLoop, FullLifecycle) {
   TcpSender sender(sim, cfg, 0, 2, "src");
   TcpSink sink(sim, cfg, 2, 0, "snk");
   const sim::Time delay = sim::Time::milliseconds(50);
-  sender.set_downstream([&](net::Packet p) {
+  sender.set_downstream([&](net::PacketRef p) {
     sim.after(delay, [&sink, p = std::move(p)]() mutable {
       sink.handle_packet(std::move(p));
     });
   });
-  sink.set_downstream([&](net::Packet p) {
+  sink.set_downstream([&](net::PacketRef p) {
     sim.after(delay, [&sender, p = std::move(p)]() mutable {
       sender.handle_packet(std::move(p));
     });
@@ -173,12 +174,12 @@ TEST(HandshakeLoop, LostSynAndFinStillComplete) {
   TcpSender sender(sim, cfg, 0, 2, "src");
   TcpSink sink(sim, cfg, 2, 0, "snk");
   int syn_drops = 1, fin_drops = 1;
-  sender.set_downstream([&](net::Packet p) {
-    if (p.tcp->syn && syn_drops > 0) {
+  sender.set_downstream([&](net::PacketRef p) {
+    if (p->tcp->syn && syn_drops > 0) {
       --syn_drops;
       return;
     }
-    if (p.tcp->fin && fin_drops > 0) {
+    if (p->tcp->fin && fin_drops > 0) {
       --fin_drops;
       return;
     }
@@ -186,7 +187,7 @@ TEST(HandshakeLoop, LostSynAndFinStillComplete) {
       sink.handle_packet(std::move(p));
     });
   });
-  sink.set_downstream([&](net::Packet p) {
+  sink.set_downstream([&](net::PacketRef p) {
     sim.after(sim::Time::milliseconds(50), [&sender, p = std::move(p)]() mutable {
       sender.handle_packet(std::move(p));
     });

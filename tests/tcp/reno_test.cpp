@@ -28,15 +28,15 @@ class RenoTest : public ::testing::Test {
  protected:
   void build(TcpConfig cfg) {
     sender_ = std::make_unique<TcpSender>(sim_, cfg, 0, 2, "src");
-    sender_->set_downstream([this](net::Packet p) { sent_.push_back(std::move(p)); });
+    sender_->set_downstream([this](net::PacketRef p) { sent_.push_back(std::move(p)); });
   }
   void ack(std::int64_t next_expected) {
-    sender_->handle_packet(net::make_tcp_ack(next_expected, 40, 2, 0, sim_.now()));
+    sender_->handle_packet(net::make_tcp_ack(sim_.packet_pool(), next_expected, 40, 2, 0, sim_.now()));
   }
 
   sim::Simulator sim_;
   std::unique_ptr<TcpSender> sender_;
-  std::vector<net::Packet> sent_;
+  std::vector<net::PacketRef> sent_;
 };
 
 TEST(TcpFlavor, Names) {
@@ -57,8 +57,8 @@ TEST_F(RenoTest, FastRetransmitEntersFastRecovery) {
   EXPECT_DOUBLE_EQ(sender_->ssthresh(), 4.0);
   EXPECT_DOUBLE_EQ(sender_->cwnd(), 7.0);
   // The hole was retransmitted...
-  EXPECT_TRUE(sent_.back().tcp->retransmit);
-  EXPECT_EQ(sent_.back().tcp->seq, next);
+  EXPECT_TRUE(sent_.back()->tcp->retransmit);
+  EXPECT_EQ(sent_.back()->tcp->seq, next);
   // ...and snd_nxt was NOT pulled back (no go-back-N).
   EXPECT_GT(sender_->snd_nxt(), sender_->snd_una());
 }
@@ -76,7 +76,7 @@ TEST_F(RenoTest, WindowInflationSendsNewDataPerExtraDupack) {
   EXPECT_GT(sender_->snd_nxt(), nxt_before);
   EXPECT_GT(sent_.size(), before);
   for (std::size_t i = before; i < sent_.size(); ++i) {
-    EXPECT_FALSE(sent_[i].tcp->retransmit);  // new data, not retransmissions
+    EXPECT_FALSE(sent_[i]->tcp->retransmit);  // new data, not retransmissions
   }
 }
 
@@ -147,14 +147,14 @@ TEST_F(RenoTest, NewRenoStaysInRecoveryAcrossPartialAcks) {
   EXPECT_TRUE(sender_->in_fast_recovery());
   // NewReno immediately retransmits the next hole (seq 9).
   ASSERT_EQ(sent_.size(), before + 1);
-  EXPECT_EQ(sent_.back().tcp->seq, 9);
-  EXPECT_TRUE(sent_.back().tcp->retransmit);
+  EXPECT_EQ(sent_.back()->tcp->seq, 9);
+  EXPECT_TRUE(sent_.back()->tcp->retransmit);
   EXPECT_EQ(sender_->snd_una(), 9);
 
   // Another partial ACK: hole at 12.
   ack(12);
   EXPECT_TRUE(sender_->in_fast_recovery());
-  EXPECT_EQ(sent_.back().tcp->seq, 12);
+  EXPECT_EQ(sent_.back()->tcp->seq, 12);
 
   // Full ACK past `recover` (14 was the highest sent at loss): exit.
   ack(15);
@@ -183,13 +183,13 @@ TEST_F(RenoTest, NewRenoClosedLoopMultiLossAvoidsTimeout) {
   auto sink = std::make_unique<TcpSink>(sim_, cfg, 2, 0, "snk");
   build(cfg);
   std::set<std::int64_t> drops{30, 32, 34};  // three losses in one window
-  sender_->set_downstream([&, this](net::Packet p) {
-    if (!p.tcp->retransmit && drops.contains(p.tcp->seq)) return;
+  sender_->set_downstream([&, this](net::PacketRef p) {
+    if (!p->tcp->retransmit && drops.contains(p->tcp->seq)) return;
     sim_.after(sim::Time::milliseconds(50), [&, p = std::move(p)]() mutable {
       sink->handle_packet(std::move(p));
     });
   });
-  sink->set_downstream([this](net::Packet p) {
+  sink->set_downstream([this](net::PacketRef p) {
     sim_.after(sim::Time::milliseconds(50), [this, p = std::move(p)]() mutable {
       sender_->handle_packet(std::move(p));
     });
@@ -209,13 +209,13 @@ TEST_F(RenoTest, ClosedLoopSingleLossKeepsPipeFull) {
   auto sink = std::make_unique<TcpSink>(sim_, cfg, 2, 0, "snk");
   build(cfg);
   std::set<std::int64_t> drops{30};
-  sender_->set_downstream([&, this](net::Packet p) {
-    if (!p.tcp->retransmit && drops.contains(p.tcp->seq)) return;
+  sender_->set_downstream([&, this](net::PacketRef p) {
+    if (!p->tcp->retransmit && drops.contains(p->tcp->seq)) return;
     sim_.after(sim::Time::milliseconds(50), [&, p = std::move(p)]() mutable {
       sink->handle_packet(std::move(p));
     });
   });
-  sink->set_downstream([this](net::Packet p) {
+  sink->set_downstream([this](net::PacketRef p) {
     sim_.after(sim::Time::milliseconds(50), [this, p = std::move(p)]() mutable {
       sender_->handle_packet(std::move(p));
     });

@@ -33,22 +33,22 @@ class SackSinkTest : public ::testing::Test {
   SackSinkTest() {
     cfg_ = sack_cfg();
     sink_ = std::make_unique<TcpSink>(sim_, cfg_, 2, 0, "snk");
-    sink_->set_downstream([this](net::Packet p) { acks_.push_back(std::move(p)); });
+    sink_->set_downstream([this](net::PacketRef p) { acks_.push_back(std::move(p)); });
   }
   void data(std::int64_t seq) {
-    sink_->handle_packet(net::make_tcp_data(seq, 536, 40, 0, 2, sim_.now()));
+    sink_->handle_packet(net::make_tcp_data(sim_.packet_pool(), seq, 536, 40, 0, 2, sim_.now()));
   }
 
   sim::Simulator sim_;
   TcpConfig cfg_;
   std::unique_ptr<TcpSink> sink_;
-  std::vector<net::Packet> acks_;
+  std::vector<net::PacketRef> acks_;
 };
 
 TEST_F(SackSinkTest, InOrderAcksCarryNoBlocks) {
   data(0);
   data(1);
-  EXPECT_FALSE(acks_.back().tcp->has_sack());
+  EXPECT_FALSE(acks_.back()->tcp->has_sack());
 }
 
 TEST_F(SackSinkTest, DupacksCarryBufferedRuns) {
@@ -56,7 +56,7 @@ TEST_F(SackSinkTest, DupacksCarryBufferedRuns) {
   data(2);
   data(3);
   data(5);
-  const net::TcpHeader& h = *acks_.back().tcp;
+  const net::TcpHeader& h = *acks_.back()->tcp;
   EXPECT_EQ(h.ack, 1);
   ASSERT_TRUE(h.has_sack());
   EXPECT_EQ(h.sack[0].begin, 2);
@@ -71,7 +71,7 @@ TEST_F(SackSinkTest, AtMostThreeBlocks) {
   data(4);
   data(6);
   data(8);  // four runs; only three fit
-  const net::TcpHeader& h = *acks_.back().tcp;
+  const net::TcpHeader& h = *acks_.back()->tcp;
   EXPECT_FALSE(h.sack[2].empty());
   EXPECT_EQ(h.sack[2].begin, 6);
 }
@@ -79,9 +79,9 @@ TEST_F(SackSinkTest, AtMostThreeBlocks) {
 TEST_F(SackSinkTest, DisabledMeansNoBlocks) {
   cfg_.sack_enabled = false;
   sink_ = std::make_unique<TcpSink>(sim_, cfg_, 2, 0, "snk");
-  sink_->set_downstream([this](net::Packet p) { acks_.push_back(std::move(p)); });
+  sink_->set_downstream([this](net::PacketRef p) { acks_.push_back(std::move(p)); });
   data(3);
-  EXPECT_FALSE(acks_.back().tcp->has_sack());
+  EXPECT_FALSE(acks_.back()->tcp->has_sack());
 }
 
 // ---------------------------------------------------------------------------
@@ -92,19 +92,19 @@ class SackSenderTest : public ::testing::Test {
  protected:
   void build(TcpConfig cfg) {
     sender_ = std::make_unique<TcpSender>(sim_, cfg, 0, 2, "src");
-    sender_->set_downstream([this](net::Packet p) { sent_.push_back(std::move(p)); });
+    sender_->set_downstream([this](net::PacketRef p) { sent_.push_back(std::move(p)); });
   }
   void ack(std::int64_t a, std::vector<net::SackBlock> blocks = {}) {
-    net::Packet p = net::make_tcp_ack(a, 40, 2, 0, sim_.now());
+    net::PacketRef p = net::make_tcp_ack(sim_.packet_pool(), a, 40, 2, 0, sim_.now());
     for (std::size_t i = 0; i < blocks.size() && i < 3; ++i) {
-      p.tcp->sack[i] = blocks[i];
+      p->tcp->sack[i] = blocks[i];
     }
-    sender_->handle_packet(p);
+    sender_->handle_packet(std::move(p));
   }
 
   sim::Simulator sim_;
   std::unique_ptr<TcpSender> sender_;
-  std::vector<net::Packet> sent_;
+  std::vector<net::PacketRef> sent_;
 };
 
 TEST_F(SackSenderTest, ScoreboardTracksBlocks) {
@@ -128,15 +128,15 @@ TEST_F(SackSenderTest, RecoveryRetransmitsHolesNotSackedData) {
   ack(7, {{8, 9}, {10, 13}});
   ack(7, {{8, 9}, {10, 14}});  // third dupack -> fast retransmit of 7
   ASSERT_TRUE(sender_->in_fast_recovery());
-  EXPECT_EQ(sent_.back().tcp->seq, 7);
+  EXPECT_EQ(sent_.back()->tcp->seq, 7);
   // Further dupacks: the next hole is 9 (8 is SACKed), never 8.
   ack(7, {{8, 9}, {10, 14}});
-  EXPECT_EQ(sent_.back().tcp->seq, 9);
-  EXPECT_TRUE(sent_.back().tcp->retransmit);
+  EXPECT_EQ(sent_.back()->tcp->seq, 9);
+  EXPECT_TRUE(sent_.back()->tcp->retransmit);
   // More dupacks: no holes left below recover -> new data, not rtx.
   ack(7, {{8, 9}, {10, 14}});
   ack(7, {{8, 9}, {10, 14}});
-  EXPECT_FALSE(sent_.back().tcp->retransmit);
+  EXPECT_FALSE(sent_.back()->tcp->retransmit);
 }
 
 TEST_F(SackSenderTest, GoBackNSkipsSackedSegments) {
@@ -154,13 +154,13 @@ TEST_F(SackSenderTest, GoBackNSkipsSackedSegments) {
   ASSERT_EQ(sender_->stats().timeouts, 1u);
   // Go-back-N must retransmit ONLY segment 7; 8..14 are SACKed.
   ASSERT_EQ(sent_.size(), before + 1);
-  EXPECT_TRUE(sent_.back().tcp->retransmit);
-  EXPECT_EQ(sent_.back().tcp->seq, 7);
+  EXPECT_TRUE(sent_.back()->tcp->retransmit);
+  EXPECT_EQ(sent_.back()->tcp->seq, 7);
   // The retransmission fills the hole; the cumulative ACK releases new
   // data and nothing from 8..14 is ever resent.
   ack(15);
   for (const auto& p : sent_) {
-    if (p.tcp->retransmit) EXPECT_EQ(p.tcp->seq, 7);
+    if (p->tcp->retransmit) EXPECT_EQ(p->tcp->seq, 7);
   }
   EXPECT_GT(sender_->snd_nxt(), 15);
 }
@@ -176,13 +176,13 @@ std::uint64_t run_loop(bool sack, TcpFlavor flavor) {
   TcpSender sender(sim, cfg, 0, 2, "src");
   TcpSink sink(sim, cfg, 2, 0, "snk");
   const std::set<std::int64_t> drops{30, 33, 36, 60, 63, 80};
-  sender.set_downstream([&](net::Packet p) {
-    if (!p.tcp->retransmit && drops.contains(p.tcp->seq)) return;
+  sender.set_downstream([&](net::PacketRef p) {
+    if (!p->tcp->retransmit && drops.contains(p->tcp->seq)) return;
     sim.after(sim::Time::milliseconds(50), [&sink, p = std::move(p)]() mutable {
       sink.handle_packet(std::move(p));
     });
   });
-  sink.set_downstream([&](net::Packet p) {
+  sink.set_downstream([&](net::PacketRef p) {
     sim.after(sim::Time::milliseconds(50), [&sender, p = std::move(p)]() mutable {
       sender.handle_packet(std::move(p));
     });

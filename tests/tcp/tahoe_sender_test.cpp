@@ -31,26 +31,26 @@ class TahoeTest : public ::testing::Test {
   void build(TcpConfig cfg) {
     cfg_ = cfg;
     sender_ = std::make_unique<TahoeSender>(sim_, cfg, 0, 2, "src");
-    sender_->set_downstream([this](net::Packet p) { sent_.push_back(std::move(p)); });
+    sender_->set_downstream([this](net::PacketRef p) { sent_.push_back(std::move(p)); });
     sender_->set_trace(&trace_);
   }
 
   void ack(std::int64_t next_expected) {
-    sender_->handle_packet(net::make_tcp_ack(next_expected, 40, 2, 0, sim_.now()));
+    sender_->handle_packet(net::make_tcp_ack(sim_.packet_pool(), next_expected, 40, 2, 0, sim_.now()));
   }
   void ebsn() {
-    sender_->handle_packet(
-        net::make_control(net::PacketType::kEbsn, 40, 1, 0, sim_.now()));
+    sender_->handle_packet(net::make_control(
+        sim_.packet_pool(), net::PacketType::kEbsn, 40, 1, 0, sim_.now()));
   }
   void quench() {
-    sender_->handle_packet(
-        net::make_control(net::PacketType::kSourceQuench, 40, 1, 0, sim_.now()));
+    sender_->handle_packet(net::make_control(
+        sim_.packet_pool(), net::PacketType::kSourceQuench, 40, 1, 0, sim_.now()));
   }
 
   sim::Simulator sim_;
   TcpConfig cfg_;
   std::unique_ptr<TahoeSender> sender_;
-  std::vector<net::Packet> sent_;
+  std::vector<net::PacketRef> sent_;
   stats::ConnectionTrace trace_;
 };
 
@@ -58,8 +58,8 @@ TEST_F(TahoeTest, SlowStartBeginsWithOneSegment) {
   build(small_cfg());
   sender_->start();
   ASSERT_EQ(sent_.size(), 1u);
-  EXPECT_EQ(sent_[0].tcp->seq, 0);
-  EXPECT_EQ(sent_[0].size_bytes, 576);
+  EXPECT_EQ(sent_[0]->tcp->seq, 0);
+  EXPECT_EQ(sent_[0]->size_bytes, 576);
   EXPECT_DOUBLE_EQ(sender_->cwnd(), 1.0);
 }
 
@@ -116,8 +116,8 @@ TEST_F(TahoeTest, TimeoutTriggersSlowStartAndBackoff) {
   EXPECT_DOUBLE_EQ(sender_->cwnd(), 1.0);
   // The retransmission is the oldest unacked segment.
   ASSERT_GT(sent_.size(), sent_before);
-  EXPECT_EQ(sent_[sent_before].tcp->seq, 2);
-  EXPECT_TRUE(sent_[sent_before].tcp->retransmit);
+  EXPECT_EQ(sent_[sent_before]->tcp->seq, 2);
+  EXPECT_TRUE(sent_[sent_before]->tcp->retransmit);
   EXPECT_GT(sender_->rto_estimator().backoff_shift(), 0);
 }
 
@@ -148,8 +148,8 @@ TEST_F(TahoeTest, FastRetransmitOnThreeDupacks) {
   EXPECT_EQ(sent_.size(), before);
   ack(2);  // dup 3 -> fast retransmit
   ASSERT_EQ(sent_.size(), before + 1);
-  EXPECT_EQ(sent_[before].tcp->seq, 2);
-  EXPECT_TRUE(sent_[before].tcp->retransmit);
+  EXPECT_EQ(sent_[before]->tcp->seq, 2);
+  EXPECT_TRUE(sent_[before]->tcp->retransmit);
   EXPECT_EQ(sender_->stats().fast_retransmits, 1u);
   EXPECT_DOUBLE_EQ(sender_->cwnd(), 1.0);
 }
@@ -199,7 +199,7 @@ TEST_F(TahoeTest, LastSegmentMayBePartial) {
   std::int64_t next = 0;
   while (next < 4) ack(++next);
   ASSERT_EQ(sent_.size(), 4u);
-  EXPECT_EQ(sent_[3].tcp->payload, 100);
+  EXPECT_EQ(sent_[3]->tcp->payload, 100);
   EXPECT_EQ(sender_->stats().payload_bytes_sent, cfg.file_bytes);
 }
 
@@ -297,9 +297,9 @@ TEST_F(TahoeTest, ConnectionIdStampsEveryDataPacket) {
   sender_->start();
   ack(1);
   ack(2);
-  for (const net::Packet& p : sent_) {
-    ASSERT_TRUE(p.tcp.has_value());
-    EXPECT_EQ(p.tcp->conn, 7u);
+  for (const net::PacketRef& p : sent_) {
+    ASSERT_TRUE(p->tcp.has_value());
+    EXPECT_EQ(p->tcp->conn, 7u);
   }
 }
 
@@ -323,14 +323,14 @@ class LoopTest : public ::testing::Test {
     sender_ = std::make_unique<TahoeSender>(sim_, cfg, 0, 2, "src");
     sink_ = std::make_unique<TcpSink>(sim_, cfg, 2, 0, "snk");
     drops_ = std::move(drop_first_tx);
-    sender_->set_downstream([this](net::Packet p) {
-      const std::int64_t seq = p.tcp->seq;
-      if (!p.tcp->retransmit && drops_.contains(seq)) return;  // lose first tx
+    sender_->set_downstream([this](net::PacketRef p) {
+      const std::int64_t seq = p->tcp->seq;
+      if (!p->tcp->retransmit && drops_.contains(seq)) return;  // lose first tx
       sim_.after(delay_, [this, p = std::move(p)]() mutable {
         sink_->handle_packet(std::move(p));
       });
     });
-    sink_->set_downstream([this](net::Packet p) {
+    sink_->set_downstream([this](net::PacketRef p) {
       sim_.after(delay_, [this, p = std::move(p)]() mutable {
         sender_->handle_packet(std::move(p));
       });

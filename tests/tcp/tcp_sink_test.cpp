@@ -17,18 +17,18 @@ class SinkTest : public ::testing::Test {
     cfg_.header_bytes = 40;
     cfg_.file_bytes = 10 * 536;
     sink_ = std::make_unique<TcpSink>(sim_, cfg_, 2, 0, "snk");
-    sink_->set_downstream([this](net::Packet p) { acks_.push_back(std::move(p)); });
+    sink_->set_downstream([this](net::PacketRef p) { acks_.push_back(std::move(p)); });
   }
 
   void data(std::int64_t seq, std::int32_t payload = 536) {
-    sink_->handle_packet(net::make_tcp_data(seq, payload, 40, 0, 2, sim_.now()));
+    sink_->handle_packet(net::make_tcp_data(sim_.packet_pool(), seq, payload, 40, 0, 2, sim_.now()));
   }
-  std::int64_t last_ack() const { return acks_.back().tcp->ack; }
+  std::int64_t last_ack() const { return acks_.back()->tcp->ack; }
 
   sim::Simulator sim_;
   TcpConfig cfg_;
   std::unique_ptr<TcpSink> sink_;
-  std::vector<net::Packet> acks_;
+  std::vector<net::PacketRef> acks_;
 };
 
 TEST_F(SinkTest, AcksEveryInOrderSegmentCumulatively) {
@@ -102,7 +102,7 @@ TEST_F(SinkTest, FirstDataTimeRecorded) {
 }
 
 TEST_F(SinkTest, NonDataPacketsIgnored) {
-  sink_->handle_packet(net::make_control(net::PacketType::kEbsn, 40, 1, 2, sim_.now()));
+  sink_->handle_packet(net::make_control(sim_.packet_pool(), net::PacketType::kEbsn, 40, 1, 2, sim_.now()));
   EXPECT_TRUE(acks_.empty());
   EXPECT_EQ(sink_->stats().segments_received, 0u);
 }
@@ -111,7 +111,7 @@ TEST_F(SinkTest, PartialFinalSegment) {
   // 9 full segments + trailing 100 bytes.
   cfg_.file_bytes = 9 * 536 + 100;
   sink_ = std::make_unique<TcpSink>(sim_, cfg_, 2, 0, "snk");
-  sink_->set_downstream([this](net::Packet p) { acks_.push_back(std::move(p)); });
+  sink_->set_downstream([this](net::PacketRef p) { acks_.push_back(std::move(p)); });
   for (std::int64_t s = 0; s < 9; ++s) data(s);
   EXPECT_FALSE(sink_->stats().completed);
   data(9, 100);
@@ -122,10 +122,10 @@ TEST_F(SinkTest, PartialFinalSegment) {
 TEST_F(SinkTest, AcksCarryConnectionId) {
   cfg_.conn = 9;
   sink_ = std::make_unique<TcpSink>(sim_, cfg_, 2, 0, "snk");
-  sink_->set_downstream([this](net::Packet p) { acks_.push_back(std::move(p)); });
+  sink_->set_downstream([this](net::PacketRef p) { acks_.push_back(std::move(p)); });
   data(0);
   ASSERT_EQ(acks_.size(), 1u);
-  EXPECT_EQ(acks_[0].tcp->conn, 9u);
+  EXPECT_EQ(acks_[0]->tcp->conn, 9u);
 }
 
 TEST_F(SinkTest, ForcedDupacksRepeatCurrentPosition) {
@@ -135,7 +135,7 @@ TEST_F(SinkTest, ForcedDupacksRepeatCurrentPosition) {
   sink_->force_duplicate_acks(3);
   ASSERT_EQ(acks_.size(), before + 3);
   for (std::size_t i = before; i < acks_.size(); ++i) {
-    EXPECT_EQ(acks_[i].tcp->ack, 2);
+    EXPECT_EQ(acks_[i]->tcp->ack, 2);
   }
 }
 

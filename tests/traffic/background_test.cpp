@@ -13,14 +13,14 @@ namespace {
 class OnOffTest : public ::testing::Test {
  protected:
   void build(OnOffConfig cfg) {
-    src_ = std::make_unique<OnOffSource>(sim_, cfg, 0, 1, [this](net::Packet p) {
+    src_ = std::make_unique<OnOffSource>(sim_, cfg, 0, 1, [this](net::PacketRef p) {
       sent_.push_back(std::move(p));
     });
   }
 
   sim::Simulator sim_{1};
   std::unique_ptr<OnOffSource> src_;
-  std::vector<net::Packet> sent_;
+  std::vector<net::PacketRef> sent_;
 };
 
 TEST_F(OnOffTest, CbrRateIsExact) {
@@ -33,8 +33,8 @@ TEST_F(OnOffTest, CbrRateIsExact) {
   sim_.run(sim::Time::seconds(10));
   // t=0, 0.08, ..., <=10 s: 126 packets (0 through 125 inclusive).
   EXPECT_EQ(sent_.size(), 126u);
-  EXPECT_EQ(sent_[0].type, net::PacketType::kBackground);
-  EXPECT_EQ(sent_[0].size_bytes, 576);
+  EXPECT_EQ(sent_[0]->type, net::PacketType::kBackground);
+  EXPECT_EQ(sent_[0]->size_bytes, 576);
   EXPECT_DOUBLE_EQ(src_->offered_load_bps(), 57'600.0);
 }
 
@@ -84,8 +84,8 @@ TEST_F(OnOffTest, DeterministicPerSeed) {
   cfg.mean_off_s = 0.5;
   sim::Simulator a(9), b(9);
   std::size_t na = 0, nb = 0;
-  OnOffSource sa(a, cfg, 0, 1, [&](net::Packet) { ++na; });
-  OnOffSource sb(b, cfg, 0, 1, [&](net::Packet) { ++nb; });
+  OnOffSource sa(a, cfg, 0, 1, [&](net::PacketRef) { ++na; });
+  OnOffSource sb(b, cfg, 0, 1, [&](net::PacketRef) { ++nb; });
   sa.start();
   sb.start();
   a.run(sim::Time::seconds(100));
