@@ -43,7 +43,7 @@ int main() {
                 static_cast<double>(m.fast_retransmits);
           });
       double fast_rtx = 0;
-      for (const double v : rtx_by_seed) fast_rtx += v;
+      for (const double per_seed : rtx_by_seed) fast_rtx += per_seed;
       json.begin_row()
           .field("flavor", v.name)
           .field("scheme", scheme)

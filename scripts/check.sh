@@ -1,7 +1,16 @@
 #!/usr/bin/env bash
-# Full pre-merge check: release build + tests, an ASan/UBSan build + tests,
-# then a TSAN build running the parallel-engine tests (the only code that
-# spawns threads).  Usage: scripts/check.sh [extra ctest args...]
+# Full pre-merge check, five gates (see docs/static-analysis.md for the
+# static-analysis tiers):
+#
+#   0. lint                — clang-tidy (or strict-warning fallback) +
+#                            determinism lint (scripts/lint.sh)
+#   1. release build + full tests
+#   2. ASan/UBSan build    — fail-fast datapath/pool suites, then full tests
+#   3. TSan build          — parallel-engine suites (the only threaded code)
+#   4. WTCP_AUDIT build    — full tests with every wtcp::audit protocol/
+#                            datapath invariant armed
+#
+# Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,6 +25,10 @@ run() {
 
 EXTRA_CTEST_ARGS=("$@")
 
+echo "=== lint: clang-tidy + determinism ==="
+scripts/lint.sh
+
+echo
 echo "=== release build + tests ==="
 run build
 
@@ -40,6 +53,14 @@ echo "=== thread-sanitizer build + parallel-engine tests ==="
 cmake -B build-tsan -S . -DWTCP_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug >/dev/null
 cmake --build build-tsan -j"$(nproc)"
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" -R 'Parallel'
+
+echo
+echo "=== audit build + full tests (WTCP_AUDIT=ON) ==="
+# Fourth verified tree: every wtcp::audit invariant (scheduler slot pool,
+# packet-pool accounting, ARQ RTmax, EBSN estimator purity, Tahoe
+# congestion state, Gilbert-Elliott sanity) armed and aborting on
+# violation, across the whole suite including the bitwise golden tests.
+run build-audit -DWTCP_AUDIT=ON -DCMAKE_BUILD_TYPE=Debug
 
 echo
 echo "all checks passed"

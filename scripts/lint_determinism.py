@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Tier-2 determinism lint (see docs/static-analysis.md).
+
+Every simulation run must be bit-reproducible across seeds and --jobs
+widths: all randomness flows from sim::Rng streams forked off the run's
+seed, and nothing may depend on wall-clock time or memory addresses.
+This lint bans the constructs that historically break that:
+
+  libc-rand          rand()/srand()/drand48() — unseeded/global-state RNG
+  random-device      std::random_device — hardware entropy, differs per run
+  wall-clock         time(...) — wall-clock time in simulation logic
+  system-clock       std::chrono::system_clock — wall-clock time
+  steady-clock       std::chrono::steady_clock — monotonic, but still
+                     host-dependent; only wall-time *profiling* may use it
+  unordered-container std::unordered_{map,set,...} — iteration order is
+                     hash/address dependent; any use must be justified as
+                     never iterated on an output- or schedule-affecting
+                     path
+  pointer-keyed-order std::map/std::set keyed by a pointer — ordered by
+                     address, i.e. by allocator behaviour
+
+Justified exceptions go in scripts/determinism_allowlist.txt, one per
+line:  `<rule-id> <repo-relative-path> <one-line justification>`.
+An allowlist entry that no longer matches anything is itself an error
+(stale allowlists hide regressions).
+
+Exit status: 0 clean, 1 violations or stale allowlist entries.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCAN_DIRS = ["src"]
+ALLOWLIST = REPO / "scripts" / "determinism_allowlist.txt"
+
+RULES: dict[str, re.Pattern[str]] = {
+    "libc-rand": re.compile(r"(?<![\w:])(?:s?rand|drand48|lrand48|random)\s*\(\s*\)"),
+    "random-device": re.compile(r"std\s*::\s*random_device"),
+    "wall-clock": re.compile(r"(?<![\w:.\"])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+    "system-clock": re.compile(r"std\s*::\s*chrono\s*::\s*system_clock"),
+    "steady-clock": re.compile(r"std\s*::\s*chrono\s*::\s*steady_clock"),
+    "unordered-container": re.compile(
+        r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\b"
+    ),
+    "pointer-keyed-order": re.compile(
+        r"std\s*::\s*(?:map|set)\s*<\s*(?:const\s+)?[\w:]+(?:\s*const)?\s*\*"
+    ),
+}
+
+# `#include <unordered_map>` etc. are only flagged through their uses, not
+# the include line — an include with zero uses is dead and clang-tidy /
+# IWYU territory, not a determinism hazard.
+INCLUDE_RE = re.compile(r"^\s*#\s*include\b")
+COMMENT_RE = re.compile(r"^\s*(?://|\*|/\*)")
+
+
+def load_allowlist() -> list[tuple[str, str, str]]:
+    entries = []
+    if not ALLOWLIST.exists():
+        return entries
+    for raw in ALLOWLIST.read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(maxsplit=2)
+        if len(parts) < 3:
+            print(
+                f"determinism-lint: malformed allowlist line (need "
+                f"'<rule> <path> <justification>'): {line!r}",
+                file=sys.stderr,
+            )
+            sys.exit(1)
+        entries.append((parts[0], parts[1], parts[2]))
+    return entries
+
+
+def main() -> int:
+    allow = load_allowlist()
+    allow_used = [False] * len(allow)
+    violations = []
+
+    files = sorted(
+        p
+        for d in SCAN_DIRS
+        for p in (REPO / d).rglob("*")
+        if p.suffix in {".hpp", ".cpp"}
+    )
+    for path in files:
+        rel = path.relative_to(REPO).as_posix()
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if INCLUDE_RE.match(line) or COMMENT_RE.match(line):
+                continue
+            code = line.split("//", 1)[0]
+            for rule, pattern in RULES.items():
+                if not pattern.search(code):
+                    continue
+                allowed = False
+                for i, (a_rule, a_path, _) in enumerate(allow):
+                    if a_rule == rule and a_path == rel:
+                        allow_used[i] = True
+                        allowed = True
+                if not allowed:
+                    violations.append((rel, lineno, rule, line.strip()))
+
+    status = 0
+    for rel, lineno, rule, text in violations:
+        print(f"{rel}:{lineno}: [{rule}] {text}", file=sys.stderr)
+        status = 1
+    for used, (a_rule, a_path, _) in zip(allow_used, allow):
+        if not used:
+            print(
+                f"determinism-lint: stale allowlist entry "
+                f"[{a_rule}] {a_path} matches nothing — remove it",
+                file=sys.stderr,
+            )
+            status = 1
+    if status == 0:
+        print(
+            f"determinism-lint: {len(files)} files clean "
+            f"({len(allow)} justified allowlist entries)"
+        )
+    else:
+        print(
+            "determinism-lint: violations found. Simulation logic must use "
+            "sim::Rng streams and sim::Time only; justified exceptions go "
+            "in scripts/determinism_allowlist.txt.",
+            file=sys.stderr,
+        )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+// Runtime for the WTCP_AUDIT invariant layer.  Compiles to nothing when
+// the audit build is off (the header's macros never reference it).
+#include "src/core/audit.hpp"
+
+#if defined(WTCP_AUDIT) && WTCP_AUDIT
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wtcp::audit {
+
+namespace {
+
+void default_handler(const char* component, const char* check_name,
+                     const char* detail) {
+  std::fprintf(stderr, "wtcp audit violation: %s.%s — %s\n", component,
+               check_name, detail);
+  std::fflush(stderr);
+  std::abort();
+}
+
+// All audit state is per-thread: the parallel runner's worker threads each
+// run independent seeds and must not contend (or trip TSan) on tallies.
+thread_local Handler g_handler = &default_handler;
+thread_local obs::Registry* g_registry = nullptr;
+thread_local obs::Counter* g_probe_checks = nullptr;
+thread_local obs::Counter* g_probe_violations = nullptr;
+thread_local std::uint64_t g_checks = 0;
+thread_local std::uint64_t g_violations = 0;
+
+}  // namespace
+
+Handler set_handler(Handler h) {
+  Handler prev = g_handler;
+  g_handler = h != nullptr ? h : &default_handler;
+  return prev;
+}
+
+void bind_probes(obs::Registry* registry) {
+  g_registry = registry;
+  g_probe_checks = registry ? registry->counter("audit.checks") : nullptr;
+  g_probe_violations =
+      registry ? registry->counter("audit.violations") : nullptr;
+  // Catch up checks performed before the registry was attached, so the
+  // exported counters reflect the whole run.
+  if (g_probe_checks) g_probe_checks->value = g_checks;
+  if (g_probe_violations) g_probe_violations->value = g_violations;
+}
+
+std::uint64_t checks() { return g_checks; }
+std::uint64_t violations() { return g_violations; }
+
+void reset_counts() {
+  g_checks = 0;
+  g_violations = 0;
+  if (g_probe_checks) g_probe_checks->value = 0;
+  if (g_probe_violations) g_probe_violations->value = 0;
+}
+
+void check(bool ok, const char* component, const char* check_name,
+           const char* detail) {
+  ++g_checks;
+  obs::add(g_probe_checks);
+  if (ok) return;
+  ++g_violations;
+  obs::add(g_probe_violations);
+  g_handler(component, check_name, detail);
+}
+
+}  // namespace wtcp::audit
+
+#endif  // WTCP_AUDIT

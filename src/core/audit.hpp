@@ -1,0 +1,151 @@
+// Compiled-in invariant audit layer (Tier 3 of the correctness tooling —
+// see docs/static-analysis.md).
+//
+// Protocol and datapath invariants — "ARQ discards after exactly RTmax
+// attempts", "EBSN never touches srtt/rttvar", "the scheduler slot pool
+// and heap agree" — are asserted WHERE THEY LIVE via the WTCP_AUDIT_*
+// macros below.  The layer has two modes:
+//
+//   * WTCP_AUDIT off (the default, and every release/golden build): every
+//     macro expands to `((void)0)`.  The condition expression is never
+//     evaluated, no code is generated, and the fig03-11 / run_seeds
+//     goldens are bitwise-identical to a tree without the macros.
+//
+//   * WTCP_AUDIT on (cmake -DWTCP_AUDIT=ON; check.sh builds this as its
+//     fourth verified tree): each check evaluates its condition, counts
+//     into thread-local checks/violations tallies, publishes
+//     `audit.checks` / `audit.violations` counters on the probe bus bound
+//     to the current thread (Simulator::set_probes binds it), and on
+//     violation invokes the installed handler — by default logging the
+//     failed invariant and aborting.  Tests install a capturing handler to
+//     prove each invariant fires on a corrupted fixture.
+//
+// Thread model: the parallel runner gives every seed its own thread and
+// its own Simulator; all audit state is thread_local, so concurrent seeds
+// never contend and the layer is TSan-clean by construction.
+//
+// Conditions must be side-effect free — they disappear in OFF builds.
+// The determinism lint (scripts/lint_determinism.py) and clang-tidy run
+// over the audited tree, so audit expressions are linted like any code.
+#pragma once
+
+#include <cstdint>
+
+#if defined(WTCP_AUDIT) && WTCP_AUDIT
+
+#include "src/obs/probe.hpp"
+
+namespace wtcp::audit {
+
+inline constexpr bool kEnabled = true;
+
+/// Invoked on every failed check.  `component` and `check` are string
+/// literals naming the invariant ("arq", "rtmax_bound"); `detail` is a
+/// human-readable expansion of the failed condition.
+using Handler = void (*)(const char* component, const char* check,
+                         const char* detail);
+
+/// Install a violation handler for THIS thread; returns the previous one.
+/// Passing nullptr restores the default (log + abort).
+Handler set_handler(Handler h);
+
+/// Bind the probe registry audit counters publish to (per thread; the
+/// Simulator binds its registry in set_probes).  Null detaches.
+void bind_probes(obs::Registry* registry);
+
+/// Thread-local tallies (reset with reset_counts; used by tests and
+/// exported as audit.checks / audit.violations probe counters).
+std::uint64_t checks();
+std::uint64_t violations();
+void reset_counts();
+
+/// Record one evaluated check.  Called by the macros; callable directly by
+/// tests exercising the handler plumbing.
+void check(bool ok, const char* component, const char* check_name,
+           const char* detail);
+
+// ---------------------------------------------------------------------------
+// Invariant predicates.  Components call these through the macros with
+// their live state; audit tests call them with deliberately corrupted
+// values to prove each one fires.  Every predicate is pure.
+// ---------------------------------------------------------------------------
+
+/// ARQ retransmission bound: after `attempts` transmissions the frame has
+/// been retransmitted `attempts - 1` times, which must never exceed RTmax —
+/// the timeout handler must have discarded the frame at RTmax.
+inline bool arq_attempts_within_bound(std::int32_t attempts,
+                                      std::int32_t rt_max) {
+  return attempts >= 1 && attempts - 1 <= rt_max;
+}
+
+/// EBSN purity (the paper's appendix): re-arming the retransmission timer
+/// must leave the RTT estimator exactly as it was — srtt, rttvar and the
+/// backoff shift all unchanged.
+inline bool ebsn_left_estimator_untouched(std::int64_t sa_before,
+                                          std::int64_t sa_after,
+                                          std::int64_t sv_before,
+                                          std::int64_t sv_after,
+                                          std::int32_t backoff_before,
+                                          std::int32_t backoff_after) {
+  return sa_before == sa_after && sv_before == sv_after &&
+         backoff_before == backoff_after;
+}
+
+/// Tahoe/Reno congestion-state legality: cwnd and ssthresh are at least
+/// one/two segments and the send sequence pointers are ordered.
+inline bool tcp_congestion_state_legal(double cwnd, double ssthresh,
+                                       std::int64_t snd_una,
+                                       std::int64_t snd_nxt) {
+  return cwnd >= 1.0 && ssthresh >= 2.0 && snd_una >= 0 && snd_una <= snd_nxt;
+}
+
+/// Gilbert-Elliott parameter sanity: BERs are probabilities-per-bit in
+/// [0, 1] and both mean sojourn times are positive (the transition rates
+/// lambda_gb = 1/mean_good and lambda_bg = 1/mean_bad must exist).
+inline bool ge_config_sane(double ber_good, double ber_bad, double mean_good_s,
+                           double mean_bad_s) {
+  return ber_good >= 0.0 && ber_good <= 1.0 && ber_bad >= 0.0 &&
+         ber_bad <= 1.0 && mean_good_s > 0.0 && mean_bad_s > 0.0;
+}
+
+/// Packet-pool teardown accounting: at end of run every acquired slot has
+/// been released (live == 0) and the freelist plus live slots account for
+/// every slot ever allocated (free_count + live == allocs).
+inline bool pool_teardown_clean(std::uint64_t live, std::uint64_t free_count,
+                                std::uint64_t allocs) {
+  return live == 0 && free_count + live == allocs;
+}
+
+/// Pool refcount legality at release: a slot returns to the freelist only
+/// when its last reference dropped.
+inline bool pool_refcount_at_release(std::uint32_t refcount) {
+  return refcount == 0;
+}
+
+/// Scheduler slot/heap consistency: a slot handed out of the free list
+/// must not be live; a slot being released must be.
+inline bool scheduler_slot_state(bool live, bool expected_live) {
+  return live == expected_live;
+}
+
+}  // namespace wtcp::audit
+
+/// Assert `cond` under the audit build; no-op otherwise.  `component` and
+/// `check` are string literals; `detail` a string-literal elaboration.
+#define WTCP_AUDIT_CHECK(cond, component, check_name, detail) \
+  ::wtcp::audit::check((cond), (component), (check_name), (detail))
+
+/// Run a statement only in audit builds (capture "before" state for
+/// purity checks, walk a structure for O(n) consistency audits).
+#define WTCP_AUDIT_ONLY(...) __VA_ARGS__
+
+#else  // !WTCP_AUDIT
+
+namespace wtcp::audit {
+inline constexpr bool kEnabled = false;
+}  // namespace wtcp::audit
+
+#define WTCP_AUDIT_CHECK(cond, component, check_name, detail) ((void)0)
+#define WTCP_AUDIT_ONLY(...)
+
+#endif  // WTCP_AUDIT

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "src/core/audit.hpp"
 #include "src/sim/logging.hpp"
 
 namespace wtcp::core {
@@ -41,6 +42,13 @@ void EbsnAgent::notify(const net::Packet& failed_frame) {
     obs::add(probe_suppressed_);
     return;
   }
+  // Rate-limiter correctness: consecutive notifications must honor the
+  // configured spacing (zero = the paper's one-per-failed-attempt mode).
+  WTCP_AUDIT_CHECK(cfg_.min_interval.is_zero() ||
+                       last_sent_ < sim::Time::zero() ||
+                       sim_.now() - last_sent_ >= cfg_.min_interval,
+                   "ebsn", "rate_limit",
+                   "EBSN emitted inside the configured min_interval");
   last_sent_ = sim_.now();
   ++stats_.notifications_sent;
   obs::add(probe_sent_);

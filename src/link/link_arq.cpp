@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "src/core/audit.hpp"
 #include "src/sim/logging.hpp"
 
 namespace wtcp::link {
@@ -70,6 +71,13 @@ void ArqSender::transmit_attempt(std::int64_t seq) {
   assert(it != outstanding_.end());
   Outstanding& o = it->second;
   ++o.attempts;
+  // The attempt about to go on the air must still be within the RTmax
+  // budget — attempt RTmax+1 (i.e. retransmission RTmax) is the last one
+  // the timeout handler may retry; anything beyond means the mandatory
+  // discard was skipped.
+  WTCP_AUDIT_CHECK(audit::arq_attempts_within_bound(o.attempts, cfg_.rt_max),
+                   "arq", "rtmax_bound",
+                   "transmission attempt exceeds RTmax without discard");
   ++stats_.attempts;
   obs::add(probe_attempts_);
   if (o.attempts > 1) {
@@ -141,6 +149,10 @@ void ArqSender::on_ack_timeout(std::int64_t seq) {
     const net::PacketRef dropped = std::move(o.frame);
     sim_.cancel(o.backoff_timer);
     outstanding_.erase(it);
+    // RTmax reached => the frame must actually leave the window; a
+    // lingering entry would retransmit a discarded frame.
+    WTCP_AUDIT_CHECK(!outstanding_.contains(seq), "arq", "discard_mandatory",
+                     "frame still outstanding after its RTmax discard");
     if (on_discard) on_discard(*dropped);
     fill_window();
     return;

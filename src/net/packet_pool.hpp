@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/core/audit.hpp"
 #include "src/obs/probe.hpp"
 
 #if defined(__SANITIZE_ADDRESS__)
@@ -64,10 +65,29 @@ class PacketPool {
     // Every ref must be gone by now — a live ref would dangle into freed
     // chunk memory.  Owners (Simulator first-declared member; test
     // fixtures declaring the pool before components) guarantee this.
+    WTCP_AUDIT_ONLY(audit_teardown_check();)
     assert(live_ == 0);
     for (auto& chunk : chunks_)
       WTCP_POOL_UNPOISON(chunk.get(), chunk_slots_ * sizeof(PacketSlot));
   }
+
+#if defined(WTCP_AUDIT) && WTCP_AUDIT
+  /// Teardown accounting audit, run by the destructor and callable early
+  /// (tests corrupt a pool and invoke it under a capturing handler): no
+  /// packet may still be live, and the free list plus live slots must
+  /// account for every slot ever allocated — anything else is a leaked or
+  /// double-released PacketRef.
+  bool audit_teardown_check() const {
+    std::uint64_t free_count = 0;
+    for (const PacketSlot* s = free_head_; s != nullptr; s = s->next_free) {
+      ++free_count;
+    }
+    const bool ok = audit::pool_teardown_clean(live_, free_count, allocs_);
+    WTCP_AUDIT_CHECK(ok, "pool", "teardown_accounting",
+                     "live refs remain or freelist does not cover the arena");
+    return ok;
+  }
+#endif
 
   /// A fresh default-initialized Packet (refcount 1).  Never fails:
   /// the arena grows by a chunk when the freelist is empty.
@@ -133,6 +153,11 @@ class PacketPool {
   friend class PacketRef;
 
   void release(PacketSlot* s) {
+    WTCP_AUDIT_CHECK(audit::pool_refcount_at_release(s->refcount), "pool",
+                     "release_with_refs",
+                     "slot returned to the freelist while references remain");
+    WTCP_AUDIT_CHECK(live_ > 0, "pool", "live_underflow",
+                     "pool live count would underflow on release");
     // Reset drops the encapsulated ref promptly (a buffered fragment must
     // not pin its datagram past the fragment's own death) and leaves the
     // slot clean for reuse.

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/core/audit.hpp"
+
 namespace wtcp::phy {
 
 const char* to_string(ChannelState s) {
@@ -18,6 +20,12 @@ GilbertElliottModel::GilbertElliottModel(GilbertElliottConfig cfg, sim::Rng rng)
     : cfg_(cfg), rng_(rng) {
   assert(cfg_.mean_good_s > 0 && cfg_.mean_bad_s > 0);
   assert(cfg_.ber_good >= 0 && cfg_.ber_bad >= 0);
+  // Transition-probability sanity: BERs are per-bit probabilities and the
+  // sojourn means define valid Poisson transition rates (Figure 1).
+  WTCP_AUDIT_CHECK(audit::ge_config_sane(cfg_.ber_good, cfg_.ber_bad,
+                                         cfg_.mean_good_s, cfg_.mean_bad_s),
+                   "channel", "config_sane",
+                   "Gilbert-Elliott BER or sojourn parameters out of range");
   segments_.push_back(Segment{sim::Time::zero(), ChannelState::kGood});
   horizon_ = sim::Time::zero();
 }
@@ -36,6 +44,14 @@ void GilbertElliottModel::extend_to(sim::Time until) {
     const ChannelState next =
         cur == ChannelState::kGood ? ChannelState::kBad : ChannelState::kGood;
     segments_.push_back(Segment{horizon_, next});
+    // The sampled trajectory must strictly alternate GOOD/BAD with
+    // nondecreasing boundaries — a repeated state or a backwards segment
+    // would double-count sojourn time in the error integral.
+    WTCP_AUDIT_CHECK(segments_.back().state != cur &&
+                         segments_.back().begin >= seg_begin,
+                     "channel", "trajectory_alternates",
+                     "Gilbert-Elliott trajectory repeated a state or went "
+                     "backwards in time");
   }
 }
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/core/audit.hpp"
+
 namespace wtcp::sim {
 
 namespace {
@@ -27,6 +29,9 @@ EventId Scheduler::schedule_at(Time at, Callback cb, const char* tag) {
   } else {
     s = free_head_;
     free_head_ = slots_[s].next_free;
+    WTCP_AUDIT_CHECK(audit::scheduler_slot_state(slots_[s].live, false),
+                     "scheduler", "freelist_slot_live",
+                     "slot handed out of the free list is still live");
   }
   Slot& slot = slots_[s];
   slot.cb = std::move(cb);
@@ -46,6 +51,11 @@ EventId Scheduler::schedule_after(Time delay, Callback cb, const char* tag) {
 
 void Scheduler::release_slot(std::uint32_t s) {
   Slot& slot = slots_[s];
+  WTCP_AUDIT_CHECK(audit::scheduler_slot_state(slot.live, true), "scheduler",
+                   "double_release",
+                   "releasing a slot that is not live (double cancel/fire)");
+  WTCP_AUDIT_CHECK(live_ > 0, "scheduler", "live_underflow",
+                   "live event count would underflow on release");
   slot.cb.reset();
   slot.tag = nullptr;
   slot.live = false;
@@ -109,6 +119,38 @@ std::uint64_t Scheduler::run() {
 }
 
 void Scheduler::clear() {
+  // Full O(n) slot-pool/heap audit at the natural quiescent point (between
+  // experiment runs): the live count matches the live slots, the free list
+  // plus live slots account for every slot, and every heap entry naming a
+  // live slot carries that slot's current generation.
+  WTCP_AUDIT_ONLY({
+    std::size_t live_slots = 0;
+    for (const Slot& slot : slots_) {
+      if (slot.live) ++live_slots;
+    }
+    WTCP_AUDIT_CHECK(live_slots == live_, "scheduler", "live_count_mismatch",
+                     "live slot scan disagrees with the live counter");
+    std::size_t free_len = 0;
+    for (std::uint32_t f = free_head_; f != kNoSlot;
+         f = slots_[f].next_free) {
+      ++free_len;
+      WTCP_AUDIT_CHECK(f < slots_.size(), "scheduler", "freelist_range",
+                       "free-list link points outside the slot pool");
+      if (f >= slots_.size()) break;
+    }
+    WTCP_AUDIT_CHECK(free_len + live_slots == slots_.size(), "scheduler",
+                     "slot_accounting",
+                     "free list + live slots do not cover the pool");
+    for (const HeapEntry& e : heap_) {
+      WTCP_AUDIT_CHECK(e.slot < slots_.size(), "scheduler", "heap_slot_range",
+                       "heap entry references a slot outside the pool");
+      if (e.slot < slots_.size() && slots_[e.slot].live) {
+        WTCP_AUDIT_CHECK(slots_[e.slot].gen >= e.gen, "scheduler",
+                         "heap_generation",
+                         "heap entry carries a generation from the future");
+      }
+    }
+  })
   // Rebuild the free list so slot 0 is handed out first again, matching a
   // freshly-constructed scheduler.
   free_head_ = kNoSlot;

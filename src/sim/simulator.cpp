@@ -9,7 +9,14 @@ namespace wtcp::sim {
 Simulator::Simulator(std::uint64_t seed)
     : pool_(std::make_unique<net::PacketPool>()), seed_(seed), root_rng_(seed) {}
 
-Simulator::~Simulator() = default;
+Simulator::~Simulator() {
+  // Teardown order in owners (Scenario) destroys the probe registry before
+  // this simulator, while audit checks still fire inside our member
+  // destructors (scheduler slots release pooled PacketRefs).  Detach the
+  // thread's audit probes first so those checks count locally instead of
+  // publishing through dangling Counter pointers.
+  WTCP_AUDIT_ONLY(::wtcp::audit::bind_probes(nullptr);)
+}
 
 std::uint64_t Simulator::run(Time horizon) {
   const auto wall_start = std::chrono::steady_clock::now();

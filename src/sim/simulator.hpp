@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 
+#include "src/core/audit.hpp"
 #include "src/sim/random.hpp"
 #include "src/sim/scheduler.hpp"
 #include "src/sim/time.hpp"
@@ -63,7 +64,14 @@ class Simulator {
   /// Components cache Counter*/Gauge* pointers from it at construction,
   /// so attach the registry BEFORE building the component graph.  The
   /// registry is owned by the caller and must outlive the simulator.
-  void set_probes(obs::Registry* probes) { probes_ = probes; }
+  void set_probes(obs::Registry* probes) {
+    probes_ = probes;
+    // Audit counters are per-run: rebinding the registry starts a fresh
+    // audit.checks/audit.violations tally, so exported counts do not
+    // depend on which worker thread the run landed on.
+    WTCP_AUDIT_ONLY(::wtcp::audit::bind_probes(probes);
+                    ::wtcp::audit::reset_counts();)
+  }
   obs::Registry* probes() const { return probes_; }
 
   /// Cumulative wall-clock seconds spent inside run() (scheduler

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/core/audit.hpp"
 #include "src/sim/logging.hpp"
 
 namespace wtcp::tcp {
@@ -212,9 +213,14 @@ void TcpSender::loss_response() {
   const double flight = std::min(cwnd_, static_cast<double>(cfg_.window_segments()));
   ssthresh_ = std::max(2.0, std::floor(flight / 2.0));
   cwnd_ = 1.0;
+  WTCP_AUDIT_CHECK(
+      audit::tcp_congestion_state_legal(cwnd_, ssthresh_, snd_una_, snd_nxt_),
+      "tcp", "congestion_state",
+      "illegal cwnd/ssthresh/sequence state after loss response");
 }
 
 void TcpSender::open_cwnd() {
+  WTCP_AUDIT_ONLY(const double cwnd_before = cwnd_;)
   if (cwnd_ < ssthresh_) {
     cwnd_ += 1.0;  // slow start: one segment per ACK
   } else {
@@ -222,6 +228,14 @@ void TcpSender::open_cwnd() {
   }
   const auto max_win = static_cast<double>(cfg_.window_segments());
   cwnd_ = std::min(cwnd_, max_win + 1.0);  // no point growing far past awnd
+  // Opening the window must never shrink it, and the result must stay a
+  // legal congestion state.
+  WTCP_AUDIT_CHECK(cwnd_ >= cwnd_before || cwnd_before > max_win, "tcp",
+                   "cwnd_monotonic_open", "open_cwnd shrank the window");
+  WTCP_AUDIT_CHECK(
+      audit::tcp_congestion_state_legal(cwnd_, ssthresh_, snd_una_, snd_nxt_),
+      "tcp", "congestion_state",
+      "illegal cwnd/ssthresh/sequence state after window increase");
 }
 
 void TcpSender::on_rtx_timeout() {
@@ -358,6 +372,10 @@ void TcpSender::on_new_ack(std::int64_t ack) {
   snd_nxt_ = std::max(snd_nxt_, snd_una_);
   sacked_.erase(sacked_.begin(), sacked_.lower_bound(snd_una_));
   dupacks_ = 0;
+  WTCP_AUDIT_CHECK(
+      audit::tcp_congestion_state_legal(cwnd_, ssthresh_, snd_una_, snd_nxt_),
+      "tcp", "congestion_state",
+      "illegal cwnd/ssthresh/sequence state after new ACK");
 
   if (snd_una_ >= total_segments_) {
     if (cfg_.connect_handshake) {
@@ -429,10 +447,25 @@ void TcpSender::on_ebsn() {
   trace(stats::TraceEvent::kEbsn, snd_una_);
   if (!cfg_.react_to_ebsn) return;
   // Paper appendix: cancel the previous timer and put a new one in place
-  // retaining the current timeout value.  Nothing else changes.
+  // retaining the current timeout value.  Nothing else changes — the RTT
+  // estimate, its variance, the backoff shift and cwnd must all be
+  // exactly as they were (an EBSN that polluted the estimators would
+  // corrupt every later RTO).
+  WTCP_AUDIT_ONLY(const std::int64_t sa_before = estimator_.srtt().ns();
+                  const std::int64_t sv_before = estimator_.rttvar().ns();
+                  const std::int32_t backoff_before =
+                      estimator_.backoff_shift();
+                  const double cwnd_before = cwnd_;)
   if (snd_una_ < snd_nxt_ && !stats_.completed) {
     set_rtx_timer();
   }
+  WTCP_AUDIT_CHECK(audit::ebsn_left_estimator_untouched(
+                       sa_before, estimator_.srtt().ns(), sv_before,
+                       estimator_.rttvar().ns(), backoff_before,
+                       estimator_.backoff_shift()) &&
+                       cwnd_ == cwnd_before,
+                   "tcp", "ebsn_estimator_purity",
+                   "EBSN handling changed srtt/rttvar/backoff/cwnd");
 }
 
 void TcpSender::on_quench() {

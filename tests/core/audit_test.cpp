@@ -1,0 +1,224 @@
+// Tests for the WTCP_AUDIT invariant layer (Tier 3 of the correctness
+// tooling).  Two faces:
+//
+//   * In the audit build (cmake -DWTCP_AUDIT=ON) each invariant is proven
+//     to FIRE on a deliberately corrupted fixture — ARQ attempt past
+//     RTmax, an EBSN that polluted the RTT estimators, a leaked pool
+//     reference — through a capturing violation handler, and to stay
+//     silent (zero violations, nonzero checks) across real end-to-end
+//     scenario runs.
+//
+//   * In the default build the layer must be a true no-op: the macros
+//     discard their condition expressions entirely (verified here via a
+//     side-effecting condition), and the fig03-11 / run_seeds goldens in
+//     datapath_regression_test.cpp stay byte-identical, which the full
+//     suite verifies independently.
+
+#include "src/core/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/net/packet_pool.hpp"
+#include "src/topo/scenario.hpp"
+
+namespace wtcp {
+namespace {
+
+#if defined(WTCP_AUDIT) && WTCP_AUDIT
+
+struct Violation {
+  std::string component;
+  std::string check;
+  std::string detail;
+};
+
+std::vector<Violation>& captured() {
+  static thread_local std::vector<Violation> v;
+  return v;
+}
+
+void capture_handler(const char* component, const char* check,
+                     const char* detail) {
+  captured().push_back(Violation{component, check, detail});
+}
+
+class AuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prev_ = audit::set_handler(&capture_handler);
+    audit::bind_probes(nullptr);
+    audit::reset_counts();
+    captured().clear();
+  }
+  void TearDown() override {
+    audit::set_handler(prev_);
+    audit::bind_probes(nullptr);
+    audit::reset_counts();
+    captured().clear();
+  }
+
+ private:
+  audit::Handler prev_ = nullptr;
+};
+
+TEST_F(AuditTest, PassingCheckCountsButDoesNotFire) {
+  WTCP_AUDIT_CHECK(1 + 1 == 2, "test", "arith", "arithmetic broke");
+  EXPECT_EQ(audit::checks(), 1u);
+  EXPECT_EQ(audit::violations(), 0u);
+  EXPECT_TRUE(captured().empty());
+}
+
+TEST_F(AuditTest, FailingCheckInvokesHandlerWithContext) {
+  WTCP_AUDIT_CHECK(false, "test", "always_fails", "the detail string");
+  EXPECT_EQ(audit::checks(), 1u);
+  EXPECT_EQ(audit::violations(), 1u);
+  ASSERT_EQ(captured().size(), 1u);
+  EXPECT_EQ(captured()[0].component, "test");
+  EXPECT_EQ(captured()[0].check, "always_fails");
+  EXPECT_EQ(captured()[0].detail, "the detail string");
+}
+
+TEST_F(AuditTest, ProbeBusExportsCheckAndViolationCounters) {
+  obs::Registry reg;
+  audit::bind_probes(&reg);
+  audit::reset_counts();
+  WTCP_AUDIT_CHECK(true, "test", "ok", "");
+  WTCP_AUDIT_CHECK(true, "test", "ok", "");
+  WTCP_AUDIT_CHECK(false, "test", "bad", "");
+  EXPECT_EQ(reg.counter_value("audit.checks"), 3u);
+  EXPECT_EQ(reg.counter_value("audit.violations"), 1u);
+  audit::bind_probes(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted fixtures: each protocol invariant fires on the exact state the
+// audit layer exists to catch.
+// ---------------------------------------------------------------------------
+
+TEST_F(AuditTest, ArqAttemptPastRtMaxFires) {
+  // RTmax = 13: the original transmission plus 13 retransmissions (14
+  // attempts) are legal; a 15th attempt means the mandatory discard was
+  // skipped.
+  EXPECT_TRUE(audit::arq_attempts_within_bound(1, 13));
+  EXPECT_TRUE(audit::arq_attempts_within_bound(14, 13));
+  EXPECT_FALSE(audit::arq_attempts_within_bound(15, 13));
+  // A corrupted ARQ with RTmax = 13 that reached attempt 14 WITHOUT
+  // discarding and went on to retransmit:
+  WTCP_AUDIT_CHECK(audit::arq_attempts_within_bound(15, 13), "arq",
+                   "rtmax_bound", "attempt 15 of RTmax 13");
+  EXPECT_EQ(audit::violations(), 1u);
+  ASSERT_EQ(captured().size(), 1u);
+  EXPECT_EQ(captured()[0].check, "rtmax_bound");
+}
+
+TEST_F(AuditTest, RttPollutedEbsnFires) {
+  // An EBSN handler that nudged srtt (or rttvar, or the backoff shift) is
+  // a protocol violation — the paper's appendix re-arms the timer and
+  // changes nothing else.
+  EXPECT_TRUE(audit::ebsn_left_estimator_untouched(800, 800, 200, 200, 2, 2));
+  EXPECT_FALSE(audit::ebsn_left_estimator_untouched(800, 900, 200, 200, 2, 2));
+  EXPECT_FALSE(audit::ebsn_left_estimator_untouched(800, 800, 200, 100, 2, 2));
+  EXPECT_FALSE(audit::ebsn_left_estimator_untouched(800, 800, 200, 200, 2, 0));
+  WTCP_AUDIT_CHECK(
+      audit::ebsn_left_estimator_untouched(800, 900, 200, 200, 2, 2), "tcp",
+      "ebsn_estimator_purity", "srtt moved by 100 ticks");
+  EXPECT_EQ(audit::violations(), 1u);
+  ASSERT_EQ(captured().size(), 1u);
+  EXPECT_EQ(captured()[0].check, "ebsn_estimator_purity");
+}
+
+TEST_F(AuditTest, PoolRefcountLeakFires) {
+  net::PacketPool pool(/*chunk_slots=*/4);
+  net::PacketRef leaked = pool.acquire();
+  // Teardown accounting with a reference still live must fire...
+  EXPECT_FALSE(pool.audit_teardown_check());
+  ASSERT_EQ(captured().size(), 1u);
+  EXPECT_EQ(captured()[0].component, "pool");
+  EXPECT_EQ(captured()[0].check, "teardown_accounting");
+  // ...and pass once the last reference drops (the destructor re-runs it
+  // under the still-installed capturing handler; no new violation).
+  leaked.reset();
+  EXPECT_TRUE(pool.audit_teardown_check());
+  EXPECT_EQ(captured().size(), 1u);
+}
+
+TEST_F(AuditTest, GilbertElliottBadBerFires) {
+  phy::GilbertElliottConfig cfg;
+  cfg.ber_bad = 2.0;  // a probability-per-bit cannot exceed 1
+  sim::Simulator sim(7);
+  const phy::GilbertElliottModel corrupt(cfg, sim.fork_rng("ge"));
+  (void)corrupt;
+  ASSERT_EQ(captured().size(), 1u);
+  EXPECT_EQ(captured()[0].component, "channel");
+  EXPECT_EQ(captured()[0].check, "config_sane");
+}
+
+TEST_F(AuditTest, CongestionStatePredicates) {
+  EXPECT_TRUE(audit::tcp_congestion_state_legal(1.0, 2.0, 0, 0));
+  EXPECT_FALSE(audit::tcp_congestion_state_legal(0.5, 2.0, 0, 0));   // cwnd < 1
+  EXPECT_FALSE(audit::tcp_congestion_state_legal(1.0, 1.0, 0, 0));   // ssthresh < 2
+  EXPECT_FALSE(audit::tcp_congestion_state_legal(1.0, 2.0, 5, 3));   // una > nxt
+}
+
+TEST_F(AuditTest, SchedulerAndPoolPredicates) {
+  EXPECT_TRUE(audit::scheduler_slot_state(false, false));
+  EXPECT_FALSE(audit::scheduler_slot_state(true, false));
+  EXPECT_TRUE(audit::pool_refcount_at_release(0));
+  EXPECT_FALSE(audit::pool_refcount_at_release(3));
+  EXPECT_TRUE(audit::pool_teardown_clean(0, 256, 256));
+  EXPECT_FALSE(audit::pool_teardown_clean(1, 255, 256));   // leaked ref
+  EXPECT_FALSE(audit::pool_teardown_clean(0, 250, 256));   // lost slots
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a real EBSN run under audit arms every invariant on its
+// actual call sites and must complete with zero violations.
+// ---------------------------------------------------------------------------
+
+TEST_F(AuditTest, WanEbsnRunIsViolationFreeWithArmedInvariants) {
+  topo::ScenarioConfig cfg = topo::wan_scenario();
+  cfg.tcp.file_bytes = 20 * 1024;
+  cfg.local_recovery = true;
+  cfg.feedback = topo::FeedbackMode::kEbsn;
+  cfg.obs.enabled = true;
+  cfg.seed = 3;
+  topo::Scenario scenario(cfg);
+  const stats::RunMetrics m = scenario.run();
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(audit::violations(), 0u);
+  EXPECT_TRUE(captured().empty());
+  // The run exercised scheduler, pool, ARQ, EBSN and congestion checks,
+  // and the registry exported the audit.* counters.
+  EXPECT_GT(audit::checks(), 0u);
+  ASSERT_NE(scenario.probes(), nullptr);
+  EXPECT_EQ(scenario.probes()->counter_value("audit.checks"),
+            audit::checks());
+  EXPECT_EQ(scenario.probes()->counter_value("audit.violations"), 0u);
+}
+
+#else  // !WTCP_AUDIT
+
+TEST(AuditOff, MacroDiscardsConditionEntirely) {
+  // The OFF build must not even evaluate the condition — a side effect in
+  // it proves codegen would differ, which would threaten the bitwise
+  // goldens.  (The audit build cannot run this test: there the macro DOES
+  // evaluate its condition, by design.)
+  int evaluated = 0;
+  WTCP_AUDIT_CHECK((++evaluated, true), "test", "noop", "must not evaluate");
+  EXPECT_EQ(evaluated, 0);
+  static_assert(!audit::kEnabled, "audit flag leaked into a default build");
+}
+
+TEST(AuditOff, AuditOnlyBlockDisappears) {
+  int ran = 0;
+  WTCP_AUDIT_ONLY(ran = 1;)
+  EXPECT_EQ(ran, 0);
+}
+
+#endif  // WTCP_AUDIT
+
+}  // namespace
+}  // namespace wtcp

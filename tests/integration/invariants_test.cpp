@@ -98,10 +98,11 @@ INSTANTIATE_TEST_SUITE_P(
                                          "snoop"),
                        ::testing::Values(128, 576, 1536),
                        ::testing::Values(1.0, 4.0)),
-    [](const auto& info) {
-      return std::string(std::get<0>(info.param)) + "_" +
-             std::to_string(std::get<1>(info.param)) + "B_" +
-             std::to_string(static_cast<int>(std::get<2>(info.param))) + "s";
+    [](const auto& param_info) {
+      return std::string(std::get<0>(param_info.param)) + "_" +
+             std::to_string(std::get<1>(param_info.param)) + "B_" +
+             std::to_string(static_cast<int>(std::get<2>(param_info.param))) +
+             "s";
     });
 
 class LanInvariants : public ::testing::TestWithParam<const char*> {};

@@ -160,7 +160,9 @@ TEST_F(SackSenderTest, GoBackNSkipsSackedSegments) {
   // data and nothing from 8..14 is ever resent.
   ack(15);
   for (const auto& p : sent_) {
-    if (p->tcp->retransmit) EXPECT_EQ(p->tcp->seq, 7);
+    if (p->tcp->retransmit) {
+      EXPECT_EQ(p->tcp->seq, 7);
+    }
   }
   EXPECT_GT(sender_->snd_nxt(), 15);
 }
