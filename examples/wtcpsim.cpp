@@ -11,6 +11,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "src/core/api.hpp"
 
@@ -64,6 +65,19 @@ run control
   --tsv                    one machine-readable output row
   --help
 
+resilience (docs/robustness.md)
+  --max-events N           per-run watchdog: kill a run after N events
+  --run-deadline S         per-run watchdog: kill a run after S seconds of
+                           wall-clock time (machine-dependent; killed runs
+                           are reported as failed, never folded into means)
+  --checkpoint PATH        journal each finished seed to a crc-guarded
+                           JSONL checkpoint as it completes
+  --resume                 skip seeds already in --checkpoint PATH; the
+                           folded output is byte-identical to an
+                           uninterrupted sweep
+  --allow-incomplete       exit 0 even when some runs hit the sim-time
+                           limit mid-transfer (failed runs still exit 1)
+
 observability
   --obs-out PATH           machine-readable run report: writes PATH.jsonl
                            (events), PATH.series.csv (sampled time series)
@@ -104,6 +118,9 @@ int main(int argc, char** argv) {
   bool trace = false, tsv = false;
   std::string obs_out;
   sim::Time obs_interval = sim::Time::milliseconds(100);
+  std::string checkpoint;
+  bool resume = false;
+  bool allow_incomplete = false;
 
   // Two-pass parse: --setup decides the config template first.
   for (int i = 1; i < argc; ++i) {
@@ -201,6 +218,26 @@ int main(int argc, char** argv) {
         usage(2);
       }
       obs_interval = sim::Time::milliseconds(ms);
+    } else if (a == "--max-events") {
+      const long ev = arg_long(argc, argv, i);
+      if (ev <= 0) {
+        std::cerr << "--max-events must be a positive integer\n";
+        usage(2);
+      }
+      cfg.budget.max_events = static_cast<std::uint64_t>(ev);
+    } else if (a == "--run-deadline") {
+      const double s = arg_double(argc, argv, i);
+      if (s <= 0) {
+        std::cerr << "--run-deadline must be a positive number of seconds\n";
+        usage(2);
+      }
+      cfg.budget.max_wall_seconds = s;
+    } else if (a == "--checkpoint") {
+      checkpoint = arg_str(argc, argv, i);
+    } else if (a == "--resume") {
+      resume = true;
+    } else if (a == "--allow-incomplete") {
+      allow_incomplete = true;
     } else if (a == "--help") {
       usage(0);
     } else {
@@ -226,15 +263,20 @@ int main(int argc, char** argv) {
     usage(2);
   }
 
+  if (resume && checkpoint.empty()) {
+    std::cerr << "--resume requires --checkpoint PATH\n";
+    usage(2);
+  }
+
   const double theory = cfg.channel_errors
                             ? core::theoretical_max_throughput_bps(cfg.wireless,
                                                                    cfg.channel)
                             : core::effective_bandwidth_bps(cfg.wireless);
 
   if (trace) {
-    if (!obs_out.empty()) {
-      std::cerr << "note: --obs-out is ignored with --trace (use the "
-                   "default or --tsv output modes)\n";
+    if (!obs_out.empty() || !checkpoint.empty()) {
+      std::cerr << "note: --obs-out/--checkpoint are ignored with --trace "
+                   "(use the default or --tsv output modes)\n";
     }
     cfg.seed = base_seed;
     stats::ConnectionTrace tr;
@@ -247,19 +289,59 @@ int main(int argc, char** argv) {
   }
 
   core::MetricsSummary s;
-  if (!obs_out.empty()) {
+  std::vector<core::SeedOutcome> outcomes;
+  if (!obs_out.empty() || !checkpoint.empty()) {
     core::ReportOptions opts;
-    opts.out_stem = obs_out;
+    opts.out_stem = obs_out;  // may be empty: checkpoint-only sweep
     opts.sample_interval = obs_interval;
     opts.jobs = jobs;
+    opts.checkpoint_path = checkpoint;
+    opts.resume = resume;
     const core::RunReport report =
         core::run_seeds_reported(cfg, seeds, base_seed, opts);
     s = report.summary;
-    std::fprintf(stderr, "obs: wrote %s.jsonl, %s.series.csv, %s.manifest.json\n",
-                 obs_out.c_str(), obs_out.c_str(), obs_out.c_str());
+    for (const core::SeedRunReport& sr : report.seeds) {
+      outcomes.push_back({sr.seed, sr.status, sr.error});
+    }
+    if (!obs_out.empty()) {
+      std::fprintf(stderr,
+                   "obs: wrote %s.jsonl, %s.series.csv, %s.manifest.json\n",
+                   obs_out.c_str(), obs_out.c_str(), obs_out.c_str());
+    }
+    if (!checkpoint.empty() && resume) {
+      std::size_t restored = 0;
+      for (const core::SeedRunReport& sr : report.seeds) {
+        if (sr.restored) ++restored;
+      }
+      std::fprintf(stderr, "checkpoint: restored %zu of %d seeds from %s\n",
+                   restored, seeds, checkpoint.c_str());
+    }
   } else {
-    s = core::run_seeds(cfg, seeds, base_seed, jobs);
+    s = core::run_seeds(cfg, seeds, base_seed, jobs, &outcomes);
   }
+
+  // Failure containment (docs/robustness.md): the sweep always completes;
+  // every failed seed surfaces here as a structured outcome, and the exit
+  // code tells scripts the means are not trustworthy.
+  for (const core::SeedOutcome& o : outcomes) {
+    if (!o.ok()) {
+      std::fprintf(stderr, "error: seed %llu failed: %s (%s)\n",
+                   static_cast<unsigned long long>(o.seed),
+                   sim::to_string(o.status), o.message.c_str());
+    }
+  }
+  if (s.runs_incomplete() > 0) {
+    std::fprintf(stderr,
+                 "warning: %llu of %llu runs did NOT complete the transfer "
+                 "(sim-time limit); their partial metrics ARE folded into "
+                 "the means%s\n",
+                 static_cast<unsigned long long>(s.runs_incomplete()),
+                 static_cast<unsigned long long>(s.runs_total),
+                 allow_incomplete ? "" : " (pass --allow-incomplete to exit 0)");
+  }
+  const int exit_code =
+      (s.runs_failed > 0 || (s.runs_incomplete() > 0 && !allow_incomplete)) ? 1
+                                                                            : 0;
 
   if (tsv) {
     std::printf(
@@ -270,7 +352,7 @@ int main(int argc, char** argv) {
                 cfg.channel.mean_bad_s, seeds, s.throughput_bps.mean(),
                 s.throughput_bps.cv(), s.goodput.mean(), s.timeouts.mean(),
                 s.retransmitted_kbytes.mean(), s.ebsn_received.mean(), theory);
-    return 0;
+    return exit_code;
   }
 
   std::printf("setup:      %s, scheme %s, TCP %s\n", setup.c_str(), scheme.c_str(),
@@ -302,17 +384,26 @@ int main(int argc, char** argv) {
   std::printf("  rtx data    %10.2f KB per run\n", s.retransmitted_kbytes.mean());
   std::printf("  EBSNs       %10.1f per run\n", s.ebsn_received.mean());
   {
-    // Delay distribution from one representative run.
+    // Delay distribution from one representative run (skipped if a
+    // watchdog kills it: partial percentiles would be misleading).
     topo::ScenarioConfig one = cfg;
     one.seed = base_seed;
     topo::Scenario sc(one);
     const stats::RunMetrics m1 = sc.run();
-    std::printf("  delay       p50 %.3f s, p95 %.3f s, max %.3f s (seed %llu)\n",
-                m1.delay_p50_s, m1.delay_p95_s, m1.delay_max_s,
-                static_cast<unsigned long long>(base_seed));
+    if (sc.simulator().outcome().ok()) {
+      std::printf(
+          "  delay       p50 %.3f s, p95 %.3f s, max %.3f s (seed %llu)\n",
+          m1.delay_p50_s, m1.delay_p95_s, m1.delay_max_s,
+          static_cast<unsigned long long>(base_seed));
+    }
   }
-  std::printf("  completed   %llu/%llu runs\n",
+  std::printf("  completed   %llu/%llu runs",
               static_cast<unsigned long long>(s.runs_completed),
               static_cast<unsigned long long>(s.runs_total));
-  return s.runs_completed == s.runs_total ? 0 : 1;
+  if (s.runs_failed > 0) {
+    std::printf("  (%llu FAILED)",
+                static_cast<unsigned long long>(s.runs_failed));
+  }
+  std::printf("\n");
+  return exit_code;
 }

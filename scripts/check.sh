@@ -4,9 +4,12 @@
 #
 #   0. lint                — clang-tidy (or strict-warning fallback) +
 #                            determinism lint (scripts/lint.sh)
-#   1. release build + full tests
+#   1. release build + full tests, then the resilience gate: an
+#      interrupted-then-resumed wtcpsim sweep must be byte-identical to an
+#      uninterrupted one, and a watchdog-killed sweep must exit nonzero
 #   2. ASan/UBSan build    — fail-fast datapath/pool suites, then full tests
-#   3. TSan build          — parallel-engine suites (the only threaded code)
+#   3. TSan build          — parallel-engine + checkpoint suites (the only
+#                            threaded code)
 #   4. WTCP_AUDIT build    — full tests with every wtcp::audit protocol/
 #                            datapath invariant armed
 #
@@ -33,6 +36,31 @@ echo "=== release build + tests ==="
 run build
 
 echo
+echo "=== resilience: interrupted + resumed sweep == uninterrupted sweep ==="
+# The checkpoint/resume contract, end to end through the CLI: journal the
+# first 3 seeds, then resume to 6 and diff against a straight 6-seed sweep.
+# Byte-identical .jsonl/.series.csv; manifest identical modulo wall clock.
+WTCPSIM=build/examples/wtcpsim
+RES_TMP=$(mktemp -d)
+trap 'rm -rf "$RES_TMP"' EXIT
+"$WTCPSIM" --scheme ebsn --bad 4 --seeds 6 --jobs 4 \
+  --obs-out "$RES_TMP/full" >/dev/null
+"$WTCPSIM" --scheme ebsn --bad 4 --seeds 3 --jobs 4 \
+  --checkpoint "$RES_TMP/ck.jsonl" >/dev/null
+"$WTCPSIM" --scheme ebsn --bad 4 --seeds 6 --jobs 4 --resume \
+  --checkpoint "$RES_TMP/ck.jsonl" --obs-out "$RES_TMP/resumed" >/dev/null
+cmp "$RES_TMP/full.jsonl" "$RES_TMP/resumed.jsonl"
+cmp "$RES_TMP/full.series.csv" "$RES_TMP/resumed.series.csv"
+diff <(sed 's/"wall_seconds":[^,}]*//g' "$RES_TMP/full.manifest.json") \
+     <(sed 's/"wall_seconds":[^,}]*//g' "$RES_TMP/resumed.manifest.json")
+# Failure containment: a watchdog-killed sweep must report and exit nonzero.
+if "$WTCPSIM" --seeds 2 --max-events 100 >/dev/null 2>&1; then
+  echo "error: watchdog-killed sweep exited zero" >&2
+  exit 1
+fi
+echo "resume byte-identity + nonzero-exit containment OK"
+
+echo
 echo "=== sanitizer build + datapath/pool suites (address,undefined) ==="
 # Fail-fast pass over the packet-pool datapath before the full sanitized
 # suite: recycled-slot poisoning, refcount fan-out, queue/ARQ hand-off.
@@ -48,11 +76,13 @@ ctest --test-dir build-san --output-on-failure -j"$(nproc)" "${EXTRA_CTEST_ARGS[
 
 echo
 echo "=== thread-sanitizer build + parallel-engine tests ==="
-# TSAN is mutually exclusive with ASAN, so it gets its own tree; only the
-# ParallelRunner/ParallelDeterminism suites exercise threads.
+# TSAN is mutually exclusive with ASAN, so it gets its own tree; the
+# ParallelRunner/ParallelDeterminism suites plus the checkpoint writer and
+# resume paths are the only threaded code.
 cmake -B build-tsan -S . -DWTCP_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug >/dev/null
 cmake --build build-tsan -j"$(nproc)"
-ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" -R 'Parallel'
+ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+  -R 'Parallel|Checkpoint|ResilientSweep'
 
 echo
 echo "=== audit build + full tests (WTCP_AUDIT=ON) ==="

@@ -10,6 +10,7 @@
 // See examples/quickstart.cpp for a guided tour.
 #pragma once
 
+#include "src/core/checkpoint.hpp"
 #include "src/core/ebsn.hpp"
 #include "src/core/experiment.hpp"
 #include "src/core/packet_size_advisor.hpp"

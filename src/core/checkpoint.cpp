@@ -1,0 +1,495 @@
+#include "src/core/checkpoint.hpp"
+
+#include <array>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/obs/json.hpp"
+
+namespace wtcp::core {
+
+// ---------------------------------------------------------------------------
+// CRC-32 and exact double round-trip
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string hexfloat(double v) {
+  // %a renders the exact binary value; strtod parses it back bit-for-bit,
+  // which is what makes a resumed fold byte-identical to an uninterrupted
+  // one.  (%.17g would also round-trip, but %a is self-evidently exact.)
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+bool parse_hexfloat(std::string_view s, double& out) {
+  const std::string z(s);  // strtod needs a terminator
+  const char* begin = z.c_str();
+  char* end = nullptr;
+  out = std::strtod(begin, &end);
+  return end != begin && *end == '\0';
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (just what the journal emits: objects, strings,
+// integers, booleans; no arrays, no float literals — doubles travel as
+// hexfloat strings)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JValue {
+  enum class T : std::uint8_t { kNull, kBool, kInt, kStr, kObj };
+  T t = T::kNull;
+  bool b = false;
+  bool negative = false;
+  std::uint64_t mag = 0;  ///< magnitude of an integer literal
+  std::string s;
+  std::vector<std::pair<std::string, JValue>> obj;
+
+  const JValue* find(std::string_view key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  std::uint64_t as_u64() const { return negative ? 0 : mag; }
+  std::int64_t as_i64() const {
+    const auto m = static_cast<std::int64_t>(mag);
+    return negative ? -m : m;
+  }
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view s) : s_(s) {}
+
+  bool parse(JValue& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool string_body(std::string& out) {
+    // pos_ is just past the opening quote; find the closing quote,
+    // honoring backslash escapes, then unescape the span.
+    const std::size_t start = pos_;
+    while (pos_ < s_.size()) {
+      if (s_[pos_] == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (s_[pos_] == '"') {
+        if (!obs::json_unescape(s_.substr(start, pos_ - start), out)) {
+          return false;
+        }
+        ++pos_;
+        return true;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool value(JValue& out) {
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '"') {
+      ++pos_;
+      out.t = JValue::T::kStr;
+      return string_body(out.s);
+    }
+    if (c == 't') {
+      out.t = JValue::T::kBool;
+      out.b = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.t = JValue::T::kBool;
+      out.b = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.t = JValue::T::kNull;
+      return literal("null");
+    }
+    return integer(out);
+  }
+
+  bool integer(JValue& out) {
+    out.t = JValue::T::kInt;
+    out.negative = s_[pos_] == '-';
+    if (out.negative) ++pos_;
+    const std::size_t start = pos_;
+    std::uint64_t mag = 0;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') {
+      mag = mag * 10 + static_cast<std::uint64_t>(s_[pos_] - '0');
+      ++pos_;
+    }
+    out.mag = mag;
+    return pos_ > start;
+  }
+
+  bool object(JValue& out) {
+    out.t = JValue::T::kObj;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+      ++pos_;
+      std::string key;
+      if (!string_body(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      JValue v;
+      if (!value(v)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+constexpr int kJournalVersion = 1;
+constexpr std::string_view kLinePrefix = "{\"crc\":\"";
+constexpr std::string_view kRecordKey = "\",\"record\":";
+
+void write_metrics_record(obs::JsonWriter& w, const stats::RunMetrics& m) {
+  w.key("metrics").begin_object();
+  w.field("completed", m.completed);
+  w.field("duration_ns", static_cast<std::int64_t>(m.duration.ns()));
+  w.field("throughput_bps", hexfloat(m.throughput_bps));
+  w.field("goodput", hexfloat(m.goodput));
+  w.field("timeouts", m.timeouts);
+  w.field("fast_retransmits", m.fast_retransmits);
+  w.field("segments_sent", m.segments_sent);
+  w.field("segments_retransmitted", m.segments_retransmitted);
+  w.field("retransmitted_bytes",
+          static_cast<std::int64_t>(m.retransmitted_bytes));
+  w.field("ebsn_received", m.ebsn_received);
+  w.field("quench_received", m.quench_received);
+  w.field("unique_payload_bytes",
+          static_cast<std::int64_t>(m.unique_payload_bytes));
+  w.field("duplicate_segments", m.duplicate_segments);
+  w.field("wireless_frames_corrupted", m.wireless_frames_corrupted);
+  w.field("arq_attempts", m.arq_attempts);
+  w.field("arq_retransmissions", m.arq_retransmissions);
+  w.field("arq_discards", m.arq_discards);
+  w.field("ebsn_sent", m.ebsn_sent);
+  w.field("quench_sent", m.quench_sent);
+  w.field("snoop_local_retransmits", m.snoop_local_retransmits);
+  w.field("handoffs", m.handoffs);
+  w.field("delay_p50_s", hexfloat(m.delay_p50_s));
+  w.field("delay_p95_s", hexfloat(m.delay_p95_s));
+  w.field("delay_max_s", hexfloat(m.delay_max_s));
+  w.end_object();
+}
+
+bool read_metrics_record(const JValue& v, stats::RunMetrics& m) {
+  if (v.t != JValue::T::kObj) return false;
+  const auto u64 = [&](std::string_view k, std::uint64_t& out) {
+    const JValue* f = v.find(k);
+    if (!f || f->t != JValue::T::kInt) return false;
+    out = f->as_u64();
+    return true;
+  };
+  const auto i64 = [&](std::string_view k, std::int64_t& out) {
+    const JValue* f = v.find(k);
+    if (!f || f->t != JValue::T::kInt) return false;
+    out = f->as_i64();
+    return true;
+  };
+  const auto dbl = [&](std::string_view k, double& out) {
+    const JValue* f = v.find(k);
+    return f && f->t == JValue::T::kStr && parse_hexfloat(f->s, out);
+  };
+  const JValue* completed = v.find("completed");
+  if (!completed || completed->t != JValue::T::kBool) return false;
+  m.completed = completed->b;
+  std::int64_t duration_ns = 0;
+  if (!i64("duration_ns", duration_ns)) return false;
+  m.duration = sim::Time::nanoseconds(duration_ns);
+  return dbl("throughput_bps", m.throughput_bps) &&
+         dbl("goodput", m.goodput) && u64("timeouts", m.timeouts) &&
+         u64("fast_retransmits", m.fast_retransmits) &&
+         u64("segments_sent", m.segments_sent) &&
+         u64("segments_retransmitted", m.segments_retransmitted) &&
+         i64("retransmitted_bytes", m.retransmitted_bytes) &&
+         u64("ebsn_received", m.ebsn_received) &&
+         u64("quench_received", m.quench_received) &&
+         i64("unique_payload_bytes", m.unique_payload_bytes) &&
+         u64("duplicate_segments", m.duplicate_segments) &&
+         u64("wireless_frames_corrupted", m.wireless_frames_corrupted) &&
+         u64("arq_attempts", m.arq_attempts) &&
+         u64("arq_retransmissions", m.arq_retransmissions) &&
+         u64("arq_discards", m.arq_discards) && u64("ebsn_sent", m.ebsn_sent) &&
+         u64("quench_sent", m.quench_sent) &&
+         u64("snoop_local_retransmits", m.snoop_local_retransmits) &&
+         u64("handoffs", m.handoffs) && dbl("delay_p50_s", m.delay_p50_s) &&
+         dbl("delay_p95_s", m.delay_p95_s) && dbl("delay_max_s", m.delay_max_s);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Encode / decode
+// ---------------------------------------------------------------------------
+
+std::string encode_checkpoint_line(std::string_view digest,
+                                   const CheckpointEntry& entry) {
+  std::ostringstream record_os;
+  {
+    obs::JsonWriter w(record_os);
+    const SeedRunReport& sr = entry.report;
+    w.begin_object();
+    w.field("v", static_cast<std::int64_t>(kJournalVersion));
+    w.field("digest", digest);
+    w.field("seed", sr.seed);
+    w.field("index", static_cast<std::uint64_t>(entry.index));
+    w.field("wall_seconds", hexfloat(sr.wall_seconds));
+    w.field("events_executed", sr.events_executed);
+    w.field("max_event_queue_depth",
+            static_cast<std::uint64_t>(sr.max_event_queue_depth));
+    w.field("obs_events", static_cast<std::uint64_t>(sr.obs_events));
+    w.field("obs_samples", static_cast<std::uint64_t>(sr.obs_samples));
+    write_metrics_record(w, sr.metrics);
+    w.key("counters").begin_object();
+    for (const auto& [name, c] : sr.counters) w.field(name, c);
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (const auto& [name, g] : sr.gauges) w.field(name, hexfloat(g));
+    w.end_object();
+    w.key("profile").begin_object();
+    for (const auto& [tag, n] : sr.executed_by_tag) w.field(tag, n);
+    w.end_object();
+    w.field("events_jsonl", entry.events_jsonl);
+    w.field("series_csv", entry.series_csv);
+    w.end_object();
+  }
+  const std::string record = std::move(record_os).str();
+
+  char crc_hex[9];
+  std::snprintf(crc_hex, sizeof crc_hex, "%08" PRIx32, crc32(record));
+  std::string line;
+  line.reserve(record.size() + 32);
+  line += kLinePrefix;
+  line += crc_hex;
+  line += kRecordKey;
+  line += record;
+  line += "}\n";
+  return line;
+}
+
+bool decode_checkpoint_line(std::string_view line, std::string_view digest,
+                            CheckpointEntry& out, bool& digest_mismatch) {
+  digest_mismatch = false;
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  // Framing: {"crc":"xxxxxxxx","record":<record>}
+  const std::size_t header = kLinePrefix.size() + 8 + kRecordKey.size();
+  if (line.size() <= header + 1 ||
+      line.substr(0, kLinePrefix.size()) != kLinePrefix ||
+      line.substr(kLinePrefix.size() + 8, kRecordKey.size()) != kRecordKey ||
+      line.back() != '}') {
+    return false;
+  }
+  const std::string_view crc_hex = line.substr(kLinePrefix.size(), 8);
+  const std::string_view record = line.substr(header, line.size() - header - 1);
+  std::uint32_t want = 0;
+  for (const char c : crc_hex) {
+    want <<= 4;
+    if (c >= '0' && c <= '9') {
+      want |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      want |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  if (crc32(record) != want) return false;
+
+  JValue root;
+  if (!Reader(record).parse(root) || root.t != JValue::T::kObj) return false;
+
+  const JValue* v = root.find("v");
+  if (!v || v->t != JValue::T::kInt || v->as_i64() != kJournalVersion) {
+    return false;
+  }
+  const JValue* dig = root.find("digest");
+  if (!dig || dig->t != JValue::T::kStr) return false;
+  if (dig->s != digest) {
+    digest_mismatch = true;
+    return false;
+  }
+
+  const auto u64 = [&](std::string_view k, std::uint64_t& field) {
+    const JValue* f = root.find(k);
+    if (!f || f->t != JValue::T::kInt) return false;
+    field = f->as_u64();
+    return true;
+  };
+  const auto str = [&](std::string_view k, std::string& field) {
+    const JValue* f = root.find(k);
+    if (!f || f->t != JValue::T::kStr) return false;
+    field = f->s;
+    return true;
+  };
+  const auto counter_map = [&](std::string_view k, auto& field) {
+    const JValue* f = root.find(k);
+    if (!f || f->t != JValue::T::kObj) return false;
+    for (const auto& [name, val] : f->obj) {
+      if (val.t != JValue::T::kInt) return false;
+      field[name] = val.as_u64();
+    }
+    return true;
+  };
+
+  CheckpointEntry entry;
+  SeedRunReport& sr = entry.report;
+  std::uint64_t index = 0;
+  std::string wall;
+  std::uint64_t depth = 0, obs_events = 0, obs_samples = 0;
+  if (!u64("seed", sr.seed) || !u64("index", index) ||
+      !str("wall_seconds", wall) || !parse_hexfloat(wall, sr.wall_seconds) ||
+      !u64("events_executed", sr.events_executed) ||
+      !u64("max_event_queue_depth", depth) || !u64("obs_events", obs_events) ||
+      !u64("obs_samples", obs_samples)) {
+    return false;
+  }
+  entry.index = static_cast<std::size_t>(index);
+  sr.max_event_queue_depth = static_cast<std::size_t>(depth);
+  sr.obs_events = static_cast<std::size_t>(obs_events);
+  sr.obs_samples = static_cast<std::size_t>(obs_samples);
+
+  const JValue* metrics = root.find("metrics");
+  if (!metrics || !read_metrics_record(*metrics, sr.metrics)) return false;
+
+  if (!counter_map("counters", sr.counters) ||
+      !counter_map("profile", sr.executed_by_tag)) {
+    return false;
+  }
+  const JValue* gauges = root.find("gauges");
+  if (!gauges || gauges->t != JValue::T::kObj) return false;
+  for (const auto& [name, val] : gauges->obj) {
+    double d = 0.0;
+    if (val.t != JValue::T::kStr || !parse_hexfloat(val.s, d)) return false;
+    sr.gauges[name] = d;
+  }
+
+  if (!str("events_jsonl", entry.events_jsonl) ||
+      !str("series_csv", entry.series_csv)) {
+    return false;
+  }
+  sr.restored = true;
+  out = std::move(entry);
+  return true;
+}
+
+CheckpointLoad load_checkpoint(std::istream& in, std::string_view digest) {
+  CheckpointLoad load;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    CheckpointEntry entry;
+    bool foreign = false;
+    if (decode_checkpoint_line(line, digest, entry, foreign)) {
+      load.entries.push_back(std::move(entry));
+    } else if (foreign) {
+      ++load.foreign_lines;
+    } else {
+      ++load.corrupt_lines;
+    }
+  }
+  return load;
+}
+
+CheckpointLoad load_checkpoint_file(const std::string& path,
+                                    std::string_view digest) {
+  std::ifstream in(path);
+  if (!in.good()) return {};  // no file yet = nothing to resume
+  return load_checkpoint(in, digest);
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+CheckpointWriter::CheckpointWriter(const std::string& path, std::string digest,
+                                   bool append)
+    : digest_(std::move(digest)) {
+  out_.open(path, append ? std::ios::out | std::ios::app
+                         : std::ios::out | std::ios::trunc);
+}
+
+void CheckpointWriter::append(const CheckpointEntry& entry) {
+  const std::string line = encode_checkpoint_line(digest_, entry);
+  const std::lock_guard<std::mutex> lock(mu_);
+  out_ << line;
+  out_.flush();
+}
+
+}  // namespace wtcp::core

@@ -1,0 +1,95 @@
+// Checkpoint journal for multi-seed sweeps (docs/robustness.md).
+//
+// run_seeds_reported appends one CRC-guarded JSONL line per successfully
+// finished seed; a resumed sweep restores those seeds instead of re-running
+// them.  The format is engineered for the resume contract — a resumed
+// sweep's folded output is BYTE-IDENTICAL to an uninterrupted one:
+//
+//   * doubles are stored as hexfloat strings ("%a"), so every metric
+//     round-trips bit-exactly and the seed-order Summary fold reproduces
+//     the same last-bit floating point results;
+//   * each seed's rendered JSONL events section and CSV series section are
+//     stored verbatim, so output files can be reassembled without re-running;
+//   * every line carries a CRC-32 of its record, so a line truncated or
+//     mangled by a crash/kill is detected and skipped, never half-trusted;
+//   * every line carries the config digest, so a checkpoint is never
+//     resumed against a different configuration.
+//
+// Appends are atomic at line granularity in practice: a line is rendered
+// in full, written with one stream insert, and flushed under a mutex; a
+// torn tail (the kill case) fails its CRC and is ignored on load.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/experiment.hpp"
+
+namespace wtcp::core {
+
+/// CRC-32 (IEEE 802.3, reflected) of `data`.
+std::uint32_t crc32(std::string_view data);
+
+/// Exact (bit-preserving) double <-> string conversion used by the journal.
+std::string hexfloat(double v);
+bool parse_hexfloat(std::string_view s, double& out);
+
+/// One journaled seed: the full per-seed report plus its rendered file
+/// sections (empty when the sweep wrote no files and no checkpoint).
+struct CheckpointEntry {
+  std::size_t index = 0;  ///< seed index within the sweep (seed - base_seed)
+  SeedRunReport report;
+  std::string events_jsonl;
+  std::string series_csv;
+};
+
+/// Render one journal line (newline-terminated):
+///   {"crc":"xxxxxxxx","record":{...}}
+/// with the CRC computed over the record's exact byte rendering.
+std::string encode_checkpoint_line(std::string_view digest,
+                                   const CheckpointEntry& entry);
+
+/// Parse one journal line.  Returns false on any defect: bad framing,
+/// CRC mismatch, malformed JSON, or a digest that differs from `digest`
+/// (`digest_mismatch` distinguishes the last case for reporting).
+bool decode_checkpoint_line(std::string_view line, std::string_view digest,
+                            CheckpointEntry& out, bool& digest_mismatch);
+
+/// Result of scanning a journal stream.
+struct CheckpointLoad {
+  std::vector<CheckpointEntry> entries;  ///< valid entries, file order
+  std::size_t corrupt_lines = 0;         ///< CRC/framing failures, skipped
+  std::size_t foreign_lines = 0;         ///< other-config digests, skipped
+};
+
+/// Scan every line of `in` against `digest`.  Defective lines are counted
+/// and skipped — a torn tail from a killed sweep must not poison the rest.
+CheckpointLoad load_checkpoint(std::istream& in, std::string_view digest);
+CheckpointLoad load_checkpoint_file(const std::string& path,
+                                    std::string_view digest);
+
+/// Thread-safe journal appender.  Workers call append() as their seed
+/// completes (any order); each call writes one full line and flushes.
+class CheckpointWriter {
+ public:
+  /// Opens `path` for append (resume) or truncates it (fresh sweep).
+  /// is_open() reports failure; a sweep with a broken checkpoint path
+  /// still runs, it just cannot be resumed.
+  CheckpointWriter(const std::string& path, std::string digest, bool append);
+
+  bool is_open() const { return out_.is_open() && out_.good(); }
+
+  void append(const CheckpointEntry& entry);
+
+ private:
+  std::mutex mu_;
+  std::ofstream out_;
+  std::string digest_;
+};
+
+}  // namespace wtcp::core

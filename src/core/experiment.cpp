@@ -3,10 +3,13 @@
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <string_view>
 
+#include "src/core/checkpoint.hpp"
 #include "src/obs/export.hpp"
 #include "src/obs/json.hpp"
 #include "src/obs/probe.hpp"
@@ -26,30 +29,63 @@ void MetricsSummary::add(const stats::RunMetrics& m) {
   quench_received.add(static_cast<double>(m.quench_received));
 }
 
+void MetricsSummary::add_failure() {
+  ++runs_total;
+  ++runs_failed;
+}
+
 MetricsSummary run_seeds_inspect(
     topo::ScenarioConfig cfg, int n_seeds, std::uint64_t base_seed, int jobs,
     const std::function<void(int, topo::Scenario&, const stats::RunMetrics&)>&
-        inspect) {
+        inspect,
+    std::vector<SeedOutcome>* outcomes) {
+  if (outcomes) outcomes->clear();
   if (n_seeds <= 0) return {};
-  std::vector<stats::RunMetrics> metrics(static_cast<std::size_t>(n_seeds));
-  ParallelRunner(jobs).for_each_index(
-      static_cast<std::size_t>(n_seeds), [&](std::size_t i) {
+  const std::size_t n = static_cast<std::size_t>(n_seeds);
+  std::vector<stats::RunMetrics> metrics(n);
+  // A budget-killed run produces partial metrics that must not be folded;
+  // the watchdog verdict is captured here on the worker thread.
+  std::vector<sim::RunOutcome> watchdog(n);
+  const std::vector<IndexOutcome> contained =
+      ParallelRunner(jobs).for_each_index_contained(n, [&](std::size_t i) {
         topo::ScenarioConfig run_cfg = cfg;
         run_cfg.seed = base_seed + i;
         topo::Scenario scenario(run_cfg);
         metrics[i] = scenario.run();
-        if (inspect) inspect(static_cast<int>(i), scenario, metrics[i]);
+        watchdog[i] = scenario.simulator().outcome();
+        if (watchdog[i].ok() && inspect) {
+          inspect(static_cast<int>(i), scenario, metrics[i]);
+        }
       });
   // Fold in seed order: Summary accumulation is order-sensitive in the
   // last floating-point bit, and byte-identical output is the contract.
+  // Failed seeds (exception or watchdog) are counted, never folded.
   MetricsSummary summary;
-  for (const stats::RunMetrics& m : metrics) summary.add(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    SeedOutcome outcome;
+    outcome.seed = base_seed + i;
+    if (!contained[i].ok) {
+      outcome.status = sim::RunStatus::kException;
+      outcome.message = contained[i].error;
+    } else if (!watchdog[i].ok()) {
+      outcome.status = watchdog[i].status;
+      outcome.message = watchdog[i].message;
+    }
+    if (outcome.ok()) {
+      summary.add(metrics[i]);
+    } else {
+      summary.add_failure();
+    }
+    if (outcomes) outcomes->push_back(std::move(outcome));
+  }
   return summary;
 }
 
 MetricsSummary run_seeds(topo::ScenarioConfig cfg, int n_seeds,
-                         std::uint64_t base_seed, int jobs) {
-  return run_seeds_inspect(std::move(cfg), n_seeds, base_seed, jobs, nullptr);
+                         std::uint64_t base_seed, int jobs,
+                         std::vector<SeedOutcome>* outcomes) {
+  return run_seeds_inspect(std::move(cfg), n_seeds, base_seed, jobs, nullptr,
+                           outcomes);
 }
 
 double measure_error_free_throughput_bps(topo::ScenarioConfig cfg) {
@@ -101,6 +137,17 @@ std::string describe_config(const topo::ScenarioConfig& cfg) {
      << " handoff=" << (cfg.handoff.enabled ? "on" : "off")
      << " xtraffic=" << (cfg.cross_traffic ? "on" : "off")
      << " horizon=" << cfg.horizon.ns() << "ns";
+  if (cfg.budget.armed()) {
+    // Appended only when armed so every pre-existing (budget-free) config
+    // keeps its exact description and digest.
+    os << " budget=ev" << cfg.budget.max_events;
+    if (cfg.budget.max_virtual_time != sim::Time::max()) {
+      os << ":vt" << cfg.budget.max_virtual_time.ns() << "ns";
+    }
+    // max_wall_seconds deliberately excluded: it cannot affect the result
+    // of a run that finishes, and a digest must not depend on a
+    // machine-speed knob.
+  }
   return os.str();
 }
 
@@ -168,6 +215,14 @@ void write_manifest(std::ostream& os, const RunReport& report) {
   for (const SeedRunReport& sr : report.seeds) {
     w.begin_object();
     w.field("seed", sr.seed);
+    w.field("outcome", sim::to_string(sr.status));
+    if (!sr.ok()) {
+      // A failed seed has nothing but its verdict: no metrics were
+      // produced (exception) or they are partial garbage (watchdog).
+      w.field("error", sr.error);
+      w.end_object();
+      continue;
+    }
     w.field("wall_seconds", sr.wall_seconds);
     w.field("events_executed", sr.events_executed);
     w.field("max_event_queue_depth",
@@ -191,6 +246,8 @@ void write_manifest(std::ostream& os, const RunReport& report) {
   w.key("aggregate").begin_object();
   w.field("runs_total", report.summary.runs_total);
   w.field("runs_completed", report.summary.runs_completed);
+  w.field("runs_failed", report.summary.runs_failed);
+  w.field("runs_incomplete", report.summary.runs_incomplete());
   write_summary_stat(w, "throughput_bps", report.summary.throughput_bps);
   write_summary_stat(w, "goodput", report.summary.goodput);
   write_summary_stat(w, "timeouts", report.summary.timeouts);
@@ -215,67 +272,113 @@ RunReport run_seeds_reported(topo::ScenarioConfig cfg, int n_seeds,
   report.digest = config_digest(cfg);
 
   const bool to_files = !opts.out_stem.empty();
+  const bool checkpointing = !opts.checkpoint_path.empty();
+  // Checkpoint entries must carry the rendered file sections so a resumed
+  // sweep can reassemble byte-identical output without re-running.
+  const bool render_sections = to_files || checkpointing;
 
-  // Each worker renders its seed's JSONL/CSV sections into per-seed
-  // buffers; the main thread concatenates them in seed order afterwards,
-  // so the files are byte-identical to a sequential run.
-  struct PerSeed {
-    SeedRunReport sr;
-    std::string events_jsonl;
-    std::string series_csv;
-  };
   const std::size_t n =
       n_seeds > 0 ? static_cast<std::size_t>(n_seeds) : std::size_t{0};
-  std::vector<PerSeed> per_seed(n);
+  std::vector<CheckpointEntry> per_seed(n);
 
-  ParallelRunner(opts.jobs).for_each_index(n, [&](std::size_t i) {
-    topo::ScenarioConfig run_cfg = cfg;
-    run_cfg.seed = base_seed + i;
-    topo::Scenario scenario(run_cfg);
-    const stats::RunMetrics m = scenario.run();
-
-    const obs::Registry& reg = *scenario.probes();
-    SeedRunReport sr;
-    sr.seed = run_cfg.seed;
-    sr.metrics = m;
-    sr.wall_seconds = scenario.simulator().wall_seconds();
-    sr.events_executed = scenario.simulator().scheduler().executed_count();
-    sr.max_event_queue_depth =
-        scenario.simulator().scheduler().max_pending_depth();
-    sr.obs_events = reg.events().size();
-    sr.obs_samples = scenario.sampler()->sample_count();
-    for (const auto& [name, c] : reg.counters()) sr.counters[name] = c.value;
-    for (const auto& [name, g] : reg.gauges()) sr.gauges[name] = g.value;
-    for (const auto& [tag, cnt] :
-         scenario.simulator().scheduler().executed_by_tag()) {
-      sr.executed_by_tag[tag] = cnt;
+  // Resume: restore seeds already journaled for this exact config digest.
+  // Everything is keyed by seed, so "--seeds 3 then --seeds 40 --resume"
+  // composes naturally.
+  std::vector<bool> restored(n, false);
+  if (checkpointing && opts.resume) {
+    CheckpointLoad load =
+        load_checkpoint_file(opts.checkpoint_path, report.digest);
+    for (CheckpointEntry& entry : load.entries) {
+      if (entry.report.seed < base_seed) continue;
+      const std::uint64_t idx64 = entry.report.seed - base_seed;
+      if (idx64 >= n) continue;
+      const std::size_t i = static_cast<std::size_t>(idx64);
+      entry.index = i;
+      per_seed[i] = std::move(entry);
+      restored[i] = true;
     }
+  }
 
-    if (to_files) {
-      // Event names/components are string literals inside live components:
-      // export while the scenario still exists.
-      std::ostringstream events_os;
-      obs::write_events_jsonl(events_os, reg,
-                              static_cast<std::int64_t>(run_cfg.seed));
-      per_seed[i].events_jsonl = std::move(events_os).str();
-      std::ostringstream series_os;
-      scenario.sampler()->series().write_csv(
-          series_os, static_cast<std::int64_t>(run_cfg.seed),
-          /*header=*/i == 0);
-      per_seed[i].series_csv = std::move(series_os).str();
+  std::unique_ptr<CheckpointWriter> journal;
+  if (checkpointing) {
+    journal = std::make_unique<CheckpointWriter>(
+        opts.checkpoint_path, report.digest, /*append=*/opts.resume);
+  }
+
+  const std::vector<IndexOutcome> contained =
+      ParallelRunner(opts.jobs).for_each_index_contained(n, [&](std::size_t i) {
+        if (restored[i]) return;
+        topo::ScenarioConfig run_cfg = cfg;
+        run_cfg.seed = base_seed + i;
+        topo::Scenario scenario(run_cfg);
+        if (opts.pre_run) opts.pre_run(i, scenario);
+        const stats::RunMetrics m = scenario.run();
+        const sim::RunOutcome& outcome = scenario.simulator().outcome();
+        if (!outcome.ok()) {
+          // Watchdog verdicts are recorded inline (not via exception):
+          // the partial metrics are discarded, only the verdict survives.
+          per_seed[i].report.seed = run_cfg.seed;
+          per_seed[i].report.status = outcome.status;
+          per_seed[i].report.error = outcome.message;
+          return;
+        }
+
+        const obs::Registry& reg = *scenario.probes();
+        SeedRunReport sr;
+        sr.seed = run_cfg.seed;
+        sr.metrics = m;
+        sr.wall_seconds = scenario.simulator().wall_seconds();
+        sr.events_executed = scenario.simulator().scheduler().executed_count();
+        sr.max_event_queue_depth =
+            scenario.simulator().scheduler().max_pending_depth();
+        sr.obs_events = reg.events().size();
+        sr.obs_samples = scenario.sampler()->sample_count();
+        for (const auto& [name, c] : reg.counters()) sr.counters[name] = c.value;
+        for (const auto& [name, g] : reg.gauges()) sr.gauges[name] = g.value;
+        for (const auto& [tag, cnt] :
+             scenario.simulator().scheduler().executed_by_tag()) {
+          sr.executed_by_tag[tag] = cnt;
+        }
+
+        if (render_sections) {
+          // Event names/components are string literals inside live
+          // components: export while the scenario still exists.
+          std::ostringstream events_os;
+          obs::write_events_jsonl(events_os, reg,
+                                  static_cast<std::int64_t>(run_cfg.seed));
+          per_seed[i].events_jsonl = std::move(events_os).str();
+          std::ostringstream series_os;
+          scenario.sampler()->series().write_csv(
+              series_os, static_cast<std::int64_t>(run_cfg.seed),
+              /*header=*/i == 0);
+          per_seed[i].series_csv = std::move(series_os).str();
+        }
+        per_seed[i].index = i;
+        per_seed[i].report = std::move(sr);
+        if (journal && journal->is_open()) journal->append(per_seed[i]);
+      });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    SeedRunReport& sr = per_seed[i].report;
+    if (!contained[i].ok) {
+      // The seed (or a hook) threw: nothing usable was recorded.
+      sr = SeedRunReport{};
+      sr.seed = base_seed + i;
+      sr.status = sim::RunStatus::kException;
+      sr.error = contained[i].error;
     }
-    per_seed[i].sr = std::move(sr);
-  });
-
-  for (PerSeed& ps : per_seed) {
-    report.summary.add(ps.sr.metrics);
-    report.seeds.push_back(std::move(ps.sr));
+    if (sr.ok()) {
+      report.summary.add(sr.metrics);
+    } else {
+      report.summary.add_failure();
+    }
+    report.seeds.push_back(std::move(sr));
   }
 
   if (to_files) {
     std::ofstream events_out(opts.out_stem + ".jsonl");
     std::ofstream series_out(opts.out_stem + ".series.csv");
-    for (const PerSeed& ps : per_seed) {
+    for (const CheckpointEntry& ps : per_seed) {
       events_out << ps.events_jsonl;
       series_out << ps.series_csv;
     }

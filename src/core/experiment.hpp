@@ -18,6 +18,13 @@
 namespace wtcp::core {
 
 /// Aggregated results of one configuration run under several seeds.
+///
+/// `runs_total` counts every attempted seed; `runs_failed` the seeds that
+/// threw or were killed by a watchdog budget (their metrics are NOT folded
+/// into the statistics); `runs_completed` the non-failed seeds whose
+/// transfer finished before the horizon.  runs_completed < runs_total -
+/// runs_failed means some folded runs were INCOMPLETE (sim-time limit hit
+/// mid-transfer) — surface that to the user (docs/robustness.md).
 struct MetricsSummary {
   stats::Summary throughput_bps;
   stats::Summary goodput;
@@ -28,8 +35,25 @@ struct MetricsSummary {
   stats::Summary quench_received;
   std::uint64_t runs_total = 0;
   std::uint64_t runs_completed = 0;
+  std::uint64_t runs_failed = 0;
 
   void add(const stats::RunMetrics& m);
+  /// Record a seed that produced no usable metrics (exception / budget).
+  void add_failure();
+  /// Folded runs whose transfer did not finish before the horizon.
+  std::uint64_t runs_incomplete() const {
+    return runs_total - runs_failed - runs_completed;
+  }
+  bool all_ok() const { return runs_failed == 0 && runs_incomplete() == 0; }
+};
+
+/// Structured per-seed verdict of a contained sweep (seed order).
+struct SeedOutcome {
+  std::uint64_t seed = 0;
+  sim::RunStatus status = sim::RunStatus::kOk;
+  std::string message;  ///< exception / watchdog detail ("" when ok)
+
+  bool ok() const { return status == sim::RunStatus::kOk; }
 };
 
 /// Run `cfg` under `n_seeds` different seeds (base_seed, base_seed+1, ...)
@@ -37,18 +61,26 @@ struct MetricsSummary {
 /// 0 = resolve_jobs default: WTCP_JOBS env var or all hardware threads).
 /// Results are folded in seed order, so the summary is byte-identical to
 /// a sequential run whatever the parallelism.
+///
+/// Failure containment: a seed that throws (or is killed by an armed
+/// cfg.budget watchdog) does not abort the sweep — it is counted in
+/// summary.runs_failed, excluded from the statistics, and (when
+/// `outcomes` is non-null) reported there in seed order.
 MetricsSummary run_seeds(topo::ScenarioConfig cfg, int n_seeds,
-                         std::uint64_t base_seed = 1, int jobs = 1);
+                         std::uint64_t base_seed = 1, int jobs = 1,
+                         std::vector<SeedOutcome>* outcomes = nullptr);
 
 /// run_seeds with a per-run hook: `inspect(i, scenario, metrics)` fires on
 /// the worker thread as soon as seed base_seed + i finishes, with the
 /// scenario still alive (benches read component stats through it).
 /// Distinct indices run concurrently — inspect must only touch
 /// per-index state.  The summary is still folded in seed order.
+/// Exceptions from the scenario OR the hook are contained as above.
 MetricsSummary run_seeds_inspect(
     topo::ScenarioConfig cfg, int n_seeds, std::uint64_t base_seed, int jobs,
     const std::function<void(int, topo::Scenario&, const stats::RunMetrics&)>&
-        inspect);
+        inspect,
+    std::vector<SeedOutcome>* outcomes = nullptr);
 
 /// Measured effective throughput of `cfg` with channel errors disabled —
 /// the empirical tput_max the theoretical bound scales from.
@@ -78,6 +110,18 @@ struct SeedRunReport {
   std::map<std::string, std::uint64_t> counters;        ///< probe snapshot
   std::map<std::string, double> gauges;                 ///< final values
   std::map<std::string, std::uint64_t> executed_by_tag; ///< scheduler profile
+
+  /// Structured outcome: anything but kOk means the seed failed (threw or
+  /// hit a watchdog budget) and every field above except `seed`/`error`
+  /// is default-constructed.
+  sim::RunStatus status = sim::RunStatus::kOk;
+  std::string error;
+  /// True when this seed was restored from a resume checkpoint instead of
+  /// re-run (in-memory only; deliberately absent from the manifest so a
+  /// resumed sweep's files stay byte-identical to an uninterrupted one).
+  bool restored = false;
+
+  bool ok() const { return status == sim::RunStatus::kOk; }
 };
 
 struct ReportOptions {
@@ -91,6 +135,24 @@ struct ReportOptions {
   /// each seed renders its file sections in isolation and they are
   /// concatenated in seed order.
   int jobs = 1;
+
+  /// CRC-guarded JSONL checkpoint journal (docs/robustness.md).  Every
+  /// successfully finished seed is appended (and flushed) as it
+  /// completes, so a killed sweep loses at most the in-flight seeds.
+  /// Empty = no checkpointing.
+  std::string checkpoint_path;
+  /// Resume from `checkpoint_path`: seeds already journaled there (for
+  /// this exact config digest) are restored instead of re-run, and the
+  /// folded output — summary, JSONL, CSV, manifest — is byte-identical
+  /// to an uninterrupted sweep.  Without resume, an existing checkpoint
+  /// file is truncated and rewritten.
+  bool resume = false;
+
+  /// Optional hook fired on the worker thread after the scenario is built
+  /// but before it runs (attach traces, inject faults in tests).  Runs
+  /// only for seeds actually executed, never for restored ones; must only
+  /// touch per-index state.  Exceptions are contained as seed failures.
+  std::function<void(std::size_t, topo::Scenario&)> pre_run;
 };
 
 /// A full multi-seed experiment with per-seed detail.

@@ -22,6 +22,20 @@ int resolve_jobs(int jobs) {
 
 ParallelRunner::ParallelRunner(int jobs) : jobs_(resolve_jobs(jobs)) {}
 
+namespace {
+
+std::string describe_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
+
 void ParallelRunner::for_each_index(
     std::size_t n, const std::function<void(std::size_t)>& fn) const {
   if (n == 0) return;
@@ -61,6 +75,46 @@ void ParallelRunner::for_each_index(
   worker();  // the caller's thread is worker 0
   for (std::thread& t : threads) t.join();
   if (error) std::rethrow_exception(error);
+}
+
+std::vector<IndexOutcome> ParallelRunner::for_each_index_contained(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  std::vector<IndexOutcome> outcomes(n);
+  if (n == 0) return outcomes;
+
+  // Workers write only their own index's outcome slot, so no locking is
+  // needed and results are independent of scheduling order.
+  const auto run_one = [&](std::size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      outcomes[i].ok = false;
+      outcomes[i].error = describe_exception();
+    }
+  };
+
+  const std::size_t workers =
+      std::min(static_cast<std::size_t>(jobs_), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
+    return outcomes;
+  }
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      run_one(i);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) threads.emplace_back(worker);
+  worker();  // the caller's thread is worker 0
+  for (std::thread& t : threads) t.join();
+  return outcomes;
 }
 
 }  // namespace wtcp::core

@@ -12,8 +12,18 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
+#include <vector>
 
 namespace wtcp::core {
+
+/// What happened to one index of a contained parallel sweep.  Slots whose
+/// `ok` is false carry the exception message, so callers can tell a failed
+/// index's default-constructed result apart from a real one.
+struct IndexOutcome {
+  bool ok = true;
+  std::string error;
+};
 
 /// Resolve a worker-count request: n > 0 is taken as-is; 0 means the
 /// WTCP_JOBS environment variable if set to a positive integer, else
@@ -38,6 +48,14 @@ class ParallelRunner {
   /// caller's thread after all workers join.
   void for_each_index(std::size_t n,
                       const std::function<void(std::size_t)>& fn) const;
+
+  /// Failure-contained variant: every index runs regardless of how many
+  /// others throw.  A throwing index records its exception message in the
+  /// returned vector (outcomes[i].ok == false) instead of aborting the
+  /// pool, so a multi-seed sweep always completes and every failure
+  /// surfaces — not just the first (docs/robustness.md).
+  std::vector<IndexOutcome> for_each_index_contained(
+      std::size_t n, const std::function<void(std::size_t)>& fn) const;
 
  private:
   int jobs_;

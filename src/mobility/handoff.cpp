@@ -13,9 +13,26 @@ HandoffManager::HandoffManager(sim::Simulator& sim, HandoffConfig cfg)
       model_(std::make_shared<BlackoutModel>()) {
   assert(cfg_.mean_interval > sim::Time::zero());
   assert(cfg_.latency > sim::Time::zero());
+  if ((bus_ = sim_.probes())) {
+    begun_ = bus_->counter("handoff.begun");
+    completed_ = bus_->counter("handoff.completed");
+    blackout_s_ = bus_->gauge("handoff.blackout_s");
+  }
   if (cfg_.enabled) {
     schedule_next(std::max(cfg_.first_after, sim_.now()));
   }
+}
+
+HandoffStats HandoffManager::stats() const {
+  HandoffStats s = stats_;
+  if (in_handoff_) {
+    // The run is being observed mid-blackout: count only the part of the
+    // window that has actually elapsed.  (The old code charged the full
+    // cfg latency up front in begin_handoff(), overcounting blackout for
+    // any run that ended inside a handoff.)
+    s.blackout_time += sim_.now() - handoff_began_;
+  }
+  return s;
 }
 
 void HandoffManager::schedule_next(sim::Time from) {
@@ -29,18 +46,26 @@ void HandoffManager::schedule_next(sim::Time from) {
 void HandoffManager::begin_handoff() {
   assert(!in_handoff_);
   in_handoff_ = true;
+  handoff_began_ = sim_.now();
   ++stats_.handoffs;
-  stats_.blackout_time += cfg_.latency;
   model_->add_window(sim_.now(), sim_.now() + cfg_.latency);
   WTCP_LOG(kInfo, sim_.now(), "handoff", "begin (blackout %.3fs)",
            cfg_.latency.to_seconds());
+  obs::add(begun_);
+  if (bus_) bus_->publish(sim_.now(), "handoff", "begin");
   if (on_handoff_start) on_handoff_start();
   sim_.after(cfg_.latency, [this] { end_handoff(); }, "handoff");
 }
 
 void HandoffManager::end_handoff() {
   in_handoff_ = false;
+  // Blackout accrues on completion (stats() pro-rates mid-handoff reads),
+  // so a run ending inside a handoff never overcounts.
+  stats_.blackout_time += sim_.now() - handoff_began_;
   WTCP_LOG(kInfo, sim_.now(), "handoff", "complete");
+  obs::add(completed_);
+  obs::set(blackout_s_, stats_.blackout_time.to_seconds());
+  if (bus_) bus_->publish(sim_.now(), "handoff", "complete");
   if (on_handoff_complete) on_handoff_complete();
   schedule_next(sim_.now());
 }

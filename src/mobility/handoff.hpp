@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/obs/probe.hpp"
 #include "src/phy/error_model.hpp"
 #include "src/sim/random.hpp"
 #include "src/sim/simulator.hpp"
@@ -44,6 +45,10 @@ struct HandoffConfig {
 
 struct HandoffStats {
   std::uint64_t handoffs = 0;
+  /// Total wireless blackout actually experienced so far.  Accrued when a
+  /// handoff COMPLETES — and pro-rated for an in-progress handoff when
+  /// queried mid-blackout — so a run that ends inside a handoff counts
+  /// only the elapsed part, not the full configured latency.
   sim::Time blackout_time;
 };
 
@@ -61,7 +66,9 @@ class HandoffManager {
   std::function<void()> on_handoff_complete;
 
   bool in_handoff() const { return in_handoff_; }
-  const HandoffStats& stats() const { return stats_; }
+  /// Snapshot at the simulator's current time (pro-rates an in-progress
+  /// blackout, see HandoffStats::blackout_time).
+  HandoffStats stats() const;
   const HandoffConfig& config() const { return cfg_; }
 
  private:
@@ -100,7 +107,14 @@ class HandoffManager {
   sim::Rng rng_;
   std::shared_ptr<BlackoutModel> model_;
   bool in_handoff_ = false;
+  sim::Time handoff_began_;  ///< start of the in-progress handoff
   HandoffStats stats_;
+
+  // Probe bus (null when observability is off).
+  obs::Registry* bus_ = nullptr;
+  obs::Counter* begun_ = nullptr;
+  obs::Counter* completed_ = nullptr;
+  obs::Gauge* blackout_s_ = nullptr;
 };
 
 }  // namespace wtcp::mobility

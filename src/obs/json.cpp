@@ -30,6 +30,52 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+bool json_unescape(std::string_view s, std::string& out) {
+  out.clear();
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (++i >= s.size()) return false;
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (i + 4 >= s.size()) return false;
+        unsigned v = 0;
+        for (int k = 1; k <= 4; ++k) {
+          const char h = s[i + static_cast<std::size_t>(k)];
+          v <<= 4;
+          if (h >= '0' && h <= '9') {
+            v |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            v |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            v |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return false;
+          }
+        }
+        if (v > 0xFF) return false;  // json_escape never emits these
+        out += static_cast<char>(v);
+        i += 4;
+        break;
+      }
+      default: return false;
+    }
+  }
+  return true;
+}
+
 void JsonWriter::comma() {
   if (after_key_) {
     after_key_ = false;

@@ -18,6 +18,12 @@ namespace wtcp::obs {
 /// string excludes the surrounding quotes.
 std::string json_escape(std::string_view s);
 
+/// Inverse of json_escape over the content between the quotes: resolves
+/// \" \\ \/ \n \r \t \b \f and \u00XX escapes.  Unicode escapes above
+/// 0xFF are not produced by json_escape and are rejected.  Returns false
+/// (leaving `out` unspecified) on a malformed escape.
+bool json_unescape(std::string_view s, std::string& out);
+
 class JsonWriter {
  public:
   explicit JsonWriter(std::ostream& os) : os_(os) {}

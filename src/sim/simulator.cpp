@@ -1,6 +1,9 @@
 #include "src/sim/simulator.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 
 #include "src/net/packet_pool.hpp"
 
@@ -18,11 +21,65 @@ Simulator::~Simulator() {
   WTCP_AUDIT_ONLY(::wtcp::audit::bind_probes(nullptr);)
 }
 
+const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kEventBudget: return "event-budget";
+    case RunStatus::kTimeBudget: return "time-budget";
+    case RunStatus::kDeadline: return "deadline-exceeded";
+    case RunStatus::kException: return "exception";
+  }
+  return "?";
+}
+
 std::uint64_t Simulator::run(Time horizon) {
   const auto wall_start = std::chrono::steady_clock::now();
+  outcome_ = {};
   std::uint64_t n = 0;
-  while (!stopped_ && sched_.next_event_time() <= horizon && sched_.run_one()) {
-    ++n;
+  if (!budget_.armed()) {
+    // The pre-watchdog loop, verbatim: budget-free runs pay nothing and
+    // stay bitwise identical to the goldens.
+    while (!stopped_ && sched_.next_event_time() <= horizon && sched_.run_one()) {
+      ++n;
+    }
+  } else {
+    const Time stop_at = std::min(horizon, budget_.max_virtual_time);
+    char msg[128];
+    while (!stopped_) {
+      if (budget_.max_events != 0 && n >= budget_.max_events) {
+        std::snprintf(msg, sizeof msg,
+                      "event budget exhausted (%" PRIu64 " events)",
+                      budget_.max_events);
+        outcome_ = {RunStatus::kEventBudget, msg};
+        break;
+      }
+      const Time next = sched_.next_event_time();
+      if (next > stop_at) {
+        if (next <= horizon) {
+          // The budget, not the caller's horizon, is what stopped us.
+          std::snprintf(msg, sizeof msg,
+                        "virtual-time budget exceeded (%.6f s)",
+                        budget_.max_virtual_time.to_seconds());
+          outcome_ = {RunStatus::kTimeBudget, msg};
+        }
+        break;
+      }
+      if (budget_.max_wall_seconds > 0.0 && (n & 63) == 0) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          wall_start)
+                .count();
+        if (elapsed > budget_.max_wall_seconds) {
+          std::snprintf(msg, sizeof msg,
+                        "wall-clock deadline exceeded (%.3f s limit)",
+                        budget_.max_wall_seconds);
+          outcome_ = {RunStatus::kDeadline, msg};
+          break;
+        }
+      }
+      if (!sched_.run_one()) break;
+      ++n;
+    }
   }
   wall_seconds_ +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)

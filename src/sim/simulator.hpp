@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "src/core/audit.hpp"
 #include "src/sim/random.hpp"
@@ -19,6 +20,49 @@ class PacketPool;
 }
 
 namespace wtcp::sim {
+
+/// Why a run loop ended (docs/robustness.md has the full taxonomy).
+/// kOk covers both "queue drained" and "caller's horizon reached" — the
+/// pre-existing, always-legal stopping conditions.  Everything else is a
+/// watchdog or containment verdict.
+enum class RunStatus : std::uint8_t {
+  kOk,           ///< drained, horizon reached, or stop() requested
+  kEventBudget,  ///< RunBudget::max_events exhausted
+  kTimeBudget,   ///< RunBudget::max_virtual_time reached before the horizon
+  kDeadline,     ///< RunBudget::max_wall_seconds of real time elapsed
+  kException,    ///< the run threw (set by the experiment harness, not run())
+};
+
+const char* to_string(RunStatus s);
+
+/// Optional per-run watchdog limits.  Default-constructed = unarmed: the
+/// run loop takes the exact pre-existing path, so budget-free runs stay
+/// byte-identical (all fig03-11 / run_seeds goldens).
+struct RunBudget {
+  /// Stop after this many events in one run() call (0 = unlimited).
+  std::uint64_t max_events = 0;
+  /// Stop before executing any event past this virtual time.  Unlike the
+  /// run(horizon) argument, crossing it is reported as kTimeBudget.
+  Time max_virtual_time = Time::max();
+  /// Stop once this much wall-clock time has elapsed inside run()
+  /// (0 = unlimited).  Checked every 64 events; the only watchdog that is
+  /// machine-dependent, so budget-killed runs are not reproducible — they
+  /// are reported, never folded into result statistics.
+  double max_wall_seconds = 0.0;
+
+  bool armed() const {
+    return max_events != 0 || max_virtual_time != Time::max() ||
+           max_wall_seconds > 0.0;
+  }
+};
+
+/// Structured verdict of the last run() call.
+struct RunOutcome {
+  RunStatus status = RunStatus::kOk;
+  std::string message;  ///< human-readable detail ("" when ok)
+
+  bool ok() const { return status == RunStatus::kOk; }
+};
 
 /// One simulation run.  Components hold a Simulator& and use it for time,
 /// timers and randomness.  Not thread-safe (a run is single-threaded by
@@ -50,9 +94,18 @@ class Simulator {
   bool cancel(EventId id) { return sched_.cancel(id); }
   bool pending(EventId id) const { return sched_.pending(id); }
 
-  /// Run until no events remain, `horizon` is exceeded, or stop() is called.
-  /// Returns the number of events executed.
+  /// Run until no events remain, `horizon` is exceeded, stop() is called,
+  /// or an armed budget fires (see outcome()).  Returns the number of
+  /// events executed by this call.
   std::uint64_t run(Time horizon = Time::max());
+
+  /// Watchdog limits for subsequent run() calls.  Unarmed (the default)
+  /// costs nothing: the run loop is the exact pre-watchdog code path.
+  void set_budget(const RunBudget& b) { budget_ = b; }
+  const RunBudget& budget() const { return budget_; }
+
+  /// Verdict of the most recent run() call (kOk until a budget fires).
+  const RunOutcome& outcome() const { return outcome_; }
 
   /// Request the run loop to exit after the current event.
   void stop() { stopped_ = true; }
@@ -88,6 +141,8 @@ class Simulator {
   obs::Registry* probes_ = nullptr;
   double wall_seconds_ = 0.0;
   bool stopped_ = false;
+  RunBudget budget_;
+  RunOutcome outcome_;
 };
 
 }  // namespace wtcp::sim

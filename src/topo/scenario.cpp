@@ -346,6 +346,7 @@ stats::RunMetrics Scenario::run() {
   ran_ = true;
   if (sampler_) sampler_->start();
   sender_->start_at(sim::Time::zero());
+  sim_.set_budget(cfg_.budget);
   sim_.run(cfg_.horizon);
   if (sampler_) sampler_->stop();
   return metrics();

@@ -116,6 +116,11 @@ struct ScenarioConfig {
   std::uint64_t seed = 1;
   sim::Time horizon = sim::Time::seconds(36'000);  ///< hard stop
 
+  /// Per-run watchdog limits (docs/robustness.md).  Unarmed by default:
+  /// the run loop is the exact budget-free code path and output stays
+  /// byte-identical to the goldens.
+  sim::RunBudget budget;
+
   ObsConfig obs;
 
   /// Set the paper's "packet size" (total wired packet, header included).

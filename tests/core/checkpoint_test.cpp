@@ -1,0 +1,231 @@
+// The checkpoint journal: exact round-trip, corruption detection, and the
+// thread-safety of the appender.
+#include "src/core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace wtcp::core {
+namespace {
+
+constexpr std::string_view kDigest = "0123456789abcdef";
+
+CheckpointEntry sample_entry(std::size_t index) {
+  CheckpointEntry e;
+  e.index = index;
+  SeedRunReport& sr = e.report;
+  sr.seed = 40 + index;
+  sr.wall_seconds = 0.1 * static_cast<double>(index + 1);
+  sr.events_executed = 123456 + index;
+  sr.max_event_queue_depth = 77;
+  sr.obs_events = 9;
+  sr.obs_samples = 4;
+  sr.metrics.completed = true;
+  sr.metrics.duration = sim::Time::from_seconds(81.4159);
+  // Deliberately awkward doubles: values whose decimal renderings do not
+  // round-trip at %.10g (the manifest's precision).
+  sr.metrics.throughput_bps = 10427.337575757576;
+  sr.metrics.goodput = 1.0 / 3.0;
+  sr.metrics.delay_p50_s = 0.1 + 0.2;  // 0.30000000000000004
+  sr.metrics.delay_p95_s = std::nextafter(1.0, 2.0);
+  sr.metrics.delay_max_s = 5e-324;  // smallest subnormal
+  sr.metrics.timeouts = 3;
+  sr.metrics.segments_sent = 211;
+  sr.metrics.retransmitted_bytes = 17 * 536;
+  sr.counters["tcp.timeouts"] = 3;
+  sr.counters["arq.attempts"] = 52;
+  sr.gauges["channel.good_fraction"] = 0.9090909090909091;
+  sr.executed_by_tag["wired-link"] = 4096;
+  e.events_jsonl = "{\"t\":\"0.0\",\"ev\":\"tx \\\"quoted\\\"\"}\n";
+  e.series_csv = "t,cwnd\n0.1,536\n";
+  return e;
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+}
+
+TEST(Hexfloat, RoundTripsBitExactly) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           0.1 + 0.2,
+                           -12345.678901234567,
+                           5e-324,
+                           std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::min(),
+                           std::nextafter(100.0, 101.0)};
+  for (const double v : values) {
+    double back = 0.0;
+    ASSERT_TRUE(parse_hexfloat(hexfloat(v), back)) << hexfloat(v);
+    // Bit-level equality (memcmp would miss -0.0 vs 0.0 via ==).
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0)
+        << v << " -> " << hexfloat(v) << " -> " << back;
+  }
+}
+
+TEST(Hexfloat, ParseRejectsGarbage) {
+  double out = 0.0;
+  EXPECT_FALSE(parse_hexfloat("", out));
+  EXPECT_FALSE(parse_hexfloat("bogus", out));
+  EXPECT_FALSE(parse_hexfloat("0x1p0 trailing", out));
+}
+
+TEST(CheckpointLine, EncodeDecodeRoundTrip) {
+  const CheckpointEntry in = sample_entry(2);
+  const std::string line = encode_checkpoint_line(kDigest, in);
+  EXPECT_EQ(line.back(), '\n');
+
+  CheckpointEntry out;
+  bool foreign = false;
+  ASSERT_TRUE(decode_checkpoint_line(line, kDigest, out, foreign));
+  EXPECT_FALSE(foreign);
+
+  EXPECT_EQ(out.index, in.index);
+  EXPECT_EQ(out.report.seed, in.report.seed);
+  EXPECT_EQ(out.report.events_executed, in.report.events_executed);
+  EXPECT_EQ(out.report.max_event_queue_depth, in.report.max_event_queue_depth);
+  EXPECT_EQ(out.report.obs_events, in.report.obs_events);
+  EXPECT_EQ(out.report.obs_samples, in.report.obs_samples);
+  EXPECT_TRUE(out.report.restored);
+  EXPECT_EQ(out.report.status, sim::RunStatus::kOk);
+
+  const stats::RunMetrics& a = in.report.metrics;
+  const stats::RunMetrics& b = out.report.metrics;
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.duration.ns(), b.duration.ns());
+  // Bitwise, not approximate: this is the resume byte-identity contract.
+  EXPECT_EQ(hexfloat(a.throughput_bps), hexfloat(b.throughput_bps));
+  EXPECT_EQ(hexfloat(a.goodput), hexfloat(b.goodput));
+  EXPECT_EQ(hexfloat(a.delay_p50_s), hexfloat(b.delay_p50_s));
+  EXPECT_EQ(hexfloat(a.delay_p95_s), hexfloat(b.delay_p95_s));
+  EXPECT_EQ(hexfloat(a.delay_max_s), hexfloat(b.delay_max_s));
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.segments_sent, b.segments_sent);
+  EXPECT_EQ(a.retransmitted_bytes, b.retransmitted_bytes);
+
+  EXPECT_EQ(out.report.counters, in.report.counters);
+  EXPECT_EQ(out.report.gauges, in.report.gauges);
+  EXPECT_EQ(out.report.executed_by_tag, in.report.executed_by_tag);
+  EXPECT_EQ(out.events_jsonl, in.events_jsonl);
+  EXPECT_EQ(out.series_csv, in.series_csv);
+}
+
+TEST(CheckpointLine, CrcCatchesSingleByteCorruption) {
+  std::string line = encode_checkpoint_line(kDigest, sample_entry(0));
+  // Flip one byte in the record body (past the header, before the tail).
+  line[line.size() / 2] ^= 0x01;
+  CheckpointEntry out;
+  bool foreign = false;
+  EXPECT_FALSE(decode_checkpoint_line(line, kDigest, out, foreign));
+  EXPECT_FALSE(foreign);
+}
+
+TEST(CheckpointLine, DigestMismatchIsDistinguished) {
+  const std::string line = encode_checkpoint_line(kDigest, sample_entry(0));
+  CheckpointEntry out;
+  bool foreign = false;
+  EXPECT_FALSE(
+      decode_checkpoint_line(line, "fedcba9876543210", out, foreign));
+  EXPECT_TRUE(foreign);
+}
+
+TEST(CheckpointLine, RejectsBadFraming) {
+  CheckpointEntry out;
+  bool foreign = false;
+  EXPECT_FALSE(decode_checkpoint_line("", kDigest, out, foreign));
+  EXPECT_FALSE(decode_checkpoint_line("{\"crc\":\"short\"}", kDigest, out,
+                                      foreign));
+  EXPECT_FALSE(decode_checkpoint_line("not json at all", kDigest, out,
+                                      foreign));
+}
+
+TEST(CheckpointLoad, TornTailIsSkippedNotFatal) {
+  // Two good lines plus the torn tail a kill mid-append leaves behind.
+  std::string journal = encode_checkpoint_line(kDigest, sample_entry(0));
+  journal += encode_checkpoint_line(kDigest, sample_entry(1));
+  const std::string tail = encode_checkpoint_line(kDigest, sample_entry(2));
+  journal += tail.substr(0, tail.size() / 2);  // no newline, half a record
+
+  std::istringstream in(journal);
+  const CheckpointLoad load = load_checkpoint(in, kDigest);
+  ASSERT_EQ(load.entries.size(), 2u);
+  EXPECT_EQ(load.entries[0].index, 0u);
+  EXPECT_EQ(load.entries[1].index, 1u);
+  EXPECT_EQ(load.corrupt_lines, 1u);
+  EXPECT_EQ(load.foreign_lines, 0u);
+}
+
+TEST(CheckpointLoad, ForeignDigestLinesAreCountedSeparately) {
+  std::string journal = encode_checkpoint_line("aaaaaaaaaaaaaaaa",
+                                               sample_entry(0));
+  journal += encode_checkpoint_line(kDigest, sample_entry(1));
+  std::istringstream in(journal);
+  const CheckpointLoad load = load_checkpoint(in, kDigest);
+  ASSERT_EQ(load.entries.size(), 1u);
+  EXPECT_EQ(load.entries[0].index, 1u);
+  EXPECT_EQ(load.foreign_lines, 1u);
+  EXPECT_EQ(load.corrupt_lines, 0u);
+}
+
+TEST(CheckpointLoad, MissingFileIsEmptyNotError) {
+  const CheckpointLoad load =
+      load_checkpoint_file("/nonexistent/dir/ck.jsonl", kDigest);
+  EXPECT_TRUE(load.entries.empty());
+  EXPECT_EQ(load.corrupt_lines, 0u);
+}
+
+TEST(CheckpointWriter, ConcurrentAppendsAllDecode) {
+  const std::string path = testing::TempDir() + "wtcp_ck_writer.jsonl";
+  std::remove(path.c_str());
+  {
+    CheckpointWriter writer(path, std::string(kDigest), /*append=*/false);
+    ASSERT_TRUE(writer.is_open());
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&writer, t] {
+        for (int i = 0; i < 8; ++i) {
+          writer.append(sample_entry(static_cast<std::size_t>(t * 8 + i)));
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  const CheckpointLoad load = load_checkpoint_file(path, kDigest);
+  EXPECT_EQ(load.entries.size(), 32u);
+  EXPECT_EQ(load.corrupt_lines, 0u);
+  // Every index present exactly once, any order.
+  std::vector<int> hits(32, 0);
+  for (const CheckpointEntry& e : load.entries) ++hits[e.index];
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(CheckpointWriter, AppendModePreservesExistingLines) {
+  const std::string path = testing::TempDir() + "wtcp_ck_append.jsonl";
+  {
+    CheckpointWriter w(path, std::string(kDigest), /*append=*/false);
+    w.append(sample_entry(0));
+  }
+  {
+    CheckpointWriter w(path, std::string(kDigest), /*append=*/true);
+    w.append(sample_entry(1));
+  }
+  const CheckpointLoad load = load_checkpoint_file(path, kDigest);
+  ASSERT_EQ(load.entries.size(), 2u);
+  EXPECT_EQ(load.entries[0].index, 0u);
+  EXPECT_EQ(load.entries[1].index, 1u);
+}
+
+}  // namespace
+}  // namespace wtcp::core

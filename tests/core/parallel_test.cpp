@@ -56,6 +56,62 @@ TEST(ParallelRunner, PropagatesWorkerExceptions) {
                std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// Failure containment: for_each_index_contained never aborts the sweep.
+// ---------------------------------------------------------------------------
+
+// Regression (resilient sweeps): with first-exception-aborts semantics the
+// second failure was silently lost and the remaining indices never ran.
+// BOTH throwing indices must surface, and every other index must complete.
+TEST(ParallelRunner, ContainedSurfacesEveryThrowingIndex) {
+  core::ParallelRunner pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  const std::vector<core::IndexOutcome> outcomes =
+      pool.for_each_index_contained(hits.size(), [&](std::size_t i) {
+        ++hits[i];
+        if (i == 5) throw std::runtime_error("boom at five");
+        if (i == 41) throw std::runtime_error("boom at forty-one");
+      });
+  ASSERT_EQ(outcomes.size(), 64u);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_FALSE(outcomes[5].ok);
+  EXPECT_EQ(outcomes[5].error, "boom at five");
+  EXPECT_FALSE(outcomes[41].ok);
+  EXPECT_EQ(outcomes[41].error, "boom at forty-one");
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (i == 5 || i == 41) continue;
+    EXPECT_TRUE(outcomes[i].ok) << "index " << i << ": " << outcomes[i].error;
+    EXPECT_TRUE(outcomes[i].error.empty());
+  }
+}
+
+TEST(ParallelRunner, ContainedWorksSequentiallyToo) {
+  core::ParallelRunner pool(1);
+  const std::vector<core::IndexOutcome> outcomes =
+      pool.for_each_index_contained(6, [&](std::size_t i) {
+        if (i == 1 || i == 4) throw std::runtime_error("seq boom");
+      });
+  ASSERT_EQ(outcomes.size(), 6u);
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_FALSE(outcomes[4].ok);
+  EXPECT_EQ(outcomes[1].error, "seq boom");
+  EXPECT_TRUE(outcomes[0].ok && outcomes[2].ok && outcomes[3].ok &&
+              outcomes[5].ok);
+}
+
+TEST(ParallelRunner, ContainedDescribesNonStdExceptions) {
+  core::ParallelRunner pool(2);
+  const std::vector<core::IndexOutcome> outcomes =
+      pool.for_each_index_contained(2, [](std::size_t i) {
+        if (i == 0) throw 42;  // not a std::exception
+      });
+  EXPECT_FALSE(outcomes[0].ok);
+  EXPECT_FALSE(outcomes[0].error.empty());
+  EXPECT_TRUE(outcomes[1].ok);
+}
+
 TEST(ParallelRunner, ResolveJobsPrefersExplicitValue) {
   EXPECT_EQ(core::resolve_jobs(3), 3);
   EXPECT_GE(core::resolve_jobs(0), 1);  // env or hardware, but never < 1

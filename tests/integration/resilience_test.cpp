@@ -1,0 +1,262 @@
+// Resilient sweeps end to end: failure containment (a throwing and a
+// stalled seed must not abort or poison the others), watchdog verdicts in
+// the report/manifest, and the checkpoint/resume byte-identity contract.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/core/api.hpp"
+
+namespace wtcp {
+namespace {
+
+topo::ScenarioConfig sweep_config() {
+  topo::ScenarioConfig cfg = topo::wan_scenario();
+  cfg.local_recovery = true;
+  cfg.feedback = topo::FeedbackMode::kEbsn;
+  cfg.channel.mean_bad_s = 4;
+  cfg.tcp.file_bytes = 20 * 1024;
+  return cfg;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return std::move(os).str();
+}
+
+std::string strip_wall_seconds(std::string s) {
+  const std::string key = "\"wall_seconds\":";
+  for (std::size_t pos = s.find(key); pos != std::string::npos;
+       pos = s.find(key, pos)) {
+    std::size_t end = s.find_first_of(",}", pos + key.size());
+    if (end == std::string::npos) end = s.size();
+    s.erase(pos, end - pos);
+  }
+  return s;
+}
+
+// Self-perpetuating no-op event chain: keeps the event queue non-empty
+// forever, so the run "stalls" until a watchdog cuts it off.
+void stall_churn(sim::Simulator& s) {
+  s.after(sim::Time::milliseconds(1), [&s] { stall_churn(s); }, "churn");
+}
+
+// ---------------------------------------------------------------------------
+// Failure containment across a sweep
+// ---------------------------------------------------------------------------
+
+// The resilience headline: one seed throws, another stalls, and the sweep
+// still completes with per-seed structured verdicts for both.
+TEST(ResilientSweep, ThrowingAndStalledSeedsAreContained) {
+  topo::ScenarioConfig cfg = sweep_config();
+  // Generous event budget: orders of magnitude above a normal run of this
+  // transfer, but the stalled seed's churn chain will exhaust it.
+  cfg.budget.max_events = 2'000'000;
+
+  core::ReportOptions opts;
+  opts.out_stem = testing::TempDir() + "wtcp_resilient_sweep";
+  opts.jobs = 4;
+  opts.pre_run = [](std::size_t i, topo::Scenario& scenario) {
+    if (i == 2) throw std::runtime_error("injected fault");
+    if (i == 4) {
+      // Hang the run: completion never stops the simulator, and the churn
+      // chain keeps the queue busy until the event budget cuts it off.
+      scenario.sink().on_complete = [] {};
+      stall_churn(scenario.simulator());
+    }
+  };
+  const core::RunReport report = core::run_seeds_reported(cfg, 6, 1, opts);
+
+  ASSERT_EQ(report.seeds.size(), 6u);
+  EXPECT_EQ(report.summary.runs_total, 6u);
+  EXPECT_EQ(report.summary.runs_failed, 2u);
+  EXPECT_EQ(report.summary.runs_completed, 4u);
+  EXPECT_EQ(report.summary.runs_incomplete(), 0u);
+  EXPECT_FALSE(report.summary.all_ok());
+  // Statistics fold only the four healthy seeds.
+  EXPECT_EQ(report.summary.throughput_bps.count(), 4u);
+
+  EXPECT_EQ(report.seeds[2].status, sim::RunStatus::kException);
+  EXPECT_NE(report.seeds[2].error.find("injected fault"), std::string::npos);
+  EXPECT_EQ(report.seeds[4].status, sim::RunStatus::kEventBudget);
+  EXPECT_FALSE(report.seeds[4].error.empty());
+  for (const std::size_t i : {0u, 1u, 3u, 5u}) {
+    EXPECT_TRUE(report.seeds[i].ok()) << "seed index " << i;
+    EXPECT_TRUE(report.seeds[i].metrics.completed);
+  }
+
+  // Both verdicts land in the manifest, machine-readable.
+  const std::string manifest = slurp(opts.out_stem + ".manifest.json");
+  EXPECT_NE(manifest.find("\"outcome\":\"exception\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"outcome\":\"event-budget\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"error\":\"injected fault\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"runs_failed\":2"), std::string::npos);
+}
+
+// run_seeds (the plain statistics path) shares the same containment: an
+// armed budget that kills every run yields failures, not an abort.
+TEST(ResilientSweep, RunSeedsReportsWatchdogOutcomes) {
+  topo::ScenarioConfig cfg = sweep_config();
+  cfg.budget.max_events = 50;  // far too few to finish anything
+
+  std::vector<core::SeedOutcome> outcomes;
+  const core::MetricsSummary s = core::run_seeds(cfg, 3, 7, /*jobs=*/2,
+                                                 &outcomes);
+  EXPECT_EQ(s.runs_total, 3u);
+  EXPECT_EQ(s.runs_failed, 3u);
+  EXPECT_EQ(s.throughput_bps.count(), 0u);
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].seed, 7u + i);
+    EXPECT_EQ(outcomes[i].status, sim::RunStatus::kEventBudget);
+    EXPECT_FALSE(outcomes[i].message.empty());
+  }
+}
+
+TEST(ResilientSweep, UnarmedBudgetSweepIsAllOk) {
+  std::vector<core::SeedOutcome> outcomes;
+  const core::MetricsSummary s =
+      core::run_seeds(sweep_config(), 3, 1, /*jobs=*/2, &outcomes);
+  EXPECT_EQ(s.runs_failed, 0u);
+  EXPECT_EQ(s.runs_completed, 3u);
+  EXPECT_TRUE(s.all_ok());
+  for (const core::SeedOutcome& o : outcomes) EXPECT_TRUE(o.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / resume: interrupted + resumed == uninterrupted, bytewise
+// ---------------------------------------------------------------------------
+
+class CheckpointResume : public testing::TestWithParam<int> {};
+
+TEST_P(CheckpointResume, InterruptedThenResumedIsByteIdentical) {
+  const int jobs = GetParam();
+  const topo::ScenarioConfig cfg = sweep_config();
+  const std::string tag = "wtcp_resume_j" + std::to_string(jobs);
+
+  // Reference: the uninterrupted 6-seed sweep.
+  core::ReportOptions full_opts;
+  full_opts.out_stem = testing::TempDir() + tag + "_full";
+  full_opts.jobs = jobs;
+  const core::RunReport full = core::run_seeds_reported(cfg, 6, 1, full_opts);
+  ASSERT_EQ(full.summary.runs_failed, 0u);
+
+  // Pass 1: the "killed" sweep.  Seeds at index >= 3 fail (stand-in for a
+  // kill arriving after three seeds were journaled).
+  const std::string ck = testing::TempDir() + tag + ".ck.jsonl";
+  std::remove(ck.c_str());
+  core::ReportOptions pass1;
+  pass1.out_stem = testing::TempDir() + tag + "_pass1";
+  pass1.jobs = jobs;
+  pass1.checkpoint_path = ck;
+  pass1.pre_run = [](std::size_t i, topo::Scenario&) {
+    if (i >= 3) throw std::runtime_error("simulated kill");
+  };
+  const core::RunReport interrupted =
+      core::run_seeds_reported(cfg, 6, 1, pass1);
+  EXPECT_EQ(interrupted.summary.runs_failed, 3u);
+
+  // Pass 2: resume.  Only the three unfinished seeds may run.
+  std::atomic<int> reruns{0};
+  core::ReportOptions pass2;
+  pass2.out_stem = testing::TempDir() + tag + "_pass2";
+  pass2.jobs = jobs;
+  pass2.checkpoint_path = ck;
+  pass2.resume = true;
+  pass2.pre_run = [&reruns](std::size_t, topo::Scenario&) { ++reruns; };
+  const core::RunReport resumed = core::run_seeds_reported(cfg, 6, 1, pass2);
+
+  EXPECT_EQ(reruns.load(), 3);
+  ASSERT_EQ(resumed.seeds.size(), 6u);
+  EXPECT_EQ(resumed.summary.runs_failed, 0u);
+  EXPECT_EQ(resumed.summary.runs_completed, 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(resumed.seeds[i].restored, i < 3) << "seed index " << i;
+  }
+
+  // The folded summary is bit-identical: hexfloat round-trip + seed-order
+  // fold leave no room for drift.
+  EXPECT_EQ(full.summary.throughput_bps.mean(),
+            resumed.summary.throughput_bps.mean());
+  EXPECT_EQ(full.summary.throughput_bps.stddev(),
+            resumed.summary.throughput_bps.stddev());
+  EXPECT_EQ(full.summary.goodput.mean(), resumed.summary.goodput.mean());
+  EXPECT_EQ(full.summary.duration_s.mean(), resumed.summary.duration_s.mean());
+
+  // And the files: events + series byte-for-byte, manifest modulo wall
+  // clock.  This is the resume contract (docs/robustness.md).
+  EXPECT_EQ(slurp(full_opts.out_stem + ".jsonl"),
+            slurp(pass2.out_stem + ".jsonl"));
+  EXPECT_EQ(slurp(full_opts.out_stem + ".series.csv"),
+            slurp(pass2.out_stem + ".series.csv"));
+  EXPECT_EQ(strip_wall_seconds(slurp(full_opts.out_stem + ".manifest.json")),
+            strip_wall_seconds(slurp(pass2.out_stem + ".manifest.json")));
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, CheckpointResume, testing::Values(1, 4));
+
+// A checkpoint written under one config must not seed a resume under
+// another: the digest guard treats those lines as foreign.
+TEST(CheckpointResumeGuard, DifferentConfigIsNotRestored) {
+  const std::string ck = testing::TempDir() + "wtcp_resume_guard.ck.jsonl";
+  std::remove(ck.c_str());
+
+  core::ReportOptions pass1;
+  pass1.checkpoint_path = ck;
+  pass1.jobs = 2;
+  core::run_seeds_reported(sweep_config(), 2, 1, pass1);
+
+  topo::ScenarioConfig other = sweep_config();
+  other.tcp.file_bytes += 1024;  // different run entirely
+  std::atomic<int> executed{0};
+  core::ReportOptions pass2;
+  pass2.checkpoint_path = ck;
+  pass2.resume = true;
+  pass2.jobs = 2;
+  pass2.pre_run = [&executed](std::size_t, topo::Scenario&) { ++executed; };
+  const core::RunReport report = core::run_seeds_reported(other, 2, 1, pass2);
+
+  EXPECT_EQ(executed.load(), 2);  // nothing restored, both seeds re-ran
+  EXPECT_EQ(report.summary.runs_completed, 2u);
+  for (const core::SeedRunReport& sr : report.seeds) {
+    EXPECT_FALSE(sr.restored);
+  }
+}
+
+// Resume also composes with EXTENDING a sweep: journal 3 seeds, then ask
+// for 6 with --resume and only the new three run.
+TEST(CheckpointResumeGuard, ExtendingSweepRunsOnlyNewSeeds) {
+  const std::string ck = testing::TempDir() + "wtcp_resume_extend.ck.jsonl";
+  std::remove(ck.c_str());
+  const topo::ScenarioConfig cfg = sweep_config();
+
+  core::ReportOptions pass1;
+  pass1.checkpoint_path = ck;
+  pass1.jobs = 2;
+  core::run_seeds_reported(cfg, 3, 1, pass1);
+
+  std::atomic<int> executed{0};
+  core::ReportOptions pass2;
+  pass2.checkpoint_path = ck;
+  pass2.resume = true;
+  pass2.jobs = 2;
+  pass2.pre_run = [&executed](std::size_t, topo::Scenario&) { ++executed; };
+  const core::RunReport report = core::run_seeds_reported(cfg, 6, 1, pass2);
+
+  EXPECT_EQ(executed.load(), 3);
+  EXPECT_EQ(report.summary.runs_completed, 6u);
+  EXPECT_TRUE(report.seeds[0].restored);
+  EXPECT_FALSE(report.seeds[5].restored);
+}
+
+}  // namespace
+}  // namespace wtcp

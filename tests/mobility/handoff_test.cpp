@@ -64,6 +64,51 @@ TEST(HandoffManager, StochasticScheduleIsSeedDeterministic) {
   EXPECT_GT(ta.size(), 2u);
 }
 
+// Regression: begin_handoff() used to charge the FULL configured latency
+// the moment a handoff began, so a run ending mid-blackout overcounted
+// blackout_time.  Accounting now accrues on completion and pro-rates an
+// in-progress handoff at query time.
+TEST(HandoffManager, BlackoutAccruesOnlyElapsedTimeMidHandoff) {
+  sim::Simulator sim;
+  HandoffManager mgr(sim, det_cfg());  // handoff at [15 s, 15.5 s)
+  HandoffStats mid;
+  bool mid_in_handoff = false;
+  sim.at(sim::Time::from_seconds(15.2), [&] {
+    mid = mgr.stats();
+    mid_in_handoff = mgr.in_handoff();
+  });
+  sim.run(sim::Time::seconds(16));
+
+  ASSERT_TRUE(mid_in_handoff);
+  // 0.2 s of the 0.5 s blackout had elapsed; the old code reported 0.5 s.
+  EXPECT_DOUBLE_EQ(mid.blackout_time.to_seconds(), 0.2);
+  EXPECT_EQ(mid.handoffs, 1u);
+
+  EXPECT_FALSE(mgr.in_handoff());
+  EXPECT_DOUBLE_EQ(mgr.stats().blackout_time.to_seconds(), 0.5);
+}
+
+TEST(HandoffManager, BlackoutAccumulatesAcrossCompletedHandoffs) {
+  sim::Simulator sim;
+  HandoffManager mgr(sim, det_cfg());  // handoffs at 15 and 25.5 s
+  sim.run(sim::Time::seconds(30));
+  EXPECT_EQ(mgr.stats().handoffs, 2u);
+  EXPECT_DOUBLE_EQ(mgr.stats().blackout_time.to_seconds(), 1.0);
+}
+
+TEST(HandoffManager, ProbeCountersTrackBeginAndComplete) {
+  sim::Simulator sim;
+  obs::Registry probes;
+  sim.set_probes(&probes);
+  HandoffManager mgr(sim, det_cfg());
+  sim.run(sim::Time::from_seconds(15.2));  // mid-blackout of handoff #1
+  EXPECT_EQ(probes.counter("handoff.begun")->value, 1u);
+  EXPECT_EQ(probes.counter("handoff.completed")->value, 0u);
+  sim.run(sim::Time::seconds(16));
+  EXPECT_EQ(probes.counter("handoff.completed")->value, 1u);
+  EXPECT_DOUBLE_EQ(probes.gauge("handoff.blackout_s")->value, 0.5);
+}
+
 TEST(HandoffManager, DisabledDoesNothing) {
   sim::Simulator sim;
   HandoffConfig cfg;

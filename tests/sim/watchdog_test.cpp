@@ -1,0 +1,148 @@
+// Per-run watchdog budgets: each limit fires with the right structured
+// verdict, and an unarmed budget changes nothing about a run.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+
+namespace wtcp::sim {
+namespace {
+
+// Schedules itself forever: the stalled-scenario stand-in every watchdog
+// test runs against.
+void churn(Simulator& sim, std::vector<double>* times = nullptr) {
+  if (times) times->push_back(sim.now().to_seconds());
+  sim.after(Time::milliseconds(1), [&sim, times] { churn(sim, times); },
+            "churn");
+}
+
+TEST(RunBudget, DefaultIsUnarmed) {
+  RunBudget b;
+  EXPECT_FALSE(b.armed());
+  b.max_events = 10;
+  EXPECT_TRUE(b.armed());
+  b = RunBudget{};
+  b.max_virtual_time = Time::seconds(1);
+  EXPECT_TRUE(b.armed());
+  b = RunBudget{};
+  b.max_wall_seconds = 0.5;
+  EXPECT_TRUE(b.armed());
+}
+
+TEST(RunStatus, ToStringCoversEveryValue) {
+  EXPECT_STREQ(to_string(RunStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(RunStatus::kEventBudget), "event-budget");
+  EXPECT_STREQ(to_string(RunStatus::kTimeBudget), "time-budget");
+  EXPECT_STREQ(to_string(RunStatus::kDeadline), "deadline-exceeded");
+  EXPECT_STREQ(to_string(RunStatus::kException), "exception");
+}
+
+TEST(Watchdog, EventBudgetStopsInfiniteChain) {
+  Simulator sim;
+  churn(sim);
+  RunBudget b;
+  b.max_events = 1000;
+  sim.set_budget(b);
+  const std::uint64_t n = sim.run();
+  EXPECT_EQ(n, 1000u);
+  EXPECT_EQ(sim.outcome().status, RunStatus::kEventBudget);
+  EXPECT_FALSE(sim.outcome().ok());
+  EXPECT_NE(sim.outcome().message.find("1000"), std::string::npos)
+      << sim.outcome().message;
+}
+
+TEST(Watchdog, VirtualTimeBudgetFiresBeforeHorizon) {
+  Simulator sim;
+  churn(sim);
+  RunBudget b;
+  b.max_virtual_time = Time::seconds(1);
+  sim.set_budget(b);
+  sim.run(Time::seconds(10));
+  EXPECT_EQ(sim.outcome().status, RunStatus::kTimeBudget);
+  EXPECT_LE(sim.now(), Time::seconds(1));
+}
+
+TEST(Watchdog, HorizonBeforeTimeBudgetIsStillOk) {
+  // The run(horizon) argument stopping the run is the normal, pre-existing
+  // contract — only the BUDGET crossing is a watchdog verdict.
+  Simulator sim;
+  churn(sim);
+  RunBudget b;
+  b.max_virtual_time = Time::seconds(10);
+  sim.set_budget(b);
+  sim.run(Time::seconds(1));
+  EXPECT_EQ(sim.outcome().status, RunStatus::kOk);
+  EXPECT_TRUE(sim.outcome().ok());
+}
+
+TEST(Watchdog, WallClockDeadlineFiresOnStalledRun) {
+  Simulator sim;
+  // Each event burns ~1 ms of real time; the deadline check runs every 64
+  // events, so ~64 ms per check window against a 50 ms budget.
+  std::function<void()> burn = [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    sim.after(Time::nanoseconds(1), burn, "burn");
+  };
+  sim.after(Time::nanoseconds(1), burn, "burn");
+  RunBudget b;
+  b.max_wall_seconds = 0.05;
+  sim.set_budget(b);
+  const std::uint64_t n = sim.run();
+  EXPECT_EQ(sim.outcome().status, RunStatus::kDeadline);
+  // Must have been cut off long before any natural end (the chain is
+  // infinite) — a couple of check windows at most.
+  EXPECT_LE(n, 1000u);
+}
+
+TEST(Watchdog, UnarmedBudgetChangesNothing) {
+  std::vector<double> plain_times, budget_times;
+  Simulator plain;
+  churn(plain, &plain_times);
+  const std::uint64_t n_plain = plain.run(Time::seconds(1));
+
+  Simulator with_default;
+  churn(with_default, &budget_times);
+  with_default.set_budget(RunBudget{});  // explicitly set, still unarmed
+  const std::uint64_t n_budget = with_default.run(Time::seconds(1));
+
+  EXPECT_EQ(n_plain, n_budget);
+  EXPECT_EQ(plain_times, budget_times);
+  EXPECT_EQ(plain.outcome().status, RunStatus::kOk);
+  EXPECT_EQ(with_default.outcome().status, RunStatus::kOk);
+}
+
+TEST(Watchdog, OutcomeResetsOnNextRun) {
+  Simulator sim;
+  churn(sim);
+  RunBudget b;
+  b.max_events = 10;
+  sim.set_budget(b);
+  sim.run();
+  ASSERT_EQ(sim.outcome().status, RunStatus::kEventBudget);
+
+  // Disarm and run again: the verdict must not stick.
+  sim.set_budget(RunBudget{});
+  sim.run(sim.now() + Time::milliseconds(5));
+  EXPECT_EQ(sim.outcome().status, RunStatus::kOk);
+  EXPECT_TRUE(sim.outcome().message.empty());
+}
+
+TEST(Watchdog, EventBudgetCountsPerRunCall) {
+  Simulator sim;
+  churn(sim);
+  RunBudget b;
+  b.max_events = 100;
+  sim.set_budget(b);
+  EXPECT_EQ(sim.run(), 100u);
+  ASSERT_EQ(sim.outcome().status, RunStatus::kEventBudget);
+  // The budget is per run() call, not cumulative across calls.
+  EXPECT_EQ(sim.run(), 100u);
+  EXPECT_EQ(sim.outcome().status, RunStatus::kEventBudget);
+}
+
+}  // namespace
+}  // namespace wtcp::sim
