@@ -8,6 +8,7 @@
 #include <type_traits>
 
 #include "src/core/api.hpp"
+#include "src/core/provenance.hpp"
 
 namespace wtcp::bench {
 
@@ -24,6 +25,15 @@ class JsonResult {
   explicit JsonResult(std::string_view bench) : w_(os_) {
     w_.begin_object();
     w_.field("bench", bench);
+    // Build/run provenance: numbers without the build that produced them
+    // are not comparable across re-records.
+    const core::Provenance& prov = core::build_provenance();
+    w_.key("provenance").begin_object();
+    w_.field("git_sha", prov.git_dirty ? prov.git_sha + "-dirty" : prov.git_sha);
+    w_.field("compiler", prov.compiler);
+    w_.field("build_type", prov.build_type);
+    w_.field("flags", prov.flags);
+    w_.end_object();
     w_.key("rows").begin_array();
   }
 

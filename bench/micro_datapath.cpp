@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/core/api.hpp"
+#include "src/core/provenance.hpp"
 
 namespace {
 
@@ -105,4 +106,18 @@ BENCHMARK(BM_WanFramesPerSecond)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN(): stamp build provenance into the JSON context
+// block so recorded BENCH_*.json files say which build produced them.
+int main(int argc, char** argv) {
+  const wtcp::core::Provenance& prov = wtcp::core::build_provenance();
+  benchmark::AddCustomContext(
+      "git_sha", prov.git_dirty ? prov.git_sha + "-dirty" : prov.git_sha);
+  benchmark::AddCustomContext("compiler", prov.compiler);
+  benchmark::AddCustomContext("build_type", prov.build_type);
+  benchmark::AddCustomContext("build_flags", prov.flags);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/core/api.hpp"
+#include "src/core/provenance.hpp"
 
 namespace {
 
@@ -30,6 +31,10 @@ void BM_SchedulerCancelHeavy(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
     sim::Scheduler sched;
+    // All n events are pending at once — far past the constructor's
+    // default reservation.  Pre-size the pool so the measurement covers
+    // schedule/cancel work, not vector growth.
+    sched.reserve(static_cast<std::size_t>(n));
     std::vector<sim::EventId> ids;
     ids.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
@@ -143,4 +148,18 @@ BENCHMARK(BM_LanScenarioEndToEnd)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN(): stamp build provenance into the JSON context
+// block so recorded BENCH_*.json files say which build produced them.
+int main(int argc, char** argv) {
+  const wtcp::core::Provenance& prov = wtcp::core::build_provenance();
+  benchmark::AddCustomContext(
+      "git_sha", prov.git_dirty ? prov.git_sha + "-dirty" : prov.git_sha);
+  benchmark::AddCustomContext("compiler", prov.compiler);
+  benchmark::AddCustomContext("build_type", prov.build_type);
+  benchmark::AddCustomContext("build_flags", prov.flags);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

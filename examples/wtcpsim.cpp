@@ -85,6 +85,15 @@ observability
                            metrics/counters/profile, aggregate summary);
                            a trailing .jsonl on PATH is stripped
   --obs-sample-interval MS sampler period (default 100 ms)
+  --trace-out STEM         record the packet-lifecycle trace; each seed
+                           writes STEM.seed<N>.trace (binary; inspect with
+                           wtcptrace).  Requires a WTCP_TRACE=ON build to
+                           contain events
+  --trace-flight PATH      flight recorder: dump the last trace events as
+                           JSONL to PATH when a watchdog kills a run, a
+                           seed throws, or a WTCP_AUDIT invariant fires
+  --trace-capacity N       trace ring capacity in records (default 65536;
+                           oldest records are overwritten beyond that)
 )";
   std::exit(code);
 }
@@ -211,6 +220,20 @@ int main(int argc, char** argv) {
                           suffix) == 0) {
         obs_out.resize(obs_out.size() - suffix.size());
       }
+    } else if (a == "--trace-out") {
+      cfg.trace.enabled = true;
+      cfg.trace.out_path = arg_str(argc, argv, i);
+    } else if (a == "--trace-flight") {
+      cfg.trace.enabled = true;
+      cfg.trace.flight_path = arg_str(argc, argv, i);
+    } else if (a == "--trace-capacity") {
+      const long cap = arg_long(argc, argv, i);
+      if (cap <= 0) {
+        std::cerr << "--trace-capacity must be a positive record count\n";
+        usage(2);
+      }
+      cfg.trace.enabled = true;
+      cfg.trace.capacity = static_cast<std::size_t>(cap);
     } else if (a == "--obs-sample-interval") {
       const long ms = arg_long(argc, argv, i);
       if (ms <= 0) {

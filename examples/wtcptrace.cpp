@@ -1,0 +1,432 @@
+// wtcptrace — offline analysis for packet-lifecycle traces recorded by
+// wtcpsim --trace-out (see docs/observability.md).
+//
+//   $ wtcptrace dump run.seed1.trace            # lossless JSONL on stdout
+//   $ wtcptrace chrome run.seed1.trace > t.json # chrome://tracing / Perfetto
+//   $ wtcptrace summary run.seed1.trace         # per-hop latency percentiles
+//   $ wtcptrace timeouts run.seed1.trace        # retransmission-cause report
+//   $ wtcptrace diff a.trace b.trace            # first divergence, site deltas
+//   $ wtcptrace verify run.seed1.trace          # round-trip + span invariants
+//
+// All subcommands accept either the binary .trace format or its JSONL
+// export (the two are lossless mirrors of each other).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/probe.hpp"
+#include "src/obs/trace.hpp"
+#include "src/sim/time.hpp"
+
+namespace {
+
+using namespace wtcp;
+
+[[noreturn]] void usage(int code) {
+  std::cout << R"(usage: wtcptrace <command> <trace-file> [trace-file-2]
+
+commands
+  dump FILE       lossless JSONL export of a binary trace on stdout
+  chrome FILE     chrome://tracing / Perfetto JSON on stdout (per-packet
+                  tracks, link-occupancy slices, ARQ/EBSN spans)
+  summary FILE    per-hop latency percentiles (tx start -> delivery), site
+                  counts, and ring-drop accounting
+  timeouts FILE   every TCP timeout with its attributed cause: wireless
+                  loss, wired congestion, or spurious (data had arrived)
+  diff A B        first diverging record and per-site count deltas
+  verify FILE     binary<->JSONL round trip plus span invariants (no tx end
+                  or ARQ resolution without its start, time is monotone)
+
+FILE may be binary (written by wtcpsim --trace-out) or JSONL (written by
+wtcptrace dump); the format is auto-detected.
+)";
+  std::exit(code);
+}
+
+/// Load a trace, auto-detecting binary vs. JSONL by the magic bytes.
+bool load(const std::string& path, obs::TraceFile* out, std::string* error) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  char magic[8] = {};
+  probe.read(magic, sizeof magic);
+  probe.close();
+  if (std::memcmp(magic, "WTCPTRC1", 8) == 0) {
+    return obs::read_trace_file(path, out, error);
+  }
+  std::ifstream is(path);
+  return obs::read_trace_jsonl(is, out, error);
+}
+
+std::uint8_t site_id(obs::TraceSite s) { return static_cast<std::uint8_t>(s); }
+
+bool is_site(const obs::TraceRecord& r, obs::TraceSite s) {
+  return r.site == site_id(s);
+}
+
+double t_s(const obs::TraceRecord& r) {
+  return sim::Time::nanoseconds(r.t_ns).to_seconds();
+}
+
+int cmd_dump(const obs::TraceFile& f) {
+  obs::write_trace_jsonl(std::cout, f);
+  return 0;
+}
+
+int cmd_chrome(const obs::TraceFile& f) {
+  obs::write_chrome_trace(std::cout, f);
+  return 0;
+}
+
+/// Per-hop latency: pair each kLinkTxStart with the next kLinkDeliver for
+/// the same (packet uid, link label).  The delta is recorded into an
+/// obs::Histogram with the exact arithmetic the in-run probes use, so the
+/// percentiles printed here match the manifest's "link.*.delay_s" entries.
+int cmd_summary(const obs::TraceFile& f) {
+  std::map<std::string, obs::Histogram> per_hop;
+  std::map<std::pair<std::uint64_t, std::uint16_t>, std::int64_t> open_tx;
+  std::vector<std::uint64_t> site_counts(f.site_names.empty()
+                                             ? site_id(obs::TraceSite::kSiteCount)
+                                             : f.site_names.size(),
+                                         0);
+  for (const obs::TraceRecord& r : f.records) {
+    if (r.site < site_counts.size()) ++site_counts[r.site];
+    if (is_site(r, obs::TraceSite::kLinkTxStart)) {
+      open_tx[{r.id, r.label}] = r.t_ns;
+    } else if (is_site(r, obs::TraceSite::kLinkDeliver)) {
+      const auto it = open_tx.find({r.id, r.label});
+      if (it == open_tx.end()) continue;
+      const double delay =
+          sim::Time::nanoseconds(r.t_ns - it->second).to_seconds();
+      per_hop[f.label_of(r.label)].record(delay);
+      open_tx.erase(it);
+    }
+  }
+
+  std::printf("trace: seed %llu, %zu records held, %llu overwritten\n\n",
+              static_cast<unsigned long long>(f.seed), f.records.size(),
+              static_cast<unsigned long long>(f.dropped));
+  std::printf("per-hop latency (tx start -> delivery):\n");
+  std::printf("  %-24s %8s %10s %10s %10s %10s\n", "hop", "frames", "p50_ms",
+              "p95_ms", "p99_ms", "max_ms");
+  for (const auto& [hop, h] : per_hop) {
+    std::printf("  %-24s %8llu %10.3f %10.3f %10.3f %10.3f\n", hop.c_str(),
+                static_cast<unsigned long long>(h.count),
+                h.quantile(0.50) * 1e3, h.quantile(0.95) * 1e3,
+                h.quantile(0.99) * 1e3, h.max * 1e3);
+  }
+  if (per_hop.empty()) std::printf("  (no tx/deliver pairs in trace)\n");
+
+  std::printf("\nevents by site:\n");
+  for (std::size_t s = 0; s < site_counts.size(); ++s) {
+    if (site_counts[s] == 0) continue;
+    std::printf("  %-24s %8llu\n",
+                f.site_name(static_cast<std::uint8_t>(s)).c_str(),
+                static_cast<unsigned long long>(site_counts[s]));
+  }
+  return 0;
+}
+
+/// Attribute each TCP timeout to a cause by replaying the causal window
+/// between the timed-out segment's last (re)transmission and the timer
+/// firing:
+///   spurious    the receiver delivered that very segment in the window —
+///               the data was not lost, the timer was just early;
+///   wireless    the window contains channel corruption or link-ARQ
+///               recovery activity (backoff/discard);
+///   congestion  the window contains a tail drop on a wired queue
+///               (a == 0 marks the non-error-model hops);
+///   unknown     none of the evidence sites appear (e.g. the window was
+///               overwritten in the ring).
+int cmd_timeouts(const obs::TraceFile& f) {
+  const std::vector<obs::TraceRecord>& rec = f.records;
+  int spurious = 0, wireless = 0, congestion = 0, unknown = 0;
+  std::printf("#%-4s %10s %10s  %-10s %s\n", "n", "t_s", "seq", "cause",
+              "evidence");
+  int n = 0;
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    if (!is_site(rec[i], obs::TraceSite::kTcpTimeout)) continue;
+    const std::int32_t seq = rec[i].arg;
+    // Find the last (re)transmission of the timed-out segment.
+    std::size_t t0 = 0;
+    bool found = false;
+    for (std::size_t j = i; j-- > 0;) {
+      if ((is_site(rec[j], obs::TraceSite::kTcpSend) ||
+           is_site(rec[j], obs::TraceSite::kTcpRetransmit)) &&
+          rec[j].arg == seq) {
+        t0 = j;
+        found = true;
+        break;
+      }
+    }
+    const char* cause = "unknown";
+    std::string evidence;
+    if (found) {
+      bool delivered = false, wl = false, cg = false;
+      for (std::size_t j = t0; j < i; ++j) {
+        const obs::TraceRecord& r = rec[j];
+        if (is_site(r, obs::TraceSite::kSinkDeliver) && r.arg == seq) {
+          delivered = true;
+        } else if (is_site(r, obs::TraceSite::kLinkCorrupt) ||
+                   is_site(r, obs::TraceSite::kArqBackoff) ||
+                   is_site(r, obs::TraceSite::kArqDiscard)) {
+          wl = true;
+          if (evidence.empty()) {
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "%s @%.3fs",
+                          f.site_name(r.site).c_str(), t_s(r));
+            evidence = buf;
+          }
+        } else if (is_site(r, obs::TraceSite::kQueueDrop) && r.a == 0) {
+          cg = true;
+          if (evidence.empty()) {
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "queue.drop(%s) @%.3fs",
+                          f.label_of(r.label).c_str(), t_s(r));
+            evidence = buf;
+          }
+        }
+      }
+      // Precedence: delivery proves the timer wrong outright; otherwise
+      // prefer the concrete loss evidence.
+      if (delivered) {
+        cause = "spurious";
+        ++spurious;
+      } else if (wl) {
+        cause = "wireless";
+        ++wireless;
+      } else if (cg) {
+        cause = "congestion";
+        ++congestion;
+      } else {
+        ++unknown;
+      }
+    } else {
+      ++unknown;
+    }
+    std::printf("%-5d %10.3f %10d  %-10s %s\n", ++n, t_s(rec[i]), seq, cause,
+                evidence.c_str());
+  }
+  std::printf(
+      "\n%d timeouts: %d wireless, %d congestion, %d spurious, %d unknown\n",
+      n, wireless, congestion, spurious, unknown);
+  return 0;
+}
+
+int cmd_diff(const obs::TraceFile& a, const obs::TraceFile& b) {
+  const std::size_t common = std::min(a.records.size(), b.records.size());
+  std::size_t first_diverge = common;
+  for (std::size_t i = 0; i < common; ++i) {
+    const obs::TraceRecord &ra = a.records[i], &rb = b.records[i];
+    if (std::memcmp(&ra, &rb, sizeof ra) != 0 ||
+        a.label_of(ra.label) != b.label_of(rb.label)) {
+      first_diverge = i;
+      break;
+    }
+  }
+  if (first_diverge == common && a.records.size() == b.records.size()) {
+    std::printf("identical: %zu records\n", common);
+    return 0;
+  }
+  if (first_diverge < common) {
+    const obs::TraceRecord &ra = a.records[first_diverge],
+                           &rb = b.records[first_diverge];
+    std::printf("first divergence at record %zu:\n", first_diverge);
+    std::printf("  A: t=%.6fs site=%s id=%llu a=%u label=%s arg=%d\n", t_s(ra),
+                a.site_name(ra.site).c_str(),
+                static_cast<unsigned long long>(ra.id), ra.a,
+                a.label_of(ra.label).c_str(), ra.arg);
+    std::printf("  B: t=%.6fs site=%s id=%llu a=%u label=%s arg=%d\n", t_s(rb),
+                b.site_name(rb.site).c_str(),
+                static_cast<unsigned long long>(rb.id), rb.a,
+                b.label_of(rb.label).c_str(), rb.arg);
+  } else {
+    std::printf("traces agree for %zu records, then lengths differ\n", common);
+  }
+  std::printf("record counts: A=%zu B=%zu\n", a.records.size(),
+              b.records.size());
+
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> by_site;
+  for (const obs::TraceRecord& r : a.records) {
+    ++by_site[a.site_name(r.site)].first;
+  }
+  for (const obs::TraceRecord& r : b.records) {
+    ++by_site[b.site_name(r.site)].second;
+  }
+  std::printf("\nper-site counts (A vs B):\n");
+  for (const auto& [site, c] : by_site) {
+    if (c.first == c.second) continue;
+    std::printf("  %-24s %8lld %8lld  (%+lld)\n", site.c_str(),
+                static_cast<long long>(c.first),
+                static_cast<long long>(c.second),
+                static_cast<long long>(c.second - c.first));
+  }
+  return 1;
+}
+
+/// Structural checks over one trace.  Failures print and count; exit code
+/// is the number of violated invariants.
+int cmd_verify(const obs::TraceFile& f, const std::string& path) {
+  int failures = 0;
+  auto fail = [&](const char* what, const std::string& detail) {
+    std::printf("FAIL %-28s %s\n", what, detail.c_str());
+    ++failures;
+  };
+  auto pass = [&](const char* what) { std::printf("ok   %s\n", what); };
+
+  // 1. JSONL round trip is lossless.
+  {
+    std::ostringstream os;
+    obs::write_trace_jsonl(os, f);
+    std::istringstream is(os.str());
+    obs::TraceFile back;
+    std::string err;
+    if (!obs::read_trace_jsonl(is, &back, &err)) {
+      fail("jsonl_roundtrip", "re-parse failed: " + err);
+    } else if (back.records.size() != f.records.size()) {
+      fail("jsonl_roundtrip",
+           "record count changed: " + std::to_string(f.records.size()) +
+               " -> " + std::to_string(back.records.size()));
+    } else {
+      bool same = back.seed == f.seed && back.dropped == f.dropped &&
+                  back.labels == f.labels && back.site_names == f.site_names;
+      for (std::size_t i = 0; same && i < f.records.size(); ++i) {
+        same = std::memcmp(&back.records[i], &f.records[i],
+                           sizeof(obs::TraceRecord)) == 0;
+      }
+      if (same) {
+        pass("jsonl_roundtrip");
+      } else {
+        fail("jsonl_roundtrip", "records or tables differ after round trip");
+      }
+    }
+  }
+
+  // 2. Time is monotone non-decreasing (the ring preserves emission order).
+  {
+    bool ok = true;
+    for (std::size_t i = 1; i < f.records.size(); ++i) {
+      if (f.records[i].t_ns < f.records[i - 1].t_ns) {
+        fail("monotone_time",
+             "record " + std::to_string(i) + " goes backwards");
+        ok = false;
+        break;
+      }
+    }
+    if (ok) pass("monotone_time");
+  }
+
+  // 3. Span invariants.  Causality: a tx end/corrupt or an ARQ
+  // resolve must never appear without its opening record — unless the
+  // ring overwrote history, in which case orphaned ends are expected.
+  // Spans still open when the trace stops are NOT violations: the run
+  // ends the instant the transfer (or horizon) does, with frames in
+  // flight and ARQ episodes pending; they are reported for context.
+  {
+    std::map<std::pair<std::uint64_t, std::uint16_t>, int> open_tx;
+    std::map<std::int32_t, int> open_arq;
+    std::size_t orphan_tx = 0, orphan_arq = 0;
+    for (const obs::TraceRecord& r : f.records) {
+      if (is_site(r, obs::TraceSite::kLinkTxStart)) {
+        ++open_tx[{r.id, r.label}];
+      } else if (is_site(r, obs::TraceSite::kLinkTxEnd) ||
+                 is_site(r, obs::TraceSite::kLinkCorrupt)) {
+        auto it = open_tx.find({r.id, r.label});
+        if (it == open_tx.end()) {
+          ++orphan_tx;
+        } else if (--it->second == 0) {
+          open_tx.erase(it);
+        }
+      } else if (is_site(r, obs::TraceSite::kArqSubmit)) {
+        ++open_arq[r.arg];
+      } else if (is_site(r, obs::TraceSite::kArqDelivered) ||
+                 is_site(r, obs::TraceSite::kArqDiscard)) {
+        auto it = open_arq.find(r.arg);
+        if (it == open_arq.end()) {
+          ++orphan_arq;
+        } else if (--it->second == 0) {
+          open_arq.erase(it);
+        }
+      }
+    }
+    if (f.dropped > 0) {
+      std::printf("skip span causality (%llu records overwritten)\n",
+                  static_cast<unsigned long long>(f.dropped));
+    } else {
+      if (orphan_tx > 0) {
+        fail("tx_span_causality", std::to_string(orphan_tx) +
+                                      " tx ends with no matching start");
+      } else {
+        pass("tx_span_causality");
+      }
+      if (orphan_arq > 0) {
+        fail("arq_span_causality",
+             std::to_string(orphan_arq) +
+                 " ARQ resolutions with no matching submit");
+      } else {
+        pass("arq_span_causality");
+      }
+    }
+    if (!open_tx.empty() || !open_arq.empty()) {
+      std::printf("note %zu tx span%s, %zu ARQ episode%s in flight at end\n",
+                  open_tx.size(), open_tx.size() == 1 ? "" : "s",
+                  open_arq.size(), open_arq.size() == 1 ? "" : "s");
+    }
+  }
+
+  // 4. Every site id is in the file's name table.
+  {
+    bool ok = true;
+    for (const obs::TraceRecord& r : f.records) {
+      if (r.site >= f.site_names.size() || r.label >= f.labels.size()) {
+        fail("ids_in_tables", "record references unknown site/label id");
+        ok = false;
+        break;
+      }
+    }
+    if (ok) pass("ids_in_tables");
+  }
+
+  std::printf("%s: %zu records, %d invariant failure%s\n", path.c_str(),
+              f.records.size(), failures, failures == 1 ? "" : "s");
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage(argc < 2 ? 2 : (std::strcmp(argv[1], "--help") ? 2 : 0));
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+
+  obs::TraceFile f;
+  std::string err;
+  if (!load(path, &f, &err)) {
+    std::cerr << "wtcptrace: " << err << "\n";
+    return 2;
+  }
+
+  if (cmd == "dump") return cmd_dump(f);
+  if (cmd == "chrome") return cmd_chrome(f);
+  if (cmd == "summary") return cmd_summary(f);
+  if (cmd == "timeouts") return cmd_timeouts(f);
+  if (cmd == "verify") return cmd_verify(f, path);
+  if (cmd == "diff") {
+    if (argc < 4) usage(2);
+    obs::TraceFile g;
+    if (!load(argv[3], &g, &err)) {
+      std::cerr << "wtcptrace: " << err << "\n";
+      return 2;
+    }
+    return cmd_diff(f, g);
+  }
+  usage(2);
+}

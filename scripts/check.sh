@@ -7,10 +7,15 @@
 #   1. release build + full tests, then the resilience gate: an
 #      interrupted-then-resumed wtcpsim sweep must be byte-identical to an
 #      uninterrupted one, and a watchdog-killed sweep must exit nonzero
-#   2. ASan/UBSan build    — fail-fast datapath/pool suites, then full tests
-#   3. TSan build          — parallel-engine + checkpoint suites (the only
+#   2. trace gate          — a WAN EBSN run records a packet-lifecycle trace
+#                            that survives a binary->JSONL round trip, passes
+#                            wtcptrace's span invariants, attributes every
+#                            TCP timeout, and a watchdog-killed run leaves a
+#                            non-empty flight-recorder dump
+#   3. ASan/UBSan build    — fail-fast datapath/pool suites, then full tests
+#   4. TSan build          — parallel-engine + checkpoint suites (the only
 #                            threaded code)
-#   4. WTCP_AUDIT build    — full tests with every wtcp::audit protocol/
+#   5. WTCP_AUDIT build    — full tests with every wtcp::audit protocol/
 #                            datapath invariant armed
 #
 # Usage: scripts/check.sh [extra ctest args...]
@@ -59,6 +64,41 @@ if "$WTCPSIM" --seeds 2 --max-events 100 >/dev/null 2>&1; then
   exit 1
 fi
 echo "resume byte-identity + nonzero-exit containment OK"
+
+echo
+echo "=== trace: journal round trip, span invariants, timeout attribution ==="
+# The observability contract, end to end through the CLIs: a WAN EBSN run
+# records a binary trace whose JSONL export is a lossless fixed point,
+# whose tx/ARQ spans are causally well formed, and whose every TCP timeout
+# gets a cause (wireless / congestion / spurious — never unknown).  A
+# watchdog-killed run must leave a non-empty flight-recorder dump.
+WTCPTRACE=build/examples/wtcptrace
+"$WTCPSIM" --scheme ebsn --bad 4 --seeds 1 \
+  --trace-out "$RES_TMP/trc" --trace-capacity 4000000 >/dev/null
+TRACE="$RES_TMP/trc.seed1.trace"
+test -s "$TRACE"
+"$WTCPTRACE" verify "$TRACE"
+"$WTCPTRACE" dump "$TRACE" > "$RES_TMP/trc.jsonl"
+"$WTCPTRACE" dump "$RES_TMP/trc.jsonl" > "$RES_TMP/trc2.jsonl"
+cmp "$RES_TMP/trc.jsonl" "$RES_TMP/trc2.jsonl"
+# EBSN largely prevents timeouts, so attribution is exercised on the basic
+# scheme, where long fades force them; every one must get a cause.
+"$WTCPSIM" --scheme basic --bad 6 --seeds 1 \
+  --trace-out "$RES_TMP/trcb" --trace-capacity 4000000 >/dev/null
+"$WTCPTRACE" timeouts "$RES_TMP/trcb.seed1.trace" | tail -n1 \
+  | tee "$RES_TMP/causes" | grep -q ' 0 unknown$'
+if grep -q '^0 timeouts' "$RES_TMP/causes"; then
+  echo "error: basic-scheme fade run produced no timeouts to attribute" >&2
+  exit 1
+fi
+if "$WTCPSIM" --seeds 1 --max-events 100 \
+    --trace-flight "$RES_TMP/flight.jsonl" >/dev/null 2>&1; then
+  echo "error: watchdog-killed traced run exited zero" >&2
+  exit 1
+fi
+test -s "$RES_TMP/flight.jsonl"
+grep -q '"reason":"event-budget"' "$RES_TMP/flight.jsonl"
+echo "trace round trip + attribution + flight recorder OK"
 
 echo
 echo "=== sanitizer build + datapath/pool suites (address,undefined) ==="

@@ -213,7 +213,9 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-constexpr int kJournalVersion = 1;
+// v2: added the "hist" section (histogram probes).  v1 lines fail the
+// version check, count as corrupt, and their seeds simply re-run.
+constexpr int kJournalVersion = 2;
 constexpr std::string_view kLinePrefix = "{\"crc\":\"";
 constexpr std::string_view kRecordKey = "\",\"record\":";
 
@@ -321,6 +323,28 @@ std::string encode_checkpoint_line(std::string_view digest,
     w.end_object();
     w.key("gauges").begin_object();
     for (const auto& [name, g] : sr.gauges) w.field(name, hexfloat(g));
+    w.end_object();
+    // Histograms: counts are exact and doubles travel as hexfloat, so a
+    // restored histogram is bit-identical — manifests from resumed sweeps
+    // match uninterrupted ones byte for byte.  Buckets are stored sparse.
+    w.key("hist").begin_object();
+    for (const auto& [name, h] : sr.histograms) {
+      w.key(name).begin_object();
+      w.field("count", h.count);
+      w.field("sum", hexfloat(h.sum));
+      w.field("min", hexfloat(h.min));
+      w.field("max", hexfloat(h.max));
+      w.key("b").begin_object();
+      for (int b = 0; b < obs::Histogram::kBuckets; ++b) {
+        if (h.buckets[b] != 0) {
+          char key[8];
+          std::snprintf(key, sizeof key, "%d", b);
+          w.field(key, h.buckets[b]);
+        }
+      }
+      w.end_object();
+      w.end_object();
+    }
     w.end_object();
     w.key("profile").begin_object();
     for (const auto& [tag, n] : sr.executed_by_tag) w.field(tag, n);
@@ -438,6 +462,37 @@ bool decode_checkpoint_line(std::string_view line, std::string_view digest,
     double d = 0.0;
     if (val.t != JValue::T::kStr || !parse_hexfloat(val.s, d)) return false;
     sr.gauges[name] = d;
+  }
+
+  const JValue* hists = root.find("hist");
+  if (!hists || hists->t != JValue::T::kObj) return false;
+  for (const auto& [name, hv] : hists->obj) {
+    if (hv.t != JValue::T::kObj) return false;
+    obs::Histogram h;
+    const JValue* c = hv.find("count");
+    const JValue* s = hv.find("sum");
+    const JValue* mn = hv.find("min");
+    const JValue* mx = hv.find("max");
+    const JValue* buckets = hv.find("b");
+    if (!c || c->t != JValue::T::kInt || !s || s->t != JValue::T::kStr ||
+        !parse_hexfloat(s->s, h.sum) || !mn || mn->t != JValue::T::kStr ||
+        !parse_hexfloat(mn->s, h.min) || !mx || mx->t != JValue::T::kStr ||
+        !parse_hexfloat(mx->s, h.max) || !buckets ||
+        buckets->t != JValue::T::kObj) {
+      return false;
+    }
+    h.count = c->as_u64();
+    for (const auto& [bk, bv] : buckets->obj) {
+      if (bv.t != JValue::T::kInt || bk.empty()) return false;
+      int idx = 0;
+      for (const char ch : bk) {
+        if (ch < '0' || ch > '9') return false;
+        idx = idx * 10 + (ch - '0');
+        if (idx >= obs::Histogram::kBuckets) return false;
+      }
+      h.buckets[idx] = bv.as_u64();
+    }
+    sr.histograms[name] = h;
   }
 
   if (!str("events_jsonl", entry.events_jsonl) ||

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/core/audit.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/logging.hpp"
 
 namespace wtcp::core {
@@ -16,6 +17,7 @@ EbsnAgent::EbsnAgent(sim::Simulator& sim, EbsnConfig cfg, net::NodeId bs,
     probe_sent_ = bus_->counter("ebsn.sent");
     probe_suppressed_ = bus_->counter("ebsn.suppressed");
   }
+  tsink_ = sim_.trace();
 }
 
 void EbsnAgent::attach(link::ArqSender& arq) {
@@ -63,6 +65,12 @@ void EbsnAgent::notify(const net::Packet& failed_frame) {
   if (failed_frame.encapsulated && failed_frame.encapsulated->tcp) {
     ebsn->tcp = net::TcpHeader{.conn = failed_frame.encapsulated->tcp->conn};
   }
+  WTCP_TRACE_EMIT(tsink_, sim_.now(), ebsn->uid, obs::TraceSite::kEbsnSent, 0,
+                  0,
+                  failed_frame.encapsulated && failed_frame.encapsulated->tcp
+                      ? static_cast<std::int32_t>(
+                            failed_frame.encapsulated->tcp->seq)
+                      : -1);
   to_source_(std::move(ebsn));
 }
 

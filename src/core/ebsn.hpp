@@ -65,6 +65,7 @@ class EbsnAgent {
   obs::Registry* bus_ = nullptr;
   obs::Counter* probe_sent_ = nullptr;
   obs::Counter* probe_suppressed_ = nullptr;
+  obs::TraceSink* tsink_ = nullptr;
 };
 
 }  // namespace wtcp::core

@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "src/core/checkpoint.hpp"
+#include "src/core/provenance.hpp"
 #include "src/obs/export.hpp"
 #include "src/obs/json.hpp"
 #include "src/obs/probe.hpp"
@@ -148,6 +149,12 @@ std::string describe_config(const topo::ScenarioConfig& cfg) {
     // of a run that finishes, and a digest must not depend on a
     // machine-speed knob.
   }
+  if (cfg.trace.enabled) {
+    // Appended only when enabled, so every pre-existing (untraced) config
+    // keeps its exact description and digest.  Output paths are excluded:
+    // where a trace lands cannot affect the run.
+    os << " trace=cap" << cfg.trace.capacity;
+  }
   return os.str();
 }
 
@@ -202,6 +209,20 @@ void write_summary_stat(obs::JsonWriter& w, std::string_view name,
   w.end_object();
 }
 
+void write_histogram(obs::JsonWriter& w, std::string_view name,
+                     const obs::Histogram& h) {
+  w.key(name).begin_object();
+  w.field("count", h.count);
+  w.field("mean", h.mean());
+  w.field("min", h.min);
+  w.field("max", h.max);
+  w.field("p50", h.quantile(0.50));
+  w.field("p90", h.quantile(0.90));
+  w.field("p95", h.quantile(0.95));
+  w.field("p99", h.quantile(0.99));
+  w.end_object();
+}
+
 }  // namespace
 
 void write_manifest(std::ostream& os, const RunReport& report) {
@@ -209,6 +230,16 @@ void write_manifest(std::ostream& os, const RunReport& report) {
   w.begin_object();
   w.field("config", report.config_description);
   w.field("digest", report.digest);
+  // Build/run provenance: which tree and toolchain produced this file.
+  // Deliberately NOT part of describe_config/config_digest — the same
+  // configuration must keep its digest across commits and compilers.
+  const Provenance& prov = build_provenance();
+  w.key("provenance").begin_object();
+  w.field("git_sha", prov.git_sha + (prov.git_dirty ? "-dirty" : ""));
+  w.field("compiler", prov.compiler);
+  w.field("build_type", prov.build_type);
+  w.field("flags", prov.flags);
+  w.end_object();
   w.field("seeds", static_cast<std::uint64_t>(report.seeds.size()));
 
   w.key("per_seed").begin_array();
@@ -236,6 +267,9 @@ void write_manifest(std::ostream& os, const RunReport& report) {
     w.key("gauges").begin_object();
     for (const auto& [name, v] : sr.gauges) w.field(name, v);
     w.end_object();
+    w.key("histograms").begin_object();
+    for (const auto& [name, h] : sr.histograms) write_histogram(w, name, h);
+    w.end_object();
     w.key("scheduler_profile").begin_object();
     for (const auto& [tag, n] : sr.executed_by_tag) w.field(tag, n);
     w.end_object();
@@ -254,6 +288,16 @@ void write_manifest(std::ostream& os, const RunReport& report) {
   write_summary_stat(w, "retransmitted_kbytes",
                      report.summary.retransmitted_kbytes);
   write_summary_stat(w, "duration_s", report.summary.duration_s);
+  // Mergeable histograms: fold every ok seed's distribution into one —
+  // the fixed bucket layout makes the merge exact.
+  std::map<std::string, obs::Histogram> merged;
+  for (const SeedRunReport& sr : report.seeds) {
+    if (!sr.ok()) continue;
+    for (const auto& [name, h] : sr.histograms) merged[name].merge(h);
+  }
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : merged) write_histogram(w, name, h);
+  w.end_object();
   w.end_object();
 
   w.end_object();
@@ -335,6 +379,7 @@ RunReport run_seeds_reported(topo::ScenarioConfig cfg, int n_seeds,
         sr.obs_samples = scenario.sampler()->sample_count();
         for (const auto& [name, c] : reg.counters()) sr.counters[name] = c.value;
         for (const auto& [name, g] : reg.gauges()) sr.gauges[name] = g.value;
+        for (const auto& [name, h] : reg.histograms()) sr.histograms[name] = h;
         for (const auto& [tag, cnt] :
              scenario.simulator().scheduler().executed_by_tag()) {
           sr.executed_by_tag[tag] = cnt;

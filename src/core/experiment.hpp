@@ -109,6 +109,7 @@ struct SeedRunReport {
   std::size_t obs_samples = 0;           ///< sampler rows recorded
   std::map<std::string, std::uint64_t> counters;        ///< probe snapshot
   std::map<std::string, double> gauges;                 ///< final values
+  std::map<std::string, obs::Histogram> histograms;     ///< distribution probes
   std::map<std::string, std::uint64_t> executed_by_tag; ///< scheduler profile
 
   /// Structured outcome: anything but kOk means the seed failed (threw or

@@ -1,0 +1,20 @@
+#include "src/core/provenance.hpp"
+
+#include "wtcp_provenance_gen.hpp"
+
+namespace wtcp::core {
+
+const Provenance& build_provenance() {
+  static const Provenance p = [] {
+    Provenance v;
+    v.git_sha = WTCP_PROV_GIT_SHA;
+    v.git_dirty = WTCP_PROV_GIT_DIRTY != 0;
+    v.compiler = WTCP_PROV_COMPILER;
+    v.build_type = WTCP_PROV_BUILD_TYPE;
+    v.flags = WTCP_PROV_FLAGS;
+    return v;
+  }();
+  return p;
+}
+
+}  // namespace wtcp::core

@@ -1,0 +1,28 @@
+// Build provenance: which build produced this artifact.
+//
+// Captured by CMake at configure time (git SHA + dirty flag from the
+// source tree, compiler id/version, build type, and the observability
+// option flags) and compiled into the library, so every run manifest,
+// bench JSON, and trace file records where it came from.  Configure-time
+// capture means a rebuild without re-configuring can lag the tree by a
+// commit — acceptable for attribution, and the dirty flag catches the
+// common case of uncommitted edits.
+#pragma once
+
+#include <string>
+
+namespace wtcp::core {
+
+struct Provenance {
+  std::string git_sha;     ///< HEAD commit, or "unknown" outside a checkout
+  bool git_dirty = false;  ///< working tree had local modifications
+  std::string compiler;    ///< "<id> <version>", e.g. "GNU 13.2.0"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE
+  std::string flags;       ///< "audit=<0|1> trace=<0|1> sanitize=<list>"
+};
+
+/// The provenance baked into this build.  Never fails; fields degrade to
+/// "unknown"/empty when the information was unavailable at configure time.
+const Provenance& build_provenance();
+
+}  // namespace wtcp::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/trace.hpp"
 #include "src/sim/logging.hpp"
 
 namespace wtcp::feedback {
@@ -14,6 +15,7 @@ SnoopAgent::SnoopAgent(sim::Simulator& sim, SnoopConfig cfg, std::string name)
     probe_dupacks_suppressed_ = bus_->counter("snoop.dupacks_suppressed");
     probe_local_timeouts_ = bus_->counter("snoop.local_timeouts");
   }
+  tsink_ = sim_.trace();
 }
 
 void SnoopAgent::on_data_from_wired(const net::PacketRef& pkt) {
@@ -35,6 +37,8 @@ void SnoopAgent::on_data_from_wired(const net::PacketRef& pkt) {
   }
   cache_[seq] = CacheEntry{pkt.share(), sim_.now(), 0};
   ++stats_.data_cached;
+  WTCP_TRACE_EMIT(tsink_, sim_.now(), pkt->uid, obs::TraceSite::kSnoopCacheHit,
+                  0, 0, static_cast<std::int32_t>(seq));
   arm_timer();
 }
 
@@ -88,6 +92,10 @@ void SnoopAgent::local_retransmit(std::int64_t seq) {
   }
   WTCP_LOG(kDebug, sim_.now(), name_.c_str(), "local rtx seq=%lld (n=%d)",
            static_cast<long long>(seq), e.local_rtx);
+  WTCP_TRACE_EMIT(tsink_, sim_.now(), e.pkt->uid,
+                  obs::TraceSite::kSnoopLocalRtx,
+                  static_cast<std::uint8_t>(std::min(e.local_rtx, 255)), 0,
+                  static_cast<std::int32_t>(seq));
   wireless_tx_(e.pkt.share());
   arm_timer();
 }

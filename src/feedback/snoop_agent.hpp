@@ -89,6 +89,7 @@ class SnoopAgent {
   obs::Counter* probe_local_rtx_ = nullptr;
   obs::Counter* probe_dupacks_suppressed_ = nullptr;
   obs::Counter* probe_local_timeouts_ = nullptr;
+  obs::TraceSink* tsink_ = nullptr;
 };
 
 }  // namespace wtcp::feedback

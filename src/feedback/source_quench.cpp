@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/trace.hpp"
+
 namespace wtcp::feedback {
 
 SourceQuenchAgent::SourceQuenchAgent(sim::Simulator& sim, SourceQuenchConfig cfg,
@@ -14,6 +16,7 @@ SourceQuenchAgent::SourceQuenchAgent(sim::Simulator& sim, SourceQuenchConfig cfg
     probe_sent_ = bus_->counter("quench.sent");
     probe_suppressed_ = bus_->counter("quench.suppressed");
   }
+  tsink_ = sim_.trace();
 }
 
 void SourceQuenchAgent::attach(link::ArqSender& arq) {
@@ -50,6 +53,12 @@ void SourceQuenchAgent::notify(const net::Packet& failed_frame) {
   if (failed_frame.encapsulated && failed_frame.encapsulated->tcp) {
     quench->tcp = net::TcpHeader{.conn = failed_frame.encapsulated->tcp->conn};
   }
+  WTCP_TRACE_EMIT(tsink_, sim_.now(), quench->uid,
+                  obs::TraceSite::kQuenchSent, 0, 0,
+                  failed_frame.encapsulated && failed_frame.encapsulated->tcp
+                      ? static_cast<std::int32_t>(
+                            failed_frame.encapsulated->tcp->seq)
+                      : -1);
   to_source_(std::move(quench));
 }
 

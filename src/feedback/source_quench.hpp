@@ -54,6 +54,7 @@ class SourceQuenchAgent {
   obs::Registry* bus_ = nullptr;
   obs::Counter* probe_sent_ = nullptr;
   obs::Counter* probe_suppressed_ = nullptr;
+  obs::TraceSink* tsink_ = nullptr;
 };
 
 }  // namespace wtcp::feedback

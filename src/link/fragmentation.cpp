@@ -3,6 +3,8 @@
 #include <cassert>
 #include <memory>
 
+#include "src/obs/trace.hpp"
+
 namespace wtcp::link {
 
 Fragmenter::Fragmenter(FragmenterConfig cfg) : cfg_(cfg) {
@@ -26,7 +28,7 @@ std::vector<net::PacketRef> Fragmenter::fragment(net::PacketPool& pool,
 
 Reassembler::Reassembler(sim::Simulator& sim, ReassemblerConfig cfg,
                          net::PacketSink* upper)
-    : sim_(sim), cfg_(cfg), upper_(upper) {}
+    : sim_(sim), cfg_(cfg), tsink_(sim.trace()), upper_(upper) {}
 
 void Reassembler::handle_fragment(net::PacketRef frag) {
   assert(frag && frag->frag.has_value());
@@ -56,6 +58,9 @@ void Reassembler::handle_fragment(net::PacketRef frag) {
   net::PacketRef datagram =
       frag->encapsulated ? frag->encapsulated.share() : std::move(frag);
   partial_.erase(it);
+  WTCP_TRACE_EMIT(tsink_, sim_.now(), datagram->uid,
+                  obs::TraceSite::kReassembled, 0, 0,
+                  static_cast<std::int32_t>(h.datagram_id));
   if (upper_) upper_->handle_packet(std::move(datagram));
 }
 

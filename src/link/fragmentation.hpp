@@ -18,6 +18,10 @@
 #include "src/net/packet.hpp"
 #include "src/sim/simulator.hpp"
 
+namespace wtcp::obs {
+class TraceSink;
+}
+
 namespace wtcp::link {
 
 struct FragmenterConfig {
@@ -125,6 +129,7 @@ class Reassembler {
 
   sim::Simulator& sim_;
   ReassemblerConfig cfg_;
+  obs::TraceSink* tsink_ = nullptr;
   net::PacketSink* upper_;
   std::unordered_map<std::uint64_t, Partial> partial_;
   ReassemblerStats stats_;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/core/audit.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/logging.hpp"
 
 namespace wtcp::link {
@@ -28,7 +29,9 @@ ArqSender::ArqSender(sim::Simulator& sim, net::DuplexLink& link, int endpoint,
     probe_retransmissions_ = bus_->counter("arq.retransmissions");
     probe_discards_ = bus_->counter("arq.discards");
     probe_delivered_ = bus_->counter("arq.delivered");
+    recovery_hist_ = bus_->histogram("arq.recovery_s");
   }
+  tsink_ = sim_.trace();
   // Arm ACK timers from actual transmission completion: watch our own
   // frames finish their airtime.
   link_.add_frame_observer([this](int from, const net::Packet& pkt, bool) {
@@ -49,6 +52,8 @@ void ArqSender::submit(net::PacketRef frame) {
   // The frame is still exclusively ours here; after this point it is
   // immutable (retransmission attempts share the same slot).
   frame->frag->link_seq = next_link_seq_++;
+  WTCP_TRACE_EMIT(tsink_, sim_.now(), frame->uid, obs::TraceSite::kArqSubmit,
+                  0, 0, static_cast<std::int32_t>(frame->frag->link_seq));
   queue_.push_back(std::move(frame));
   fill_window();
 }
@@ -85,6 +90,9 @@ void ArqSender::transmit_attempt(std::int64_t seq) {
     obs::add(probe_retransmissions_);
   }
   o.in_flight = true;
+  WTCP_TRACE_EMIT(tsink_, sim_.now(), o.frame->uid, obs::TraceSite::kArqAttempt,
+                  static_cast<std::uint8_t>(std::min(o.attempts, 255)), 0,
+                  static_cast<std::int32_t>(seq));
   // Share, don't copy: a retransmission puts another ref to the same
   // immutable slot on the air (the receiver dedups by link_seq).
   link_.send(endpoint_, o.frame.share());
@@ -145,6 +153,10 @@ void ArqSender::on_ack_timeout(std::int64_t seq) {
   if (o.attempts - 1 >= cfg_.rt_max) {
     ++stats_.discarded;
     obs::add(probe_discards_);
+    WTCP_TRACE_EMIT(tsink_, sim_.now(), o.frame->uid,
+                    obs::TraceSite::kArqDiscard,
+                    static_cast<std::uint8_t>(std::min(o.attempts, 255)), 0,
+                    static_cast<std::int32_t>(seq));
     if (bus_) bus_->publish(sim_.now(), "arq", "discard", static_cast<double>(seq));
     const net::PacketRef dropped = std::move(o.frame);
     sim_.cancel(o.backoff_timer);
@@ -157,6 +169,9 @@ void ArqSender::on_ack_timeout(std::int64_t seq) {
     fill_window();
     return;
   }
+  WTCP_TRACE_EMIT(tsink_, sim_.now(), o.frame->uid, obs::TraceSite::kArqBackoff,
+                  static_cast<std::uint8_t>(std::min(o.attempts, 255)), 0,
+                  static_cast<std::int32_t>(seq));
   o.backoff_timer = sim_.after(
       backoff_delay(o.attempts),
       [this, seq] {
@@ -179,6 +194,10 @@ void ArqSender::on_link_ack(const net::Packet& ack) {
   sim_.cancel(o.backoff_timer);
   const net::PacketRef done = std::move(o.frame);
   outstanding_.erase(it);
+  // Recovery latency: frame creation (fragmentation time) to link ACK.
+  obs::record(recovery_hist_, (sim_.now() - done->created_at).to_seconds());
+  WTCP_TRACE_EMIT(tsink_, sim_.now(), done->uid, obs::TraceSite::kArqDelivered,
+                  0, 0, static_cast<std::int32_t>(ack.frag->link_seq));
   if (on_delivered) on_delivered(*done);
   fill_window();
 }

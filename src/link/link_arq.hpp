@@ -117,6 +117,10 @@ class ArqSender {
   obs::Counter* probe_retransmissions_ = nullptr;
   obs::Counter* probe_discards_ = nullptr;
   obs::Counter* probe_delivered_ = nullptr;
+  /// Frame-creation-to-link-ACK latency (shared across instances, like
+  /// the counters), and the packet-lifecycle trace sink.
+  obs::Histogram* recovery_hist_ = nullptr;
+  obs::TraceSink* tsink_ = nullptr;
 };
 
 struct ArqReceiverStats {

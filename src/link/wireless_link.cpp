@@ -1,8 +1,10 @@
 #include "src/link/wireless_link.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
+#include "src/obs/trace.hpp"
 #include "src/sim/logging.hpp"
 
 namespace wtcp::link {
@@ -21,6 +23,7 @@ WirelessInterface::WirelessInterface(sim::Simulator& sim, net::DuplexLink& link,
     probe_datagrams_ = bus->counter("wifi.datagrams_sent");
     probe_fragments_ = bus->counter("wifi.fragments_sent");
   }
+  tsink_ = sim_.trace();
   if (cfg_.local_recovery) {
     arq_sender_ = std::make_unique<ArqSender>(sim, link, endpoint, cfg_.arq,
                                               name_ + "/arq-snd");
@@ -44,9 +47,17 @@ ArqSender& WirelessInterface::arq_sender() {
 
 WirelessInterface::SendInfo WirelessInterface::send_datagram(
     net::PacketRef datagram) {
+  // The datagram is consumed by fragment_to; hold its uid so fragment
+  // records can point back at their parent.
+  const std::uint64_t parent_uid = datagram->uid;
   const FragmentInfo info = fragmenter_.fragment_to(
       sim_.packet_pool(), std::move(datagram), sim_.now(),
-      [this](net::PacketRef frag) {
+      [this, parent_uid](net::PacketRef frag) {
+        (void)parent_uid;
+        WTCP_TRACE_EMIT(
+            tsink_, sim_.now(), frag->uid, obs::TraceSite::kFragment,
+            static_cast<std::uint8_t>(std::min(frag->frag->index, 255)), 0,
+            static_cast<std::int32_t>(parent_uid));
         if (arq_sender_) {
           arq_sender_->submit(std::move(frag));
         } else {

@@ -78,6 +78,7 @@ class WirelessInterface final : public net::PacketSink {
   std::unique_ptr<ArqReceiver> arq_receiver_;
   obs::Counter* probe_datagrams_ = nullptr;
   obs::Counter* probe_fragments_ = nullptr;
+  obs::TraceSink* tsink_ = nullptr;
 };
 
 /// Paper Section 3.1: 19.2 kbps raw, 1.5x framing/FEC overhead (=> 12.8

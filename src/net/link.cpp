@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/obs/probe.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/logging.hpp"
 
 namespace wtcp::net {
@@ -21,6 +22,14 @@ DuplexLink::DuplexLink(sim::Simulator& sim, LinkConfig cfg)
           "queue." + cfg_.name + "." + std::to_string(from);
       dirs_[from].queue.bind_probes(bus->counter(stem + ".drops"),
                                     bus->gauge(stem + ".depth"));
+      delay_hist_[from] = bus->histogram("link." + cfg_.name + "." +
+                                         std::to_string(from) + ".delay_s");
+    }
+  }
+  if ((tsink_ = sim_.trace()) != nullptr) {
+    for (int from : {0, 1}) {
+      trace_labels_[from] =
+          tsink_->intern(cfg_.name + "." + std::to_string(from));
     }
   }
   if (cfg_.medium) {
@@ -74,6 +83,13 @@ bool DuplexLink::send(int from, PacketRef pkt, bool priority) {
   const bool ok = priority ? d.queue.enqueue_front(std::move(pkt))
                            : d.queue.enqueue(std::move(pkt));
   if (!trace_hooks_.empty()) trace(ok ? '+' : 'd', from, *raw);
+  // a = 1 marks the wireless hop (only wireless links carry an error
+  // model) — the trace CLI uses wired queue drops as congestion evidence.
+  WTCP_TRACE_EMIT(tsink_, sim_.now(), raw->uid,
+                  ok ? obs::TraceSite::kQueueEnqueue
+                     : obs::TraceSite::kQueueDrop,
+                  error_model_ ? 1 : 0, trace_labels_[from],
+                  static_cast<std::int32_t>(d.queue.size()));
   if (ok) kick(from);
   return ok;
 }
@@ -108,15 +124,24 @@ void DuplexLink::start_transmission(int from, PacketRef pkt) {
   WTCP_LOG(kTrace, start, cfg_.name.c_str(), "tx from=%d %s airtime=%.6fs%s", from,
            pkt->describe().c_str(), airtime.to_seconds(), corrupted ? " CORRUPT" : "");
 
+  WTCP_TRACE_EMIT(tsink_, start, pkt->uid, obs::TraceSite::kLinkTxStart,
+                  error_model_ ? 1 : 0, trace_labels_[from],
+                  static_cast<std::int32_t>(airtime_bytes(pkt->size_bytes)));
+
   const int to = 1 - from;
-  // Both completion lambdas capture an 8-byte ref, so they stay inside
-  // SmallCallback's inline buffer: no heap allocation per frame.
+  // Both completion lambdas capture an 8-byte ref plus the tx-start time,
+  // so they stay inside SmallCallback's inline buffer: no heap allocation
+  // per frame.
   sim_.after(
       airtime,
-      [this, from, to, corrupted, pkt = std::move(pkt)]() mutable {
+      [this, from, to, corrupted, start, pkt = std::move(pkt)]() mutable {
         Direction& d2 = dir(from);
         d2.busy = false;
         for (const FrameObserver& obs : observers_) obs(from, *pkt, !corrupted);
+        WTCP_TRACE_EMIT(tsink_, sim_.now(), pkt->uid,
+                        corrupted ? obs::TraceSite::kLinkCorrupt
+                                  : obs::TraceSite::kLinkTxEnd,
+                        error_model_ ? 1 : 0, trace_labels_[from]);
         if (corrupted) {
           ++d2.stats.frames_corrupted;
           if (!trace_hooks_.empty()) trace('c', from, *pkt);
@@ -126,8 +151,16 @@ void DuplexLink::start_transmission(int from, PacketRef pkt) {
           if (sinks_[to]) {
             sim_.after(
                 cfg_.prop_delay,
-                [this, from, to, pkt = std::move(pkt)]() mutable {
+                [this, from, to, start, pkt = std::move(pkt)]() mutable {
                   if (!trace_hooks_.empty()) trace('r', from, *pkt);
+                  // Hop latency = airtime + propagation, measured from tx
+                  // start; the trace CLI recomputes exactly this from
+                  // kLinkTxStart/kLinkDeliver pairs.
+                  obs::record(delay_hist_[from],
+                              (sim_.now() - start).to_seconds());
+                  WTCP_TRACE_EMIT(tsink_, sim_.now(), pkt->uid,
+                                  obs::TraceSite::kLinkDeliver,
+                                  error_model_ ? 1 : 0, trace_labels_[from]);
                   if (sinks_[to]) sinks_[to]->handle_packet(std::move(pkt));
                 },
                 "link.deliver");

@@ -18,6 +18,11 @@
 #include "src/phy/error_model.hpp"
 #include "src/sim/simulator.hpp"
 
+namespace wtcp::obs {
+class TraceSink;
+struct Histogram;
+}
+
 namespace wtcp::net {
 
 struct LinkConfig {
@@ -114,6 +119,12 @@ class DuplexLink {
   sim::Simulator& sim_;
   LinkConfig cfg_;
   Direction dirs_[2];
+  /// Packet-lifecycle trace plumbing, cached at construction like the
+  /// queue probes: per-direction interned "<link>.<endpoint>" labels and
+  /// a per-direction hop-delay histogram (tx start -> far-sink delivery).
+  obs::TraceSink* tsink_ = nullptr;
+  std::uint16_t trace_labels_[2] = {0, 0};
+  obs::Histogram* delay_hist_[2] = {nullptr, nullptr};
   PacketSink* sinks_[2] = {nullptr, nullptr};
   std::shared_ptr<phy::ErrorModel> error_model_;
   std::vector<FrameObserver> observers_;

@@ -97,6 +97,10 @@ class PacketPool {
     free_head_ = s->next_free;
     WTCP_POOL_UNPOISON(&s->pkt, sizeof(Packet));
     s->refcount = 1;
+    // Trace identity: release() resets pkt, so the uid is (re)assigned
+    // here, at the single point every datapath packet is born.  It never
+    // feeds back into protocol logic, so goldens are unaffected.
+    s->pkt.uid = ++next_uid_;
     if (s->used_before) {
       ++recycled_;
       obs::add(probe_recycled_);
@@ -185,6 +189,7 @@ class PacketPool {
   std::vector<std::unique_ptr<PacketSlot[]>> chunks_;
   PacketSlot* free_head_ = nullptr;
   std::uint64_t allocs_ = 0;
+  std::uint64_t next_uid_ = 0;
   std::uint64_t recycled_ = 0;
   std::uint64_t live_ = 0;
   std::uint64_t high_water_ = 0;

@@ -35,6 +35,19 @@ void write_probe_snapshot(JsonWriter& w, const Registry& registry) {
     w.field(name, g.value);
   }
   w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : registry.histograms()) {
+    w.key(name).begin_object();
+    w.field("count", static_cast<std::int64_t>(h.count));
+    w.field("mean", h.mean());
+    w.field("min", h.min);
+    w.field("max", h.max);
+    w.field("p50", h.quantile(0.50));
+    w.field("p95", h.quantile(0.95));
+    w.field("p99", h.quantile(0.99));
+    w.end_object();
+  }
+  w.end_object();
 }
 
 }  // namespace wtcp::obs

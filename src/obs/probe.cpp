@@ -18,6 +18,14 @@ Gauge* Registry::gauge(std::string_view name) {
   return &it->second;
 }
 
+Histogram* Registry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return &it->second;
+}
+
 std::uint64_t Registry::counter_value(std::string_view name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second.value;

@@ -2,10 +2,14 @@
 //
 // Three primitives, all owned by a per-run obs::Registry:
 //
-//   * Counter — monotonically increasing uint64 ("tcp.timeouts").
-//   * Gauge   — last-written double ("channel.bad_time_s").
-//   * Event   — a timestamped (component, name, value) record appended to
-//               the registry's event log; exported as JSONL.
+//   * Counter   — monotonically increasing uint64 ("tcp.timeouts").
+//   * Gauge     — last-written double ("channel.bad_time_s").
+//   * Event     — a timestamped (component, name, value) record appended
+//                 to the registry's event log; exported as JSONL.
+//   * Histogram — log-bucketed value distribution ("tcp.e2e_delay_s"):
+//                 p50/p95/p99 of per-packet latencies, ARQ recovery time,
+//                 EBSN re-arm lead time.  Fixed bucket layout, so
+//                 histograms from different seeds merge by adding counts.
 //
 // Zero overhead when off: components look the registry up once (at
 // construction, via Simulator::probes()) and cache raw Counter*/Gauge*
@@ -15,6 +19,7 @@
 // docs/observability.md for the naming scheme.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -31,6 +36,107 @@ struct Counter {
 
 struct Gauge {
   double value = 0.0;
+};
+
+/// Log-bucketed histogram: 256 fixed buckets, four per octave
+/// (quarter-log2 resolution, ~19% relative width), covering
+/// [2^-31.75, 2^32) with bucket 0 catching zero/negative/underflow.
+/// The layout is position-independent, so histograms recorded by
+/// different seeds merge by adding counts — the aggregate p50/p95/p99
+/// in a manifest is exact over the union of samples (to bucket
+/// resolution).  A plain copyable struct (~2 KB) so reports can hold it
+/// by value and checkpoints can round-trip it.
+struct Histogram {
+  static constexpr int kBuckets = 256;
+  /// Bucket index of values in [1, 2^0.25).
+  static constexpr int kOffset = 128;
+
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< smallest recorded value (0 until first record)
+  double max = 0.0;  ///< largest recorded value
+  std::uint64_t buckets[kBuckets] = {};
+
+  /// Hot path: frexp plus three mantissa compares — no log() call.
+  void record(double v) {
+    if (count == 0) {
+      min = max = v;
+    } else {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
+    ++count;
+    sum += v;
+    ++buckets[bucket_of(v)];
+  }
+
+  /// Bucket index for `v`; clamped, so every double lands somewhere.
+  static int bucket_of(double v) {
+    if (!(v > 0.0)) return 0;  // zero, negative, NaN
+    int e = 0;
+    const double m = std::frexp(v, &e);  // v = m * 2^e, m in [0.5, 1)
+    // floor(4 * (log2(m) + 1)) via compares against 2^-0.75, 2^-0.5,
+    // 2^-0.25 — the quarter-octave boundaries.
+    int sub = 3;
+    if (m < 0.594603557501360533) {
+      sub = 0;
+    } else if (m < 0.707106781186547524) {
+      sub = 1;
+    } else if (m < 0.840896415253714543) {
+      sub = 2;
+    }
+    const int b = kOffset + 4 * (e - 1) + sub;
+    if (b < 1) return 0;
+    if (b >= kBuckets) return kBuckets - 1;
+    return b;
+  }
+
+  /// Lower edge of bucket `b` (0 for the underflow bucket).
+  static double bucket_floor(int b) {
+    if (b <= 0) return 0.0;
+    return std::exp2(0.25 * static_cast<double>(b - kOffset));
+  }
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+
+  /// Approximate quantile (geometric midpoint of the bucket holding the
+  /// rank, clamped to the observed [min, max]).
+  double quantile(double q) const {
+    if (count == 0) return 0.0;
+    if (q <= 0.0) return min;
+    if (q >= 1.0) return max;
+    const double rank = q * static_cast<double>(count);
+    std::uint64_t cum = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      cum += buckets[b];
+      if (static_cast<double>(cum) >= rank) {
+        if (b == 0) return min;
+        // Geometric midpoint: floor * 2^(1/8).
+        const double v = bucket_floor(b) * 1.0905077326652577;
+        if (v < min) return min;
+        if (v > max) return max;
+        return v;
+      }
+    }
+    return max;
+  }
+
+  /// Fold another histogram in (same fixed layout — add everything).
+  void merge(const Histogram& o) {
+    if (o.count == 0) return;
+    if (count == 0) {
+      min = o.min;
+      max = o.max;
+    } else {
+      if (o.min < min) min = o.min;
+      if (o.max > max) max = o.max;
+    }
+    count += o.count;
+    sum += o.sum;
+    for (int b = 0; b < kBuckets; ++b) buckets[b] += o.buckets[b];
+  }
 };
 
 /// One discrete occurrence published on the bus.  `component` and `name`
@@ -50,6 +156,9 @@ inline void add(Counter* c, std::uint64_t n = 1) {
 inline void set(Gauge* g, double v) {
   if (g) g->value = v;
 }
+inline void record(Histogram* h, double v) {
+  if (h) h->record(v);
+}
 
 /// Per-run registry of named probes plus the event log.  Single-threaded,
 /// like everything else in a run.  Lives at least as long as the
@@ -64,6 +173,7 @@ class Registry {
   /// lifetime (node-based storage).
   Counter* counter(std::string_view name);
   Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
 
   /// Value lookups for consumers (exporters, tests).  Missing names read
   /// as zero so reports never have to special-case unwired probes.
@@ -82,12 +192,16 @@ class Registry {
   const std::map<std::string, Gauge, std::less<>>& gauges() const {
     return gauges_;
   }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
 
   void clear_events() { events_.clear(); }
 
  private:
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
   std::vector<Event> events_;
 };
 

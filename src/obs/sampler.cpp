@@ -49,8 +49,19 @@ void Sampler::start() {
 }
 
 void Sampler::stop() {
+  if (!running_) return;
   running_ = false;
   sim_.cancel(tick_event_);
+  // Flush the final partial interval: a run that ends between ticks would
+  // otherwise silently drop everything since the last row (a transfer
+  // completing at 1.05 s with a 100 ms interval lost its last 50 ms).
+  if (!series_.rows.empty() && sim_.now() > series_.rows.back().at) {
+    TimeSeries::Row row;
+    row.at = sim_.now();
+    row.values.reserve(probes_.size());
+    for (const auto& probe : probes_) row.values.push_back(probe());
+    series_.rows.push_back(std::move(row));
+  }
 }
 
 void Sampler::tick() {

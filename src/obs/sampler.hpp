@@ -4,7 +4,8 @@
 // sender.cwnd(); }); the sampler ticks at a fixed interval, evaluates
 // every probe, and appends one row to an in-memory TimeSeries.  The first
 // row is taken at start() time, so a horizon H with interval dt yields
-// floor(H/dt) + 1 rows.
+// floor(H/dt) + 1 rows — plus one final partial-interval row at stop()
+// when the run ends between ticks.
 //
 // The sampler keeps itself alive by rescheduling, so it must only run in
 // simulations that stop via Simulator::stop() or a run(horizon) bound —
@@ -54,7 +55,9 @@ class Sampler {
   /// Take the first sample now and begin ticking every interval.
   void start();
 
-  /// Stop ticking (the recorded series stays).
+  /// Stop ticking (the recorded series stays).  If the run ended part-way
+  /// through an interval, one final row is taken at stop() time so the
+  /// tail of the run is never silently dropped.
   void stop();
 
   sim::Time interval() const { return interval_; }

@@ -1,0 +1,523 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/core/provenance.hpp"
+#include "src/obs/json.hpp"
+
+namespace wtcp::obs {
+
+namespace {
+
+/// Site names, indexed by TraceSite value.  Part of the trace format:
+/// exporters embed the producing build's table so readers never depend on
+/// their own enum ordering.
+constexpr const char* kSiteNames[] = {
+    "tcp.send",        "tcp.retransmit", "tcp.timeout",    "tcp.fast_rtx",
+    "tcp.cwnd",        "tcp.ack_rx",     "tcp.dupack",     "tcp.ebsn_rx",
+    "tcp.quench_rx",   "tcp.timer_rearm",
+    "ebsn.sent",       "quench.sent",
+    "frag.fragment",   "frag.reassembled",
+    "queue.enqueue",   "queue.drop",
+    "link.tx_start",   "link.tx_end",    "link.corrupt",   "link.deliver",
+    "arq.submit",      "arq.attempt",    "arq.backoff",    "arq.discard",
+    "arq.delivered",
+    "snoop.cache_hit", "snoop.local_rtx",
+    "sink.deliver",
+};
+static_assert(sizeof(kSiteNames) / sizeof(kSiteNames[0]) ==
+                  static_cast<std::size_t>(TraceSite::kSiteCount),
+              "site name table must cover every TraceSite");
+
+constexpr char kMagic[8] = {'W', 'T', 'C', 'P', 'T', 'R', 'C', '1'};
+constexpr std::uint32_t kBinaryVersion = 1;
+/// Upper bound on any length field in the binary format; real tables are
+/// tiny, so anything larger means a corrupt or foreign file.
+constexpr std::uint32_t kMaxStringLen = 1u << 20;
+
+/// git sha with a "-dirty" suffix when the working tree had local edits.
+std::string provenance_sha() {
+  const core::Provenance& p = core::build_provenance();
+  return p.git_dirty ? p.git_sha + "-dirty" : p.git_sha;
+}
+
+std::string provenance_flags() {
+  const core::Provenance& p = core::build_provenance();
+  return p.build_type + " " + p.flags;
+}
+
+template <typename T>
+void put(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool get(std::istream& is, T* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(is);
+}
+
+void put_string(std::ostream& os, std::string_view s) {
+  put(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool get_string(std::istream& is, std::string* out) {
+  std::uint32_t len = 0;
+  if (!get(is, &len) || len > kMaxStringLen) return false;
+  out->resize(len);
+  is.read(out->data(), static_cast<std::streamsize>(len));
+  return static_cast<bool>(is);
+}
+
+void fail(std::string* error, const char* what) {
+  if (error) *error = what;
+}
+
+/// Position just past `"key":` in `line`, or npos.
+std::size_t after_key(std::string_view line, std::string_view key) {
+  std::string pat;
+  pat.reserve(key.size() + 3);
+  pat += '"';
+  pat += key;
+  pat += "\":";
+  const std::size_t p = line.find(pat);
+  return p == std::string_view::npos ? std::string_view::npos
+                                     : p + pat.size();
+}
+
+bool parse_u64_field(std::string_view line, std::string_view key,
+                     std::uint64_t* out) {
+  const std::size_t p = after_key(line, key);
+  if (p == std::string_view::npos) return false;
+  *out = std::strtoull(line.data() + p, nullptr, 10);
+  return true;
+}
+
+/// Parse a JSON string starting at the opening quote `pos`; sets `end` to
+/// the position just past the closing quote.
+bool parse_string_at(std::string_view line, std::size_t pos, std::string* out,
+                     std::size_t* end) {
+  if (pos >= line.size() || line[pos] != '"') return false;
+  std::size_t i = pos + 1;
+  while (i < line.size() && line[i] != '"') {
+    if (line[i] == '\\') ++i;  // skip the escaped character
+    ++i;
+  }
+  if (i >= line.size()) return false;
+  if (!json_unescape(line.substr(pos + 1, i - pos - 1), *out)) return false;
+  *end = i + 1;
+  return true;
+}
+
+/// Parse `["a","b",...]` starting at the '[' found after `key`.
+bool parse_string_array(std::string_view line, std::string_view key,
+                        std::vector<std::string>* out) {
+  std::size_t p = after_key(line, key);
+  if (p == std::string_view::npos || p >= line.size() || line[p] != '[')
+    return false;
+  ++p;
+  out->clear();
+  if (p < line.size() && line[p] == ']') return true;
+  while (p < line.size()) {
+    std::string s;
+    if (!parse_string_at(line, p, &s, &p)) return false;
+    out->push_back(std::move(s));
+    if (p >= line.size()) return false;
+    if (line[p] == ']') return true;
+    if (line[p] != ',') return false;
+    ++p;
+  }
+  return false;
+}
+
+bool parse_string_field(std::string_view line, std::string_view key,
+                        std::string* out) {
+  const std::size_t p = after_key(line, key);
+  if (p == std::string_view::npos) return false;
+  std::size_t end = 0;
+  return parse_string_at(line, p, out, &end);
+}
+
+void write_record_line(std::ostream& os, const TraceRecord& r,
+                       const TraceFile& f) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"t_ns\":%lld,\"id\":%llu,\"site\":%u,\"a\":%u,"
+                "\"label\":%u,\"arg\":%d,\"name\":\"%s\"}\n",
+                static_cast<long long>(r.t_ns),
+                static_cast<unsigned long long>(r.id),
+                static_cast<unsigned>(r.site), static_cast<unsigned>(r.a),
+                static_cast<unsigned>(r.label), static_cast<int>(r.arg),
+                f.site_name(r.site).c_str());
+  os << buf;
+}
+
+bool parse_record_line(const std::string& line, TraceRecord* r) {
+  long long t = 0;
+  unsigned long long id = 0;
+  unsigned site = 0, a = 0, label = 0;
+  int arg = 0;
+  if (std::sscanf(line.c_str(),
+                  "{\"t_ns\":%lld,\"id\":%llu,\"site\":%u,\"a\":%u,"
+                  "\"label\":%u,\"arg\":%d",
+                  &t, &id, &site, &a, &label, &arg) != 6) {
+    return false;
+  }
+  if (site > 0xFF || a > 0xFF || label > 0xFFFF) return false;
+  r->t_ns = t;
+  r->id = id;
+  r->site = static_cast<std::uint8_t>(site);
+  r->a = static_cast<std::uint8_t>(a);
+  r->label = static_cast<std::uint16_t>(label);
+  r->arg = arg;
+  return true;
+}
+
+void write_header_line(std::ostream& os, const TraceFile& f) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("wtcptrace", std::uint64_t{1});
+  w.field("seed", f.seed);
+  w.field("dropped", f.dropped);
+  w.field("records", static_cast<std::uint64_t>(f.records.size()));
+  w.key("labels").begin_array();
+  for (const std::string& l : f.labels) w.value(l);
+  w.end_array();
+  w.key("sites").begin_array();
+  for (const std::string& s : f.site_names) w.value(s);
+  w.end_array();
+  w.key("provenance").begin_object();
+  w.field("git_sha", f.git_sha);
+  w.field("compiler", f.compiler);
+  w.field("flags", f.flags);
+  w.end_object();
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace
+
+const char* to_string(TraceSite s) {
+  const auto i = static_cast<std::size_t>(s);
+  return i < static_cast<std::size_t>(TraceSite::kSiteCount) ? kSiteNames[i]
+                                                             : "invalid";
+}
+
+TraceSink::TraceSink(std::size_t capacity)
+    : ring_(std::max<std::size_t>(1, capacity)) {
+  labels_.emplace_back();  // id 0 = "no label"
+}
+
+std::uint16_t TraceSink::intern(std::string_view label) {
+  if (auto it = label_ids_.find(label); it != label_ids_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::uint16_t>(labels_.size());
+  labels_.emplace_back(label);
+  label_ids_.emplace(std::string(label), id);
+  return id;
+}
+
+std::vector<TraceRecord> TraceSink::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(count_);
+  // Oldest record sits at head_ once the ring has wrapped, at 0 before.
+  const std::size_t start = count_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceRecord> TraceSink::last(std::size_t n) const {
+  std::vector<TraceRecord> all = snapshot();
+  if (n < all.size()) all.erase(all.begin(), all.end() - static_cast<std::ptrdiff_t>(n));
+  return all;
+}
+
+void TraceSink::clear() {
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+const std::string& TraceFile::label_of(std::uint16_t id) const {
+  static const std::string kEmpty;
+  return id < labels.size() ? labels[id] : kEmpty;
+}
+
+std::string TraceFile::site_name(std::uint8_t site) const {
+  if (site < site_names.size()) return site_names[site];
+  return "site" + std::to_string(static_cast<unsigned>(site));
+}
+
+bool write_trace_file(const std::string& path, const TraceSink& sink,
+                      std::string* error) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    fail(error, "cannot open output file");
+    return false;
+  }
+  const std::vector<TraceRecord> records = sink.snapshot();
+  os.write(kMagic, sizeof(kMagic));
+  put(os, kBinaryVersion);
+  put(os, static_cast<std::uint32_t>(sizeof(TraceRecord)));
+  put(os, sink.seed());
+  put(os, sink.dropped());
+  put(os, static_cast<std::uint64_t>(records.size()));
+  put(os, static_cast<std::uint16_t>(sink.labels().size()));
+  for (const std::string& l : sink.labels()) put_string(os, l);
+  put(os, static_cast<std::uint16_t>(TraceSite::kSiteCount));
+  for (const char* name : kSiteNames) put_string(os, name);
+  put_string(os, provenance_sha());
+  put_string(os, core::build_provenance().compiler);
+  put_string(os, provenance_flags());
+  os.write(reinterpret_cast<const char*>(records.data()),
+           static_cast<std::streamsize>(records.size() * sizeof(TraceRecord)));
+  if (!os) {
+    fail(error, "write failed");
+    return false;
+  }
+  return true;
+}
+
+bool read_trace_file(const std::string& path, TraceFile* out,
+                     std::string* error) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    fail(error, "cannot open trace file");
+    return false;
+  }
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    fail(error, "bad magic (not a wtcp binary trace)");
+    return false;
+  }
+  std::uint32_t version = 0, rec_size = 0;
+  if (!get(is, &version) || version != kBinaryVersion) {
+    fail(error, "unsupported trace version");
+    return false;
+  }
+  if (!get(is, &rec_size) || rec_size != sizeof(TraceRecord)) {
+    fail(error, "record size mismatch");
+    return false;
+  }
+  std::uint64_t nrecords = 0;
+  if (!get(is, &out->seed) || !get(is, &out->dropped) || !get(is, &nrecords)) {
+    fail(error, "truncated header");
+    return false;
+  }
+  std::uint16_t nlabels = 0;
+  if (!get(is, &nlabels)) {
+    fail(error, "truncated label table");
+    return false;
+  }
+  out->labels.resize(nlabels);
+  for (std::string& l : out->labels) {
+    if (!get_string(is, &l)) {
+      fail(error, "truncated label table");
+      return false;
+    }
+  }
+  std::uint16_t nsites = 0;
+  if (!get(is, &nsites)) {
+    fail(error, "truncated site table");
+    return false;
+  }
+  out->site_names.resize(nsites);
+  for (std::string& s : out->site_names) {
+    if (!get_string(is, &s)) {
+      fail(error, "truncated site table");
+      return false;
+    }
+  }
+  if (!get_string(is, &out->git_sha) || !get_string(is, &out->compiler) ||
+      !get_string(is, &out->flags)) {
+    fail(error, "truncated provenance");
+    return false;
+  }
+  if (nrecords > (std::uint64_t{1} << 32)) {
+    fail(error, "implausible record count");
+    return false;
+  }
+  out->records.resize(nrecords);
+  is.read(reinterpret_cast<char*>(out->records.data()),
+          static_cast<std::streamsize>(nrecords * sizeof(TraceRecord)));
+  if (!is) {
+    fail(error, "truncated records");
+    return false;
+  }
+  return true;
+}
+
+void write_trace_jsonl(std::ostream& os, const TraceFile& f) {
+  write_header_line(os, f);
+  for (const TraceRecord& r : f.records) write_record_line(os, r, f);
+}
+
+bool read_trace_jsonl(std::istream& is, TraceFile* out, std::string* error) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    fail(error, "empty input");
+    return false;
+  }
+  std::uint64_t format = 0;
+  if (!parse_u64_field(line, "wtcptrace", &format) || format != 1) {
+    fail(error, "missing or unsupported wtcptrace header");
+    return false;
+  }
+  if (!parse_u64_field(line, "seed", &out->seed) ||
+      !parse_u64_field(line, "dropped", &out->dropped)) {
+    fail(error, "header missing seed/dropped");
+    return false;
+  }
+  if (!parse_string_array(line, "labels", &out->labels) ||
+      !parse_string_array(line, "sites", &out->site_names)) {
+    fail(error, "header missing labels/sites");
+    return false;
+  }
+  // Provenance is optional on read (hand-built fixtures may omit it).
+  parse_string_field(line, "git_sha", &out->git_sha);
+  parse_string_field(line, "compiler", &out->compiler);
+  parse_string_field(line, "flags", &out->flags);
+  out->records.clear();
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    TraceRecord r{};
+    if (!parse_record_line(line, &r)) {
+      fail(error, "malformed record line");
+      return false;
+    }
+    out->records.push_back(r);
+  }
+  return true;
+}
+
+void write_chrome_trace(std::ostream& os, const TraceFile& f) {
+  // One process per run; one track (tid) per packet uid.  Link occupancy
+  // becomes "X" complete events, ARQ recovery and EBSN propagation become
+  // async "b"/"e" spans, everything else an instant.  ts/dur are in
+  // microseconds (Chrome's unit); %.3f keeps nanosecond precision.
+  os << "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  auto emit = [&](const char* s) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << s;
+  };
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+                "\"args\":{\"name\":\"wtcp seed %llu\"}}",
+                static_cast<unsigned long long>(f.seed));
+  emit(buf);
+
+  // Pending tx-start per (id, label) for complete events; pending ARQ
+  // submit and EBSN send per id for spans.
+  std::map<std::pair<std::uint64_t, std::uint16_t>, std::int64_t> tx_start;
+  const auto us = [](std::int64_t ns) {
+    return static_cast<double>(ns) / 1000.0;
+  };
+  for (const TraceRecord& r : f.records) {
+    const auto site = static_cast<TraceSite>(r.site);
+    const std::string name = f.site_name(r.site);
+    switch (site) {
+      case TraceSite::kLinkTxStart:
+        tx_start[{r.id, r.label}] = r.t_ns;
+        break;
+      case TraceSite::kLinkTxEnd:
+      case TraceSite::kLinkCorrupt: {
+        const auto it = tx_start.find({r.id, r.label});
+        if (it != tx_start.end()) {
+          std::snprintf(
+              buf, sizeof(buf),
+              "{\"ph\":\"X\",\"pid\":1,\"tid\":%llu,\"ts\":%.3f,"
+              "\"dur\":%.3f,\"name\":\"tx %s\",\"cat\":\"link\","
+              "\"args\":{\"corrupt\":%s}}",
+              static_cast<unsigned long long>(r.id), us(it->second),
+              us(r.t_ns - it->second), f.label_of(r.label).c_str(),
+              site == TraceSite::kLinkCorrupt ? "true" : "false");
+          emit(buf);
+          tx_start.erase(it);
+        }
+        break;
+      }
+      case TraceSite::kArqSubmit:
+      case TraceSite::kEbsnSent: {
+        const char* cat = site == TraceSite::kArqSubmit ? "arq" : "ebsn";
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"b\",\"pid\":1,\"tid\":%llu,\"ts\":%.3f,"
+                      "\"id\":%llu,\"name\":\"%s\",\"cat\":\"%s\"}",
+                      static_cast<unsigned long long>(r.id), us(r.t_ns),
+                      static_cast<unsigned long long>(r.id), cat, cat);
+        emit(buf);
+        break;
+      }
+      case TraceSite::kArqDelivered:
+      case TraceSite::kArqDiscard:
+      case TraceSite::kTcpEbsnRx: {
+        const char* cat = site == TraceSite::kTcpEbsnRx ? "ebsn" : "arq";
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"e\",\"pid\":1,\"tid\":%llu,\"ts\":%.3f,"
+                      "\"id\":%llu,\"name\":\"%s\",\"cat\":\"%s\"}",
+                      static_cast<unsigned long long>(r.id), us(r.t_ns),
+                      static_cast<unsigned long long>(r.id), cat, cat);
+        emit(buf);
+        break;
+      }
+      default: {
+        const std::string& label = f.label_of(r.label);
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"i\",\"pid\":1,\"tid\":%llu,\"ts\":%.3f,"
+                      "\"s\":\"t\",\"name\":\"%s%s%s\","
+                      "\"args\":{\"arg\":%d,\"a\":%u}}",
+                      static_cast<unsigned long long>(r.id), us(r.t_ns),
+                      name.c_str(), label.empty() ? "" : " ",
+                      label.c_str(), static_cast<int>(r.arg),
+                      static_cast<unsigned>(r.a));
+        emit(buf);
+        break;
+      }
+    }
+  }
+  os << "\n]}\n";
+}
+
+bool dump_flight_record(const std::string& path, const TraceSink& sink,
+                        std::size_t last_n, std::string_view reason) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  TraceFile f;
+  f.seed = sink.seed();
+  f.dropped = sink.dropped();
+  f.labels = sink.labels();
+  f.site_names.assign(std::begin(kSiteNames), std::end(kSiteNames));
+  f.git_sha = provenance_sha();
+  f.compiler = core::build_provenance().compiler;
+  f.flags = provenance_flags();
+  f.records = sink.last(last_n);
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.field("flight_record", std::uint64_t{1});
+    w.field("reason", reason);
+    w.field("seed", f.seed);
+    w.field("held", static_cast<std::uint64_t>(sink.size()));
+    w.field("dumped", static_cast<std::uint64_t>(f.records.size()));
+    w.end_object();
+    os << "\n";
+  }
+  write_trace_jsonl(os, f);
+  return static_cast<bool>(os);
+}
+
+}  // namespace wtcp::obs

@@ -1,0 +1,221 @@
+// Packet-lifecycle tracing: a causal event journal for the datapath.
+//
+// Every PacketRef carries a monotone uid assigned at pool allocation;
+// instrumented sites along the datapath (TCP send, fragmenter fan-out,
+// queue enqueue/drop, link tx start/complete, ARQ attempt/backoff/discard,
+// EBSN emission and source timer re-arm, snoop cache hits, delivery) emit
+// one compact fixed-width record each into a per-run ring buffer.  The
+// journal answers the paper's causal questions per packet — which source
+// timeouts fired during link-level recovery, which losses were wireless
+// vs. congestion — where counters and 100 ms samples only show aggregates.
+//
+// Cost model, mirroring the probe bus and WTCP_AUDIT:
+//
+//   * Compiled OFF (-DWTCP_TRACE=OFF): every WTCP_TRACE_EMIT site is
+//     ((void)0); the TraceSink type itself stays compiled so exporters
+//     and the wtcptrace CLI still build.
+//   * Compiled ON, no sink attached (the default): each site is a single
+//     null-pointer branch.  Trace records never feed back into protocol
+//     logic, so goldens are byte-identical either way.
+//   * Sink attached: one 24-byte store into pre-reserved ring storage.
+//     No heap allocation on the hot path; label interning allocates only
+//     at component construction.
+//
+// The ring overwrites oldest records and counts what it dropped, which is
+// exactly the flight-recorder shape: when a watchdog kills a run, a seed
+// throws, or a WTCP_AUDIT invariant fires, the last N records are dumped
+// for post-mortem (topo::Scenario owns the triggers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace wtcp::obs {
+
+/// Where in the datapath a record was emitted.  Order is part of the
+/// binary trace format; append new sites before kSiteCount only.
+enum class TraceSite : std::uint8_t {
+  // TCP source (src/tcp/tahoe_sender.cpp).
+  kTcpSend = 0,    ///< first transmission; id=pkt, arg=seq
+  kTcpRetransmit,  ///< retransmission (timeout/fast/SACK); id=pkt, arg=seq
+  kTcpTimeout,     ///< rtx timer fired; arg=snd_una
+  kTcpFastRtx,     ///< dupack threshold crossed; arg=seq
+  kTcpCwnd,        ///< cwnd changed; arg=round(cwnd*1000)
+  kTcpAckRx,       ///< new ACK processed; id=ack pkt, arg=ack
+  kTcpDupAck,      ///< duplicate ACK; id=ack pkt, arg=ack
+  kTcpEbsnRx,      ///< EBSN arrived at source; id=pkt, arg=snd_una
+  kTcpQuenchRx,    ///< source quench arrived; id=pkt, arg=snd_una
+  kTcpTimerRearm,  ///< rtx timer re-armed by EBSN; arg=new deadline delta, us
+  // Feedback agents at the base station.
+  kEbsnSent,    ///< EBSN emitted toward source; id=ebsn pkt, arg=tcp seq
+  kQuenchSent,  ///< source quench emitted; id=quench pkt, arg=tcp seq
+  // Fragmentation boundary (src/link).
+  kFragment,     ///< fragment created; id=frag, a=index, arg=datagram uid
+  kReassembled,  ///< datagram reassembled; id=datagram
+  // Queues and links (src/net/link.cpp); label = "<link>.<endpoint>",
+  // a = 1 on the wireless hop (link has an error model).
+  kQueueEnqueue,  ///< accepted into the tx queue; arg=depth after
+  kQueueDrop,     ///< tail drop; arg=depth at drop
+  kLinkTxStart,   ///< serialization onto the wire began; arg=wire bytes
+  kLinkTxEnd,     ///< serialization finished, frame intact
+  kLinkCorrupt,   ///< frame lost to the error model at tx end
+  kLinkDeliver,   ///< frame handed to the far endpoint after propagation
+  // Link-level ARQ (src/link/link_arq.cpp).
+  kArqSubmit,     ///< frame entered the ARQ sender; arg=link_seq
+  kArqAttempt,    ///< (re)transmission attempt; a=attempt #, arg=link_seq
+  kArqBackoff,    ///< ACK timeout, backoff armed; a=attempts, arg=link_seq
+  kArqDiscard,    ///< RTmax exhausted, frame dropped; a=attempts
+  kArqDelivered,  ///< link ACK received; arg=link_seq
+  // Snoop agent (src/feedback/snoop_agent.cpp).
+  kSnoopCacheHit,  ///< data segment cached at BS; arg=seq
+  kSnoopLocalRtx,  ///< local retransmission from the cache; arg=seq
+  // Delivery (src/tcp/tcp_sink.cpp).
+  kSinkDeliver,  ///< in-order payload delivered to the application; arg=seq
+
+  kSiteCount,  ///< sentinel, not a site
+};
+
+const char* to_string(TraceSite s);
+
+/// One journal entry: 24 bytes, fixed width, host byte order.
+///   t_ns   simulation time (sim::Time::ns())
+///   id     packet uid (0 when no packet is involved, e.g. kTcpTimeout)
+///   site   TraceSite
+///   a      small per-site argument (attempt #, fragment index,
+///          wireless flag on link/queue sites)
+///   label  interned label id (link direction), 0 = none
+///   arg    per-site argument (seq, queue depth, parent datagram uid)
+struct TraceRecord {
+  std::int64_t t_ns;
+  std::uint64_t id;
+  std::uint8_t site;
+  std::uint8_t a;
+  std::uint16_t label;
+  std::int32_t arg;
+};
+static_assert(sizeof(TraceRecord) == 24, "trace records are 24-byte spans");
+
+/// Per-run ring buffer of trace records.  Single-threaded, like the run
+/// that feeds it; owned by topo::Scenario and attached to the Simulator
+/// next to the probe Registry.
+class TraceSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceSink(std::size_t capacity = kDefaultCapacity);
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Hot path: one store into pre-reserved storage, overwrite-oldest.
+  void emit(sim::Time t, std::uint64_t id, TraceSite site, std::uint8_t a = 0,
+            std::uint16_t label = 0, std::int32_t arg = 0) {
+    TraceRecord& r = ring_[head_];
+    r.t_ns = t.ns();
+    r.id = id;
+    r.site = static_cast<std::uint8_t>(site);
+    r.a = a;
+    r.label = label;
+    r.arg = arg;
+    if (++head_ == ring_.size()) head_ = 0;
+    if (count_ < ring_.size()) {
+      ++count_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  /// Find-or-create a label id for `label` ("<link>.<endpoint>").  Called
+  /// at component construction only — this is the one place the sink
+  /// allocates.  Id 0 is reserved for "no label".
+  std::uint16_t intern(std::string_view label);
+
+  /// Label table, index = label id (labels()[0] == "").
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  std::size_t capacity() const { return ring_.size(); }
+  std::size_t size() const { return count_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t total() const { return dropped_ + count_; }
+
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Held records in chronological (emission) order.
+  std::vector<TraceRecord> snapshot() const;
+  /// The newest min(n, size()) records, chronological.
+  std::vector<TraceRecord> last(std::size_t n) const;
+
+  /// Drop all held records (label table and seed survive).
+  void clear();
+
+ private:
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;   ///< next write position
+  std::size_t count_ = 0;  ///< records currently held (<= capacity)
+  std::uint64_t dropped_ = 0;
+  std::uint64_t seed_ = 0;
+  std::vector<std::string> labels_;
+  std::map<std::string, std::uint16_t, std::less<>> label_ids_;
+};
+
+// Emission macros, following the WTCP_AUDIT pattern: sites compile to
+// ((void)0) when tracing is off, and to a single null-pointer branch when
+// on with no sink attached.
+#if defined(WTCP_TRACE) && WTCP_TRACE
+#define WTCP_TRACE_EMIT(sink, ...) \
+  do {                             \
+    if (sink) (sink)->emit(__VA_ARGS__); \
+  } while (0)
+#define WTCP_TRACE_ONLY(...) __VA_ARGS__
+#else
+#define WTCP_TRACE_EMIT(sink, ...) ((void)0)
+#define WTCP_TRACE_ONLY(...)
+#endif  // WTCP_TRACE
+
+/// A trace loaded from disk (binary or JSONL): everything needed to
+/// interpret the records without the producing binary.
+struct TraceFile {
+  std::uint64_t seed = 0;
+  std::uint64_t dropped = 0;
+  std::vector<std::string> labels;      ///< index = label id
+  std::vector<std::string> site_names;  ///< index = site enum value
+  std::string git_sha;
+  std::string compiler;
+  std::string flags;
+  std::vector<TraceRecord> records;
+
+  const std::string& label_of(std::uint16_t id) const;
+  std::string site_name(std::uint8_t site) const;
+};
+
+/// Binary trace format: "WTCPTRC1" magic, record size, seed, dropped
+/// count, label and site-name tables, provenance strings, then raw
+/// records.  Same-machine format (host byte order), lossless.
+bool write_trace_file(const std::string& path, const TraceSink& sink,
+                      std::string* error = nullptr);
+bool read_trace_file(const std::string& path, TraceFile* out,
+                     std::string* error);
+
+/// Lossless JSONL: one header object, then one object per record with a
+/// fixed key order.  read_trace_jsonl(write_trace_jsonl(f)) == f.
+void write_trace_jsonl(std::ostream& os, const TraceFile& f);
+bool read_trace_jsonl(std::istream& is, TraceFile* out, std::string* error);
+
+/// Chrome tracing / Perfetto JSON: per-packet tracks (tid = packet uid),
+/// complete events for link occupancy, async spans for ARQ recovery
+/// episodes, instants for everything else.
+void write_chrome_trace(std::ostream& os, const TraceFile& f);
+
+/// Flight-recorder dump: the newest `last_n` records as JSONL, prefixed
+/// by a header line carrying `reason`.  Returns false on I/O failure.
+bool dump_flight_record(const std::string& path, const TraceSink& sink,
+                        std::size_t last_n, std::string_view reason);
+
+}  // namespace wtcp::obs

@@ -118,6 +118,11 @@ std::uint64_t Scheduler::run() {
   return n;
 }
 
+void Scheduler::reserve(std::size_t events) {
+  heap_.reserve(events);
+  slots_.reserve(events);
+}
+
 void Scheduler::clear() {
   // Full O(n) slot-pool/heap audit at the natural quiescent point (between
   // experiment runs): the live count matches the live slots, the free list

@@ -82,6 +82,12 @@ class Scheduler {
   /// Drop all pending events (used between experiment runs).
   void clear();
 
+  /// Pre-size the heap and slot pool for `events` concurrently pending
+  /// events.  Purely a performance knob (both grow on demand): benches
+  /// with a known worst-case depth call this so slot-pool growth never
+  /// lands inside the measured region.
+  void reserve(std::size_t events);
+
   /// Total events executed over the scheduler's lifetime.
   std::uint64_t executed_count() const { return executed_; }
 

@@ -14,6 +14,7 @@
 
 namespace wtcp::obs {
 class Registry;
+class TraceSink;
 }
 namespace wtcp::net {
 class PacketPool;
@@ -127,6 +128,13 @@ class Simulator {
   }
   obs::Registry* probes() const { return probes_; }
 
+  /// Packet-lifecycle trace sink for this run, or nullptr when tracing is
+  /// off.  Same discipline as the probe bus: components cache the pointer
+  /// (and intern their labels) at construction, so attach the sink BEFORE
+  /// building the component graph; the caller owns it.
+  void set_trace(obs::TraceSink* trace) { trace_ = trace; }
+  obs::TraceSink* trace() const { return trace_; }
+
   /// Cumulative wall-clock seconds spent inside run() (scheduler
   /// profiling: wall-time per simulated second = wall_seconds() / now()).
   double wall_seconds() const { return wall_seconds_; }
@@ -139,6 +147,7 @@ class Simulator {
   Scheduler sched_;
   Rng root_rng_;
   obs::Registry* probes_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
   double wall_seconds_ = 0.0;
   bool stopped_ = false;
   RunBudget budget_;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "src/core/audit.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/logging.hpp"
 
 namespace wtcp::tcp {
@@ -51,7 +52,9 @@ TcpSender::TcpSender(sim::Simulator& sim, TcpConfig cfg, net::NodeId self,
       event_counters_[i] = bus_->counter(kCounterNames[i]);
     }
     estimator_.bind_probes(bus_);
+    ebsn_rearm_hist_ = bus_->histogram("tcp.ebsn_rearm_lead_s");
   }
+  tsink_ = sim_.trace();
 }
 
 void TcpSender::trace(stats::TraceEvent e, std::int64_t seq) {
@@ -178,11 +181,16 @@ void TcpSender::transmit(std::int64_t seq) {
     ++stats_.segments_retransmitted;
     stats_.payload_bytes_retransmitted += payload;
     trace(stats::TraceEvent::kRetransmit, seq);
+    WTCP_TRACE_EMIT(tsink_, sim_.now(), pkt->uid,
+                    obs::TraceSite::kTcpRetransmit, 0, 0,
+                    static_cast<std::int32_t>(seq));
     // Karn: a timed segment that gets retransmitted yields no sample.
     if (timing_seq_ == seq) timing_seq_ = -1;
   } else {
     ++stats_.segments_sent;
     trace(stats::TraceEvent::kSend, seq);
+    WTCP_TRACE_EMIT(tsink_, sim_.now(), pkt->uid, obs::TraceSite::kTcpSend, 0,
+                    0, static_cast<std::int32_t>(seq));
     if (timing_seq_ < 0) {
       timing_seq_ = seq;
       timing_sent_at_ = sim_.now();
@@ -201,6 +209,7 @@ void TcpSender::transmit(std::int64_t seq) {
 
 void TcpSender::set_rtx_timer() {
   sim_.cancel(rtx_timer_);
+  rtx_deadline_ = sim_.now() + estimator_.rto();
   rtx_timer_ =
       sim_.after(estimator_.rto(), [this] { on_rtx_timeout(); }, "tcp.rtx_timer");
 }
@@ -254,6 +263,10 @@ void TcpSender::on_rtx_timeout() {
   }
   ++stats_.timeouts;
   trace(stats::TraceEvent::kTimeout, snd_una_);
+  WTCP_TRACE_EMIT(tsink_, sim_.now(), 0, obs::TraceSite::kTcpTimeout,
+                  static_cast<std::uint8_t>(
+                      std::min(estimator_.backoff_shift(), 255)),
+                  0, static_cast<std::int32_t>(snd_una_));
   WTCP_LOG(kDebug, sim_.now(), name_.c_str(), "TIMEOUT una=%lld rto=%s backoff=%d",
            static_cast<long long>(snd_una_), estimator_.rto().to_string().c_str(),
            estimator_.backoff_shift());
@@ -323,6 +336,8 @@ void TcpSender::on_ack(const net::Packet& pkt) {
 
 void TcpSender::on_new_ack(std::int64_t ack) {
   trace(stats::TraceEvent::kAck, ack);
+  WTCP_TRACE_EMIT(tsink_, sim_.now(), 0, obs::TraceSite::kTcpAckRx, 0, 0,
+                  static_cast<std::int32_t>(ack));
 
   // RTT sample (Karn: only if the timed segment was never retransmitted).
   if (timing_seq_ >= 0 && ack > timing_seq_) {
@@ -368,6 +383,8 @@ void TcpSender::on_new_ack(std::int64_t ack) {
     trace_->record(sim_.now(), stats::TraceEvent::kCwnd,
                    static_cast<std::int64_t>(std::llround(cwnd_ * 1000)));
   }
+  WTCP_TRACE_EMIT(tsink_, sim_.now(), 0, obs::TraceSite::kTcpCwnd, 0, 0,
+                  static_cast<std::int32_t>(std::llround(cwnd_ * 1000)));
   snd_una_ = ack;
   snd_nxt_ = std::max(snd_nxt_, snd_una_);
   sacked_.erase(sacked_.begin(), sacked_.lower_bound(snd_una_));
@@ -394,6 +411,9 @@ void TcpSender::on_new_ack(std::int64_t ack) {
 void TcpSender::on_dupack() {
   ++stats_.dupacks_received;
   trace(stats::TraceEvent::kDupAck, snd_una_);
+  WTCP_TRACE_EMIT(tsink_, sim_.now(), 0, obs::TraceSite::kTcpDupAck,
+                  static_cast<std::uint8_t>(std::min(dupacks_ + 1, 255)), 0,
+                  static_cast<std::int32_t>(snd_una_));
   ++dupacks_;
 
   if (in_fast_recovery_) {
@@ -417,6 +437,8 @@ void TcpSender::on_dupack() {
 
   ++stats_.fast_retransmits;
   trace(stats::TraceEvent::kFastRtx, snd_una_);
+  WTCP_TRACE_EMIT(tsink_, sim_.now(), 0, obs::TraceSite::kTcpFastRtx, 0, 0,
+                  static_cast<std::int32_t>(snd_una_));
   timing_seq_ = -1;
 
   if (cfg_.flavor == TcpFlavor::kReno || cfg_.flavor == TcpFlavor::kNewReno) {
@@ -445,6 +467,9 @@ void TcpSender::on_dupack() {
 void TcpSender::on_ebsn() {
   ++stats_.ebsn_received;
   trace(stats::TraceEvent::kEbsn, snd_una_);
+  WTCP_TRACE_EMIT(tsink_, sim_.now(), 0, obs::TraceSite::kTcpEbsnRx,
+                  cfg_.react_to_ebsn ? 1 : 0, 0,
+                  static_cast<std::int32_t>(snd_una_));
   if (!cfg_.react_to_ebsn) return;
   // Paper appendix: cancel the previous timer and put a new one in place
   // retaining the current timeout value.  Nothing else changes — the RTT
@@ -457,7 +482,15 @@ void TcpSender::on_ebsn() {
                       estimator_.backoff_shift();
                   const double cwnd_before = cwnd_;)
   if (snd_una_ < snd_nxt_ && !stats_.completed) {
+    // Lead time the re-arm bought: how close the pending timer was to
+    // firing when the EBSN arrived (and was pushed back a full RTO).
+    if (sim_.pending(rtx_timer_)) {
+      obs::record(ebsn_rearm_hist_, (rtx_deadline_ - sim_.now()).to_seconds());
+    }
     set_rtx_timer();
+    WTCP_TRACE_EMIT(tsink_, sim_.now(), 0, obs::TraceSite::kTcpTimerRearm, 0,
+                    0,
+                    static_cast<std::int32_t>(estimator_.rto().ns() / 1000));
   }
   WTCP_AUDIT_CHECK(audit::ebsn_left_estimator_untouched(
                        sa_before, estimator_.srtt().ns(), sv_before,
@@ -471,6 +504,9 @@ void TcpSender::on_ebsn() {
 void TcpSender::on_quench() {
   ++stats_.quench_received;
   trace(stats::TraceEvent::kQuench, snd_una_);
+  WTCP_TRACE_EMIT(tsink_, sim_.now(), 0, obs::TraceSite::kTcpQuenchRx,
+                  cfg_.react_to_quench ? 1 : 0, 0,
+                  static_cast<std::int32_t>(snd_una_));
   if (!cfg_.react_to_quench) return;
   // Classic 4.3BSD reaction: collapse the congestion window to one
   // segment; ssthresh is untouched.

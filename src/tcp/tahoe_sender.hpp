@@ -193,6 +193,8 @@ class TcpSender final : public net::PacketSink {
   /// event type, indexed by stats::TraceEvent.
   obs::Registry* bus_ = nullptr;
   obs::Counter* event_counters_[10] = {};
+  obs::Histogram* ebsn_rearm_hist_ = nullptr;
+  obs::TraceSink* tsink_ = nullptr;
 
   RtoEstimator estimator_;
   std::int64_t total_segments_;
@@ -213,6 +215,9 @@ class TcpSender final : public net::PacketSink {
   std::vector<bool> ever_retransmitted_;
 
   sim::EventId rtx_timer_;
+  /// Absolute expiry of the pending rtx timer — lets EBSN handling report
+  /// how much lead time the re-arm bought (timer state alone can't).
+  sim::Time rtx_deadline_;
   TcpSenderStats stats_;
   bool started_ = false;
   ConnState conn_state_ = ConnState::kEstablished;  ///< kClosed when handshaking

@@ -2,13 +2,19 @@
 
 #include <cassert>
 
+#include "src/obs/trace.hpp"
 #include "src/sim/logging.hpp"
 
 namespace wtcp::tcp {
 
 TcpSink::TcpSink(sim::Simulator& sim, TcpConfig cfg, net::NodeId self,
                  net::NodeId peer, std::string name)
-    : sim_(sim), cfg_(cfg), self_(self), peer_(peer), name_(std::move(name)) {}
+    : sim_(sim), cfg_(cfg), self_(self), peer_(peer), name_(std::move(name)) {
+  if (obs::Registry* bus = sim_.probes()) {
+    e2e_hist_ = bus->histogram("tcp.e2e_delay_s");
+  }
+  tsink_ = sim_.trace();
+}
 
 void TcpSink::handle_packet(net::PacketRef pkt) {
   if (pkt->type != net::PacketType::kTcpData) {
@@ -33,12 +39,18 @@ void TcpSink::handle_packet(net::PacketRef pkt) {
   const bool had_holes = !buffered_.empty();
 
   const bool fresh = seq >= rcv_next_ && !buffered_.contains(seq);
-  if (fresh) delay_.add((sim_.now() - pkt->created_at).to_seconds());
+  if (fresh) {
+    const double e2e = (sim_.now() - pkt->created_at).to_seconds();
+    delay_.add(e2e);
+    obs::record(e2e_hist_, e2e);
+  }
 
   if (seq == rcv_next_) {
     stats_.unique_payload_bytes += payload;
     stats_.delivered_wire_bytes += payload + cfg_.header_bytes;
     if (trace_) trace_->record(sim_.now(), stats::TraceEvent::kDeliver, seq);
+    WTCP_TRACE_EMIT(tsink_, sim_.now(), pkt->uid, obs::TraceSite::kSinkDeliver,
+                    0, 0, static_cast<std::int32_t>(seq));
     ++rcv_next_;
     deliver_in_order();
   } else if (seq > rcv_next_) {
@@ -163,6 +175,9 @@ void TcpSink::deliver_in_order() {
     stats_.unique_payload_bytes += it->second;
     stats_.delivered_wire_bytes += it->second + cfg_.header_bytes;
     if (trace_) trace_->record(sim_.now(), stats::TraceEvent::kDeliver, it->first);
+    // The buffered copy's PacketRef was not retained, so no uid here.
+    WTCP_TRACE_EMIT(tsink_, sim_.now(), 0, obs::TraceSite::kSinkDeliver, 1, 0,
+                    static_cast<std::int32_t>(it->first));
     ++rcv_next_;
     it = buffered_.erase(it);
   }

@@ -83,6 +83,8 @@ class TcpSink final : public net::PacketSink {
   sim::EventId delack_timer_;
   stats::Quantiles delay_;
   TcpSinkStats stats_;
+  obs::Histogram* e2e_hist_ = nullptr;
+  obs::TraceSink* tsink_ = nullptr;
 };
 
 }  // namespace wtcp::tcp

@@ -8,6 +8,36 @@
 
 namespace wtcp::topo {
 
+#if defined(WTCP_AUDIT) && WTCP_AUDIT
+namespace {
+
+// Flight-recorder hook for audit violations.  Audit state is per-thread
+// (one Simulator per worker thread), so one hook slot per thread suffices:
+// the Scenario whose run is live on this thread owns it.
+struct FlightHook {
+  obs::TraceSink* sink = nullptr;
+  const topo::TraceConfig* cfg = nullptr;
+  audit::Handler previous = nullptr;
+};
+thread_local FlightHook t_flight_hook;
+
+void flight_hook_handler(const char* component, const char* check,
+                         const char* detail) {
+  const FlightHook hook = t_flight_hook;
+  if (hook.sink && hook.cfg && !hook.cfg->flight_path.empty()) {
+    const std::string reason =
+        std::string("audit:") + component + "." + check;
+    obs::dump_flight_record(hook.cfg->flight_path, *hook.sink,
+                            hook.cfg->flight_events, reason.c_str());
+  }
+  // Chain to whatever was installed before (the default log+abort, or a
+  // test's capturing handler).  set_handler never returns null.
+  hook.previous(component, check, detail);
+}
+
+}  // namespace
+#endif  // WTCP_AUDIT
+
 const char* to_string(FeedbackMode m) {
   switch (m) {
     case FeedbackMode::kNone: return "none";
@@ -80,6 +110,21 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), sim_(cfg_.seed) {
     sim_.packet_pool().bind_probes(probes_->counter("pool.allocs"),
                                    probes_->counter("pool.recycled"),
                                    probes_->gauge("pool.high_water"));
+  }
+  // Same discipline for the trace sink: hook sites cache the TraceSink*
+  // and intern their labels at construction time.
+  if (cfg_.trace.enabled) {
+    tsink_ = std::make_unique<obs::TraceSink>(cfg_.trace.capacity);
+    tsink_->set_seed(cfg_.seed);
+    sim_.set_trace(tsink_.get());
+#if defined(WTCP_AUDIT) && WTCP_AUDIT
+    if (!cfg_.trace.flight_path.empty()) {
+      t_flight_hook.sink = tsink_.get();
+      t_flight_hook.cfg = &cfg_.trace;
+      t_flight_hook.previous = audit::set_handler(&flight_hook_handler);
+      flight_hook_installed_ = true;
+    }
+#endif
   }
 
   fh_ = nodes_.add("FH");
@@ -235,6 +280,21 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), sim_(cfg_.seed) {
   if (probes_) build_sampler();
 }
 
+Scenario::~Scenario() {
+#if defined(WTCP_AUDIT) && WTCP_AUDIT
+  if (flight_hook_installed_) {
+    audit::set_handler(t_flight_hook.previous);
+    t_flight_hook = {};
+  }
+#endif
+}
+
+void Scenario::dump_flight(const char* reason) {
+  if (!tsink_ || cfg_.trace.flight_path.empty()) return;
+  obs::dump_flight_record(cfg_.trace.flight_path, *tsink_,
+                          cfg_.trace.flight_events, reason);
+}
+
 void Scenario::build_sampler() {
   sampler_ = std::make_unique<obs::Sampler>(sim_, cfg_.obs.sample_interval);
   sampler_->add_series("cwnd", [this] { return sender_->cwnd(); });
@@ -347,8 +407,23 @@ stats::RunMetrics Scenario::run() {
   if (sampler_) sampler_->start();
   sender_->start_at(sim::Time::zero());
   sim_.set_budget(cfg_.budget);
-  sim_.run(cfg_.horizon);
+  try {
+    sim_.run(cfg_.horizon);
+  } catch (...) {
+    // Crash flight recorder: the ring holds the events leading up to the
+    // throw; dump them before the exception unwinds the component graph.
+    dump_flight("exception");
+    throw;
+  }
+  if (!sim_.outcome().ok()) {
+    dump_flight(sim::to_string(sim_.outcome().status));
+  }
   if (sampler_) sampler_->stop();
+  if (tsink_ && !cfg_.trace.out_path.empty()) {
+    obs::write_trace_file(cfg_.trace.out_path + ".seed" +
+                              std::to_string(cfg_.seed) + ".trace",
+                          *tsink_);
+  }
   return metrics();
 }
 

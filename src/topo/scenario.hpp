@@ -22,6 +22,7 @@
 #include "src/net/link.hpp"
 #include "src/obs/probe.hpp"
 #include "src/obs/sampler.hpp"
+#include "src/obs/trace.hpp"
 #include "src/traffic/background.hpp"
 #include "src/net/node.hpp"
 #include "src/phy/gilbert_elliott.hpp"
@@ -61,6 +62,27 @@ struct ObsConfig {
   /// Count executed events per scheduler tag (cheap; one map bump per
   /// event).
   bool profile_scheduler = true;
+};
+
+/// Packet-lifecycle tracing for one run (docs/observability.md).  When
+/// enabled the Scenario owns a TraceSink attached to the Simulator before
+/// any component is built, so every hook site caches the sink and interns
+/// its labels at construction.  Emission requires a WTCP_TRACE build; in a
+/// non-trace build an enabled sink simply stays empty.
+struct TraceConfig {
+  bool enabled = false;
+  /// Ring capacity in records (24 B each); oldest records are overwritten
+  /// once full, with the overwrite count reported as dropped().
+  std::size_t capacity = obs::TraceSink::kDefaultCapacity;
+  /// Binary dump path stem; ".seed<seed>.trace" is appended.  Empty = the
+  /// ring is only observable in-process (tests, flight recorder).
+  std::string out_path;
+  /// Flight-recorder JSONL written when the run ends abnormally — a
+  /// watchdog (RunBudget) verdict, a thrown exception, or (in audit
+  /// builds) a WTCP_AUDIT invariant violation.  Empty = off.
+  std::string flight_path;
+  /// How many trailing events the flight recorder dumps.
+  std::size_t flight_events = 256;
 };
 
 struct ScenarioConfig {
@@ -122,6 +144,7 @@ struct ScenarioConfig {
   sim::RunBudget budget;
 
   ObsConfig obs;
+  TraceConfig trace;
 
   /// Set the paper's "packet size" (total wired packet, header included).
   void set_packet_size(std::int32_t total_bytes);
@@ -143,6 +166,7 @@ ScenarioConfig lan_scenario();
 class Scenario {
  public:
   explicit Scenario(ScenarioConfig cfg);
+  ~Scenario();
 
   Scenario(const Scenario&) = delete;
   Scenario& operator=(const Scenario&) = delete;
@@ -186,9 +210,13 @@ class Scenario {
   const obs::Registry* probes() const { return probes_.get(); }
   /// Time-series sampler, or nullptr when obs is off.
   const obs::Sampler* sampler() const { return sampler_.get(); }
+  /// Packet-lifecycle trace sink, or nullptr when tracing is off.
+  obs::TraceSink* trace_sink() { return tsink_.get(); }
+  const obs::TraceSink* trace_sink() const { return tsink_.get(); }
 
  private:
   void build_sampler();
+  void dump_flight(const char* reason);
   void on_data_at_bs(net::PacketRef pkt);
   void on_datagram_from_mh(net::PacketRef pkt);
   void on_datagram_at_mh(net::PacketRef pkt);
@@ -199,6 +227,10 @@ class Scenario {
   /// component holding cached Counter*/Gauge* pointers.
   std::unique_ptr<obs::Registry> probes_;
   std::unique_ptr<obs::Sampler> sampler_;
+  /// Owned trace sink; like the probe bus it must outlive every component
+  /// holding a cached TraceSink*.
+  std::unique_ptr<obs::TraceSink> tsink_;
+  bool flight_hook_installed_ = false;
   net::NodeRegistry nodes_;
   net::NodeId fh_;
   net::NodeId bs_;

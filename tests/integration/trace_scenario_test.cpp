@@ -1,0 +1,300 @@
+// Packet-lifecycle tracing through a full Scenario run: hook coverage on
+// the WAN EBSN setup, bit-exact agreement between trace-derived per-hop
+// latency and the in-run histogram probes, timeout attribution, golden
+// neutrality (tracing on-but-idle changes nothing), and the flight
+// recorder's watchdog / exception triggers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/api.hpp"
+#include "src/obs/trace.hpp"
+
+namespace wtcp {
+namespace {
+
+topo::ScenarioConfig wan_ebsn_config() {
+  topo::ScenarioConfig cfg = topo::wan_scenario();
+  cfg.tcp.file_bytes = 20 * 1024;
+  cfg.channel.mean_bad_s = 4;
+  cfg.local_recovery = true;
+  cfg.feedback = topo::FeedbackMode::kEbsn;
+  return cfg;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return std::move(os).str();
+}
+
+#if defined(WTCP_TRACE) && WTCP_TRACE
+
+bool is_site(const obs::TraceRecord& r, obs::TraceSite s) {
+  return r.site == static_cast<std::uint8_t>(s);
+}
+
+std::uint64_t count_site(const std::vector<obs::TraceRecord>& rec,
+                         obs::TraceSite s) {
+  std::uint64_t n = 0;
+  for (const obs::TraceRecord& r : rec) {
+    if (is_site(r, s)) ++n;
+  }
+  return n;
+}
+
+TEST(TraceScenario, WanEbsnRunCoversTheDatapath) {
+  topo::ScenarioConfig cfg = wan_ebsn_config();
+  cfg.obs.enabled = true;
+  cfg.trace.enabled = true;
+  cfg.trace.capacity = 1 << 20;  // hold the whole run, no overwrites
+  topo::Scenario s(cfg);
+  const stats::RunMetrics m = s.run();
+  ASSERT_TRUE(m.completed);
+
+  ASSERT_NE(s.trace_sink(), nullptr);
+  EXPECT_EQ(s.trace_sink()->dropped(), 0u);
+  const std::vector<obs::TraceRecord> rec = s.trace_sink()->snapshot();
+  ASSERT_FALSE(rec.empty());
+
+  // Every layer of the FH -> BS -> MH datapath left a footprint.
+  for (const obs::TraceSite site :
+       {obs::TraceSite::kTcpSend, obs::TraceSite::kFragment,
+        obs::TraceSite::kQueueEnqueue, obs::TraceSite::kLinkTxStart,
+        obs::TraceSite::kLinkDeliver, obs::TraceSite::kArqSubmit,
+        obs::TraceSite::kArqAttempt, obs::TraceSite::kArqDelivered,
+        obs::TraceSite::kReassembled, obs::TraceSite::kSinkDeliver,
+        obs::TraceSite::kTcpAckRx, obs::TraceSite::kTcpCwnd}) {
+    EXPECT_GT(count_site(rec, site), 0u) << obs::to_string(site);
+  }
+  // The run rode through fades, so EBSN activity must appear end to end.
+  EXPECT_GT(count_site(rec, obs::TraceSite::kEbsnSent), 0u);
+  EXPECT_EQ(count_site(rec, obs::TraceSite::kEbsnSent),
+            static_cast<std::uint64_t>(m.ebsn_sent));
+  EXPECT_EQ(count_site(rec, obs::TraceSite::kTcpEbsnRx),
+            static_cast<std::uint64_t>(m.ebsn_received));
+
+  // Journal counts reconcile with the run's own metrics exactly.
+  EXPECT_EQ(count_site(rec, obs::TraceSite::kTcpSend),
+            static_cast<std::uint64_t>(m.segments_sent));
+  EXPECT_EQ(count_site(rec, obs::TraceSite::kTcpRetransmit),
+            static_cast<std::uint64_t>(m.segments_retransmitted));
+  EXPECT_EQ(count_site(rec, obs::TraceSite::kTcpTimeout),
+            static_cast<std::uint64_t>(m.timeouts));
+}
+
+// The acceptance bit-exactness check: per-hop latency recomputed from
+// tx-start -> deliver trace pairs lands in the SAME buckets as the
+// histograms the links recorded live.  wtcptrace `summary` prints
+// quantiles off the identical arithmetic, so this pins CLI == probes.
+TEST(TraceScenario, PerHopLatencyFromTraceMatchesHistogramProbes) {
+  topo::ScenarioConfig cfg = wan_ebsn_config();
+  cfg.obs.enabled = true;
+  cfg.trace.enabled = true;
+  cfg.trace.capacity = 1 << 20;
+  topo::Scenario s(cfg);
+  ASSERT_TRUE(s.run().completed);
+
+  std::map<std::string, obs::Histogram> from_trace;
+  std::map<std::pair<std::uint64_t, std::uint16_t>, std::int64_t> open_tx;
+  for (const obs::TraceRecord& r : s.trace_sink()->snapshot()) {
+    if (is_site(r, obs::TraceSite::kLinkTxStart)) {
+      open_tx[{r.id, r.label}] = r.t_ns;
+    } else if (is_site(r, obs::TraceSite::kLinkDeliver)) {
+      const auto it = open_tx.find({r.id, r.label});
+      ASSERT_NE(it, open_tx.end()) << "deliver without tx start";
+      from_trace[s.trace_sink()->labels()[r.label]].record(
+          sim::Time::nanoseconds(r.t_ns - it->second).to_seconds());
+      open_tx.erase(it);
+    }
+  }
+  ASSERT_FALSE(from_trace.empty());
+
+  ASSERT_NE(s.probes(), nullptr);
+  const auto& live = s.probes()->histograms();
+  for (const auto& [label, h] : from_trace) {
+    const auto it = live.find("link." + label + ".delay_s");
+    ASSERT_NE(it, live.end()) << label;
+    const obs::Histogram& probe = it->second;
+    EXPECT_EQ(h.count, probe.count) << label;
+    EXPECT_EQ(h.sum, probe.sum) << label;      // bit-exact, same arithmetic
+    EXPECT_EQ(h.min, probe.min) << label;
+    EXPECT_EQ(h.max, probe.max) << label;
+    EXPECT_EQ(0, std::memcmp(h.buckets, probe.buckets, sizeof h.buckets))
+        << label;
+    EXPECT_EQ(h.quantile(0.50), probe.quantile(0.50)) << label;
+    EXPECT_EQ(h.quantile(0.99), probe.quantile(0.99)) << label;
+  }
+}
+
+// Every TCP timeout in a lossy basic-TCP run must be attributable from
+// the journal alone (this is wtcptrace `timeouts`' algorithm).  On the
+// deterministic fade channel every timeout traces back to wireless-loss
+// evidence: the window between the timed-out segment's last transmission
+// and the timer firing always contains corruption or ARQ recovery.
+TEST(TraceScenario, EveryTimeoutAttributedToWirelessLoss) {
+  topo::ScenarioConfig cfg = topo::wan_scenario();
+  cfg.tcp.file_bytes = 50 * 1024;
+  cfg.deterministic_channel = true;
+  cfg.channel.mean_bad_s = 6;
+  cfg.trace.enabled = true;
+  cfg.trace.capacity = 1 << 20;
+  topo::Scenario s(cfg);
+  const stats::RunMetrics m = s.run();
+  ASSERT_TRUE(m.completed);
+  ASSERT_GT(m.timeouts, 0u) << "config must produce timeouts to attribute";
+
+  const std::vector<obs::TraceRecord> rec = s.trace_sink()->snapshot();
+  EXPECT_EQ(count_site(rec, obs::TraceSite::kTcpTimeout),
+            static_cast<std::uint64_t>(m.timeouts));
+
+  int attributed = 0, unknown = 0;
+  for (std::size_t i = 0; i < rec.size(); ++i) {
+    if (!is_site(rec[i], obs::TraceSite::kTcpTimeout)) continue;
+    const std::int32_t seq = rec[i].arg;
+    std::size_t t0 = rec.size();
+    for (std::size_t j = i; j-- > 0;) {
+      if ((is_site(rec[j], obs::TraceSite::kTcpSend) ||
+           is_site(rec[j], obs::TraceSite::kTcpRetransmit)) &&
+          rec[j].arg == seq) {
+        t0 = j;
+        break;
+      }
+    }
+    ASSERT_NE(t0, rec.size()) << "timeout without a prior (re)transmission";
+    bool evidence = false;
+    for (std::size_t j = t0; j < i && !evidence; ++j) {
+      evidence = (is_site(rec[j], obs::TraceSite::kSinkDeliver) &&
+                  rec[j].arg == seq) ||
+                 is_site(rec[j], obs::TraceSite::kLinkCorrupt) ||
+                 is_site(rec[j], obs::TraceSite::kArqBackoff) ||
+                 is_site(rec[j], obs::TraceSite::kArqDiscard) ||
+                 (is_site(rec[j], obs::TraceSite::kQueueDrop) &&
+                  rec[j].a == 0);
+    }
+    evidence ? ++attributed : ++unknown;
+  }
+  EXPECT_EQ(unknown, 0);
+  EXPECT_EQ(attributed, static_cast<int>(m.timeouts));
+}
+
+TEST(TraceScenario, BinaryTraceWrittenPerSeedAndLossless) {
+  const std::string stem = testing::TempDir() + "wtcp_trace_scn";
+  topo::ScenarioConfig cfg = wan_ebsn_config();
+  cfg.seed = 5;
+  cfg.trace.enabled = true;
+  cfg.trace.capacity = 1 << 20;
+  cfg.trace.out_path = stem;
+  std::vector<obs::TraceRecord> live;
+  {
+    topo::Scenario s(cfg);
+    ASSERT_TRUE(s.run().completed);
+    live = s.trace_sink()->snapshot();
+  }
+  obs::TraceFile f;
+  std::string err;
+  ASSERT_TRUE(obs::read_trace_file(stem + ".seed5.trace", &f, &err)) << err;
+  EXPECT_EQ(f.seed, 5u);
+  ASSERT_EQ(f.records.size(), live.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    ASSERT_EQ(0, std::memcmp(&f.records[i], &live[i], sizeof live[i]))
+        << "record " << i;
+  }
+  std::remove((stem + ".seed5.trace").c_str());
+}
+
+#endif  // WTCP_TRACE
+
+// The golden-neutrality contract holds in EVERY build flavor: enabling
+// the sink must not steer the simulation.  Trace records never feed back
+// into protocol logic, so metrics are bit-identical with tracing off vs
+// on-but-unread.
+TEST(TraceScenario, MetricsByteIdenticalTracingOffVsIdle) {
+  topo::ScenarioConfig off = wan_ebsn_config();
+  off.obs.enabled = true;
+  topo::ScenarioConfig on = off;
+  on.trace.enabled = true;
+
+  topo::Scenario s_off(off);
+  const stats::RunMetrics m_off = s_off.run();
+  topo::Scenario s_on(on);
+  const stats::RunMetrics m_on = s_on.run();
+
+  EXPECT_EQ(m_off.duration, m_on.duration);
+  EXPECT_EQ(m_off.unique_payload_bytes, m_on.unique_payload_bytes);
+  EXPECT_EQ(m_off.timeouts, m_on.timeouts);
+  EXPECT_EQ(m_off.segments_sent, m_on.segments_sent);
+  EXPECT_EQ(m_off.segments_retransmitted, m_on.segments_retransmitted);
+  EXPECT_EQ(m_off.ebsn_received, m_on.ebsn_received);
+  // Doubles compared for exact equality on purpose: same arithmetic, same
+  // order, or the goldens would drift.
+  EXPECT_EQ(m_off.goodput, m_on.goodput);
+  EXPECT_EQ(m_off.delay_p50_s, m_on.delay_p50_s);
+  EXPECT_EQ(m_off.delay_p95_s, m_on.delay_p95_s);
+}
+
+TEST(TraceScenario, FlightRecorderDumpsOnWatchdogKill) {
+  const std::string path = testing::TempDir() + "wtcp_flight_watchdog.jsonl";
+  std::remove(path.c_str());
+  topo::ScenarioConfig cfg = wan_ebsn_config();
+  cfg.budget.max_events = 500;  // killed long before the transfer ends
+  cfg.trace.enabled = true;
+  cfg.trace.flight_path = path;
+  topo::Scenario s(cfg);
+  const stats::RunMetrics m = s.run();
+  EXPECT_FALSE(m.completed);
+  ASSERT_FALSE(s.simulator().outcome().ok());
+
+  const std::string dump = slurp(path);
+  EXPECT_NE(dump.find("\"flight_record\":1"), std::string::npos);
+  EXPECT_NE(dump.find("\"reason\":\"event-budget\""), std::string::npos);
+#if defined(WTCP_TRACE) && WTCP_TRACE
+  // A killed-but-instrumented run must leave a non-empty post-mortem.
+  EXPECT_GT(s.trace_sink()->size(), 0u);
+  EXPECT_EQ(dump.find("\"dumped\":0,"), std::string::npos) << dump;
+#endif
+  std::remove(path.c_str());
+}
+
+TEST(TraceScenario, FlightRecorderDumpsOnThrownSeed) {
+  const std::string path = testing::TempDir() + "wtcp_flight_throw.jsonl";
+  std::remove(path.c_str());
+  topo::ScenarioConfig cfg = wan_ebsn_config();
+  cfg.trace.enabled = true;
+  cfg.trace.flight_path = path;
+  topo::Scenario s(cfg);
+  s.simulator().after(sim::Time::seconds(2), [] {
+    throw std::runtime_error("injected mid-run fault");
+  });
+  EXPECT_THROW(s.run(), std::runtime_error);
+
+  const std::string dump = slurp(path);
+  EXPECT_NE(dump.find("\"flight_record\":1"), std::string::npos);
+  EXPECT_NE(dump.find("\"reason\":\"exception\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceScenario, NoFlightFileOnCleanRun) {
+  const std::string path = testing::TempDir() + "wtcp_flight_clean.jsonl";
+  std::remove(path.c_str());
+  topo::ScenarioConfig cfg = wan_ebsn_config();
+  cfg.trace.enabled = true;
+  cfg.trace.flight_path = path;
+  topo::Scenario s(cfg);
+  ASSERT_TRUE(s.run().completed);
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good()) << "clean run must not dump a flight record";
+}
+
+}  // namespace
+}  // namespace wtcp

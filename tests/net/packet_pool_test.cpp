@@ -64,7 +64,9 @@ TEST(PacketPool, ReacquiredSlotIsFreshlyReset) {
   EXPECT_FALSE(q->frag.has_value());
   EXPECT_FALSE(q->encapsulated);
   EXPECT_EQ(q->created_at, sim::Time::zero());
-  EXPECT_EQ(q->uid, 0u);
+  // uid is not zeroed but reassigned: this is the third acquire, so the
+  // recycled slot carries a fresh trace identity, never the old one.
+  EXPECT_EQ(q->uid, 3u);
 }
 
 TEST(PacketPool, ShareKeepsSlotAliveUntilLastOwner) {

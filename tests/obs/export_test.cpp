@@ -46,7 +46,26 @@ TEST(ExportSnapshot, CountersAndGaugesAsJsonMembers) {
   w.end_object();
   EXPECT_EQ(os.str(),
             "{\"counters\":{\"arq.attempts\":12,\"tcp.sends\":90},"
-            "\"gauges\":{\"queue.depth\":2.5}}");
+            "\"gauges\":{\"queue.depth\":2.5},\"histograms\":{}}");
+}
+
+TEST(ExportSnapshot, HistogramsCarrySummaryStats) {
+  Registry reg;
+  Histogram* h = reg.histogram("link.delay_s");
+  record(h, 1.0);
+  record(h, 1.0);
+
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  write_probe_snapshot(w, reg);
+  w.end_object();
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"histograms\":{\"link.delay_s\":{\"count\":2"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"mean\":1"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"p99\":1"), std::string::npos) << out;
 }
 
 TEST(ExportCsv, GoldenTimeSeries) {

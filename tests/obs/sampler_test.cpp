@@ -27,7 +27,23 @@ TEST(Sampler, NonDivisibleHorizonRoundsDown) {
   s.start();
   sim.run(sim::Time::milliseconds(950));  // floor(9.5) + 1
   s.stop();
+  // No flush row: the run loop never advances past the last executed tick
+  // (900 ms), so there is no partial interval to record.
   EXPECT_EQ(s.sample_count(), 10u);
+}
+
+TEST(Sampler, StopFlushesFinalPartialInterval) {
+  sim::Simulator sim;
+  Sampler s(sim, sim::Time::milliseconds(100));
+  s.add_series("t", [&] { return sim.now().to_seconds(); });
+  s.start();
+  // The run ends mid-interval (as when a transfer completes): an event at
+  // 1.05 s stops the simulation, and stop() records the tail.
+  sim.at(sim::Time::milliseconds(1050), [&] { sim.stop(); });
+  sim.run(sim::Time::seconds(10));
+  s.stop();
+  ASSERT_EQ(s.sample_count(), 12u);  // ticks at 0..1000 ms + flush at 1050
+  EXPECT_EQ(s.series().rows.back().at, sim::Time::milliseconds(1050));
 }
 
 TEST(Sampler, RowsRecordProbeValuesAtTickTime) {
@@ -56,7 +72,8 @@ TEST(Sampler, StopHaltsTicking) {
   sim.at(sim::Time::milliseconds(350), [&] { s.stop(); });
   // Without stop() the self-rescheduling tick would run to the horizon.
   sim.run(sim::Time::seconds(10));
-  EXPECT_EQ(s.sample_count(), 4u);  // t = 0, 100, 200, 300 ms
+  // Ticks at 0..300 ms plus the partial-interval flush row at 350 ms.
+  EXPECT_EQ(s.sample_count(), 5u);
 }
 
 }  // namespace

@@ -1,0 +1,220 @@
+#include "src/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace wtcp::obs {
+namespace {
+
+TraceRecord make(std::int64_t t_ns, std::uint64_t id, TraceSite site,
+                 std::uint8_t a = 0, std::uint16_t label = 0,
+                 std::int32_t arg = 0) {
+  return TraceRecord{t_ns, id, static_cast<std::uint8_t>(site), a, label, arg};
+}
+
+void expect_same(const TraceRecord& x, const TraceRecord& y) {
+  EXPECT_EQ(0, std::memcmp(&x, &y, sizeof x))
+      << "t=" << x.t_ns << "/" << y.t_ns << " site=" << int(x.site) << "/"
+      << int(y.site) << " arg=" << x.arg << "/" << y.arg;
+}
+
+TEST(TraceSink, RecordsAreFixedWidth) {
+  EXPECT_EQ(sizeof(TraceRecord), 24u);
+}
+
+TEST(TraceSink, EmitHoldsRecordsInOrder) {
+  TraceSink sink(8);
+  sink.emit(sim::Time::milliseconds(1), 7, TraceSite::kTcpSend, 0, 0, 100);
+  sink.emit(sim::Time::milliseconds(2), 8, TraceSite::kLinkTxStart, 1, 3, 616);
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  const std::vector<TraceRecord> snap = sink.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  expect_same(snap[0], make(1'000'000, 7, TraceSite::kTcpSend, 0, 0, 100));
+  expect_same(snap[1],
+              make(2'000'000, 8, TraceSite::kLinkTxStart, 1, 3, 616));
+}
+
+TEST(TraceSink, RingWrapsOverwritingOldestAndCountsDrops) {
+  TraceSink sink(4);
+  for (int i = 0; i < 7; ++i) {
+    sink.emit(sim::Time::milliseconds(i), static_cast<std::uint64_t>(i),
+              TraceSite::kTcpSend, 0, 0, i);
+  }
+  EXPECT_EQ(sink.capacity(), 4u);
+  EXPECT_EQ(sink.size(), 4u);        // ring is full
+  EXPECT_EQ(sink.dropped(), 3u);     // records 0..2 were overwritten
+  EXPECT_EQ(sink.total(), 7u);
+  const std::vector<TraceRecord> snap = sink.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap[static_cast<std::size_t>(i)].arg, i + 3)
+        << "oldest surviving record must be #3";
+  }
+}
+
+TEST(TraceSink, LastReturnsNewestChronologically) {
+  TraceSink sink(4);
+  for (int i = 0; i < 6; ++i) {
+    sink.emit(sim::Time::milliseconds(i), 0, TraceSite::kTcpSend, 0, 0, i);
+  }
+  const std::vector<TraceRecord> tail = sink.last(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].arg, 4);
+  EXPECT_EQ(tail[1].arg, 5);
+  // Asking for more than held returns everything held.
+  EXPECT_EQ(sink.last(100).size(), 4u);
+}
+
+TEST(TraceSink, ClearDropsRecordsKeepsLabelsAndSeed) {
+  TraceSink sink(4);
+  sink.set_seed(9);
+  const std::uint16_t id = sink.intern("wireless.bs");
+  sink.emit(sim::Time::zero(), 1, TraceSite::kLinkTxStart, 1, id, 0);
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_EQ(sink.seed(), 9u);
+  EXPECT_EQ(sink.intern("wireless.bs"), id);
+}
+
+TEST(TraceSink, InternIsStableAndZeroIsReserved) {
+  TraceSink sink(4);
+  const std::uint16_t a = sink.intern("wired.fh");
+  const std::uint16_t b = sink.intern("wireless.bs");
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(sink.intern("wired.fh"), a);
+  ASSERT_GE(sink.labels().size(), 3u);
+  EXPECT_EQ(sink.labels()[0], "");
+  EXPECT_EQ(sink.labels()[a], "wired.fh");
+  EXPECT_EQ(sink.labels()[b], "wireless.bs");
+}
+
+TEST(TraceSites, EverySiteHasAName) {
+  for (int s = 0; s < static_cast<int>(TraceSite::kSiteCount); ++s) {
+    const char* name = to_string(static_cast<TraceSite>(s));
+    ASSERT_NE(name, nullptr) << "site " << s;
+    EXPECT_GT(std::strlen(name), 0u) << "site " << s;
+  }
+}
+
+class TraceFileRoundTrip : public testing::Test {
+ protected:
+  TraceFileRoundTrip() : sink_(8) {
+    sink_.set_seed(42);
+    const std::uint16_t wl = sink_.intern("wireless.bs");
+    sink_.emit(sim::Time::milliseconds(10), 1, TraceSite::kTcpSend, 0, 0, 0);
+    sink_.emit(sim::Time::milliseconds(11), 1, TraceSite::kLinkTxStart, 1, wl,
+               616);
+    sink_.emit(sim::Time::milliseconds(12), 1, TraceSite::kLinkDeliver, 1, wl,
+               0);
+    sink_.emit(sim::Time::milliseconds(13), 0, TraceSite::kTcpTimeout, 2, 0,
+               576);
+    // Negative arg and max-ish values must survive the round trip.
+    sink_.emit(sim::Time::milliseconds(14), 0xffffffffffull,
+               TraceSite::kEbsnSent, 255, wl, -1);
+  }
+
+  void expect_matches_sink(const TraceFile& f) {
+    EXPECT_EQ(f.seed, 42u);
+    EXPECT_EQ(f.dropped, 0u);
+    ASSERT_EQ(f.records.size(), sink_.size());
+    const std::vector<TraceRecord> snap = sink_.snapshot();
+    for (std::size_t i = 0; i < snap.size(); ++i) {
+      expect_same(f.records[i], snap[i]);
+    }
+    ASSERT_EQ(f.labels, sink_.labels());
+    ASSERT_EQ(f.site_names.size(),
+              static_cast<std::size_t>(TraceSite::kSiteCount));
+    EXPECT_EQ(f.site_names[0], "tcp.send");
+    EXPECT_EQ(f.label_of(1), "wireless.bs");
+  }
+
+  TraceSink sink_;
+};
+
+TEST_F(TraceFileRoundTrip, BinaryWriteReadIsLossless) {
+  const std::string path = testing::TempDir() + "wtcp_trace_rt.trace";
+  std::string err;
+  ASSERT_TRUE(write_trace_file(path, sink_, &err)) << err;
+  TraceFile f;
+  ASSERT_TRUE(read_trace_file(path, &f, &err)) << err;
+  expect_matches_sink(f);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceFileRoundTrip, JsonlWriteReadIsLossless) {
+  const std::string path = testing::TempDir() + "wtcp_trace_rt2.trace";
+  std::string err;
+  ASSERT_TRUE(write_trace_file(path, sink_, &err)) << err;
+  TraceFile f;
+  ASSERT_TRUE(read_trace_file(path, &f, &err)) << err;
+  std::remove(path.c_str());
+
+  std::ostringstream os;
+  write_trace_jsonl(os, f);
+  std::istringstream is(os.str());
+  TraceFile back;
+  ASSERT_TRUE(read_trace_jsonl(is, &back, &err)) << err;
+  expect_matches_sink(back);
+  EXPECT_EQ(back.git_sha, f.git_sha);
+
+  // And the JSONL text itself is deterministic.
+  std::ostringstream os2;
+  write_trace_jsonl(os2, back);
+  EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST_F(TraceFileRoundTrip, ReadRejectsGarbage) {
+  const std::string path = testing::TempDir() + "wtcp_trace_garbage";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a trace at all";
+  }
+  TraceFile f;
+  std::string err;
+  EXPECT_FALSE(read_trace_file(path, &f, &err));
+  EXPECT_FALSE(err.empty());
+  std::remove(path.c_str());
+
+  std::istringstream is("{\"nope\":1}\n");
+  err.clear();
+  EXPECT_FALSE(read_trace_jsonl(is, &f, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(FlightRecord, DumpsNewestRecordsWithReason) {
+  TraceSink sink(8);
+  sink.set_seed(3);
+  for (int i = 0; i < 6; ++i) {
+    sink.emit(sim::Time::milliseconds(i), 0, TraceSite::kTcpSend, 0, 0, i);
+  }
+  const std::string path = testing::TempDir() + "wtcp_flight.jsonl";
+  ASSERT_TRUE(dump_flight_record(path, sink, 3, "event-budget"));
+
+  std::ifstream in(path);
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_NE(header.find("\"flight_record\":1"), std::string::npos) << header;
+  EXPECT_NE(header.find("\"reason\":\"event-budget\""), std::string::npos)
+      << header;
+  EXPECT_NE(header.find("\"seed\":3"), std::string::npos) << header;
+  std::size_t body_lines = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) ++body_lines;
+  }
+  // Header of the embedded trace JSONL + the 3 requested records.
+  EXPECT_EQ(body_lines, 4u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wtcp::obs
