@@ -73,6 +73,46 @@ void BM_SchedulerRescheduleTimer(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerRescheduleTimer)->Arg(100'000);
 
+// The EBSN re-arm pattern at fleet scale: one sender per flow keeps a
+// ~200 ms RTO timer that is cancelled and re-armed on every "ack" (~2 ms
+// apart, staggered across flows), with a microsecond-scale serialization
+// event riding along per ack.  The RTO timers park at a deep wheel level
+// and almost never fire — the workload is dominated by true O(1)
+// cancel/re-insert churn far from the wheel's cursor, the shape the
+// timing wheel exists for.
+void BM_SchedulerTimerWheelChurn(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  constexpr int kAcksPerFlow = 50;
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    struct Flow {
+      sim::EventId rto;
+      int acks = 0;
+    };
+    std::vector<Flow> fl(static_cast<std::size_t>(flows));
+    std::function<void(int)> on_ack = [&](int i) {
+      Flow& f = fl[static_cast<std::size_t>(i)];
+      sched.cancel(f.rto);  // every ack restarts the retransmit timer
+      f.rto = sched.schedule_after(sim::Time::milliseconds(200), [] {});
+      sched.schedule_after(sim::Time::microseconds(8), [] {});
+      if (++f.acks < kAcksPerFlow) {
+        sched.schedule_after(sim::Time::milliseconds(2),
+                             [&on_ack, i] { on_ack(i); });
+      }
+    };
+    for (int i = 0; i < flows; ++i) {
+      fl[static_cast<std::size_t>(i)].rto =
+          sched.schedule_after(sim::Time::milliseconds(200), [] {});
+      // Stagger flow start times so the per-flow ack clocks interleave.
+      sched.schedule_after(sim::Time::microseconds(20 * i),
+                           [&on_ack, i] { on_ack(i); });
+    }
+    benchmark::DoNotOptimize(sched.run());
+  }
+  state.SetItemsProcessed(state.iterations() * flows * kAcksPerFlow);
+}
+BENCHMARK(BM_SchedulerTimerWheelChurn)->Arg(100)->Unit(benchmark::kMillisecond);
+
 // Parallel-scaling case for the run engine: the same 8-seed WAN sweep at
 // increasing --jobs.  On a multi-core host the wall-clock per iteration
 // should drop near-linearly until jobs exceeds the core count; results

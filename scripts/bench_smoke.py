@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Scheduler-regression smoke: run the hot-path bench, compare to baseline.
+
+Runs ``micro_engine`` with a short ``--benchmark_min_time`` and fails if
+``BM_SchedulerScheduleRun/100000`` comes out more than ``--threshold``
+(default 25%) slower than the median recorded in the committed
+``BENCH_engine.json``.  This is a coarse tripwire for "someone made the
+event core accidentally quadratic", not a precision benchmark — the short
+min-time and shared CI hardware put a few tens of percent of noise on the
+reading, hence the wide threshold.
+
+Usage:
+    scripts/bench_smoke.py [--build-dir BUILD] [--baseline BENCH_engine.json]
+                           [--bench NAME] [--threshold PCT] [--min-time SEC]
+
+Exit status: 0 within threshold, 1 regression or missing data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def baseline_median(path: pathlib.Path, bench: str) -> float:
+    """Median real_time (ns) for `bench` from a committed benchmark JSON.
+
+    bench.sh records with --benchmark_repetitions; aggregate rows carry
+    aggregate_name == "median".  A single-repetition file has no aggregate
+    rows, so fall back to the plain entry.
+    """
+    data = json.loads(path.read_text())
+    plain = None
+    for b in data.get("benchmarks", []):
+        if b.get("run_name", b.get("name")) != bench:
+            continue
+        if b.get("aggregate_name") == "median":
+            return float(b["real_time"])
+        if b.get("run_type", "iteration") == "iteration" and plain is None:
+            plain = float(b["real_time"])
+    if plain is None:
+        raise SystemExit(f"error: '{bench}' not found in {path}")
+    return plain
+
+
+def current_time(build_dir: pathlib.Path, bench: str, min_time: float) -> float:
+    exe = build_dir / "bench" / "micro_engine"
+    if not exe.exists():
+        raise SystemExit(f"error: {exe} not built (need the Release bench tree)")
+    # NB: this benchmark binary predates the unit-suffixed min-time syntax;
+    # pass a plain number ("0.05"), never "0.05s" / "0.05x".
+    out = subprocess.run(
+        [
+            str(exe),
+            f"--benchmark_filter=^{bench}$",
+            f"--benchmark_min_time={min_time:g}",
+            "--benchmark_format=json",
+        ],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    for b in json.loads(out).get("benchmarks", []):
+        if b.get("name") == bench:
+            return float(b["real_time"])
+    raise SystemExit(f"error: '{bench}' produced no result")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build", type=pathlib.Path)
+    ap.add_argument("--baseline", default="BENCH_engine.json",
+                    type=pathlib.Path)
+    ap.add_argument("--bench", default="BM_SchedulerScheduleRun/100000")
+    ap.add_argument("--threshold", default=25.0, type=float,
+                    help="max slowdown vs baseline median, percent")
+    ap.add_argument("--min-time", default=0.05, type=float,
+                    help="--benchmark_min_time per run (plain seconds)")
+    args = ap.parse_args()
+
+    base = baseline_median(args.baseline, args.bench)
+    now = current_time(args.build_dir, args.bench, args.min_time)
+    delta_pct = (now - base) / base * 100.0
+    print(f"{args.bench}: baseline median {base / 1e6:.2f} ms, "
+          f"current {now / 1e6:.2f} ms ({delta_pct:+.1f}%)")
+    if delta_pct > args.threshold:
+        print(f"FAIL: slower than baseline by more than "
+              f"{args.threshold:.0f}% — scheduler hot path regressed "
+              f"(re-record BENCH_engine.json via scripts/bench.sh if intended)")
+        return 1
+    print(f"OK (threshold {args.threshold:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

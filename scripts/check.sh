@@ -41,6 +41,24 @@ echo "=== release build + tests ==="
 run build
 
 echo
+echo "=== scheduler A/B spot check (WTCP_SCHED=heap) ==="
+# The timing wheel is the build default; re-run the determinism locks and
+# the scheduler suites on the heap core so a wheel-only bug cannot hide
+# behind matching goldens (both cores must reproduce them bit-for-bit).
+WTCP_SCHED=heap ctest --test-dir build --output-on-failure -j"$(nproc)" \
+  -R 'Scheduler|DatapathDeterminism'
+
+if [ "${WTCP_BENCH_SMOKE:-0}" = "1" ]; then
+  echo
+  echo "=== bench smoke: scheduler hot path vs committed baseline ==="
+  # Opt-in (WTCP_BENCH_SMOKE=1): wall-clock thresholds are too noisy for
+  # the default gate on shared hardware, but a >25% regression on the
+  # schedule/run hot path is worth tripping on before a perf-sensitive
+  # merge.
+  python3 scripts/bench_smoke.py
+fi
+
+echo
 echo "=== resilience: interrupted + resumed sweep == uninterrupted sweep ==="
 # The checkpoint/resume contract, end to end through the CLI: journal the
 # first 3 seeds, then resume to 6 and diff against a straight 6-seed sweep.

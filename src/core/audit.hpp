@@ -128,6 +128,14 @@ inline bool scheduler_slot_state(bool live, bool expected_live) {
   return live == expected_live;
 }
 
+/// Timing-wheel membership reconcile: walking every bucket list plus the
+/// live scratch and overflow entries must reach each live slot exactly
+/// once — no stranded, duplicated, or leaked events.
+inline bool scheduler_wheel_membership(std::uint64_t linked,
+                                       std::uint64_t live) {
+  return linked == live;
+}
+
 }  // namespace wtcp::audit
 
 /// Assert `cond` under the audit build; no-op otherwise.  `component` and

@@ -102,4 +102,11 @@ class SmallCallback {
   const VTable* vt_ = nullptr;
 };
 
+// Scheduler slot-layout contract: the callback (56-byte inline buffer +
+// vtable pointer) fills exactly one 64-byte cache line, so the slot pool's
+// scheduling metadata (fire time, seq, generation, wheel links) starts on
+// the next line and a schedule/cancel never dirties the callback's line.
+static_assert(sizeof(SmallCallback) == 64);
+static_assert(alignof(SmallCallback) == alignof(std::max_align_t));
+
 }  // namespace wtcp::sim

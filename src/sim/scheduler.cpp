@@ -1,7 +1,11 @@
 #include "src/sim/scheduler.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "src/core/audit.hpp"
@@ -9,14 +13,65 @@
 namespace wtcp::sim {
 
 namespace {
+
 /// Pre-sized storage: typical runs keep tens to a few hundred events
 /// pending; reserving once keeps the first growth spurts off the hot path.
 constexpr std::size_t kReserveEvents = 256;
+
+/// Circular find-first-set over one wheel level's occupancy bits (`words`
+/// points at the level's `nwords` words, a power of two), starting at bit
+/// `from`.  Returns the bucket index found, or -1 if the level is empty.
+/// Call sites pass a constant word count, so the loop bound folds.
+int find_set_circular(const std::uint64_t* words, std::uint32_t from,
+                      std::uint32_t nwords) {
+  const std::uint32_t w0 = from >> 6;
+  const std::uint32_t b0 = from & 63;
+  std::uint64_t w = words[w0] & (~std::uint64_t{0} << b0);
+  if (w != 0) return static_cast<int>(w0 * 64 + std::countr_zero(w));
+  for (std::uint32_t i = 1; i <= nwords; ++i) {
+    const std::uint32_t wi = (w0 + i) & (nwords - 1);
+    w = words[wi];
+    if (i == nwords) {
+      w &= ~(~std::uint64_t{0} << b0);  // wrapped: bits below `from`
+    }
+    if (w != 0) return static_cast<int>(wi * 64 + std::countr_zero(w));
+  }
+  return -1;
+}
+
 }  // namespace
 
-Scheduler::Scheduler() {
-  heap_.reserve(kReserveEvents);
-  slots_.reserve(kReserveEvents);
+const char* to_string(SchedulerImpl impl) {
+  return impl == SchedulerImpl::kHeap ? "heap" : "wheel";
+}
+
+SchedulerImpl Scheduler::default_impl() {
+  if (const char* env = std::getenv("WTCP_SCHED");
+      env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "heap") == 0) return SchedulerImpl::kHeap;
+    if (std::strcmp(env, "wheel") == 0) return SchedulerImpl::kWheel;
+    std::fprintf(stderr,
+                 "wtcp: unknown WTCP_SCHED value '%s' (expected 'heap' or "
+                 "'wheel')\n",
+                 env);
+    std::abort();  // fail loud: silently benchmarking the wrong core is worse
+  }
+#if defined(WTCP_SCHED_DEFAULT_WHEEL) && !WTCP_SCHED_DEFAULT_WHEEL
+  return SchedulerImpl::kHeap;
+#else
+  return SchedulerImpl::kWheel;
+#endif
+}
+
+Scheduler::Scheduler(SchedulerImpl impl) : impl_(impl) {
+  chunks_.reserve(kReserveEvents / kSlotChunkSize + 8);
+  chunks_.emplace_back(std::make_unique<Slot[]>(kSlotChunkSize));
+  if (impl_ == SchedulerImpl::kHeap) {
+    heap_.reserve(kReserveEvents);
+  } else {
+    wheel_ = std::make_unique<Wheel>();
+    wheel_->occupancy.fill(0);
+  }
 }
 
 EventId Scheduler::schedule_at(Time at, Callback cb, const char* tag) {
@@ -24,23 +79,57 @@ EventId Scheduler::schedule_at(Time at, Callback cb, const char* tag) {
   if (at < now_) at = now_;  // never schedule into the past
   std::uint32_t s;
   if (free_head_ == kNoSlot) {
-    s = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
+    s = slot_count_++;
+    if ((s >> kSlotChunkBits) == chunks_.size()) {
+      chunks_.emplace_back(std::make_unique<Slot[]>(kSlotChunkSize));
+    }
   } else {
     s = free_head_;
-    free_head_ = slots_[s].next_free;
-    WTCP_AUDIT_CHECK(audit::scheduler_slot_state(slots_[s].live, false),
+    free_head_ = slot_ref(s).next;
+    WTCP_AUDIT_CHECK(audit::scheduler_slot_state(slot_ref(s).live, false),
                      "scheduler", "freelist_slot_live",
                      "slot handed out of the free list is still live");
   }
-  Slot& slot = slots_[s];
+  Slot& slot = slot_ref(s);
   slot.cb = std::move(cb);
   slot.tag = tag;
   slot.live = true;
-  heap_.push_back(HeapEntry{at, next_seq_++, s, slot.gen});
-  std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
+  const std::uint64_t seq = next_seq_++;
   ++live_;
   if (live_ > max_depth_) max_depth_ = live_;
+  if (impl_ == SchedulerImpl::kWheel) {
+    slot.at_ns = at.ns();
+    Wheel& w = *wheel_;
+    if (live_ == 1) {
+      // Sole live event: park it in the solo register, skipping bucket
+      // placement entirely.  The dominant protocol shape — one armed
+      // retransmission timer, cancelled and re-armed per ACK — stays on
+      // this path and never touches a bucket, its occupancy bit, or a
+      // level-min cache.
+      w.solo = BucketEntry{at.ns(), seq, s, slot.gen};
+      w.solo_valid = true;
+      slot.bucket = kBucketSolo;
+    } else {
+      if (w.solo_valid) {
+        // A second event arrived: demote the resident into the wheel with
+        // its ORIGINAL seq, so ordering is exactly as if it never parked.
+        const BucketEntry e = w.solo;
+        w.solo_valid = false;
+        wheel_place(e.slot, e.at, e.seq, e.gen);
+      }
+      wheel_place(s, at.ns(), seq, slot.gen);
+    }
+    if (w.next_memo_valid) {
+      if (slot.at_ns < w.next_memo) w.next_memo = slot.at_ns;
+    } else if (live_ == 1) {
+      // The queue was empty, so this event IS the minimum.
+      w.next_memo = slot.at_ns;
+      w.next_memo_valid = true;
+    }
+  } else {
+    heap_.push_back(HeapEntry{at, seq, s, slot.gen});
+    std::push_heap(heap_.begin(), heap_.end(), FiresLater{});
+  }
   return make_id(s, slot.gen);
 }
 
@@ -50,7 +139,7 @@ EventId Scheduler::schedule_after(Time delay, Callback cb, const char* tag) {
 }
 
 void Scheduler::release_slot(std::uint32_t s) {
-  Slot& slot = slots_[s];
+  Slot& slot = slot_ref(s);
   WTCP_AUDIT_CHECK(audit::scheduler_slot_state(slot.live, true), "scheduler",
                    "double_release",
                    "releasing a slot that is not live (double cancel/fire)");
@@ -59,22 +148,446 @@ void Scheduler::release_slot(std::uint32_t s) {
   slot.cb.reset();
   slot.tag = nullptr;
   slot.live = false;
+  slot.bucket = kBucketNone;
   ++slot.gen;  // invalidates every outstanding handle to this slot
-  slot.next_free = free_head_;  // intrusive link: no side-array traffic
+  slot.next = free_head_;  // intrusive link: no side-array traffic
   free_head_ = s;
   --live_;
 }
 
 bool Scheduler::cancel(EventId id) {
   if (!pending(id)) return false;
-  release_slot(slot_of(id));  // heap entry stays; skipped when popped
+  const std::uint32_t s = slot_of(id);
+  if (impl_ == SchedulerImpl::kWheel) {
+    Wheel& w = *wheel_;
+    // Bucket-resident events are truly removed in O(1); the solo register
+    // is simply invalidated; events parked in the overflow heap or the
+    // same-tick scratch buffer go lazy — the generation bump below turns
+    // their entries into tombstones.
+    if (slot_ref(s).bucket < kWheelBucketCount) {
+      wheel_remove(s);
+    } else if (slot_ref(s).bucket == kBucketSolo) {
+      w.solo_valid = false;
+    }
+    if (w.next_memo_valid && slot_ref(s).at_ns == w.next_memo) {
+      w.next_memo_valid = false;  // may have been the (sole) minimum
+    }
+    release_slot(s);
+  } else {
+    release_slot(s);  // heap entry stays; skipped when popped
+    // Compact once tombstones outnumber live entries (amortized O(1) per
+    // cancel): cancel-heavy runs otherwise drag dead weight through every
+    // subsequent sift.
+    if (heap_.size() >= 64 && heap_.size() - live_ > heap_.size() / 2) {
+      heap_compact();
+    }
+  }
   return true;
 }
 
+void Scheduler::heap_compact() {
+  auto dead = [this](const HeapEntry& e) {
+    const Slot& sl = slot_ref(e.slot);
+    return !sl.live || sl.gen != e.gen;
+  };
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), FiresLater{});
+}
+
+// --- timing-wheel core -----------------------------------------------------
+
+void Scheduler::wheel_place(std::uint32_t s, std::int64_t at,
+                            std::uint64_t seq, std::uint32_t gen) {
+  Wheel& w = *wheel_;
+  const std::int64_t delta = at - w.cur;
+  if (delta >= kWheelSpanNs) {
+    // Beyond the wheel's horizon: park in the overflow heap until the
+    // span rotates near (reintegrated by wheel_advance).
+    slot_ref(s).bucket = kBucketOverflow;
+    w.overflow.push_back(HeapEntry{Time::nanoseconds(at), seq, s, gen});
+    std::push_heap(w.overflow.begin(), w.overflow.end(), FiresLater{});
+    return;
+  }
+  // The delay's magnitude picks the level (each level is 1024x coarser);
+  // the event's absolute time picks the bucket within it.
+  const int level =
+      delta == 0
+          ? 0
+          : (std::bit_width(static_cast<std::uint64_t>(delta)) - 1) /
+                kWheelBits;
+  const std::uint32_t idx = static_cast<std::uint32_t>(
+      (at >> (kWheelBits * level)) & (kWheelBuckets - 1));
+  const std::uint32_t b =
+      static_cast<std::uint32_t>(level) * kWheelBuckets + idx;
+  std::vector<BucketEntry>& vec = w.bucket[b];
+  // Write-only slot access: the backref store never stalls the cascade's
+  // streaming scan, and it pulls the slot's line into cache shortly
+  // before the event fires.
+  Slot& slot = slot_ref(s);
+  slot.bucket = b;
+  slot.idx = static_cast<std::uint32_t>(vec.size());
+  if (vec.empty()) {
+    w.occupancy[b >> 6] |= std::uint64_t{1} << (b & 63);
+    ++w.occ_count[static_cast<std::size_t>(level)];
+    // First touch of this bucket: jump straight to a useful capacity so a
+    // bucket never walks the 1->2->4->8 realloc chain.  (clear() keeps
+    // capacity, so steady state never allocates at all.)
+    if (vec.capacity() == 0) vec.reserve(8);
+  } else if (vec.size() == vec.capacity()) {
+    // Deep fills (100k-events-pending benches put ~100 entries per
+    // higher-level bucket) quadruple instead of doubling: half the
+    // reallocs and two thirds of the entry copying on the way up.
+    vec.reserve(vec.capacity() * 4);
+  }
+  vec.push_back(BucketEntry{at, seq, s, gen});
+  if (level > 0) {  // level 0's min is derived from the bitmap alone
+    LevelMin& m = w.lmin[static_cast<std::size_t>(level)];
+    if (m.valid && at < m.at) {  // keeps "known empty" caches exact too
+      m.at = at;
+      m.slot = s;
+      m.gen = gen;
+    }
+  }
+}
+
+void Scheduler::wheel_remove(std::uint32_t s) {
+  Wheel& w = *wheel_;
+  Slot& slot = slot_ref(s);
+  const std::uint32_t b = slot.bucket;
+  std::vector<BucketEntry>& vec = w.bucket[b];
+  const std::uint32_t i = slot.idx;
+  WTCP_AUDIT_CHECK(i < vec.size() && vec[i].slot == s, "scheduler",
+                   "wheel_backref",
+                   "slot's bucket/index backref does not match the entry");
+  // Swap-remove: the displaced tail entry's slot gets its backref patched.
+  vec[i] = vec.back();
+  vec.pop_back();
+  if (i < vec.size()) slot_ref(vec[i].slot).idx = i;
+  if (vec.empty()) {
+    w.occupancy[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    --w.occ_count[b >> kWheelBits];
+  }
+  slot.bucket = kBucketNone;
+  if (b >= kWheelBuckets) {  // level >= 1: the cached min may have left
+    LevelMin& m = w.lmin[b >> kWheelBits];
+    if (m.valid && m.slot == s) m.valid = false;
+  }
+}
+
+void Scheduler::wheel_advance(std::int64_t t) {
+  Wheel& w = *wheel_;
+  const std::int64_t old = w.cur;
+  if (t == old) return;
+  w.cur = t;
+  // The highest bit the advance flipped bounds the topmost level whose
+  // boundary was crossed — and every level at or below it crossed one too,
+  // so the cascade loop below needs no per-level boundary compare.
+  const int top_level =
+      (std::bit_width(static_cast<std::uint64_t>(t ^ old)) - 1) / kWheelBits;
+  if (top_level == 0) return;  // stayed inside the current level-1 bucket
+  bool due_flushed = false;
+  // Crossing a level's boundary means time just entered a new level-L
+  // bucket; its events (all with fire times inside the entered span, i.e.
+  // within 2^(10L) of t) now belong at strictly lower levels.  Intermediate
+  // buckets skipped by a far jump are provably empty: every pending event
+  // fires at or after t, and anything placed before this advance whose
+  // index lands between the old and new positions would have needed a
+  // placement-time delta past the level's range.  Top level first, so
+  // each event settles in a single pass; the scan streams the contiguous
+  // entry array, so re-placement never chases pointers.
+  for (int level = top_level < kWheelLevels ? top_level : kWheelLevels - 1;
+       level >= 1; --level) {
+    // A level with no occupied buckets has nothing to cascade — skip it
+    // without touching its (likely cold) bucket headers.
+    if (w.occ_count[static_cast<std::size_t>(level)] == 0) continue;
+    const int shift = kWheelBits * level;
+    const std::uint32_t idx =
+        static_cast<std::uint32_t>((t >> shift) & (kWheelBuckets - 1));
+    const std::uint32_t b =
+        static_cast<std::uint32_t>(level) * kWheelBuckets + idx;
+    std::vector<BucketEntry>& vec = w.bucket[b];
+    if (vec.empty()) continue;
+    w.occupancy[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    --w.occ_count[static_cast<std::size_t>(level)];
+    w.lmin[static_cast<std::size_t>(level)].valid = false;  // members moved
+    // Swap the bucket into the cascade buffer before re-placing: almost
+    // all entries land at strictly lower levels, but a NEXT-LAP entry
+    // (same index, due one full level-lap later, remainder below the
+    // advance target's) re-places into this very bucket — now legally,
+    // since the swap left it empty and wheel_place restores its occupancy
+    // bit.  Entries due exactly at the advance target skip the level-0
+    // round trip (place, then immediately drain again) and land directly
+    // in the fire buffer — the dominant path when a lone timer cascades
+    // down to fire.  A cascade only runs when time moves forward, so no
+    // live scratch entry (always due at the pre-advance now) can still be
+    // waiting; dead left-overs are flushed before the first append.
+    w.cascade.swap(vec);  // vec keeps the buffer's old (empty) capacity
+    for (const BucketEntry& e : w.cascade) {
+      if (e.at != t) {
+        wheel_place(e.slot, e.at, e.seq, e.gen);
+        continue;
+      }
+      if (!due_flushed) {
+        w.scratch.clear();
+        w.scratch_pos = 0;
+        due_flushed = true;
+      }
+      slot_ref(e.slot).bucket = kBucketScratch;
+      w.scratch.push_back(e);
+    }
+    w.cascade.clear();  // keeps capacity for the next cascade
+  }
+  if (due_flushed && w.scratch.size() > 1) {
+    // Due entries arrived in bucket order; restore global insertion order.
+    std::sort(w.scratch.begin(), w.scratch.end(),
+              [](const BucketEntry& a, const BucketEntry& b2) {
+                return a.seq < b2.seq;
+              });
+  }
+  // Pull overflow events whose delay now fits the span (tombstones from
+  // lazy cancels just pop).
+  while (!w.overflow.empty()) {
+    const HeapEntry top = w.overflow.front();
+    const Slot& sl = slot_ref(top.slot);
+    const bool alive =
+        sl.live && sl.gen == top.gen && sl.bucket == kBucketOverflow;
+    if (alive && top.at.ns() - t >= kWheelSpanNs) break;
+    std::pop_heap(w.overflow.begin(), w.overflow.end(), FiresLater{});
+    w.overflow.pop_back();
+    if (alive) wheel_place(top.slot, top.at.ns(), top.seq, top.gen);
+  }
+}
+
+std::int64_t Scheduler::wheel_level0_min() const {
+  // Level-0 buckets are one nanosecond wide, so the bucket index alone
+  // determines the fire time: the unique t in [cur, cur+1023] with
+  // t mod 1024 == idx.  No slot or bucket memory is touched — just the
+  // 128-byte level-0 occupancy bitmap, scanned circularly from the current index
+  // (whose bucket holds events due exactly now).
+  const Wheel& w = *wheel_;
+  if (w.occ_count[0] == 0) return kNeverNs;  // no bitmap touch when empty
+  const std::uint32_t c =
+      static_cast<std::uint32_t>(w.cur) & (kWheelBuckets - 1);
+  const int idx = find_set_circular(w.occupancy.data(), c, kWheelBuckets / 64);
+  if (idx < 0) return kNeverNs;
+  const std::int64_t base =
+      w.cur & ~static_cast<std::int64_t>(kWheelBuckets - 1);
+  return base + idx +
+         (static_cast<std::uint32_t>(idx) < c ? kWheelBuckets : 0);
+}
+
+std::int64_t Scheduler::wheel_level_min(int level) {
+  // Levels >= 1 only; level 0 is wheel_level0_min().  The cache is
+  // maintained eagerly at every removal point (swap-remove, cascade,
+  // clear), so a valid entry needs no revalidation load — the audit build
+  // double checks that claim against the slot pool.
+  Wheel& w = *wheel_;
+  LevelMin& m = w.lmin[static_cast<std::size_t>(level)];
+  if (!m.valid) wheel_rescan_level(level);
+  WTCP_AUDIT_CHECK(
+      m.slot == kNoSlot ||
+          (slot_ref(m.slot).live && slot_ref(m.slot).gen == m.gen &&
+           (slot_ref(m.slot).bucket >> kWheelBits) ==
+               static_cast<std::uint32_t>(level)),
+      "scheduler", "wheel_lmin_stale",
+      "level-min cache points at a dead, recycled, or moved slot");
+  return m.slot == kNoSlot ? kNeverNs : m.at;
+}
+
+void Scheduler::wheel_rescan_level(int level) {
+  Wheel& w = *wheel_;
+  LevelMin& m = w.lmin[static_cast<std::size_t>(level)];
+  if (w.occ_count[static_cast<std::size_t>(level)] == 0) {
+    m.at = kNeverNs;
+    m.slot = kNoSlot;
+    m.gen = 0;
+    m.valid = true;  // level known empty, no bitmap touch
+    return;
+  }
+  const std::uint32_t c = static_cast<std::uint32_t>(
+      (w.cur >> (kWheelBits * level)) & (kWheelBuckets - 1));
+  // Bucket scan order == fire-time order.  The bucket at the current
+  // index is scanned LAST: placement deltas at level L span
+  // [2^(10L), 2^(10L+10)), so that bucket can only hold next-lap events —
+  // the latest at the level, not the earliest.
+  const std::uint32_t start = (c + 1) & (kWheelBuckets - 1);
+  const int idx = find_set_circular(
+      w.occupancy.data() + level * (kWheelBuckets / 64), start,
+      kWheelBuckets / 64);
+  if (idx < 0) {
+    m.at = kNeverNs;
+    m.slot = kNoSlot;
+    m.gen = 0;
+    m.valid = true;  // level known empty
+    return;
+  }
+  // The first occupied bucket in scan order holds the level's earliest
+  // events; a streaming min-scan of its entry array picks the earliest
+  // within it (same-prefix events differ in their low bits).
+  const std::uint32_t b =
+      static_cast<std::uint32_t>(level) * kWheelBuckets +
+      static_cast<std::uint32_t>(idx);
+  const BucketEntry* best = nullptr;
+  for (const BucketEntry& e : w.bucket[b]) {
+    if (best == nullptr || e.at < best->at) best = &e;
+  }
+  m.at = best->at;
+  m.slot = best->slot;
+  m.gen = best->gen;
+  m.valid = true;
+}
+
+bool Scheduler::wheel_scratch_peek(std::uint32_t& out) {
+  Wheel& w = *wheel_;
+  while (w.scratch_pos < w.scratch.size()) {
+    const BucketEntry& e = w.scratch[w.scratch_pos];
+    const Slot& sl = slot_ref(e.slot);
+    if (sl.live && sl.gen == e.gen && sl.bucket == kBucketScratch) {
+      out = e.slot;
+      return true;
+    }
+    ++w.scratch_pos;  // cancelled while waiting in the scratch buffer
+  }
+  if (!w.scratch.empty()) {
+    w.scratch.clear();
+    w.scratch_pos = 0;
+  }
+  return false;
+}
+
+std::int64_t Scheduler::wheel_find_earliest() {
+  Wheel& w = *wheel_;
+  if (w.next_memo_valid) return w.next_memo;
+  if (w.solo_valid) {
+    // Solo implies no other live event anywhere — the register IS the min.
+    w.next_memo = w.solo.at;
+    w.next_memo_valid = true;
+    return w.solo.at;
+  }
+  std::int64_t best = kNeverNs;
+  std::uint32_t s;
+  if (wheel_scratch_peek(s)) best = slot_ref(s).at_ns;
+  const std::int64_t l0 = wheel_level0_min();
+  if (l0 < best) best = l0;
+  for (int level = 1; level < kWheelLevels; ++level) {
+    const std::int64_t m = wheel_level_min(level);
+    if (m < best) best = m;
+  }
+  while (!w.overflow.empty()) {
+    const HeapEntry& top = w.overflow.front();
+    const Slot& sl = slot_ref(top.slot);
+    if (sl.live && sl.gen == top.gen && sl.bucket == kBucketOverflow) {
+      if (top.at.ns() < best) best = top.at.ns();
+      break;
+    }
+    std::pop_heap(w.overflow.begin(), w.overflow.end(), FiresLater{});
+    w.overflow.pop_back();  // tombstone from a lazy cancel
+  }
+  w.next_memo = best;
+  w.next_memo_valid = true;
+  return best;
+}
+
+bool Scheduler::wheel_run_one() {
+  Wheel& w = *wheel_;
+  const std::int64_t t = wheel_find_earliest();
+  if (t == kNeverNs) return false;
+  wheel_advance(t);
+  std::uint32_t s;
+  if (w.solo_valid) {
+    // The solo register holds the only live event; fire it directly —
+    // buckets, scratch and the occupancy bitmap hold nothing live.
+    WTCP_AUDIT_CHECK(w.solo.at == t, "scheduler", "wheel_solo_time",
+                     "solo register fire time disagrees with the minimum");
+    s = w.solo.slot;
+    w.solo_valid = false;
+  } else if (wheel_scratch_peek(s)) {
+    // Same-instant events can reach tick t along two paths: cascaded into
+    // the fire buffer by the advance above, or placed into the level-0
+    // bucket directly (scheduled with a sub-1024 ns delay).  When both
+    // happened, merge the bucket in and re-sort so seq order still rules.
+    const std::uint32_t b =
+        static_cast<std::uint32_t>(t & (kWheelBuckets - 1));
+    std::vector<BucketEntry>& vec = w.bucket[b];
+    if (!vec.empty()) {
+      w.occupancy[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+      --w.occ_count[0];
+      for (const BucketEntry& e : vec) {
+        slot_ref(e.slot).bucket = kBucketScratch;
+        w.scratch.push_back(e);
+      }
+      vec.clear();
+      // Drop the consumed prefix so it cannot resurface after the sort.
+      w.scratch.erase(w.scratch.begin(),
+                      w.scratch.begin() +
+                          static_cast<std::ptrdiff_t>(w.scratch_pos));
+      w.scratch_pos = 0;
+      std::sort(w.scratch.begin(), w.scratch.end(),
+                [](const BucketEntry& a, const BucketEntry& b2) {
+                  return a.seq < b2.seq;
+                });
+      wheel_scratch_peek(s);  // reposition on the first live entry
+    }
+    ++w.scratch_pos;  // consume
+  } else {
+    // The due events sit in the level-0 bucket for tick t (one exact time
+    // per level-0 bucket).  Same-instant events can arrive there along
+    // different cascade paths, so a multi-event bucket is drained into the
+    // scratch buffer and sorted by seq to restore global insertion order.
+    const std::uint32_t b =
+        static_cast<std::uint32_t>(t & (kWheelBuckets - 1));
+    std::vector<BucketEntry>& vec = w.bucket[b];
+    WTCP_AUDIT_CHECK(!vec.empty(), "scheduler", "wheel_due_bucket_empty",
+                     "earliest-event bucket is empty at fire time");
+    w.occupancy[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    --w.occ_count[0];
+    if (vec.size() == 1) {
+      s = vec.front().slot;  // single event: skip the scratch round-trip
+      slot_ref(s).bucket = kBucketNone;
+      vec.clear();
+    } else {
+      std::swap(w.scratch, vec);  // vec is left empty with swapped capacity
+      for (const BucketEntry& e : w.scratch) {
+        slot_ref(e.slot).bucket = kBucketScratch;
+      }
+      std::sort(w.scratch.begin(), w.scratch.end(),
+                [](const BucketEntry& a, const BucketEntry& b2) {
+                  return a.seq < b2.seq;
+                });
+      w.scratch_pos = 1;  // fire entry 0 now
+      s = w.scratch.front().slot;
+    }
+  }
+  Slot& slot = slot_ref(s);
+  Callback cb = std::move(slot.cb);
+  const char* tag = slot.tag;
+  release_slot(s);  // before cb(): the event is no longer pending
+  // The memoized minimum just fired.  If live same-tick events remain in
+  // the scratch buffer they ARE the new minimum (nothing fires before
+  // now); otherwise the next query rescans.
+  std::uint32_t peek;
+  if (wheel_scratch_peek(peek)) {
+    w.next_memo = t;
+    w.next_memo_valid = true;
+  } else {
+    w.next_memo_valid = false;
+  }
+  now_ = Time::nanoseconds(t);
+  ++executed_;
+  if (profiling_) ++tag_hits_[tag];
+  cb();
+  return true;
+}
+
+// --- shared front-ends -----------------------------------------------------
+
 Time Scheduler::next_event_time() {
+  if (impl_ == SchedulerImpl::kWheel) {
+    return Time::nanoseconds(wheel_find_earliest());  // kNeverNs == max()
+  }
   while (!heap_.empty()) {
     const HeapEntry& top = heap_.front();
-    const Slot& slot = slots_[top.slot];
+    const Slot& slot = slot_ref(top.slot);
     if (slot.live && slot.gen == top.gen) return top.at;
     std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});  // cancelled
     heap_.pop_back();
@@ -82,12 +595,12 @@ Time Scheduler::next_event_time() {
   return Time::max();
 }
 
-bool Scheduler::run_one() {
+bool Scheduler::heap_run_one() {
   while (!heap_.empty()) {
     const HeapEntry top = heap_.front();
     std::pop_heap(heap_.begin(), heap_.end(), FiresLater{});
     heap_.pop_back();
-    Slot& slot = slots_[top.slot];
+    Slot& slot = slot_ref(top.slot);
     if (!slot.live || slot.gen != top.gen) continue;  // cancelled
     Callback cb = std::move(slot.cb);
     const char* tag = slot.tag;
@@ -101,12 +614,18 @@ bool Scheduler::run_one() {
   return false;
 }
 
+bool Scheduler::run_one() {
+  return impl_ == SchedulerImpl::kWheel ? wheel_run_one() : heap_run_one();
+}
+
 std::uint64_t Scheduler::run_until(Time until) {
   std::uint64_t n = 0;
   while (next_event_time() <= until && run_one()) ++n;
   if (now_ < until) {
     // No event exactly at `until`; still advance the clock so that now()
-    // reflects the horizon the caller asked for.
+    // reflects the horizon the caller asked for.  The wheel's position
+    // must track now() for placement deltas to stay exact.
+    if (impl_ == SchedulerImpl::kWheel) wheel_advance(until.ns());
     now_ = until;
   }
   return n;
@@ -119,58 +638,137 @@ std::uint64_t Scheduler::run() {
 }
 
 void Scheduler::reserve(std::size_t events) {
-  heap_.reserve(events);
-  slots_.reserve(events);
+  if (impl_ == SchedulerImpl::kHeap) heap_.reserve(events);
+  while (chunks_.size() * kSlotChunkSize < events) {
+    chunks_.emplace_back(std::make_unique<Slot[]>(kSlotChunkSize));
+  }
 }
 
 void Scheduler::clear() {
-  // Full O(n) slot-pool/heap audit at the natural quiescent point (between
+  // Full O(n) slot-pool/queue audit at the natural quiescent point (between
   // experiment runs): the live count matches the live slots, the free list
-  // plus live slots account for every slot, and every heap entry naming a
-  // live slot carries that slot's current generation.
+  // plus live slots account for every slot, and the event core's own
+  // bookkeeping reconciles against the pool — every heap entry naming a
+  // live slot carries that slot's current generation; every live wheel
+  // slot is reachable from exactly one bucket entry, scratch entry,
+  // overflow entry, or the solo register.
   WTCP_AUDIT_ONLY({
     std::size_t live_slots = 0;
-    for (const Slot& slot : slots_) {
-      if (slot.live) ++live_slots;
+    for (std::uint32_t s = 0; s < slot_count_; ++s) {
+      if (slot_ref(s).live) ++live_slots;
     }
     WTCP_AUDIT_CHECK(live_slots == live_, "scheduler", "live_count_mismatch",
                      "live slot scan disagrees with the live counter");
     std::size_t free_len = 0;
-    for (std::uint32_t f = free_head_; f != kNoSlot;
-         f = slots_[f].next_free) {
+    for (std::uint32_t f = free_head_; f != kNoSlot; f = slot_ref(f).next) {
       ++free_len;
-      WTCP_AUDIT_CHECK(f < slots_.size(), "scheduler", "freelist_range",
+      WTCP_AUDIT_CHECK(f < slot_count_, "scheduler", "freelist_range",
                        "free-list link points outside the slot pool");
-      if (f >= slots_.size()) break;
+      if (f >= slot_count_) break;
     }
-    WTCP_AUDIT_CHECK(free_len + live_slots == slots_.size(), "scheduler",
+    WTCP_AUDIT_CHECK(free_len + live_slots == slot_count_, "scheduler",
                      "slot_accounting",
                      "free list + live slots do not cover the pool");
     for (const HeapEntry& e : heap_) {
-      WTCP_AUDIT_CHECK(e.slot < slots_.size(), "scheduler", "heap_slot_range",
+      WTCP_AUDIT_CHECK(e.slot < slot_count_, "scheduler", "heap_slot_range",
                        "heap entry references a slot outside the pool");
-      if (e.slot < slots_.size() && slots_[e.slot].live) {
-        WTCP_AUDIT_CHECK(slots_[e.slot].gen >= e.gen, "scheduler",
+      if (e.slot < slot_count_ && slot_ref(e.slot).live) {
+        WTCP_AUDIT_CHECK(slot_ref(e.slot).gen >= e.gen, "scheduler",
                          "heap_generation",
                          "heap entry carries a generation from the future");
       }
     }
+    if (wheel_) {
+      const Wheel& w = *wheel_;
+      std::size_t linked = 0;
+      std::array<std::uint32_t, kWheelLevels> occ_recount{};
+      for (std::uint32_t b = 0; b < kWheelBucketCount; ++b) {
+        const bool occupied = (w.occupancy[b >> 6] >> (b & 63)) & 1;
+        WTCP_AUDIT_CHECK(occupied == !w.bucket[b].empty(), "scheduler",
+                         "wheel_occupancy_bit",
+                         "occupancy bit disagrees with bucket emptiness");
+        if (occupied) ++occ_recount[b >> kWheelBits];
+        for (std::uint32_t i = 0; i < w.bucket[b].size(); ++i) {
+          const BucketEntry& e = w.bucket[b][i];
+          ++linked;
+          WTCP_AUDIT_CHECK(
+              e.slot < slot_count_ && slot_ref(e.slot).live &&
+                  slot_ref(e.slot).gen == e.gen &&
+                  slot_ref(e.slot).bucket == b && slot_ref(e.slot).idx == i,
+              "scheduler", "wheel_bucket_membership",
+              "bucket entry does not round-trip through its slot backref");
+        }
+      }
+      for (std::size_t i = w.scratch_pos; i < w.scratch.size(); ++i) {
+        const BucketEntry& e = w.scratch[i];
+        const Slot& sl = slot_ref(e.slot);
+        if (sl.live && sl.gen == e.gen && sl.bucket == kBucketScratch) {
+          ++linked;
+        }
+      }
+      for (const HeapEntry& e : w.overflow) {
+        const Slot& sl = slot_ref(e.slot);
+        if (sl.live && sl.gen == e.gen && sl.bucket == kBucketOverflow) {
+          ++linked;
+        }
+      }
+      if (w.solo_valid) {
+        const Slot& sl = slot_ref(w.solo.slot);
+        WTCP_AUDIT_CHECK(
+            w.solo.slot < slot_count_ && sl.live && sl.gen == w.solo.gen &&
+                sl.bucket == kBucketSolo,
+            "scheduler", "wheel_solo_membership",
+            "solo register does not round-trip through its slot backref");
+        ++linked;
+      }
+      for (int level = 0; level < kWheelLevels; ++level) {
+        WTCP_AUDIT_CHECK(
+            occ_recount[static_cast<std::size_t>(level)] ==
+                w.occ_count[static_cast<std::size_t>(level)],
+            "scheduler", "wheel_occ_count",
+            "per-level occupied-bucket counter disagrees with the bitmap");
+      }
+      WTCP_AUDIT_CHECK(audit::scheduler_wheel_membership(linked, live_),
+                       "scheduler", "wheel_membership",
+                       "bucket/scratch/overflow membership does not cover "
+                       "every live slot exactly once");
+    }
   })
   // Rebuild the free list so slot 0 is handed out first again, matching a
-  // freshly-constructed scheduler.
+  // freshly-constructed scheduler.  (This sweep is linear by design — the
+  // heap core's lazy tombstones never force an O(n log n) drain here.)
   free_head_ = kNoSlot;
-  for (std::uint32_t s = static_cast<std::uint32_t>(slots_.size()); s-- > 0;) {
-    Slot& slot = slots_[s];
+  for (std::uint32_t s = slot_count_; s-- > 0;) {
+    Slot& slot = slot_ref(s);
     if (slot.live) {
       slot.cb.reset();
       slot.tag = nullptr;
       slot.live = false;
       ++slot.gen;
     }
-    slot.next_free = free_head_;
+    slot.bucket = kBucketNone;
+    slot.idx = 0;
+    slot.next = free_head_;
     free_head_ = s;
   }
   heap_.clear();
+  if (wheel_) {
+    Wheel& w = *wheel_;
+    for (std::uint32_t b = 0; b < kWheelBucketCount; ++b) {
+      w.bucket[b].clear();
+    }
+    w.occupancy.fill(0);
+    w.occ_count.fill(0);
+    w.lmin.fill(LevelMin{});
+    w.overflow.clear();
+    w.scratch.clear();
+    w.scratch_pos = 0;
+    w.cascade.clear();  // always empty outside wheel_advance; belt&braces
+    w.solo_valid = false;
+    // The wheel's position stays pinned to now(), which clear() preserves.
+    w.next_memo = kNeverNs;
+    w.next_memo_valid = true;  // queue is now empty, and that is exact
+  }
   live_ = 0;
 }
 

@@ -1,10 +1,23 @@
-// Discrete-event scheduler: a binary heap of (time, seq) keyed events over
-// a slot pool, with O(log n) scheduling and O(1) array-indexed
-// validate/cancel.
+// Discrete-event scheduler with two interchangeable event cores sharing
+// one generation-counted slot pool:
+//
+//   * a hierarchical timing wheel (the default): kWheelLevels levels of
+//     kWheelBuckets buckets (4 x 1024) over the nanosecond Time domain,
+//     cascading on rollover, giving O(1) schedule and O(1) cancel with
+//     true unlinking; and
+//   * the previous std::push_heap/pop_heap binary heap with lazy
+//     tombstones, kept behind the WTCP_SCHED switch for A/B bisection.
+//
+// Both cores fire events in exactly the same (time, seq) order, so runs
+// are bit-identical whichever is selected (tests/sim/scheduler_wheel_test
+// drives both in lockstep on randomized traces to prove it).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,11 +28,17 @@
 
 namespace wtcp::sim {
 
+/// Which event core a Scheduler runs on.  The wheel is the production
+/// default; the heap is retained so a perf or determinism bisection can
+/// flip one environment variable instead of reverting the rework.
+enum class SchedulerImpl : std::uint8_t { kHeap, kWheel };
+
+const char* to_string(SchedulerImpl impl);
+
 /// The event queue at the heart of the simulator.
 ///
 /// Events scheduled for the same instant fire in insertion order, which
-/// makes runs deterministic.  Cancellation is lazy: the heap entry stays
-/// behind and is skipped when popped.
+/// makes runs deterministic.
 ///
 /// Hot-path design (the figure benches run hundreds of simulations per
 /// data point, so per-event constants dominate wall-clock):
@@ -29,17 +48,32 @@ namespace wtcp::sim {
 ///     array index plus a generation compare;
 ///   * SmallCallback stores the capture inline in the slot — no per-event
 ///     std::function heap allocation;
-///   * the heap is an open-coded std::push_heap/pop_heap vector with
-///     reserved storage (priority_queue cannot reserve).
+///   * the default event core is a hierarchical timing wheel: schedule is
+///     an O(1) append into the bucket picked by the delay's magnitude,
+///     cancel is an O(1) swap-remove (true removal, no tombstone), and
+///     buckets cascade one level down as simulated time rolls over their
+///     span.  Event horizons here are short and regular (serialization
+///     delays, 100 ms RTO ticks) — the worst case for a comparison heap
+///     and the best case for a wheel;
+///   * the legacy binary-heap core (O(log n) schedule, lazy cancellation
+///     with tombstone compaction) stays selectable via WTCP_SCHED=heap.
 class Scheduler {
  public:
   using Callback = SmallCallback;
 
-  Scheduler();
+  explicit Scheduler(SchedulerImpl impl = default_impl());
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  /// Current simulated time.  Advances only inside run_one().
+  /// Event-core selection for default-constructed schedulers: the
+  /// WTCP_SCHED environment variable ("heap" or "wheel") wins, then the
+  /// WTCP_SCHED cmake cache default.  Read per construction, so tests can
+  /// flip the variable between runs; an unknown value aborts loudly
+  /// rather than silently benchmarking the wrong core.
+  static SchedulerImpl default_impl();
+  SchedulerImpl impl() const { return impl_; }
+
+  /// Current simulated time.  Advances only inside run_one()/run_until().
   Time now() const { return now_; }
 
   /// Schedule `cb` to run at absolute time `at` (must be >= now()).
@@ -59,7 +93,9 @@ class Scheduler {
   /// handles stay harmlessly invalid.
   bool pending(EventId id) const {
     const std::uint32_t s = slot_of(id);
-    return s < slots_.size() && slots_[s].live && slots_[s].gen == gen_of(id);
+    if (s >= slot_count_) return false;
+    const Slot& slot = slot_ref(s);
+    return slot.live && slot.gen == gen_of(id);
   }
 
   /// Number of live (non-cancelled) pending events.
@@ -82,10 +118,10 @@ class Scheduler {
   /// Drop all pending events (used between experiment runs).
   void clear();
 
-  /// Pre-size the heap and slot pool for `events` concurrently pending
-  /// events.  Purely a performance knob (both grow on demand): benches
-  /// with a known worst-case depth call this so slot-pool growth never
-  /// lands inside the measured region.
+  /// Pre-size the slot pool (and heap, for the heap core) for `events`
+  /// concurrently pending events.  Purely a performance knob (both grow
+  /// on demand): benches with a known worst-case depth call this so
+  /// slot-pool growth never lands inside the measured region.
   void reserve(std::size_t events);
 
   /// Total events executed over the scheduler's lifetime.
@@ -119,14 +155,133 @@ class Scheduler {
   };
 
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr std::int64_t kNeverNs =
+      std::numeric_limits<std::int64_t>::max();
 
+  // --- timing-wheel geometry -----------------------------------------
+  // 4 levels of 1024 buckets, each level 1024x coarser, cover every delay
+  // below 2^40 ns (~18 simulated minutes).  Level 0 buckets are a single
+  // nanosecond wide, so a level-0 bucket only ever holds events for one
+  // exact tick; higher-level buckets cascade strictly downward when
+  // simulated time enters them.  Deltas past the span wait in a small
+  // overflow heap until the horizon rotates near.  The wide-and-shallow
+  // shape is deliberate: an event pays one placement per level it passes
+  // through, and the simulator's event horizons cluster at microseconds
+  // (serialization), milliseconds-to-100ms (propagation) and 100ms-1s
+  // (RTO timers) — levels 1 and 2 here, versus levels 2-4 of a 256-way
+  // wheel.
+  static constexpr int kWheelBits = 10;
+  static constexpr int kWheelLevels = 4;
+  static constexpr std::uint32_t kWheelBuckets = 1u << kWheelBits;
+  static constexpr std::uint32_t kWheelBucketCount =
+      kWheelLevels * kWheelBuckets;
+  static constexpr std::int64_t kWheelSpanNs = std::int64_t{1}
+                                               << (kWheelBits * kWheelLevels);
+
+  /// Pseudo-bucket ids for live wheel events not linked on a bucket list.
+  static constexpr std::uint32_t kBucketNone = 0xffffffffu;
+  static constexpr std::uint32_t kBucketScratch = 0xfffffffeu;
+  static constexpr std::uint32_t kBucketOverflow = 0xfffffffdu;
+  static constexpr std::uint32_t kBucketSolo = 0xfffffffcu;
+
+  /// One pooled event.  The callback (64 B with its vtable pointer — see
+  /// the static_asserts in callback.hpp) fills the slot's first cache
+  /// line; the scheduling metadata both cores touch on every hot-path
+  /// operation shares the second.
   struct Slot {
     Callback cb;
-    const char* tag = nullptr;       ///< nullptr = untagged
-    std::uint32_t gen = 0;           ///< bumped on every release
-    std::uint32_t next_free = kNoSlot;  ///< intrusive free-list link
+    const char* tag = nullptr;    ///< nullptr = untagged
+    std::int64_t at_ns = 0;       ///< wheel: absolute fire time
+    std::uint32_t gen = 0;        ///< bumped on every release
+    std::uint32_t next = kNoSlot; ///< intrusive free-list link
+    std::uint32_t bucket = kBucketNone;  ///< wheel: owning bucket id
+    std::uint32_t idx = 0;        ///< wheel: position in the bucket array
     bool live = false;
   };
+
+  /// One wheel bucket element.  Buckets hold contiguous entry arrays, not
+  /// chained slot links: schedule is an append, cancel a swap-remove (the
+  /// displaced entry's slot backref is patched), and a cascade is a
+  /// sequential scan that re-appends — the hot paths never chase pointers
+  /// through the 100+-byte slot pool, they stream 24-byte entries.  The
+  /// entry carries everything placement and ordering need (fire time, seq
+  /// tie-break, generation), so a cascade only ever WRITES to slots (the
+  /// backref), and those stores double as a prefetch of each slot's cache
+  /// line shortly before it fires.
+  struct BucketEntry {
+    std::int64_t at;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+
+  /// Cached earliest event of one wheel level (levels >= 1; level 0's min
+  /// falls out of the occupancy bitmap alone).  `valid && slot == kNoSlot`
+  /// means "level known empty".  Maintained eagerly: invalidated the
+  /// moment its event fires, cancels, or cascades away, then lazily
+  /// rescanned on the next query.
+  struct LevelMin {
+    std::int64_t at = kNeverNs;
+    std::uint32_t slot = kNoSlot;
+    std::uint32_t gen = 0;
+    bool valid = false;
+  };
+
+  struct Wheel {
+    std::int64_t cur = 0;  ///< wheel position; always == now().ns()
+    std::array<std::vector<BucketEntry>, kWheelBucketCount> bucket;
+    /// One occupancy bit per bucket (kWheelBuckets/64 words per level):
+    /// finding the next non-empty bucket is a few masked countr_zero scans.
+    std::array<std::uint64_t, kWheelBucketCount / 64> occupancy;
+    /// Occupied-bucket count per level: lets an empty level answer "no
+    /// events" without touching its bitmap at all — the common shape in
+    /// timer-sparse phases, where most levels sit empty most of the time.
+    std::array<std::uint32_t, kWheelLevels> occ_count{};
+    std::array<LevelMin, kWheelLevels> lmin;
+    std::vector<HeapEntry> overflow;    ///< beyond-span events (lazy cancel)
+    /// Same-tick drain buffer: a level-0 bucket with more than one event
+    /// is swapped in here and sorted by seq, restoring global insertion
+    /// order even when same-instant events arrived along different
+    /// cascade paths.  Entries cancelled while waiting go lazy (their
+    /// generation bump tombstones them).
+    std::vector<BucketEntry> scratch;
+    std::size_t scratch_pos = 0;
+    /// Cascade drain buffer: the bucket being cascaded is swapped in here
+    /// before re-placement, because a next-lap entry (same index, due one
+    /// full level-lap later) legally re-places into the very bucket being
+    /// drained — appending to the vector mid-iteration would invalidate
+    /// the scan and the trailing clear() would destroy the entry.
+    std::vector<BucketEntry> cascade;
+    /// Memoized next_event_time(): exact while valid.  Lowered in O(1) by
+    /// schedule, dropped by cancel-of-the-earliest and by firing.
+    std::int64_t next_memo = kNeverNs;
+    bool next_memo_valid = false;
+    /// Solo-event register: when exactly one event is live it parks here
+    /// (bucket id kBucketSolo) and never touches a bucket at all — the
+    /// retransmission-timer shape (arm, cancel, re-arm, one timer live)
+    /// then costs two register writes instead of a place + unlink.  A
+    /// second schedule demotes the resident into the wheel with its
+    /// original seq, so ordering is exactly as if it had never parked.
+    /// Invariant: `solo_valid` implies buckets/scratch/overflow hold no
+    /// *live* entries (lazy tombstones may remain).
+    BucketEntry solo{};
+    bool solo_valid = false;
+  };
+
+  // --- slot pool ------------------------------------------------------
+  // Slots live in fixed-size chunks with stable addresses: growing the
+  // pool allocates a new chunk instead of reallocating-and-relocating
+  // every pending callback (a vector<Slot> pays an indirect relocate call
+  // per slot per growth spurt — measurable in schedule-heavy runs).
+  static constexpr std::uint32_t kSlotChunkBits = 8;  // 256 slots per chunk
+  static constexpr std::uint32_t kSlotChunkSize = 1u << kSlotChunkBits;
+
+  Slot& slot_ref(std::uint32_t s) {
+    return chunks_[s >> kSlotChunkBits][s & (kSlotChunkSize - 1)];
+  }
+  const Slot& slot_ref(std::uint32_t s) const {
+    return chunks_[s >> kSlotChunkBits][s & (kSlotChunkSize - 1)];
+  }
 
   static std::uint32_t slot_of(EventId id) {
     return static_cast<std::uint32_t>(id.raw() & 0xffffffffu) - 1;
@@ -143,6 +298,24 @@ class Scheduler {
   /// out) and invalidate outstanding handles to it.
   void release_slot(std::uint32_t s);
 
+  // Heap core.
+  bool heap_run_one();
+  void heap_compact();
+
+  // Wheel core.  Placement takes the entry fields by value so cascades
+  // read streaming bucket entries, never the slot pool.
+  void wheel_place(std::uint32_t s, std::int64_t at, std::uint64_t seq,
+                   std::uint32_t gen);
+  void wheel_remove(std::uint32_t s);
+  void wheel_advance(std::int64_t t);
+  std::int64_t wheel_find_earliest();
+  std::int64_t wheel_level0_min() const;
+  std::int64_t wheel_level_min(int level);
+  void wheel_rescan_level(int level);
+  bool wheel_scratch_peek(std::uint32_t& out);
+  bool wheel_run_one();
+
+  SchedulerImpl impl_;
   Time now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
@@ -151,8 +324,10 @@ class Scheduler {
   bool profiling_ = false;
   std::unordered_map<const char*, std::uint64_t> tag_hits_;
   std::vector<HeapEntry> heap_;
-  std::vector<Slot> slots_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;  ///< the slot pool
+  std::uint32_t slot_count_ = 0;       ///< slots ever handed out
   std::uint32_t free_head_ = kNoSlot;  ///< head of the intrusive free list
+  std::unique_ptr<Wheel> wheel_;       ///< non-null iff impl() == kWheel
 };
 
 }  // namespace wtcp::sim

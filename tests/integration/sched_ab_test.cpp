@@ -1,0 +1,123 @@
+// Scheduler-core A/B lock: run_seeds summaries must be byte-identical
+// whether the simulation runs on the timing wheel or the binary heap, at
+// jobs=1 and jobs=4.
+//
+// WTCP_SCHED is read per Scheduler construction, so flipping the
+// environment variable between sweeps switches the event core of every
+// run started afterwards — no rebuild needed.  Combined with the golden
+// hexfloat locks in datapath_regression_test.cpp (which pin the
+// build-default core to the pre-wheel numbers), this proves the wheel
+// changed event-core mechanics only, never simulation results.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "src/core/experiment.hpp"
+#include "src/sim/scheduler.hpp"
+#include "src/topo/scenario.hpp"
+
+namespace wtcp {
+namespace {
+
+// Sets WTCP_SCHED for the scope, restoring the prior value on exit so the
+// override never leaks into other tests in this binary.
+class ScopedSchedEnv {
+ public:
+  explicit ScopedSchedEnv(const char* value) {
+    const char* prev = std::getenv("WTCP_SCHED");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    ::setenv("WTCP_SCHED", value, 1);
+  }
+  ~ScopedSchedEnv() {
+    if (had_prev_) {
+      ::setenv("WTCP_SCHED", prev_.c_str(), 1);
+    } else {
+      ::unsetenv("WTCP_SCHED");
+    }
+  }
+  ScopedSchedEnv(const ScopedSchedEnv&) = delete;
+  ScopedSchedEnv& operator=(const ScopedSchedEnv&) = delete;
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+void expect_identical(const stats::Summary& a, const stats::Summary& b,
+                      const char* what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.mean(), b.mean()) << what;
+  EXPECT_EQ(a.min(), b.min()) << what;
+  EXPECT_EQ(a.max(), b.max()) << what;
+  EXPECT_EQ(a.variance(), b.variance()) << what;
+}
+
+void expect_identical(const core::MetricsSummary& a,
+                      const core::MetricsSummary& b, const char* label) {
+  EXPECT_EQ(a.runs_total, b.runs_total) << label;
+  EXPECT_EQ(a.runs_completed, b.runs_completed) << label;
+  EXPECT_EQ(a.runs_failed, b.runs_failed) << label;
+  expect_identical(a.throughput_bps, b.throughput_bps, label);
+  expect_identical(a.goodput, b.goodput, label);
+  expect_identical(a.timeouts, b.timeouts, label);
+  expect_identical(a.retransmitted_kbytes, b.retransmitted_kbytes, label);
+  expect_identical(a.duration_s, b.duration_s, label);
+  expect_identical(a.ebsn_received, b.ebsn_received, label);
+  expect_identical(a.quench_received, b.quench_received, label);
+}
+
+core::MetricsSummary sweep_with(const char* sched,
+                                const topo::ScenarioConfig& cfg, int jobs) {
+  ScopedSchedEnv env(sched);
+  return core::run_seeds(cfg, 6, 1, jobs);
+}
+
+class SchedulerAB : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerAB, RunSeedsSummariesIdenticalWheelVsHeap) {
+  const int jobs = GetParam();
+  {
+    topo::ScenarioConfig cfg = topo::wan_scenario();
+    cfg.tcp.file_bytes = 50 * 1024;
+    cfg.channel.mean_bad_s = 4;
+    cfg.local_recovery = true;
+    cfg.feedback = topo::FeedbackMode::kEbsn;
+    expect_identical(sweep_with("wheel", cfg, jobs),
+                     sweep_with("heap", cfg, jobs), "wan_ebsn");
+  }
+  {
+    topo::ScenarioConfig cfg = topo::wan_scenario();
+    cfg.tcp.file_bytes = 50 * 1024;
+    cfg.channel.mean_bad_s = 2;
+    expect_identical(sweep_with("wheel", cfg, jobs),
+                     sweep_with("heap", cfg, jobs), "wan_basic");
+  }
+  {
+    topo::ScenarioConfig cfg = topo::lan_scenario();
+    cfg.channel.mean_bad_s = 0.8;
+    cfg.snoop = true;
+    expect_identical(sweep_with("wheel", cfg, jobs),
+                     sweep_with("heap", cfg, jobs), "lan_snoop");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, SchedulerAB, ::testing::Values(1, 4));
+
+// The env override must actually reach Scheduler construction — otherwise
+// the A/B sweeps above would compare the default core against itself and
+// the test would vacuously pass.
+TEST(SchedulerAB_Env, OverrideSelectsCore) {
+  {
+    ScopedSchedEnv env("heap");
+    EXPECT_EQ(sim::Scheduler().impl(), sim::SchedulerImpl::kHeap);
+  }
+  {
+    ScopedSchedEnv env("wheel");
+    EXPECT_EQ(sim::Scheduler().impl(), sim::SchedulerImpl::kWheel);
+  }
+}
+
+}  // namespace
+}  // namespace wtcp

@@ -1,0 +1,250 @@
+// Differential and boundary tests for the timing-wheel event core.
+//
+// The wheel replaced the binary heap as the default scheduler; the heap
+// stays selectable (WTCP_SCHED=heap) precisely so these tests can drive
+// BOTH cores in lockstep and assert they fire the same events at the same
+// times in the same order.  The randomized trace below mixes every
+// placement class — same-tick, level-0 direct, every cascade level, and
+// beyond-span overflow — with cancels and rescheduling, because the
+// wheel's failure modes live at the boundaries between those classes.
+#include "src/sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/random.hpp"
+
+namespace wtcp::sim {
+namespace {
+
+TEST(SchedulerWheel, ImplSelectionIsExplicit) {
+  Scheduler wheel(SchedulerImpl::kWheel);
+  Scheduler heap(SchedulerImpl::kHeap);
+  EXPECT_EQ(wheel.impl(), SchedulerImpl::kWheel);
+  EXPECT_EQ(heap.impl(), SchedulerImpl::kHeap);
+  EXPECT_STREQ(to_string(SchedulerImpl::kWheel), "wheel");
+  EXPECT_STREQ(to_string(SchedulerImpl::kHeap), "heap");
+}
+
+// One randomized op stream applied to both cores simultaneously.  Every
+// observable — firing order, firing times, cancel results, pending
+// counts, next_event_time — must match exactly at every step.
+TEST(SchedulerWheel, RandomizedDifferentialMatchesHeap) {
+  constexpr int kOps = 1'000'000;
+  Rng rng(20260809);
+
+  Scheduler wheel(SchedulerImpl::kWheel);
+  Scheduler heap(SchedulerImpl::kHeap);
+  std::vector<std::uint64_t> fired_wheel;
+  std::vector<std::uint64_t> fired_heap;
+  fired_wheel.reserve(kOps);
+  fired_heap.reserve(kOps);
+
+  struct Pair {
+    EventId w;
+    EventId h;
+  };
+  std::vector<Pair> live;
+  std::uint64_t next_tag = 0;
+
+  // Delay distribution: exercise every wheel level, the same-tick path,
+  // and the beyond-span overflow heap.  A uniform delay would almost
+  // never land on a level boundary or past the 2^40 ns span.
+  auto random_delay = [&rng]() -> std::int64_t {
+    switch (rng.uniform_int(0, 5)) {
+      case 0:
+        return 0;  // same tick
+      case 1:
+        return rng.uniform_int(1, 1023);  // level 0 direct
+      case 2: {
+        // Around a power of two: straddles level boundaries.
+        const std::int64_t base = std::int64_t{1}
+                                  << rng.uniform_int(1, 41);
+        return base + rng.uniform_int(-1, 1);
+      }
+      case 3:
+        return rng.uniform_int(1, 1'000'000);  // microsecond cluster
+      case 4:
+        return rng.uniform_int(1, std::int64_t{1} << 38);  // deep levels
+      default:
+        // Past the wheel span: parks in the overflow heap, reintegrates
+        // as simulated time rotates close.
+        return (std::int64_t{1} << 40) + rng.uniform_int(0, 1 << 20);
+    }
+  };
+
+  for (int op = 0; op < kOps; ++op) {
+    switch (rng.uniform_int(0, 9)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // schedule the same event on both cores
+        const Time at = wheel.now() + Time::nanoseconds(random_delay());
+        const std::uint64_t tag = next_tag++;
+        live.push_back(Pair{
+            wheel.schedule_at(at, [&fired_wheel, tag] {
+              fired_wheel.push_back(tag);
+            }),
+            heap.schedule_at(at, [&fired_heap, tag] {
+              fired_heap.push_back(tag);
+            }),
+        });
+        break;
+      }
+      case 4:
+      case 5: {  // cancel a random (possibly stale) handle on both
+        if (live.empty()) break;
+        const std::size_t i = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        ASSERT_EQ(wheel.pending(live[i].w), heap.pending(live[i].h));
+        ASSERT_EQ(wheel.cancel(live[i].w), heap.cancel(live[i].h));
+        live[i] = live.back();
+        live.pop_back();
+        break;
+      }
+      case 6:
+      case 7:
+      case 8: {  // fire the earliest event on both
+        ASSERT_EQ(wheel.run_one(), heap.run_one());
+        ASSERT_EQ(wheel.now(), heap.now());
+        break;
+      }
+      default: {  // advance both to the same horizon
+        const Time until = wheel.now() + Time::nanoseconds(random_delay());
+        ASSERT_EQ(wheel.run_until(until), heap.run_until(until));
+        ASSERT_EQ(wheel.now(), heap.now());
+        break;
+      }
+    }
+    ASSERT_EQ(wheel.pending_count(), heap.pending_count());
+    ASSERT_EQ(wheel.next_event_time(), heap.next_event_time());
+  }
+
+  // Drain everything that is still pending.
+  ASSERT_EQ(wheel.run(), heap.run());
+  ASSERT_EQ(wheel.now(), heap.now());
+  ASSERT_EQ(wheel.executed_count(), heap.executed_count());
+  ASSERT_EQ(fired_wheel, fired_heap);  // identical order, event by event
+}
+
+// Same-instant events must fire in insertion order even when they reach
+// the fire tick along different paths: scheduled far ahead (cascades down
+// level by level), scheduled just ahead (level-0 direct), and scheduled
+// from a callback mid-run.  Both cores must agree on the order.
+TEST(SchedulerWheel, SameTickSeqOrderAcrossCascadePaths) {
+  for (SchedulerImpl impl : {SchedulerImpl::kWheel, SchedulerImpl::kHeap}) {
+    Scheduler s(impl);
+    const Time t = Time::nanoseconds(50'000'000);  // 50 ms: a deep level
+    std::vector<int> order;
+    // Far ahead of t: these cascade down through multiple levels.
+    s.schedule_at(t, [&] { order.push_back(0); });
+    s.schedule_at(t, [&] { order.push_back(1); });
+    // A helper 200 ns before t whose callback schedules two more at t —
+    // they are born inside the fire window (level-0 direct placement).
+    s.schedule_at(t - Time::nanoseconds(200), [&] {
+      s.schedule_at(t, [&] { order.push_back(3); });
+      s.schedule_at(t, [&] { order.push_back(4); });
+    });
+    // Scheduled before the run but after the two cascade events.
+    s.schedule_at(t, [&] { order.push_back(2); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}))
+        << "impl=" << to_string(impl);
+  }
+}
+
+// The EBSN/RTO re-arm pattern, aimed at bucket boundaries: a timer is
+// cancelled and re-scheduled so that the old and new fire times land in
+// different buckets (and different levels).  True removal plus re-insert
+// must leave exactly one firing at exactly the new time.
+TEST(SchedulerWheel, RescheduleAcrossBucketBoundary) {
+  for (SchedulerImpl impl : {SchedulerImpl::kWheel, SchedulerImpl::kHeap}) {
+    Scheduler s(impl);
+    int fired = 0;
+    Time fired_at;
+    // Straddle each level boundary 2^(10L): the first placement lands at
+    // level L-1's top bucket, the re-placement at level L's bottom one.
+    for (int shift : {10, 20, 30}) {
+      const std::int64_t edge = std::int64_t{1} << shift;
+      const Time base = s.now();
+      EventId id = s.schedule_after(Time::nanoseconds(edge - 1),
+                                    [&] { ++fired; });
+      ASSERT_TRUE(s.cancel(id));
+      id = s.schedule_after(Time::nanoseconds(edge + 1), [&] {
+        ++fired;
+        fired_at = s.now();
+      });
+      EXPECT_EQ(s.run(), 1u) << "impl=" << to_string(impl);
+      EXPECT_EQ(fired_at, base + Time::nanoseconds(edge + 1));
+    }
+    EXPECT_EQ(fired, 3);
+    // Re-arm across the overflow horizon: beyond-span, then back inside.
+    EventId id = s.schedule_after(
+        Time::nanoseconds((std::int64_t{1} << 40) + 5), [&] { ++fired; });
+    ASSERT_TRUE(s.cancel(id));
+    const Time base = s.now();
+    s.schedule_after(Time::nanoseconds(123), [&] {
+      ++fired;
+      fired_at = s.now();
+    });
+    EXPECT_EQ(s.run(), 1u);
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(fired_at, base + Time::nanoseconds(123));
+  }
+}
+
+// Beyond-span events park in the overflow heap and reintegrate once the
+// wheel's horizon rotates near; cancelled ones must quietly disappear.
+TEST(SchedulerWheel, FarFutureOverflowReintegratesAndCancels) {
+  for (SchedulerImpl impl : {SchedulerImpl::kWheel, SchedulerImpl::kHeap}) {
+    Scheduler s(impl);
+    const std::int64_t span = std::int64_t{1} << 40;
+    std::vector<int> order;
+    s.schedule_after(Time::nanoseconds(2 * span + 7),
+                     [&] { order.push_back(2); });
+    const EventId dead = s.schedule_after(Time::nanoseconds(span + 100),
+                                          [&] { order.push_back(9); });
+    s.schedule_after(Time::nanoseconds(span + 500),
+                     [&] { order.push_back(1); });
+    s.schedule_after(Time::nanoseconds(50), [&] { order.push_back(0); });
+    ASSERT_TRUE(s.cancel(dead));
+    EXPECT_EQ(s.run(), 3u) << "impl=" << to_string(impl);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(s.now(), Time::nanoseconds(2 * span + 7));
+  }
+}
+
+// run_until must advance the wheel's position even when no event fires,
+// so later placement deltas stay exact across the skipped stretch.
+TEST(SchedulerWheel, RunUntilAdvancesWheelPosition) {
+  Scheduler s(SchedulerImpl::kWheel);
+  EXPECT_EQ(s.run_until(Time::milliseconds(500)), 0u);
+  EXPECT_EQ(s.now(), Time::milliseconds(500));
+  Time fired_at;
+  s.schedule_after(Time::nanoseconds(3), [&] { fired_at = s.now(); });
+  EXPECT_EQ(s.run(), 1u);
+  EXPECT_EQ(fired_at, Time::milliseconds(500) + Time::nanoseconds(3));
+}
+
+// clear() between runs must leave the wheel in a like-new state: same
+// slot handout order, exact next_event_time bookkeeping.
+TEST(SchedulerWheel, ClearResetsWheelState) {
+  Scheduler s(SchedulerImpl::kWheel);
+  for (int i = 0; i < 100; ++i) {
+    s.schedule_after(Time::nanoseconds(1 + 10'000 * i), [] {});
+  }
+  s.run_until(Time::nanoseconds(200'000));  // fire some, keep the rest
+  ASSERT_GT(s.pending_count(), 0u);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.next_event_time(), Time::max());
+  Time fired_at;
+  s.schedule_after(Time::nanoseconds(42), [&] { fired_at = s.now(); });
+  EXPECT_EQ(s.run(), 1u);
+  EXPECT_EQ(fired_at, Time::nanoseconds(200'000 + 42));
+}
+
+}  // namespace
+}  // namespace wtcp::sim
