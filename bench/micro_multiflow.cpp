@@ -1,0 +1,71 @@
+// Many-flow cell microbenchmarks (google-benchmark): one base-station
+// radio serving K = 100 / 1k / 10k concurrent TCP flows with independent
+// Gilbert-Elliott fades, short transfers.  These guard the O(backlogged)
+// scheduling structure — the medium's ready-set hand-off, the scheduler's
+// backlog bitmap, and the arena-backed per-flow state.  A regression back
+// to O(K) work per frame shows up here as superlinear time growth from
+// 1k to 10k users long before it would be visible in the 4-user figures.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "src/core/api.hpp"
+
+namespace {
+
+using namespace wtcp;
+
+topo::MultiUserConfig cell_config(std::size_t users, link::SchedPolicy policy) {
+  topo::MultiUserConfig cfg = topo::multi_user_lan_scenario();
+  cfg.users = users;
+  // Short transfers: construction, slab warm-up, and scheduling dominate
+  // rather than bulk airtime, which is the regime the refactor targets.
+  cfg.tcp.file_bytes = 8 * 1024;
+  cfg.sched.policy = policy;
+  cfg.seed = 1;
+  return cfg;
+}
+
+void run_cell(benchmark::State& state, link::SchedPolicy policy) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  std::uint64_t completed = 0;
+  for (auto _ : state) {
+    topo::MultiUserLanScenario cell(cell_config(users, policy));
+    const topo::MultiUserMetrics m = cell.run();
+    completed += m.completed_users;
+    benchmark::DoNotOptimize(m.aggregate_throughput_bps);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+  state.counters["flows"] = static_cast<double>(users);
+}
+
+void BM_MultiFlowRR(benchmark::State& state) {
+  run_cell(state, link::SchedPolicy::kRoundRobin);
+}
+BENCHMARK(BM_MultiFlowRR)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultiFlowCSD(benchmark::State& state) {
+  run_cell(state, link::SchedPolicy::kCsdRoundRobin);
+}
+BENCHMARK(BM_MultiFlowCSD)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultiFlowDWRR(benchmark::State& state) {
+  run_cell(state, link::SchedPolicy::kDeficitRoundRobin);
+}
+BENCHMARK(BM_MultiFlowDWRR)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -32,6 +32,15 @@ scheme
   --flavor F               tahoe|reno|newreno              (default tahoe)
   --sack                   RFC 2018 selective acknowledgments
 
+multi-user cell (Section 2 / Bhagwat et al. [9])
+  --users N                K concurrent flows through one base-station
+                           radio (the Section 4.2.4 LAN, K mobile hosts).
+                           Honors --file-kb, --window, --granularity-ms,
+                           the channel flags, --seeds/--seed/--jobs and
+                           --tsv; scheme must be basic|local|ebsn
+  --policy P               base-station scheduler: fifo|rr|csd|dwrr
+                           (default rr)
+
 workload / TCP
   --file-kb N              transfer size in KB
   --packet-size N          wired packet size incl. 40 B header
@@ -130,6 +139,8 @@ int main(int argc, char** argv) {
   std::string checkpoint;
   bool resume = false;
   bool allow_incomplete = false;
+  long multi_users = 0;  // > 0 selects the multi-user cell scenario
+  std::string policy = "rr";
 
   // Two-pass parse: --setup decides the config template first.
   for (int i = 1; i < argc; ++i) {
@@ -194,6 +205,14 @@ int main(int argc, char** argv) {
       cfg.handoff.latency = sim::Time::milliseconds(arg_long(argc, argv, i));
     } else if (a == "--handoff-fast-rtx") {
       cfg.handoff.fast_retransmit_on_resume = true;
+    } else if (a == "--users") {
+      multi_users = arg_long(argc, argv, i);
+      if (multi_users <= 0) {
+        std::cerr << "--users must be a positive flow count\n";
+        usage(2);
+      }
+    } else if (a == "--policy") {
+      policy = arg_str(argc, argv, i);
     } else if (a == "--seeds") {
       seeds = static_cast<int>(arg_long(argc, argv, i));
     } else if (a == "--seed") {
@@ -289,6 +308,116 @@ int main(int argc, char** argv) {
   if (resume && checkpoint.empty()) {
     std::cerr << "--resume requires --checkpoint PATH\n";
     usage(2);
+  }
+
+  if (multi_users > 0) {
+    // K flows through one base-station radio.  Starts from the paper-[9]
+    // LAN template (NOT the --setup template, whose workload defaults
+    // differ) and carries over only the knobs given on the command line.
+    topo::MultiUserConfig mcfg = topo::multi_user_lan_scenario();
+    mcfg.users = static_cast<std::size_t>(multi_users);
+    const auto flag_given = [&](const char* name) {
+      for (int j = 1; j < argc; ++j) {
+        if (!std::strcmp(argv[j], name)) return true;
+      }
+      return false;
+    };
+    if (flag_given("--file-kb")) mcfg.tcp.file_bytes = cfg.tcp.file_bytes;
+    if (flag_given("--window")) mcfg.tcp.window_bytes = cfg.tcp.window_bytes;
+    if (flag_given("--granularity-ms")) {
+      mcfg.tcp.rto.granularity = cfg.tcp.rto.granularity;
+      mcfg.tcp.rto.min_rto = cfg.tcp.rto.min_rto;
+    }
+    if (flag_given("--good")) mcfg.channel.mean_good_s = cfg.channel.mean_good_s;
+    if (flag_given("--bad")) mcfg.channel.mean_bad_s = cfg.channel.mean_bad_s;
+    if (flag_given("--ber-good")) mcfg.channel.ber_good = cfg.channel.ber_good;
+    if (flag_given("--ber-bad")) mcfg.channel.ber_bad = cfg.channel.ber_bad;
+    if (flag_given("--no-errors")) mcfg.channel_errors = false;
+
+    if (policy == "fifo") {
+      mcfg.sched.policy = link::SchedPolicy::kFifo;
+    } else if (policy == "rr") {
+      mcfg.sched.policy = link::SchedPolicy::kRoundRobin;
+    } else if (policy == "csd") {
+      mcfg.sched.policy = link::SchedPolicy::kCsdRoundRobin;
+    } else if (policy == "dwrr") {
+      mcfg.sched.policy = link::SchedPolicy::kDeficitRoundRobin;
+    } else {
+      std::cerr << "--policy must be fifo|rr|csd|dwrr (got \"" << policy
+                << "\")\n";
+      usage(2);
+    }
+    if (scheme == "basic") {
+      mcfg.local_recovery = false;
+    } else if (scheme == "ebsn") {
+      mcfg.feedback = topo::FeedbackMode::kEbsn;
+    } else if (scheme != "local") {
+      std::cerr << "--users supports --scheme basic|local|ebsn\n";
+      usage(2);
+    }
+
+    // Seed sweep, run_seeds style: workers fill their own slot and the
+    // fold below walks slots in index order, so any --jobs value yields
+    // byte-identical output.
+    std::vector<topo::MultiUserMetrics> runs(static_cast<std::size_t>(seeds));
+    core::ParallelRunner pool(jobs);
+    pool.for_each_index(runs.size(), [&](std::size_t i) {
+      topo::MultiUserConfig one = mcfg;
+      one.seed = base_seed + i;
+      topo::MultiUserLanScenario cell(one);
+      runs[i] = cell.run();
+    });
+
+    double agg = 0, fair = 0, dur = 0;
+    std::uint64_t completed = 0, skips = 0, deferrals = 0;
+    for (const topo::MultiUserMetrics& m : runs) {
+      agg += m.aggregate_throughput_bps;
+      fair += m.fairness;
+      dur += m.duration.to_seconds();
+      completed += m.completed_users;
+      skips += m.csd_skips;
+      deferrals += m.csd_deferrals;
+    }
+    const double n = static_cast<double>(seeds);
+    const std::uint64_t flows_total =
+        static_cast<std::uint64_t>(multi_users) * static_cast<std::uint64_t>(seeds);
+    if (tsv) {
+      std::printf(
+          "users\tpolicy\tscheme\tseeds\taggregate_bps\tfairness\t"
+          "completed\tcsd_skips\tcsd_deferrals\n");
+      std::printf("%ld\t%s\t%s\t%d\t%.1f\t%.5f\t%llu/%llu\t%llu\t%llu\n",
+                  multi_users, policy.c_str(), scheme.c_str(), seeds, agg / n,
+                  fair / n, static_cast<unsigned long long>(completed),
+                  static_cast<unsigned long long>(flows_total),
+                  static_cast<unsigned long long>(skips),
+                  static_cast<unsigned long long>(deferrals));
+    } else {
+      std::printf("setup:      multi-user LAN cell, %ld flows, policy %s, scheme %s\n",
+                  multi_users, policy.c_str(), scheme.c_str());
+      std::printf("workload:   %lld KB per flow, %lld B window\n",
+                  static_cast<long long>(mcfg.tcp.file_bytes / 1024),
+                  static_cast<long long>(mcfg.tcp.window_bytes));
+      if (mcfg.channel_errors) {
+        std::printf("channel:    good %.1f s / bad %.1f s (BER %.0e / %.0e), per-user\n",
+                    mcfg.channel.mean_good_s, mcfg.channel.mean_bad_s,
+                    mcfg.channel.ber_good, mcfg.channel.ber_bad);
+      } else {
+        std::printf("channel:    error-free\n");
+      }
+      std::printf("\nover %d seeds:\n", seeds);
+      std::printf("  aggregate   %10.2f kbps\n", agg / n / 1000.0);
+      std::printf("  fairness    %10.4f (Jain)\n", fair / n);
+      std::printf("  duration    %10.2f s\n", dur / n);
+      std::printf("  completed   %llu/%llu flows\n",
+                  static_cast<unsigned long long>(completed),
+                  static_cast<unsigned long long>(flows_total));
+      if (mcfg.sched.policy == link::SchedPolicy::kCsdRoundRobin) {
+        std::printf("  CSD         %.1f skips, %.1f deferrals per run\n",
+                    static_cast<double>(skips) / n,
+                    static_cast<double>(deferrals) / n);
+      }
+    }
+    return completed == flows_total ? 0 : 1;
   }
 
   const double theory = cfg.channel_errors

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Engine performance tracking: run the micro_engine and micro_datapath
-# google-benchmark suites and write the machine-readable results to
-# BENCH_engine.json / BENCH_datapath.json at the repo root, so the perf
-# trajectory (scheduler hot path, parallel run engine, allocation-free
-# packet datapath) is comparable across PRs.
+# Engine performance tracking: run the micro_engine, micro_datapath and
+# micro_multiflow google-benchmark suites and write the machine-readable
+# results to BENCH_engine.json / BENCH_datapath.json / BENCH_multiflow.json
+# at the repo root, so the perf trajectory (scheduler hot path, parallel
+# run engine, allocation-free packet datapath, many-flow cell scaling) is
+# comparable across PRs.
 #
 # Usage: scripts/bench.sh [build-dir] [extra benchmark args...]
 set -euo pipefail
@@ -13,7 +14,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${1:-build}
 shift || true
 
-for target in micro_engine micro_datapath; do
+for target in micro_engine micro_datapath micro_multiflow; do
   if [ ! -x "$BUILD_DIR/bench/$target" ]; then
     cmake -B "$BUILD_DIR" -S . >/dev/null
     cmake --build "$BUILD_DIR" -j"$(nproc)" --target "$target"
@@ -32,5 +33,11 @@ done
   --benchmark_repetitions="${WTCP_BENCH_REPS:-1}" \
   "$@"
 
+"$BUILD_DIR/bench/micro_multiflow" \
+  --benchmark_out=BENCH_multiflow.json \
+  --benchmark_out_format=json \
+  --benchmark_repetitions="${WTCP_BENCH_REPS:-1}" \
+  "$@"
+
 echo
-echo "wrote BENCH_engine.json and BENCH_datapath.json"
+echo "wrote BENCH_engine.json, BENCH_datapath.json and BENCH_multiflow.json"

@@ -1,16 +1,23 @@
 #!/usr/bin/env python3
-"""Scheduler-regression smoke: run the hot-path bench, compare to baseline.
+"""Perf-regression smoke: run one hot-path bench, compare to its baseline.
 
-Runs ``micro_engine`` with a short ``--benchmark_min_time`` and fails if
-``BM_SchedulerScheduleRun/100000`` comes out more than ``--threshold``
-(default 25%) slower than the median recorded in the committed
-``BENCH_engine.json``.  This is a coarse tripwire for "someone made the
-event core accidentally quadratic", not a precision benchmark — the short
+Runs a benchmark binary with a short ``--benchmark_min_time`` and fails if
+the selected benchmark comes out more than ``--threshold`` (default 25%)
+slower than the median recorded in the committed baseline JSON.  CPU time
+is compared, not wall time: wall readings on shared CI hardware swing by
+2x with co-tenant load while CPU time stays put, and a genuine
+hot-path-went-quadratic regression inflates both identically.  Defaults
+guard the event core (``micro_engine`` / ``BM_SchedulerScheduleRun/100000``
+vs ``BENCH_engine.json``); pass ``--exe micro_multiflow --bench
+BM_MultiFlowRR/1000 --baseline BENCH_multiflow.json`` to guard the
+many-flow cell instead.  This is a coarse tripwire for "someone made the
+hot path accidentally quadratic", not a precision benchmark — the short
 min-time and shared CI hardware put a few tens of percent of noise on the
 reading, hence the wide threshold.
 
 Usage:
-    scripts/bench_smoke.py [--build-dir BUILD] [--baseline BENCH_engine.json]
+    scripts/bench_smoke.py [--build-dir BUILD] [--exe BINARY]
+                           [--baseline BENCH_engine.json]
                            [--bench NAME] [--threshold PCT] [--min-time SEC]
 
 Exit status: 0 within threshold, 1 regression or missing data.
@@ -25,8 +32,8 @@ import subprocess
 import sys
 
 
-def baseline_median(path: pathlib.Path, bench: str) -> float:
-    """Median real_time (ns) for `bench` from a committed benchmark JSON.
+def baseline_median(path: pathlib.Path, bench: str) -> tuple[float, str]:
+    """Median (cpu_time, time_unit) for `bench` from a committed JSON.
 
     bench.sh records with --benchmark_repetitions; aggregate rows carry
     aggregate_name == "median".  A single-repetition file has no aggregate
@@ -38,16 +45,17 @@ def baseline_median(path: pathlib.Path, bench: str) -> float:
         if b.get("run_name", b.get("name")) != bench:
             continue
         if b.get("aggregate_name") == "median":
-            return float(b["real_time"])
+            return float(b["cpu_time"]), b.get("time_unit", "ns")
         if b.get("run_type", "iteration") == "iteration" and plain is None:
-            plain = float(b["real_time"])
+            plain = (float(b["cpu_time"]), b.get("time_unit", "ns"))
     if plain is None:
         raise SystemExit(f"error: '{bench}' not found in {path}")
     return plain
 
 
-def current_time(build_dir: pathlib.Path, bench: str, min_time: float) -> float:
-    exe = build_dir / "bench" / "micro_engine"
+def current_time(build_dir: pathlib.Path, exe_name: str, bench: str,
+                 min_time: float) -> tuple[float, str]:
+    exe = build_dir / "bench" / exe_name
     if not exe.exists():
         raise SystemExit(f"error: {exe} not built (need the Release bench tree)")
     # NB: this benchmark binary predates the unit-suffixed min-time syntax;
@@ -65,13 +73,15 @@ def current_time(build_dir: pathlib.Path, bench: str, min_time: float) -> float:
     ).stdout
     for b in json.loads(out).get("benchmarks", []):
         if b.get("name") == bench:
-            return float(b["real_time"])
+            return float(b["cpu_time"]), b.get("time_unit", "ns")
     raise SystemExit(f"error: '{bench}' produced no result")
 
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build", type=pathlib.Path)
+    ap.add_argument("--exe", default="micro_engine",
+                    help="benchmark binary under <build-dir>/bench/")
     ap.add_argument("--baseline", default="BENCH_engine.json",
                     type=pathlib.Path)
     ap.add_argument("--bench", default="BM_SchedulerScheduleRun/100000")
@@ -81,15 +91,23 @@ def main() -> int:
                     help="--benchmark_min_time per run (plain seconds)")
     args = ap.parse_args()
 
-    base = baseline_median(args.baseline, args.bench)
-    now = current_time(args.build_dir, args.bench, args.min_time)
+    base, base_unit = baseline_median(args.baseline, args.bench)
+    now, now_unit = current_time(args.build_dir, args.exe, args.bench,
+                                 args.min_time)
+    if base_unit != now_unit:
+        raise SystemExit(f"error: baseline reports {base_unit}, current run "
+                         f"reports {now_unit} — units must match to compare")
     delta_pct = (now - base) / base * 100.0
-    print(f"{args.bench}: baseline median {base / 1e6:.2f} ms, "
-          f"current {now / 1e6:.2f} ms ({delta_pct:+.1f}%)")
+
+    def fmt(v: float, unit: str) -> str:
+        return f"{v / 1e6:.2f} ms" if unit == "ns" else f"{v:.2f} {unit}"
+
+    print(f"{args.bench}: baseline median {fmt(base, base_unit)}, "
+          f"current {fmt(now, now_unit)} ({delta_pct:+.1f}%)")
     if delta_pct > args.threshold:
         print(f"FAIL: slower than baseline by more than "
               f"{args.threshold:.0f}% — scheduler hot path regressed "
-              f"(re-record BENCH_engine.json via scripts/bench.sh if intended)")
+              f"(re-record {args.baseline} via scripts/bench.sh if intended)")
         return 1
     print(f"OK (threshold {args.threshold:.0f}%)")
     return 0

@@ -1,0 +1,91 @@
+// Reserve-once arena for per-flow subsystem state.
+//
+// A multi-user cell holds one sender, sink, wireless interface, ARQ
+// engine, channel model, ... per flow.  Holding each in its own
+// unique_ptr costs a heap allocation per flow per subsystem (60k+
+// allocations for a 10k-flow cell) and scatters hot per-flow state
+// across the heap.  A FlowSlab instead reserves raw storage for all K
+// flows of ONE subsystem up front and placement-constructs into it:
+// one allocation per subsystem, contiguous struct-of-arrays layout
+// (generalizing PacketPool's chunked-slot design to non-trivial,
+// non-movable component types).
+//
+// Elements are constructed in flow order via emplace_back and NEVER
+// relocate — components freely hand out `this`-capturing callbacks.
+// Destruction runs in reverse construction order, matching the
+// unique_ptr-vector teardown it replaces.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace wtcp::core {
+
+template <typename T>
+class FlowSlab {
+ public:
+  FlowSlab() = default;
+  explicit FlowSlab(std::size_t capacity) { reserve(capacity); }
+
+  FlowSlab(const FlowSlab&) = delete;
+  FlowSlab& operator=(const FlowSlab&) = delete;
+
+  ~FlowSlab() { clear(); }
+
+  /// Allocate raw storage for `capacity` elements.  Callable once (or
+  /// again only after clear()); the slab never grows past it, which is
+  /// what pins element addresses.
+  void reserve(std::size_t capacity) {
+    assert(!storage_ && "FlowSlab::reserve called on a live slab");
+    if (capacity == 0) return;
+    storage_.reset(new AlignedSlot[capacity]);
+    capacity_ = capacity;
+  }
+
+  /// Construct the next element in place; returns it.  The address is
+  /// stable for the slab's lifetime.
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    assert(size_ < capacity_ && "FlowSlab capacity exhausted");
+    T* slot = new (&storage_[size_]) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  /// Destroy all elements (reverse order) and release the storage.
+  void clear() {
+    while (size_ > 0) {
+      --size_;
+      std::launder(reinterpret_cast<T*>(&storage_[size_]))->~T();
+    }
+    storage_.reset();
+    capacity_ = 0;
+  }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return *std::launder(reinterpret_cast<T*>(&storage_[i]));
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return *std::launder(reinterpret_cast<const T*>(&storage_[i]));
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct alignas(T) AlignedSlot {
+    unsigned char bytes[sizeof(T)];
+  };
+
+  std::unique_ptr<AlignedSlot[]> storage_;
+  std::size_t capacity_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace wtcp::core

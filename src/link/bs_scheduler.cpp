@@ -1,8 +1,10 @@
 #include "src/link/bs_scheduler.hpp"
 
+#include <bit>
 #include <cassert>
 #include <utility>
 
+#include "src/core/audit.hpp"
 #include "src/sim/logging.hpp"
 
 namespace wtcp::link {
@@ -12,25 +14,113 @@ const char* to_string(SchedPolicy p) {
     case SchedPolicy::kFifo: return "fifo";
     case SchedPolicy::kRoundRobin: return "round-robin";
     case SchedPolicy::kCsdRoundRobin: return "csd-round-robin";
+    case SchedPolicy::kDeficitRoundRobin: return "deficit-round-robin";
   }
   return "?";
 }
 
 BsScheduler::BsScheduler(sim::Simulator& sim, BsSchedulerConfig cfg, std::size_t users)
-    : sim_(sim), cfg_(cfg), queues_(users) {
+    : sim_(sim), cfg_(cfg), users_(users), backlog_bits_((users + 63) / 64) {
   assert(users > 0);
   assert(cfg_.max_outstanding >= 1);
+  assert(cfg_.dwrr_quantum_bytes >= 1);
+}
+
+BsScheduler::~BsScheduler() {
+  if (sim_.pending(probe_timer_)) sim_.cancel(probe_timer_);
+}
+
+void BsScheduler::set_weight(std::size_t user, std::uint32_t weight) {
+  assert(user < users_.size());
+  assert(weight >= 1);
+  users_[user].weight = weight;
+}
+
+std::uint32_t BsScheduler::alloc_node() {
+  if (free_head_ == kNil) {
+    // Double the slab (min one cache-friendly chunk) and thread the new
+    // slots onto the freelist.  Growth stops once the working set is
+    // covered — node_slots() plateaus in steady state.
+    const std::size_t old = nodes_.size();
+    const std::size_t grown = old + (old == 0 ? 64 : old);
+    nodes_.resize(grown);
+    for (std::size_t i = grown; i-- > old;) {
+      nodes_[i].next = free_head_;
+      free_head_ = static_cast<std::uint32_t>(i);
+    }
+  }
+  const std::uint32_t n = free_head_;
+  free_head_ = nodes_[n].next;
+  return n;
+}
+
+void BsScheduler::mark_backlogged(std::size_t user, bool backlogged) {
+  std::uint64_t& word = backlog_bits_[user >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (user & 63);
+  if (backlogged) {
+    word |= bit;
+  } else {
+    word &= ~bit;
+  }
+}
+
+std::size_t BsScheduler::next_backlogged(std::size_t from) const {
+  const std::size_t n = users_.size();
+  if (from >= n) return npos;
+  std::size_t w = from >> 6;
+  std::uint64_t word = backlog_bits_[w] & (~std::uint64_t{0} << (from & 63));
+  while (true) {
+    if (word != 0) {
+      const std::size_t u = (w << 6) +
+                            static_cast<std::size_t>(std::countr_zero(word));
+      return u < n ? u : npos;
+    }
+    if (++w >= backlog_bits_.size()) return npos;
+    word = backlog_bits_[w];
+  }
+}
+
+std::size_t BsScheduler::next_backlogged_cyclic() const {
+  const std::size_t u = next_backlogged(rr_cursor_ % users_.size());
+  return u != npos ? u : next_backlogged(0);
 }
 
 void BsScheduler::enqueue(std::size_t user, net::PacketRef datagram) {
-  assert(user < queues_.size());
-  if (queues_[user].size() >= cfg_.queue_datagrams) {
+  assert(user < users_.size());
+  UserState& u = users_[user];
+  if (u.size >= cfg_.queue_datagrams) {
     ++stats_.dropped;
     return;
   }
   ++stats_.enqueued;
-  queues_[user].push_back(std::move(datagram));
-  if (cfg_.policy == SchedPolicy::kFifo) fifo_order_.push_back(user);
+  const std::uint32_t n = alloc_node();
+  nodes_[n].pkt = std::move(datagram);
+  nodes_[n].next = kNil;
+  if (u.tail == kNil) {
+    u.head = n;
+  } else {
+    nodes_[u.tail].next = n;
+  }
+  u.tail = n;
+  if (u.size++ == 0) mark_backlogged(user, true);
+  ++total_backlog_;
+  if (cfg_.policy == SchedPolicy::kFifo) {
+    if (fifo_tail_ - fifo_head_ == fifo_ring_.size()) {
+      // Grow to the next power of two, compacting live entries to the
+      // front so head/tail masking stays valid.
+      std::vector<std::uint32_t> bigger(
+          fifo_ring_.empty() ? 64 : fifo_ring_.size() * 2);
+      const std::size_t live = fifo_tail_ - fifo_head_;
+      for (std::size_t i = 0; i < live; ++i) {
+        bigger[i] = fifo_ring_[(fifo_head_ + i) & (fifo_ring_.size() - 1)];
+      }
+      fifo_ring_ = std::move(bigger);
+      fifo_head_ = 0;
+      fifo_tail_ = live;
+    }
+    fifo_ring_[fifo_tail_++ & (fifo_ring_.size() - 1)] =
+        static_cast<std::uint32_t>(user);
+  }
   pump();
 }
 
@@ -42,44 +132,75 @@ void BsScheduler::on_resolved(std::size_t user) {
 }
 
 std::size_t BsScheduler::total_backlog() const {
-  std::size_t n = 0;
-  for (const auto& q : queues_) n += q.size();
-  return n;
+  WTCP_AUDIT_ONLY({
+    std::size_t recount = 0;
+    for (const UserState& u : users_) recount += u.size;
+    WTCP_AUDIT_CHECK(recount == total_backlog_, "bs-sched", "backlog_counter",
+                     "maintained total_backlog_ != sum of per-user sizes");
+  })
+  return total_backlog_;
+}
+
+net::PacketRef BsScheduler::pop_head(std::size_t user) {
+  UserState& u = users_[user];
+  assert(u.head != kNil);
+  const std::uint32_t n = u.head;
+  net::PacketRef pkt = std::move(nodes_[n].pkt);
+  u.head = nodes_[n].next;
+  if (u.head == kNil) u.tail = kNil;
+  nodes_[n].next = free_head_;
+  free_head_ = n;
+  --u.size;
+  --total_backlog_;
+  if (u.size == 0) mark_backlogged(user, false);
+  return pkt;
 }
 
 std::size_t BsScheduler::pick() {
-  const std::size_t users = queues_.size();
+  const std::size_t users = users_.size();
   switch (cfg_.policy) {
     case SchedPolicy::kFifo: {
-      while (!fifo_order_.empty() && queues_[fifo_order_.front()].empty()) {
-        fifo_order_.pop_front();  // stale entries from other policies
+      while (fifo_head_ != fifo_tail_ &&
+             users_[fifo_ring_[fifo_head_ & (fifo_ring_.size() - 1)]].size ==
+                 0) {
+        ++fifo_head_;  // stale entries (queue emptied out of band)
       }
-      return fifo_order_.empty() ? npos : fifo_order_.front();
+      return fifo_head_ == fifo_tail_
+                 ? npos
+                 : fifo_ring_[fifo_head_ & (fifo_ring_.size() - 1)];
     }
     case SchedPolicy::kRoundRobin: {
-      for (std::size_t i = 0; i < users; ++i) {
-        const std::size_t u = (rr_cursor_ + i) % users;
-        if (!queues_[u].empty()) {
-          rr_cursor_ = (u + 1) % users;
-          return u;
-        }
-      }
-      return npos;
+      const std::size_t u = next_backlogged_cyclic();
+      if (u != npos) rr_cursor_ = (u + 1) % users;
+      return u;
     }
     case SchedPolicy::kCsdRoundRobin: {
       assert(probe_ && "CSD scheduling requires a channel probe");
-      bool any_backlogged = false;
-      for (std::size_t i = 0; i < users; ++i) {
-        const std::size_t u = (rr_cursor_ + i) % users;
-        if (queues_[u].empty()) continue;
-        any_backlogged = true;
-        if (probe_(u)) {
-          rr_cursor_ = (u + 1) % users;
-          return u;
+      if (total_backlog_ > 0) {
+        // One cyclic lap over BACKLOGGED users only (the probe reads
+        // channel state and never touches queues, so the bitmap is
+        // stable across the walk).  Visit order matches the historical
+        // all-users scan: ascending ids, cyclic from rr_cursor_.
+        const std::size_t cursor = rr_cursor_ % users;
+        const std::size_t start = next_backlogged_cyclic();
+        std::size_t u = start;
+        bool wrapped = start < cursor;
+        while (u != npos) {
+          if (probe_(u)) {
+            rr_cursor_ = (u + 1) % users;
+            return u;
+          }
+          ++stats_.csd_skips;
+          std::size_t v = next_backlogged(u + 1);
+          if (v == npos && !wrapped) {
+            wrapped = true;
+            v = next_backlogged(0);
+          }
+          if (v == npos || (wrapped && v >= cursor) || v == start) {
+            break;  // completed the lap
+          }
+          u = v;
         }
-        ++stats_.csd_skips;
-      }
-      if (any_backlogged) {
         // Every backlogged user is in a fade: defer and re-probe rather
         // than burn shared airtime on doomed transmissions.
         ++stats_.csd_deferrals;
@@ -90,8 +211,41 @@ std::size_t BsScheduler::pick() {
       }
       return npos;
     }
+    case SchedPolicy::kDeficitRoundRobin:
+      return pick_dwrr();
   }
   return npos;
+}
+
+std::size_t BsScheduler::pick_dwrr() {
+  if (total_backlog_ == 0) return npos;
+  // A user's service turn lasts while its banked byte credit covers the
+  // head datagram; credit is earned (quantum x weight) when the turn
+  // starts and forfeited when its queue drains.  The loop terminates
+  // because every visit banks at least one quantum for some backlogged
+  // user, so a head datagram is eventually affordable.
+  while (true) {
+    if (dwrr_current_ == npos) {
+      dwrr_current_ = next_backlogged_cyclic();
+      if (dwrr_current_ == npos) return npos;
+      UserState& t = users_[dwrr_current_];
+      t.deficit += cfg_.dwrr_quantum_bytes * t.weight;
+    }
+    UserState& u = users_[dwrr_current_];
+    if (u.size == 0) {
+      // Drained mid-turn (resolutions interleave under the outstanding
+      // limit): unused credit is forfeited so an idle user cannot hoard
+      // airtime.
+      u.deficit = 0;
+      rr_cursor_ = (dwrr_current_ + 1) % users_.size();
+      dwrr_current_ = npos;
+      continue;
+    }
+    if (u.deficit >= nodes_[u.head].pkt->size_bytes) return dwrr_current_;
+    // Credit too small for the head datagram: bank it, end the turn.
+    rr_cursor_ = (dwrr_current_ + 1) % users_.size();
+    dwrr_current_ = npos;
+  }
 }
 
 void BsScheduler::pump() {
@@ -99,11 +253,18 @@ void BsScheduler::pump() {
   while (outstanding_ < cfg_.max_outstanding) {
     const std::size_t user = pick();
     if (user == npos) return;
-    net::PacketRef datagram = std::move(queues_[user].front());
-    queues_[user].pop_front();
-    if (cfg_.policy == SchedPolicy::kFifo && !fifo_order_.empty() &&
-        fifo_order_.front() == user) {
-      fifo_order_.pop_front();
+    net::PacketRef datagram = pop_head(user);
+    if (cfg_.policy == SchedPolicy::kFifo && fifo_head_ != fifo_tail_ &&
+        fifo_ring_[fifo_head_ & (fifo_ring_.size() - 1)] == user) {
+      ++fifo_head_;
+    } else if (cfg_.policy == SchedPolicy::kDeficitRoundRobin) {
+      UserState& u = users_[user];
+      u.deficit -= datagram->size_bytes;
+      if (u.size == 0) {
+        u.deficit = 0;
+        rr_cursor_ = (user + 1) % users_.size();
+        dwrr_current_ = npos;
+      }
     }
     ++outstanding_;
     ++stats_.released;

@@ -6,11 +6,18 @@
 // datagram addressed to a user in a fade blocks airtime every other user
 // could have used; round-robin isolates users; channel-state-dependent
 // (CSD) round-robin additionally skips users whose channel is currently
-// bad, spending airtime only where it can succeed.
+// bad, spending airtime only where it can succeed; deficit-weighted
+// round-robin (DWRR) additionally makes the service share byte-accurate
+// and weightable per user.
+//
+// Built for cells with 10k+ users: per-user queues are intrusive lists
+// threaded through one shared node slab (chunk-grown freelist, so steady
+// state enqueues allocate nothing), backlogged users are tracked in a
+// bitmap, and every pick walks only backlogged users — O(backlogged per
+// pass), never O(K).  total_backlog() is a maintained counter.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -23,6 +30,7 @@ enum class SchedPolicy : std::uint8_t {
   kFifo,          ///< one global queue, strict arrival order
   kRoundRobin,    ///< per-user queues, cyclic service
   kCsdRoundRobin, ///< round-robin over users whose channel probe says GOOD
+  kDeficitRoundRobin, ///< DWRR: byte-accurate weighted cyclic service
 };
 
 const char* to_string(SchedPolicy p);
@@ -39,6 +47,10 @@ struct BsSchedulerConfig {
   /// re-probe after this long ("accuracy of the channel state predictor").
   sim::Time probe_interval = sim::Time::milliseconds(50);
   std::size_t queue_datagrams = 4096;  ///< per-user queue bound
+  /// DWRR: bytes of credit a backlogged user earns per scheduler visit
+  /// (scaled by its weight).  One paper-sized packet by default, so equal
+  /// weights degenerate to packet-by-packet round-robin.
+  std::int64_t dwrr_quantum_bytes = 1536;
 };
 
 struct BsSchedulerStats {
@@ -60,9 +72,17 @@ class BsScheduler {
   using ChannelProbe = std::function<bool(std::size_t user)>;
 
   BsScheduler(sim::Simulator& sim, BsSchedulerConfig cfg, std::size_t users);
+  ~BsScheduler();
+
+  BsScheduler(const BsScheduler&) = delete;
+  BsScheduler& operator=(const BsScheduler&) = delete;
 
   void set_release(Release release) { release_ = std::move(release); }
   void set_channel_probe(ChannelProbe probe) { probe_ = std::move(probe); }
+
+  /// DWRR service weight for `user` (default 1; must be >= 1).  A user
+  /// with weight w earns w quanta of byte credit per scheduler visit.
+  void set_weight(std::size_t user, std::uint32_t weight);
 
   /// Queue a datagram for `user` and serve if the radio has room.
   void enqueue(std::size_t user, net::PacketRef datagram);
@@ -71,16 +91,50 @@ class BsScheduler {
   /// discarded it); frees an outstanding slot and serves the next.
   void on_resolved(std::size_t user);
 
-  std::size_t backlog(std::size_t user) const { return queues_[user].size(); }
+  std::size_t backlog(std::size_t user) const { return users_[user].size; }
+  /// Queued (not yet released) datagrams across all users.  Maintained
+  /// incrementally — O(1), audited against a recount under WTCP_AUDIT.
   std::size_t total_backlog() const;
   std::int32_t outstanding() const { return outstanding_; }
+  /// DWRR byte credit currently banked for `user` (tests/diagnostics).
+  std::int64_t deficit(std::size_t user) const { return users_[user].deficit; }
+  /// Queue-node slots ever allocated (chunk growth; plateaus after
+  /// warm-up — the many-flow steady-state-allocation regression tests
+  /// assert on this, like PacketPool::allocs).
+  std::size_t node_slots() const { return nodes_.size(); }
   const BsSchedulerStats& stats() const { return stats_; }
   const BsSchedulerConfig& config() const { return cfg_; }
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// One queued datagram: intrusive singly-linked per-user FIFO threaded
+  /// through the shared slab.
+  struct Node {
+    net::PacketRef pkt;
+    std::uint32_t next = kNil;
+  };
+
+  struct UserState {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+    std::uint32_t size = 0;
+    std::uint32_t weight = 1;
+    std::int64_t deficit = 0;  ///< DWRR byte credit
+  };
+
   void pump();
   /// Pick the next user to serve, or npos if none is eligible.
   std::size_t pick();
+  std::size_t pick_dwrr();
+  /// Pop the head datagram of `user`, maintaining slab/bitmap/counters.
+  net::PacketRef pop_head(std::size_t user);
+  std::uint32_t alloc_node();
+  /// First backlogged user at index >= from (no wrap), or npos.
+  std::size_t next_backlogged(std::size_t from) const;
+  /// First backlogged user cyclically from rr_cursor_, or npos.
+  std::size_t next_backlogged_cyclic() const;
+  void mark_backlogged(std::size_t user, bool backlogged);
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
@@ -88,9 +142,24 @@ class BsScheduler {
   BsSchedulerConfig cfg_;
   Release release_;
   ChannelProbe probe_;
-  std::vector<std::deque<net::PacketRef>> queues_;  ///< per-user
-  std::deque<std::size_t> fifo_order_;           ///< arrival order of users (kFifo)
+
+  std::vector<Node> nodes_;        ///< shared queue-node slab (chunk-grown)
+  std::uint32_t free_head_ = kNil; ///< slab freelist
+  std::vector<UserState> users_;
+  std::vector<std::uint64_t> backlog_bits_;  ///< bit set = nonempty queue
+  std::size_t total_backlog_ = 0;
+
+  /// Arrival order of users (kFifo): power-of-two ring buffer, grown by
+  /// doubling (plateaus after warm-up), one entry per queued datagram.
+  std::vector<std::uint32_t> fifo_ring_;
+  std::size_t fifo_head_ = 0;  ///< pop position (masked)
+  std::size_t fifo_tail_ = 0;  ///< push position (masked)
+
   std::size_t rr_cursor_ = 0;
+  /// DWRR: user currently holding the service turn, or npos.  Persists
+  /// across pump passes so an interrupted turn (outstanding limit)
+  /// resumes with its remaining byte credit.
+  std::size_t dwrr_current_ = npos;
   std::int32_t outstanding_ = 0;
   sim::EventId probe_timer_;
   BsSchedulerStats stats_;

@@ -96,11 +96,18 @@ bool DuplexLink::send(int from, PacketRef pkt, bool priority) {
 
 void DuplexLink::kick(int from) {
   Direction& d = dir(from);
-  if (d.busy) return;
-  if (cfg_.half_duplex && dir(1 - from).busy) return;  // channel occupied
-  if (cfg_.medium && cfg_.medium->busy()) return;      // shared radio occupied
-  if (d.queue.empty()) return;
-  start_transmission(from, d.queue.dequeue());
+  const bool blocked = d.busy || (cfg_.half_duplex && dir(1 - from).busy) ||
+                       (cfg_.medium && cfg_.medium->busy());
+  if (!blocked && !d.queue.empty()) {
+    start_transmission(from, d.queue.dequeue());
+  }
+  // Keep the medium's ready set in sync with the queue: a direction is
+  // offered the channel iff it still has frames waiting.  kick() runs
+  // after every enqueue and every transmission end, so this is the single
+  // maintenance point.
+  if (cfg_.medium) {
+    cfg_.medium->set_ready(waiter_ids_[from], !d.queue.empty());
+  }
 }
 
 void DuplexLink::start_transmission(int from, PacketRef pkt) {

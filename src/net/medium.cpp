@@ -1,5 +1,6 @@
 #include "src/net/medium.hpp"
 
+#include <bit>
 #include <cassert>
 
 namespace wtcp::net {
@@ -11,25 +12,76 @@ void Medium::acquire(std::size_t waiter_id) {
   if (waiter_id != kNoWaiter) next_ = waiter_id + 1;
 }
 
+namespace {
+
+/// First set bit at position >= from in `bits` (bit count `n`), or n.
+std::size_t find_set_from(const std::vector<std::uint64_t>& bits,
+                          std::size_t from, std::size_t n) {
+  if (from >= n) return n;
+  std::size_t w = from >> 6;
+  std::uint64_t word = bits[w] & (~std::uint64_t{0} << (from & 63));
+  while (true) {
+    if (word != 0) {
+      const std::size_t id = (w << 6) +
+                             static_cast<std::size_t>(std::countr_zero(word));
+      return id < n ? id : n;
+    }
+    if (++w >= bits.size()) return n;
+    word = bits[w];
+  }
+}
+
+}  // namespace
+
 void Medium::release() {
   assert(busy_);
   busy_ = false;
-  if (releasing_ || waiters_.empty()) return;
+  if (releasing_ || ready_count_ == 0) return;
   releasing_ = true;
-  // Offer the channel round-robin; stop at the first taker (it acquired
-  // the medium inside its waiter callback) or after one full sweep.
+  // Offer the channel to ready waiters in ascending-id order, cyclic from
+  // next_; stop at the first taker (it acquired the medium inside its
+  // waiter callback) or after one full lap.  A ready waiter normally
+  // accepts — its queue is nonempty and the channel is free — but a
+  // decliner is skipped for this lap (it keeps or clears its own ready
+  // bit from inside the callback).  The word-level bitmap scan touches
+  // only occupied words, so an idle 10k-direction cell costs nothing here.
   const std::size_t n = waiters_.size();
   const std::size_t start = next_ % n;
-  for (std::size_t i = 0; i < n && !busy_; ++i) {
-    const std::size_t idx = (start + i) % n;
+  std::size_t idx = find_set_from(ready_bits_, start, n);
+  if (idx == n) idx = find_set_from(ready_bits_, 0, n);
+  // At most n offers (one lap's worth): each offer either takes the
+  // channel or moves the scan past one ready waiter.  Ready bits can flip
+  // inside the callback, so the count — not the position — bounds the lap.
+  for (std::size_t offers = 0; idx < n && !busy_ && offers < n; ++offers) {
     if (waiters_[idx]()) break;  // taker updated next_ via acquire()
+    if (ready_count_ == 0) break;
+    std::size_t next_idx = find_set_from(ready_bits_, idx + 1, n);
+    if (next_idx == n) next_idx = find_set_from(ready_bits_, 0, n);
+    if (next_idx == idx) break;  // lone decliner: give up this lap
+    idx = next_idx;
   }
   releasing_ = false;
 }
 
 std::size_t Medium::add_waiter(Waiter waiter) {
   waiters_.push_back(std::move(waiter));
+  if (ready_bits_.size() * 64 < waiters_.size()) ready_bits_.push_back(0);
   return waiters_.size() - 1;
+}
+
+void Medium::set_ready(std::size_t id, bool want) {
+  assert(id < waiters_.size());
+  std::uint64_t& word = ready_bits_[id >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+  if (want) {
+    if (!(word & bit)) {
+      word |= bit;
+      ++ready_count_;
+    }
+  } else if (word & bit) {
+    word &= ~bit;
+    --ready_count_;
+  }
 }
 
 }  // namespace wtcp::net

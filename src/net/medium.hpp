@@ -6,6 +6,16 @@
 // When a transmission ends, waiting directions are served round-robin so
 // none starves.
 //
+// Service is driven by a ready set: a direction marks itself ready
+// (`set_ready`) while it has frames queued, and release() offers the
+// channel only to ready waiters, round-robin by waiter id.  With K mobile
+// hosts bound to one base-station radio the hand-off after each frame
+// costs O(backlogged directions), not O(K) — the difference between a
+// 4-user LAN and a 10k-flow cell.  The offer order is identical to the
+// historical full sweep (ids ascending, cyclic from just past the last
+// served direction), because a non-ready direction would have declined
+// the offer anyway.
+//
 // This models the single-channel wireless LAN of Bhagwat et al. [9] (the
 // CSDP scheduling study the paper cites), where a head-of-line packet to
 // a faded user blocks airtime that other users could have used.
@@ -33,13 +43,25 @@ class Medium {
   /// transmitted goes to the back of the service order).
   void acquire(std::size_t waiter_id = kNoWaiter);
 
-  /// Release and offer the medium to waiters, round-robin from after the
-  /// last served one.
+  /// Release and offer the medium to ready waiters, round-robin from
+  /// after the last served one.
   void release();
 
   /// Register a direction that may want to transmit.  Returns the waiter
-  /// slot id (stable; used only for diagnostics).
+  /// slot id; the direction passes it to acquire()/set_ready().  A new
+  /// waiter starts NOT ready — it is only offered the channel after
+  /// set_ready(id, true).
   std::size_t add_waiter(Waiter waiter);
+
+  /// Declare whether waiter `id` currently wants the channel (i.e. has a
+  /// frame queued).  Idempotent and O(1); directions call this after
+  /// every queue mutation.
+  void set_ready(std::size_t id, bool ready);
+
+  bool ready(std::size_t id) const {
+    return (ready_bits_[id >> 6] >> (id & 63)) & 1u;
+  }
+  std::size_t ready_count() const { return ready_count_; }
 
   std::uint64_t grants() const { return grants_; }
 
@@ -47,6 +69,8 @@ class Medium {
   bool busy_ = false;
   bool releasing_ = false;
   std::vector<Waiter> waiters_;
+  std::vector<std::uint64_t> ready_bits_;  ///< one bit per waiter slot
+  std::size_t ready_count_ = 0;
   std::size_t next_ = 0;  ///< round-robin cursor
   std::uint64_t grants_ = 0;
 };

@@ -30,29 +30,31 @@ GilbertElliottModel::GilbertElliottModel(GilbertElliottConfig cfg, sim::Rng rng)
   horizon_ = sim::Time::zero();
 }
 
+void GilbertElliottModel::extend_one() {
+  const ChannelState cur = segments_.back().state;
+  const double mean_s =
+      cur == ChannelState::kGood ? cfg_.mean_good_s : cfg_.mean_bad_s;
+  const sim::Time sojourn = sim::Time::from_seconds(rng_.exponential(mean_s));
+  // Guard against a zero-length sojourn from an extreme draw.
+  const sim::Time step = std::max(sojourn, sim::Time::nanoseconds(1));
+  const sim::Time seg_begin = horizon_;
+  horizon_ = seg_begin + step;
+  if (cur == ChannelState::kBad) sampled_bad_ += step;
+  const ChannelState next =
+      cur == ChannelState::kGood ? ChannelState::kBad : ChannelState::kGood;
+  segments_.push_back(Segment{horizon_, next});
+  // The sampled trajectory must strictly alternate GOOD/BAD with
+  // nondecreasing boundaries — a repeated state or a backwards segment
+  // would double-count sojourn time in the error integral.
+  WTCP_AUDIT_CHECK(segments_.back().state != cur &&
+                       segments_.back().begin >= seg_begin,
+                   "channel", "trajectory_alternates",
+                   "Gilbert-Elliott trajectory repeated a state or went "
+                   "backwards in time");
+}
+
 void GilbertElliottModel::extend_to(sim::Time until) {
-  while (horizon_ < until) {
-    const ChannelState cur = segments_.back().state;
-    const double mean_s =
-        cur == ChannelState::kGood ? cfg_.mean_good_s : cfg_.mean_bad_s;
-    const sim::Time sojourn = sim::Time::from_seconds(rng_.exponential(mean_s));
-    // Guard against a zero-length sojourn from an extreme draw.
-    const sim::Time step = std::max(sojourn, sim::Time::nanoseconds(1));
-    const sim::Time seg_begin = horizon_;
-    horizon_ = seg_begin + step;
-    if (cur == ChannelState::kBad) sampled_bad_ += step;
-    const ChannelState next =
-        cur == ChannelState::kGood ? ChannelState::kBad : ChannelState::kGood;
-    segments_.push_back(Segment{horizon_, next});
-    // The sampled trajectory must strictly alternate GOOD/BAD with
-    // nondecreasing boundaries — a repeated state or a backwards segment
-    // would double-count sojourn time in the error integral.
-    WTCP_AUDIT_CHECK(segments_.back().state != cur &&
-                         segments_.back().begin >= seg_begin,
-                     "channel", "trajectory_alternates",
-                     "Gilbert-Elliott trajectory repeated a state or went "
-                     "backwards in time");
-  }
+  while (horizon_ < until) extend_one();
 }
 
 void GilbertElliottModel::prune_before(sim::Time t) {
@@ -63,11 +65,21 @@ void GilbertElliottModel::prune_before(sim::Time t) {
 }
 
 ChannelState GilbertElliottModel::state_at(sim::Time t) {
-  extend_to(t + sim::Time::nanoseconds(1));
+  // Same-instant queries repeat when a scheduler probes one user's
+  // channel several times inside one pump pass; the trajectory is already
+  // sampled past `t` then, so answer from the memo without touching the
+  // deque (and provably without RNG draws).
+  if (memo_valid_ && t == memo_time_) return memo_state_;
   // Queries arrive in nondecreasing time order (same contract as
-  // corrupts_impl), so history before `t` is dead — dropping it here keeps
-  // the retained trajectory O(1) even for state_at-only users, who would
-  // otherwise accumulate one segment per sojourn for the whole run.
+  // corrupts_impl), so history before `t` is dead.  Pruning INSIDE the
+  // catch-up loop keeps the retained trajectory O(1) even while sampling
+  // across a long idle gap — a backlogless flow that goes unqueried for
+  // hours would otherwise materialize one segment per elapsed sojourn
+  // before the post-hoc prune could discard them.
+  while (horizon_ < t + sim::Time::nanoseconds(1)) {
+    extend_one();
+    prune_before(t);
+  }
   prune_before(t);
   assert(!segments_.empty() && segments_.front().begin <= t);
   ChannelState s = segments_.front().state;
@@ -75,6 +87,9 @@ ChannelState GilbertElliottModel::state_at(sim::Time t) {
     if (seg.begin > t) break;
     s = seg.state;
   }
+  memo_valid_ = true;
+  memo_time_ = t;
+  memo_state_ = s;
   return s;
 }
 

@@ -44,6 +44,12 @@ struct GilbertElliottConfig {
 /// Stochastic Gilbert-Elliott channel.  Samples the state trajectory lazily
 /// and remembers enough history to answer (possibly overlapping) airtime
 /// queries from both directions of a duplex link.
+///
+/// Pull-only: the model never schedules simulator events, so a cell with
+/// 10k idle channels costs the event core nothing — a channel's fades are
+/// materialized only when a frame airs on it or a scheduler probes it,
+/// and catch-up across a long unqueried gap prunes as it samples (O(1)
+/// retained segments, no per-sojourn buildup).
 class GilbertElliottModel final : public ErrorModel {
  public:
   GilbertElliottModel(GilbertElliottConfig cfg, sim::Rng rng);
@@ -79,6 +85,7 @@ class GilbertElliottModel final : public ErrorModel {
     ChannelState state;
   };
 
+  void extend_one();  ///< sample one more sojourn past the horizon
   void extend_to(sim::Time until);
   void prune_before(sim::Time t);
   /// Expected bit-error count for `bits` spread uniformly over [start, end).
@@ -93,6 +100,13 @@ class GilbertElliottModel final : public ErrorModel {
   sim::Time horizon_;             ///< trajectory is valid on [segments_.front().begin, horizon_)
   sim::Time sampled_bad_;
   sim::Time last_query_start_;
+  // state_at memo: CSD probes re-ask the same instant within one
+  // scheduler pass; answering from here skips the segment walk and is
+  // draw-free by construction (valid only once the horizon passed the
+  // memoized time, which the first query guaranteed).
+  bool memo_valid_ = false;
+  sim::Time memo_time_;
+  ChannelState memo_state_ = ChannelState::kGood;
 };
 
 /// Deterministic variant used for the paper's Figure 3-5 traces: the

@@ -1,9 +1,10 @@
 #include "src/topo/multi_scenario.hpp"
 
 #include <cassert>
-#include <unordered_map>
+#include <cstdio>
 #include <utility>
 
+#include "src/obs/probe.hpp"
 #include "src/sim/logging.hpp"
 
 namespace wtcp::topo {
@@ -39,6 +40,22 @@ double jain_fairness(const std::vector<double>& xs) {
   return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
 }
 
+namespace {
+
+/// Per-flow component label: prefix + "u<k>".  Stack buffer + snprintf
+/// keeps construction allocation-light (the short results then fit
+/// std::string's SSO), and the bytes are EXACTLY the historical
+/// `prefix + "u" + std::to_string(k)` — RNG streams are forked by label
+/// hash, so a one-byte drift would silently change every channel draw.
+std::string flow_label(const char* prefix, std::size_t k) {
+  char buf[48];
+  const int n = std::snprintf(buf, sizeof buf, "%su%zu", prefix, k);
+  assert(n > 0 && static_cast<std::size_t>(n) < sizeof buf);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
 MultiUserLanScenario::MultiUserLanScenario(MultiUserConfig cfg)
     : cfg_(std::move(cfg)), sim_(cfg_.seed), medium_(std::make_shared<net::Medium>()) {
   assert(cfg_.users >= 1);
@@ -65,101 +82,99 @@ MultiUserLanScenario::MultiUserLanScenario(MultiUserConfig cfg)
       [this](std::size_t user, net::PacketRef d) { release_to_user(user, std::move(d)); });
   sched_->set_channel_probe([this](std::size_t user) {
     if (!cfg_.channel_errors) return true;
-    return channels_[user]->state_at(sim_.now()) == phy::ChannelState::kGood;
+    return channels_[user].state_at(sim_.now()) == phy::ChannelState::kGood;
   });
 
-  // --- per-user radio links, interfaces, TCP endpoints -------------------
+  // --- per-user subsystem arenas ----------------------------------------
+  // One reservation per subsystem covers all K flows; construction below
+  // fills the slabs in flow order and nothing per-flow is heap-allocated
+  // afterwards.
   link::WirelessIfaceConfig wcfg;
   wcfg.local_recovery = cfg_.local_recovery;
   wcfg.arq = cfg_.arq;
   wcfg.frag.mtu_bytes = cfg_.wireless_mtu_bytes;
 
-  radio_links_.resize(cfg_.users);
-  pending_frags_.resize(cfg_.users);
-  channels_.resize(cfg_.users);
-  bs_wifis_.resize(cfg_.users);
-  mh_wifis_.resize(cfg_.users);
-  bs_uppers_.resize(cfg_.users);
-  mh_uppers_.resize(cfg_.users);
-  senders_.resize(cfg_.users);
-  sinks_.resize(cfg_.users);
-  ebsn_agents_.resize(cfg_.users);
+  radio_links_.reserve(cfg_.users);
+  if (cfg_.channel_errors) channels_.reserve(cfg_.users);
+  bs_wifis_.reserve(cfg_.users);
+  mh_wifis_.reserve(cfg_.users);
+  bs_uppers_.reserve(cfg_.users);
+  mh_uppers_.reserve(cfg_.users);
+  senders_.reserve(cfg_.users);
+  sinks_.reserve(cfg_.users);
+  if (cfg_.feedback == FeedbackMode::kEbsn) ebsn_agents_.reserve(cfg_.users);
+  pending_.reserve(static_cast<std::size_t>(cfg_.sched.max_outstanding));
 
   for (std::size_t k = 0; k < cfg_.users; ++k) {
     const net::NodeId mh = static_cast<net::NodeId>(2 + k);
-    const std::string tag = "u" + std::to_string(k);
 
     net::LinkConfig radio = cfg_.wireless;
-    radio.name = "radio-" + tag;
+    radio.name = flow_label("radio-", k);
     radio.medium = medium_;  // one base-station radio for everyone
-    radio_links_[k] = std::make_unique<net::DuplexLink>(sim_, radio);
+    net::DuplexLink& radio_link = radio_links_.emplace_back(sim_, radio);
     if (cfg_.channel_errors) {
-      channels_[k] = std::make_shared<phy::GilbertElliottModel>(
-          cfg_.channel, sim_.fork_rng("channel-" + tag));
-      radio_links_[k]->set_error_model(channels_[k]);
+      phy::GilbertElliottModel& ge = channels_.emplace_back(
+          cfg_.channel, sim_.fork_rng(flow_label("channel-", k)));
+      // Non-owning aliasing handle: the model lives in the slab for the
+      // scenario's whole lifetime, so the link does not need shared
+      // ownership (and per-flow control blocks would defeat the arena).
+      radio_link.set_error_model(
+          std::shared_ptr<phy::ErrorModel>(std::shared_ptr<void>(), &ge));
     }
 
     // TCP endpoints.
     tcp::TcpConfig tcfg = cfg_.tcp;
     tcfg.conn = k;
-    senders_[k] = std::make_unique<tcp::TcpSender>(sim_, tcfg, fh, mh, "src-" + tag);
-    senders_[k]->set_downstream(
+    tcp::TcpSender& snd =
+        senders_.emplace_back(sim_, tcfg, fh, mh, flow_label("src-", k));
+    snd.set_downstream(
         [this](net::PacketRef p) { wired_->send(0, std::move(p)); });
-    sinks_[k] = std::make_unique<tcp::TcpSink>(sim_, tcfg, mh, fh, "snk-" + tag);
-    sinks_[k]->set_downstream(
-        [this, k](net::PacketRef ack) { mh_wifis_[k]->send_datagram(std::move(ack)); });
-    sinks_[k]->on_complete = [this] {
+    tcp::TcpSink& snk =
+        sinks_.emplace_back(sim_, tcfg, mh, fh, flow_label("snk-", k));
+    snk.set_downstream(
+        [this, k](net::PacketRef ack) { mh_wifis_[k].send_datagram(std::move(ack)); });
+    snk.on_complete = [this] {
       if (++completed_ == cfg_.users) sim_.stop();
     };
 
     // Wireless interfaces.
-    mh_uppers_[k] = std::make_unique<net::CallbackSink>([this, k](net::PacketRef p) {
-      if (p->type == net::PacketType::kTcpData) sinks_[k]->handle_packet(std::move(p));
-    });
-    mh_wifis_[k] = std::make_unique<link::WirelessInterface>(
-        sim_, *radio_links_[k], 1, wcfg, "mh-wifi-" + tag, mh_uppers_[k].get());
+    net::CallbackSink& mh_upper =
+        mh_uppers_.emplace_back([this, k](net::PacketRef p) {
+          if (p->type == net::PacketType::kTcpData) sinks_[k].handle_packet(std::move(p));
+        });
+    mh_wifis_.emplace_back(sim_, radio_link, 1, wcfg, flow_label("mh-wifi-", k),
+                           &mh_upper);
 
-    bs_uppers_[k] = std::make_unique<net::CallbackSink>([this](net::PacketRef p) {
-      if (p->type == net::PacketType::kTcpAck) wired_->send(1, std::move(p));
-    });
-    bs_wifis_[k] = std::make_unique<link::WirelessInterface>(
-        sim_, *radio_links_[k], 0, wcfg, "bs-wifi-" + tag, bs_uppers_[k].get());
+    net::CallbackSink& bs_upper =
+        bs_uppers_.emplace_back([this](net::PacketRef p) {
+          if (p->type == net::PacketType::kTcpAck) wired_->send(1, std::move(p));
+        });
+    link::WirelessInterface& bs_wifi = bs_wifis_.emplace_back(
+        sim_, radio_link, 0, wcfg, flow_label("bs-wifi-", k), &bs_upper);
 
     // Datagram resolution -> scheduler slot release.  With LAN framing a
     // datagram is one fragment; the generic counter handles fragmentation
     // anyway.
     if (cfg_.local_recovery) {
-      auto& arq = bs_wifis_[k]->arq_sender();
+      auto& arq = bs_wifi.arq_sender();
       auto resolve = [this, k](const net::Packet& frame) {
-        auto& remaining = pending_frags_[k];
-        auto it = remaining.find(frame.frag->datagram_id);
-        if (it == remaining.end()) return;  // e.g. not scheduler-released
-        if (--it->second == 0) {
-          remaining.erase(it);
-          sched_->on_resolved(k);
-        }
+        resolve_fragment(k, frame.frag->datagram_id);
       };
       arq.on_delivered = resolve;
       arq.on_discard = resolve;
     } else {
-      radio_links_[k]->add_frame_observer(
+      radio_link.add_frame_observer(
           [this, k](int from, const net::Packet& frame, bool) {
             if (from != 0 || frame.type != net::PacketType::kLinkFragment) return;
-            auto& remaining = pending_frags_[k];
-            auto it = remaining.find(frame.frag->datagram_id);
-            if (it == remaining.end()) return;
-            if (--it->second == 0) {
-              remaining.erase(it);
-              sched_->on_resolved(k);
-            }
+            resolve_fragment(k, frame.frag->datagram_id);
           });
     }
 
     if (cfg_.feedback == FeedbackMode::kEbsn) {
-      ebsn_agents_[k] = std::make_unique<core::EbsnAgent>(
+      core::EbsnAgent& agent = ebsn_agents_.emplace_back(
           sim_, cfg_.ebsn, bs, fh,
           [this](net::PacketRef p) { wired_->send(1, std::move(p)); });
-      ebsn_agents_[k]->attach(bs_wifis_[k]->arq_sender());
+      agent.attach(bs_wifi.arq_sender());
     }
   }
 }
@@ -183,24 +198,46 @@ void MultiUserLanScenario::on_wired_at_fh(net::PacketRef pkt) {
   }
   const auto user = static_cast<std::size_t>(pkt->tcp->conn);
   assert(user < cfg_.users);
-  senders_[user]->handle_packet(std::move(pkt));
+  senders_[user].handle_packet(std::move(pkt));
 }
 
 void MultiUserLanScenario::release_to_user(std::size_t user, net::PacketRef datagram) {
   const link::WirelessInterface::SendInfo info =
-      bs_wifis_[user]->send_datagram(std::move(datagram));
+      bs_wifis_[user].send_datagram(std::move(datagram));
   // Resolution (ARQ delivered/discarded, or airtime ended without ARQ) is
   // reported per fragment; the scheduler slot frees when all fragments of
   // this datagram are resolved.
-  pending_frags_[user][info.datagram_id] = info.fragments;
+  assert(info.fragments >= 1);
+  pending_.push_back(PendingDatagram{static_cast<std::uint32_t>(user),
+                                     info.fragments, info.datagram_id});
+}
+
+void MultiUserLanScenario::resolve_fragment(std::size_t user,
+                                            std::uint64_t datagram_id) {
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    PendingDatagram& p = pending_[i];
+    if (p.user != user || p.datagram_id != datagram_id) continue;
+    if (--p.remaining == 0) {
+      p = pending_.back();  // order-free table: swap-remove
+      pending_.pop_back();
+      sched_->on_resolved(user);
+    }
+    return;
+  }
+  // Not found: a frame the scheduler never released (e.g. an uplink ACK's
+  // link-layer traffic) — nothing to account.
 }
 
 MultiUserMetrics MultiUserLanScenario::run() {
   assert(!ran_);
   ran_ = true;
-  for (auto& s : senders_) s->start_at(sim::Time::zero());
+  for (std::size_t k = 0; k < senders_.size(); ++k) {
+    senders_[k].start_at(sim::Time::zero());
+  }
   sim_.run(cfg_.horizon);
-  return collect();
+  MultiUserMetrics out = collect();
+  publish(out);
+  return out;
 }
 
 MultiUserMetrics MultiUserLanScenario::collect() const {
@@ -209,10 +246,11 @@ MultiUserMetrics MultiUserLanScenario::collect() const {
   sim::Time last_completion = sim::Time::zero();
   std::int64_t total_delivered_wire = 0;
   std::vector<double> rates;
+  rates.reserve(cfg_.users);
 
   for (std::size_t k = 0; k < cfg_.users; ++k) {
-    const auto& snd = senders_[k]->stats();
-    const auto& snk = sinks_[k]->stats();
+    const auto& snd = senders_[k].stats();
+    const auto& snk = sinks_[k].stats();
     stats::RunMetrics m;
     m.completed = snk.completed;
     m.duration = snk.completed ? snk.completion_time - snd.start_time
@@ -247,6 +285,26 @@ MultiUserMetrics MultiUserLanScenario::collect() const {
   out.csd_deferrals = sched_->stats().csd_deferrals;
   out.csd_skips = sched_->stats().csd_skips;
   return out;
+}
+
+void MultiUserLanScenario::publish(const MultiUserMetrics& m) {
+  if (!probes_) return;
+  // Fixed-slot aggregates only: K flows publish K histogram samples, not
+  // K probe names — probe-bus memory stays O(1) in the user count.
+  obs::set(probes_->gauge("multi.aggregate_throughput_bps"),
+           m.aggregate_throughput_bps);
+  obs::set(probes_->gauge("multi.fairness_jain"), m.fairness);
+  obs::set(probes_->gauge("multi.completed_users"),
+           static_cast<double>(m.completed_users));
+  obs::set(probes_->gauge("multi.duration_s"), m.duration.to_seconds());
+  obs::add(probes_->counter("multi.csd_skips"), m.csd_skips);
+  obs::add(probes_->counter("multi.csd_deferrals"), m.csd_deferrals);
+  obs::Histogram* rate_hist = probes_->histogram("multi.user_throughput_bps");
+  obs::Histogram* goodput_hist = probes_->histogram("multi.user_goodput");
+  for (const stats::RunMetrics& u : m.per_user) {
+    obs::record(rate_hist, u.throughput_bps);
+    obs::record(goodput_hist, u.goodput);
+  }
 }
 
 }  // namespace wtcp::topo

@@ -4,18 +4,25 @@
 // hosts over a single shared radio.  Each user's channel fades
 // independently (its own Gilbert-Elliott process), so the base station's
 // scheduling policy decides whether a faded user's head-of-line traffic
-// blocks everyone (FIFO) or not (round-robin / channel-state-dependent).
+// blocks everyone (FIFO) or not (round-robin / CSD / DWRR).
 //
 //          FH ==== wired ==== BS  ~~~radio~~~  MH_0 ... MH_{K-1}
 //        K senders          scheduler + per-user ARQ     K sinks
+//
+// Sized for 10k+ concurrent flows: every per-user subsystem lives in a
+// reserve-once FlowSlab arena (one allocation per subsystem, contiguous
+// per-flow state, no unique_ptr forest), flows are identified by their
+// numeric index everywhere past construction, and the steady-state
+// datapath allocates nothing per datagram.  The flat per-flow layout is
+// also what a future sharded (PDES) build would partition.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/core/ebsn.hpp"
+#include "src/core/flow_slab.hpp"
 #include "src/link/bs_scheduler.hpp"
 #include "src/link/wireless_link.hpp"
 #include "src/net/link.hpp"
@@ -26,6 +33,10 @@
 #include "src/tcp/tahoe_sender.hpp"
 #include "src/tcp/tcp_sink.hpp"
 #include "src/topo/scenario.hpp"  // FeedbackMode
+
+namespace wtcp::obs {
+class Registry;
+}
 
 namespace wtcp::topo {
 
@@ -73,19 +84,37 @@ class MultiUserLanScenario {
   MultiUserLanScenario(const MultiUserLanScenario&) = delete;
   MultiUserLanScenario& operator=(const MultiUserLanScenario&) = delete;
 
+  /// Publish run aggregates to `reg` when run() finishes (fixed-slot
+  /// probes only: scalars plus one histogram over per-flow rates, so a
+  /// 10k-flow cell allocates no per-flow probe names).  Optional; null
+  /// detaches.  Distinct from Simulator::set_probes, which instruments
+  /// the event core.
+  void set_probe_registry(obs::Registry* reg) { probes_ = reg; }
+
   MultiUserMetrics run();
 
   sim::Simulator& simulator() { return sim_; }
-  tcp::TcpSender& sender(std::size_t user) { return *senders_[user]; }
-  tcp::TcpSink& sink(std::size_t user) { return *sinks_[user]; }
+  tcp::TcpSender& sender(std::size_t user) { return senders_[user]; }
+  tcp::TcpSink& sink(std::size_t user) { return sinks_[user]; }
   link::BsScheduler& scheduler() { return *sched_; }
   const MultiUserConfig& config() const { return cfg_; }
 
  private:
+  /// One scheduler-released datagram whose fragments are still
+  /// unresolved.  Flat table scanned linearly: the global outstanding
+  /// limit bounds its size to max_outstanding entries, independent of K.
+  struct PendingDatagram {
+    std::uint32_t user;
+    std::int32_t remaining;
+    std::uint64_t datagram_id;
+  };
+
   void on_wired_at_bs(net::PacketRef pkt);
   void on_wired_at_fh(net::PacketRef pkt);
   void release_to_user(std::size_t user, net::PacketRef datagram);
+  void resolve_fragment(std::size_t user, std::uint64_t datagram_id);
   MultiUserMetrics collect() const;
+  void publish(const MultiUserMetrics& m);
 
   MultiUserConfig cfg_;
   sim::Simulator sim_;
@@ -97,19 +126,21 @@ class MultiUserLanScenario {
 
   std::unique_ptr<link::BsScheduler> sched_;
 
-  // Per-user plumbing.
-  std::vector<std::unique_ptr<net::DuplexLink>> radio_links_;
-  std::vector<std::shared_ptr<phy::GilbertElliottModel>> channels_;
-  std::vector<std::unique_ptr<link::WirelessInterface>> bs_wifis_;
-  std::vector<std::unique_ptr<link::WirelessInterface>> mh_wifis_;
-  std::vector<std::unique_ptr<net::CallbackSink>> bs_uppers_;
-  std::vector<std::unique_ptr<net::CallbackSink>> mh_uppers_;
-  std::vector<std::unique_ptr<tcp::TcpSender>> senders_;
-  std::vector<std::unique_ptr<tcp::TcpSink>> sinks_;
-  std::vector<std::unique_ptr<core::EbsnAgent>> ebsn_agents_;
-  /// Per user: datagram id -> fragments still unresolved (scheduler slots).
-  std::vector<std::unordered_map<std::uint64_t, std::int32_t>> pending_frags_;
+  // Per-user subsystems, one contiguous reserve-once arena each (indexed
+  // by flow id; addresses pinned, so components capture `this` freely).
+  core::FlowSlab<net::DuplexLink> radio_links_;
+  core::FlowSlab<phy::GilbertElliottModel> channels_;
+  core::FlowSlab<link::WirelessInterface> bs_wifis_;
+  core::FlowSlab<link::WirelessInterface> mh_wifis_;
+  core::FlowSlab<net::CallbackSink> bs_uppers_;
+  core::FlowSlab<net::CallbackSink> mh_uppers_;
+  core::FlowSlab<tcp::TcpSender> senders_;
+  core::FlowSlab<tcp::TcpSink> sinks_;
+  core::FlowSlab<core::EbsnAgent> ebsn_agents_;  ///< kEbsn mode only
 
+  std::vector<PendingDatagram> pending_;  ///< <= sched.max_outstanding live
+
+  obs::Registry* probes_ = nullptr;
   std::size_t completed_ = 0;
   bool ran_ = false;
 };

@@ -108,6 +108,98 @@ TEST_F(SchedTest, CsdDefersWhenAllBadAndReprobes) {
   EXPECT_LE(sim_.now(), sim::Time::milliseconds(100));
 }
 
+TEST_F(SchedTest, CsdProbesOnlyBackloggedInCyclicOrder) {
+  BsSchedulerConfig cfg;
+  cfg.policy = SchedPolicy::kCsdRoundRobin;
+  cfg.max_outstanding = 1;
+  build(cfg, 4);
+  // Override the fixture probe with a recording one: CSD must probe
+  // BACKLOGGED users only, in cyclic order from the cursor — an idle
+  // user's channel is never touched (that's what makes a 10k-flow cell
+  // with a handful of backlogged users cheap).
+  std::vector<std::size_t> probed;
+  sched_->set_channel_probe([this, &probed](std::size_t user) {
+    probed.push_back(user);
+    return good_[user];
+  });
+  // Fill the single outstanding slot so the next enqueues queue up
+  // without triggering picks.
+  sched_->enqueue(3, dgram(sim_.packet_pool(), 3));
+  EXPECT_EQ(probed, (std::vector<std::size_t>{3}));
+  probed.clear();
+  good_ = {true, false, false, true};
+  sched_->enqueue(1, dgram(sim_.packet_pool(), 1));
+  sched_->enqueue(2, dgram(sim_.packet_pool(), 2));
+  sched_->enqueue(3, dgram(sim_.packet_pool(), 3));
+  EXPECT_TRUE(probed.empty());  // slot busy: no picks, no probes
+  // Resolution triggers one lap from the cursor (wrapped to 0): user 0
+  // is idle and must not be probed; 1 and 2 are faded (one csd_skip
+  // each); 3 is served.
+  sched_->on_resolved(3);
+  EXPECT_EQ(probed, (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(releases_, (std::vector<std::size_t>{3, 3}));
+  EXPECT_EQ(sched_->stats().csd_skips, 2u);
+  // Next lap probes only the two remaining backlogged users, finds all
+  // bad, and defers to the probe timer.
+  probed.clear();
+  sched_->on_resolved(3);
+  EXPECT_EQ(probed, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(releases_, (std::vector<std::size_t>{3, 3}));
+  EXPECT_EQ(sched_->stats().csd_deferrals, 1u);
+}
+
+TEST_F(SchedTest, DwrrBanksDeficitAcrossLaps) {
+  BsSchedulerConfig cfg;
+  cfg.policy = SchedPolicy::kDeficitRoundRobin;
+  cfg.max_outstanding = 1;
+  cfg.dwrr_quantum_bytes = 1536;  // 2.66 datagrams of 576 wire bytes
+  build(cfg, 3);
+  // Plug the single outstanding slot with user 2 so users 0 and 1 build
+  // full queues before the first DWRR lap.
+  sched_->enqueue(2, dgram(sim_.packet_pool(), 2));
+  for (int i = 0; i < 6; ++i) {
+    sched_->enqueue(0, dgram(sim_.packet_pool(), 0));
+    sched_->enqueue(1, dgram(sim_.packet_pool(), 1));
+  }
+  for (int i = 0; i < 12; ++i) sched_->on_resolved(releases_.back());
+  // Lap 1 grants 1536 bytes -> 2 datagrams each, banking 384; lap 2's
+  // bank of 1920 covers 3; the final lap drains the leftovers.  The
+  // banked remainder is what distinguishes DWRR from plain round-robin.
+  EXPECT_EQ(releases_, (std::vector<std::size_t>{2, 0, 0, 1, 1, 0, 0, 0, 1,
+                                                 1, 1, 0, 1}));
+}
+
+TEST_F(SchedTest, DwrrWeightScalesQuantum) {
+  BsSchedulerConfig cfg;
+  cfg.policy = SchedPolicy::kDeficitRoundRobin;
+  cfg.max_outstanding = 1;
+  cfg.dwrr_quantum_bytes = 1536;
+  build(cfg, 3);
+  sched_->set_weight(1, 2);  // user 1 earns 3072 bytes per lap
+  sched_->enqueue(2, dgram(sim_.packet_pool(), 2));
+  for (int i = 0; i < 6; ++i) {
+    sched_->enqueue(0, dgram(sim_.packet_pool(), 0));
+    sched_->enqueue(1, dgram(sim_.packet_pool(), 1));
+  }
+  for (int i = 0; i < 12; ++i) sched_->on_resolved(releases_.back());
+  // 3072 bytes covers 5 datagrams per lap for user 1 against user 0's 2.
+  EXPECT_EQ(releases_, (std::vector<std::size_t>{2, 0, 0, 1, 1, 1, 1, 1, 0,
+                                                 0, 0, 1, 0}));
+}
+
+TEST_F(SchedTest, DwrrForfeitsDeficitWhenQueueDrains) {
+  BsSchedulerConfig cfg;
+  cfg.policy = SchedPolicy::kDeficitRoundRobin;
+  cfg.max_outstanding = 1;
+  cfg.dwrr_quantum_bytes = 10'000;
+  build(cfg, 2);
+  sched_->enqueue(0, dgram(sim_.packet_pool(), 0));
+  EXPECT_EQ(releases_, (std::vector<std::size_t>{0}));
+  // The queue drained with 9424 bytes of credit left; an idle user may
+  // not bank it (else a long-idle flow would burst on return).
+  EXPECT_EQ(sched_->deficit(0), 0);
+}
+
 TEST_F(SchedTest, PerUserQueueBound) {
   BsSchedulerConfig cfg;
   cfg.policy = SchedPolicy::kRoundRobin;

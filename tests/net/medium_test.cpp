@@ -25,37 +25,66 @@ TEST(Medium, AcquireRelease) {
 TEST(Medium, ReleaseOffersWaitersRoundRobin) {
   Medium m;
   std::vector<int> served;
-  // Waiters that take the medium once each.
-  bool want[3] = {true, true, true};
+  // Waiters that take the medium once each, clearing their ready bit as
+  // a real direction does when its queue drains.
   for (int i = 0; i < 3; ++i) {
-    m.add_waiter([&m, &served, &want, i] {
-      if (!want[i]) return false;
-      want[i] = false;
+    const std::size_t id = m.add_waiter([&m, &served, i] {
       served.push_back(i);
-      m.acquire();
+      m.set_ready(static_cast<std::size_t>(i), false);
+      m.acquire(static_cast<std::size_t>(i));
       return true;
     });
+    m.set_ready(id, true);
   }
+  EXPECT_EQ(m.ready_count(), 3u);
   m.acquire();          // initial holder
   m.release();          // -> waiter 0 takes it
   m.release();          // -> waiter 1
   m.release();          // -> waiter 2
   EXPECT_EQ(served, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(m.ready_count(), 0u);
 }
 
 TEST(Medium, SkipsDecliningWaiters) {
   Medium m;
   int taken = -1;
-  m.add_waiter([] { return false; });
-  m.add_waiter([&] {
+  const std::size_t decliner = m.add_waiter([] { return false; });
+  const std::size_t taker = m.add_waiter([&] {
     taken = 1;
     m.acquire();
     return true;
   });
+  m.set_ready(decliner, true);
+  m.set_ready(taker, true);
   m.acquire();
   m.release();
   EXPECT_EQ(taken, 1);
   EXPECT_TRUE(m.busy());
+}
+
+// A waiter that never declares itself ready is never offered the channel,
+// no matter how many times the medium turns over.
+TEST(Medium, NotReadyWaitersAreNeverOffered) {
+  Medium m;
+  int offers_to_idle = 0;
+  m.add_waiter([&] {
+    ++offers_to_idle;
+    return false;
+  });
+  const std::size_t busy_id = m.add_waiter([&] {
+    m.acquire(busy_id);
+    return true;
+  });
+  m.set_ready(busy_id, true);
+  m.acquire();
+  m.release();  // only the ready waiter is offered
+  EXPECT_EQ(offers_to_idle, 0);
+  EXPECT_TRUE(m.busy());
+  m.set_ready(busy_id, false);
+  m.release();  // nobody ready: channel just goes idle
+  EXPECT_EQ(offers_to_idle, 0);
+  EXPECT_FALSE(m.busy());
+  EXPECT_EQ(m.ready_count(), 0u);
 }
 
 // Two links bound to one medium: transmissions serialize across links.

@@ -186,6 +186,35 @@ TEST(StochasticGE, RetainedTrajectoryStaysBounded) {
   EXPECT_LE(max_retained, 8u);
 }
 
+TEST(StochasticGE, SingleLongGapCatchUpPrunesWhileSampling) {
+  // A flow in a 10k-user cell can go unqueried for hours, then get one
+  // probe.  The catch-up across that whole gap must prune as it samples:
+  // materializing ~3600 sojourns and discarding them afterwards would
+  // still spike memory by the full gap's trajectory.
+  GilbertElliottConfig cfg = paper_wan();
+  cfg.mean_bad_s = 1;  // ~2900 sojourns across 4 hours
+  GilbertElliottModel m(cfg, sim::Rng(17));
+  (void)m.state_at(sim::Time::seconds(1));
+  (void)m.state_at(sim::Time::seconds(4 * 3600));  // one giant jump
+  EXPECT_LE(m.retained_segments(), 4u);
+  EXPECT_GE(m.sampled_until(), sim::Time::seconds(4 * 3600));
+}
+
+TEST(StochasticGE, SameInstantProbeIsMemoizedAndDrawFree) {
+  // A CSD scheduler pass probes the same user's channel several times at
+  // one simulation instant.  Repeat queries must return the identical
+  // state without extending the trajectory (no RNG draws), or probing
+  // would perturb the run.
+  GilbertElliottModel m(paper_wan(), sim::Rng(8));
+  const sim::Time t = sim::Time::seconds(123);
+  const ChannelState first = m.state_at(t);
+  const sim::Time horizon = m.sampled_until();
+  const std::size_t retained = m.retained_segments();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(m.state_at(t), first);
+  EXPECT_EQ(m.sampled_until(), horizon);
+  EXPECT_EQ(m.retained_segments(), retained);
+}
+
 // Property sweep: sampled bad fraction tracks mean_bad over a range.
 class GeBadFractionSweep : public ::testing::TestWithParam<double> {};
 
