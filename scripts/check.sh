@@ -3,6 +3,7 @@
 # static-analysis tiers):
 #
 #   0. lint                — clang-tidy (or strict-warning fallback) +
+#                            wtcp-lint (in-tree scope-aware analyzer) +
 #                            determinism lint (scripts/lint.sh)
 #   1. release build + full tests, then the resilience gate: an
 #      interrupted-then-resumed wtcpsim sweep must be byte-identical to an
@@ -33,7 +34,7 @@ run() {
 
 EXTRA_CTEST_ARGS=("$@")
 
-echo "=== lint: clang-tidy + determinism ==="
+echo "=== lint: clang-tidy + wtcp-lint + determinism ==="
 scripts/lint.sh
 
 echo

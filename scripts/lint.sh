@@ -1,14 +1,22 @@
 #!/usr/bin/env bash
-# Static analysis entry point (Tiers 1 and 2 — see docs/static-analysis.md).
+# Static analysis entry point (Tiers 1, 1.5 and 2 — docs/static-analysis.md).
 #
-#   Tier 1: clang-tidy over src/ bench/ tests/ via compile_commands.json,
-#           using the project .clang-tidy (WarningsAsErrors: '*' — any
-#           diagnostic fails).  When clang-tidy is not installed, the tier
-#           degrades to a strict compiler-warning build (-DWTCP_LINT=ON
-#           -DWTCP_WERROR=ON: -Wshadow is project-wide already, the lint
-#           tier adds -Wnon-virtual-dtor -Wsuggest-override -Wextra-semi
-#           -Wundef -Wformat=2) so the gate still bites everywhere.
-#   Tier 2: scripts/lint_determinism.py — bit-reproducibility hazards.
+#   Tier 1:   clang-tidy over src/ bench/ tests/ via compile_commands.json,
+#             using the project .clang-tidy (WarningsAsErrors: '*' — any
+#             diagnostic fails).  When clang-tidy is not installed, the tier
+#             degrades to a strict compiler-warning build (-DWTCP_LINT=ON
+#             -DWTCP_WERROR=ON: -Wshadow is project-wide already, the lint
+#             tier adds -Wnon-virtual-dtor -Wsuggest-override -Wextra-semi
+#             -Wundef -Wformat=2) so the gate still bites everywhere.
+#   Tier 1.5: tools/wtcp-lint — the in-tree scope-aware analyzer
+#             (use-after-move, deferred-capture discipline, audit purity,
+#             determinism incl. alias laundering, probe-name drift) over
+#             src/ bench/ tests/ examples/ against the structured
+#             allowlist scripts/lint_allowlist.txt.  A tool that fails to
+#             BUILD fails the lint — a broken analyzer must never read as
+#             a clean tree.
+#   Tier 2:   scripts/lint_determinism.py — defers to wtcp-lint when the
+#             binary exists; regex fallback otherwise.
 #
 # Usage: scripts/lint.sh [build-dir]
 #   build-dir (default: build-lint) is configured on demand.
@@ -49,8 +57,22 @@ else
 fi
 
 echo
+echo "=== tier 1.5: wtcp-lint (scope-aware analyzer) ==="
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DWTCP_LINT=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+if cmake --build "$BUILD_DIR" -j"$(nproc)" --target wtcp-lint; then
+  "$BUILD_DIR/tools/wtcp-lint/wtcp-lint" --root . || STATUS=1
+else
+  echo "lint: wtcp-lint failed to build" >&2
+  STATUS=1
+fi
+
+echo
 echo "=== tier 2: determinism lint ==="
-python3 scripts/lint_determinism.py || STATUS=1
+WTCP_LINT_BIN="$BUILD_DIR/tools/wtcp-lint/wtcp-lint" \
+  python3 scripts/lint_determinism.py || STATUS=1
 
 if [[ $STATUS -ne 0 ]]; then
   echo "lint: FAILED" >&2

@@ -1,47 +1,69 @@
 #!/usr/bin/env python3
-"""Tier-2 determinism lint (see docs/static-analysis.md).
+"""Tier-2 determinism lint — thin wrapper over wtcp-lint.
 
-Every simulation run must be bit-reproducible across seeds and --jobs
-widths: all randomness flows from sim::Rng streams forked off the run's
-seed, and nothing may depend on wall-clock time or memory addresses.
-This lint bans the constructs that historically break that:
+The scope-aware analyzer in tools/wtcp-lint/ (Tier 1.5, see
+docs/static-analysis.md) owns these checks now: it is comment- and
+string-correct, sees through alias laundering (`using clk =
+std::chrono::steady_clock`), and catches range-for iteration over
+unordered members — none of which a line regex can do.  When a built
+`wtcp-lint` binary is available (``$WTCP_LINT_BIN`` or any
+``build*/tools/wtcp-lint/wtcp-lint`` under the repo), this script defers
+to it with ``--only <determinism checks>``.
+
+The regex fallback below is kept only for environments with no build
+directory at all (e.g. a docs-only checkout).  It bans:
 
   libc-rand          rand()/srand()/drand48() — unseeded/global-state RNG
   random-device      std::random_device — hardware entropy, differs per run
   wall-clock         time(...) — wall-clock time in simulation logic
-  system-clock       std::chrono::system_clock — wall-clock time
+  system-clock       std::chrono::{system,high_resolution}_clock
   steady-clock       std::chrono::steady_clock — monotonic, but still
                      host-dependent; only wall-time *profiling* may use it
   unordered-container std::unordered_{map,set,...} — iteration order is
-                     hash/address dependent; any use must be justified as
-                     never iterated on an output- or schedule-affecting
-                     path
+                     hash/address dependent
   pointer-keyed-order std::map/std::set keyed by a pointer — ordered by
                      address, i.e. by allocator behaviour
 
-Justified exceptions go in scripts/determinism_allowlist.txt, one per
-line:  `<rule-id> <repo-relative-path> <one-line justification>`.
-An allowlist entry that no longer matches anything is itself an error
-(stale allowlists hide regressions).
+Justified exceptions live in scripts/lint_allowlist.txt (shared with
+wtcp-lint), one per line: `<check-id> <repo-relative-path>
+<one-line justification>`.  A stale entry is itself an error.
 
 Exit status: 0 clean, 1 violations or stale allowlist entries.
 """
 
 from __future__ import annotations
 
+import os
 import re
+import subprocess
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 SCAN_DIRS = ["src"]
-ALLOWLIST = REPO / "scripts" / "determinism_allowlist.txt"
+ALLOWLIST = REPO / "scripts" / "lint_allowlist.txt"
 
+# The full determinism surface (wtcp-lint path).
+DETERMINISM_CHECKS = [
+    "libc-rand",
+    "random-device",
+    "wall-clock",
+    "system-clock",
+    "steady-clock",
+    "unordered-container",
+    "pointer-keyed-order",
+    "determinism-alias",
+    "unordered-iteration",
+]
+
+# What the regex fallback can actually judge (no alias/iteration rules).
 RULES: dict[str, re.Pattern[str]] = {
     "libc-rand": re.compile(r"(?<![\w:])(?:s?rand|drand48|lrand48|random)\s*\(\s*\)"),
     "random-device": re.compile(r"std\s*::\s*random_device"),
     "wall-clock": re.compile(r"(?<![\w:.\"])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
-    "system-clock": re.compile(r"std\s*::\s*chrono\s*::\s*system_clock"),
+    "system-clock": re.compile(
+        r"std\s*::\s*chrono\s*::\s*(?:system|high_resolution)_clock"
+    ),
     "steady-clock": re.compile(r"std\s*::\s*chrono\s*::\s*steady_clock"),
     "unordered-container": re.compile(
         r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\b"
@@ -51,11 +73,34 @@ RULES: dict[str, re.Pattern[str]] = {
     ),
 }
 
-# `#include <unordered_map>` etc. are only flagged through their uses, not
-# the include line — an include with zero uses is dead and clang-tidy /
-# IWYU territory, not a determinism hazard.
 INCLUDE_RE = re.compile(r"^\s*#\s*include\b")
 COMMENT_RE = re.compile(r"^\s*(?://|\*|/\*)")
+
+
+def find_wtcp_lint() -> Path | None:
+    env = os.environ.get("WTCP_LINT_BIN")
+    if env and Path(env).is_file():
+        return Path(env).resolve()
+    for candidate in sorted(REPO.glob("build*/tools/wtcp-lint/wtcp-lint")):
+        if candidate.is_file() and os.access(candidate, os.X_OK):
+            return candidate
+    return None
+
+
+def defer_to_wtcp_lint(binary: Path) -> int:
+    cmd = [
+        str(binary),
+        "--root",
+        str(REPO),
+        "--only",
+        ",".join(DETERMINISM_CHECKS),
+        "src",
+    ]
+    proc = subprocess.run(cmd)
+    if proc.returncode == 0:
+        shown = binary.relative_to(REPO) if binary.is_relative_to(REPO) else binary
+        print(f"determinism-lint: clean (via {shown})")
+    return proc.returncode
 
 
 def load_allowlist() -> list[tuple[str, str, str]]:
@@ -70,7 +115,7 @@ def load_allowlist() -> list[tuple[str, str, str]]:
         if len(parts) < 3:
             print(
                 f"determinism-lint: malformed allowlist line (need "
-                f"'<rule> <path> <justification>'): {line!r}",
+                f"'<check-id> <path> <justification>'): {line!r}",
                 file=sys.stderr,
             )
             sys.exit(1)
@@ -78,8 +123,11 @@ def load_allowlist() -> list[tuple[str, str, str]]:
     return entries
 
 
-def main() -> int:
-    allow = load_allowlist()
+def regex_fallback() -> int:
+    # Only the entries this fallback can re-judge participate in the
+    # stale check; checks outside RULES (use-after-move, alias rules,
+    # ...) belong to wtcp-lint.
+    allow = [e for e in load_allowlist() if e[0] in RULES]
     allow_used = [False] * len(allow)
     violations = []
 
@@ -121,16 +169,24 @@ def main() -> int:
     if status == 0:
         print(
             f"determinism-lint: {len(files)} files clean "
-            f"({len(allow)} justified allowlist entries)"
+            f"({len(allow)} justified allowlist entries; regex fallback — "
+            f"build wtcp-lint for the full scope-aware checks)"
         )
     else:
         print(
             "determinism-lint: violations found. Simulation logic must use "
             "sim::Rng streams and sim::Time only; justified exceptions go "
-            "in scripts/determinism_allowlist.txt.",
+            "in scripts/lint_allowlist.txt.",
             file=sys.stderr,
         )
     return status
+
+
+def main() -> int:
+    binary = find_wtcp_lint()
+    if binary is not None:
+        return defer_to_wtcp_lint(binary)
+    return regex_fallback()
 
 
 if __name__ == "__main__":

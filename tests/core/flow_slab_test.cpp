@@ -12,7 +12,7 @@ namespace {
 // Records construction/destruction order into an external log; not
 // movable, like the subsystems the slab holds.
 struct Tracked {
-  Tracked(int id, std::vector<int>* log) : id(id), log(log) {
+  Tracked(int the_id, std::vector<int>* the_log) : id(the_id), log(the_log) {
     log->push_back(id);
   }
   ~Tracked() { log->push_back(-id); }
@@ -80,7 +80,7 @@ TEST(FlowSlab, ZeroCapacityIsValid) {
 
 TEST(FlowSlab, HoldsOveralignedTypes) {
   struct alignas(64) Wide {
-    explicit Wide(double v) : v(v) {}
+    explicit Wide(double value) : v(value) {}
     double v;
   };
   FlowSlab<Wide> slab(8);

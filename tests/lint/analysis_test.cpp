@@ -1,0 +1,167 @@
+// Unit tests for the wtcp-lint checks and allowlist (tools/wtcp-lint/).
+// The fixture harness covers the full positive/negative matrix; these
+// tests pin the library-level contracts: check gating via CheckOptions,
+// probe-site collection, diagnostic anatomy, and allowlist parsing.
+#include "tools/wtcp-lint/allowlist.hpp"
+#include "tools/wtcp-lint/analysis.hpp"
+#include "tools/wtcp-lint/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace wtcp::lint {
+namespace {
+
+FileScan scan(const std::string& text, CheckOptions opt = {}) {
+  return scan_file("test.cpp", lex(text), opt);
+}
+
+int count_check(const FileScan& fs, const std::string& id) {
+  int n = 0;
+  for (const Diagnostic& d : fs.diags) {
+    if (d.check == id) ++n;
+  }
+  return n;
+}
+
+TEST(LintAnalysis, UseAfterMoveAnatomy) {
+  const auto fs = scan(
+      "void f() {\n"
+      "  Packet p;\n"
+      "  consume(std::move(p));\n"
+      "  observe(p);\n"
+      "}\n");
+  ASSERT_EQ(fs.diags.size(), 1u);
+  EXPECT_EQ(fs.diags[0].check, "use-after-move");
+  EXPECT_EQ(fs.diags[0].file, "test.cpp");
+  EXPECT_EQ(fs.diags[0].line, 4);
+  EXPECT_NE(fs.diags[0].message.find("'p'"), std::string::npos);
+  EXPECT_NE(fs.diags[0].message.find("line 3"), std::string::npos);
+}
+
+TEST(LintAnalysis, CheckOptionsGateEachCheck) {
+  const std::string text =
+      "void f(Sim& sim, int x) {\n"
+      "  Packet p;\n"
+      "  consume(std::move(p));\n"
+      "  observe(p);\n"
+      "  sim.after(1.0, [&] { use(x); });\n"
+      "  int r = rand();\n"
+      "}\n";
+  CheckOptions all;
+  const auto with_all = scan(text, all);
+  EXPECT_EQ(count_check(with_all, "use-after-move"), 1);
+  EXPECT_EQ(count_check(with_all, "deferred-capture"), 1);
+  EXPECT_EQ(count_check(with_all, "libc-rand"), 1);
+
+  CheckOptions none;
+  none.use_after_move = false;
+  none.deferred_capture = false;
+  none.audit_pure = false;
+  none.determinism = false;
+  const auto with_none = scan(text, none);
+  EXPECT_TRUE(with_none.diags.empty());
+}
+
+TEST(LintAnalysis, ProbeSitesAreCollectedWithLines) {
+  const auto fs = scan(
+      "void reg(Registry& r) {\n"
+      "  r.counter(\"a.x\");\n"
+      "  r.gauge(\"a.y\");\n"
+      "  r.histogram(\"a.z\");\n"
+      "  double v = r.counter_value(\"a.x\");\n"
+      "}\n");
+  ASSERT_EQ(fs.probe_binds.size(), 3u);
+  EXPECT_EQ(fs.probe_binds[0].name, "a.x");
+  EXPECT_EQ(fs.probe_binds[0].line, 2);
+  EXPECT_EQ(fs.probe_binds[2].name, "a.z");
+  ASSERT_EQ(fs.probe_reads.size(), 1u);
+  EXPECT_EQ(fs.probe_reads[0].name, "a.x");
+  EXPECT_EQ(fs.probe_reads[0].line, 5);
+}
+
+TEST(LintAnalysis, StringLiteralsAreCrossReferenced) {
+  const auto fs = scan("const char* kNames[] = {\"a.x\", \"b.y\"};\n");
+  EXPECT_EQ(fs.string_literals.count("a.x"), 1u);
+  EXPECT_EQ(fs.string_literals.count("b.y"), 1u);
+}
+
+TEST(LintAnalysis, DeterminismAliasLaundering) {
+  const auto fs = scan(
+      "using clk = std::chrono::steady_clock;\n"
+      "double f() { return clk::now().time_since_epoch().count(); }\n");
+  EXPECT_EQ(count_check(fs, "steady-clock"), 1);      // the alias decl
+  EXPECT_EQ(count_check(fs, "determinism-alias"), 1);  // the use
+}
+
+TEST(LintAnalysis, RawStringNeverFires) {
+  const auto fs = scan(
+      "const char* s = R\"(\n"
+      "  std::move(x); x; rand(); std::random_device rd;\n"
+      ")\";\n");
+  EXPECT_TRUE(fs.diags.empty());
+}
+
+TEST(LintAllowlist, ParsesEntriesAndComments) {
+  const char* path = "lint_allowlist_test.tmp";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n"
+        << "\n"
+        << "steady-clock src/sim/simulator.cpp wall-time profiling only\n"
+        << "use-after-move tests/net/queue_test.cpp contract test\n";
+  }
+  bool io_error = false;
+  Allowlist a = load_allowlist(path, /*must_exist=*/true, &io_error);
+  std::remove(path);
+  EXPECT_FALSE(io_error);
+  EXPECT_TRUE(a.parse_errors.empty());
+  ASSERT_EQ(a.entries.size(), 2u);
+  EXPECT_EQ(a.entries[0].check, "steady-clock");
+  EXPECT_EQ(a.entries[0].path, "src/sim/simulator.cpp");
+  EXPECT_EQ(a.entries[0].justification, "wall-time profiling only");
+  EXPECT_EQ(a.entries[1].file_line, 4);
+}
+
+TEST(LintAllowlist, MalformedEntriesAreReported) {
+  const char* path = "lint_allowlist_bad.tmp";
+  {
+    std::ofstream out(path);
+    out << "use-after-move missing_justification.cpp\n";
+  }
+  bool io_error = false;
+  Allowlist a = load_allowlist(path, /*must_exist=*/true, &io_error);
+  std::remove(path);
+  EXPECT_FALSE(io_error);
+  EXPECT_TRUE(a.entries.empty());
+  ASSERT_EQ(a.parse_errors.size(), 1u);
+  EXPECT_NE(a.parse_errors[0].find("malformed"), std::string::npos);
+}
+
+TEST(LintAllowlist, CoversMarksUsedAndStaleSurvives) {
+  Allowlist a;
+  a.entries.push_back({"libc-rand", "src/a.cpp", "why", 1, false});
+  a.entries.push_back({"libc-rand", "src/b.cpp", "why", 2, false});
+  EXPECT_TRUE(a.covers({"src/a.cpp", 10, "libc-rand", "m"}));
+  EXPECT_FALSE(a.covers({"src/b.cpp", 10, "wall-clock", "m"}));
+  const auto stale = a.stale();
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0]->path, "src/b.cpp");
+}
+
+TEST(LintAllowlist, MissingFileHonorsMustExist) {
+  bool io_error = false;
+  Allowlist a =
+      load_allowlist("does_not_exist.txt", /*must_exist=*/true, &io_error);
+  EXPECT_TRUE(io_error);
+  io_error = true;
+  a = load_allowlist("", /*must_exist=*/true, &io_error);
+  EXPECT_FALSE(io_error);
+  EXPECT_TRUE(a.entries.empty());
+}
+
+}  // namespace
+}  // namespace wtcp::lint

@@ -1,0 +1,159 @@
+// Unit tests for the wtcp-lint tokenizer (tools/wtcp-lint/lexer.hpp).
+// The fixture harness (tests/lint_fixtures/) proves the checks end to
+// end; these tests pin the lexer invariants the checks lean on: comment
+// and string opacity, raw-string delimiters, line splices, the pp line
+// model, and max-munch operators.
+#include "tools/wtcp-lint/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace wtcp::lint {
+namespace {
+
+std::vector<Token> code_tokens(const std::string& text) {
+  std::vector<Token> out;
+  for (const Token& t : lex(text)) {
+    if (t.kind != Tok::kEnd) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::string> texts(const std::vector<Token>& toks) {
+  std::vector<std::string> out;
+  out.reserve(toks.size());
+  for (const Token& t : toks) out.push_back(t.text);
+  return out;
+}
+
+TEST(LintLexer, CommentsProduceNoTokens) {
+  const auto toks = code_tokens(
+      "// std::move(x); rand();\n"
+      "/* std::chrono::steady_clock::now();\n"
+      "   more */ int a;\n");
+  EXPECT_EQ(texts(toks), (std::vector<std::string>{"int", "a", ";"}));
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].line, 3);
+}
+
+TEST(LintLexer, StringContentIsOneOpaqueToken) {
+  const auto toks = code_tokens("const char* s = \"std::move(x); \\\" q\";");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[5].kind, Tok::kString);
+  EXPECT_EQ(toks[5].text, "std::move(x); \\\" q");
+}
+
+TEST(LintLexer, RawStringWithCustomDelimiter) {
+  const auto toks = code_tokens(
+      "auto s = R\"fx(line one )\" not the end\nline two)fx\";\n"
+      "int after = 1;");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[3].kind, Tok::kString);
+  EXPECT_EQ(toks[3].text, "line one )\" not the end\nline two");
+  // The token after the raw string resumes on the right physical line.
+  EXPECT_EQ(toks[5].text, "int");
+  EXPECT_EQ(toks[5].line, 3);
+}
+
+TEST(LintLexer, EncodedRawStringPrefix) {
+  const auto toks = code_tokens("auto s = u8R\"(data)\";");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[3].kind, Tok::kString);
+  EXPECT_EQ(toks[3].text, "data");
+}
+
+TEST(LintLexer, BackslashNewlineSplicesKeepLineNumbers) {
+  // The splice joins `con` + `tinued` into one identifier carrying the
+  // first physical line's number; the token after it reports the line
+  // it actually sits on.
+  const auto toks = code_tokens("int con\\\ntinued;\nint next;");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[1].text, "continued");
+  EXPECT_EQ(toks[1].line, 1);
+  EXPECT_EQ(toks[4].text, "next");
+  EXPECT_EQ(toks[4].line, 3);
+}
+
+TEST(LintLexer, SplicedCommentSwallowsNextLine) {
+  const auto toks = code_tokens("// comment continues \\\nrand();\nint a;");
+  EXPECT_EQ(texts(toks), (std::vector<std::string>{"int", "a", ";"}));
+}
+
+TEST(LintLexer, PreprocessorTokensAreFlagged) {
+  const auto toks = code_tokens("#define WRAP(x) { (void)(x); }\nint a;");
+  ASSERT_GE(toks.size(), 3u);
+  int pp_count = 0;
+  for (const Token& t : toks) {
+    if (t.pp) {
+      ++pp_count;
+      EXPECT_EQ(t.pp_directive, "define");
+    }
+  }
+  EXPECT_GT(pp_count, 0);
+  // The unbalanced-looking braces all live on the pp line...
+  for (const Token& t : toks) {
+    if (t.punct("{") || t.punct("}")) {
+      EXPECT_TRUE(t.pp);
+    }
+  }
+  // ...and ordinary code afterwards is not flagged.
+  EXPECT_FALSE(toks.back().pp);
+}
+
+TEST(LintLexer, MultiLinePreprocessorDefineIsOneLogicalLine) {
+  const auto toks = code_tokens(
+      "#define LOOP(x) \\\n  do { (void)(x); } \\\n  while (0)\nint a;");
+  for (const Token& t : toks) {
+    if (t.text == "while") {
+      EXPECT_TRUE(t.pp);
+    }
+    if (t.text == "a") {
+      EXPECT_FALSE(t.pp);
+    }
+  }
+}
+
+TEST(LintLexer, IncludePayloadIsDropped) {
+  const auto toks = code_tokens("#include <unordered_map>\nint a;");
+  for (const Token& t : toks) {
+    EXPECT_NE(t.text, "unordered_map");
+  }
+}
+
+TEST(LintLexer, MaxMunchOperators) {
+  const auto toks = code_tokens("a <<= b; c <=> d; e->*f; g::h; i--; j>>=k;");
+  const auto tx = texts(toks);
+  EXPECT_NE(std::find(tx.begin(), tx.end(), "<<="), tx.end());
+  EXPECT_NE(std::find(tx.begin(), tx.end(), "<=>"), tx.end());
+  EXPECT_NE(std::find(tx.begin(), tx.end(), "->*"), tx.end());
+  EXPECT_NE(std::find(tx.begin(), tx.end(), "::"), tx.end());
+  EXPECT_NE(std::find(tx.begin(), tx.end(), "--"), tx.end());
+  EXPECT_NE(std::find(tx.begin(), tx.end(), ">>="), tx.end());
+}
+
+TEST(LintLexer, CharLiteralsAreOpaque) {
+  const auto toks = code_tokens("char c = '{'; char q = '\\''; int a;");
+  int braces = 0;
+  for (const Token& t : toks) {
+    if (t.punct("{")) ++braces;
+  }
+  EXPECT_EQ(braces, 0);
+}
+
+TEST(LintLexer, NumbersWithSeparatorsAndHexfloat) {
+  const auto toks = code_tokens("auto a = 1'000'000; auto b = 0x1.8p3;");
+  ASSERT_GE(toks.size(), 8u);
+  EXPECT_EQ(toks[3].kind, Tok::kNumber);
+  EXPECT_EQ(toks[3].text, "1'000'000");
+  // The hexfloat stays one token — `.8p3` must not become punct+ident.
+  bool found = false;
+  for (const Token& t : toks) {
+    if (t.kind == Tok::kNumber && t.text == "0x1.8p3") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace wtcp::lint

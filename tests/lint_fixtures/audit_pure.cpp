@@ -1,0 +1,65 @@
+// wtcp-lint fixture: audit purity.  WTCP_AUDIT_CHECK / WTCP_AUDIT_ONLY
+// compile to ((void)0) when the audit layer is off, so any side effect
+// inside them silently changes behaviour between build flavours.
+// WTCP_AUDIT_ONLY may declare and mutate its own macro-local state (the
+// recount loops); mutating anything that outlives the macro is the bug.
+#include <cstddef>
+
+namespace fx {
+
+struct Window {
+  int lo = 0;
+  int hi = 0;
+  int expected = 0;
+};
+struct Stats {
+  bool checked = false;
+  int audit_count = 0;
+};
+struct Row {
+  bool live = false;
+};
+struct Table {
+  Row rows[4];
+  std::size_t expected = 0;
+};
+struct Guard {
+  int* reset();
+};
+int count_rows(const Table& t);
+
+void check_with_increment(int evaluated) {
+  WTCP_AUDIT_CHECK(++evaluated > 0, "fx", "inc", "");  // LINT-EXPECT: audit-pure
+}
+
+void check_with_assignment(Window& w) {
+  WTCP_AUDIT_CHECK((w.lo = 0) == 0, "fx", "assign", "");  // LINT-EXPECT: audit-pure
+}
+
+void check_with_reset(Guard& g) {
+  WTCP_AUDIT_CHECK(g.reset() != nullptr, "fx", "reset", "");  // LINT-EXPECT: audit-pure
+}
+
+void check_pure_comparisons(const Window& w, const Table& t) {
+  WTCP_AUDIT_CHECK(w.lo <= w.hi, "fx", "order", "");               // ok
+  WTCP_AUDIT_CHECK(count_rows(t) == static_cast<int>(t.expected),  // ok
+                   "fx", "count", "");
+}
+
+void only_mutating_live_state(Stats& s) {
+  WTCP_AUDIT_ONLY(s.checked = true;);  // LINT-EXPECT: audit-pure
+}
+
+void only_incrementing_live_state(Stats& s) {
+  WTCP_AUDIT_ONLY(++s.audit_count;);  // LINT-EXPECT: audit-pure
+}
+
+void only_with_local_recount(const Table& t) {
+  // ok: `live` exists only inside the macro, so mutating it cannot
+  // diverge between audit-on and audit-off builds.
+  WTCP_AUDIT_ONLY(std::size_t live = 0;
+                  for (const Row& r : t.rows) live += r.live ? 1u : 0u;
+                  WTCP_AUDIT_CHECK(live == t.expected, "fx", "recount", ""););
+}
+
+}  // namespace fx

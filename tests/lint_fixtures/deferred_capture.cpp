@@ -1,0 +1,63 @@
+// wtcp-lint fixture: deferred-capture discipline.  Lambdas handed to
+// scheduling sinks (sim.at/sim.after/schedule_at/...) run after the
+// enclosing frame is gone, so by-reference captures of locals are
+// lifetime bugs.  Non-sink calls may capture however they like.
+namespace fx {
+
+struct Packet {
+  int seq = 0;
+};
+struct Sim {
+  template <class F>
+  void at(double t, F f);
+  template <class F>
+  void after(double d, F f);
+};
+struct Runner {
+  template <class F>
+  void run(int n, F f);
+};
+struct Work {
+  template <class F>
+  void each(F f) const;
+};
+template <class F>
+void schedule_at(double t, F f);
+void use(int v);
+void consume_copy(Packet p);
+
+void bad_default_ref_capture(Sim& sim, int x) {
+  sim.after(5.0, [&] { use(x); });  // LINT-EXPECT: deferred-capture
+}
+
+void bad_named_ref_capture(Sim& sim, Packet p) {
+  sim.at(9.0, [&p] { consume_copy(p); });  // LINT-EXPECT: deferred-capture
+}
+
+void bad_free_function_sink(int x) {
+  schedule_at(3.0, [&] { use(x); });  // LINT-EXPECT: deferred-capture
+}
+
+void ok_by_value(Sim& sim, int x) {
+  sim.after(5.0, [x] { use(x); });  // ok
+}
+
+struct Agent {
+  Sim* sim;
+  void tick();
+  void arm() {
+    sim->after(1.0, [this] { tick(); });  // ok: [this] is not a by-ref local
+  }
+};
+
+void ok_non_sink_call(Runner& r, int x) {
+  r.run(7, [&] { use(x); });  // ok: run() executes synchronously
+}
+
+void ok_nested_lambda_in_body(Sim& sim, Work w) {
+  // The inner [&] goes to each(), not to the sink; only lambdas at the
+  // sink's top argument level are judged.
+  sim.after(1.0, [w] { w.each([&](int v) { use(v); }); });  // ok
+}
+
+}  // namespace fx

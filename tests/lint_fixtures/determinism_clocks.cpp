@@ -1,0 +1,58 @@
+// wtcp-lint fixture: wall-clock determinism hazards, including the alias
+// laundering the old regex linter could not see.  Simulation logic must
+// take time from sim::Time, never from host clocks.
+#include <chrono>
+#include <ctime>
+
+namespace fx {
+
+double read_system_clock() {
+  return static_cast<double>(
+      std::chrono::system_clock::now().time_since_epoch().count());  // LINT-EXPECT: system-clock
+}
+
+double read_high_resolution_clock() {
+  auto t0 = std::chrono::high_resolution_clock::now();  // LINT-EXPECT: system-clock
+  return static_cast<double>(t0.time_since_epoch().count());
+}
+
+double read_steady_clock() {
+  auto t0 = std::chrono::steady_clock::now();  // LINT-EXPECT: steady-clock
+  return static_cast<double>(t0.time_since_epoch().count());
+}
+
+long read_libc_time() {
+  const long t0 = time(nullptr);  // LINT-EXPECT: wall-clock
+  return t0;
+}
+
+// Aliases do not launder the dependency: the declaration names the
+// banned clock, and every use through the alias is flagged too.
+using wall = std::chrono::steady_clock;  // LINT-EXPECT: steady-clock
+
+double read_through_type_alias() {
+  auto t0 = wall::now();  // LINT-EXPECT: determinism-alias
+  return static_cast<double>(t0.time_since_epoch().count());
+}
+
+namespace cr = std::chrono;
+
+double read_through_namespace_alias() {
+  auto t0 = cr::steady_clock::now();  // LINT-EXPECT: determinism-alias
+  return static_cast<double>(t0.time_since_epoch().count());
+}
+
+double duration_through_namespace_alias_is_fine(cr::nanoseconds d) {
+  return cr::duration<double>(d).count();  // ok: durations are not clocks
+}
+
+struct TimeLike {
+  double now() const { return cached; }  // ok: sim-style time source
+  double cached = 0.0;
+};
+
+double read_sim_time(const TimeLike& t) {
+  return t.now();  // ok
+}
+
+}  // namespace fx

@@ -1,0 +1,50 @@
+// wtcp-lint fixture: container-order determinism hazards — unordered
+// containers (hash order), pointer-keyed ordered containers (address
+// order), and range-for iteration over unordered members.
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fx {
+
+struct Node;
+void use_pair(int k, int v);
+
+struct FlowTable {
+  std::unordered_map<int, int> by_id;  // LINT-EXPECT: unordered-container
+  std::vector<int> order;
+
+  int sum_hash_order() const {
+    int s = 0;
+    for (const auto& kv : by_id) s += kv.second;  // LINT-EXPECT: unordered-iteration
+    return s;
+  }
+
+  int sum_insertion_order() const {
+    int s = 0;
+    for (int v : order) s += v;  // ok: vector iterates deterministically
+    return s;
+  }
+};
+
+using IdMap = std::unordered_map<int, long>;  // LINT-EXPECT: unordered-container
+
+struct Pending {
+  IdMap pending;
+
+  long drain() {
+    long s = 0;
+    for (auto& kv : pending) s += kv.second;  // LINT-EXPECT: unordered-iteration
+    return s;
+  }
+};
+
+std::map<Node*, int> rank_by_node;  // LINT-EXPECT: pointer-keyed-order
+std::set<const Node*> visited;     // LINT-EXPECT: pointer-keyed-order
+
+std::map<int, Node*> node_by_rank;      // ok: pointer values, integer keys
+std::map<std::string, int> rank_by_name;  // ok: value-ordered key
+
+}  // namespace fx

@@ -1,0 +1,49 @@
+// wtcp-lint fixture: entropy determinism hazards.  All randomness must
+// come from sim::Rng streams forked off the run seed; global-state libc
+// RNG and hardware entropy make runs unrepeatable.
+#include <cstdlib>
+#include <random>
+
+namespace fx {
+
+int draw_libc_rand() {
+  const int r = rand();  // LINT-EXPECT: libc-rand
+  return r;
+}
+
+long draw_libc_random() {
+  const long r = random();  // LINT-EXPECT: libc-rand
+  return r;
+}
+
+unsigned draw_hardware_entropy() {
+  std::random_device rd;  // LINT-EXPECT: random-device
+  return rd();
+}
+
+using entropy_t = std::random_device;  // LINT-EXPECT: random-device
+
+unsigned draw_through_alias() {
+  entropy_t gen;  // LINT-EXPECT: determinism-alias
+  return gen();
+}
+
+unsigned draw_seeded_engine() {
+  std::mt19937 gen(1234u);  // ok: fixed seed, repeatable
+  return gen();
+}
+
+struct Cell {
+  int rand() const;  // ok: member declaration, not the libc call
+};
+
+int member_named_rand_is_fine(const Cell& c) {
+  return c.rand();  // ok: member call, not the libc global
+}
+
+int rand_with_arguments(int (*my_rand)(int)) {
+  const int r = my_rand(7);  // ok: different identifier
+  return r;
+}
+
+}  // namespace fx

@@ -1,0 +1,46 @@
+// wtcp-lint fixture: tokenizer correctness.  Every hazard below is inert
+// — inside comments, string literals, raw strings, or spliced lines —
+// so this file must produce ZERO diagnostics.  A naive regex linter
+// fails almost every line here.
+#include <string>
+#include <utility>
+
+namespace fx {
+
+// In a comment: std::move(ghost); ghost.seq; rand(); time(nullptr);
+// std::chrono::steady_clock::now(); std::unordered_map<int, int> um;
+
+const char* kDoc = R"(
+  std::move(ghost);
+  ghost;
+  rand();
+  std::random_device rd;
+  std::chrono::system_clock::now();
+  for (auto& kv : um) {}
+)";
+
+const char* kCustomDelim = R"fx(
+  time(nullptr); )" — a fake terminator inside the raw string
+  WTCP_AUDIT_CHECK(++evaluated, "fx", "x", "");
+)fx";
+
+const char* kEscapes = "std::move(quoted); rand(); \" time(nullptr);";
+
+// A line continuation glues the next physical line into this comment: \
+   rand(); std::chrono::steady_clock::now();
+
+#define FX_CONCAT(a, b) a##b
+#define FX_WRAP(x) \
+  do {             \
+    (void)(x);     \
+  } while (0)
+
+inline int add(int a, int b) { return a + b; }
+
+inline std::string quoted_move(std::string s) {
+  // The identifier `move` alone (no std:: qualification) is not a move.
+  std::string move = s;
+  return move;
+}
+
+}  // namespace fx

@@ -1,0 +1,33 @@
+// wtcp-lint fixture: probe-name drift.  A probe read under a name nobody
+// binds silently reads zero; a probe bound under a name nobody reads or
+// documents is dead weight drifting from the catalog.  Computed names
+// are out of scope (not statically knowable).
+#include <string>
+
+namespace fx {
+
+struct Counter;
+struct Gauge;
+struct Registry {
+  Counter* counter(const char* name);
+  Gauge* gauge(const char* name);
+  double counter_value(const char* name) const;
+  double gauge_value(const char* name) const;
+};
+
+void bind_probes(Registry& reg, const std::string& stem) {
+  reg.counter("fx.bound_and_read");  // ok: read below
+  reg.counter("fx.bound_only");  // LINT-EXPECT: probe-drift
+  reg.gauge("fx.gauge_pair");  // ok: read below
+  reg.counter(stem.c_str());  // ok: computed name, not judged
+}
+
+double read_probes(const Registry& reg) {
+  double s = 0.0;
+  s += reg.counter_value("fx.bound_and_read");  // ok
+  s += reg.gauge_value("fx.gauge_pair");        // ok
+  s += reg.counter_value("fx.never_bound");  // LINT-EXPECT: probe-drift
+  return s;
+}
+
+}  // namespace fx

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Fixture harness for wtcp-lint (Tier 1.5, docs/static-analysis.md).
+
+Each tests/lint_fixtures/*.cpp file annotates the lines where the
+analyzer must fire with `// LINT-EXPECT: <check-id> [<check-id>...]`.
+The harness runs wtcp-lint over every fixture in --fixture mode (all
+checks on, no scope policy) and asserts the EXACT diagnostic set:
+
+  * a diagnostic on an unannotated line fails (false positive),
+  * an annotated line with no diagnostic fails (false negative),
+  * the exit code must agree with whether anything was expected.
+
+Two extra scenarios exercise the allowlist machinery end-to-end: a
+covering entry must silence the run (exit 0), and an entry that matches
+nothing must be reported stale (exit 1).
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+EXPECT_RE = re.compile(r"//\s*LINT-EXPECT:\s*([a-z][a-z-]*(?:\s+[a-z][a-z-]*)*)")
+DIAG_RE = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+): \[(?P<check>[a-z-]+)\]")
+
+
+def expected_diags(path: pathlib.Path):
+    expected = set()
+    for lineno, text in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        m = EXPECT_RE.search(text)
+        if m:
+            for check in m.group(1).split():
+                expected.add((lineno, check))
+    return expected
+
+
+def run_lint(binary, root, inputs, allowlist=""):
+    cmd = [binary, "--root", str(root), "--fixture", "--allowlist", allowlist]
+    cmd += [str(i) for i in inputs]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    diags = set()
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if m:
+            diags.add((int(m.group("line")), m.group("check")))
+    return proc, diags
+
+
+def check_fixture(binary, fixtures_dir, path):
+    expected = expected_diags(path)
+    proc, actual = run_lint(binary, fixtures_dir, [path.name])
+    failures = []
+    for line, check in sorted(actual - expected):
+        failures.append(
+            f"  false positive: {path.name}:{line} fired [{check}] "
+            "on an unannotated line"
+        )
+    for line, check in sorted(expected - actual):
+        failures.append(
+            f"  false negative: {path.name}:{line} expected [{check}] "
+            "but nothing fired"
+        )
+    want_rc = 1 if expected else 0
+    if not failures and proc.returncode != want_rc:
+        failures.append(
+            f"  exit code: {path.name} returned {proc.returncode}, "
+            f"wanted {want_rc}\n  stdout:\n{proc.stdout}"
+            f"\n  stderr:\n{proc.stderr}"
+        )
+    return failures
+
+
+def check_allowlist_semantics(binary, fixtures_dir):
+    """A covering entry silences the run; a stale entry fails it."""
+    fixture = "use_after_move_basic.cpp"
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        covering = pathlib.Path(tmp) / "covering.txt"
+        covering.write_text(
+            "# harness-generated\n"
+            f"use-after-move {fixture} fixture exercises the allowlist\n",
+            encoding="utf-8",
+        )
+        proc, diags = run_lint(binary, fixtures_dir, [fixture], str(covering))
+        if proc.returncode != 0 or diags:
+            failures.append(
+                "  allowlist: covering entry did not silence "
+                f"{fixture} (rc={proc.returncode})\n{proc.stdout}"
+            )
+
+        stale = pathlib.Path(tmp) / "stale.txt"
+        stale.write_text(
+            f"use-after-move {fixture} fixture exercises the allowlist\n"
+            f"libc-rand {fixture} matches nothing and must be stale\n",
+            encoding="utf-8",
+        )
+        proc, _ = run_lint(binary, fixtures_dir, [fixture], str(stale))
+        if proc.returncode != 1 or "stale-allowlist" not in proc.stdout:
+            failures.append(
+                "  allowlist: stale entry was not reported "
+                f"(rc={proc.returncode})\n{proc.stdout}"
+            )
+
+        malformed = pathlib.Path(tmp) / "malformed.txt"
+        malformed.write_text(
+            f"use-after-move {fixture} fixture exercises the allowlist\n"
+            "use-after-move missing-justification.cpp\n",
+            encoding="utf-8",
+        )
+        proc, _ = run_lint(binary, fixtures_dir, [fixture], str(malformed))
+        if proc.returncode == 0 or "malformed" not in proc.stderr:
+            failures.append(
+                "  allowlist: malformed entry was not rejected "
+                f"(rc={proc.returncode})\n{proc.stderr}"
+            )
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bin", required=True, help="path to the wtcp-lint binary")
+    ap.add_argument(
+        "--fixtures", required=True, help="directory with *.cpp fixtures"
+    )
+    args = ap.parse_args()
+
+    fixtures_dir = pathlib.Path(args.fixtures)
+    fixtures = sorted(fixtures_dir.glob("*.cpp"))
+    if not fixtures:
+        print(f"no fixtures found under {fixtures_dir}", file=sys.stderr)
+        return 2
+
+    failures = []
+    checks_seen = set()
+    for path in fixtures:
+        failures += check_fixture(args.bin, fixtures_dir, path)
+        checks_seen |= {c for _, c in expected_diags(path)}
+    failures += check_allowlist_semantics(args.bin, fixtures_dir)
+
+    # Every check the analyzer implements must have at least one firing
+    # fixture — a check nobody exercises can rot silently.
+    required = {
+        "use-after-move",
+        "deferred-capture",
+        "audit-pure",
+        "libc-rand",
+        "random-device",
+        "wall-clock",
+        "system-clock",
+        "steady-clock",
+        "determinism-alias",
+        "unordered-container",
+        "unordered-iteration",
+        "pointer-keyed-order",
+        "probe-drift",
+    }
+    for missing in sorted(required - checks_seen):
+        failures.append(f"  coverage: no fixture exercises [{missing}]")
+
+    if failures:
+        print(f"{len(failures)} fixture failure(s):")
+        print("\n".join(failures))
+        return 1
+    print(f"{len(fixtures)} fixtures, {len(checks_seen)} checks: all exact")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

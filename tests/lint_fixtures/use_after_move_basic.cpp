@@ -1,0 +1,58 @@
+// wtcp-lint fixture: use-after-move basics.
+//
+// Never compiled — scanned by wtcp-lint in --fixture mode and checked
+// against the `// LINT-EXPECT: <check-id>` annotations by
+// tests/lint_fixtures/run_fixtures.py (exact diagnostic sets: a diag on
+// an unannotated line fails, a missing diag on an annotated line fails).
+#include <utility>
+
+namespace fx {
+
+struct Packet {
+  int seq = 0;
+};
+
+void consume(Packet p);
+void observe(const Packet& p);
+struct Ptr {
+  void reset(int* p);
+};
+void consume_ptr(Ptr p);
+void use_ptr(const Ptr& p);
+int* make_int();
+
+void basic_use_after_move() {
+  Packet p;
+  consume(std::move(p));
+  observe(p);  // LINT-EXPECT: use-after-move
+}
+
+void double_consume() {
+  Packet p;
+  consume(std::move(p));
+  consume(std::move(p));  // LINT-EXPECT: use-after-move
+}
+
+void reassignment_reinitializes() {
+  Packet p;
+  consume(std::move(p));
+  p = Packet{};
+  observe(p);  // ok: reassigned above
+}
+
+void reset_reinitializes() {
+  Ptr q;
+  consume_ptr(std::move(q));
+  q.reset(make_int());
+  use_ptr(q);  // ok: reset() re-initializes
+}
+
+void member_access_is_not_the_local(Packet p) {
+  struct Owner {
+    Packet p;
+  } owner;
+  consume(std::move(p));
+  observe(owner.p);  // ok: `owner.p` is a member, not the moved local
+}
+
+}  // namespace fx

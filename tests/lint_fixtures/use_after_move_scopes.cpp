@@ -1,0 +1,84 @@
+// wtcp-lint fixture: use-after-move scope handling — the false-positive
+// classes the analyzer must stay quiet on (ctor init lists, ternary arms,
+// lambda init-capture shadowing, conditional moves) and the true
+// positives hiding next to them.
+#include <string>
+#include <utility>
+
+namespace fx {
+
+struct Packet {
+  int seq = 0;
+};
+struct Queue {
+  void enqueue(Packet p);
+  void enqueue_front(Packet p);
+};
+struct Sim {
+  void after(int delay, void (*fn)());
+  template <class F>
+  void after(int delay, F f);
+};
+struct Hook {
+  template <class F>
+  void add_hook(F f);
+};
+void consume(Packet p);
+void observe(const Packet& p);
+void log_value(int v);
+
+// Init-list moves die with the ctor: `name` below must not poison the
+// rest of the file (the analyzer once leaked these marks into every
+// following function).
+struct Holder {
+  explicit Holder(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const { return name_; }  // ok: different scope
+  std::string name_;
+};
+
+void ternary_consumes_once(bool front, Packet pkt, Queue& q) {
+  front ? q.enqueue_front(std::move(pkt)) : q.enqueue(std::move(pkt));  // ok
+}
+
+void init_capture_shadows_body(Sim& sim, Packet p) {
+  sim.after(3, [p = std::move(p)]() mutable { consume(std::move(p)); });  // ok
+  observe(p);  // LINT-EXPECT: use-after-move
+}
+
+void init_capture_double_defer(Sim& sim, Packet p) {
+  sim.after(1, [p = std::move(p)]() mutable { consume(std::move(p)); });
+  sim.after(2, [p = std::move(p)]() mutable { consume(std::move(p)); });  // LINT-EXPECT: use-after-move
+}
+
+void braceless_if_move_is_conditional(bool c, Packet p) {
+  if (c) consume(std::move(p));
+  observe(p);  // ok: the move only happens on one path
+}
+
+void move_on_return_path(bool c, Packet p) {
+  if (c) return consume(std::move(p));
+  observe(p);  // ok: nothing runs after the return
+}
+
+void inner_scope_move_dies_with_it(Packet p) {
+  {
+    Packet q;
+    consume(std::move(q));
+  }
+  observe(p);  // ok
+}
+
+// Regression for src/stats/net_trace.cpp: a brace-less `if` inside a
+// lambda body that is itself a call argument must not wedge the virtual
+// scope open (the `;` ending it sits at paren depth 1).
+void braceless_if_inside_nested_lambda(Hook& h, Packet p) {
+  h.add_hook([](int v) { if (v > 0) log_value(v); });
+  consume(std::move(p));
+}
+
+void later_function_reuses_the_name(Hook& h, const Packet& p) {
+  observe(p);  // ok: `p` here is a fresh parameter
+  h.add_hook([](int v) { log_value(v); });
+}
+
+}  // namespace fx

@@ -1,0 +1,68 @@
+#include "tools/wtcp-lint/allowlist.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace wtcp::lint {
+
+bool Allowlist::covers(const Diagnostic& d) {
+  bool hit = false;
+  for (AllowEntry& e : entries) {
+    if (e.check == d.check && e.path == d.file) {
+      e.used = true;
+      hit = true;
+    }
+  }
+  return hit;
+}
+
+std::vector<const AllowEntry*> Allowlist::stale() const {
+  std::vector<const AllowEntry*> out;
+  for (const AllowEntry& e : entries) {
+    if (!e.used) out.push_back(&e);
+  }
+  return out;
+}
+
+Allowlist load_allowlist(const std::string& path, bool must_exist,
+                         bool* io_error) {
+  Allowlist a;
+  *io_error = false;
+  if (path.empty()) return a;
+  std::ifstream in(path);
+  if (!in) {
+    if (must_exist) *io_error = true;
+    return a;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Trim.
+    const auto b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    const auto e = line.find_last_not_of(" \t\r");
+    const std::string body = line.substr(b, e - b + 1);
+    if (body[0] == '#') continue;
+    std::istringstream ss(body);
+    AllowEntry entry;
+    entry.file_line = lineno;
+    ss >> entry.check >> entry.path;
+    std::getline(ss, entry.justification);
+    const auto jb = entry.justification.find_first_not_of(" \t");
+    entry.justification =
+        jb == std::string::npos ? "" : entry.justification.substr(jb);
+    if (entry.check.empty() || entry.path.empty() ||
+        entry.justification.empty()) {
+      a.parse_errors.push_back(
+          "allowlist:" + std::to_string(lineno) +
+          ": malformed entry (need '<check-id> <path> <justification>'): " +
+          body);
+      continue;
+    }
+    a.entries.push_back(std::move(entry));
+  }
+  return a;
+}
+
+}  // namespace wtcp::lint

@@ -1,0 +1,46 @@
+// wtcp-lint structured allowlist (replaces determinism_allowlist.txt).
+//
+// One file, one entry per line:
+//
+//     <check-id> <repo-relative-path> <one-line justification>
+//
+// `#` starts a comment.  An entry suppresses every diagnostic with that
+// check id in that file; the justification must argue why the flagged
+// construct cannot perturb simulation output or outlive its frame.  An
+// entry that suppressed nothing in a run is STALE and fails the lint —
+// stale allowlists hide regressions (policy inherited from the old
+// determinism allowlist, see docs/static-analysis.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tools/wtcp-lint/analysis.hpp"
+
+namespace wtcp::lint {
+
+struct AllowEntry {
+  std::string check;
+  std::string path;
+  std::string justification;
+  int file_line = 0;   // line in the allowlist file, for stale reports
+  bool used = false;
+};
+
+struct Allowlist {
+  std::vector<AllowEntry> entries;
+  std::vector<std::string> parse_errors;
+
+  /// True (and marks the entry used) if some entry covers `d`.
+  bool covers(const Diagnostic& d);
+
+  /// Stale entries after filtering a whole run.
+  std::vector<const AllowEntry*> stale() const;
+};
+
+/// Load `path`.  A missing file is an empty allowlist only when
+/// `must_exist` is false; malformed lines are reported via parse_errors.
+Allowlist load_allowlist(const std::string& path, bool must_exist,
+                         bool* io_error);
+
+}  // namespace wtcp::lint

@@ -1,0 +1,802 @@
+#include "tools/wtcp-lint/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace wtcp::lint {
+namespace {
+
+bool any_of(const std::string& s, std::initializer_list<const char*> names) {
+  for (const char* n : names) {
+    if (s == n) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Scope-aware walks operate on the non-preprocessor token view: a macro
+// body with unbalanced braces (`#define BEGIN {`) must not corrupt brace
+// tracking, and directive lines are not statements.
+// ---------------------------------------------------------------------------
+std::vector<const Token*> code_view(const std::vector<Token>& toks) {
+  std::vector<const Token*> v;
+  v.reserve(toks.size());
+  for (const Token& t : toks) {
+    if (!t.pp && t.kind != Tok::kEnd) v.push_back(&t);
+  }
+  return v;
+}
+
+const Token kEndTok{};
+
+struct View {
+  const std::vector<const Token*>& v;
+  const Token& at(std::size_t i) const { return i < v.size() ? *v[i] : kEndTok; }
+  const Token& prev(std::size_t i) const {
+    return i == 0 ? kEndTok : at(i - 1);
+  }
+  std::size_t size() const { return v.size(); }
+
+  /// Index just past the `)` matching the `(` at `open` (or size()).
+  std::size_t skip_parens(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t i = open; i < v.size(); ++i) {
+      if (at(i).punct("(")) ++depth;
+      if (at(i).punct(")") && --depth == 0) return i + 1;
+    }
+    return v.size();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// use-after-move
+// ---------------------------------------------------------------------------
+void check_use_after_move(const std::string& file, const View& t,
+                          std::vector<Diagnostic>& out) {
+  struct Mark {
+    int depth;
+    int line;
+  };
+  std::map<std::string, Mark> moved;
+
+  int depth = 0;
+  int pdepth = 0;  // paren depth: `;` inside for(;;) is not a statement end
+  // Paren depth at each enclosing `{`: inside a lambda body that is itself
+  // a call argument (`sink.after(d, [&]{ a; b; })`), pdepth is nonzero yet
+  // the `;` tokens are real statement ends.  A `;` ends a statement iff
+  // pdepth equals the enclosing brace's paren depth.
+  std::vector<int> brace_pdepth;
+  // Brace-less control statements (`if (c) f(std::move(x));`) get a
+  // virtual scope so the conditional move does not poison the fall-
+  // through path; each entry records the brace depth it was opened at.
+  std::vector<int> virt;
+  bool stmt_start = true;
+  bool suppress = false;  // statement began with return/throw/break/...
+
+  // Constructor init lists (`Foo(T name) : name_(std::move(name)) {`) sit
+  // at the *enclosing* brace depth; their moves belong to the ctor body,
+  // so they are marked one deeper and die with it instead of leaking
+  // marks across every following function in the file.
+  bool ctor_init = false;
+  // Ternary arms: only one of `c ? f(std::move(p)) : g(std::move(p))`
+  // evaluates, so marks made between `?` and its `:` are dropped at the
+  // `:` rather than reading the second arm as a double consume.
+  struct Ternary {
+    int pdepth;
+    std::vector<std::string> names;
+  };
+  std::vector<Ternary> ternaries;
+  // Lambda init-captures (`[pkt = std::move(pkt)]`) consume the outer
+  // local but *redeclare* the name for the lambda body: the body uses
+  // the capture, not the moved-from outer variable.
+  std::vector<std::string> pending_shadow;
+  struct ShadowFrame {
+    int body_depth;
+    std::map<std::string, Mark> saved;
+  };
+  std::vector<ShadowFrame> shadows;
+
+  const auto effective = [&] {
+    return depth + static_cast<int>(virt.size()) + (ctor_init ? 1 : 0);
+  };
+  const auto clear_deeper = [&] {
+    for (auto it = moved.begin(); it != moved.end();) {
+      if (it->second.depth > effective()) {
+        it = moved.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t.at(i);
+    if (tok.punct("{")) {
+      ctor_init = false;
+      brace_pdepth.push_back(pdepth);
+      ++depth;
+      if (!pending_shadow.empty()) {
+        ShadowFrame frame;
+        frame.body_depth = depth;
+        for (const std::string& n : pending_shadow) {
+          const auto it = moved.find(n);
+          if (it != moved.end()) {
+            frame.saved.emplace(n, it->second);
+            moved.erase(it);
+          }
+        }
+        pending_shadow.clear();
+        shadows.push_back(std::move(frame));
+      }
+      stmt_start = true;
+      continue;
+    }
+    if (tok.punct("}")) {
+      if (depth > 0) --depth;
+      if (!brace_pdepth.empty()) brace_pdepth.pop_back();
+      while (!virt.empty() && virt.back() > depth) virt.pop_back();
+      ternaries.clear();
+      clear_deeper();
+      while (!shadows.empty() && shadows.back().body_depth > depth) {
+        for (auto& [n, m] : shadows.back().saved) moved[n] = m;
+        shadows.pop_back();
+      }
+      stmt_start = true;
+      suppress = false;
+      continue;
+    }
+    if (tok.punct("(")) ++pdepth;
+    if (tok.punct(")")) {
+      if (pdepth > 0) --pdepth;
+      if (t.at(i + 1).punct(":")) ctor_init = true;  // `Foo(T x) : x_(...)`
+    }
+    if (tok.punct(";")) {
+      // for(;;) / if-init semicolons live deeper in parens than the
+      // enclosing brace; those are not statement ends.
+      if (pdepth > (brace_pdepth.empty() ? 0 : brace_pdepth.back())) continue;
+      while (!virt.empty() && virt.back() == depth) virt.pop_back();
+      ctor_init = false;
+      ternaries.clear();
+      pending_shadow.clear();
+      clear_deeper();
+      stmt_start = true;
+      suppress = false;
+      continue;
+    }
+    if (tok.punct("?")) {
+      ternaries.push_back({pdepth, {}});
+      continue;
+    }
+    if (tok.punct(":")) {
+      if (!ternaries.empty() && ternaries.back().pdepth == pdepth) {
+        // End of the true arm: its moves are conditional, not consumed
+        // on the path that evaluates the false arm.
+        for (const std::string& n : ternaries.back().names) moved.erase(n);
+        ternaries.pop_back();
+      } else {
+        stmt_start = true;  // labels / case bodies start statements
+      }
+      continue;
+    }
+
+    if (tok.kind == Tok::kIdent) {
+      if (stmt_start &&
+          any_of(tok.text,
+                 {"return", "throw", "break", "continue", "goto",
+                  "co_return"})) {
+        suppress = true;
+        stmt_start = false;
+        continue;
+      }
+      if (any_of(tok.text, {"if", "for", "while", "switch"})) {
+        stmt_start = false;
+        // Find the condition parens, skip them, and open a virtual scope
+        // if the controlled statement is brace-less.
+        std::size_t j = i + 1;
+        if (tok.text == "do") j = i;  // unreachable; kept for symmetry
+        if (t.at(j).punct("(")) {
+          const std::size_t after = t.skip_parens(j);
+          if (!t.at(after).punct("{") && !t.at(after).ident("if")) {
+            virt.push_back(depth);
+          }
+          // Walk the condition tokens normally (moves inside a condition
+          // are real); do not jump `i` forward.
+        }
+        continue;
+      }
+      if (tok.text == "else") {
+        stmt_start = false;
+        if (!t.at(i + 1).punct("{") && !t.at(i + 1).ident("if")) {
+          virt.push_back(depth);
+        }
+        continue;
+      }
+    }
+    stmt_start = false;
+
+    // std::move(x) — consume a plain local.
+    if (tok.ident("std") && t.at(i + 1).punct("::") &&
+        t.at(i + 2).ident("move") && t.at(i + 3).punct("(") &&
+        t.at(i + 4).kind == Tok::kIdent && t.at(i + 5).punct(")")) {
+      const std::string& name = t.at(i + 4).text;
+      const auto it = moved.find(name);
+      if (it != moved.end()) {
+        out.push_back({file, t.at(i + 4).line, "use-after-move",
+                       "'" + name + "' moved again after std::move on line " +
+                           std::to_string(it->second.line) +
+                           " (double consume)"});
+        moved.erase(it);
+      }
+      if (!suppress) {
+        moved[name] = Mark{effective(), tok.line};
+        if (!ternaries.empty()) ternaries.back().names.push_back(name);
+        // `[name = std::move(name)]`: the capture redeclares the name for
+        // the lambda body — shadow it there, restore after.
+        if (i >= 3 && t.prev(i).punct("=") && t.at(i - 2).ident(name.c_str()) &&
+            (t.at(i - 3).punct("[") || t.at(i - 3).punct(","))) {
+          pending_shadow.push_back(name);
+        }
+      }
+      i += 5;  // past the closing paren
+      continue;
+    }
+
+    if (tok.kind != Tok::kIdent) continue;
+    const auto it = moved.find(tok.text);
+    if (it == moved.end()) continue;
+    // Not a use of the local: member names, qualified names.
+    if (t.prev(i).punct(".") || t.prev(i).punct("->") ||
+        t.prev(i).punct("::") || t.at(i + 1).punct("::")) {
+      continue;
+    }
+    const Token& nxt = t.at(i + 1);
+    if (nxt.punct("=")) {
+      // `x = std::move(x)` (incl. init-captures) reads x before writing
+      // it — leave the mark for the move pattern to judge.
+      const bool self_move =
+          t.at(i + 2).ident("std") && t.at(i + 3).punct("::") &&
+          t.at(i + 4).ident("move") && t.at(i + 5).punct("(") &&
+          t.at(i + 6).ident(tok.text.c_str()) && t.at(i + 7).punct(")");
+      if (!self_move) moved.erase(it);  // reassignment re-initializes
+      continue;
+    }
+    if ((nxt.punct(".")) && t.at(i + 2).kind == Tok::kIdent &&
+        any_of(t.at(i + 2).text, {"reset", "clear", "assign"}) &&
+        t.at(i + 3).punct("(")) {
+      moved.erase(it);  // recognized re-initialization member call
+      continue;
+    }
+    out.push_back({file, tok.line, "use-after-move",
+                   "'" + tok.text + "' used after std::move on line " +
+                       std::to_string(it->second.line)});
+    moved.erase(it);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// deferred-capture
+// ---------------------------------------------------------------------------
+void check_deferred_capture(const std::string& file, const View& t,
+                            std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t.at(i);
+    if (tok.kind != Tok::kIdent || !t.at(i + 1).punct("(")) continue;
+    const bool method = t.prev(i).punct(".") || t.prev(i).punct("->");
+    bool sink = false;
+    if (any_of(tok.text,
+               {"schedule", "schedule_at", "schedule_after", "call_at",
+                "defer", "post"})) {
+      sink = true;
+    } else if (method && any_of(tok.text, {"at", "after"})) {
+      // The Simulator's short names; requiring the method-call shape
+      // keeps container ::at() lookups out (those never take lambdas
+      // with capture defaults anyway).
+      sink = true;
+    }
+    if (!sink) continue;
+
+    // Walk the sink's argument list; lambda introducers are only
+    // considered at the top argument level, outside nested braces.
+    int pdepth = 0;
+    int bdepth = 0;
+    bool after_sep = false;  // previous token was '(' or ',' at top level
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      const Token& a = t.at(j);
+      if (a.punct("(")) {
+        ++pdepth;
+        after_sep = pdepth == 1 && bdepth == 0;
+        continue;
+      }
+      if (a.punct(")")) {
+        if (--pdepth == 0) break;
+        after_sep = false;
+        continue;
+      }
+      if (a.punct("{")) ++bdepth;
+      if (a.punct("}") && bdepth > 0) --bdepth;
+      if (a.punct(",")) {
+        after_sep = pdepth == 1 && bdepth == 0;
+        continue;
+      }
+      if (a.punct("[") && after_sep) {
+        // Capture list of a lambda passed directly to the sink.
+        int cdepth = 1;
+        for (std::size_t k = j + 1; k < t.size() && cdepth > 0; ++k) {
+          const Token& c = t.at(k);
+          if (c.punct("[")) ++cdepth;
+          if (c.punct("]")) {
+            --cdepth;
+            if (cdepth == 0) j = k;
+            continue;
+          }
+          if (cdepth != 1) continue;
+          const bool at_entry = t.prev(k).punct("[") || t.prev(k).punct(",");
+          if (c.punct("&") && at_entry) {
+            if (t.at(k + 1).punct(",") || t.at(k + 1).punct("]")) {
+              out.push_back(
+                  {file, c.line, "deferred-capture",
+                   "lambda passed to deferred sink '" + tok.text +
+                       "' uses default [&] capture; the callback can "
+                       "outlive the enclosing frame — capture by value "
+                       "(or [this]) instead"});
+            } else if (t.at(k + 1).kind == Tok::kIdent) {
+              out.push_back(
+                  {file, c.line, "deferred-capture",
+                   "lambda passed to deferred sink '" + tok.text +
+                       "' captures '" + t.at(k + 1).text +
+                       "' by reference; a function-local dangles once "
+                       "the callback outlives the frame — capture by "
+                       "value instead"});
+            }
+          }
+        }
+      }
+      after_sep = false;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// audit-pure
+// ---------------------------------------------------------------------------
+const char* kAssignOps[] = {"=",  "+=", "-=", "*=",  "/=", "%=",
+                            "&=", "|=", "^=", "<<=", ">>="};
+
+bool is_assign_op(const Token& t) {
+  if (t.kind != Tok::kPunct) return false;
+  for (const char* op : kAssignOps) {
+    if (t.text == op) return true;
+  }
+  return false;
+}
+
+// Walk back from index `j` (exclusive) over a member chain like
+// `a.b[i].c` and return the base identifier's text ("" if none).
+std::string base_ident_before(const View& t, std::size_t j) {
+  if (j == 0) return "";
+  std::size_t k = j - 1;
+  // Skip one balanced [] group (array element targets).
+  if (t.at(k).punct("]")) {
+    int d = 0;
+    while (k > 0) {
+      if (t.at(k).punct("]")) ++d;
+      if (t.at(k).punct("[") && --d == 0) {
+        --k;
+        break;
+      }
+      --k;
+    }
+  }
+  if (t.at(k).kind != Tok::kIdent) return "";
+  while (k >= 2 && (t.at(k - 1).punct(".") || t.at(k - 1).punct("->")) &&
+         t.at(k - 2).kind == Tok::kIdent) {
+    k -= 2;
+  }
+  return t.at(k).kind == Tok::kIdent ? t.at(k).text : "";
+}
+
+void check_audit_pure(const std::string& file, const View& t,
+                      std::vector<Diagnostic>& out) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t.at(i);
+    const bool is_check = tok.ident("WTCP_AUDIT_CHECK");
+    const bool is_only = tok.ident("WTCP_AUDIT_ONLY");
+    if ((!is_check && !is_only) || !t.at(i + 1).punct("(")) continue;
+    const std::size_t end = t.skip_parens(i + 1);  // one past ')'
+    const std::size_t lo = i + 2;
+    const std::size_t hi = end > 0 ? end - 1 : lo;
+
+    // WTCP_AUDIT_ONLY may declare audit-local state and mutate it (the
+    // recount loops); mutating anything *not* declared inside the macro
+    // is the hazard.  Collect locals declared in the region first.
+    std::set<std::string> local;
+    if (is_only) {
+      for (std::size_t j = lo; j < hi; ++j) {
+        if (t.at(j).kind != Tok::kIdent) continue;
+        const Token& nx = t.at(j + 1);
+        if (!nx.punct("=") && !nx.punct("{")) continue;
+        const Token& pv = t.prev(j);
+        const bool type_tail = pv.kind == Tok::kIdent || pv.punct(">") ||
+                               pv.punct("&") || pv.punct("*");
+        if (type_tail && !pv.ident("return")) local.insert(t.at(j).text);
+      }
+    }
+
+    for (std::size_t j = lo; j < hi; ++j) {
+      const Token& a = t.at(j);
+      const int line = a.line;
+      if (a.punct("++") || a.punct("--")) {
+        std::string target;
+        if (t.at(j + 1).kind == Tok::kIdent) {
+          target = base_ident_before(t, j + 2);
+        } else {
+          target = base_ident_before(t, j);
+        }
+        if (is_check || local.count(target) == 0) {
+          out.push_back({file, line, "audit-pure",
+                         std::string(is_check ? "WTCP_AUDIT_CHECK condition"
+                                              : "WTCP_AUDIT_ONLY statement") +
+                             " applies '" + a.text + "' to '" + target +
+                             "' — the side effect vanishes when the audit "
+                             "layer is off"});
+        }
+        continue;
+      }
+      if (is_assign_op(a)) {
+        if (a.punct("=") && (t.prev(j).punct("[") || t.at(j + 1).punct("]"))) {
+          continue;  // lambda default copy capture [=]
+        }
+        const std::string target = base_ident_before(t, j);
+        bool declaration = false;
+        if (is_only && t.prev(j).kind == Tok::kIdent &&
+            t.prev(j).text == target && local.count(target) != 0) {
+          // `T name = expr` — the declaration that put name into local.
+          declaration = true;
+        }
+        if (is_check || (!declaration && local.count(target) == 0)) {
+          out.push_back({file, line, "audit-pure",
+                         std::string(is_check ? "WTCP_AUDIT_CHECK condition"
+                                              : "WTCP_AUDIT_ONLY statement") +
+                             " assigns to '" + target +
+                             "' — the side effect vanishes when the audit "
+                             "layer is off"});
+        }
+        continue;
+      }
+      if (a.kind == Tok::kIdent &&
+          (a.text == "reset" || a.text == "release") &&
+          (t.prev(j).punct(".") || t.prev(j).punct("->")) &&
+          t.at(j + 1).punct("(")) {
+        const std::string target = base_ident_before(t, j - 1);
+        if (is_check || local.count(target) == 0) {
+          out.push_back({file, line, "audit-pure",
+                         "'" + target + "." + a.text + "()' inside " +
+                             (is_check ? "WTCP_AUDIT_CHECK" : "WTCP_AUDIT_ONLY") +
+                             " — the release/reset vanishes when the audit "
+                             "layer is off"});
+        }
+      }
+    }
+    i = hi;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism — token-level port of lint_determinism.py plus the
+// alias-laundering and unordered-iteration checks regex cannot do.
+// ---------------------------------------------------------------------------
+struct DetState {
+  std::set<std::string> unordered_vars;     // members/locals of unordered type
+  std::set<std::string> unordered_aliases;  // using X = std::unordered_map<..>
+  std::set<std::string> chrono_ns_aliases;  // namespace c = std::chrono
+  std::set<std::string> banned_type_aliases;  // using C = ...steady_clock
+  std::set<std::string> banned_bare;  // using std::chrono::steady_clock
+  std::set<std::size_t> alias_decl_idx;  // token indices of the decls
+  bool chrono_namespace_open = false;    // using namespace std::chrono
+};
+
+bool match(const View& t, std::size_t i,
+           std::initializer_list<const char*> seq) {
+  std::size_t j = i;
+  for (const char* s : seq) {
+    if (!t.at(j).is(s)) return false;
+    ++j;
+  }
+  return true;
+}
+
+bool is_banned_clock(const std::string& s) {
+  return s == "steady_clock" || s == "system_clock" ||
+         s == "high_resolution_clock";
+}
+
+/// Skip a balanced template argument list starting at the `<` at `i`;
+/// returns the index one past the matching `>`.  `>>` closes two.
+std::size_t skip_angles(const View& t, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < t.size(); ++j) {
+    const Token& a = t.at(j);
+    if (a.punct("<")) ++depth;
+    if (a.punct(";") || a.punct("{")) return j;  // not a template after all
+    if (a.punct(">") && --depth == 0) return j + 1;
+    if (a.punct(">>")) {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    }
+  }
+  return t.size();
+}
+
+void det_collect(const View& t, DetState& st) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (match(t, i, {"using", "namespace", "std", "::", "chrono", ";"})) {
+      st.chrono_namespace_open = true;
+      continue;
+    }
+    // namespace N = std::chrono;
+    if (t.at(i).ident("namespace") && t.at(i + 1).kind == Tok::kIdent &&
+        match(t, i + 2, {"=", "std", "::", "chrono", ";"})) {
+      st.chrono_ns_aliases.insert(t.at(i + 1).text);
+      continue;
+    }
+    // using std::chrono::steady_clock;
+    if (match(t, i, {"using", "std", "::", "chrono", "::"}) &&
+        is_banned_clock(t.at(i + 5).text) && t.at(i + 6).punct(";")) {
+      st.banned_bare.insert(t.at(i + 5).text);
+      continue;
+    }
+    // using C = std::chrono::steady_clock;  (and typedef spelling)
+    if (t.at(i).ident("using") && t.at(i + 1).kind == Tok::kIdent &&
+        t.at(i + 2).punct("=")) {
+      if (match(t, i + 3, {"std", "::", "chrono", "::"}) &&
+          is_banned_clock(t.at(i + 7).text)) {
+        st.banned_type_aliases.insert(t.at(i + 1).text);
+        st.alias_decl_idx.insert(i + 1);
+      }
+      if (match(t, i + 3, {"std", "::", "random_device"})) {
+        st.banned_type_aliases.insert(t.at(i + 1).text);
+        st.alias_decl_idx.insert(i + 1);
+      }
+      if (match(t, i + 3, {"std", "::"}) &&
+          t.at(i + 5).text.rfind("unordered_", 0) == 0) {
+        st.unordered_aliases.insert(t.at(i + 1).text);
+      }
+    }
+    if (t.at(i).ident("typedef")) {
+      if (match(t, i + 1, {"std", "::", "chrono", "::"}) &&
+          is_banned_clock(t.at(i + 5).text) &&
+          t.at(i + 6).kind == Tok::kIdent) {
+        st.banned_type_aliases.insert(t.at(i + 6).text);
+        st.alias_decl_idx.insert(i + 6);
+      }
+    }
+    // std::unordered_map<...> name   — remember `name`.
+    if (match(t, i, {"std", "::"}) &&
+        t.at(i + 2).text.rfind("unordered_", 0) == 0 &&
+        t.at(i + 3).punct("<")) {
+      const std::size_t after = skip_angles(t, i + 3);
+      if (t.at(after).kind == Tok::kIdent) {
+        st.unordered_vars.insert(t.at(after).text);
+      }
+    }
+    // AliasT name;  where AliasT aliases an unordered container.
+    if (t.at(i).kind == Tok::kIdent && st.unordered_aliases.count(t.at(i).text) &&
+        t.at(i + 1).kind == Tok::kIdent &&
+        (t.at(i + 2).punct(";") || t.at(i + 2).punct("=") ||
+         t.at(i + 2).punct("{"))) {
+      st.unordered_vars.insert(t.at(i + 1).text);
+    }
+  }
+}
+
+void check_determinism(const std::string& file, const View& t,
+                       std::vector<Diagnostic>& out) {
+  DetState st;
+  det_collect(t, st);
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t.at(i);
+    const Token& pv = t.prev(i);
+    const int line = tok.line;
+
+    if (match(t, i, {"std", "::", "random_device"})) {
+      out.push_back({file, line, "random-device",
+                     "std::random_device draws hardware entropy; fork a "
+                     "sim::Rng stream off the run seed instead"});
+      i += 2;
+      continue;
+    }
+    if (match(t, i, {"std", "::", "chrono", "::"})) {
+      const std::string& c = t.at(i + 4).text;
+      if (c == "system_clock" || c == "high_resolution_clock") {
+        out.push_back({file, line, "system-clock",
+                       "std::chrono::" + c +
+                           " is wall-clock time; simulation logic must use "
+                           "sim::Time"});
+        i += 4;
+        continue;
+      }
+      if (c == "steady_clock") {
+        out.push_back({file, line, "steady-clock",
+                       "std::chrono::steady_clock is host-dependent; only "
+                       "wall-time profiling may use it (allowlist with a "
+                       "justification if so)"});
+        i += 4;
+        continue;
+      }
+    }
+    if (match(t, i, {"std", "::"}) &&
+        t.at(i + 2).text.rfind("unordered_", 0) == 0 &&
+        (t.at(i + 2).text == "unordered_map" ||
+         t.at(i + 2).text == "unordered_set" ||
+         t.at(i + 2).text == "unordered_multimap" ||
+         t.at(i + 2).text == "unordered_multiset")) {
+      out.push_back({file, line, "unordered-container",
+                     "std::" + t.at(i + 2).text +
+                         " iterates in hash/address order; any use must be "
+                         "justified as never iterated on an output-affecting "
+                         "path (allowlist) or replaced with an ordered/slab "
+                         "container"});
+      i += 2;
+      continue;
+    }
+    // std::map<K*, ...> / std::set<const T*...>
+    if (match(t, i, {"std", "::"}) &&
+        (t.at(i + 2).ident("map") || t.at(i + 2).ident("set")) &&
+        t.at(i + 3).punct("<")) {
+      int depth = 0;
+      const Token* last = nullptr;
+      for (std::size_t j = i + 3; j < t.size(); ++j) {
+        const Token& a = t.at(j);
+        if (a.punct("<")) ++depth;
+        if (a.punct(">") || a.punct(">>")) {
+          depth -= a.punct(">>") ? 2 : 1;
+          if (depth <= 0) break;
+        }
+        if (a.punct(",") && depth == 1) break;
+        if (a.punct(";") || a.punct("{")) break;  // comparison, not template
+        if (depth >= 1 && !a.punct("<")) last = &a;
+      }
+      if (last != nullptr && last->punct("*")) {
+        out.push_back({file, line, "pointer-keyed-order",
+                       "std::" + t.at(i + 2).text +
+                           " keyed by a pointer orders by address, i.e. by "
+                           "allocator behaviour"});
+      }
+    }
+    if (tok.kind == Tok::kIdent && !pv.punct(".") && !pv.punct("->") &&
+        !pv.punct("::") && pv.kind != Tok::kIdent) {
+      if (any_of(tok.text, {"rand", "srand", "drand48", "lrand48", "random"}) &&
+          t.at(i + 1).punct("(") && t.at(i + 2).punct(")")) {
+        out.push_back({file, line, "libc-rand",
+                       "'" + tok.text +
+                           "()' is global-state RNG; fork a sim::Rng stream "
+                           "off the run seed instead"});
+        continue;
+      }
+      if (tok.text == "time" && t.at(i + 1).punct("(") &&
+          (t.at(i + 2).punct(")") ||
+           ((t.at(i + 2).ident("NULL") || t.at(i + 2).ident("nullptr") ||
+             t.at(i + 2).text == "0") &&
+            t.at(i + 3).punct(")")))) {
+        out.push_back({file, line, "wall-clock",
+                       "time() is wall-clock time; simulation logic must use "
+                       "sim::Time"});
+        continue;
+      }
+    }
+    // Laundered clocks: bare names after using-declarations / an open
+    // `using namespace std::chrono`, namespace aliases, type aliases.
+    if (tok.kind == Tok::kIdent && !pv.punct("::") &&
+        is_banned_clock(tok.text) &&
+        (st.chrono_namespace_open || st.banned_bare.count(tok.text))) {
+      out.push_back({file, line, "determinism-alias",
+                     "'" + tok.text +
+                         "' reaches a banned clock through a using-"
+                         "declaration; the alias does not launder the "
+                         "wall-clock dependency"});
+      continue;
+    }
+    if (tok.kind == Tok::kIdent && st.chrono_ns_aliases.count(tok.text) &&
+        t.at(i + 1).punct("::") && is_banned_clock(t.at(i + 2).text)) {
+      out.push_back({file, line, "determinism-alias",
+                     "'" + tok.text + "::" + t.at(i + 2).text +
+                         "' reaches a banned clock through a namespace "
+                         "alias"});
+      i += 2;
+      continue;
+    }
+    if (tok.kind == Tok::kIdent && st.banned_type_aliases.count(tok.text) &&
+        !st.alias_decl_idx.count(i) && !pv.punct(".") && !pv.punct("->")) {
+      out.push_back({file, line, "determinism-alias",
+                     "'" + tok.text +
+                         "' aliases a banned clock/entropy type declared in "
+                         "this file; the alias does not launder it"});
+      continue;
+    }
+    // Range-for over an unordered-container member/local.
+    if (tok.ident("for") && t.at(i + 1).punct("(")) {
+      const std::size_t close = t.skip_parens(i + 1) - 1;
+      // Find the top-level ':' (range-for separator).
+      int depth = 0;
+      std::size_t colon = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (t.at(j).punct("(")) ++depth;
+        if (t.at(j).punct(")")) --depth;
+        if (depth == 1 && t.at(j).punct(":") && !t.at(j + 1).punct(":") &&
+            !t.prev(j).punct(":")) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon != 0) {
+        // Range expression: `x`, `obj.x`, `this->x` — take the last ident.
+        const Token& lastt = t.at(close - 1);
+        if (lastt.kind == Tok::kIdent &&
+            st.unordered_vars.count(lastt.text) &&
+            (close - 1 == colon + 1 || t.prev(close - 1).punct(".") ||
+             t.prev(close - 1).punct("->"))) {
+          out.push_back(
+              {file, lastt.line, "unordered-iteration",
+               "range-for over unordered container '" + lastt.text +
+                   "' iterates in hash/address order; iterate an ordered "
+                   "mirror or justify in the allowlist"});
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// probe-site collection (cross-file judgment happens in the driver)
+// ---------------------------------------------------------------------------
+void collect_probes(const View& t, FileScan& fs) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t.at(i);
+    if (tok.kind == Tok::kString) {
+      fs.string_literals.insert(tok.text);
+      continue;
+    }
+    if (tok.kind != Tok::kIdent) continue;
+    const bool method = t.prev(i).punct(".") || t.prev(i).punct("->");
+    if (!method || !t.at(i + 1).punct("(") ||
+        t.at(i + 2).kind != Tok::kString) {
+      continue;
+    }
+    if (any_of(tok.text, {"counter", "gauge", "histogram"})) {
+      fs.probe_binds.push_back({t.at(i + 2).text, t.at(i + 2).line});
+    } else if (any_of(tok.text, {"counter_value", "gauge_value"})) {
+      fs.probe_reads.push_back({t.at(i + 2).text, t.at(i + 2).line});
+    }
+  }
+}
+
+}  // namespace
+
+FileScan scan_file(const std::string& file, const std::vector<Token>& toks,
+                   const CheckOptions& opt) {
+  FileScan fs;
+  const std::vector<const Token*> code = code_view(toks);
+  const View cv{code};
+
+  std::vector<const Token*> all;
+  all.reserve(toks.size());
+  for (const Token& t : toks) {
+    if (t.kind != Tok::kEnd) all.push_back(&t);
+  }
+  const View av{all};
+
+  if (opt.use_after_move) check_use_after_move(file, cv, fs.diags);
+  if (opt.deferred_capture) check_deferred_capture(file, cv, fs.diags);
+  if (opt.audit_pure) check_audit_pure(file, cv, fs.diags);
+  if (opt.determinism) check_determinism(file, av, fs.diags);
+  collect_probes(av, fs);
+
+  std::stable_sort(fs.diags.begin(), fs.diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+  return fs;
+}
+
+}  // namespace wtcp::lint

@@ -1,0 +1,62 @@
+// wtcp-lint per-file checks (Tier 1.5 — see docs/static-analysis.md).
+//
+// Every check walks the token stream from lexer.hpp with a per-function
+// scope model (brace depth plus virtual scopes for brace-less control
+// statements), so diagnostics are scope-aware without a real AST:
+//
+//   use-after-move     a local consumed by std::move(x) and read again
+//                      before reassignment in the same scope
+//   deferred-capture   lambdas handed to schedule/at/after-shaped sinks
+//                      with default [&] capture or named by-ref captures
+//   audit-pure         side effects inside WTCP_AUDIT_CHECK conditions,
+//                      or WTCP_AUDIT_ONLY statements mutating non-audit
+//                      state — both vanish in release builds
+//   determinism        the seven lint_determinism.py rules at token
+//                      level, plus range-for over unordered-container
+//                      members and clock/rand access laundered through
+//                      in-file aliases
+//
+// Cross-file material (probe-name bind/read sites, the set of string
+// literals) is collected here and judged in driver.cpp.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/wtcp-lint/lexer.hpp"
+
+namespace wtcp::lint {
+
+struct Diagnostic {
+  std::string file;  // repo-relative
+  int line = 0;
+  std::string check;    // "use-after-move", "deferred-capture", ...
+  std::string message;  // human-readable, no trailing period style
+};
+
+struct ProbeSite {
+  std::string name;
+  int line = 0;
+};
+
+struct FileScan {
+  std::vector<Diagnostic> diags;
+  std::vector<ProbeSite> probe_binds;   // counter("x") / gauge / histogram
+  std::vector<ProbeSite> probe_reads;   // counter_value("x") / gauge_value
+  std::set<std::string> string_literals;
+};
+
+struct CheckOptions {
+  bool use_after_move = true;
+  bool deferred_capture = true;
+  bool audit_pure = true;
+  bool determinism = true;
+};
+
+/// Run every enabled per-file check over one lexed file.  `file` is the
+/// repo-relative path stamped into diagnostics.
+FileScan scan_file(const std::string& file, const std::vector<Token>& toks,
+                   const CheckOptions& opt);
+
+}  // namespace wtcp::lint

@@ -1,0 +1,224 @@
+#include "tools/wtcp-lint/driver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "tools/wtcp-lint/allowlist.hpp"
+#include "tools/wtcp-lint/analysis.hpp"
+#include "tools/wtcp-lint/lexer.hpp"
+
+namespace fs = std::filesystem;
+
+namespace wtcp::lint {
+namespace {
+
+bool has_cpp_suffix(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+bool is_excluded(const std::string& rel) {
+  // Deliberately-violating inputs for the fixture harness; only ever
+  // scanned one-by-one in fixture mode.
+  return rel.find("lint_fixtures") != std::string::npos;
+}
+
+std::string read_file(const fs::path& p, bool* ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return "";
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *ok = true;
+  return ss.str();
+}
+
+bool under(const std::string& rel, const char* dir) {
+  return rel.rfind(std::string(dir) + "/", 0) == 0;
+}
+
+struct ScannedFile {
+  std::string rel;
+  FileScan scan;
+};
+
+}  // namespace
+
+int run_driver(const DriverOptions& opt) {
+  const fs::path root =
+      opt.root.empty() ? fs::current_path() : fs::path(opt.root);
+
+  // ---- collect files -----------------------------------------------------
+  std::vector<std::string> files;  // repo-relative
+  for (const std::string& input : opt.inputs) {
+    const fs::path p = root / input;
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (!it->is_regular_file(ec) || !has_cpp_suffix(it->path())) continue;
+        const std::string rel =
+            fs::relative(it->path(), root, ec).generic_string();
+        if (!opt.fixture_mode && is_excluded(rel)) continue;
+        files.push_back(rel);
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(fs::relative(p, root, ec).generic_string());
+    } else {
+      std::fprintf(stderr, "wtcp-lint: no such input: %s\n", input.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // ---- scan --------------------------------------------------------------
+  std::vector<ScannedFile> scans;
+  scans.reserve(files.size());
+  for (const std::string& rel : files) {
+    bool ok = false;
+    const std::string text = read_file(root / rel, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "wtcp-lint: cannot read %s\n", rel.c_str());
+      return 1;
+    }
+    CheckOptions co;
+    if (!opt.fixture_mode) {
+      co.determinism = under(rel, "src");
+      co.deferred_capture = under(rel, "src");
+    }
+    scans.push_back({rel, scan_file(rel, lex(text), co)});
+  }
+
+  // ---- cross-file probe-drift -------------------------------------------
+  std::string doc_text;
+  for (const std::string& doc : opt.probe_docs) {
+    bool ok = false;
+    doc_text += read_file(root / doc, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "wtcp-lint: cannot read probe doc %s\n",
+                   doc.c_str());
+      return 1;
+    }
+    doc_text += '\n';
+  }
+
+  std::set<std::string> bound_names;
+  std::set<std::string> read_names;
+  for (const ScannedFile& sf : scans) {
+    for (const ProbeSite& b : sf.scan.probe_binds) bound_names.insert(b.name);
+    for (const ProbeSite& r : sf.scan.probe_reads) read_names.insert(r.name);
+  }
+  const auto in_other_file = [&](const std::string& name,
+                                 const std::string& self) {
+    for (const ScannedFile& sf : scans) {
+      if (sf.rel != self && sf.scan.string_literals.count(name)) return true;
+    }
+    return false;
+  };
+
+  std::vector<Diagnostic> diags;
+  for (const ScannedFile& sf : scans) {
+    for (const Diagnostic& d : sf.scan.diags) diags.push_back(d);
+    for (const ProbeSite& r : sf.scan.probe_reads) {
+      if (bound_names.count(r.name) || in_other_file(r.name, sf.rel)) continue;
+      diags.push_back(
+          {sf.rel, r.line, "probe-drift",
+           "probe '" + r.name +
+               "' is read here but bound nowhere in the tree; missing "
+               "probes silently read as zero"});
+    }
+    const bool judge_binds = opt.fixture_mode || under(sf.rel, "src");
+    if (!judge_binds) continue;
+    for (const ProbeSite& b : sf.scan.probe_binds) {
+      if (read_names.count(b.name) || in_other_file(b.name, sf.rel) ||
+          doc_text.find(b.name) != std::string::npos) {
+        continue;
+      }
+      diags.push_back(
+          {sf.rel, b.line, "probe-drift",
+           "probe '" + b.name +
+               "' is bound here but never read by any test/exporter and "
+               "not documented in the probe catalog "
+               "(docs/observability.md)"});
+    }
+  }
+
+  // ---- --only filter -----------------------------------------------------
+  if (!opt.only.empty()) {
+    const std::set<std::string> keep(opt.only.begin(), opt.only.end());
+    diags.erase(std::remove_if(diags.begin(), diags.end(),
+                               [&](const Diagnostic& d) {
+                                 return keep.count(d.check) == 0;
+                               }),
+                diags.end());
+  }
+
+  // ---- allowlist ---------------------------------------------------------
+  bool allow_io_error = false;
+  Allowlist allow =
+      load_allowlist(opt.allowlist_path.empty()
+                         ? ""
+                         : (root / opt.allowlist_path).string(),
+                     /*must_exist=*/true, &allow_io_error);
+  if (allow_io_error) {
+    std::fprintf(stderr, "wtcp-lint: cannot read allowlist %s\n",
+                 opt.allowlist_path.c_str());
+    return 1;
+  }
+  int status = 0;
+  for (const std::string& err : allow.parse_errors) {
+    std::fprintf(stderr, "wtcp-lint: %s\n", err.c_str());
+    status = 1;
+  }
+
+  std::vector<Diagnostic> kept;
+  for (Diagnostic& d : diags) {
+    if (!allow.covers(d)) kept.push_back(std::move(d));
+  }
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.check < b.check;
+                   });
+  for (const Diagnostic& d : kept) {
+    std::printf("%s:%d: [%s] %s\n", d.file.c_str(), d.line, d.check.c_str(),
+                d.message.c_str());
+    status = 1;
+  }
+
+  // In --only runs, entries for filtered-out checks are not stale — the
+  // run never judged them.
+  std::set<std::string> judged;
+  if (opt.only.empty()) {
+    // every check ran
+  } else {
+    judged.insert(opt.only.begin(), opt.only.end());
+  }
+  for (const AllowEntry* e : allow.stale()) {
+    if (!judged.empty() && judged.count(e->check) == 0) continue;
+    std::printf("%s:%d: [stale-allowlist] entry [%s] %s matched nothing — "
+                "remove it\n",
+                opt.allowlist_path.c_str(), e->file_line, e->check.c_str(),
+                e->path.c_str());
+    status = 1;
+  }
+
+  if (status == 0) {
+    std::fprintf(stderr,
+                 "wtcp-lint: %zu files clean (%zu justified allowlist "
+                 "entries)\n",
+                 scans.size(), allow.entries.size());
+  }
+  return status;
+}
+
+}  // namespace wtcp::lint

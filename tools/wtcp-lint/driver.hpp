@@ -1,0 +1,36 @@
+// wtcp-lint driver: file collection, path-scoped check selection, the
+// cross-file probe-drift check, allowlist filtering, and output.
+//
+// Scope policy (why this is a *scope-aware* analyzer and not a grep):
+//
+//   * determinism checks apply to src/ only — tests, benches and tools
+//     may time walls and hash freely; simulation logic may not;
+//   * deferred-capture applies to src/ only — a test that schedules a
+//     [&] lambda and pumps the loop inside the same frame is safe, a
+//     component whose callback outlives its frame is not;
+//   * use-after-move and audit-pure apply everywhere;
+//   * probe-drift: bind sites are judged for src/ (a probe the tree
+//     publishes must be read or documented somewhere), read sites are
+//     judged everywhere (reading a never-bound name silently yields 0).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wtcp::lint {
+
+struct DriverOptions {
+  std::string root;                     // repo root; paths printed relative
+  std::vector<std::string> inputs;      // dirs or files, relative to root
+  std::string allowlist_path;           // "" = no allowlist
+  std::vector<std::string> probe_docs;  // files whose text "documents" probes
+  std::vector<std::string> only;        // restrict to these check ids
+  bool fixture_mode = false;  // all checks on every input, no path scoping
+};
+
+/// Run the analyzer; diagnostics go to stdout, errors to stderr.
+/// Returns the process exit code (0 clean, 1 findings/stale/IO error,
+/// 2 usage error).
+int run_driver(const DriverOptions& opt);
+
+}  // namespace wtcp::lint

@@ -1,0 +1,283 @@
+#include "tools/wtcp-lint/lexer.hpp"
+
+#include <cctype>
+
+namespace wtcp::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Splice-resolved character stream: logical characters plus the physical
+// line each came from.  Raw-string bodies are re-read from this stream
+// too; a backslash-newline inside a raw string is a (vanishingly rare)
+// fidelity loss the checks never depend on.
+struct Stream {
+  std::string chars;
+  std::vector<int> lines;
+};
+
+Stream splice(const std::string& src) {
+  Stream s;
+  s.chars.reserve(src.size());
+  s.lines.reserve(src.size());
+  int line = 1;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    if (c == '\\') {
+      // Backslash followed by (optional \r then) \n is a splice.
+      std::size_t j = i + 1;
+      if (j < src.size() && src[j] == '\r') ++j;
+      if (j < src.size() && src[j] == '\n') {
+        i = j;
+        ++line;
+        continue;
+      }
+    }
+    s.chars.push_back(c);
+    s.lines.push_back(line);
+    if (c == '\n') ++line;
+  }
+  return s;
+}
+
+struct Lexer {
+  const Stream& st;
+  std::size_t i = 0;
+  std::vector<Token> out;
+
+  // Preprocessor line model: set when the first non-whitespace character
+  // of a logical line is '#', cleared at the newline ending it.
+  bool in_pp = false;
+  std::string pp_directive;
+  bool at_line_start = true;
+
+  explicit Lexer(const Stream& s) : st(s) {}
+
+  char cur() const { return i < st.chars.size() ? st.chars[i] : '\0'; }
+  char at(std::size_t k) const {
+    return i + k < st.chars.size() ? st.chars[i + k] : '\0';
+  }
+  int line() const {
+    return i < st.lines.size() ? st.lines[i]
+                               : (st.lines.empty() ? 1 : st.lines.back());
+  }
+  bool done() const { return i >= st.chars.size(); }
+
+  void push(Tok kind, std::string text, int ln) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = ln;
+    t.pp = in_pp;
+    if (in_pp) t.pp_directive = pp_directive;
+    out.push_back(std::move(t));
+  }
+
+  void newline() {
+    in_pp = false;
+    pp_directive.clear();
+    at_line_start = true;
+    ++i;
+  }
+
+  void run() {
+    while (!done()) {
+      const char c = cur();
+      if (c == '\n') {
+        newline();
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++i;
+        continue;
+      }
+      if (c == '/' && at(1) == '/') {
+        while (!done() && cur() != '\n') ++i;
+        continue;  // the \n itself is handled above (ends a pp line)
+      }
+      if (c == '/' && at(1) == '*') {
+        i += 2;
+        while (!done() && !(cur() == '*' && at(1) == '/')) ++i;
+        if (!done()) i += 2;
+        continue;  // block comments do not end a pp line (splice model)
+      }
+      if (c == '#' && at_line_start) {
+        in_pp = true;
+        ++i;
+        // Directive name follows optional whitespace.
+        while (cur() == ' ' || cur() == '\t') ++i;
+        std::string name;
+        while (ident_cont(cur())) name.push_back(st.chars[i++]);
+        pp_directive = name;
+        const int ln = line();
+        push(Tok::kPunct, "#", ln);
+        if (!name.empty()) push(Tok::kIdent, name, ln);
+        if (name == "include") {
+          // The payload (<...> or "...") is not C++ tokens; drop the line.
+          while (!done() && cur() != '\n') ++i;
+        }
+        at_line_start = false;
+        continue;
+      }
+      at_line_start = false;
+      if (lex_string_or_char()) continue;
+      if (ident_start(c)) {
+        const int ln = line();
+        std::string id;
+        while (ident_cont(cur())) id.push_back(st.chars[i++]);
+        push(Tok::kIdent, std::move(id), ln);
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(at(1))))) {
+        lex_number();
+        continue;
+      }
+      lex_punct();
+    }
+    push(Tok::kEnd, "", st.lines.empty() ? 1 : st.lines.back());
+  }
+
+  // Returns true if an (optionally prefixed, optionally raw) string or
+  // char literal starts at the cursor and was consumed.
+  bool lex_string_or_char() {
+    std::size_t p = i;  // after the encoding prefix, if any
+    if (cur() == 'u' && at(1) == '8') {
+      p = i + 2;
+    } else if (cur() == 'u' || cur() == 'U' || cur() == 'L') {
+      p = i + 1;
+    }
+    const auto pc = [&](std::size_t k) {
+      return k < st.chars.size() ? st.chars[k] : '\0';
+    };
+    if (pc(p) == 'R' && pc(p + 1) == '"') {
+      lex_raw_string(p + 2);
+      return true;
+    }
+    if (pc(p) == '"') {
+      lex_quoted(p, '"', Tok::kString);
+      return true;
+    }
+    // Char literal: prefix must be immediately followed by '.  A bare
+    // identifier like u8 alone falls through to identifier lexing; only
+    // treat the prefix as such when the quote is really there.
+    if (pc(p) == '\'' && (p == i || p == i + 1 || p == i + 2)) {
+      if (p != i || cur() == '\'') {
+        // Guard against digit separators: 1'000 reaches here only via
+        // lex_number, never this function (cursor sits on a quote only
+        // when the previous token ended).
+        lex_quoted(p, '\'', Tok::kCharLit);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void lex_quoted(std::size_t open, char q, Tok kind) {
+    const int ln = i < st.lines.size() ? st.lines[i] : 1;
+    std::size_t k = open + 1;
+    std::string content;
+    while (k < st.chars.size() && st.chars[k] != q) {
+      if (st.chars[k] == '\\' && k + 1 < st.chars.size()) {
+        content.push_back(st.chars[k]);
+        content.push_back(st.chars[k + 1]);
+        k += 2;
+        continue;
+      }
+      if (st.chars[k] == '\n') break;  // unterminated; stop at line end
+      content.push_back(st.chars[k]);
+      ++k;
+    }
+    if (k < st.chars.size() && st.chars[k] == q) ++k;
+    i = k;
+    push(kind, std::move(content), ln);
+  }
+
+  void lex_raw_string(std::size_t after_quote) {
+    const int ln = i < st.lines.size() ? st.lines[i] : 1;
+    // R"delim( ... )delim"
+    std::size_t k = after_quote;
+    std::string delim;
+    while (k < st.chars.size() && st.chars[k] != '(' &&
+           st.chars[k] != '\n' && delim.size() < 16) {
+      delim.push_back(st.chars[k++]);
+    }
+    std::string content;
+    if (k < st.chars.size() && st.chars[k] == '(') {
+      ++k;
+      const std::string closer = ")" + delim + "\"";
+      while (k < st.chars.size()) {
+        if (st.chars[k] == ')' &&
+            st.chars.compare(k, closer.size(), closer) == 0) {
+          k += closer.size();
+          break;
+        }
+        content.push_back(st.chars[k++]);
+      }
+    }
+    i = k;
+    push(Tok::kString, std::move(content), ln);
+  }
+
+  void lex_number() {
+    const int ln = line();
+    std::string num;
+    while (!done()) {
+      const char c = cur();
+      if (ident_cont(c) || c == '.' || c == '\'') {
+        // Digit separator: 1'000'000.  Only between digits — a quote not
+        // followed by an alnum ends the number (it starts a char lit).
+        if (c == '\'' && !std::isalnum(static_cast<unsigned char>(at(1)))) {
+          break;
+        }
+        num.push_back(st.chars[i++]);
+        continue;
+      }
+      if ((c == '+' || c == '-') && !num.empty()) {
+        const char prev = num.back();
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          num.push_back(st.chars[i++]);
+          continue;
+        }
+      }
+      break;
+    }
+    push(Tok::kNumber, std::move(num), ln);
+  }
+
+  void lex_punct() {
+    static const char* kOps[] = {
+        // Longest first: maximal munch.
+        "<<=", ">>=", "<=>", "...", "->*", "::", "->", "++", "--", "<<",
+        ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+        "%=", "&=", "|=", "^=", ".*",
+    };
+    const int ln = line();
+    for (const char* op : kOps) {
+      const std::size_t n = std::char_traits<char>::length(op);
+      if (st.chars.compare(i, n, op) == 0) {
+        i += n;
+        push(Tok::kPunct, op, ln);
+        return;
+      }
+    }
+    push(Tok::kPunct, std::string(1, st.chars[i]), ln);
+    ++i;
+  }
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  const Stream st = splice(source);
+  Lexer lx(st);
+  lx.run();
+  return lx.out;
+}
+
+}  // namespace wtcp::lint

@@ -1,0 +1,61 @@
+// wtcp-lint tokenizer (Tier 1.5 — see docs/static-analysis.md).
+//
+// A comment/string-correct C++ lexer with a preprocessor-aware line
+// model, self-contained on purpose: this environment ships no clang
+// headers, and the checks in analysis.cpp only need token streams, not
+// semantics.  What it gets right that the old regex lint could not:
+//
+//   * comments (// and /* */) produce no tokens, so a banned construct
+//     mentioned in prose never fires;
+//   * string and character literals are single tokens whose *content*
+//     is never scanned by code checks — `R"(std::move(x))"` is data;
+//   * raw strings with custom delimiters, encoding prefixes (u8/u/U/L),
+//     and multi-line bodies are lexed to their real end;
+//   * backslash-newline splices are resolved before lexing (physical
+//     line numbers are preserved per token), so a macro spanning five
+//     lines is one logical line, and a spliced // comment swallows its
+//     continuation exactly like the real preprocessor;
+//   * preprocessor directives are tokenized (flagged `pp`, carrying the
+//     directive name) so checks can reason about macro bodies without
+//     letting an unbalanced `#define BEGIN {` corrupt brace tracking;
+//     `#include` payloads produce no tokens at all.
+//
+// Multi-character operators are max-munched (`==`, `->`, `++`, `<<=`,
+// `::`, ...), which is what lets the audit-purity check tell `=` from
+// `==` without regex heroics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wtcp::lint {
+
+enum class Tok {
+  kIdent,
+  kNumber,
+  kString,   // text holds the *content* (quotes/prefix/delims stripped)
+  kCharLit,  // text holds the content between the quotes
+  kPunct,
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  int line = 0;       // physical line of the token's first character
+  bool pp = false;    // inside a preprocessor directive's logical line
+  std::string pp_directive;  // "define", "if", ... for pp tokens
+
+  bool is(const char* s) const { return text == s; }
+  bool ident(const char* s) const { return kind == Tok::kIdent && text == s; }
+  bool punct(const char* s) const { return kind == Tok::kPunct && text == s; }
+};
+
+/// Lex `source` (the bytes of one translation unit).  Never fails: on a
+/// malformed construct (unterminated string/comment) the remainder is
+/// consumed as best-effort tokens — a linter must not die on the code it
+/// is judging.  The returned stream ends with one kEnd token.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace wtcp::lint

@@ -1,0 +1,119 @@
+// wtcp-lint — in-tree, scope-aware static analyzer (Tier 1.5).
+//
+//   wtcp-lint [options] [input dir/file ...]
+//
+// Defaults mirror the repo layout: scan src/ bench/ tests/ examples/
+// under --root (default: cwd), suppress via --allowlist, and treat
+// docs/observability.md as the probe catalog for probe-drift.
+//
+// Exit status: 0 clean, 1 diagnostics / stale allowlist / IO error,
+// 2 usage error.  Output format: `file:line: [check-id] message`.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tools/wtcp-lint/driver.hpp"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: wtcp-lint [options] [input ...]\n"
+      "\n"
+      "  --root DIR         repo root (default: cwd); inputs and reported\n"
+      "                     paths are relative to it\n"
+      "  --allowlist FILE   structured allowlist (default:\n"
+      "                     scripts/lint_allowlist.txt when it exists;\n"
+      "                     pass '' to disable)\n"
+      "  --probe-doc FILE   text counted as probe documentation for the\n"
+      "                     probe-drift check (repeatable; default:\n"
+      "                     docs/observability.md when it exists)\n"
+      "  --only IDS         comma-separated check ids to report\n"
+      "  --fixture          fixture mode: every check on every input, no\n"
+      "                     path scoping (used by the ctest harness)\n"
+      "\n"
+      "checks: use-after-move deferred-capture audit-pure probe-drift\n"
+      "        libc-rand random-device wall-clock system-clock\n"
+      "        steady-clock unordered-container pointer-keyed-order\n"
+      "        unordered-iteration determinism-alias\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wtcp::lint::DriverOptions opt;
+  bool allowlist_set = false;
+  bool probe_doc_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "wtcp-lint: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--root") {
+      const char* v = value();
+      if (!v) return 2;
+      opt.root = v;
+    } else if (arg == "--allowlist") {
+      const char* v = value();
+      if (!v) return 2;
+      opt.allowlist_path = v;
+      allowlist_set = true;
+    } else if (arg == "--probe-doc") {
+      const char* v = value();
+      if (!v) return 2;
+      opt.probe_docs.push_back(v);
+      probe_doc_set = true;
+    } else if (arg == "--only") {
+      const char* v = value();
+      if (!v) return 2;
+      std::string cur;
+      for (const char* p = v;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          if (!cur.empty()) opt.only.push_back(cur);
+          cur.clear();
+          if (*p == '\0') break;
+        } else {
+          cur.push_back(*p);
+        }
+      }
+    } else if (arg == "--fixture") {
+      opt.fixture_mode = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "wtcp-lint: unknown option %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      opt.inputs.push_back(arg);
+    }
+  }
+
+  if (opt.inputs.empty()) {
+    for (const char* d : {"src", "bench", "tests", "examples"}) {
+      opt.inputs.push_back(d);
+    }
+  }
+  const std::string root = opt.root.empty() ? "." : opt.root;
+  const auto exists = [&](const std::string& rel) {
+    std::FILE* f = std::fopen((root + "/" + rel).c_str(), "rb");
+    if (f) std::fclose(f);
+    return f != nullptr;
+  };
+  if (!allowlist_set && !opt.fixture_mode &&
+      exists("scripts/lint_allowlist.txt")) {
+    opt.allowlist_path = "scripts/lint_allowlist.txt";
+  }
+  if (!probe_doc_set && !opt.fixture_mode && exists("docs/observability.md")) {
+    opt.probe_docs.push_back("docs/observability.md");
+  }
+  return wtcp::lint::run_driver(opt);
+}
