@@ -109,10 +109,15 @@ inline void banner(const std::string& title, const std::string& setup) {
             << "==============================================================\n\n";
 }
 
-/// The three schemes the paper compares.
+/// The schemes the paper compares (plus snoop, the Berkeley baseline the
+/// flavor-matrix bench contrasts them against).
 inline topo::ScenarioConfig with_scheme(topo::ScenarioConfig cfg,
                                         const std::string& scheme) {
   if (scheme == "basic") return cfg;
+  if (scheme == "snoop") {
+    cfg.snoop = true;
+    return cfg;
+  }
   cfg.local_recovery = true;
   if (scheme == "ebsn") cfg.feedback = topo::FeedbackMode::kEbsn;
   if (scheme == "quench") cfg.feedback = topo::FeedbackMode::kSourceQuench;

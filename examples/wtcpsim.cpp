@@ -29,7 +29,7 @@ topology
 
 scheme
   --scheme S               basic|local|ebsn|quench|snoop   (default basic)
-  --flavor F               tahoe|reno|newreno              (default tahoe)
+  --flavor F               tahoe|reno|newreno|westwood|cerl (default tahoe)
   --sack                   RFC 2018 selective acknowledgments
 
 multi-user cell (Section 2 / Bhagwat et al. [9])
@@ -47,6 +47,8 @@ workload / TCP
   --window N               receiver window in bytes
   --granularity-ms N       TCP clock granularity (default 100)
   --delayed-ack            receiver coalesces ACKs (RFC 1122)
+  --ack-pacing             receiver paces in-order cumulative ACKs
+  --ack-pacing-ms N        minimum gap between paced ACKs (default 50)
 
 channel
   --good S --bad S         mean good/bad period lengths, seconds
@@ -170,6 +172,12 @@ int main(int argc, char** argv) {
       cfg.tcp.rto.min_rto = cfg.tcp.rto.granularity * 2;
     } else if (a == "--delayed-ack") {
       cfg.tcp.delayed_ack = true;
+    } else if (a == "--ack-pacing") {
+      cfg.tcp.ack_pacing = true;
+    } else if (a == "--ack-pacing-ms") {
+      cfg.tcp.ack_pacing = true;
+      cfg.tcp.ack_pacing_interval =
+          sim::Time::milliseconds(arg_long(argc, argv, i));
     } else if (a == "--good") {
       cfg.channel.mean_good_s = arg_double(argc, argv, i);
     } else if (a == "--bad") {
@@ -292,6 +300,10 @@ int main(int argc, char** argv) {
     cfg.tcp.flavor = tcp::TcpFlavor::kReno;
   } else if (flavor == "newreno") {
     cfg.tcp.flavor = tcp::TcpFlavor::kNewReno;
+  } else if (flavor == "westwood") {
+    cfg.tcp.flavor = tcp::TcpFlavor::kWestwood;
+  } else if (flavor == "cerl") {
+    cfg.tcp.flavor = tcp::TcpFlavor::kCerl;
   } else if (flavor != "tahoe") {
     usage(2);
   }

@@ -39,5 +39,16 @@ done
   --benchmark_repetitions="${WTCP_BENCH_REPS:-1}" \
   "$@"
 
+# Flavor-matrix ablation baseline: abl_tcp_flavor is a scenario bench, not
+# a google-benchmark binary — lift its wtcp-bench-json block out of the
+# human-readable report.  bench_smoke.py --flavors compares the committed
+# cell set against a cheap re-run (WTCP_FLAVOR_SEEDS trims the re-run).
+if [ ! -x "$BUILD_DIR/bench/abl_tcp_flavor" ]; then
+  cmake --build "$BUILD_DIR" -j"$(nproc)" --target abl_tcp_flavor
+fi
+"$BUILD_DIR/bench/abl_tcp_flavor" \
+  | sed -n '/^--- wtcp-bench-json ---$/,/^--- end wtcp-bench-json ---$/{//!p;}' \
+  > BENCH_flavors.json
+
 echo
-echo "wrote BENCH_engine.json, BENCH_datapath.json and BENCH_multiflow.json"
+echo "wrote BENCH_engine.json, BENCH_datapath.json, BENCH_multiflow.json and BENCH_flavors.json"

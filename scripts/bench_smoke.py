@@ -15,10 +15,20 @@ hot path accidentally quadratic", not a precision benchmark — the short
 min-time and shared CI hardware put a few tens of percent of noise on the
 reading, hence the wide threshold.
 
+A second mode, ``--flavors``, is a *completeness* tripwire rather than a
+perf one: it re-runs the congestion-control flavor x recovery-scheme
+matrix (``abl_tcp_flavor``) with a handful of seeds and fails if any cell
+recorded in the committed ``BENCH_flavors.json`` is missing, a new cell
+appeared without being re-recorded, or any current cell reports insane
+metrics (zero throughput / goodput outside (0, 1]).  Timings are NOT
+compared — the cheap re-run uses fewer seeds than the baseline.
+
 Usage:
     scripts/bench_smoke.py [--build-dir BUILD] [--exe BINARY]
                            [--baseline BENCH_engine.json]
                            [--bench NAME] [--threshold PCT] [--min-time SEC]
+    scripts/bench_smoke.py --flavors [--build-dir BUILD] [--seeds N]
+                           [--baseline BENCH_flavors.json]
 
 Exit status: 0 within threshold, 1 regression or missing data.
 """
@@ -27,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import subprocess
 import sys
@@ -77,19 +88,77 @@ def current_time(build_dir: pathlib.Path, exe_name: str, bench: str,
     raise SystemExit(f"error: '{bench}' produced no result")
 
 
+def flavor_cell(row: dict) -> tuple[str, str, str, bool]:
+    return (row["flavor"], row["scheme"], row.get("setup", "wan"),
+            bool(row.get("ack_pacing")))
+
+
+def run_flavor_matrix(build_dir: pathlib.Path, seeds: int) -> list[dict]:
+    """Re-run abl_tcp_flavor cheaply and return its JSON rows."""
+    exe = build_dir / "bench" / "abl_tcp_flavor"
+    if not exe.exists():
+        raise SystemExit(f"error: {exe} not built (need the bench tree)")
+    env = dict(os.environ, WTCP_FLAVOR_SEEDS=str(seeds))
+    out = subprocess.run([str(exe)], env=env, check=True,
+                         capture_output=True, text=True).stdout
+    try:
+        block = out.split("--- wtcp-bench-json ---")[1]
+        block = block.split("--- end wtcp-bench-json ---")[0]
+    except IndexError:
+        raise SystemExit("error: abl_tcp_flavor emitted no wtcp-bench-json "
+                         "block") from None
+    return json.loads(block)["rows"]
+
+
+def flavors_mode(args: argparse.Namespace) -> int:
+    base_rows = json.loads(args.baseline.read_text())["rows"]
+    cur_rows = run_flavor_matrix(args.build_dir, args.seeds)
+    base_cells = {flavor_cell(r) for r in base_rows}
+    cur_cells = {flavor_cell(r) for r in cur_rows}
+
+    ok = True
+    for cell in sorted(base_cells - cur_cells):
+        print(f"FAIL: recorded cell vanished from the matrix: {cell}")
+        ok = False
+    for cell in sorted(cur_cells - base_cells):
+        print(f"FAIL: new cell {cell} not in {args.baseline} — re-record "
+              "via scripts/bench.sh")
+        ok = False
+    for row in cur_rows:
+        sane = row.get("throughput_bps", 0) > 0 and 0 < row.get("goodput", 0) <= 1
+        if not sane:
+            print(f"FAIL: cell {flavor_cell(row)} reports insane metrics: "
+                  f"throughput_bps={row.get('throughput_bps')} "
+                  f"goodput={row.get('goodput')}")
+            ok = False
+    if ok:
+        print(f"OK: {len(cur_cells)} matrix cells present and sane "
+              f"({args.seeds} seeds/cell)")
+    return 0 if ok else 1
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build", type=pathlib.Path)
     ap.add_argument("--exe", default="micro_engine",
                     help="benchmark binary under <build-dir>/bench/")
-    ap.add_argument("--baseline", default="BENCH_engine.json",
-                    type=pathlib.Path)
+    ap.add_argument("--baseline", default=None, type=pathlib.Path)
     ap.add_argument("--bench", default="BM_SchedulerScheduleRun/100000")
     ap.add_argument("--threshold", default=25.0, type=float,
                     help="max slowdown vs baseline median, percent")
     ap.add_argument("--min-time", default=0.05, type=float,
                     help="--benchmark_min_time per run (plain seconds)")
+    ap.add_argument("--flavors", action="store_true",
+                    help="check the flavor-matrix cell set instead of perf")
+    ap.add_argument("--seeds", default=2, type=int,
+                    help="seeds per cell for the --flavors re-run")
     args = ap.parse_args()
+
+    if args.baseline is None:
+        args.baseline = pathlib.Path(
+            "BENCH_flavors.json" if args.flavors else "BENCH_engine.json")
+    if args.flavors:
+        return flavors_mode(args)
 
     base, base_unit = baseline_median(args.baseline, args.bench)
     now, now_unit = current_time(args.build_dir, args.exe, args.bench,

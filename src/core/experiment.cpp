@@ -126,8 +126,12 @@ std::string describe_config(const topo::ScenarioConfig& cfg) {
      << ":tick" << cfg.tcp.rto.granularity.ns() << "ns"
      << (cfg.tcp.delayed_ack ? ":delack" : "")
      << (cfg.tcp.connect_handshake ? ":handshake" : "")
-     << (cfg.tcp.sack_enabled ? ":sack" : "")
-     << " dir=" << topo::to_string(cfg.direction)
+     << (cfg.tcp.sack_enabled ? ":sack" : "");
+  if (cfg.tcp.ack_pacing) {
+    // Appended only when on so pre-existing configs keep their digests.
+    os << ":ackpace" << cfg.tcp.ack_pacing_interval.ns() << "ns";
+  }
+  os << " dir=" << topo::to_string(cfg.direction)
      << " arq=" << (cfg.local_recovery ? "on" : "off");
   if (cfg.local_recovery) {
     os << ":rt" << cfg.arq.rt_max << ":w" << cfg.arq.window;

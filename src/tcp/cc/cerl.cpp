@@ -1,0 +1,87 @@
+// CERL — congestion estimation by RTT-threshold loss differentiation.
+//
+// The strategy tracks the RTT range seen so far and places a threshold at
+// RTTmin + alpha*(RTTmax - RTTmin).  When a loss is detected while the
+// smoothed RTT sits below the threshold, the bottleneck queue must be
+// short, so congestion is implausible: the loss is classified wireless
+// and the window is left alone (the hole is still retransmitted by the
+// sender's recovery machinery).  Losses above the threshold get the
+// standard Reno response.  Classification counts are published as
+// cc.loss_wireless / cc.loss_congestion.
+#include <algorithm>
+#include <cmath>
+
+#include "src/tcp/cc/strategies.hpp"
+
+namespace wtcp::tcp {
+
+void CerlCc::on_ack_stream(const CcAck& ack) {
+  if (!ack.rtt_sample_valid) return;
+  if (rtt_min_.is_zero() || ack.rtt_sample < rtt_min_) rtt_min_ = ack.rtt_sample;
+  if (ack.rtt_sample > rtt_max_) rtt_max_ = ack.rtt_sample;
+  obs::set(threshold_gauge_, rtt_threshold().to_seconds());
+}
+
+sim::Time CerlCc::rtt_threshold() const {
+  if (rtt_min_.is_zero()) return sim::Time::zero();
+  const double min_s = rtt_min_.to_seconds();
+  const double max_s = rtt_max_.to_seconds();
+  return sim::Time::from_seconds(min_s + tuning_.cerl_alpha * (max_s - min_s));
+}
+
+bool CerlCc::classify_wireless(const CcAck& ack) const {
+  // No RTT range yet => congestion (the conservative Reno default).
+  if (rtt_min_.is_zero() || rtt_max_ <= rtt_min_) return false;
+  return ack.srtt < rtt_threshold();
+}
+
+bool CerlCc::on_dupack_threshold(const CcAck& ack) {
+  episode_wireless_ = classify_wireless(ack);
+  if (episode_wireless_) {
+    ++wireless_losses_;
+    obs::add(wireless_ctr_);
+    // Random wireless loss: the pipe is fine.  Keep ssthresh, remember
+    // the window, and inflate only by the dupacks already seen so the
+    // episode's transmission accounting matches Reno's.
+    episode_entry_cwnd_ = cwnd_;
+    cwnd_ += static_cast<double>(dupack_threshold_);
+    return true;
+  }
+  ++congestion_losses_;
+  obs::add(congestion_ctr_);
+  return RenoCc::on_dupack_threshold(ack);
+}
+
+void CerlCc::on_recovery_exit(const CcAck& ack) {
+  if (episode_wireless_) {
+    // The loss was not congestion: restore the pre-episode window.
+    cwnd_ = episode_entry_cwnd_;
+    episode_wireless_ = false;
+    return;
+  }
+  NewRenoCc::on_recovery_exit(ack);
+}
+
+void CerlCc::on_timeout(const CcAck& ack) {
+  episode_wireless_ = false;  // a timeout ends any classified episode
+  if (classify_wireless(ack)) {
+    ++wireless_losses_;
+    obs::add(wireless_ctr_);
+    // Wireless blackout: the timer verdict must still be honored (slow
+    // start from one segment), but ssthresh keeps its value so the window
+    // climbs straight back once the link recovers.
+    cwnd_ = 1.0;
+    return;
+  }
+  ++congestion_losses_;
+  obs::add(congestion_ctr_);
+  collapse();
+}
+
+void CerlCc::bind_probes(obs::Registry& reg) {
+  wireless_ctr_ = reg.counter("cc.loss_wireless");
+  congestion_ctr_ = reg.counter("cc.loss_congestion");
+  threshold_gauge_ = reg.gauge("cc.rtt_threshold_s");
+}
+
+}  // namespace wtcp::tcp

@@ -1,0 +1,19 @@
+// Tahoe / Reno / NewReno — the classic strategies, extracted from the
+// pre-interface TcpSender with the window arithmetic preserved
+// operation-for-operation (the hexfloat goldens pin this).
+#include <algorithm>
+#include <cmath>
+
+#include "src/tcp/cc/strategies.hpp"
+
+namespace wtcp::tcp {
+
+bool RenoCc::on_dupack_threshold(const CcAck&) {
+  // Fast recovery: halve, then inflate by the dupacks already seen (they
+  // prove that many segments left the network).
+  ssthresh_ = std::max(2.0, std::floor(flight() / 2.0));
+  cwnd_ = ssthresh_ + static_cast<double>(dupack_threshold_);
+  return true;
+}
+
+}  // namespace wtcp::tcp

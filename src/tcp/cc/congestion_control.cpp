@@ -1,0 +1,60 @@
+#include "src/tcp/cc/congestion_control.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/audit.hpp"
+#include "src/tcp/cc/strategies.hpp"
+
+namespace wtcp::tcp {
+
+const char* to_string(TcpFlavor f) {
+  switch (f) {
+    case TcpFlavor::kTahoe: return "tahoe";
+    case TcpFlavor::kReno: return "reno";
+    case TcpFlavor::kNewReno: return "newreno";
+    case TcpFlavor::kWestwood: return "westwood";
+    case TcpFlavor::kCerl: return "cerl";
+  }
+  return "?";
+}
+
+void CongestionControl::grow_window() {
+  WTCP_AUDIT_ONLY(const double cwnd_before = cwnd_;)
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += 1.0;  // slow start: one segment per ACK
+  } else {
+    cwnd_ += 1.0 / cwnd_;  // congestion avoidance: ~one segment per RTT
+  }
+  cwnd_ = std::min(cwnd_, awnd_ + 1.0);  // no point growing far past awnd
+  // Opening the window must never shrink it.
+  WTCP_AUDIT_CHECK(cwnd_ >= cwnd_before || cwnd_before > awnd_, "tcp",
+                   "cwnd_monotonic_open", "grow_window shrank the window");
+}
+
+void CongestionControl::collapse() {
+  // Tahoe: ssthresh = half the effective window (min 2 segments), window
+  // back to one segment, restart slow start.
+  ssthresh_ = std::max(2.0, std::floor(flight() / 2.0));
+  cwnd_ = 1.0;
+}
+
+void CongestionControl::on_partial_ack(const CcAck&, double acked_segments) {
+  // RFC 6582: deflate by the amount acknowledged, plus one for the
+  // retransmission that just left the network.
+  cwnd_ = std::max(ssthresh_, cwnd_ - acked_segments + 1.0);
+}
+
+std::unique_ptr<CongestionControl> make_congestion_control(TcpFlavor flavor,
+                                                           const CcParams& p) {
+  switch (flavor) {
+    case TcpFlavor::kTahoe: return std::make_unique<TahoeCc>(p);
+    case TcpFlavor::kReno: return std::make_unique<RenoCc>(p);
+    case TcpFlavor::kNewReno: return std::make_unique<NewRenoCc>(p);
+    case TcpFlavor::kWestwood: return std::make_unique<WestwoodCc>(p);
+    case TcpFlavor::kCerl: return std::make_unique<CerlCc>(p);
+  }
+  return std::make_unique<TahoeCc>(p);  // unreachable
+}
+
+}  // namespace wtcp::tcp

@@ -1,0 +1,178 @@
+// Pluggable congestion control for the TCP sender (ROADMAP item 2).
+//
+// TcpSender owns reliability (sequence space, retransmission timer, SACK
+// scoreboard, the fast-recovery episode bookkeeping); a CongestionControl
+// strategy owns the window math: cwnd and ssthresh live here, and every
+// congestion-relevant event is forwarded through a narrow hook interface.
+// The classic flavors (Tahoe / Reno / NewReno) are re-implemented as the
+// first three strategies, operation-for-operation identical to the code
+// they were extracted from so the hexfloat goldens stay bit-identical.
+// On top of them:
+//
+//   * Westwood+  — bandwidth-estimate-driven ssthresh: the ACK stream is
+//     integrated into a low-pass-filtered rate estimate, and a loss sets
+//     ssthresh to the estimated bandwidth-delay product instead of half
+//     the flight (random wireless loss barely dents the estimate, so the
+//     window recovers far faster than Reno's blind halving).
+//   * CERL — RTT-threshold loss differentiation: losses that arrive while
+//     the smoothed RTT sits below a threshold between RTTmin and RTTmax
+//     are classified as wireless (the queue is short, so congestion is
+//     implausible) and do NOT shrink the window.
+//
+// Strategies must stay deterministic: no clocks, no randomness — every
+// input arrives through the hook arguments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/obs/probe.hpp"
+#include "src/sim/time.hpp"
+
+namespace wtcp::tcp {
+
+enum class TcpFlavor : std::uint8_t {
+  kTahoe,     ///< loss => slow start from cwnd = 1 (the paper's TCP)
+  kReno,      ///< fast recovery after fast retransmit
+  kNewReno,   ///< + partial-ACK handling: multiple losses per window heal
+              ///< inside one fast-recovery episode (RFC 6582 style)
+  kWestwood,  ///< Westwood+: bandwidth-estimate-driven ssthresh after loss
+  kCerl,      ///< CERL: RTT-threshold loss differentiation for wireless
+};
+
+const char* to_string(TcpFlavor f);
+
+/// Explicit network feedback forwarded to the strategy.
+enum class CcFeedback : std::uint8_t {
+  kEbsn,          ///< paper's Explicit Bad State Notification (timer-only;
+                  ///< strategies must leave cwnd/ssthresh untouched — the
+                  ///< sender audits this)
+  kSourceQuench,  ///< ICMP source quench (classic 4.3BSD: cwnd -> 1)
+};
+
+/// Per-event context handed to every hook.  `acked_segments` is the
+/// cumulative advance (0 for duplicate ACKs and timeouts); the RTT fields
+/// mirror what the sender's Jacobson estimator saw on this event.
+struct CcAck {
+  sim::Time now;
+  double acked_segments = 0.0;
+  bool rtt_sample_valid = false;  ///< a Karn-clean sample arrived with this ACK
+  sim::Time rtt_sample;           ///< valid only when rtt_sample_valid
+  sim::Time srtt;                 ///< smoothed RTT (zero before first sample)
+};
+
+/// Flavor tuning knobs (TcpConfig::cc).
+struct CcTuning {
+  /// Westwood+: first-order low-pass filter on the per-RTT bandwidth
+  /// samples, bwe = pole * bwe + (1 - pole)/2 * (sample_k + sample_{k-1}).
+  double westwood_filter_pole = 0.9;
+  /// Westwood+: minimum bandwidth-sampling epoch (used before the first
+  /// RTT estimate exists, and as a floor under very short RTTs).
+  sim::Time westwood_min_epoch = sim::Time::milliseconds(50);
+  /// CERL: loss-classification threshold position between RTTmin and
+  /// RTTmax — threshold = RTTmin + alpha * (RTTmax - RTTmin).  A loss
+  /// seen while srtt < threshold is classified wireless.
+  double cerl_alpha = 0.55;
+};
+
+/// Construction parameters: the slice of TcpConfig the window math needs.
+struct CcParams {
+  double awnd = 8.0;  ///< advertised window, segments (growth clamp)
+  std::int32_t mss = 536;
+  std::int32_t dupack_threshold = 3;
+  CcTuning tuning;
+};
+
+/// Strategy interface.  One instance per sender per run; all hooks are
+/// invoked from the sender's event handlers (single-threaded, in event
+/// order), and the strategy owns cwnd/ssthresh between calls.
+class CongestionControl {
+ public:
+  explicit CongestionControl(const CcParams& p)
+      : awnd_(p.awnd),
+        mss_(p.mss),
+        dupack_threshold_(p.dupack_threshold),
+        tuning_(p.tuning),
+        ssthresh_(p.awnd) {}
+  virtual ~CongestionControl() = default;
+
+  CongestionControl(const CongestionControl&) = delete;
+  CongestionControl& operator=(const CongestionControl&) = delete;
+
+  virtual const char* name() const = 0;
+  virtual TcpFlavor flavor() const = 0;
+
+  double cwnd() const { return cwnd_; }
+  double ssthresh() const { return ssthresh_; }
+
+  /// Does a partial ACK (below `recover`) keep the fast-recovery episode
+  /// alive (RFC 6582)?  False = plain-Reno semantics: any new ACK exits.
+  virtual bool partial_ack_stays_in_recovery() const { return false; }
+
+  /// Every ACK arriving at the sender — new or duplicate — before the
+  /// recovery state machine acts.  The strategy's tap on the ACK stream
+  /// (Westwood+ bandwidth estimation, CERL RTT-range bookkeeping).
+  virtual void on_ack_stream(const CcAck&) {}
+
+  /// New cumulative ACK in normal operation: grow the window (default:
+  /// slow start below ssthresh, else congestion avoidance).
+  virtual void on_new_ack(const CcAck&) { grow_window(); }
+
+  /// NewReno partial ACK — recovery continues.  Default: deflate by the
+  /// amount acknowledged plus one for the retransmission that left.
+  virtual void on_partial_ack(const CcAck&, double acked_segments);
+
+  /// Duplicate ACK while already in fast recovery: Reno window inflation
+  /// (one more segment has left the network).
+  virtual void on_recovery_dupack(const CcAck&) { cwnd_ += 1.0; }
+
+  /// DupThresh duplicate ACKs: a loss was detected.  Adjust the windows
+  /// and return true to enter fast recovery (Reno family), false to
+  /// restart from slow start (Tahoe).
+  virtual bool on_dupack_threshold(const CcAck&) = 0;
+
+  /// The full ACK that ends fast recovery.  RFC 6582: deflate to ssthresh
+  /// with NO additive increase on this ACK.
+  virtual void on_recovery_exit(const CcAck&) { cwnd_ = ssthresh_; }
+
+  /// Retransmission timeout (always aborts any fast-recovery episode).
+  virtual void on_timeout(const CcAck&) { collapse(); }
+
+  /// Explicit network feedback.  EBSN is timer-only by the paper's
+  /// definition — the default keeps the window untouched for it and
+  /// applies the classic 4.3BSD quench collapse (cwnd -> 1, ssthresh
+  /// unchanged) for source quench.
+  virtual void on_explicit_feedback(CcFeedback kind) {
+    if (kind == CcFeedback::kSourceQuench) cwnd_ = 1.0;
+  }
+
+  /// Bind flavor-specific cc.* probes (docs/observability.md).  Default:
+  /// nothing to publish.
+  virtual void bind_probes(obs::Registry&) {}
+
+ protected:
+  /// One ACK's worth of growth: slow start below ssthresh, ~1/cwnd in
+  /// congestion avoidance, clamped just past the advertised window.
+  /// Exactly the arithmetic the pre-extraction sender used (goldens).
+  void grow_window();
+
+  /// Tahoe-style loss response: ssthresh = half the flight (min 2),
+  /// window back to one segment.
+  void collapse();
+
+  /// Segments believed in the network (cwnd capped by the receiver).
+  double flight() const { return cwnd_ < awnd_ ? cwnd_ : awnd_; }
+
+  double awnd_;
+  std::int32_t mss_;
+  std::int32_t dupack_threshold_;
+  CcTuning tuning_;
+  double cwnd_ = 1.0;
+  double ssthresh_;
+};
+
+/// Factory: one strategy instance per sender per run.
+std::unique_ptr<CongestionControl> make_congestion_control(TcpFlavor flavor,
+                                                           const CcParams& p);
+
+}  // namespace wtcp::tcp

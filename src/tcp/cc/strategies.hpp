@@ -1,0 +1,117 @@
+// The five concrete congestion-control strategies.  Declared here (not
+// only behind the factory) so tests can poke at flavor-specific state —
+// Westwood's bandwidth estimate, CERL's classification counters.
+#pragma once
+
+#include "src/tcp/cc/congestion_control.hpp"
+
+namespace wtcp::tcp {
+
+/// The paper's TCP: no fast recovery; any loss signal collapses the
+/// window to one segment and restarts slow start.
+class TahoeCc : public CongestionControl {
+ public:
+  using CongestionControl::CongestionControl;
+  const char* name() const override { return "tahoe"; }
+  TcpFlavor flavor() const override { return TcpFlavor::kTahoe; }
+  bool on_dupack_threshold(const CcAck&) override {
+    collapse();
+    return false;  // no fast recovery: go-back-N via slow start
+  }
+};
+
+/// Reno: fast recovery after fast retransmit — halve, inflate by the
+/// dupacks already seen, deflate to ssthresh on the next new ACK.
+class RenoCc : public CongestionControl {
+ public:
+  using CongestionControl::CongestionControl;
+  const char* name() const override { return "reno"; }
+  TcpFlavor flavor() const override { return TcpFlavor::kReno; }
+  bool on_dupack_threshold(const CcAck&) override;
+};
+
+/// NewReno (RFC 6582): Reno whose fast-recovery episode survives partial
+/// ACKs, healing multiple losses per window without a timeout.
+class NewRenoCc : public RenoCc {
+ public:
+  using RenoCc::RenoCc;
+  const char* name() const override { return "newreno"; }
+  TcpFlavor flavor() const override { return TcpFlavor::kNewReno; }
+  bool partial_ack_stays_in_recovery() const override { return true; }
+};
+
+/// Westwood+: NewReno recovery shape, but ssthresh after a loss comes
+/// from a bandwidth estimate fed by the ACK stream (ssthresh = BWE *
+/// RTTmin / MSS) instead of blind halving.  Over a lossy wireless link
+/// the estimate tracks the real link rate, so random losses cost one
+/// retransmission, not half the pipe.
+class WestwoodCc : public NewRenoCc {
+ public:
+  explicit WestwoodCc(const CcParams& p) : NewRenoCc(p) {}
+  const char* name() const override { return "westwood"; }
+  TcpFlavor flavor() const override { return TcpFlavor::kWestwood; }
+
+  void on_ack_stream(const CcAck& ack) override;
+  bool on_dupack_threshold(const CcAck& ack) override;
+  void on_timeout(const CcAck& ack) override;
+  void bind_probes(obs::Registry& reg) override;
+
+  /// Filtered bandwidth estimate, bytes/second (0 until the first epoch
+  /// closes).
+  double bandwidth_estimate_Bps() const { return bwe_Bps_; }
+  sim::Time rtt_min() const { return rtt_min_; }
+
+ private:
+  /// ssthresh from the bandwidth-delay product, in segments; falls back
+  /// to Reno halving until an estimate exists.
+  double bdp_ssthresh() const;
+  void close_epoch(sim::Time now);
+
+  double bwe_Bps_ = 0.0;          ///< filtered estimate
+  double prev_sample_Bps_ = 0.0;  ///< previous raw sample (Tustin pairing)
+  double epoch_bytes_ = 0.0;      ///< payload acked since the epoch began
+  sim::Time epoch_start_;
+  bool epoch_open_ = false;
+  sim::Time rtt_min_;             ///< zero until the first sample
+  obs::Gauge* bw_gauge_ = nullptr;
+  obs::Gauge* rtt_min_gauge_ = nullptr;
+};
+
+/// CERL: NewReno recovery shape with RTT-threshold loss differentiation.
+/// A loss observed while srtt < RTTmin + alpha*(RTTmax - RTTmin) implies
+/// a short queue, so congestion is implausible: classify it wireless and
+/// leave the window alone.  Losses above the threshold get the standard
+/// Reno response.
+class CerlCc : public NewRenoCc {
+ public:
+  explicit CerlCc(const CcParams& p) : NewRenoCc(p) {}
+  const char* name() const override { return "cerl"; }
+  TcpFlavor flavor() const override { return TcpFlavor::kCerl; }
+
+  void on_ack_stream(const CcAck& ack) override;
+  bool on_dupack_threshold(const CcAck& ack) override;
+  void on_recovery_exit(const CcAck& ack) override;
+  void on_timeout(const CcAck& ack) override;
+  void bind_probes(obs::Registry& reg) override;
+
+  sim::Time rtt_threshold() const;
+  std::uint64_t wireless_losses() const { return wireless_losses_; }
+  std::uint64_t congestion_losses() const { return congestion_losses_; }
+
+ private:
+  /// True when the loss signalled by `ack` should be blamed on the
+  /// wireless link (no samples yet => congestion, the safe default).
+  bool classify_wireless(const CcAck& ack) const;
+
+  sim::Time rtt_min_;  ///< zero until the first sample
+  sim::Time rtt_max_;
+  bool episode_wireless_ = false;  ///< current recovery episode's verdict
+  double episode_entry_cwnd_ = 0.0;
+  std::uint64_t wireless_losses_ = 0;
+  std::uint64_t congestion_losses_ = 0;
+  obs::Counter* wireless_ctr_ = nullptr;
+  obs::Counter* congestion_ctr_ = nullptr;
+  obs::Gauge* threshold_gauge_ = nullptr;
+};
+
+}  // namespace wtcp::tcp

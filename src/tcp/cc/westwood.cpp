@@ -1,0 +1,83 @@
+// Westwood+ — bandwidth-estimate-driven loss response.
+//
+// The ACK stream is integrated into per-RTT bandwidth samples pushed
+// through a first-order low-pass filter.  On loss, ssthresh is set to the
+// estimated bandwidth-delay product (BWE * RTTmin / MSS) instead of half
+// the flight: a random wireless loss barely moves the estimate, so the
+// window returns to the link rate in one RTT rather than rebuilding from
+// half.  Recovery bookkeeping is inherited from NewReno.
+#include <algorithm>
+#include <cmath>
+
+#include "src/tcp/cc/strategies.hpp"
+
+namespace wtcp::tcp {
+
+void WestwoodCc::close_epoch(sim::Time now) {
+  const double span_s = (now - epoch_start_).to_seconds();
+  if (span_s <= 0.0) return;
+  const double sample_Bps = epoch_bytes_ / span_s;
+  // First-order low-pass over paired raw samples (a fixed-coefficient
+  // discretization of 1/(1 + s*tau); ns-3's TcpWestwoodPlus uses the
+  // same shape).  Deterministic: inputs come only from hook arguments.
+  const double pole = tuning_.westwood_filter_pole;
+  if (bwe_Bps_ == 0.0) {
+    bwe_Bps_ = sample_Bps;  // seed the filter with the first sample
+  } else {
+    bwe_Bps_ = pole * bwe_Bps_ +
+               (1.0 - pole) * 0.5 * (sample_Bps + prev_sample_Bps_);
+  }
+  prev_sample_Bps_ = sample_Bps;
+  epoch_bytes_ = 0.0;
+  epoch_start_ = now;
+  obs::set(bw_gauge_, bwe_Bps_ * 8.0);  // published in bits/s
+}
+
+void WestwoodCc::on_ack_stream(const CcAck& ack) {
+  if (ack.rtt_sample_valid &&
+      (rtt_min_.is_zero() || ack.rtt_sample < rtt_min_)) {
+    rtt_min_ = ack.rtt_sample;
+    obs::set(rtt_min_gauge_, rtt_min_.to_seconds());
+  }
+  if (!epoch_open_) {
+    epoch_open_ = true;
+    epoch_start_ = ack.now;
+  }
+  // A duplicate ACK still signals one segment's worth of delivered data.
+  const double segs = ack.acked_segments > 0.0 ? ack.acked_segments : 1.0;
+  epoch_bytes_ += segs * static_cast<double>(mss_);
+  // Sample once per smoothed RTT (floored so a burst of back-to-back
+  // ACKs cannot drive the filter).
+  sim::Time epoch = ack.srtt;
+  if (epoch < tuning_.westwood_min_epoch) epoch = tuning_.westwood_min_epoch;
+  if (ack.now - epoch_start_ >= epoch) close_epoch(ack.now);
+}
+
+double WestwoodCc::bdp_ssthresh() const {
+  if (bwe_Bps_ <= 0.0 || rtt_min_.is_zero()) {
+    // No estimate yet: Reno halving is the only defensible response.
+    return std::max(2.0, std::floor(flight() / 2.0));
+  }
+  const double bdp_segments =
+      bwe_Bps_ * rtt_min_.to_seconds() / static_cast<double>(mss_);
+  return std::max(2.0, std::floor(bdp_segments));
+}
+
+bool WestwoodCc::on_dupack_threshold(const CcAck&) {
+  ssthresh_ = bdp_ssthresh();
+  // NewReno recovery shape around the bandwidth-derived threshold.
+  cwnd_ = ssthresh_ + static_cast<double>(dupack_threshold_);
+  return true;
+}
+
+void WestwoodCc::on_timeout(const CcAck&) {
+  ssthresh_ = bdp_ssthresh();
+  cwnd_ = 1.0;
+}
+
+void WestwoodCc::bind_probes(obs::Registry& reg) {
+  bw_gauge_ = reg.gauge("cc.bw_est_bps");
+  rtt_min_gauge_ = reg.gauge("cc.rtt_min_s");
+}
+
+}  // namespace wtcp::tcp

@@ -21,15 +21,6 @@ const char* to_string(ConnState s) {
   return "?";
 }
 
-const char* to_string(TcpFlavor f) {
-  switch (f) {
-    case TcpFlavor::kTahoe: return "tahoe";
-    case TcpFlavor::kReno: return "reno";
-    case TcpFlavor::kNewReno: return "newreno";
-  }
-  return "?";
-}
-
 TcpSender::TcpSender(sim::Simulator& sim, TcpConfig cfg, net::NodeId self,
                      net::NodeId peer, std::string name)
     : sim_(sim),
@@ -39,7 +30,12 @@ TcpSender::TcpSender(sim::Simulator& sim, TcpConfig cfg, net::NodeId self,
       name_(std::move(name)),
       estimator_(cfg.rto),
       total_segments_(cfg.total_segments()),
-      ssthresh_(static_cast<double>(cfg.window_segments())),
+      cc_(make_congestion_control(
+          cfg.flavor,
+          CcParams{.awnd = static_cast<double>(cfg.window_segments()),
+                   .mss = cfg.mss,
+                   .dupack_threshold = cfg.dupack_threshold,
+                   .tuning = cfg.cc})),
       ever_retransmitted_(static_cast<std::size_t>(total_segments_), false) {
   assert(cfg_.mss > 0 && cfg_.file_bytes > 0);
   if ((bus_ = sim_.probes())) {
@@ -53,6 +49,7 @@ TcpSender::TcpSender(sim::Simulator& sim, TcpConfig cfg, net::NodeId self,
     }
     estimator_.bind_probes(bus_);
     ebsn_rearm_hist_ = bus_->histogram("tcp.ebsn_rearm_lead_s");
+    cc_->bind_probes(*bus_);
   }
   tsink_ = sim_.trace();
 }
@@ -118,7 +115,7 @@ void TcpSender::start_at(sim::Time at) {
 }
 
 std::int64_t TcpSender::effective_window() const {
-  const auto cw = static_cast<std::int64_t>(cwnd_);
+  const auto cw = static_cast<std::int64_t>(cc_->cwnd());
   return std::max<std::int64_t>(1, std::min(cfg_.window_segments(), cw));
 }
 
@@ -203,7 +200,8 @@ void TcpSender::transmit(std::int64_t seq) {
   if (!sim_.pending(rtx_timer_)) set_rtx_timer();
 
   WTCP_LOG(kTrace, sim_.now(), name_.c_str(), "tx %s cwnd=%.2f una=%lld",
-           pkt->describe().c_str(), cwnd_, static_cast<long long>(snd_una_));
+           pkt->describe().c_str(), cc_->cwnd(),
+           static_cast<long long>(snd_una_));
   downstream_(std::move(pkt));
 }
 
@@ -216,35 +214,14 @@ void TcpSender::set_rtx_timer() {
 
 void TcpSender::cancel_rtx_timer() { sim_.cancel(rtx_timer_); }
 
-void TcpSender::loss_response() {
-  // Tahoe: ssthresh = half the effective window (min 2 segments), window
-  // back to one segment, restart slow start.
-  const double flight = std::min(cwnd_, static_cast<double>(cfg_.window_segments()));
-  ssthresh_ = std::max(2.0, std::floor(flight / 2.0));
-  cwnd_ = 1.0;
-  WTCP_AUDIT_CHECK(
-      audit::tcp_congestion_state_legal(cwnd_, ssthresh_, snd_una_, snd_nxt_),
-      "tcp", "congestion_state",
-      "illegal cwnd/ssthresh/sequence state after loss response");
-}
-
-void TcpSender::open_cwnd() {
-  WTCP_AUDIT_ONLY(const double cwnd_before = cwnd_;)
-  if (cwnd_ < ssthresh_) {
-    cwnd_ += 1.0;  // slow start: one segment per ACK
-  } else {
-    cwnd_ += 1.0 / cwnd_;  // congestion avoidance: ~one segment per RTT
-  }
-  const auto max_win = static_cast<double>(cfg_.window_segments());
-  cwnd_ = std::min(cwnd_, max_win + 1.0);  // no point growing far past awnd
-  // Opening the window must never shrink it, and the result must stay a
-  // legal congestion state.
-  WTCP_AUDIT_CHECK(cwnd_ >= cwnd_before || cwnd_before > max_win, "tcp",
-                   "cwnd_monotonic_open", "open_cwnd shrank the window");
-  WTCP_AUDIT_CHECK(
-      audit::tcp_congestion_state_legal(cwnd_, ssthresh_, snd_una_, snd_nxt_),
-      "tcp", "congestion_state",
-      "illegal cwnd/ssthresh/sequence state after window increase");
+CcAck TcpSender::make_cc_ack(std::int64_t newly_acked) {
+  // Snapshot of the estimator at call time; the caller fills in the RTT
+  // sample fields if this event carried a Karn-clean measurement.
+  CcAck ev{};
+  ev.now = sim_.now();
+  ev.acked_segments = static_cast<double>(newly_acked);
+  ev.srtt = estimator_.srtt();
+  return ev;
 }
 
 void TcpSender::on_rtx_timeout() {
@@ -276,7 +253,11 @@ void TcpSender::on_rtx_timeout() {
   dupacks_ = 0;
   in_fast_recovery_ = false;  // a timeout aborts Reno fast recovery
   episode_rtx_.clear();       // (the SACK scoreboard itself survives)
-  loss_response();
+  cc_->on_timeout(make_cc_ack(0));
+  WTCP_AUDIT_CHECK(audit::tcp_congestion_state_legal(
+                       cc_->cwnd(), cc_->ssthresh(), snd_una_, snd_nxt_),
+                   "tcp", "congestion_state",
+                   "illegal cwnd/ssthresh/sequence state after loss response");
   snd_nxt_ = snd_una_;  // go-back-N via slow start
   send_segments();      // retransmits snd_una (cwnd == 1)
   set_rtx_timer();
@@ -339,26 +320,38 @@ void TcpSender::on_new_ack(std::int64_t ack) {
   WTCP_TRACE_EMIT(tsink_, sim_.now(), 0, obs::TraceSite::kTcpAckRx, 0, 0,
                   static_cast<std::int32_t>(ack));
 
+  CcAck ev = make_cc_ack(ack - snd_una_);
   // RTT sample (Karn: only if the timed segment was never retransmitted).
   if (timing_seq_ >= 0 && ack > timing_seq_) {
     if (!ever_retransmitted_[static_cast<std::size_t>(timing_seq_)]) {
-      estimator_.add_sample(sim_.now() - timing_sent_at_);
+      const sim::Time sample = sim_.now() - timing_sent_at_;
+      estimator_.add_sample(sample);
       ++stats_.rtt_samples;
+      ev.rtt_sample_valid = true;
+      ev.rtt_sample = sample;
+      ev.srtt = estimator_.srtt();  // strategies see the updated estimate
     }
     timing_seq_ = -1;
   }
-  // Backoff is dropped once a never-retransmitted segment is acked.
-  if (!ever_retransmitted_[static_cast<std::size_t>(ack - 1)]) {
+  // Backoff is dropped once a never-retransmitted segment is acked.  A
+  // stray cumulative ACK beyond the transfer (corrupted or misrouted
+  // header) must not index past the end of the retransmission bitmap.
+  const std::int64_t acked_seg = ack - 1;
+  WTCP_AUDIT_CHECK(acked_seg >= 0 && acked_seg < total_segments_, "tcp",
+                   "ack_in_sequence_space",
+                   "cumulative ACK outside the transfer's sequence space");
+  if (acked_seg >= 0 && acked_seg < total_segments_ &&
+      !ever_retransmitted_[static_cast<std::size_t>(acked_seg)]) {
     estimator_.reset_backoff();
   }
+  cc_->on_ack_stream(ev);
 
   if (in_fast_recovery_) {
-    if (cfg_.flavor == TcpFlavor::kNewReno && ack <= recover_) {
+    if (cc_->partial_ack_stays_in_recovery() && ack <= recover_) {
       // Partial ACK: another segment of the same loss window is missing.
       // Deflate by the amount acknowledged, retransmit the next hole, and
       // stay in fast recovery (RFC 6582).
-      const double acked = static_cast<double>(ack - snd_una_);
-      cwnd_ = std::max(ssthresh_, cwnd_ - acked + 1.0);
+      cc_->on_partial_ack(ev, static_cast<double>(ack - snd_una_));
       snd_una_ = ack;
       snd_nxt_ = std::max(snd_nxt_, snd_una_);
       sacked_.erase(sacked_.begin(), sacked_.lower_bound(snd_una_));
@@ -372,27 +365,29 @@ void TcpSender::on_new_ack(std::int64_t ack) {
       set_rtx_timer();
       return;
     }
-    // Full ACK (or plain Reno): deflate to ssthresh and resume congestion
-    // avoidance.
+    // Full ACK (or plain Reno): deflate and resume congestion avoidance.
+    // RFC 6582 deflation carries NO additive increase on this ACK — the
+    // window opens again starting with the next one.
     in_fast_recovery_ = false;
     episode_rtx_.clear();
-    cwnd_ = ssthresh_;
+    cc_->on_recovery_exit(ev);
+  } else {
+    cc_->on_new_ack(ev);
   }
-  open_cwnd();
   if (trace_) {
     trace_->record(sim_.now(), stats::TraceEvent::kCwnd,
-                   static_cast<std::int64_t>(std::llround(cwnd_ * 1000)));
+                   static_cast<std::int64_t>(std::llround(cc_->cwnd() * 1000)));
   }
   WTCP_TRACE_EMIT(tsink_, sim_.now(), 0, obs::TraceSite::kTcpCwnd, 0, 0,
-                  static_cast<std::int32_t>(std::llround(cwnd_ * 1000)));
+                  static_cast<std::int32_t>(std::llround(cc_->cwnd() * 1000)));
   snd_una_ = ack;
   snd_nxt_ = std::max(snd_nxt_, snd_una_);
   sacked_.erase(sacked_.begin(), sacked_.lower_bound(snd_una_));
   dupacks_ = 0;
-  WTCP_AUDIT_CHECK(
-      audit::tcp_congestion_state_legal(cwnd_, ssthresh_, snd_una_, snd_nxt_),
-      "tcp", "congestion_state",
-      "illegal cwnd/ssthresh/sequence state after new ACK");
+  WTCP_AUDIT_CHECK(audit::tcp_congestion_state_legal(
+                       cc_->cwnd(), cc_->ssthresh(), snd_una_, snd_nxt_),
+                   "tcp", "congestion_state",
+                   "illegal cwnd/ssthresh/sequence state after new ACK");
 
   if (snd_una_ >= total_segments_) {
     if (cfg_.connect_handshake) {
@@ -415,17 +410,25 @@ void TcpSender::on_dupack() {
                   static_cast<std::uint8_t>(std::min(dupacks_ + 1, 255)), 0,
                   static_cast<std::int32_t>(snd_una_));
   ++dupacks_;
+  const CcAck ev = make_cc_ack(0);
+  cc_->on_ack_stream(ev);
 
   if (in_fast_recovery_) {
-    // Reno window inflation: each extra dupack signals one more segment
-    // has left the network.  With SACK, spend the credit on the next hole
+    // Window inflation: each extra dupack signals one more segment has
+    // left the network.  With SACK, spend the credit on the next hole
     // first; otherwise (or with no holes left) send new data.
-    cwnd_ += 1.0;
+    cc_->on_recovery_dupack(ev);
     if (cfg_.sack_enabled) {
       const std::int64_t hole = next_sack_hole();
       if (hole >= 0) {
         episode_rtx_.insert(hole);
         transmit(hole);
+        // The hole retransmission is now the oldest data the timer
+        // guards; restart it so losing the retransmission is detected a
+        // full RTO from NOW rather than at whatever deadline survived
+        // from before the episode (which may be about to fire, or worse,
+        // already stale enough to cut recovery short).
+        set_rtx_timer();
         return;
       }
     }
@@ -441,13 +444,14 @@ void TcpSender::on_dupack() {
                   static_cast<std::int32_t>(snd_una_));
   timing_seq_ = -1;
 
-  if (cfg_.flavor == TcpFlavor::kReno || cfg_.flavor == TcpFlavor::kNewReno) {
-    // Fast recovery: halve, retransmit the hole, inflate by the three
-    // dupacks already seen, and keep transmitting on further dupacks.
-    const double flight =
-        std::min(cwnd_, static_cast<double>(cfg_.window_segments()));
-    ssthresh_ = std::max(2.0, std::floor(flight / 2.0));
-    cwnd_ = ssthresh_ + static_cast<double>(cfg_.dupack_threshold);
+  const bool fast_recovery = cc_->on_dupack_threshold(ev);
+  WTCP_AUDIT_CHECK(audit::tcp_congestion_state_legal(
+                       cc_->cwnd(), cc_->ssthresh(), snd_una_, snd_nxt_),
+                   "tcp", "congestion_state",
+                   "illegal cwnd/ssthresh/sequence state after loss response");
+  if (fast_recovery) {
+    // Reno family: retransmit the hole and keep transmitting on further
+    // dupacks until the episode's loss window is fully acknowledged.
     in_fast_recovery_ = true;
     recover_ = max_seq_sent_;
     episode_rtx_.clear();
@@ -458,7 +462,6 @@ void TcpSender::on_dupack() {
   }
 
   // Fast retransmit (Tahoe: no fast recovery, straight to slow start).
-  loss_response();
   snd_nxt_ = snd_una_;
   send_segments();
   set_rtx_timer();
@@ -480,7 +483,10 @@ void TcpSender::on_ebsn() {
                   const std::int64_t sv_before = estimator_.rttvar().ns();
                   const std::int32_t backoff_before =
                       estimator_.backoff_shift();
-                  const double cwnd_before = cwnd_;)
+                  const double cwnd_before = cc_->cwnd();)
+  // The strategy is told about the EBSN but must leave the window exactly
+  // as it was (audited below) — EBSN is a timer-only mechanism.
+  cc_->on_explicit_feedback(CcFeedback::kEbsn);
   if (snd_una_ < snd_nxt_ && !stats_.completed) {
     // Lead time the re-arm bought: how close the pending timer was to
     // firing when the EBSN arrived (and was pushed back a full RTO).
@@ -496,7 +502,7 @@ void TcpSender::on_ebsn() {
                        sa_before, estimator_.srtt().ns(), sv_before,
                        estimator_.rttvar().ns(), backoff_before,
                        estimator_.backoff_shift()) &&
-                       cwnd_ == cwnd_before,
+                       cc_->cwnd() == cwnd_before,
                    "tcp", "ebsn_estimator_purity",
                    "EBSN handling changed srtt/rttvar/backoff/cwnd");
 }
@@ -510,7 +516,7 @@ void TcpSender::on_quench() {
   if (!cfg_.react_to_quench) return;
   // Classic 4.3BSD reaction: collapse the congestion window to one
   // segment; ssthresh is untouched.
-  cwnd_ = 1.0;
+  cc_->on_explicit_feedback(CcFeedback::kSourceQuench);
 }
 
 void TcpSender::complete() {

@@ -1,13 +1,11 @@
 // TCP bulk-transfer source, in the style of ns-1's TCP agents (the
-// simulator the paper used).  Two classic flavors:
+// simulator the paper used).  The sender owns reliability — sequence
+// space, the retransmission timer, the SACK scoreboard, and the
+// fast-recovery episode state machine — while all window math is
+// delegated to a pluggable CongestionControl strategy (src/tcp/cc/):
+// Tahoe (the paper's choice), Reno, NewReno, Westwood+, and CERL.
 //
-//   * Tahoe (the paper's choice): slow start, congestion avoidance, fast
-//     retransmit — every loss collapses cwnd to one segment.
-//   * Reno (extension, for the abl_tcp_flavor bench): adds fast recovery —
-//     after a fast retransmit, cwnd = ssthresh + 3 with per-dupack window
-//     inflation, deflating to ssthresh on the next new ACK.
-//
-// Both use Jacobson RTO with Karn's rule, exponential backoff, and
+// All flavors use Jacobson RTO with Karn's rule, exponential backoff, and
 // segment-granularity sequence numbers.
 //
 // Extensions for the paper's mechanisms:
@@ -22,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -31,21 +30,13 @@
 #include "src/obs/probe.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/stats/trace.hpp"
+#include "src/tcp/cc/congestion_control.hpp"
 #include "src/tcp/rto_estimator.hpp"
 
 namespace wtcp::tcp {
 
 /// How packets leave an agent toward the network.
 using PacketForwarder = std::function<void(net::PacketRef)>;
-
-enum class TcpFlavor : std::uint8_t {
-  kTahoe,    ///< loss => slow start from cwnd = 1 (the paper's TCP)
-  kReno,     ///< fast recovery after fast retransmit
-  kNewReno,  ///< + partial-ACK handling: multiple losses per window heal
-             ///< inside one fast-recovery episode (RFC 6582 style)
-};
-
-const char* to_string(TcpFlavor f);
 
 struct TcpConfig {
   TcpFlavor flavor = TcpFlavor::kTahoe;
@@ -59,6 +50,19 @@ struct TcpConfig {
 
   bool react_to_ebsn = true;    ///< honor EBSN messages (paper appendix)
   bool react_to_quench = true;  ///< honor ICMP source quench
+
+  /// Flavor tuning knobs forwarded to the congestion-control strategy
+  /// (Westwood+ filter, CERL threshold position).
+  CcTuning cc;
+
+  /// Receiver-side ACK pacing (PAPERS.md: Bhutani's near-optimal scheme):
+  /// in-order cumulative ACKs are released no closer together than
+  /// ack_pacing_interval, coalescing the in-between ones — the sender
+  /// sees a smooth, clocked ACK stream instead of wireless-link bursts.
+  /// Out-of-order and duplicate data is always ACKed immediately (those
+  /// dupacks drive fast retransmit), flushing any pending paced ACK.
+  bool ack_pacing = false;
+  sim::Time ack_pacing_interval = sim::Time::milliseconds(50);
 
   /// Receiver-side delayed ACKs (RFC 1122): ACK every second in-order
   /// segment or after delack_timeout, whichever first.  Out-of-order data
@@ -145,17 +149,22 @@ class TcpSender final : public net::PacketSink {
 
   // Observers (tests, experiment harness).
   const TcpSenderStats& stats() const { return stats_; }
-  double cwnd() const { return cwnd_; }
-  double ssthresh() const { return ssthresh_; }
+  double cwnd() const { return cc_->cwnd(); }
+  double ssthresh() const { return cc_->ssthresh(); }
   std::int64_t snd_una() const { return snd_una_; }
   std::int64_t snd_nxt() const { return snd_nxt_; }
   std::size_t sacked_count() const { return sacked_.size(); }
   std::int64_t total_segments() const { return total_segments_; }
   const RtoEstimator& rto_estimator() const { return estimator_; }
   bool rtx_timer_pending() const { return sim_.pending(rtx_timer_); }
+  /// Absolute expiry of the pending retransmission timer (tests: the
+  /// SACK-hole-retransmit rearm regression watches this move).
+  sim::Time rtx_deadline() const { return rtx_deadline_; }
   bool in_fast_recovery() const { return in_fast_recovery_; }
   ConnState conn_state() const { return conn_state_; }
   const TcpConfig& config() const { return cfg_; }
+  /// The congestion-control strategy driving this sender's window.
+  const CongestionControl& congestion_control() const { return *cc_; }
 
  private:
   void send_segments();
@@ -177,10 +186,11 @@ class TcpSender final : public net::PacketSink {
   void on_dupack();
   void on_ebsn();
   void on_quench();
-  void loss_response();
-  void open_cwnd();
   void complete();
   void trace(stats::TraceEvent e, std::int64_t seq);
+  /// Harvest the Karn-guarded RTT sample for `ack` (if any) and package
+  /// the event context every CongestionControl hook receives.
+  CcAck make_cc_ack(std::int64_t newly_acked);
 
   sim::Simulator& sim_;
   TcpConfig cfg_;
@@ -201,8 +211,9 @@ class TcpSender final : public net::PacketSink {
   std::int64_t snd_una_ = 0;       ///< oldest unacknowledged segment
   std::int64_t snd_nxt_ = 0;       ///< next segment to transmit
   std::int64_t max_seq_sent_ = -1; ///< highest segment ever transmitted
-  double cwnd_ = 1.0;              ///< congestion window, segments
-  double ssthresh_;                ///< slow-start threshold, segments
+  /// Window math lives in the strategy (src/tcp/cc/); the sender keeps
+  /// the reliability and recovery-episode state machine.
+  std::unique_ptr<CongestionControl> cc_;
   std::int32_t dupacks_ = 0;
   bool in_fast_recovery_ = false;  ///< Reno/NewReno only
   std::int64_t recover_ = -1;      ///< NewReno: highest seq sent at loss

@@ -81,6 +81,10 @@ void TcpSink::handle_packet(net::PacketRef pkt) {
       rcv_next_ > rcv_next_before && buffered_.empty() && !had_holes;
   if (cfg_.delayed_ack && !stats_.completed && in_order_arrival) {
     maybe_delay_ack(true);
+  } else if (cfg_.ack_pacing && !stats_.completed && in_order_arrival) {
+    // Only the smooth in-order ACK clock is paced; dupacks, hole fills
+    // and the completion ACK take the urgent path below.
+    paced_ack();
   } else {
     send_ack_now();
   }
@@ -126,9 +130,7 @@ void TcpSink::force_duplicate_acks(std::int32_t n) {
   for (std::int32_t i = 0; i < n; ++i) send_ack_now();
 }
 
-void TcpSink::send_ack_now() {
-  sim_.cancel(delack_timer_);
-  unacked_in_order_ = 0;
+void TcpSink::emit_ack() {
   if (!downstream_) return;
   net::PacketRef ack = net::make_tcp_ack(sim_.packet_pool(), rcv_next_,
                                          cfg_.header_bytes, self_, peer_,
@@ -137,6 +139,38 @@ void TcpSink::send_ack_now() {
   if (cfg_.sack_enabled) fill_sack_blocks(*ack->tcp);
   ++stats_.acks_sent;
   downstream_(std::move(ack));
+}
+
+void TcpSink::send_ack_now() {
+  sim_.cancel(delack_timer_);
+  unacked_in_order_ = 0;
+  if (cfg_.ack_pacing) {
+    // This ACK supersedes any coalesced one waiting on the pace timer (it
+    // carries the latest cumulative position) and restarts the pacing gap.
+    sim_.cancel(pace_timer_);
+    ack_pending_ = false;
+    next_ack_release_ = sim_.now() + cfg_.ack_pacing_interval;
+  }
+  emit_ack();
+}
+
+void TcpSink::paced_ack() {
+  if (sim_.now() >= next_ack_release_) {
+    next_ack_release_ = sim_.now() + cfg_.ack_pacing_interval;
+    emit_ack();
+    return;
+  }
+  ++stats_.acks_paced;
+  if (ack_pending_) return;  // coalesce: the scheduled ACK reads rcv_next_
+  ack_pending_ = true;
+  pace_timer_ = sim_.after(
+      next_ack_release_ - sim_.now(),
+      [this] {
+        ack_pending_ = false;
+        next_ack_release_ = sim_.now() + cfg_.ack_pacing_interval;
+        emit_ack();
+      },
+      "tcp.ack_pace");
 }
 
 void TcpSink::fill_sack_blocks(net::TcpHeader& hdr) const {

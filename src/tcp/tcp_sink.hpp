@@ -1,6 +1,10 @@
 // TCP sink (receiver) embedded in the mobile host: cumulative ACKs, one
 // ACK per arriving data segment (no delayed ACKs, as in ns-1's sink),
-// duplicate-ACK generation for out-of-order arrivals.
+// duplicate-ACK generation for out-of-order arrivals.  Optional ACK
+// pacing (PAPERS.md: Bhutani) releases in-order cumulative ACKs no
+// closer together than a configured interval, coalescing the in-between
+// ones, so the sender sees a smooth ACK clock instead of the wireless
+// link's bursts; dupacks and control ACKs always bypass the pacer.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +26,7 @@ struct TcpSinkStats {
   std::uint64_t out_of_order_segments = 0;
   std::uint64_t acks_sent = 0;
   std::uint64_t acks_delayed = 0;  ///< ACKs coalesced by delayed-ACK mode
+  std::uint64_t acks_paced = 0;    ///< in-order ACKs deferred by the pacer
   std::uint64_t syns_received = 0;
   std::uint64_t fins_received = 0;
   std::int64_t payload_bytes_received = 0;  ///< all arrivals
@@ -64,7 +69,14 @@ class TcpSink final : public net::PacketSink {
 
  private:
   void deliver_in_order();
+  /// Build and transmit the cumulative ACK for the current rcv_next.
+  void emit_ack();
+  /// Urgent path: flush any pending paced/delayed state and ACK at once.
   void send_ack_now();
+  /// Pacing path (in-order arrivals only): release immediately if the
+  /// pacing gap has elapsed, otherwise coalesce into one ACK scheduled at
+  /// the next release time.
+  void paced_ack();
   void maybe_delay_ack(bool in_order);
   void handle_control_segment(const net::TcpHeader& hdr);
   void fill_sack_blocks(net::TcpHeader& hdr) const;
@@ -81,6 +93,9 @@ class TcpSink final : public net::PacketSink {
   std::map<std::int64_t, std::int32_t> buffered_;  ///< out-of-order: seq -> payload
   std::int32_t unacked_in_order_ = 0;              ///< delayed-ACK counter
   sim::EventId delack_timer_;
+  sim::EventId pace_timer_;
+  sim::Time next_ack_release_;   ///< earliest time the next paced ACK may go
+  bool ack_pending_ = false;     ///< a coalesced ACK awaits the pace timer
   stats::Quantiles delay_;
   TcpSinkStats stats_;
   obs::Histogram* e2e_hist_ = nullptr;

@@ -1,0 +1,84 @@
+// Flavor-matrix smoke: every congestion-control strategy against every
+// recovery scheme, end to end on the WAN topology.  One small transfer
+// per cell — the goal is "no cell wedges, every cell completes with sane
+// metrics", not performance numbers (bench/abl_tcp_flavor.cpp measures
+// those).  The binary carries the `flavor-matrix` ctest label so CI can
+// run just this matrix after a congestion-control change.
+#include "src/topo/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+namespace wtcp::topo {
+namespace {
+
+ScenarioConfig cell_config(tcp::TcpFlavor flavor, const std::string& scheme) {
+  ScenarioConfig cfg = wan_scenario();
+  cfg.tcp.file_bytes = 20 * 1024;  // keep the 25-cell sweep fast
+  cfg.tcp.flavor = flavor;
+  cfg.channel.mean_bad_s = 4;  // burst errors so loss responses actually run
+  cfg.obs.enabled = true;
+  if (scheme == "snoop") {
+    cfg.snoop = true;
+  } else if (scheme != "basic") {
+    cfg.local_recovery = true;
+    if (scheme == "ebsn") cfg.feedback = FeedbackMode::kEbsn;
+    if (scheme == "quench") cfg.feedback = FeedbackMode::kSourceQuench;
+  }
+  return cfg;
+}
+
+using Cell = std::tuple<tcp::TcpFlavor, const char*>;
+
+class FlavorMatrix : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(FlavorMatrix, CellCompletesWithSaneMetrics) {
+  const auto [flavor, scheme] = GetParam();
+  Scenario s(cell_config(flavor, scheme));
+  const stats::RunMetrics m = s.run();
+  EXPECT_TRUE(m.completed);
+  EXPECT_GT(m.throughput_bps, 0.0);
+  EXPECT_GT(m.goodput, 0.0);
+  EXPECT_LE(m.goodput, 1.0);
+
+  // The flavor-specific instruments must be live on the probe bus.
+  ASSERT_NE(s.probes(), nullptr);
+  if (flavor == tcp::TcpFlavor::kWestwood) {
+    EXPECT_GT(s.probes()->gauge_value("cc.bw_est_bps"), 0.0);
+  }
+  if (flavor == tcp::TcpFlavor::kCerl) {
+    // Every loss episode is classified one way or the other.
+    const auto classified = s.probes()->counter_value("cc.loss_wireless") +
+                            s.probes()->counter_value("cc.loss_congestion");
+    EXPECT_EQ(classified, m.timeouts + m.fast_retransmits);
+  }
+}
+
+TEST_P(FlavorMatrix, AckPacedCellCompletes) {
+  const auto [flavor, scheme] = GetParam();
+  ScenarioConfig cfg = cell_config(flavor, scheme);
+  cfg.tcp.ack_pacing = true;
+  const stats::RunMetrics m = run_scenario(cfg);
+  EXPECT_TRUE(m.completed);
+  EXPECT_GT(m.goodput, 0.0);
+}
+
+constexpr tcp::TcpFlavor kFlavors[] = {
+    tcp::TcpFlavor::kTahoe, tcp::TcpFlavor::kReno, tcp::TcpFlavor::kNewReno,
+    tcp::TcpFlavor::kWestwood, tcp::TcpFlavor::kCerl};
+constexpr const char* kSchemes[] = {"basic", "local", "ebsn", "quench",
+                                    "snoop"};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, FlavorMatrix,
+    ::testing::Combine(::testing::ValuesIn(kFlavors),
+                       ::testing::ValuesIn(kSchemes)),
+    [](const ::testing::TestParamInfo<Cell>& tpi) {
+      return std::string(tcp::to_string(std::get<0>(tpi.param))) + "_" +
+             std::get<1>(tpi.param);
+    });
+
+}  // namespace
+}  // namespace wtcp::topo

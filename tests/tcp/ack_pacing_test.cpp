@@ -1,0 +1,134 @@
+// Receiver ACK pacing: the in-order cumulative ACK clock is released at
+// most once per pacing interval (coalescing bursts into one up-to-date
+// ACK), while dupacks, hole fills and the completion ACK stay urgent.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+#include "src/tcp/tcp_sink.hpp"
+
+namespace wtcp::tcp {
+namespace {
+
+class AckPacingTest : public ::testing::Test {
+ protected:
+  void build(bool pacing) {
+    cfg_.mss = 536;
+    cfg_.header_bytes = 40;
+    cfg_.file_bytes = 10 * 536;
+    cfg_.ack_pacing = pacing;  // interval keeps its 50 ms default
+    sink_ = std::make_unique<TcpSink>(sim_, cfg_, 2, 0, "snk");
+    sink_->set_downstream([this](net::PacketRef p) {
+      ack_times_.push_back(sim_.now());
+      acks_.push_back(std::move(p));
+    });
+  }
+
+  void data(std::int64_t seq) {
+    sink_->handle_packet(net::make_tcp_data(sim_.packet_pool(), seq, 536, 40,
+                                            0, 2, sim_.now()));
+  }
+  void data_at(std::int64_t ms, std::int64_t seq) {
+    sim_.after(sim::Time::milliseconds(ms), [this, seq] { data(seq); });
+  }
+  std::int64_t last_ack() const { return acks_.back()->tcp->ack; }
+
+  sim::Simulator sim_;
+  TcpConfig cfg_;
+  std::unique_ptr<TcpSink> sink_;
+  std::vector<net::PacketRef> acks_;
+  std::vector<sim::Time> ack_times_;
+};
+
+TEST_F(AckPacingTest, BurstCoalescesIntoOneDeferredCumulativeAck) {
+  build(true);
+  for (std::int64_t s = 0; s < 5; ++s) data(s);
+  // The first arrival finds the gate open and ACKs immediately; the other
+  // four fold into a single pending ACK on the pace timer.
+  ASSERT_EQ(acks_.size(), 1u);
+  EXPECT_EQ(last_ack(), 1);
+  EXPECT_EQ(sink_->stats().acks_paced, 4u);
+
+  sim_.run();
+  ASSERT_EQ(acks_.size(), 2u);
+  EXPECT_EQ(last_ack(), 5);  // coalesced ACK carries the latest position
+  EXPECT_EQ(ack_times_.back(), sim::Time::milliseconds(50));
+}
+
+TEST_F(AckPacingTest, SteadyFastArrivalsAreThrottledToTheInterval) {
+  build(true);
+  // One segment every 12 ms: far faster than the 50 ms pacing gap.
+  for (std::int64_t s = 0; s < 9; ++s) data_at(12 * s, s);
+  sim_.run();
+  // t=0 ACKs 1 immediately; 12..48 ms coalesce into the t=50 ms release
+  // (ACK 5); 60..96 ms coalesce into the t=100 ms release (ACK 9).
+  ASSERT_EQ(acks_.size(), 3u);
+  EXPECT_EQ(acks_[0]->tcp->ack, 1);
+  EXPECT_EQ(acks_[1]->tcp->ack, 5);
+  EXPECT_EQ(acks_[2]->tcp->ack, 9);
+  EXPECT_EQ(ack_times_[1], sim::Time::milliseconds(50));
+  EXPECT_EQ(ack_times_[2], sim::Time::milliseconds(100));
+  EXPECT_EQ(sink_->stats().acks_paced, 8u);  // 4 deferred arrivals per gap
+}
+
+TEST_F(AckPacingTest, SlowArrivalsPassStraightThrough) {
+  build(true);
+  // Wider than the interval: the gate is always open, pacing is a no-op.
+  for (std::int64_t s = 0; s < 4; ++s) data_at(60 * s, s);
+  sim_.run();
+  ASSERT_EQ(acks_.size(), 4u);
+  for (std::size_t i = 0; i < acks_.size(); ++i) {
+    EXPECT_EQ(acks_[i]->tcp->ack, static_cast<std::int64_t>(i) + 1);
+    EXPECT_EQ(ack_times_[i], sim::Time::milliseconds(60) * i);
+  }
+  EXPECT_EQ(sink_->stats().acks_paced, 0u);
+}
+
+TEST_F(AckPacingTest, DupacksBypassPacingAndSupersedeThePendingAck) {
+  build(true);
+  data_at(0, 0);   // ACK 1 immediately, gate closes until 50 ms
+  data_at(5, 1);   // coalesced: pending ACK 2 scheduled for t=50 ms
+  data_at(10, 3);  // hole at 2 -> dupack must go out NOW
+  sim_.run();
+  // The urgent dupack (ACK 2 at t=10 ms) also carries the coalesced
+  // cumulative position, so the pending paced ACK is cancelled outright.
+  ASSERT_EQ(acks_.size(), 2u);
+  EXPECT_EQ(last_ack(), 2);
+  EXPECT_EQ(ack_times_.back(), sim::Time::milliseconds(10));
+}
+
+TEST_F(AckPacingTest, HoleFillIsAckedImmediately) {
+  build(true);
+  data_at(0, 0);   // ACK 1
+  data_at(5, 2);   // dupack (hole at 1)
+  data_at(8, 1);   // fills the hole: the sender is waiting on this ACK
+  sim_.run();
+  ASSERT_EQ(acks_.size(), 3u);
+  EXPECT_EQ(last_ack(), 3);
+  EXPECT_EQ(ack_times_.back(), sim::Time::milliseconds(8));
+}
+
+TEST_F(AckPacingTest, CompletionAckIsFlushedImmediately) {
+  build(true);
+  for (std::int64_t s = 0; s < 10; ++s) data(s);
+  // First ACK plus the immediate completion ACK; segments 1..8 coalesced
+  // into a pending ACK that the completion flush cancels.
+  ASSERT_EQ(acks_.size(), 2u);
+  EXPECT_EQ(last_ack(), 10);
+  EXPECT_TRUE(sink_->stats().completed);
+  sim_.run();
+  EXPECT_EQ(acks_.size(), 2u);  // no stale paced ACK left behind
+}
+
+TEST_F(AckPacingTest, PacingOffKeepsThePerSegmentAckClock) {
+  build(false);
+  for (std::int64_t s = 0; s < 5; ++s) data(s);
+  EXPECT_EQ(acks_.size(), 5u);
+  EXPECT_EQ(last_ack(), 5);
+  EXPECT_EQ(sink_->stats().acks_paced, 0u);
+}
+
+}  // namespace
+}  // namespace wtcp::tcp

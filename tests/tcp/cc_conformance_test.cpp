@@ -1,0 +1,188 @@
+// Conformance suite over every CongestionControl strategy: whatever the
+// flavor's loss response looks like, the window state it hands back to
+// the sender must stay legal (cwnd >= 1, ssthresh >= 2 after any loss),
+// recovery entry/exit must follow the declared shape, and the explicit
+// feedback contract (EBSN untouched, quench collapses) must hold.
+#include "src/tcp/cc/congestion_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/tcp/cc/strategies.hpp"
+
+namespace wtcp::tcp {
+namespace {
+
+constexpr TcpFlavor kAllFlavors[] = {TcpFlavor::kTahoe, TcpFlavor::kReno,
+                                     TcpFlavor::kNewReno, TcpFlavor::kWestwood,
+                                     TcpFlavor::kCerl};
+
+CcParams params() {
+  CcParams p;
+  p.awnd = 8.0;
+  p.mss = 536;
+  p.dupack_threshold = 3;
+  return p;
+}
+
+CcAck at(double seconds, double acked = 1.0) {
+  CcAck ev{};
+  ev.now = sim::Time::from_seconds(seconds);
+  ev.acked_segments = acked;
+  ev.rtt_sample_valid = true;
+  ev.rtt_sample = sim::Time::milliseconds(100);
+  ev.srtt = sim::Time::milliseconds(100);
+  return ev;
+}
+
+class CcConformance : public ::testing::TestWithParam<TcpFlavor> {
+ protected:
+  std::unique_ptr<CongestionControl> make() {
+    return make_congestion_control(GetParam(), params());
+  }
+};
+
+TEST_P(CcConformance, FactoryMatchesFlavorAndName) {
+  auto cc = make();
+  EXPECT_EQ(cc->flavor(), GetParam());
+  EXPECT_STREQ(cc->name(), to_string(GetParam()));
+}
+
+TEST_P(CcConformance, InitialStateIsSlowStartFromOneSegment) {
+  auto cc = make();
+  EXPECT_DOUBLE_EQ(cc->cwnd(), 1.0);
+  EXPECT_DOUBLE_EQ(cc->ssthresh(), params().awnd);
+}
+
+TEST_P(CcConformance, GrowthIsMonotonicAndClampedPastAwnd) {
+  auto cc = make();
+  double prev = cc->cwnd();
+  for (int i = 0; i < 50; ++i) {
+    cc->on_ack_stream(at(0.1 * i));
+    cc->on_new_ack(at(0.1 * i));
+    EXPECT_GE(cc->cwnd(), prev);
+    prev = cc->cwnd();
+  }
+  EXPECT_LE(cc->cwnd(), params().awnd + 1.0);
+}
+
+TEST_P(CcConformance, DupackThresholdLeavesLegalState) {
+  auto cc = make();
+  for (int i = 0; i < 10; ++i) cc->on_new_ack(at(0.1 * i));
+  const bool recovery = cc->on_dupack_threshold(at(1.5, 0.0));
+  EXPECT_GE(cc->cwnd(), 1.0);
+  EXPECT_GE(cc->ssthresh(), 2.0);
+  // Tahoe restarts slow start; every other flavor enters fast recovery.
+  EXPECT_EQ(recovery, GetParam() != TcpFlavor::kTahoe);
+  if (recovery) {
+    // Recovery dupacks inflate, the exit deflates back to a legal window.
+    cc->on_recovery_dupack(at(1.6, 0.0));
+    cc->on_recovery_exit(at(1.7));
+    EXPECT_GE(cc->cwnd(), 1.0);
+    EXPECT_GE(cc->ssthresh(), 2.0);
+  }
+}
+
+TEST_P(CcConformance, TimeoutCollapsesToLegalSlowStartState) {
+  auto cc = make();
+  for (int i = 0; i < 10; ++i) cc->on_new_ack(at(0.1 * i));
+  cc->on_timeout(at(2.0, 0.0));
+  EXPECT_DOUBLE_EQ(cc->cwnd(), 1.0);
+  EXPECT_GE(cc->ssthresh(), 2.0);
+}
+
+TEST_P(CcConformance, RepeatedLossesNeverBreachFloors) {
+  auto cc = make();
+  for (int round = 0; round < 6; ++round) {
+    cc->on_new_ack(at(0.1 * round));
+    cc->on_dupack_threshold(at(1.0 + round, 0.0));
+    EXPECT_GE(cc->cwnd(), 1.0);
+    EXPECT_GE(cc->ssthresh(), 2.0);
+    cc->on_timeout(at(2.0 + round, 0.0));
+    EXPECT_GE(cc->cwnd(), 1.0);
+    EXPECT_GE(cc->ssthresh(), 2.0);
+  }
+}
+
+TEST_P(CcConformance, PartialAckSupportMatchesFlavor) {
+  auto cc = make();
+  const bool stays = cc->partial_ack_stays_in_recovery();
+  const bool plain_reno_semantics =
+      GetParam() == TcpFlavor::kTahoe || GetParam() == TcpFlavor::kReno;
+  EXPECT_EQ(stays, !plain_reno_semantics);
+}
+
+TEST_P(CcConformance, PartialAckDeflatesButNeverBelowSsthresh) {
+  auto cc = make();
+  for (int i = 0; i < 10; ++i) cc->on_new_ack(at(0.1 * i));
+  cc->on_dupack_threshold(at(1.5, 0.0));
+  const double ssthresh = cc->ssthresh();
+  // A huge partial ACK may deflate at most down to ssthresh (RFC 6582).
+  cc->on_partial_ack(at(1.6, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(cc->cwnd(), ssthresh);
+  EXPECT_GE(cc->cwnd(), 1.0);
+}
+
+TEST_P(CcConformance, EbsnLeavesWindowUntouched) {
+  auto cc = make();
+  for (int i = 0; i < 5; ++i) cc->on_new_ack(at(0.1 * i));
+  const double cwnd = cc->cwnd();
+  const double ssthresh = cc->ssthresh();
+  cc->on_explicit_feedback(CcFeedback::kEbsn);
+  EXPECT_DOUBLE_EQ(cc->cwnd(), cwnd);
+  EXPECT_DOUBLE_EQ(cc->ssthresh(), ssthresh);
+}
+
+TEST_P(CcConformance, QuenchCollapsesWindowKeepsSsthresh) {
+  auto cc = make();
+  for (int i = 0; i < 5; ++i) cc->on_new_ack(at(0.1 * i));
+  const double ssthresh = cc->ssthresh();
+  cc->on_explicit_feedback(CcFeedback::kSourceQuench);
+  EXPECT_DOUBLE_EQ(cc->cwnd(), 1.0);
+  EXPECT_DOUBLE_EQ(cc->ssthresh(), ssthresh);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFlavors, CcConformance,
+                         ::testing::ValuesIn(kAllFlavors),
+                         [](const ::testing::TestParamInfo<TcpFlavor>& tpi) {
+                           return std::string(to_string(tpi.param));
+                         });
+
+// The classic strategies must reproduce the pre-extraction arithmetic
+// exactly (the hexfloat goldens pin the sender; this pins the strategy).
+TEST(CcClassic, TahoeGrowthMatchesLegacyMath) {
+  auto cc = make_congestion_control(TcpFlavor::kTahoe, params());
+  // Slow start doubles per RTT: +1 per ACK while cwnd < ssthresh (8).
+  for (int i = 0; i < 7; ++i) cc->on_new_ack(at(0.1 * i));
+  EXPECT_DOUBLE_EQ(cc->cwnd(), 8.0);
+  // Congestion avoidance: cwnd += 1/cwnd.
+  cc->on_new_ack(at(0.8));
+  EXPECT_DOUBLE_EQ(cc->cwnd(), 8.0 + 1.0 / 8.0);
+}
+
+TEST(CcClassic, RenoLossHalvesAndInflatesByDupthresh) {
+  auto cc = make_congestion_control(TcpFlavor::kReno, params());
+  for (int i = 0; i < 7; ++i) cc->on_new_ack(at(0.1 * i));  // cwnd 8
+  ASSERT_TRUE(cc->on_dupack_threshold(at(1.0, 0.0)));
+  EXPECT_DOUBLE_EQ(cc->ssthresh(), 4.0);  // floor(8/2)
+  EXPECT_DOUBLE_EQ(cc->cwnd(), 7.0);      // ssthresh + 3 dupacks
+  cc->on_recovery_exit(at(1.1));
+  EXPECT_DOUBLE_EQ(cc->cwnd(), 4.0);  // deflate exactly, no growth
+}
+
+TEST(CcClassic, NewRenoPartialAckDeflationMath) {
+  auto cc = make_congestion_control(TcpFlavor::kNewReno, params());
+  for (int i = 0; i < 7; ++i) cc->on_new_ack(at(0.1 * i));  // cwnd 8
+  ASSERT_TRUE(cc->on_dupack_threshold(at(1.0, 0.0)));       // ssthresh 4, cwnd 7
+  // RFC 6582: cwnd = max(ssthresh, cwnd - acked + 1).
+  cc->on_partial_ack(at(1.1, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(cc->cwnd(), 6.0);  // 7 - 2 + 1
+  cc->on_partial_ack(at(1.2, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(cc->cwnd(), 5.0);
+  cc->on_partial_ack(at(1.3, 4.0), 4.0);
+  EXPECT_DOUBLE_EQ(cc->cwnd(), 4.0);  // clamped at ssthresh
+}
+
+}  // namespace
+}  // namespace wtcp::tcp

@@ -1,0 +1,124 @@
+// CERL RTT-threshold loss differentiation.
+#include <gtest/gtest.h>
+
+#include "src/tcp/cc/strategies.hpp"
+
+namespace wtcp::tcp {
+namespace {
+
+CcParams params() {
+  CcParams p;
+  p.awnd = 16.0;
+  p.mss = 536;
+  p.dupack_threshold = 3;
+  return p;
+}
+
+CcAck sample(double rtt_ms, double srtt_ms) {
+  CcAck ev{};
+  ev.now = sim::Time::milliseconds(static_cast<std::int64_t>(rtt_ms));
+  ev.acked_segments = 1.0;
+  ev.rtt_sample_valid = true;
+  ev.rtt_sample = sim::Time::milliseconds(static_cast<std::int64_t>(rtt_ms));
+  ev.srtt = sim::Time::milliseconds(static_cast<std::int64_t>(srtt_ms));
+  return ev;
+}
+
+TEST(Cerl, ThresholdSitsAlphaBetweenRttExtremes) {
+  CerlCc cc(params());
+  EXPECT_TRUE(cc.rtt_threshold().is_zero());  // no samples yet
+  cc.on_ack_stream(sample(100, 100));
+  cc.on_ack_stream(sample(300, 200));
+  // threshold = 100 ms + 0.55 * (300 - 100) ms = 210 ms.
+  EXPECT_NEAR(cc.rtt_threshold().to_seconds(), 0.210, 1e-9);
+}
+
+TEST(Cerl, LowRttLossIsWirelessAndPreservesTheWindow) {
+  CerlCc cc(params());
+  cc.on_ack_stream(sample(100, 100));
+  cc.on_ack_stream(sample(300, 200));
+  for (int i = 0; i < 9; ++i) cc.on_new_ack(sample(150, 150));  // cwnd 10
+  ASSERT_DOUBLE_EQ(cc.cwnd(), 10.0);
+  const double ssthresh = cc.ssthresh();
+
+  // Loss while srtt (150 ms) < threshold (210 ms): the queue is short, so
+  // blame the wireless link.  ssthresh keeps its value; the window only
+  // picks up the episode's dupack inflation.
+  EXPECT_TRUE(cc.on_dupack_threshold(sample(150, 150)));
+  EXPECT_EQ(cc.wireless_losses(), 1u);
+  EXPECT_EQ(cc.congestion_losses(), 0u);
+  EXPECT_DOUBLE_EQ(cc.ssthresh(), ssthresh);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 13.0);  // 10 + 3 dupacks
+
+  // Exiting the episode restores the pre-loss window exactly.
+  cc.on_recovery_exit(sample(150, 150));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 10.0);
+}
+
+TEST(Cerl, HighRttLossGetsTheRenoResponse) {
+  CerlCc cc(params());
+  cc.on_ack_stream(sample(100, 100));
+  cc.on_ack_stream(sample(300, 200));
+  for (int i = 0; i < 9; ++i) cc.on_new_ack(sample(250, 250));  // cwnd 10
+
+  // Loss while srtt (250 ms) > threshold (210 ms): a long queue preceded
+  // it, so this is congestion — standard halving.
+  EXPECT_TRUE(cc.on_dupack_threshold(sample(250, 250)));
+  EXPECT_EQ(cc.congestion_losses(), 1u);
+  EXPECT_DOUBLE_EQ(cc.ssthresh(), 5.0);  // floor(10/2)
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 8.0);      // ssthresh + 3
+  cc.on_recovery_exit(sample(250, 250));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 5.0);  // plain NewReno deflation
+}
+
+TEST(Cerl, NoRttRangeDefaultsToCongestion) {
+  CerlCc cc(params());
+  for (int i = 0; i < 9; ++i) cc.on_new_ack(sample(100, 100));
+  // Identical min and max (or no samples at all): never claim wireless.
+  cc.on_ack_stream(sample(100, 100));
+  EXPECT_TRUE(cc.on_dupack_threshold(sample(100, 100)));
+  EXPECT_EQ(cc.wireless_losses(), 0u);
+  EXPECT_EQ(cc.congestion_losses(), 1u);
+}
+
+TEST(Cerl, WirelessTimeoutKeepsSsthresh) {
+  CerlCc cc(params());
+  cc.on_ack_stream(sample(100, 100));
+  cc.on_ack_stream(sample(300, 200));
+  for (int i = 0; i < 9; ++i) cc.on_new_ack(sample(150, 150));
+  const double ssthresh = cc.ssthresh();
+
+  // A fade-induced blackout: the timer verdict stands (slow start from
+  // one segment) but ssthresh survives, so the window climbs straight
+  // back once the link recovers.
+  cc.on_timeout(sample(150, 150));
+  EXPECT_EQ(cc.wireless_losses(), 1u);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 1.0);
+  EXPECT_DOUBLE_EQ(cc.ssthresh(), ssthresh);
+}
+
+TEST(Cerl, CongestionTimeoutCollapses) {
+  CerlCc cc(params());
+  cc.on_ack_stream(sample(100, 100));
+  cc.on_ack_stream(sample(300, 200));
+  for (int i = 0; i < 9; ++i) cc.on_new_ack(sample(250, 250));  // cwnd 10
+  cc.on_timeout(sample(250, 250));
+  EXPECT_EQ(cc.congestion_losses(), 1u);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 1.0);
+  EXPECT_DOUBLE_EQ(cc.ssthresh(), 5.0);  // floor(10/2)
+}
+
+TEST(Cerl, TimeoutEndsAWirelessEpisodeBeforeTheExitAck) {
+  CerlCc cc(params());
+  cc.on_ack_stream(sample(100, 100));
+  cc.on_ack_stream(sample(300, 200));
+  for (int i = 0; i < 9; ++i) cc.on_new_ack(sample(150, 150));
+  ASSERT_TRUE(cc.on_dupack_threshold(sample(150, 150)));  // wireless episode
+  cc.on_timeout(sample(250, 250));  // episode aborted by the timer
+  // The later recovery-exit ACK must NOT resurrect the saved window.
+  cc.on_recovery_exit(sample(250, 250));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), cc.ssthresh());
+}
+
+}  // namespace
+}  // namespace wtcp::tcp

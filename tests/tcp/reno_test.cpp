@@ -43,6 +43,8 @@ TEST(TcpFlavor, Names) {
   EXPECT_STREQ(to_string(TcpFlavor::kTahoe), "tahoe");
   EXPECT_STREQ(to_string(TcpFlavor::kReno), "reno");
   EXPECT_STREQ(to_string(TcpFlavor::kNewReno), "newreno");
+  EXPECT_STREQ(to_string(TcpFlavor::kWestwood), "westwood");
+  EXPECT_STREQ(to_string(TcpFlavor::kCerl), "cerl");
 }
 
 TEST_F(RenoTest, FastRetransmitEntersFastRecovery) {
@@ -90,8 +92,9 @@ TEST_F(RenoTest, NewAckDeflatesToSsthresh) {
   EXPECT_DOUBLE_EQ(sender_->cwnd(), 9.0);  // 4 + 3 + 2
   ack(sender_->snd_nxt());                 // everything outstanding acked
   EXPECT_FALSE(sender_->in_fast_recovery());
-  // Deflated to ssthresh, then one congestion-avoidance increment.
-  EXPECT_NEAR(sender_->cwnd(), 4.0 + 1.0 / 4.0, 1e-9);
+  // Deflated to ssthresh exactly: RFC 6582 gives the exiting ACK no
+  // additive increase (the window opens again on the NEXT new ACK).
+  EXPECT_DOUBLE_EQ(sender_->cwnd(), 4.0);
 }
 
 TEST_F(RenoTest, TimeoutAbortsFastRecovery) {
@@ -156,10 +159,11 @@ TEST_F(RenoTest, NewRenoStaysInRecoveryAcrossPartialAcks) {
   EXPECT_TRUE(sender_->in_fast_recovery());
   EXPECT_EQ(sent_.back()->tcp->seq, 12);
 
-  // Full ACK past `recover` (14 was the highest sent at loss): exit.
+  // Full ACK past `recover` (14 was the highest sent at loss): exit,
+  // deflating to ssthresh with no additive increase on the exiting ACK.
   ack(15);
   EXPECT_FALSE(sender_->in_fast_recovery());
-  EXPECT_DOUBLE_EQ(sender_->cwnd(), 4.0 + 1.0 / 4.0);
+  EXPECT_DOUBLE_EQ(sender_->cwnd(), 4.0);
 }
 
 TEST_F(RenoTest, NewRenoPartialAckDeflatesTowardSsthresh) {

@@ -167,6 +167,28 @@ TEST_F(SackSenderTest, GoBackNSkipsSackedSegments) {
   EXPECT_GT(sender_->snd_nxt(), 15);
 }
 
+TEST_F(SackSenderTest, HoleRetransmitRearmsTheRetransmissionTimer) {
+  build(sack_cfg());
+  sender_->start();
+  std::int64_t next = 0;
+  for (int i = 0; i < 7; ++i) ack(++next);  // una 7, nxt 15
+  ack(7, {{8, 9}});
+  ack(7, {{8, 9}, {10, 13}});
+  ack(7, {{8, 9}, {10, 14}});  // third dupack: fast rtx of 7, timer restarted
+  ASSERT_TRUE(sender_->in_fast_recovery());
+  const sim::Time before = sender_->rtx_deadline();
+  ASSERT_GT(before, sim::Time::zero());
+  // 60 ms later another dupack directs retransmission of hole 9.  That
+  // retransmission is now the oldest unguarded data, so the timer must be
+  // restarted from NOW — not left at the deadline armed for segment 7.
+  sim_.after(sim::Time::milliseconds(60),
+             [this] { ack(7, {{8, 9}, {10, 14}}); });
+  sim_.run(sim::Time::milliseconds(60));
+  EXPECT_EQ(sent_.back()->tcp->seq, 9);
+  EXPECT_TRUE(sent_.back()->tcp->retransmit);
+  EXPECT_EQ(sender_->rtx_deadline(), before + sim::Time::milliseconds(60));
+}
+
 // ---------------------------------------------------------------------------
 // Closed loop: SACK vs go-back-N retransmission volume
 // ---------------------------------------------------------------------------
@@ -208,6 +230,39 @@ TEST(SackLoop, SackNeverRetransmitsMoreThanGoBackN) {
 
 TEST(SackLoop, NewRenoSackRetransmitsExactlyTheLosses) {
   EXPECT_EQ(run_loop(true, TcpFlavor::kNewReno), 6u);
+}
+
+TEST(SackLoop, LostHoleRetransmissionIsRecoveredByTheRearmedTimer) {
+  sim::Simulator sim;
+  TcpConfig cfg = sack_cfg(TcpFlavor::kNewReno);
+  TcpSender sender(sim, cfg, 0, 2, "src");
+  TcpSink sink(sim, cfg, 2, 0, "snk");
+  const std::set<std::int64_t> drops{30, 33};
+  bool dropped_rtx = false;
+  sender.set_downstream([&](net::PacketRef p) {
+    if (!p->tcp->retransmit && drops.contains(p->tcp->seq)) return;
+    // Also lose the SACK-directed retransmission of the second hole.  The
+    // scoreboard never re-selects an episode hole, so only the (freshly
+    // rearmed) retransmission timer can recover it.
+    if (p->tcp->retransmit && p->tcp->seq == 33 && !dropped_rtx) {
+      dropped_rtx = true;
+      return;
+    }
+    sim.after(sim::Time::milliseconds(50), [&sink, p = std::move(p)]() mutable {
+      sink.handle_packet(std::move(p));
+    });
+  });
+  sink.set_downstream([&](net::PacketRef p) {
+    sim.after(sim::Time::milliseconds(50), [&sender, p = std::move(p)]() mutable {
+      sender.handle_packet(std::move(p));
+    });
+  });
+  sender.start();
+  sim.run();
+  EXPECT_TRUE(dropped_rtx);
+  EXPECT_GE(sender.stats().timeouts, 1u);
+  EXPECT_TRUE(sender.stats().completed);
+  EXPECT_TRUE(sink.stats().completed);
 }
 
 }  // namespace

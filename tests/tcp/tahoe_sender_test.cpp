@@ -6,6 +6,7 @@
 #include <set>
 #include <vector>
 
+#include "src/core/audit.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/stats/trace.hpp"
 #include "src/tcp/tcp_sink.hpp"
@@ -288,6 +289,31 @@ TEST_F(TahoeTest, BackoffResetOnAckOfFreshSegment) {
   // Segment 1 goes out fresh after the ack; acking it resets backoff.
   ack(2);
   EXPECT_EQ(sender_->rto_estimator().backoff_shift(), 0);
+}
+
+#if defined(WTCP_AUDIT) && WTCP_AUDIT
+void ignore_violation(const char*, const char*, const char*) {}
+#endif
+
+TEST_F(TahoeTest, StrayAckBeyondTheFileDoesNotIndexPastTheBitmap) {
+#if defined(WTCP_AUDIT) && WTCP_AUDIT
+  // The injected stray ACK trips ack_in_sequence_space by design; keep
+  // the audit build from aborting on it.
+  audit::Handler prev = audit::set_handler(&ignore_violation);
+#endif
+  build(small_cfg());
+  sender_->start();
+  ack(1);
+  // A corrupted or misrouted cumulative ACK pointing past the end of the
+  // transfer: the Karn backoff-reset path indexes the per-segment
+  // retransmission bitmap at ack-1 and must bounds-check first.  The
+  // sender treats it as acking everything (completes) without touching
+  // memory past the array.
+  ack(cfg_.total_segments() + 5);
+  EXPECT_TRUE(sender_->stats().completed);
+#if defined(WTCP_AUDIT) && WTCP_AUDIT
+  audit::set_handler(prev);
+#endif
 }
 
 TEST_F(TahoeTest, ConnectionIdStampsEveryDataPacket) {

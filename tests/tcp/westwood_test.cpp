@@ -1,0 +1,103 @@
+// Westwood+ bandwidth estimation and loss response.
+#include <gtest/gtest.h>
+
+#include "src/tcp/cc/strategies.hpp"
+
+namespace wtcp::tcp {
+namespace {
+
+CcParams params() {
+  CcParams p;
+  p.awnd = 16.0;
+  p.mss = 536;
+  p.dupack_threshold = 3;
+  return p;
+}
+
+CcAck ack_at(double seconds, double acked = 1.0, double srtt_ms = 40.0) {
+  CcAck ev{};
+  ev.now = sim::Time::from_seconds(seconds);
+  ev.acked_segments = acked;
+  ev.rtt_sample_valid = true;
+  ev.rtt_sample = sim::Time::milliseconds(static_cast<std::int64_t>(srtt_ms));
+  ev.srtt = sim::Time::milliseconds(static_cast<std::int64_t>(srtt_ms));
+  return ev;
+}
+
+TEST(Westwood, FirstEpochSeedsTheFilterWithTheRawSample) {
+  WestwoodCc cc(params());
+  // One segment per ACK every 10 ms; srtt 40 ms < the 50 ms minimum
+  // epoch, so the first epoch closes on the ACK at t = 50 ms with six
+  // ACKs (t = 0 opens it): 6 * 536 B over 0.05 s = 64320 B/s.
+  for (int i = 0; i <= 5; ++i) cc.on_ack_stream(ack_at(0.010 * i));
+  EXPECT_NEAR(cc.bandwidth_estimate_Bps(), 6 * 536 / 0.05, 1e-6);
+  EXPECT_EQ(cc.rtt_min(), sim::Time::milliseconds(40));
+}
+
+TEST(Westwood, FilterBlendsPairedSamples) {
+  WestwoodCc cc(params());
+  for (int i = 0; i <= 5; ++i) cc.on_ack_stream(ack_at(0.010 * i));
+  const double first = cc.bandwidth_estimate_Bps();  // 64320, seeds filter
+  // Second epoch at twice the rate: one segment every 5 ms from t = 55 ms;
+  // the epoch that opened at t = 50 ms closes at t = 100 ms with ten ACKs
+  // (55..100 ms): 10 * 536 / 0.05 = 107200 B/s.
+  for (int i = 1; i <= 10; ++i) cc.on_ack_stream(ack_at(0.050 + 0.005 * i));
+  const double second_sample = 10 * 536 / 0.05;
+  const double pole = params().tuning.westwood_filter_pole;  // 0.9
+  EXPECT_NEAR(cc.bandwidth_estimate_Bps(),
+              pole * first + (1.0 - pole) * 0.5 * (second_sample + first),
+              1e-6);
+}
+
+TEST(Westwood, DupacksStillCountOneSegmentOfDeliveredData) {
+  WestwoodCc a(params());
+  WestwoodCc b(params());
+  // Same ACK clock; `a` sees new ACKs, `b` sees duplicate ACKs
+  // (acked_segments = 0).  Both must integrate the same delivered bytes.
+  for (int i = 0; i <= 5; ++i) {
+    a.on_ack_stream(ack_at(0.010 * i, 1.0));
+    b.on_ack_stream(ack_at(0.010 * i, 0.0));
+  }
+  EXPECT_DOUBLE_EQ(a.bandwidth_estimate_Bps(), b.bandwidth_estimate_Bps());
+}
+
+TEST(Westwood, LossSetsSsthreshToBandwidthDelayProduct) {
+  WestwoodCc cc(params());
+  for (int i = 0; i <= 5; ++i) cc.on_ack_stream(ack_at(0.010 * i));
+  const double bwe = cc.bandwidth_estimate_Bps();  // 64320 B/s
+  ASSERT_GT(bwe, 0.0);
+  // BDP = 64320 B/s * 0.04 s / 536 B = 4.8 segments -> ssthresh 4.
+  cc.on_dupack_threshold(ack_at(0.06, 0.0));
+  EXPECT_DOUBLE_EQ(cc.ssthresh(), 4.0);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 4.0 + 3.0);  // NewReno recovery shape
+  // A timeout uses the same estimate but restarts slow start.
+  cc.on_timeout(ack_at(0.07, 0.0));
+  EXPECT_DOUBLE_EQ(cc.ssthresh(), 4.0);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 1.0);
+}
+
+TEST(Westwood, FallsBackToRenoHalvingBeforeFirstEstimate) {
+  WestwoodCc cc(params());
+  for (int i = 0; i < 7; ++i) cc.on_new_ack(ack_at(0.1 * i));  // cwnd 8
+  ASSERT_DOUBLE_EQ(cc.bandwidth_estimate_Bps(), 0.0);
+  cc.on_dupack_threshold(ack_at(1.0, 0.0));
+  EXPECT_DOUBLE_EQ(cc.ssthresh(), 4.0);  // floor(8/2): Reno fallback
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 7.0);
+}
+
+TEST(Westwood, SsthreshFloorIsTwoSegments) {
+  WestwoodCc cc(params());
+  // A trickle: one segment per 500 ms -> BDP under 2 segments.
+  for (int i = 0; i <= 5; ++i) cc.on_ack_stream(ack_at(0.5 * i));
+  ASSERT_GT(cc.bandwidth_estimate_Bps(), 0.0);
+  cc.on_dupack_threshold(ack_at(3.0, 0.0));
+  EXPECT_DOUBLE_EQ(cc.ssthresh(), 2.0);
+}
+
+TEST(Westwood, StaysInRecoveryAcrossPartialAcks) {
+  WestwoodCc cc(params());
+  EXPECT_TRUE(cc.partial_ack_stays_in_recovery());
+}
+
+}  // namespace
+}  // namespace wtcp::tcp
